@@ -1,0 +1,9 @@
+set terminal pngcairo size 800,600
+set output "fig10.png"
+set title "mean event rate vs #followers"
+set xlabel "x"
+set ylabel "mean rate"
+set logscale x
+set logscale y
+set key outside
+plot "fig10_rate_by_followers.dat" using 1:2 with points title "mean event rate vs #followers"

@@ -1,0 +1,9 @@
+set terminal pngcairo size 800,600
+set output "fig11.png"
+set title "CCDF of subscription cardinality"
+set xlabel "x"
+set ylabel "CCDF"
+set logscale x
+set logscale y
+set key outside
+plot "fig11_ccdf_sc.dat" using 1:2 with points title "CCDF of subscription cardinality"

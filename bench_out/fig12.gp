@@ -1,0 +1,9 @@
+set terminal pngcairo size 800,600
+set output "fig12.png"
+set title "mean SC vs #followings"
+set xlabel "x"
+set ylabel "mean SC %"
+set logscale x
+set logscale y
+set key outside
+plot "fig12_sc_by_followings.dat" using 1:2 with points title "mean SC vs #followings"

@@ -1,0 +1,9 @@
+set terminal pngcairo size 800,600
+set output "fig8.png"
+set title "CCDF of #followers / #followings"
+set xlabel "count"
+set ylabel "CCDF"
+set logscale x
+set logscale y
+set key outside
+plot "fig8_ccdf_followers.dat" using 1:2 with lines title "#followers", "fig8_ccdf_followings.dat" using 1:2 with lines title "#followings"

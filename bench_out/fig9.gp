@@ -1,0 +1,9 @@
+set terminal pngcairo size 800,600
+set output "fig9.png"
+set title "CCDF of event rate"
+set xlabel "x"
+set ylabel "CCDF"
+set logscale x
+set logscale y
+set key outside
+plot "fig9_ccdf_rate.dat" using 1:2 with points title "CCDF of event rate"
