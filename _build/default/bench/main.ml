@@ -1,0 +1,943 @@
+(* The experiment harness: regenerates every table and figure of the
+   paper's evaluation (§IV and Appendix D) on the synthetic traces, plus
+   Bechamel microbenchmarks of the algorithmic kernels.
+
+   Figure index (see DESIGN.md §4 and EXPERIMENTS.md):
+     fig1        worked example of §III-B
+     fig2a/fig2b Spotify cost ladder, BC = 64 / 128 mbps
+     fig3a/fig3b Twitter cost ladder, BC = 64 / 128 mbps
+     fig4/fig5   Stage-1 runtimes (GSP vs RSP), Spotify / Twitter
+     fig6/fig7   Stage-2 runtimes (CBP vs FFBP), Spotify / Twitter
+     fig8..fig12 Twitter trace analysis (CCDFs, celebrity anomaly)
+     summary     §IV-F savings summary
+     micro       Bechamel kernel benchmarks
+
+   Absolute capacity: the paper's cost figures imply an effective per-VM
+   capacity of ~5e7 events per 10-day horizon for c3.large (total
+   bandwidth divided by VM count at high tau); we use that
+   utilisation-consistent constant, scaled by the trace scale, so VM
+   counts land in the paper's regime. See EXPERIMENTS.md. *)
+
+module Workload = Mcss_workload.Workload
+module Stats = Mcss_workload.Stats
+module Instance = Mcss_pricing.Instance
+module Cost_model = Mcss_pricing.Cost_model
+module Problem = Mcss_core.Problem
+module Selection = Mcss_core.Selection
+module Allocation = Mcss_core.Allocation
+module Solver = Mcss_core.Solver
+module Verifier = Mcss_core.Verifier
+module Lower_bound = Mcss_core.Lower_bound
+module Simulator = Mcss_sim.Simulator
+module Table = Mcss_report.Table
+module Series = Mcss_report.Series
+
+let implied_bc_full_scale = 5e7
+let taus = [ 10.; 100.; 1000. ]
+
+let bc_events ~scale (instance : Instance.t) =
+  implied_bc_full_scale *. scale *. (instance.Instance.bandwidth_mbps /. 64.)
+
+type run = {
+  config_name : string;
+  cost : float;
+  vms : int;
+  bw_gb : float;
+  stage1_s : float;
+  stage2_s : float;
+}
+
+type tau_results = {
+  tau : float;
+  runs : run list;  (* ladder order *)
+  lb_cost : float;
+  lb_vms : int;
+  lb_bw_gb : float;
+}
+
+let solve_matrix ~w ~scale ~instance =
+  let model = Cost_model.ec2_2014 ~instance () in
+  let capacity_events = bc_events ~scale instance in
+  List.map
+    (fun tau ->
+      let p = Problem.of_pricing ~capacity_events ~workload:w ~tau model in
+      let runs =
+        List.map
+          (fun (config_name, config) ->
+            let r = Solver.solve ~config p in
+            let report = Verifier.verify p r.Solver.selection r.Solver.allocation in
+            if not (Verifier.is_valid report) then
+              failwith
+                (Printf.sprintf "%s (tau=%g): allocation failed verification"
+                   config_name tau);
+            {
+              config_name;
+              cost = r.Solver.cost;
+              vms = r.Solver.num_vms;
+              bw_gb = Cost_model.gb_of_events model r.Solver.bandwidth;
+              stage1_s = r.Solver.stage1_seconds;
+              stage2_s = r.Solver.stage2_seconds;
+            })
+          Solver.ladder
+      in
+      let lb = Lower_bound.compute p in
+      {
+        tau;
+        runs;
+        lb_cost = lb.Lower_bound.cost;
+        lb_vms = lb.Lower_bound.vms;
+        lb_bw_gb = Cost_model.gb_of_events model lb.Lower_bound.bandwidth;
+      })
+    taus
+
+let section_header fig title = Printf.printf "\n=== %s: %s ===\n" fig title
+
+(* One cost-ladder figure (Figs. 2a/2b/3a/3b): cost, #VMs and bandwidth
+   per ladder configuration and per tau, plus the lower bound. *)
+let print_cost_figure ~fig ~title results =
+  section_header fig title;
+  let headers =
+    ("configuration", Table.Left)
+    :: List.concat_map
+         (fun { tau; _ } ->
+           let t = Printf.sprintf "t=%g" tau in
+           [
+             (t ^ " cost", Table.Right);
+             (t ^ " VMs", Table.Right);
+             (t ^ " GB", Table.Right);
+           ])
+         results
+  in
+  let table = Table.create headers in
+  let config_names = List.map (fun r -> r.config_name) (List.hd results).runs in
+  List.iter
+    (fun name ->
+      let cells =
+        List.concat_map
+          (fun { runs; _ } ->
+            let r = List.find (fun r -> r.config_name = name) runs in
+            [
+              Table.cell_usd r.cost;
+              string_of_int r.vms;
+              Table.cell_float ~decimals:1 r.bw_gb;
+            ])
+          results
+      in
+      Table.add_row table (name :: cells))
+    config_names;
+  Table.add_separator table;
+  Table.add_row table
+    ("lower bound"
+    :: List.concat_map
+         (fun { lb_cost; lb_vms; lb_bw_gb; _ } ->
+           [
+             Table.cell_usd lb_cost;
+             string_of_int lb_vms;
+             Table.cell_float ~decimals:1 lb_bw_gb;
+           ])
+         results);
+  Table.print table;
+  (* The headline comparisons, as the paper reports them. *)
+  List.iter
+    (fun { tau; runs; lb_cost; _ } ->
+      let naive = (List.hd runs).cost in
+      let best = (List.nth runs (List.length runs - 1)).cost in
+      Printf.printf
+        "tau=%-6g saving vs naive: %5.1f%%   gap over lower bound: %+.1f%%\n" tau
+        (Table.pct_change ~baseline:naive best)
+        (if lb_cost > 0. then (best -. lb_cost) /. lb_cost *. 100. else 0.))
+    results
+
+(* Stage-1 runtime figure (Figs. 4/5): GSP vs RSP seconds per tau. *)
+let print_stage1_runtime_figure ~fig ~title results =
+  section_header fig title;
+  let table =
+    Table.create
+      [
+        ("tau", Table.Right);
+        ("GreedySelectPairs s", Table.Right);
+        ("RandomSelectPairs s", Table.Right);
+      ]
+  in
+  List.iter
+    (fun { tau; runs; _ } ->
+      let find name = List.find (fun r -> r.config_name = name) runs in
+      let gsp = (find "(a) GSP+FFBP").stage1_s in
+      let rsp = (find "RSP+FFBP").stage1_s in
+      Table.add_row table
+        [
+          Printf.sprintf "%g" tau;
+          Table.cell_float ~decimals:3 gsp;
+          Table.cell_float ~decimals:3 rsp;
+        ])
+    results;
+  Table.print table
+
+(* Stage-2 runtime figure (Figs. 6/7): CBP (all optimisations) vs FFBP. *)
+let print_stage2_runtime_figure ~fig ~title results =
+  section_header fig title;
+  let table =
+    Table.create
+      [
+        ("tau", Table.Right);
+        ("CustomBinPacking s", Table.Right);
+        ("FFBinPacking s", Table.Right);
+        ("speedup", Table.Right);
+      ]
+  in
+  List.iter
+    (fun { tau; runs; _ } ->
+      let find name = List.find (fun r -> r.config_name = name) runs in
+      let cbp = (find "(e) +cost-decision").stage2_s in
+      let ffbp = (find "(a) GSP+FFBP").stage2_s in
+      Table.add_row table
+        [
+          Printf.sprintf "%g" tau;
+          Table.cell_float ~decimals:3 cbp;
+          Table.cell_float ~decimals:3 ffbp;
+          (if cbp > 0. then Printf.sprintf "%.0fx" (ffbp /. cbp) else "-");
+        ])
+    results;
+  Table.print table
+
+(* Fig. 1, the worked example of §III-B, re-run through the real code. *)
+let fig1 () =
+  section_header "fig1" "worked allocation example (Section III-B)";
+  let w =
+    Workload.create ~event_rates:[| 20.; 10. |]
+      ~interests:[| [| 0; 1 |]; [| 0; 1 |]; [| 1 |] |]
+  in
+  let p = Problem.create ~workload:w ~tau:30. ~capacity:50. Problem.unit_costs in
+  let table =
+    Table.create
+      [ ("strategy", Table.Left); ("VMs", Table.Right); ("KB/min", Table.Right) ]
+  in
+  List.iter
+    (fun (name, config) ->
+      let r = Solver.solve ~config p in
+      Table.add_row table
+        [
+          name;
+          string_of_int r.Solver.num_vms;
+          Table.cell_float ~decimals:0 r.Solver.bandwidth;
+        ])
+    Solver.ladder;
+  Table.print table;
+  print_endline
+    "(with BC = 50 KB/min the optimum is forced to 3 VMs / 120 KB/min; the\n\
+     paper's 80-vs-50 KB/min contrast relies on its pre-occupied VMs, which\n\
+     the trace-scale ladders below reproduce in aggregate)"
+
+(* Figs. 8-12: the Twitter trace analysis. Prints compact summaries and
+   saves full data series for plotting. *)
+let trace_analysis ~out_dir w =
+  let followers = Stats.follower_counts w in
+  let followings = Stats.interest_counts w in
+  let rates = Workload.event_rates w in
+
+  section_header "fig8" "CCDF of #followers and #followings (Twitter)";
+  let ccdf_followers = Stats.ccdf_int followers in
+  let ccdf_followings = Stats.ccdf_int followings in
+  let sample name ccdf =
+    let arr = Array.of_list ccdf in
+    let n = Array.length arr in
+    Printf.printf "%-12s %d distinct values; " name n;
+    List.iter
+      (fun q ->
+        let i = min (n - 1) (int_of_float (float_of_int (n - 1) *. q)) in
+        let x, p = arr.(i) in
+        Printf.printf "CCDF(%d)=%.2e  " x p)
+      [ 0.; 0.5; 0.9; 1.0 ];
+    print_newline ()
+  in
+  sample "#followers" ccdf_followers;
+  sample "#followings" ccdf_followings;
+  (match (List.assoc_opt 19 ccdf_followings, List.assoc_opt 20 ccdf_followings) with
+  | Some p19, Some p20 ->
+      Printf.printf "followings glitch at 20: CCDF drops %.3f -> %.3f across it\n" p19 p20
+  | _ -> ());
+  let float_ccdf ccdf = List.map (fun (x, p) -> (float_of_int x, p)) ccdf in
+  (match Mcss_workload.Fit.powerlaw_exponent_of_ccdf (float_ccdf ccdf_followers) with
+  | Some alpha -> Printf.printf "fitted follower-tail exponent: %.2f\n" alpha
+  | None -> ());
+  Series.save_all ~dir:out_dir
+    [
+      Series.of_int_pairs ~name:"fig8_ccdf_followers" ccdf_followers;
+      Series.of_int_pairs ~name:"fig8_ccdf_followings" ccdf_followings;
+    ];
+  Mcss_report.Plot.save ~dir:out_dir ~name:"fig8"
+    {
+      Mcss_report.Plot.title = "CCDF of #followers / #followings";
+      xlabel = "count";
+      ylabel = "CCDF";
+      xaxis = Mcss_report.Plot.Log;
+      yaxis = Mcss_report.Plot.Log;
+      style = Mcss_report.Plot.Lines;
+      series =
+        [
+          ("#followers", "fig8_ccdf_followers.dat");
+          ("#followings", "fig8_ccdf_followings.dat");
+        ];
+    };
+
+  section_header "fig9" "CCDF of event rate (tweets per 10 days)";
+  let s = Stats.summarize rates in
+  Printf.printf
+    "mean %.1f  p50 %.0f  p90 %.0f  p99 %.0f  max %.0f  (over %d active topics)\n"
+    s.Stats.mean s.Stats.p50 s.Stats.p90 s.Stats.p99 s.Stats.max s.Stats.count;
+  let below10 =
+    Array.fold_left (fun acc r -> if r < 10. then acc + 1 else acc) 0 rates
+  in
+  Printf.printf "topics below 10 events: %.0f%% (paper: ~50%%)\n"
+    (100. *. float_of_int below10 /. float_of_int (Array.length rates));
+  Series.save ~dir:out_dir
+    (Series.of_pairs ~name:"fig9_ccdf_rate" (Stats.ccdf_float rates));
+
+  section_header "fig10" "mean event rate vs #followers (celebrity anomaly)";
+  let by_followers = Stats.mean_rate_by_followers w in
+  let buckets =
+    [ (1, 10); (11, 100); (101, 1000); (1001, 10000); (10001, max_int) ]
+  in
+  List.iter
+    (fun (lo, hi) ->
+      let in_bucket = List.filter (fun (k, _) -> k >= lo && k <= hi) by_followers in
+      if in_bucket <> [] then begin
+        let mean =
+          List.fold_left (fun acc (_, m) -> acc +. m) 0. in_bucket
+          /. float_of_int (List.length in_bucket)
+        in
+        Printf.printf "followers %7d..%-7s mean rate %10.1f\n" lo
+          (if hi = max_int then "inf" else string_of_int hi)
+          mean
+      end)
+    buckets;
+  Series.save ~dir:out_dir
+    (Series.of_int_pairs ~name:"fig10_rate_by_followers" by_followers);
+
+  section_header "fig11" "CCDF of subscription cardinality";
+  let sc = Stats.subscription_cardinalities w in
+  let nonzero = Array.of_list (List.filter (fun x -> x > 0.) (Array.to_list sc)) in
+  if Array.length nonzero > 0 then begin
+    let s = Stats.summarize nonzero in
+    Printf.printf "SC%% over subscribers: mean %.4f  p50 %.4f  p99 %.4f  max %.4f\n"
+      s.Stats.mean s.Stats.p50 s.Stats.p99 s.Stats.max
+  end;
+  Series.save ~dir:out_dir (Series.of_pairs ~name:"fig11_ccdf_sc" (Stats.ccdf_float sc));
+
+  section_header "fig12" "mean subscription cardinality vs #followings";
+  let by_followings = Stats.mean_sc_by_interests w in
+  List.iter
+    (fun k ->
+      match List.assoc_opt k by_followings with
+      | Some m -> Printf.printf "followings %5d  mean SC %.5f%%\n" k m
+      | None -> ())
+    [ 1; 10; 20; 100; 2000 ];
+  Series.save ~dir:out_dir
+    (Series.of_int_pairs ~name:"fig12_sc_by_followings" by_followings);
+  List.iter
+    (fun (name, title, ylabel, dat) ->
+      Mcss_report.Plot.save ~dir:out_dir ~name
+        {
+          Mcss_report.Plot.title;
+          xlabel = "x";
+          ylabel;
+          xaxis = Mcss_report.Plot.Log;
+          yaxis = Mcss_report.Plot.Log;
+          style = Mcss_report.Plot.Points;
+          series = [ (title, dat) ];
+        })
+    [
+      ("fig9", "CCDF of event rate", "CCDF", "fig9_ccdf_rate.dat");
+      ("fig10", "mean event rate vs #followers", "mean rate", "fig10_rate_by_followers.dat");
+      ("fig11", "CCDF of subscription cardinality", "CCDF", "fig11_ccdf_sc.dat");
+      ("fig12", "mean SC vs #followings", "mean SC %", "fig12_sc_by_followings.dat");
+    ]
+
+(* §IV-F: the summary row the paper closes its evaluation with, plus an
+   end-to-end replay through the discrete-event simulator as a sanity
+   check on the winning allocation. *)
+let summary ~spotify ~twitter ~spotify_scale ~twitter_scale =
+  section_header "summary" "total savings (Section IV-F) and simulated replay";
+  let line name w scale paper_saving =
+    let model = Cost_model.ec2_2014 () in
+    let capacity_events = bc_events ~scale Instance.c3_large in
+    let best_saving = ref 0. and best_gap = ref infinity in
+    List.iter
+      (fun tau ->
+        let p = Problem.of_pricing ~capacity_events ~workload:w ~tau model in
+        let naive = Solver.solve ~config:Solver.naive p in
+        let best = Solver.solve ~config:Solver.default p in
+        let lb = Lower_bound.compute p in
+        let saving = Table.pct_change ~baseline:naive.Solver.cost best.Solver.cost in
+        let gap =
+          (best.Solver.cost -. lb.Lower_bound.cost) /. lb.Lower_bound.cost *. 100.
+        in
+        if saving > !best_saving then best_saving := saving;
+        if gap < !best_gap then best_gap := gap;
+        if tau = 100. then begin
+          let res = Simulator.run p best.Solver.allocation Simulator.default_config in
+          let ok =
+            Simulator.all_ok (Simulator.check p best.Solver.allocation res ~tolerance:0.)
+          in
+          Printf.printf
+            "%s tau=100: simulated %d events through %d VMs; measured = analytical: %b\n"
+            name res.Simulator.events_published best.Solver.num_vms ok
+        end)
+      taus;
+    Printf.printf
+      "%-8s max saving vs naive %.1f%% (paper: %s); min gap over LB %.1f%% (paper: ~15%%)\n"
+      name !best_saving paper_saving !best_gap
+  in
+  line "spotify" spotify spotify_scale "38%";
+  line "twitter" twitter twitter_scale "74%"
+
+(* Bechamel microbenchmarks of the kernels. *)
+let micro () =
+  section_header "micro" "kernel microbenchmarks (Bechamel)";
+  let open Bechamel in
+  let rng = Mcss_prng.Rng.create 99 in
+  let w =
+    Mcss_traces.Spotify.generate
+      { (Mcss_traces.Spotify.scaled 0.001) with Mcss_traces.Spotify.seed = 5 }
+  in
+  let p =
+    Problem.create ~workload:w ~tau:100. ~capacity:50_000.
+      (Problem.linear_costs ~vm_usd:36. ~per_event_usd:1e-7)
+  in
+  let selection = Selection.gsp p in
+  let zipf = Mcss_prng.Dist.Zipf.create ~n:100_000 ~s:1.0 in
+  let tests =
+    [
+      Test.make ~name:"stage1/gsp" (Staged.stage (fun () -> ignore (Selection.gsp p)));
+      Test.make ~name:"stage1/gsp-parallel"
+        (Staged.stage (fun () -> ignore (Selection.gsp_parallel p)));
+      Test.make ~name:"stage1/rsp" (Staged.stage (fun () -> ignore (Selection.rsp p)));
+      Test.make ~name:"stage2/ffbp"
+        (Staged.stage (fun () -> ignore (Mcss_core.Ffbp.run p selection)));
+      Test.make ~name:"stage2/cbp"
+        (Staged.stage (fun () ->
+             ignore (Mcss_core.Cbp.run p selection Mcss_core.Cbp.with_cost_decision)));
+      Test.make ~name:"lower-bound"
+        (Staged.stage (fun () -> ignore (Lower_bound.compute p)));
+      Test.make ~name:"zipf-sample"
+        (Staged.stage (fun () -> ignore (Mcss_prng.Dist.Zipf.sample zipf rng)));
+    ]
+  in
+  let benchmark test =
+    let instance = Toolkit.Instance.monotonic_clock in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 10) () in
+    let raw = Benchmark.all cfg [ instance ] test in
+    let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+    Analyze.all ols instance raw
+  in
+  let table = Table.create [ ("kernel", Table.Left); ("time/run", Table.Right) ] in
+  List.iter
+    (fun test ->
+      let results = benchmark test in
+      Hashtbl.iter
+        (fun name ols ->
+          let nanos =
+            match Analyze.OLS.estimates ols with Some (t :: _) -> t | _ -> nan
+          in
+          let cell =
+            if Float.is_nan nanos then "n/a"
+            else if nanos > 1e9 then Printf.sprintf "%.2f s" (nanos /. 1e9)
+            else if nanos > 1e6 then Printf.sprintf "%.2f ms" (nanos /. 1e6)
+            else if nanos > 1e3 then Printf.sprintf "%.2f us" (nanos /. 1e3)
+            else Printf.sprintf "%.0f ns" nanos
+          in
+          Table.add_row table [ name; cell ])
+        results)
+    tests;
+  Table.print table
+
+(* ----- Ablations beyond the paper (DESIGN.md section 4) ----- *)
+
+(* Stage-1 ablation: the paper's two selectors, plus the per-subscriber
+   optimal DP it mentions but rejects for speed, plus the cross-subscriber
+   global greedy extension. Packed with full CBP so the end-to-end cost
+   differences are attributable to selection alone. *)
+let ablate_stage1 ~title ~w ~scale =
+  section_header "ablate-stage1" title;
+  let model = Cost_model.ec2_2014 () in
+  let capacity_events = bc_events ~scale Instance.c3_large in
+  let p = Problem.of_pricing ~capacity_events ~workload:w ~tau:100. model in
+  let table =
+    Table.create
+      [
+        ("selector", Table.Left);
+        ("pairs", Table.Right);
+        ("selected rate", Table.Right);
+        ("cost after CBP", Table.Right);
+        ("time s", Table.Right);
+      ]
+  in
+  let pack s = Mcss_core.Cbp.run p s Mcss_core.Cbp.with_cost_decision in
+  let row name selection seconds =
+    let a = pack selection in
+    let cost =
+      Problem.cost p ~vms:(Allocation.num_vms a) ~bandwidth:(Allocation.total_load a)
+    in
+    Table.add_row table
+      [
+        name;
+        string_of_int selection.Selection.num_pairs;
+        Printf.sprintf "%.3e" selection.Selection.outgoing_rate;
+        Table.cell_usd cost;
+        Table.cell_float ~decimals:3 seconds;
+      ]
+  in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let x = f () in
+    (x, Unix.gettimeofday () -. t0)
+  in
+  let s, t = timed (fun () -> Selection.rsp p) in
+  row "RSP (naive)" s t;
+  let s, t = timed (fun () -> Selection.gsp p) in
+  row "GSP (paper)" s t;
+  let s, t = timed (fun () -> Mcss_core.Global_greedy.select p) in
+  row "global greedy (ext)" s t;
+  (match timed (fun () -> Selection.optimal_per_subscriber p) with
+  | Some s, t -> row "per-subscriber DP" s t
+  | None, _ -> Table.add_row table [ "per-subscriber DP"; "-"; "-"; "-"; "-" ]);
+  Table.print table
+
+(* Stage-2 ablation: the paper's FFBP and CBP bracketed by the textbook
+   next-fit and best-fit-decreasing, all on the same GSP selection. *)
+let ablate_stage2 ~title ~w ~scale =
+  section_header "ablate-stage2" title;
+  let model = Cost_model.ec2_2014 () in
+  let capacity_events = bc_events ~scale Instance.c3_large in
+  let p = Problem.of_pricing ~capacity_events ~workload:w ~tau:100. model in
+  let s = Selection.gsp p in
+  let table =
+    Table.create
+      [
+        ("packer", Table.Left);
+        ("VMs", Table.Right);
+        ("BW GB", Table.Right);
+        ("cost", Table.Right);
+        ("time s", Table.Right);
+      ]
+  in
+  List.iter
+    (fun (name, run) ->
+      let t0 = Unix.gettimeofday () in
+      let a = run p s in
+      let seconds = Unix.gettimeofday () -. t0 in
+      let report = Verifier.verify p s a in
+      if not (Verifier.is_valid report) then failwith (name ^ ": invalid packing");
+      Table.add_row table
+        [
+          name;
+          string_of_int (Allocation.num_vms a);
+          Table.cell_float ~decimals:2 (Cost_model.gb_of_events model (Allocation.total_load a));
+          Table.cell_usd
+            (Problem.cost p ~vms:(Allocation.num_vms a)
+               ~bandwidth:(Allocation.total_load a));
+          Table.cell_float ~decimals:3 seconds;
+        ])
+    [
+      ("next-fit", Mcss_core.Baselines.next_fit);
+      ("first-fit (paper FFBP)", Mcss_core.Ffbp.run);
+      ("best-fit decreasing", Mcss_core.Baselines.best_fit_decreasing);
+      ("CBP grouping only (b)", fun p s -> Mcss_core.Cbp.run p s Mcss_core.Cbp.grouping_only);
+      ("CBP all opts (e)", fun p s -> Mcss_core.Cbp.run p s Mcss_core.Cbp.with_cost_decision);
+    ];
+  Table.print table
+
+(* Dynamic ablation: a week of churn, incremental planner vs cold
+   re-solve — cost gap, pair churn, runtime. *)
+let ablate_dynamic ~w =
+  section_header "ablate-dynamic" "incremental reprovisioning vs cold re-solve";
+  let module Delta = Mcss_dynamic.Delta in
+  let module Churn = Mcss_dynamic.Churn in
+  let module Reprovision = Mcss_dynamic.Reprovision in
+  let rng = Mcss_prng.Rng.create 71 in
+  let problem_for w =
+    Problem.of_pricing ~capacity_events:250_000. ~workload:w ~tau:100.
+      (Cost_model.ec2_2014 ())
+  in
+  let churn w = Churn.tick rng (Churn.scaled 1.5) w in
+  let w = ref w in
+  let plan = ref (Reprovision.initial (problem_for !w)) in
+  let incr_time = ref 0. and cold_time = ref 0. in
+  let moved = ref 0 and total = ref 0 in
+  let incr_cost = ref 0. and cold_cost = ref 0. in
+  for _day = 1 to 5 do
+    w := Delta.apply !w (churn !w);
+    let p = problem_for !w in
+    let t0 = Unix.gettimeofday () in
+    let plan', stats = Reprovision.reprovision ~previous:!plan p in
+    incr_time := !incr_time +. (Unix.gettimeofday () -. t0);
+    plan := plan';
+    let t0 = Unix.gettimeofday () in
+    let cold = Solver.solve p in
+    cold_time := !cold_time +. (Unix.gettimeofday () -. t0);
+    moved := !moved + stats.Reprovision.pairs_added + stats.Reprovision.pairs_evicted;
+    total := !total + stats.Reprovision.pairs_kept + stats.Reprovision.pairs_added;
+    incr_cost := !incr_cost +. Reprovision.cost plan';
+    cold_cost := !cold_cost +. cold.Solver.cost
+  done;
+  Printf.printf
+    "5 churn ticks: incremental moved %.2f%% of pairs per tick (a cold\n\
+     re-solve migrates nearly all of them); cost ratio incremental/cold = %.3f;\n\
+     runtime incremental %.3fs vs cold %.3fs\n"
+    (100. *. float_of_int !moved /. float_of_int (max 1 !total))
+    (!incr_cost /. !cold_cost) !incr_time !cold_time;
+  (* Shrink phase: demand drops (tau 100 -> 30, e.g. the product lowers
+     its notification budget). The incremental planner removes the now
+     unneeded pairs in place, leaving a fragmented half-empty fleet; the
+     bounded-migration consolidation pass then reclaims whole VMs. *)
+  let p_small =
+    Problem.of_pricing ~capacity_events:250_000. ~workload:!w ~tau:30.
+      (Cost_model.ec2_2014 ())
+  in
+  let shrunk, sstats = Reprovision.reprovision ~previous:!plan p_small in
+  let before = Allocation.num_vms shrunk.Reprovision.allocation in
+  let plan', cstats = Reprovision.consolidate shrunk in
+  Printf.printf
+    "demand drop (tau 100 -> 30) strands capacity: %d pairs dropped in place;\n\
+     consolidation reclaims %d -> %d VMs by moving %d pairs\n"
+    sstats.Reprovision.pairs_removed before
+    (Allocation.num_vms plan'.Reprovision.allocation)
+    cstats.Reprovision.pairs_evicted
+
+(* Failure ablation: kill a growing share of the fleet mid-horizon and
+   measure the satisfaction damage. *)
+let ablate_failures ~w ~scale =
+  section_header "ablate-failures" "VM outages vs subscriber satisfaction";
+  let model = Cost_model.ec2_2014 () in
+  let capacity_events = bc_events ~scale Instance.c3_large in
+  let p = Problem.of_pricing ~capacity_events ~workload:w ~tau:100. model in
+  let r = Solver.solve p in
+  let num_vms = r.Solver.num_vms in
+  let subscribers = Workload.num_subscribers w in
+  let table =
+    Table.create
+      [
+        ("VMs down", Table.Right);
+        ("events lost", Table.Right);
+        ("unsatisfied subs", Table.Right);
+        ("unsatisfied %", Table.Right);
+      ]
+  in
+  List.iter
+    (fun fraction ->
+      let down = int_of_float (Float.round (fraction *. float_of_int num_vms)) in
+      let outages =
+        List.init down (fun i ->
+            { Simulator.vm = i; from_time = 0.5; until_time = infinity })
+      in
+      let config = { Simulator.default_config with Simulator.outages } in
+      let res = Simulator.run p r.Solver.allocation config in
+      let c = Simulator.check p r.Solver.allocation res ~tolerance:0. in
+      let unsat = List.length c.Simulator.unsatisfied in
+      Table.add_row table
+        [
+          Printf.sprintf "%d/%d" down num_vms;
+          string_of_int (Array.fold_left ( + ) 0 res.Simulator.lost);
+          string_of_int unsat;
+          Table.cell_pct (100. *. float_of_int unsat /. float_of_int subscribers);
+        ])
+    [ 0.0; 0.05; 0.1; 0.25; 0.5 ];
+  Table.print table
+
+(* Scaling ablation: the paper's §IV-E claim is that the solution "scales
+   well for millions of subscribers and runs fast". Sweep the trace scale
+   and watch the runtime growth of each stage — GSP+CBP should grow
+   near-linearly in the pair count while FFBP grows superlinearly. *)
+let ablate_scaling () =
+  section_header "ablate-scaling" "runtime vs trace size (Spotify-like, tau=100)";
+  let model = Cost_model.ec2_2014 () in
+  let table =
+    Table.create
+      [
+        ("scale", Table.Right);
+        ("pairs", Table.Right);
+        ("VMs", Table.Right);
+        ("GSP s", Table.Right);
+        ("CBP s", Table.Right);
+        ("FFBP s", Table.Right);
+      ]
+  in
+  List.iter
+    (fun scale ->
+      let w =
+        Mcss_traces.Spotify.generate
+          { (Mcss_traces.Spotify.scaled scale) with Mcss_traces.Spotify.seed = 13 }
+      in
+      let capacity_events = bc_events ~scale Instance.c3_large in
+      let p = Problem.of_pricing ~capacity_events ~workload:w ~tau:100. model in
+      let best = Solver.solve ~config:Solver.default p in
+      let ffbp =
+        Solver.solve ~config:{ Solver.stage1 = Solver.Gsp; stage2 = Solver.Ffbp } p
+      in
+      Table.add_row table
+        [
+          Printf.sprintf "%g" scale;
+          string_of_int (Workload.num_pairs w);
+          string_of_int best.Solver.num_vms;
+          Table.cell_float ~decimals:3 best.Solver.stage1_seconds;
+          Table.cell_float ~decimals:3 best.Solver.stage2_seconds;
+          Table.cell_float ~decimals:3 ffbp.Solver.stage2_seconds;
+        ])
+    [ 0.005; 0.01; 0.02; 0.04 ];
+  Table.print table;
+  print_endline
+    "(BC co-scales with the trace, so the VM count stays put while GSP and\n\
+     CBP runtimes grow ~linearly in the pair count; FFBP grows\n\
+     superlinearly — the paper's complexity argument, measured)"
+(* Skew ablation: the paper\'s savings are harvested from heavy tails —
+   GSP exploits rate dispersion, CBP exploits popularity skew. Flattening
+   either distribution in the generator should shrink the savings; this
+   section measures by how much. *)
+let ablate_skew ~scale =
+  section_header "ablate-skew"
+    "where the savings come from: popularity / rate skew sweep (Spotify-like, tau=100)";
+  let model = Cost_model.ec2_2014 () in
+  let capacity_events = bc_events ~scale Instance.c3_large in
+  let table =
+    Table.create
+      [
+        ("workload shape", Table.Left);
+        ("naive cost", Table.Right);
+        ("full ladder", Table.Right);
+        ("saving", Table.Right);
+      ]
+  in
+  List.iter
+    (fun (label, popularity_exponent, rate_sigma) ->
+      let params =
+        {
+          (Mcss_traces.Spotify.scaled scale) with
+          Mcss_traces.Spotify.seed = 77;
+          popularity_exponent;
+          rate_sigma;
+        }
+      in
+      let w = Mcss_traces.Spotify.generate params in
+      let p = Problem.of_pricing ~capacity_events ~workload:w ~tau:100. model in
+      let naive = Solver.solve ~config:Solver.naive p in
+      let best = Solver.solve ~config:Solver.default p in
+      Table.add_row table
+        [
+          label;
+          Table.cell_usd naive.Solver.cost;
+          Table.cell_usd best.Solver.cost;
+          Table.cell_pct (Table.pct_change ~baseline:naive.Solver.cost best.Solver.cost);
+        ])
+    [
+      ("heavy tails (paper-like)", 0.85, 1.0);
+      ("flat popularity", 0.0, 1.0);
+      ("flat rates", 0.85, 0.1);
+      ("flat everything", 0.0, 0.1);
+    ];
+  Table.print table;
+  print_endline
+    "(uniform rates leave GSP nothing to choose between; the savings that\n\
+     remain come from the packing side)"
+
+(* Budget ablation: the dual question of the paper's reference [9] — how
+   does subscriber satisfaction grow with a fixed fleet size? *)
+let ablate_budget ~w ~scale =
+  section_header "ablate-budget" "satisfied subscribers vs fixed VM budget";
+  let model = Cost_model.ec2_2014 () in
+  let capacity_events = bc_events ~scale Instance.c3_large in
+  let p = Problem.of_pricing ~capacity_events ~workload:w ~tau:100. model in
+  let full = Solver.solve p in
+  let budgets =
+    List.sort_uniq compare
+      (List.map
+         (fun f -> int_of_float (Float.round (f *. float_of_int full.Solver.num_vms)))
+         [ 0.1; 0.25; 0.5; 0.75; 1.0 ])
+  in
+  let subscribers = Workload.num_subscribers w in
+  let table =
+    Table.create
+      [ ("VM budget", Table.Right); ("satisfied", Table.Right); ("%", Table.Right) ]
+  in
+  List.iter
+    (fun (budget, satisfied) ->
+      Table.add_row table
+        [
+          string_of_int budget;
+          string_of_int satisfied;
+          Table.cell_pct (100. *. float_of_int satisfied /. float_of_int subscribers);
+        ])
+    (Mcss_core.Budget.satisfaction_curve p ~budgets);
+  Table.print table;
+  Printf.printf "(MCSS needs %d VMs to satisfy all %d subscribers)\n" full.Solver.num_vms
+    subscribers
+
+(* Broker-fleet latency: run the message-level engine over the MCSS
+   allocation at increasing load and watch queueing delay — an observable
+   the counting model cannot produce. *)
+let latency ~w ~scale =
+  section_header "latency" "delivery latency through the broker fleet (message-level)";
+  let module Fleet = Mcss_broker.Fleet in
+  let model = Cost_model.ec2_2014 () in
+  let table =
+    Table.create
+      [
+        ("headroom", Table.Right);
+        ("max util", Table.Right);
+        ("p50 latency", Table.Right);
+        ("p99 latency", Table.Right);
+      ]
+  in
+  (* The allocation is computed once at nominal capacity — CBP fills the
+     busiest VMs to ~100% of BC, since that minimises cost. The fleet is
+     then run with progressively faster wires (headroom an operator would
+     add on top of the optimiser's plan) to expose the latency/cost
+     trade-off. *)
+  let nominal = bc_events ~scale Instance.c3_large in
+  let p = Problem.of_pricing ~capacity_events:nominal ~workload:w ~tau:100. model in
+  let r = Solver.solve p in
+  List.iter
+    (fun headroom ->
+      let p' =
+        Problem.of_pricing
+          ~capacity_events:(nominal *. headroom)
+          ~workload:w ~tau:100. model
+      in
+      let fleet = Fleet.build p' r.Solver.allocation ~message_bytes:200 in
+      let report = Fleet.run fleet Fleet.default_config in
+      match report.Fleet.latency with
+      | None -> ()
+      | Some l ->
+          (* Horizon units -> seconds at the model's 240 h horizon. *)
+          let seconds x = x *. model.Cost_model.horizon_hours *. 3600. in
+          Table.add_row table
+            [
+              Printf.sprintf "%.2fx" headroom;
+              Table.cell_pct (100. *. report.Fleet.max_utilization);
+              Printf.sprintf "%.2f s" (seconds l.Fleet.p50);
+              Printf.sprintf "%.2f s" (seconds l.Fleet.p99);
+            ])
+    [ 1.0; 1.25; 1.5; 2.0; 4.0 ];
+  Table.print table;
+  print_endline
+    "(MCSS packs the busiest VM to ~100% of BC because that minimises cost;\n\
+     queueing theory then predicts the nonlinear latency relief that each\n\
+     increment of bandwidth headroom buys)"
+
+let all_sections =
+  [
+    "fig1"; "fig2a"; "fig2b"; "fig3a"; "fig3b"; "fig4"; "fig5"; "fig6"; "fig7";
+    "fig8-12"; "summary"; "ablate-stage1"; "ablate-stage2"; "ablate-dynamic";
+    "ablate-failures"; "ablate-scaling"; "ablate-skew"; "ablate-budget"; "latency"; "micro";
+  ]
+
+let run_bench sections spotify_scale twitter_scale out_dir =
+  let enabled s = sections = [] || List.mem s sections in
+  Printf.printf "MCSS experiment harness — Spotify scale %g, Twitter scale %g\n"
+    spotify_scale twitter_scale;
+  let spotify =
+    lazy
+      (Mcss_traces.Spotify.generate
+         {
+           (Mcss_traces.Spotify.scaled spotify_scale) with
+           Mcss_traces.Spotify.seed = 20130109;
+         })
+  in
+  let twitter =
+    lazy
+      (Mcss_traces.Twitter.generate
+         {
+           (Mcss_traces.Twitter.scaled twitter_scale) with
+           Mcss_traces.Twitter.seed = 20131030;
+         })
+  in
+  let matrices = Hashtbl.create 4 in
+  let matrix_for trace_name w scale instance =
+    let key = (trace_name, instance.Instance.name) in
+    match Hashtbl.find_opt matrices key with
+    | Some m -> m
+    | None ->
+        let m = solve_matrix ~w:(Lazy.force w) ~scale ~instance in
+        Hashtbl.add matrices key m;
+        m
+  in
+  if enabled "fig1" then fig1 ();
+  if enabled "fig2a" then
+    print_cost_figure ~fig:"fig2a" ~title:"Spotify, BC=64 mbps (c3.large)"
+      (matrix_for "spotify" spotify spotify_scale Instance.c3_large);
+  if enabled "fig2b" then
+    print_cost_figure ~fig:"fig2b" ~title:"Spotify, BC=128 mbps (c3.xlarge)"
+      (matrix_for "spotify" spotify spotify_scale Instance.c3_xlarge);
+  if enabled "fig3a" then
+    print_cost_figure ~fig:"fig3a" ~title:"Twitter, BC=64 mbps (c3.large)"
+      (matrix_for "twitter" twitter twitter_scale Instance.c3_large);
+  if enabled "fig3b" then
+    print_cost_figure ~fig:"fig3b" ~title:"Twitter, BC=128 mbps (c3.xlarge)"
+      (matrix_for "twitter" twitter twitter_scale Instance.c3_xlarge);
+  if enabled "fig4" then
+    print_stage1_runtime_figure ~fig:"fig4" ~title:"Stage-1 runtime, Spotify"
+      (matrix_for "spotify" spotify spotify_scale Instance.c3_large);
+  if enabled "fig5" then
+    print_stage1_runtime_figure ~fig:"fig5" ~title:"Stage-1 runtime, Twitter"
+      (matrix_for "twitter" twitter twitter_scale Instance.c3_large);
+  if enabled "fig6" then
+    print_stage2_runtime_figure ~fig:"fig6" ~title:"Stage-2 runtime, Spotify (c3.large)"
+      (matrix_for "spotify" spotify spotify_scale Instance.c3_large);
+  if enabled "fig7" then
+    print_stage2_runtime_figure ~fig:"fig7" ~title:"Stage-2 runtime, Twitter (c3.large)"
+      (matrix_for "twitter" twitter twitter_scale Instance.c3_large);
+  if enabled "fig8-12" then trace_analysis ~out_dir (Lazy.force twitter);
+  if enabled "summary" then
+    summary ~spotify:(Lazy.force spotify) ~twitter:(Lazy.force twitter) ~spotify_scale
+      ~twitter_scale;
+  if enabled "ablate-stage1" then begin
+    ablate_stage1 ~title:"Stage-1 selector ablation (Spotify, tau=100)"
+      ~w:(Lazy.force spotify) ~scale:spotify_scale;
+    ablate_stage1 ~title:"Stage-1 selector ablation (Twitter, tau=100)"
+      ~w:(Lazy.force twitter) ~scale:twitter_scale
+  end;
+  if enabled "ablate-stage2" then begin
+    ablate_stage2 ~title:"Stage-2 packer ablation (Spotify, tau=100)"
+      ~w:(Lazy.force spotify) ~scale:spotify_scale;
+    ablate_stage2 ~title:"Stage-2 packer ablation (Twitter, tau=100)"
+      ~w:(Lazy.force twitter) ~scale:twitter_scale
+  end;
+  if enabled "ablate-dynamic" then
+    ablate_dynamic ~w:(Lazy.force spotify);
+  if enabled "ablate-failures" then ablate_failures ~w:(Lazy.force twitter) ~scale:twitter_scale;
+  if enabled "ablate-scaling" then ablate_scaling ();
+  if enabled "ablate-skew" then ablate_skew ~scale:spotify_scale;
+  if enabled "ablate-budget" then ablate_budget ~w:(Lazy.force spotify) ~scale:spotify_scale;
+  if enabled "latency" then latency ~w:(Lazy.force spotify) ~scale:spotify_scale;
+  if enabled "micro" then micro ();
+  Printf.printf "\ndone. figure data series in %s/\n" out_dir
+
+open Cmdliner
+
+let sections_arg =
+  let doc =
+    Printf.sprintf "Sections to run (repeatable). Available: %s. Default: all."
+      (String.concat ", " all_sections)
+  in
+  Arg.(value & opt_all string [] & info [ "s"; "section" ] ~docv:"SECTION" ~doc)
+
+let spotify_scale_arg =
+  let doc = "Spotify trace scale relative to the published 1.1M-topic trace." in
+  Arg.(value & opt float 0.02 & info [ "spotify-scale" ] ~docv:"F" ~doc)
+
+let twitter_scale_arg =
+  let doc = "Twitter trace scale relative to the published 8M-topic trace." in
+  Arg.(value & opt float 0.002 & info [ "twitter-scale" ] ~docv:"F" ~doc)
+
+let out_dir_arg =
+  let doc = "Directory for the figure data series (.dat files)." in
+  Arg.(value & opt string "bench_out" & info [ "o"; "out-dir" ] ~docv:"DIR" ~doc)
+
+let cmd =
+  let doc = "Regenerate the paper's tables and figures" in
+  Cmd.v
+    (Cmd.info "mcss-bench" ~doc)
+    Term.(
+      const run_bench $ sections_arg $ spotify_scale_arg $ twitter_scale_arg
+      $ out_dir_arg)
+
+let () = exit (Cmd.eval cmd)

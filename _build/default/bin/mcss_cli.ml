@@ -1,0 +1,556 @@
+(* The mcss command-line tool: generate traces, solve MCSS instances,
+   compute lower bounds, analyse traces, and replay allocations through
+   the simulator.
+
+     mcss generate --trace twitter --scale 0.002 -o twitter.wl
+     mcss solve -w twitter.wl --tau 100 --ladder
+     mcss lower-bound -w twitter.wl --tau 100
+     mcss analyze -w twitter.wl -o analysis/
+     mcss simulate -w twitter.wl --tau 100 --poisson 7 *)
+
+module Workload = Mcss_workload.Workload
+module Stats = Mcss_workload.Stats
+module Wio = Mcss_workload.Wio
+module Instance = Mcss_pricing.Instance
+module Cost_model = Mcss_pricing.Cost_model
+module Problem = Mcss_core.Problem
+module Solver = Mcss_core.Solver
+module Allocation = Mcss_core.Allocation
+module Verifier = Mcss_core.Verifier
+module Lower_bound = Mcss_core.Lower_bound
+module Simulator = Mcss_sim.Simulator
+module Table = Mcss_report.Table
+module Series = Mcss_report.Series
+
+open Cmdliner
+
+let setup_logs style_renderer level =
+  Fmt_tty.setup_std_outputs ?style_renderer ();
+  Logs.set_level level;
+  Logs.set_reporter (Logs_fmt.reporter ())
+
+let setup_logs_term =
+  Term.(const setup_logs $ Fmt_cli.style_renderer () $ Logs_cli.level ())
+
+(* ----- shared arguments ----- *)
+
+let workload_file =
+  let doc = "Workload file (mcss-workload format, see Wio)." in
+  Arg.(value & opt (some string) None & info [ "w"; "workload" ] ~docv:"FILE" ~doc)
+
+let trace_arg =
+  let doc = "Synthetic trace family: $(b,spotify) or $(b,twitter)." in
+  Arg.(value & opt (some (enum [ ("spotify", `Spotify); ("twitter", `Twitter) ])) None
+       & info [ "trace" ] ~docv:"NAME" ~doc)
+
+let scale_arg =
+  let doc = "Trace scale relative to the published full-size trace." in
+  Arg.(value & opt float 0.002 & info [ "scale" ] ~docv:"F" ~doc)
+
+let seed_arg =
+  let doc = "Generator seed." in
+  Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N" ~doc)
+
+let tau_arg =
+  let doc = "Satisfaction threshold: events per horizon per subscriber." in
+  Arg.(value & opt float 100. & info [ "tau" ] ~docv:"F" ~doc)
+
+let instance_arg =
+  let doc =
+    Printf.sprintf "EC2 instance type (%s)."
+      (String.concat ", " (List.map (fun i -> i.Instance.name) Instance.catalogue))
+  in
+  Arg.(value & opt string "c3.large" & info [ "instance" ] ~docv:"NAME" ~doc)
+
+let bc_events_arg =
+  let doc =
+    "Per-VM capacity in events per horizon. Default: the utilisation-consistent \
+     5e7 x scale x (mbps/64) used by the benchmarks."
+  in
+  Arg.(value & opt (some float) None & info [ "bc-events" ] ~docv:"F" ~doc)
+
+let generate_workload trace scale seed =
+  match trace with
+  | `Spotify ->
+      let p = Mcss_traces.Spotify.scaled scale in
+      let p =
+        match seed with Some s -> { p with Mcss_traces.Spotify.seed = s } | None -> p
+      in
+      Mcss_traces.Spotify.generate p
+  | `Twitter ->
+      let p = Mcss_traces.Twitter.scaled scale in
+      let p =
+        match seed with Some s -> { p with Mcss_traces.Twitter.seed = s } | None -> p
+      in
+      Mcss_traces.Twitter.generate p
+
+let load_workload file trace scale seed =
+  match (file, trace) with
+  | Some path, _ ->
+      Logs.info (fun m -> m "loading workload from %s" path);
+      Ok (Wio.load path)
+  | None, Some trace ->
+      Logs.info (fun m -> m "generating synthetic trace at scale %g" scale);
+      Ok (generate_workload trace scale seed)
+  | None, None -> Error "pass either --workload FILE or --trace NAME"
+
+let resolve_instance name =
+  match Instance.find name with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "unknown instance type %S" name)
+
+let problem_of ~w ~tau ~instance ~scale ~bc_events =
+  let model = Cost_model.ec2_2014 ~instance () in
+  let capacity_events =
+    match bc_events with
+    | Some c -> c
+    | None -> 5e7 *. scale *. (instance.Instance.bandwidth_mbps /. 64.)
+  in
+  (model, Problem.of_pricing ~capacity_events ~workload:w ~tau model)
+
+(* ----- generate ----- *)
+
+let generate_cmd =
+  let out =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Output workload file.")
+  in
+  let run () trace scale seed out =
+    match trace with
+    | None -> `Error (false, "--trace is required")
+    | Some trace ->
+        let w = generate_workload trace scale seed in
+        Wio.save w out;
+        Format.printf "wrote %s: %a@." out Workload.pp_summary w;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic Spotify- or Twitter-like trace")
+    Term.(ret (const run $ setup_logs_term $ trace_arg $ scale_arg $ seed_arg $ out))
+
+(* ----- solve ----- *)
+
+let solve_cmd =
+  let config_arg =
+    let doc =
+      "Solver configuration by ladder name (default: the full \
+       \"(e) +cost-decision\")."
+    in
+    Arg.(value & opt string "(e) +cost-decision" & info [ "config" ] ~docv:"NAME" ~doc)
+  in
+  let ladder_arg =
+    Arg.(value & flag & info [ "ladder" ] ~doc:"Run the whole optimisation ladder.")
+  in
+  let no_verify_arg =
+    Arg.(value & flag & info [ "no-verify" ] ~doc:"Skip the solution verifier.")
+  in
+  let save_plan_arg =
+    Arg.(value & opt (some string) None & info [ "save-plan" ] ~docv:"FILE"
+           ~doc:"Write the last configuration's plan to this file.")
+  in
+  let detail_arg =
+    Arg.(value & flag & info [ "detail" ]
+           ~doc:"Print fleet diagnostics (utilisation spread, topic fragmentation).")
+  in
+  let run () file trace scale seed tau instance_name bc_events config_name ladder
+      no_verify save_plan detail =
+    let ( let* ) r f = match r with Ok x -> f x | Error e -> `Error (false, e) in
+    let* w = load_workload file trace scale seed in
+    let* instance = resolve_instance instance_name in
+    let model, p = problem_of ~w ~tau ~instance ~scale ~bc_events in
+    Format.printf "%a@." Workload.pp_summary w;
+    Format.printf "model: %a; BC = %g events/horizon@." Cost_model.pp model
+      p.Problem.capacity;
+    (match Problem.infeasible_subscribers p with
+    | [] -> ()
+    | bad ->
+        Logs.warn (fun m ->
+            m "%d subscriber(s) cannot be satisfied under this capacity" (List.length bad)));
+    let configs =
+      if ladder then Solver.ladder
+      else
+        match Solver.config_of_name config_name with
+        | Some c -> [ (config_name, c) ]
+        | None -> [ (config_name, Solver.default) ]
+    in
+    let table =
+      Table.create
+        [
+          ("configuration", Table.Left);
+          ("VMs", Table.Right);
+          ("BW GB", Table.Right);
+          ("cost", Table.Right);
+          ("stage1 s", Table.Right);
+          ("stage2 s", Table.Right);
+          ("valid", Table.Left);
+        ]
+    in
+    List.iter
+      (fun (name, config) ->
+        let r = Solver.solve ~config p in
+        let valid =
+          if no_verify then "-"
+          else if
+            Verifier.is_valid (Verifier.verify p r.Solver.selection r.Solver.allocation)
+          then "yes"
+          else "NO"
+        in
+        Table.add_row table
+          [
+            name;
+            string_of_int r.Solver.num_vms;
+            Table.cell_float ~decimals:2 (Cost_model.gb_of_events model r.Solver.bandwidth);
+            Table.cell_usd r.Solver.cost;
+            Table.cell_float ~decimals:3 r.Solver.stage1_seconds;
+            Table.cell_float ~decimals:3 r.Solver.stage2_seconds;
+            valid;
+          ])
+      configs;
+    Table.print table;
+    let lb = Lower_bound.compute p in
+    Printf.printf "lower bound: %d VMs, %.2f GB, %s\n" lb.Lower_bound.vms
+      (Cost_model.gb_of_events model lb.Lower_bound.bandwidth)
+      (Table.cell_usd lb.Lower_bound.cost);
+    (match save_plan with
+    | None -> ()
+    | Some path ->
+        let _, config = List.nth configs (List.length configs - 1) in
+        let r = Solver.solve ~config p in
+        Mcss_core.Plan_io.save r.Solver.allocation path;
+        Printf.printf "plan written to %s\n" path);
+    if detail then begin
+      let _, config = List.nth configs (List.length configs - 1) in
+      let r = Solver.solve ~config p in
+      Format.printf "@[<hov>%a@]@."
+        Mcss_core.Solution_stats.pp
+        (Mcss_core.Solution_stats.compute p r.Solver.allocation);
+      let rs =
+        Mcss_core.Right_size.solve r.Solver.allocation ~baseline:model.Cost_model.instance
+          ~catalogue:Instance.catalogue ~horizon_hours:model.Cost_model.horizon_hours
+          ~term:model.Cost_model.term
+      in
+      Format.printf "right-sizing %a@." Mcss_core.Right_size.pp rs
+    end;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Solve an MCSS instance")
+    Term.(
+      ret
+        (const run $ setup_logs_term $ workload_file $ trace_arg $ scale_arg $ seed_arg
+        $ tau_arg $ instance_arg $ bc_events_arg $ config_arg $ ladder_arg
+        $ no_verify_arg $ save_plan_arg $ detail_arg))
+
+(* ----- lower-bound ----- *)
+
+let lower_bound_cmd =
+  let run () file trace scale seed tau instance_name bc_events =
+    let ( let* ) r f = match r with Ok x -> f x | Error e -> `Error (false, e) in
+    let* w = load_workload file trace scale seed in
+    let* instance = resolve_instance instance_name in
+    let model, p = problem_of ~w ~tau ~instance ~scale ~bc_events in
+    let lb = Lower_bound.compute p in
+    Printf.printf "bandwidth >= %.2f GB\nVMs >= %d\ncost >= %s\n"
+      (Cost_model.gb_of_events model lb.Lower_bound.bandwidth)
+      lb.Lower_bound.vms
+      (Table.cell_usd lb.Lower_bound.cost);
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "lower-bound" ~doc:"Theorem A.1 cost lower bound for an instance")
+    Term.(
+      ret
+        (const run $ setup_logs_term $ workload_file $ trace_arg $ scale_arg $ seed_arg
+        $ tau_arg $ instance_arg $ bc_events_arg))
+
+(* ----- analyze ----- *)
+
+let analyze_cmd =
+  let out_dir =
+    Arg.(value & opt (some string) None & info [ "o"; "out-dir" ] ~docv:"DIR"
+           ~doc:"Also dump CCDF/series data files there.")
+  in
+  let run () file trace scale seed out_dir =
+    let ( let* ) r f = match r with Ok x -> f x | Error e -> `Error (false, e) in
+    let* w = load_workload file trace scale seed in
+    Format.printf "%a@." Workload.pp_summary w;
+    let rates = Stats.summarize (Workload.event_rates w) in
+    Printf.printf "event rate:  mean %.1f  p50 %.0f  p90 %.0f  p99 %.0f  max %.0f\n"
+      rates.Stats.mean rates.Stats.p50 rates.Stats.p90 rates.Stats.p99 rates.Stats.max;
+    let followers = Array.map float_of_int (Stats.follower_counts w) in
+    let f = Stats.summarize followers in
+    Printf.printf "#followers:  mean %.1f  p50 %.0f  p90 %.0f  p99 %.0f  max %.0f\n"
+      f.Stats.mean f.Stats.p50 f.Stats.p90 f.Stats.p99 f.Stats.max;
+    let interests = Array.map float_of_int (Stats.interest_counts w) in
+    let i = Stats.summarize interests in
+    Printf.printf "#followings: mean %.1f  p50 %.0f  p90 %.0f  p99 %.0f  max %.0f\n"
+      i.Stats.mean i.Stats.p50 i.Stats.p90 i.Stats.p99 i.Stats.max;
+    let sc = Stats.summarize (Stats.subscription_cardinalities w) in
+    Printf.printf "SC%%:         mean %.4f  p50 %.4f  p99 %.4f  max %.4f\n" sc.Stats.mean
+      sc.Stats.p50 sc.Stats.p99 sc.Stats.max;
+    let rate_hist = Mcss_workload.Histogram.log_bins (Workload.event_rates w) in
+    Printf.printf "rate distribution (log bins): %s\n"
+      (Mcss_workload.Histogram.sparkline rate_hist);
+    (match out_dir with
+    | None -> ()
+    | Some dir ->
+        Series.save_all ~dir
+          [
+            Series.of_int_pairs ~name:"ccdf_followers"
+              (Stats.ccdf_int (Stats.follower_counts w));
+            Series.of_int_pairs ~name:"ccdf_followings"
+              (Stats.ccdf_int (Stats.interest_counts w));
+            Series.of_pairs ~name:"ccdf_rate" (Stats.ccdf_float (Workload.event_rates w));
+            Series.of_int_pairs ~name:"rate_by_followers" (Stats.mean_rate_by_followers w);
+            Series.of_int_pairs ~name:"sc_by_followings" (Stats.mean_sc_by_interests w);
+          ];
+        Printf.printf "series written to %s/\n" dir);
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Trace statistics (the paper's Appendix-D analysis)")
+    Term.(
+      ret (const run $ setup_logs_term $ workload_file $ trace_arg $ scale_arg $ seed_arg
+          $ out_dir))
+
+(* ----- simulate ----- *)
+
+let simulate_cmd =
+  let poisson_arg =
+    Arg.(value & opt (some int) None & info [ "poisson" ] ~docv:"SEED"
+           ~doc:"Use Poisson arrivals with this seed (default: deterministic).")
+  in
+  let duration_arg =
+    Arg.(value & opt float 1.0 & info [ "duration" ] ~docv:"F"
+           ~doc:"Window length in horizons.")
+  in
+  let plan_arg =
+    Arg.(value & opt (some string) None & info [ "plan" ] ~docv:"FILE"
+           ~doc:"Replay a saved plan instead of solving.")
+  in
+  let run () file trace scale seed tau instance_name bc_events poisson duration plan =
+    let ( let* ) r f = match r with Ok x -> f x | Error e -> `Error (false, e) in
+    let* w = load_workload file trace scale seed in
+    let* instance = resolve_instance instance_name in
+    let _model, p = problem_of ~w ~tau ~instance ~scale ~bc_events in
+    let allocation =
+      match plan with
+      | Some path ->
+          let a, s = Mcss_core.Plan_io.load ~workload:w path in
+          let report = Verifier.verify p s a in
+          Printf.printf "loaded plan: %d VMs (verifier: %s)\n"
+            (Allocation.num_vms a)
+            (if Verifier.is_valid report then "clean" else "VIOLATIONS");
+          a
+      | None ->
+          let r = Solver.solve p in
+          Format.printf "solved: %a@." Solver.pp_result r;
+          r.Solver.allocation
+    in
+    let config =
+      {
+        Simulator.duration;
+        buckets = 20;
+        arrivals =
+          (match poisson with
+          | Some s -> Simulator.Poisson s
+          | None -> Simulator.Deterministic);
+        outages = [];
+      }
+    in
+    let res = Simulator.run p allocation config in
+    Printf.printf "published %d events over %.2f horizon(s)\n" res.Simulator.events_published
+      duration;
+    let tolerance = match poisson with Some _ -> 0.5 | None -> 0. in
+    let c = Simulator.check p allocation res ~tolerance in
+    Printf.printf "subscribers under-delivered: %d\n" (List.length c.Simulator.unsatisfied);
+    Printf.printf "VMs deviating from plan:     %d\n"
+      (List.length c.Simulator.traffic_mismatch);
+    let worst = ref 0. in
+    Array.iter
+      (fun vm ->
+        let u =
+          Simulator.peak_bucket_rate res ~vm:(Allocation.vm_id vm) /. p.Problem.capacity
+        in
+        if u > !worst then worst := u)
+      (Allocation.vms allocation);
+    Printf.printf "worst instantaneous VM utilisation: %.0f%%\n" (100. *. !worst);
+    if Simulator.all_ok c then `Ok ()
+    else `Error (false, "simulation check failed")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Solve, then replay the plan through the simulator")
+    Term.(
+      ret
+        (const run $ setup_logs_term $ workload_file $ trace_arg $ scale_arg $ seed_arg
+        $ tau_arg $ instance_arg $ bc_events_arg $ poisson_arg $ duration_arg
+        $ plan_arg))
+
+(* ----- budget ----- *)
+
+let budget_cmd =
+  let budgets_arg =
+    Arg.(value & opt_all int [] & info [ "b"; "budget" ] ~docv:"N"
+           ~doc:"Fixed VM budget (repeatable). Default: a sweep up to the MCSS fleet size.")
+  in
+  let run () file trace scale seed tau instance_name bc_events budgets =
+    let ( let* ) r f = match r with Ok x -> f x | Error e -> `Error (false, e) in
+    let* w = load_workload file trace scale seed in
+    let* instance = resolve_instance instance_name in
+    let _model, p = problem_of ~w ~tau ~instance ~scale ~bc_events in
+    let full = Solver.solve p in
+    let budgets =
+      if budgets <> [] then List.sort_uniq compare budgets
+      else
+        List.sort_uniq compare
+          (List.map
+             (fun f -> int_of_float (Float.round (f *. float_of_int full.Solver.num_vms)))
+             [ 0.1; 0.25; 0.5; 0.75; 1.0 ])
+    in
+    let subscribers = Workload.num_subscribers w in
+    let table =
+      Table.create
+        [ ("VM budget", Table.Right); ("satisfied", Table.Right); ("%", Table.Right) ]
+    in
+    List.iter
+      (fun (budget, satisfied) ->
+        Table.add_row table
+          [
+            string_of_int budget;
+            string_of_int satisfied;
+            Table.cell_pct (100. *. float_of_int satisfied /. float_of_int subscribers);
+          ])
+      (Mcss_core.Budget.satisfaction_curve p ~budgets);
+    Table.print table;
+    Printf.printf "(MCSS satisfies all %d subscribers with %d VMs)\n" subscribers
+      full.Solver.num_vms;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "budget"
+       ~doc:"Maximize satisfied subscribers under a fixed VM budget (the dual problem)")
+    Term.(
+      ret
+        (const run $ setup_logs_term $ workload_file $ trace_arg $ scale_arg $ seed_arg
+        $ tau_arg $ instance_arg $ bc_events_arg $ budgets_arg))
+
+(* ----- convert ----- *)
+
+let convert_cmd =
+  let edges_arg =
+    Arg.(required & opt (some string) None & info [ "edges" ] ~docv:"FILE"
+           ~doc:"Edge list: one 'follower followee' pair of user ids per line.")
+  in
+  let rates_arg =
+    Arg.(required & opt (some string) None & info [ "rates" ] ~docv:"FILE"
+           ~doc:"Rates: one 'user count' pair per line.")
+  in
+  let out_arg =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Output workload file.")
+  in
+  let run () edges rates out =
+    match Mcss_traces.Edge_list.load ~edges ~rates with
+    | w, mapping ->
+        Wio.save w out;
+        Format.printf "wrote %s: %a@." out Workload.pp_summary w;
+        Printf.printf "(%d active topics, %d subscribers mapped from raw user ids)\n"
+          (Array.length mapping.Mcss_traces.Edge_list.user_of_topic)
+          (Array.length mapping.Mcss_traces.Edge_list.user_of_subscriber);
+        `Ok ()
+    | exception Wio.Parse_error msg -> `Error (false, msg)
+  in
+  Cmd.v
+    (Cmd.info "convert"
+       ~doc:"Convert a follower-graph edge list plus a rates file into a workload")
+    Term.(ret (const run $ setup_logs_term $ edges_arg $ rates_arg $ out_arg))
+
+(* ----- export-lp ----- *)
+
+let export_lp_cmd =
+  let out_arg =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Output LP file.")
+  in
+  let max_vms_arg =
+    Arg.(value & opt (some int) None & info [ "max-vms" ] ~docv:"N"
+           ~doc:"Fleet bound for the model (default: heuristic fleet + 2).")
+  in
+  let run () file trace scale seed tau instance_name bc_events out max_vms =
+    let ( let* ) r f = match r with Ok x -> f x | Error e -> `Error (false, e) in
+    let* w = load_workload file trace scale seed in
+    let* instance = resolve_instance instance_name in
+    let model, p = problem_of ~w ~tau ~instance ~scale ~bc_events in
+    let max_vms =
+      match max_vms with Some n -> n | None -> (Solver.solve p).Solver.num_vms + 2
+    in
+    let vm_usd = Mcss_pricing.Cost_model.vm_cost model 1 in
+    let per_event_usd = Mcss_pricing.Cost_model.bandwidth_cost model 1. in
+    let dims =
+      Mcss_exact.Lp_export.save p ~max_vms ~vm_usd ~per_event_usd ~path:out
+    in
+    Printf.printf "wrote %s: %d VMs bound, %d binaries, %d constraints\n" out
+      dims.Mcss_exact.Lp_export.vms dims.Mcss_exact.Lp_export.variables
+      dims.Mcss_exact.Lp_export.constraints;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "export-lp"
+       ~doc:"Export the instance as a CPLEX-LP mixed-integer program")
+    Term.(
+      ret
+        (const run $ setup_logs_term $ workload_file $ trace_arg $ scale_arg $ seed_arg
+        $ tau_arg $ instance_arg $ bc_events_arg $ out_arg $ max_vms_arg))
+
+(* ----- verify ----- *)
+
+let verify_cmd =
+  let plan_arg =
+    Arg.(required & opt (some string) None & info [ "plan" ] ~docv:"FILE"
+           ~doc:"Plan file to audit.")
+  in
+  let run () file trace scale seed tau instance_name bc_events plan =
+    let ( let* ) r f = match r with Ok x -> f x | Error e -> `Error (false, e) in
+    let* w = load_workload file trace scale seed in
+    let* instance = resolve_instance instance_name in
+    let model, p = problem_of ~w ~tau ~instance ~scale ~bc_events in
+    let a, s = Mcss_core.Plan_io.load ~workload:w plan in
+    let report = Verifier.verify p s a in
+    Printf.printf "plan: %d VMs, %.2f GB bandwidth, cost %s\n" report.Verifier.num_vms
+      (Cost_model.gb_of_events model report.Verifier.total_bandwidth)
+      (Table.cell_usd report.Verifier.cost);
+    Format.printf "@[<hov>%a@]@." Mcss_core.Solution_stats.pp
+      (Mcss_core.Solution_stats.compute p a);
+    (* Deterministic replay as the final word. *)
+    let res = Simulator.run p a Simulator.default_config in
+    let c = Simulator.check p a res ~tolerance:0. in
+    Printf.printf "simulated replay: %d events, measured = analytical: %b\n"
+      res.Simulator.events_published (Simulator.all_ok c);
+    if Verifier.is_valid report && Simulator.all_ok c then begin
+      print_endline "verifier: CLEAN";
+      `Ok ()
+    end
+    else begin
+      List.iter
+        (fun v -> Format.printf "  %a@." Verifier.pp_violation v)
+        report.Verifier.violations;
+      `Error (false, "plan failed verification")
+    end
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Audit a saved plan against a workload: verifier + replay")
+    Term.(
+      ret
+        (const run $ setup_logs_term $ workload_file $ trace_arg $ scale_arg $ seed_arg
+        $ tau_arg $ instance_arg $ bc_events_arg $ plan_arg))
+
+let main_cmd =
+  let doc = "cost-effective resource allocation for pub/sub on cloud (ICDCS'14)" in
+  Cmd.group
+    (Cmd.info "mcss" ~version:"1.0.0" ~doc)
+    [
+      generate_cmd; solve_cmd; lower_bound_cmd; analyze_cmd; simulate_cmd; budget_cmd;
+      convert_cmd; export_lp_cmd; verify_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/dynamic_reprovision.mli:

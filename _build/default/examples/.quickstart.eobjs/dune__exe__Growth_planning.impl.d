@@ -1,0 +1,1 @@
+examples/growth_planning.ml: Format List Mcss_dynamic Mcss_pricing Mcss_report Mcss_traces Mcss_workload Printf

@@ -1,0 +1,1 @@
+examples/operations_day.ml: Array Format List Mcss_core Mcss_dynamic Mcss_pricing Mcss_prng Mcss_report Mcss_sim Mcss_traces Mcss_workload Printf String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Mcss_core Mcss_pricing Mcss_workload Printf

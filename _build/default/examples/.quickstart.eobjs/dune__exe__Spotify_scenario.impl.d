@@ -1,0 +1,1 @@
+examples/spotify_scenario.ml: Format List Mcss_core Mcss_pricing Mcss_report Mcss_traces Mcss_workload Printf

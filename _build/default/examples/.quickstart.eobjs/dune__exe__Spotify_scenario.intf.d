@@ -1,0 +1,1 @@
+examples/spotify_scenario.mli:

@@ -1,0 +1,1 @@
+examples/twitter_scenario.ml: Array Format List Mcss_core Mcss_pricing Mcss_report Mcss_sim Mcss_traces Mcss_workload Printf

@@ -1,0 +1,1 @@
+examples/whatif_pricing.ml: Format List Mcss_core Mcss_pricing Mcss_report Mcss_traces Mcss_workload Printf

@@ -1,0 +1,1 @@
+examples/whatif_pricing.mli:

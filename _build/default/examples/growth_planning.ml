@@ -1,0 +1,55 @@
+(* Growth planning: a service expecting +30% subscribers per billing
+   period must decide between elastic On-Demand fleets, reserving
+   capacity for the future size, or a hybrid baseline+burst — the
+   purchasing question sitting right on top of the paper's sizing
+   question. The Forecast planner solves MCSS for every period and
+   prices all three strategies.
+
+   Run with: dune exec examples/growth_planning.exe *)
+
+module Workload = Mcss_workload.Workload
+module Cost_model = Mcss_pricing.Cost_model
+module Billing = Mcss_pricing.Billing
+module Forecast = Mcss_dynamic.Forecast
+module Table = Mcss_report.Table
+module Spotify = Mcss_traces.Spotify
+
+let () =
+  let scale = 0.005 in
+  let base = Spotify.generate { (Spotify.scaled scale) with Spotify.seed = 7 } in
+  Format.printf "base period: %a@.@." Workload.pp_summary base;
+  let model = Cost_model.ec2_2014 () in
+  let plan =
+    Forecast.plan ~base ~tau:100. ~capacity_events:(5e7 *. scale) ~model
+      ~growth_per_period:1.3 ~periods:6 ~reserved_term:Billing.Reserved_1yr
+  in
+  let table =
+    Table.create
+      [
+        ("period", Table.Right);
+        ("subscribers", Table.Right);
+        ("VMs", Table.Right);
+        ("on-demand", Table.Right);
+        ("all-reserved", Table.Right);
+        ("hybrid", Table.Right);
+      ]
+  in
+  List.iter
+    (fun pp ->
+      Table.add_row table
+        [
+          string_of_int pp.Forecast.period;
+          string_of_int pp.Forecast.subscribers;
+          string_of_int pp.Forecast.vms_needed;
+          Table.cell_usd pp.Forecast.cost_on_demand;
+          Table.cell_usd pp.Forecast.cost_all_reserved;
+          Table.cell_usd pp.Forecast.cost_hybrid;
+        ])
+    plan.Forecast.periods;
+  Table.print table;
+  Printf.printf "\ntotals: on-demand %s | all-reserved %s | hybrid %s\n"
+    (Table.cell_usd plan.Forecast.total_on_demand)
+    (Table.cell_usd plan.Forecast.total_all_reserved)
+    (Table.cell_usd plan.Forecast.total_hybrid);
+  Format.printf "winner under +30%%/period growth: %a@." Forecast.pp_strategy
+    plan.Forecast.best

@@ -1,0 +1,52 @@
+(* Quickstart: define a pub/sub workload, ask MCSS how to deploy it on
+   EC2, and inspect the answer.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Workload = Mcss_workload.Workload
+module Cost_model = Mcss_pricing.Cost_model
+module Problem = Mcss_core.Problem
+module Solver = Mcss_core.Solver
+module Allocation = Mcss_core.Allocation
+module Verifier = Mcss_core.Verifier
+
+let () =
+  (* Four topics with event rates (events per 10 days), five subscribers
+     with their interests. Think of topics as artists and subscribers as
+     listeners following them. *)
+  let workload =
+    Workload.create
+      ~event_rates:[| 1200.; 300.; 90.; 2500. |]
+      ~interests:
+        [| [| 0; 1 |]; [| 0; 2; 3 |]; [| 1; 2 |]; [| 3 |]; [| 0; 1; 2; 3 |] |]
+  in
+  Format.printf "%a@." Workload.pp_summary workload;
+
+  (* Every subscriber should receive at least 500 events per 10 days
+     (capped by what they subscribed to). Price it like 2014 EC2. *)
+  let model = Cost_model.ec2_2014 () in
+  let problem =
+    Problem.of_pricing ~capacity_events:6000. ~workload ~tau:500. model
+  in
+
+  (* Solve: GreedySelectPairs + CustomBinPacking with all optimisations. *)
+  let result = Solver.solve problem in
+  Format.printf "solution: %a@." Solver.pp_result result;
+
+  (* Always verify before trusting an allocation. *)
+  ignore (Verifier.check_exn problem result.Solver.selection result.Solver.allocation);
+  print_endline "verifier: all subscribers satisfied, no VM over capacity";
+
+  (* What landed where? *)
+  Array.iter
+    (fun vm ->
+      Printf.printf "  VM %d: load %.0f events (%d pairs, %d topics)\n"
+        (Allocation.vm_id vm) (Allocation.load vm) (Allocation.num_pairs_on vm)
+        (Allocation.num_topics_on vm))
+    (Allocation.vms result.Solver.allocation);
+
+  (* Compare against the naive baseline and the theoretical floor. *)
+  let naive = Solver.solve ~config:Solver.naive problem in
+  let lb = Mcss_core.Lower_bound.compute problem in
+  Printf.printf "naive RSP+FFBP would cost $%.2f; we pay $%.2f; lower bound $%.2f\n"
+    naive.Solver.cost result.Solver.cost lb.Mcss_core.Lower_bound.cost

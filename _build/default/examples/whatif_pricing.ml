@@ -1,0 +1,68 @@
+(* What-if pricing: the paper (§IV-D) observes that optimisation (e) — the
+   cost-model-based distribute-vs-deploy decision — barely matters at
+   Amazon's $0.12/GB, because bandwidth is so much cheaper than VM hours.
+   Sweep the bandwidth price and watch where the decision starts to pay:
+   the trade-off between number of VMs and bandwidth made concrete.
+
+   Run with: dune exec examples/whatif_pricing.exe *)
+
+module Workload = Mcss_workload.Workload
+module Cost_model = Mcss_pricing.Cost_model
+module Problem = Mcss_core.Problem
+module Solver = Mcss_core.Solver
+module Cbp = Mcss_core.Cbp
+module Table = Mcss_report.Table
+module Twitter = Mcss_traces.Twitter
+
+let () =
+  let params = { (Twitter.scaled 0.002) with Twitter.seed = 11 } in
+  let workload = Twitter.generate params in
+  Format.printf "%a@.@." Workload.pp_summary workload;
+
+  let model = Cost_model.ec2_2014 () in
+  let capacity_events = 5e7 *. 0.002 in
+  let tau = 100. in
+  (* Event volume -> money at a configurable $/GB. *)
+  let costs_at usd_per_gb =
+    {
+      Problem.vm_cost = Cost_model.vm_cost model;
+      bandwidth_cost =
+        (fun events -> Cost_model.gb_of_events model events *. usd_per_gb);
+    }
+  in
+  let table =
+    Table.create
+      [
+        ("$/GB", Table.Right);
+        ("(d) cost", Table.Right);
+        ("(e) cost", Table.Right);
+        ("(e) VMs vs (d)", Table.Right);
+        ("(e) saving", Table.Right);
+      ]
+  in
+  let prices = [ 0.12; 1.2; 12.; 60.; 120.; 600. ] in
+  List.iter
+    (fun usd_per_gb ->
+      let p =
+        Problem.create ~workload ~tau ~capacity:capacity_events (costs_at usd_per_gb)
+      in
+      let without =
+        Solver.solve ~config:{ Solver.stage1 = Solver.Gsp; stage2 = Solver.Cbp Cbp.with_most_free } p
+      in
+      let with_e =
+        Solver.solve ~config:{ Solver.stage1 = Solver.Gsp; stage2 = Solver.Cbp Cbp.with_cost_decision } p
+      in
+      Table.add_row table
+        [
+          Printf.sprintf "%.2f" usd_per_gb;
+          Table.cell_usd without.Solver.cost;
+          Table.cell_usd with_e.Solver.cost;
+          Printf.sprintf "%+d" (with_e.Solver.num_vms - without.Solver.num_vms);
+          Table.cell_pct (Table.pct_change ~baseline:without.Solver.cost with_e.Solver.cost);
+        ])
+    prices;
+  Table.print table;
+  print_endline
+    "\nAt EC2's real $0.12/GB the cost decision is nearly a no-op (the paper\n\
+     measured at most 1.2% on Spotify and 0.2% on Twitter); as bandwidth\n\
+     grows dearer, deploying extra VMs to avoid splitting topics wins."

@@ -1,0 +1,1 @@
+lib/broker/broker.ml: Float Hashtbl Mcss_core Mcss_workload Message Printf

@@ -1,0 +1,1 @@
+lib/broker/broker.mli: Mcss_workload Message

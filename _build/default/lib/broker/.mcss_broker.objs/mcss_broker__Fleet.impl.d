@@ -1,0 +1,1 @@
+lib/broker/fleet.ml: Array Broker Float Int64 List Mcss_core Mcss_prng Mcss_workload Message

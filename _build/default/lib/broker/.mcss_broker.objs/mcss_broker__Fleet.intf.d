@@ -1,0 +1,1 @@
+lib/broker/fleet.mli: Broker Mcss_core Mcss_workload

@@ -1,0 +1,1 @@
+lib/broker/message.mli: Format Mcss_workload

@@ -1,0 +1,1 @@
+lib/broker/queueing.ml:

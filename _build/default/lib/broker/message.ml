@@ -1,0 +1,14 @@
+type t = { id : int; topic : int; publish_time : float; size_bytes : int }
+
+let make ~id ~topic ~publish_time ~size_bytes =
+  if id < 0 then invalid_arg "Message.make: negative id";
+  if size_bytes < 0 then invalid_arg "Message.make: negative size";
+  if publish_time < 0. then invalid_arg "Message.make: negative time";
+  { id; topic; publish_time; size_bytes }
+
+let compare_by_time a b =
+  match compare a.publish_time b.publish_time with 0 -> compare a.id b.id | c -> c
+
+let pp ppf m =
+  Format.fprintf ppf "msg#%d(topic %d @ %.4f, %dB)" m.id m.topic m.publish_time
+    m.size_bytes

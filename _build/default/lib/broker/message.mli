@@ -1,0 +1,19 @@
+(** Publication messages as the broker fleet sees them: unlike the
+    counting simulator ({!Mcss_sim.Simulator}), the broker runtime routes
+    individual message values with identities and sizes, so duplicate
+    detection, ordering and latency are observable. *)
+
+type t = private {
+  id : int;  (** Globally unique, in publish order. *)
+  topic : Mcss_workload.Workload.topic;
+  publish_time : float;  (** Horizon-normalised, like the simulator. *)
+  size_bytes : int;
+}
+
+val make : id:int -> topic:int -> publish_time:float -> size_bytes:int -> t
+(** Raises [Invalid_argument] on a negative id/size or time. *)
+
+val compare_by_time : t -> t -> int
+(** Publish-time order, ties by id — the canonical processing order. *)
+
+val pp : Format.formatter -> t -> unit

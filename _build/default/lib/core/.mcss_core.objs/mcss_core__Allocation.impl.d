@@ -1,0 +1,1 @@
+lib/core/allocation.ml: Array Hashtbl List Mcss_workload Vec

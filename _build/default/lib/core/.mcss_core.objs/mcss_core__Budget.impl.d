@@ -1,0 +1,1 @@
+lib/core/budget.ml: Allocation Array List Mcss_workload Problem Selection

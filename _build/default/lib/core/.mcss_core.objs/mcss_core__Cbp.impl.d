@@ -1,0 +1,1 @@
+lib/core/cbp.ml: Allocation Array Mcss_workload Printf Problem Selection

@@ -1,0 +1,1 @@
+lib/core/cbp.mli: Allocation Problem Selection

@@ -1,0 +1,1 @@
+lib/core/ffbp.ml: Allocation Array Mcss_workload Printf Problem Selection

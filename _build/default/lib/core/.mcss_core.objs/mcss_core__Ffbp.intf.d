@@ -1,0 +1,1 @@
+lib/core/ffbp.mli: Allocation Problem Selection

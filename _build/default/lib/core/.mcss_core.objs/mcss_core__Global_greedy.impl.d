@@ -1,0 +1,1 @@
+lib/core/global_greedy.ml: Array Float Hashtbl Mcss_workload Problem Selection Vec

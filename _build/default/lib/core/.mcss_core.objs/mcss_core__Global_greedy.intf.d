@@ -1,0 +1,1 @@
+lib/core/global_greedy.mli: Problem Selection

@@ -1,0 +1,1 @@
+lib/core/plan_io.ml: Allocation Array Fun Hashtbl In_channel List Mcss_workload Printf Selection String

@@ -1,0 +1,1 @@
+lib/core/problem.ml: Array Mcss_pricing Mcss_workload

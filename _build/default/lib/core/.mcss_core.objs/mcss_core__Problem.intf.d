@@ -1,0 +1,1 @@
+lib/core/problem.mli: Mcss_pricing Mcss_workload

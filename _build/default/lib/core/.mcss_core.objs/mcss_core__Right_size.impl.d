@@ -1,0 +1,1 @@
+lib/core/right_size.ml: Allocation Array Format Hashtbl List Mcss_pricing Option Printf String

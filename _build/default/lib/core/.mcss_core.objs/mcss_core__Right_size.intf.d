@@ -1,0 +1,1 @@
+lib/core/right_size.mli: Allocation Format Mcss_pricing

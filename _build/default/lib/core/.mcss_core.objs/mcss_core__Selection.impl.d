@@ -1,0 +1,1 @@
+lib/core/selection.ml: Array Domain Float Hashtbl Int List Mcss_prng Mcss_workload Problem Set

@@ -1,0 +1,1 @@
+lib/core/selection.mli: Mcss_prng Mcss_workload Problem

@@ -1,0 +1,1 @@
+lib/core/solution_stats.ml: Allocation Array Float Format Hashtbl List Mcss_workload Option Problem

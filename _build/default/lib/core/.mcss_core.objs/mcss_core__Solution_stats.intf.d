@@ -1,0 +1,1 @@
+lib/core/solution_stats.mli: Allocation Format Problem

@@ -1,0 +1,1 @@
+lib/core/solver.ml: Allocation Cbp Ffbp Format Global_greedy List Problem Selection Unix

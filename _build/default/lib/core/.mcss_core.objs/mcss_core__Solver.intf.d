@@ -1,0 +1,1 @@
+lib/core/solver.mli: Allocation Cbp Format Problem Selection

@@ -1,0 +1,1 @@
+lib/core/verifier.ml: Allocation Array Buffer Float Format Hashtbl List Mcss_workload Printf Problem Selection

@@ -1,0 +1,1 @@
+lib/core/verifier.mli: Allocation Format Problem Selection

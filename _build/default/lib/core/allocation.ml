@@ -1,0 +1,126 @@
+module Workload = Mcss_workload.Workload
+
+type vm = {
+  id : int;
+  mutable load : float;
+  mutable num_pairs : int;
+  by_topic : (Workload.topic, Workload.subscriber Vec.t) Hashtbl.t;
+}
+
+type t = { cap : float; fleet : vm Vec.t }
+
+let create ~capacity =
+  if not (capacity > 0.) then invalid_arg "Allocation.create: capacity must be positive";
+  { cap = capacity; fleet = Vec.create () }
+
+let capacity a = a.cap
+let num_vms a = Vec.length a.fleet
+let vms a = Vec.to_array a.fleet
+
+let deploy a =
+  let vm = { id = Vec.length a.fleet; load = 0.; num_pairs = 0; by_topic = Hashtbl.create 8 } in
+  Vec.push a.fleet vm;
+  vm
+
+let vm_id vm = vm.id
+let load vm = vm.load
+let free a vm = a.cap -. vm.load
+let hosts_topic vm t = Hashtbl.mem vm.by_topic t
+let num_pairs_on vm = vm.num_pairs
+let num_topics_on vm = Hashtbl.length vm.by_topic
+
+let place_delta vm ~topic ~ev ~count =
+  let incoming = if Hashtbl.mem vm.by_topic topic then 0. else ev in
+  (float_of_int count *. ev) +. incoming
+
+let max_pairs_that_fit a vm ~topic ~ev ~eps =
+  let room = a.cap -. vm.load +. eps in
+  let incoming = if Hashtbl.mem vm.by_topic topic then 0. else ev in
+  let outgoing_room = room -. incoming in
+  if outgoing_room < ev then 0 else int_of_float (floor (outgoing_room /. ev))
+
+let place a vm ~topic ~ev ~subscribers ~from ~count =
+  ignore a;
+  if count < 0 || from < 0 || from + count > Array.length subscribers then
+    invalid_arg "Allocation.place: subscriber range out of bounds";
+  if count > 0 then begin
+    vm.load <- vm.load +. place_delta vm ~topic ~ev ~count;
+    let slot =
+      match Hashtbl.find_opt vm.by_topic topic with
+      | Some v -> v
+      | None ->
+          let v = Vec.create () in
+          Hashtbl.add vm.by_topic topic v;
+          v
+    in
+    for i = from to from + count - 1 do
+      Vec.push slot subscribers.(i)
+    done;
+    vm.num_pairs <- vm.num_pairs + count
+  end
+
+let total_load a = Vec.fold_left (fun acc vm -> acc +. vm.load) 0. a.fleet
+
+let iter_vm_pairs vm f =
+  Hashtbl.iter (fun topic subs -> Vec.iter (fun v -> f topic v) subs) vm.by_topic
+
+let topics_on vm = Hashtbl.fold (fun t _ acc -> t :: acc) vm.by_topic [] |> List.sort compare
+
+let subscribers_of_topic_on vm t =
+  match Hashtbl.find_opt vm.by_topic t with
+  | Some subs -> Vec.to_list subs
+  | None -> []
+
+let remove a vm ~topic ~ev ~subscriber =
+  ignore a;
+  match Hashtbl.find_opt vm.by_topic topic with
+  | None -> false
+  | Some subs -> (
+      match Vec.find_index (fun v -> v = subscriber) subs with
+      | None -> false
+      | Some i ->
+          Vec.swap_remove subs i;
+          vm.num_pairs <- vm.num_pairs - 1;
+          let last = Vec.is_empty subs in
+          if last then Hashtbl.remove vm.by_topic topic;
+          vm.load <- vm.load -. ev -. (if last then ev else 0.);
+          true)
+
+let rebuild_loads a ~event_rates =
+  Vec.iter
+    (fun vm ->
+      let load = ref 0. in
+      let pairs = ref 0 in
+      Hashtbl.iter
+        (fun t subs ->
+          let n = Vec.length subs in
+          load := !load +. (float_of_int (n + 1) *. event_rates.(t));
+          pairs := !pairs + n)
+        vm.by_topic;
+      vm.load <- !load;
+      vm.num_pairs <- !pairs)
+    a.fleet
+
+let compact a =
+  let fresh = { cap = a.cap; fleet = Vec.create () } in
+  let mapping = Array.make (Vec.length a.fleet) (-1) in
+  Vec.iter
+    (fun vm ->
+      if vm.num_pairs > 0 then begin
+        let id = Vec.length fresh.fleet in
+        mapping.(vm.id) <- id;
+        Vec.push fresh.fleet { vm with id }
+      end)
+    a.fleet;
+  (fresh, mapping)
+
+let find_pair_vm a ~topic ~subscriber =
+  let vms = vms a in
+  let rec scan i =
+    if i >= Array.length vms then None
+    else
+      match Hashtbl.find_opt vms.(i).by_topic topic with
+      | Some subs when Vec.exists (fun v -> v = subscriber) subs -> Some vms.(i)
+      | _ -> scan (i + 1)
+  in
+  scan 0

@@ -1,0 +1,19 @@
+(** Classic bin-packing baselines for Stage 2, beyond the paper's FFBP —
+    used by the ablation benchmarks to situate CustomBinPacking among the
+    textbook strategies:
+
+    - {!next_fit}: per pair, only the most recently deployed VM is
+      considered; the cheapest possible packer, and the most wasteful;
+    - {!best_fit_decreasing}: pairs grouped per topic and ordered by
+      rate (like CBP), but each group fragment goes to the {e tightest}
+      VM that still fits it — the classical BFD rule, which is the exact
+      opposite of CBP's most-free choice. Comparing the two isolates how
+      much the paper's "most free VM first" rule (optimisation (d))
+      actually buys over textbook advice. *)
+
+val next_fit : Problem.t -> Selection.t -> Allocation.t
+(** Raises {!Problem.Infeasible} if a selected pair cannot fit an empty
+    VM. *)
+
+val best_fit_decreasing : Problem.t -> Selection.t -> Allocation.t
+(** Raises {!Problem.Infeasible} likewise. *)

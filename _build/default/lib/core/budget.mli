@@ -1,0 +1,29 @@
+(** The dual provisioning question, from the paper's companion work
+    (reference [9], INFOCOM 2014): instead of "how many VMs to satisfy
+    everyone" (MCSS), ask "given a {e fixed} budget of VMs, how many
+    subscribers can be satisfied?". The paper's §V positions MCSS against
+    exactly this problem, so the library answers both.
+
+    The heuristic mirrors MCSS's structure: each subscriber's cheapest
+    satisfying pair set comes from the same greedy ratio as GSP; then
+    subscribers are admitted cheapest-first, their pair groups packed
+    into the budgeted fleet with the CBP insertion rule, rolling back and
+    skipping any subscriber whose pairs do not fit. *)
+
+type result = {
+  satisfied : bool array;  (** Per subscriber. *)
+  num_satisfied : int;
+  allocation : Allocation.t;  (** At most [budget] VMs. *)
+  selection : Selection.t;
+      (** The admitted subscribers' pairs (empty choice for the
+          rejected). *)
+}
+
+val solve : Problem.t -> budget:int -> result
+(** Raises [Invalid_argument] on a negative budget. Subscribers with no
+    interests count as satisfied (their threshold is 0) and consume
+    nothing. *)
+
+val satisfaction_curve : Problem.t -> budgets:int list -> (int * int) list
+(** [(budget, num_satisfied)] for each requested budget — the data behind
+    a satisfied-subscribers-vs-resources plot. *)

@@ -1,0 +1,170 @@
+module Workload = Mcss_workload.Workload
+
+type topic_order = Arbitrary | Expensive_first | Heaviest_group_first
+type vm_choice = First_fit | Most_free
+
+type options = {
+  topic_order : topic_order;
+  vm_choice : vm_choice;
+  cost_decision : bool;
+}
+
+let grouping_only =
+  { topic_order = Arbitrary; vm_choice = First_fit; cost_decision = false }
+
+let with_expensive_first = { grouping_only with topic_order = Expensive_first }
+let with_most_free = { with_expensive_first with vm_choice = Most_free }
+let with_cost_decision = { with_most_free with cost_decision = true }
+
+(* How many whole VMs the group's leftover needs, by the paper's estimate
+   ⌈count·ev / BC⌉ (Alg. 7 lines 3 and 17). *)
+let estimated_new_vms ~capacity ~ev count =
+  if count = 0 then 0 else int_of_float (ceil (float_of_int count *. ev /. capacity))
+
+let cheaper_to_distribute (p : Problem.t) a ~ev ~count ~hosts =
+  let capacity = p.Problem.capacity in
+  let eps = Problem.epsilon p in
+  let cur_bw = Allocation.total_load a in
+  let cur_vms = Allocation.num_vms a in
+  (* Option 1: fresh VMs only. Each new VM pays one incoming stream. *)
+  let new_vms = estimated_new_vms ~capacity ~ev count in
+  let new_cost =
+    Problem.cost p ~vms:(cur_vms + new_vms)
+      ~bandwidth:(cur_bw +. (float_of_int (count + new_vms) *. ev))
+  in
+  (* Option 2: spread over existing VMs (most-free first), overflow to
+     fresh VMs. Simulated on a snapshot of the free capacities. *)
+  let vms = Allocation.vms a in
+  let slots =
+    Array.map (fun vm -> (Allocation.free a vm, hosts vm)) vms
+  in
+  Array.sort (fun (fa, _) (fb, _) -> compare fb fa) slots;
+  let remaining = ref count in
+  let spread_bw = ref 0. in
+  Array.iter
+    (fun (room, already_hosts) ->
+      if !remaining > 0 then begin
+        let outgoing_room = (room +. eps) -. (if already_hosts then 0. else ev) in
+        if outgoing_room >= ev then begin
+          let k = min !remaining (int_of_float (floor (outgoing_room /. ev))) in
+          spread_bw :=
+            !spread_bw +. (float_of_int k *. ev)
+            +. (if already_hosts then 0. else ev);
+          remaining := !remaining - k
+        end
+      end)
+    slots;
+  let extra_vms = estimated_new_vms ~capacity ~ev !remaining in
+  let spread_cost =
+    Problem.cost p ~vms:(cur_vms + extra_vms)
+      ~bandwidth:
+        (cur_bw +. !spread_bw +. (float_of_int (!remaining + extra_vms) *. ev))
+  in
+  spread_cost < new_cost
+
+let order_groups opts groups =
+  match opts.topic_order with
+  | Arbitrary -> groups
+  | Expensive_first ->
+      let groups = Array.copy groups in
+      (* Stable by (rate desc, id asc): compare on (-ev, id). *)
+      Array.sort
+        (fun (ta, _, eva) (tb, _, evb) -> compare (-.eva, ta) (-.evb, tb))
+        groups;
+      groups
+  | Heaviest_group_first ->
+      let groups = Array.copy groups in
+      let volume (_, subs, ev) = float_of_int (Array.length subs) *. ev in
+      Array.sort
+        (fun ((ta, _, _) as a) ((tb, _, _) as b) ->
+          compare (-.volume a, ta) (-.volume b, tb))
+        groups;
+      groups
+
+let run (p : Problem.t) (s : Selection.t) opts =
+  let w = p.Problem.workload in
+  let eps = Problem.epsilon p in
+  let a = Allocation.create ~capacity:p.Problem.capacity in
+  let groups =
+    Selection.pairs_by_topic p s
+    |> Array.map (fun (t, subs) -> (t, subs, Workload.event_rate w t))
+  in
+  let groups = order_groups opts groups in
+  (* The most recently deployed VM; a whole group that fits goes there. *)
+  let current = ref None in
+  let deploy_for ~topic ~ev ~subs ~from =
+    let n = Array.length subs in
+    let from = ref from in
+    while !from < n do
+      let vm = Allocation.deploy a in
+      current := Some vm;
+      let k = Allocation.max_pairs_that_fit a vm ~topic ~ev ~eps in
+      if k = 0 then
+        raise
+          (Problem.Infeasible
+             (Printf.sprintf "topic %d: a single pair needs %g bandwidth but BC is %g"
+                topic (2. *. ev) p.Problem.capacity));
+      let k = min k (n - !from) in
+      Allocation.place a vm ~topic ~ev ~subscribers:subs ~from:!from ~count:k;
+      from := !from + k
+    done
+  in
+  (* Spread the group over already-deployed VMs until none can take a
+     pair; each VM is picked at most once per topic because we fill it. *)
+  let distribute ~topic ~ev ~subs =
+    let n = Array.length subs in
+    let from = ref 0 in
+    let progress = ref true in
+    while !from < n && !progress do
+      let vms = Allocation.vms a in
+      let candidate =
+        match opts.vm_choice with
+        | First_fit ->
+            Array.find_opt
+              (fun vm -> Allocation.max_pairs_that_fit a vm ~topic ~ev ~eps > 0)
+              vms
+        | Most_free ->
+            Array.fold_left
+              (fun best vm ->
+                if Allocation.max_pairs_that_fit a vm ~topic ~ev ~eps = 0 then best
+                else
+                  match best with
+                  | Some b when Allocation.free a b >= Allocation.free a vm -> best
+                  | _ -> Some vm)
+              None vms
+      in
+      match candidate with
+      | None -> progress := false
+      | Some vm ->
+          let k =
+            min (Allocation.max_pairs_that_fit a vm ~topic ~ev ~eps) (n - !from)
+          in
+          Allocation.place a vm ~topic ~ev ~subscribers:subs ~from:!from ~count:k;
+          from := !from + k
+    done;
+    if !from < n then deploy_for ~topic ~ev ~subs ~from:!from
+  in
+  Array.iter
+    (fun (topic, subs, ev) ->
+      let n = Array.length subs in
+      let fits_current =
+        match !current with
+        | Some vm ->
+            if Allocation.place_delta vm ~topic ~ev ~count:n <= Allocation.free a vm +. eps
+            then Some vm
+            else None
+        | None -> None
+      in
+      match fits_current with
+      | Some vm -> Allocation.place a vm ~topic ~ev ~subscribers:subs ~from:0 ~count:n
+      | None ->
+          let spread =
+            Allocation.num_vms a > 0
+            && (not opts.cost_decision
+               || cheaper_to_distribute p a ~ev ~count:n
+                    ~hosts:(fun vm -> Allocation.hosts_topic vm topic))
+          in
+          if spread then distribute ~topic ~ev ~subs
+          else deploy_for ~topic ~ev ~subs ~from:0)
+    groups;
+  a

@@ -1,0 +1,62 @@
+(** CustomBinPacking (Alg. 4), Stage 2 of the MCSS heuristic, with the
+    paper's optimisations as independent switches:
+
+    - grouping of pairs by topic — optimisation (b) — is inherent to this
+      algorithm: each topic's selected pairs are allocated together;
+    - {!topic_order} = [Expensive_first] — optimisation (c): topics are
+      processed in non-increasing order of event rate, so the topics whose
+      splitting costs the most incoming bandwidth get first pick of space;
+    - {!vm_choice} = [Most_free] — optimisation (d): when a topic's group
+      must be spread over already-deployed VMs, the VM with the most free
+      capacity is filled first;
+    - {!cost_decision} — optimisation (e): before spreading a group over
+      existing VMs, compare the estimated total cost of doing so against
+      deploying fresh VMs (Alg. 7) and pick the cheaper option.
+
+    The flow per topic group: try the most recently deployed VM first; if
+    the whole group does not fit there, spread it over existing VMs (or go
+    straight to new VMs when optimisation (e) says so); deploy new VMs for
+    whatever remains. *)
+
+type topic_order =
+  | Arbitrary  (** Topic-id order, as Stage 1 produced the groups. *)
+  | Expensive_first  (** Non-increasing event rate, ties by topic id. *)
+  | Heaviest_group_first
+      (** Non-increasing total outgoing volume [ev_t · |pairs of t|] —
+          the literal reading of Alg. 4 line 3's
+          [argmax Σ_{(t,v)∈S} ev_t], kept as a variant because the
+          paper's prose describes optimisation (c) as plain
+          event-rate order. Compared in the ablation benchmarks. *)
+
+type vm_choice =
+  | First_fit  (** Deployment order, first VM with room for a pair. *)
+  | Most_free  (** Largest free capacity among VMs with room for a pair. *)
+
+type options = {
+  topic_order : topic_order;
+  vm_choice : vm_choice;
+  cost_decision : bool;
+}
+
+val grouping_only : options
+(** Optimisation ladder step (b): [Arbitrary], [First_fit], no cost
+    decision. *)
+
+val with_expensive_first : options  (** Step (c). *)
+
+val with_most_free : options  (** Step (d). *)
+
+val with_cost_decision : options  (** Step (e) — the full CBP. *)
+
+val run : Problem.t -> Selection.t -> options -> Allocation.t
+(** Raises {!Problem.Infeasible} if some selected pair cannot fit even an
+    empty VM. *)
+
+val cheaper_to_distribute :
+  Problem.t -> Allocation.t -> ev:float -> count:int ->
+  hosts:(Allocation.vm -> bool) -> bool
+(** The Alg. 7 estimate: [true] if spreading [count] pairs of a topic with
+    rate [ev] over the existing fleet is estimated cheaper than deploying
+    new VMs for them. [hosts vm] tells whether the VM already carries the
+    topic (its incoming stream is then already paid for). Exposed for unit
+    tests. *)

@@ -1,0 +1,33 @@
+module Workload = Mcss_workload.Workload
+
+let run (p : Problem.t) (s : Selection.t) =
+  let w = p.Problem.workload in
+  let eps = Problem.epsilon p in
+  let a = Allocation.create ~capacity:p.Problem.capacity in
+  let place_one t v =
+    let ev = Workload.event_rate w t in
+    let subscribers = [| v |] in
+    let fits vm = Allocation.place_delta vm ~topic:t ~ev ~count:1 <= Allocation.free a vm +. eps in
+    let vms = Allocation.vms a in
+    let rec first_fit i =
+      if i >= Array.length vms then None
+      else if fits vms.(i) then Some vms.(i)
+      else first_fit (i + 1)
+    in
+    let vm =
+      match first_fit 0 with
+      | Some vm -> vm
+      | None ->
+          let vm = Allocation.deploy a in
+          if not (fits vm) then
+            raise
+              (Problem.Infeasible
+                 (Printf.sprintf
+                    "pair (topic %d, subscriber %d) needs %g bandwidth but BC is %g" t v
+                    (2. *. ev) p.Problem.capacity));
+          vm
+    in
+    Allocation.place a vm ~topic:t ~ev ~subscribers ~from:0 ~count:1
+  in
+  Selection.iter_pairs s place_one;
+  a

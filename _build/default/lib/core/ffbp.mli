@@ -1,0 +1,17 @@
+(** First-Fit bin packing (Alg. 3), the paper's baseline for Stage 2:
+    every selected topic–subscriber pair is taken individually, in the
+    arbitrary order Stage 1 produced it (grouped by subscriber), and put
+    on the first already-deployed VM with room for it; a new VM is
+    deployed when none fits.
+
+    Unlike the paper's pseudocode, the room check accounts for the
+    incoming stream a topic's first pair brings to a VM (the pseudocode
+    tests [ev_t <= BC - bw_b] only), so the capacity constraint genuinely
+    holds — the verifier enforces it.
+
+    Complexity O(|pairs| · |B|); this is the slow, bandwidth-wasteful
+    strategy the CustomBinPacking optimisations are measured against. *)
+
+val run : Problem.t -> Selection.t -> Allocation.t
+(** Raises {!Problem.Infeasible} if some selected pair cannot fit even an
+    empty VM. *)

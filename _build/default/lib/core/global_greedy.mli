@@ -1,0 +1,24 @@
+(** A global, cross-subscriber Stage-1 selector — an extension beyond the
+    paper's per-subscriber GSP, probing the sub-optimality the paper
+    attributes to solving Stage 1 per subscriber (§III-C).
+
+    GSP treats each subscriber in isolation and charges every pair
+    [2·ev_t], counting the topic's incoming stream once {e per pair}. In
+    reality (Eq. 2) a topic's incoming stream is paid once per VM hosting
+    it, so a topic shared by many needy subscribers is cheaper per unit
+    of satisfaction than GSP believes. This selector works topic-first:
+    it repeatedly picks the topic with the best aggregate ratio
+
+    [Σ_{v ∈ V_t unsatisfied, (t,v) unchosen} min(ev_t, rem_v)
+       / (ev_t · new_pairs + ev_t·[t not yet chosen])]
+
+    and adds the pairs for all its still-unsatisfied followers. The
+    benefit of a topic only shrinks as other picks reduce the remaining
+    thresholds, so a lazy-reevaluation max-heap yields the exact greedy
+    order without rescanning.
+
+    The ablation benchmark compares the resulting end-to-end cost (after
+    CustomBinPacking) against GSP's. *)
+
+val select : Problem.t -> Selection.t
+(** Satisfies every subscriber, like {!Selection.gsp}. *)

@@ -1,0 +1,133 @@
+module Workload = Mcss_workload.Workload
+
+exception Parse_error of string
+
+let output oc a =
+  Printf.fprintf oc "mcss-plan 1\n";
+  Printf.fprintf oc "capacity %.17g\n" (Allocation.capacity a);
+  Printf.fprintf oc "vms %d\n" (Allocation.num_vms a);
+  Array.iter
+    (fun vm ->
+      List.iter
+        (fun topic ->
+          let subs = Allocation.subscribers_of_topic_on vm topic in
+          Printf.fprintf oc "place %d %d %d" (Allocation.vm_id vm) topic
+            (List.length subs);
+          List.iter (fun v -> Printf.fprintf oc " %d" v) subs;
+          Printf.fprintf oc "\n")
+        (Allocation.topics_on vm))
+    (Allocation.vms a)
+
+let save a path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output oc a)
+
+type reader = { ic : in_channel; mutable line_num : int }
+
+let fail r msg = raise (Parse_error (Printf.sprintf "line %d: %s" r.line_num msg))
+
+let rec next_line r =
+  match In_channel.input_line r.ic with
+  | None -> None
+  | Some line ->
+      r.line_num <- r.line_num + 1;
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then next_line r else Some line
+
+let expect_line r what =
+  match next_line r with
+  | Some line -> line
+  | None -> fail r (Printf.sprintf "unexpected end of file, expected %s" what)
+
+let parse_int r what s =
+  match int_of_string_opt s with
+  | Some n -> n
+  | None -> fail r (Printf.sprintf "bad %s %S" what s)
+
+let input ~workload ic =
+  let r = { ic; line_num = 0 } in
+  (match expect_line r "the header" with
+  | "mcss-plan 1" -> ()
+  | other -> fail r (Printf.sprintf "expected \"mcss-plan 1\", got %S" other));
+  let capacity =
+    match String.split_on_char ' ' (expect_line r "capacity") with
+    | [ "capacity"; c ] -> (
+        match float_of_string_opt c with
+        | Some c when c > 0. -> c
+        | _ -> fail r (Printf.sprintf "bad capacity %S" c))
+    | _ -> fail r "expected \"capacity <float>\""
+  in
+  let num_vms =
+    match String.split_on_char ' ' (expect_line r "vms") with
+    | [ "vms"; n ] ->
+        let n = parse_int r "VM count" n in
+        if n < 0 then fail r "negative VM count" else n
+    | _ -> fail r "expected \"vms <int>\""
+  in
+  let a = Allocation.create ~capacity in
+  let vms = Array.init num_vms (fun _ -> Allocation.deploy a) in
+  let seen : (int * int, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let rec placements () =
+    match next_line r with
+    | None -> ()
+    | Some line -> (
+        match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+        | "place" :: vm :: topic :: k :: subs ->
+            let vm = parse_int r "VM id" vm in
+            if vm < 0 || vm >= num_vms then fail r (Printf.sprintf "VM %d out of range" vm);
+            let topic = parse_int r "topic" topic in
+            if topic < 0 || topic >= Workload.num_topics workload then
+              fail r (Printf.sprintf "topic %d outside the workload" topic);
+            let k = parse_int r "count" k in
+            if List.length subs <> k then
+              fail r (Printf.sprintf "count %d does not match %d subscribers" k
+                        (List.length subs));
+            let subscribers =
+              Array.of_list (List.map (parse_int r "subscriber") subs)
+            in
+            Array.iter
+              (fun v ->
+                if v < 0 || v >= Workload.num_subscribers workload then
+                  fail r (Printf.sprintf "subscriber %d outside the workload" v);
+                if not (Array.mem topic (Workload.interests workload v)) then
+                  fail r (Printf.sprintf "subscriber %d never subscribed to topic %d" v topic);
+                if Hashtbl.mem seen (topic, v) then
+                  fail r (Printf.sprintf "pair (%d, %d) placed twice" topic v);
+                Hashtbl.add seen (topic, v) ())
+              subscribers;
+            Allocation.place a vms.(vm) ~topic
+              ~ev:(Workload.event_rate workload topic)
+              ~subscribers ~from:0 ~count:k;
+            placements ()
+        | _ -> fail r (Printf.sprintf "expected \"place ...\", got %S" line))
+  in
+  placements ();
+  (* Reconstruct the selection implied by the placements. *)
+  let per_subscriber = Array.make (Workload.num_subscribers workload) [] in
+  Hashtbl.iter (fun (t, v) () -> per_subscriber.(v) <- t :: per_subscriber.(v)) seen;
+  let chosen =
+    Array.map
+      (fun ts ->
+        let a = Array.of_list ts in
+        Array.sort compare a;
+        a)
+      per_subscriber
+  in
+  let selected_rate =
+    Array.map
+      (Array.fold_left (fun acc t -> acc +. Workload.event_rate workload t) 0.)
+      chosen
+  in
+  let selection =
+    {
+      Selection.chosen;
+      selected_rate;
+      num_pairs = Hashtbl.length seen;
+      outgoing_rate = Array.fold_left ( +. ) 0. selected_rate;
+    }
+  in
+  (a, selection)
+
+let load ~workload path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> input ~workload ic)

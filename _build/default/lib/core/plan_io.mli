@@ -1,0 +1,32 @@
+(** Persistence for computed deployment plans, so a plan solved once can
+    be audited, re-verified, diffed, or replayed (CLI: [mcss solve
+    --save-plan] / [mcss simulate --plan]) without re-running the solver.
+
+    Format (line oriented, ['#'] comments allowed):
+    {v
+    mcss-plan 1
+    capacity <BC>
+    vms <n>
+    place <vm> <topic> <k> <subscriber_1> ... <subscriber_k>
+    ...
+    v}
+
+    A plan file stores only placements; the selection is reconstructed
+    from them (every placed pair is a selected pair — the verifier's
+    consistency rules make the two views equivalent for any plan the
+    solver emits). *)
+
+exception Parse_error of string
+
+val save : Allocation.t -> string -> unit
+
+val output : out_channel -> Allocation.t -> unit
+
+val load : workload:Mcss_workload.Workload.t -> string -> Allocation.t * Selection.t
+(** Rebuild the fleet and the implied selection against the workload the
+    plan was computed for. Raises {!Parse_error} on malformed input, a
+    topic/subscriber id outside the workload, or a duplicated pair;
+    raises [Sys_error] on I/O failure. Loads do {e not} re-check
+    capacity — run {!Verifier.verify} on the result, as the CLI does. *)
+
+val input : workload:Mcss_workload.Workload.t -> in_channel -> Allocation.t * Selection.t

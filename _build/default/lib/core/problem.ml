@@ -1,0 +1,63 @@
+module Workload = Mcss_workload.Workload
+module Cost_model = Mcss_pricing.Cost_model
+
+type costs = { vm_cost : int -> float; bandwidth_cost : float -> float }
+
+type t = {
+  workload : Workload.t;
+  tau : float;
+  capacity : float;
+  costs : costs;
+}
+
+exception Infeasible of string
+
+let create ~workload ~tau ~capacity costs =
+  if not (tau > 0.) then invalid_arg "Problem.create: tau must be positive";
+  if not (capacity > 0.) then invalid_arg "Problem.create: capacity must be positive";
+  { workload; tau; capacity; costs }
+
+let of_pricing ?capacity_events ~workload ~tau model =
+  let capacity =
+    match capacity_events with
+    | Some c -> c
+    | None -> Cost_model.capacity_events model
+  in
+  let costs =
+    {
+      vm_cost = Cost_model.vm_cost model;
+      bandwidth_cost = Cost_model.bandwidth_cost model;
+    }
+  in
+  create ~workload ~tau ~capacity costs
+
+let unit_costs = { vm_cost = float_of_int; bandwidth_cost = (fun _ -> 0.) }
+
+let linear_costs ~vm_usd ~per_event_usd =
+  {
+    vm_cost = (fun n -> float_of_int n *. vm_usd);
+    bandwidth_cost = (fun events -> events *. per_event_usd);
+  }
+
+let tau_v p v = Workload.tau_v p.workload ~tau:p.tau v
+
+let cost p ~vms ~bandwidth = p.costs.vm_cost vms +. p.costs.bandwidth_cost bandwidth
+
+let epsilon p = 1e-9 *. p.capacity
+
+let pair_fits_empty_vm p t =
+  2. *. Workload.event_rate p.workload t <= p.capacity +. epsilon p
+
+let infeasible_subscribers p =
+  let w = p.workload in
+  let bad = ref [] in
+  for v = Workload.num_subscribers w - 1 downto 0 do
+    let reachable =
+      Array.fold_left
+        (fun acc t ->
+          if pair_fits_empty_vm p t then acc +. Workload.event_rate w t else acc)
+        0. (Workload.interests w v)
+    in
+    if reachable +. epsilon p < tau_v p v then bad := v :: !bad
+  done;
+  !bad

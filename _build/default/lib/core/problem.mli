@@ -1,0 +1,67 @@
+(** An instance of the Minimum Cost Subscriber Satisfaction problem
+    (MCSS, §II-C of the paper):
+    [MCSS(T, V, ev, Int, τ, BC, C1, C2)].
+
+    The workload supplies [T], [V], [ev] and [Int]; this module adds the
+    satisfaction threshold [τ], the per-VM bandwidth capacity [BC]
+    (in event-rate units), and the two cost functions. *)
+
+type costs = {
+  vm_cost : int -> float;  (** [C1]: cost of renting [n] VMs. *)
+  bandwidth_cost : float -> float;
+      (** [C2]: cost of the given total traffic volume in event units
+          (incoming plus outgoing, as in the objective). *)
+}
+
+type t = private {
+  workload : Mcss_workload.Workload.t;
+  tau : float;
+  capacity : float;  (** [BC], in event-rate units. *)
+  costs : costs;
+}
+
+val create :
+  workload:Mcss_workload.Workload.t -> tau:float -> capacity:float -> costs -> t
+(** Raises [Invalid_argument] if [tau <= 0] or [capacity <= 0]. *)
+
+val of_pricing :
+  ?capacity_events:float ->
+  workload:Mcss_workload.Workload.t ->
+  tau:float ->
+  Mcss_pricing.Cost_model.t ->
+  t
+(** Build a problem whose [C1]/[C2] come from the EC2-style pricing model.
+    [BC] defaults to {!Mcss_pricing.Cost_model.capacity_events} (the
+    physically derived per-VM event capacity); pass [capacity_events] to
+    override it, e.g. when running a scaled-down trace. *)
+
+val unit_costs : costs
+(** [C1 n = n], [C2 _ = 0] — the cost functions of the NP-hardness
+    reduction (Theorem II.2), also convenient in unit tests. *)
+
+val linear_costs : vm_usd:float -> per_event_usd:float -> costs
+
+val tau_v : t -> Mcss_workload.Workload.subscriber -> float
+(** [τ_v = min τ (Σ_{t∈T_v} ev_t)]. *)
+
+val cost : t -> vms:int -> bandwidth:float -> float
+(** [C1 vms + C2 bandwidth]. *)
+
+val epsilon : t -> float
+(** Absolute slack used in capacity and satisfaction comparisons so that
+    incremental float accounting and from-scratch recomputation agree:
+    [1e-9 · BC]. *)
+
+val pair_fits_empty_vm : t -> Mcss_workload.Workload.topic -> bool
+(** Whether a single pair of the topic fits an empty VM, i.e.
+    [2·ev_t <= BC]. A workload needing a topic for which this is false is
+    unallocatable. *)
+
+val infeasible_subscribers : t -> Mcss_workload.Workload.subscriber list
+(** Subscribers whose threshold cannot be met using only topics that fit a
+    VM ([Σ_{t∈T_v, 2·ev_t <= BC} ev_t < τ_v]). Empty means every
+    subscriber can in principle be satisfied. *)
+
+exception Infeasible of string
+(** Raised by allocation algorithms when a selected pair cannot fit any
+    VM. *)

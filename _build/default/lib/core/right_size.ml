@@ -1,0 +1,72 @@
+module Instance = Mcss_pricing.Instance
+module Billing = Mcss_pricing.Billing
+
+type assignment = { vm : int; load : float; instance : Instance.t }
+
+type t = {
+  assignments : assignment list;
+  uniform_cost : float;
+  mixed_cost : float;
+  saving_pct : float;
+}
+
+let solve a ~baseline ~catalogue ~horizon_hours ~term =
+  if catalogue = [] then invalid_arg "Right_size.solve: empty catalogue";
+  let capacity = Allocation.capacity a in
+  (* Candidate capacity in the allocation's event units, scaled off the
+     baseline's mbps. *)
+  let scaled_capacity (i : Instance.t) =
+    capacity *. i.Instance.bandwidth_mbps /. baseline.Instance.bandwidth_mbps
+  in
+  let candidates =
+    List.filter
+      (fun (i : Instance.t) ->
+        i.Instance.bandwidth_mbps <= baseline.Instance.bandwidth_mbps)
+      catalogue
+    |> List.sort (fun a b ->
+           compare
+             (Billing.effective_hourly a term)
+             (Billing.effective_hourly b term))
+  in
+  let price i = Billing.effective_hourly i term *. horizon_hours in
+  let assignments =
+    Array.to_list (Allocation.vms a)
+    |> List.map (fun vm ->
+           let load = Allocation.load vm in
+           let instance =
+             match
+               List.find_opt (fun i -> scaled_capacity i +. 1e-9 >= load) candidates
+             with
+             | Some i -> i
+             | None ->
+                 invalid_arg
+                   (Printf.sprintf "Right_size.solve: VM %d's load %g fits no candidate"
+                      (Allocation.vm_id vm) load)
+           in
+           { vm = Allocation.vm_id vm; load; instance })
+  in
+  let uniform_cost = float_of_int (List.length assignments) *. price baseline in
+  let mixed_cost =
+    List.fold_left (fun acc asg -> acc +. price asg.instance) 0. assignments
+  in
+  let saving_pct =
+    if uniform_cost > 0. then (uniform_cost -. mixed_cost) /. uniform_cost *. 100.
+    else 0.
+  in
+  { assignments; uniform_cost; mixed_cost; saving_pct }
+
+let pp ppf t =
+  let by_type = Hashtbl.create 8 in
+  List.iter
+    (fun asg ->
+      Hashtbl.replace by_type asg.instance.Instance.name
+        (1 + Option.value ~default:0 (Hashtbl.find_opt by_type asg.instance.Instance.name)))
+    t.assignments;
+  let mix =
+    Hashtbl.fold (fun name n acc -> (name, n) :: acc) by_type []
+    |> List.sort compare
+    |> List.map (fun (name, n) -> Printf.sprintf "%dx %s" n name)
+    |> String.concat ", "
+  in
+  Format.fprintf ppf "mix: %s; VM cost $%.2f vs uniform $%.2f (%.1f%% saved)" mix
+    t.mixed_cost t.uniform_cost t.saving_pct

@@ -1,0 +1,40 @@
+(** Heterogeneous right-sizing. The paper rents one instance type for the
+    whole fleet; but once the packing is fixed, each VM only needs enough
+    wire for its own load, and the EC2 catalogue quantises capacity in
+    powers of two — so the tail VMs (CBP's last, half-empty bins) can be
+    downsized. Because the c3 family prices bandwidth linearly, the
+    saving comes exactly from this quantisation slack.
+
+    Capacity conversion follows the benchmark convention: a VM type with
+    [m] mbps offers [per_mbps64 · m / 64] events per horizon, where
+    [per_mbps64] is whatever per-VM capacity (in events) the problem
+    assigned to the 64-mbps baseline. *)
+
+type assignment = {
+  vm : int;
+  load : float;
+  instance : Mcss_pricing.Instance.t;  (** Cheapest type that fits. *)
+}
+
+type t = {
+  assignments : assignment list;
+  uniform_cost : float;  (** VM cost if every VM uses [baseline]. *)
+  mixed_cost : float;  (** VM cost under the per-VM assignment. *)
+  saving_pct : float;
+}
+
+val solve :
+  Allocation.t ->
+  baseline:Mcss_pricing.Instance.t ->
+  catalogue:Mcss_pricing.Instance.t list ->
+  horizon_hours:float ->
+  term:Mcss_pricing.Billing.term ->
+  t
+(** The allocation must have been computed against the [baseline]'s
+    capacity (its loads are compared against each candidate's scaled
+    capacity). Candidates larger than the baseline are never needed and
+    are ignored. Raises [Invalid_argument] on an empty catalogue or if
+    some VM fits no candidate (cannot happen when the baseline itself is
+    in the catalogue). *)
+
+val pp : Format.formatter -> t -> unit

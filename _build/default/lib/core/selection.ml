@@ -1,0 +1,322 @@
+module Workload = Mcss_workload.Workload
+
+type t = {
+  chosen : Workload.topic array array;
+  selected_rate : float array;
+  num_pairs : int;
+  outgoing_rate : float;
+}
+
+let benefit_cost_ratio ~ev ~rem =
+  if rem > 0. then Float.min 1. (ev /. rem) /. (2. *. ev) else 0.
+
+(* Both GSP implementations order candidates by the exact key
+   (max(ev_t, rem_v), topic id), ascending: minimising max(ev, rem) is
+   the same as maximising the Alg. 1 ratio min(1, ev/rem) / (2 ev) =
+   1 / (2 max(ev, rem)), but comparing the key avoids float-division
+   rounding breaking mathematically exact ties. *)
+let gsp_key ~ev ~rem = Float.max ev rem
+
+let build ~workload per_subscriber =
+  let n = Workload.num_subscribers workload in
+  let chosen = Array.make n [||] in
+  let selected_rate = Array.make n 0. in
+  let num_pairs = ref 0 in
+  let outgoing_rate = ref 0. in
+  for v = 0 to n - 1 do
+    let topics, rate = per_subscriber v in
+    Array.sort compare topics;
+    chosen.(v) <- topics;
+    selected_rate.(v) <- rate;
+    num_pairs := !num_pairs + Array.length topics;
+    outgoing_rate := !outgoing_rate +. rate
+  done;
+  {
+    chosen;
+    selected_rate;
+    num_pairs = !num_pairs;
+    outgoing_rate = !outgoing_rate;
+  }
+
+(* Literal Alg. 2 for one subscriber: after every pick, re-derive every
+   remaining candidate's ratio from the current remainder and rescan for
+   the argmax (lowest topic id on ties). Quadratic in |T_v|. *)
+let gsp_reference_subscriber w ~tau ~eps v =
+  let tv = Workload.interests w v in
+  let k = Array.length tv in
+  let tau_v = Workload.tau_v w ~tau v in
+  let selected = Array.make k false in
+  let picked = ref [] in
+  let sum = ref 0. in
+  while !sum < tau_v -. eps do
+    let rem = tau_v -. !sum in
+    let best = ref (-1) in
+    let best_key = ref infinity in
+    for i = 0 to k - 1 do
+      if not selected.(i) then begin
+        let key = gsp_key ~ev:(Workload.event_rate w tv.(i)) ~rem in
+        if key < !best_key then begin
+          best_key := key;
+          best := i
+        end
+      end
+    done;
+    (* τ_v <= Σ_{t∈T_v} ev_t guarantees a candidate remains. *)
+    assert (!best >= 0);
+    selected.(!best) <- true;
+    picked := tv.(!best) :: !picked;
+    sum := !sum +. Workload.event_rate w tv.(!best)
+  done;
+  (Array.of_list !picked, !sum)
+
+let gsp_reference (p : Problem.t) =
+  let w = p.Problem.workload in
+  let eps = Problem.epsilon p in
+  build ~workload:w (gsp_reference_subscriber w ~tau:p.Problem.tau ~eps)
+
+(* O(|T_v| log |T_v|) GSP for one subscriber.
+
+   Invariant: while any unselected topic has ev <= rem, all such topics tie
+   for the best ratio and the lowest id wins; once none is left, the best
+   candidate is the unselected topic with the smallest rate (necessarily
+   > rem), and picking it finishes the subscriber. We therefore keep the
+   unselected topics with ev <= rem in an id-ordered set, shrinking it from
+   the high-rate end as rem decreases. *)
+module Int_set = Set.Make (Int)
+
+let gsp_subscriber w ~tau ~eps v =
+  let tv = Workload.interests w v in
+  let k = Array.length tv in
+  let tau_v = Workload.tau_v w ~tau v in
+  if tau_v <= eps then ([||], 0.)
+  else begin
+    let ev i = Workload.event_rate w tv.(i) in
+    (* Positions sorted by (rate, id); [tv] is id-sorted so index order
+       breaks rate ties by id. *)
+    let by_rate = Array.init k (fun i -> i) in
+    Array.sort (fun a b -> compare (ev a, a) (ev b, b)) by_rate;
+    let selected = Array.make k false in
+    let picked = ref [] in
+    let sum = ref 0. in
+    let rem () = tau_v -. !sum in
+    (* [hi] = number of leading entries of [by_rate] with ev <= rem; the
+       id set holds exactly the unselected ones among them. *)
+    let eligible = ref Int_set.empty in
+    let hi = ref 0 in
+    while !hi < k && ev by_rate.(!hi) <= rem () do
+      eligible := Int_set.add tv.(by_rate.(!hi)) !eligible;
+      incr hi
+    done;
+    let shrink () =
+      while !hi > 0 && ev by_rate.(!hi - 1) > rem () do
+        decr hi;
+        eligible := Int_set.remove tv.(by_rate.(!hi)) !eligible
+      done
+    in
+    let pos_of_topic = Hashtbl.create k in
+    Array.iteri (fun i topic -> Hashtbl.add pos_of_topic topic i) tv;
+    let select pos =
+      selected.(pos) <- true;
+      picked := tv.(pos) :: !picked;
+      sum := !sum +. ev pos
+    in
+    let endgame = ref 0 in
+    while !sum < tau_v -. eps do
+      match Int_set.min_elt_opt !eligible with
+      | Some topic ->
+          let pos = Hashtbl.find pos_of_topic topic in
+          eligible := Int_set.remove topic !eligible;
+          select pos;
+          shrink ()
+      | None ->
+          (* All unselected rates exceed rem: take the smallest, done. *)
+          while !endgame < k && selected.(by_rate.(!endgame)) do incr endgame done;
+          assert (!endgame < k);
+          select by_rate.(!endgame)
+    done;
+    (Array.of_list !picked, !sum)
+  end
+
+let gsp (p : Problem.t) =
+  let w = p.Problem.workload in
+  let eps = Problem.epsilon p in
+  build ~workload:w (gsp_subscriber w ~tau:p.Problem.tau ~eps)
+
+(* Parallel GSP: subscribers are independent, so each domain fills a
+   disjoint slice of the result arrays; the aggregate sums are folded
+   sequentially afterwards so the result is bit-identical to [gsp]. *)
+let gsp_parallel ?domains (p : Problem.t) =
+  let w = p.Problem.workload in
+  let eps = Problem.epsilon p in
+  let n = Workload.num_subscribers w in
+  let domains =
+    match domains with Some d -> d | None -> Domain.recommended_domain_count ()
+  in
+  if domains <= 1 || n < 2 then gsp p
+  else begin
+    let domains = min domains n in
+    let chosen = Array.make n [||] in
+    let rates = Array.make n 0. in
+    let chunk = (n + domains - 1) / domains in
+    let worker d () =
+      let lo = d * chunk in
+      let hi = min n (lo + chunk) - 1 in
+      for v = lo to hi do
+        let topics, rate = gsp_subscriber w ~tau:p.Problem.tau ~eps v in
+        Array.sort compare topics;
+        chosen.(v) <- topics;
+        rates.(v) <- rate
+      done
+    in
+    let spawned =
+      List.init (domains - 1) (fun i -> Domain.spawn (worker (i + 1)))
+    in
+    worker 0 ();
+    List.iter Domain.join spawned;
+    let num_pairs = ref 0 in
+    let outgoing_rate = ref 0. in
+    for v = 0 to n - 1 do
+      num_pairs := !num_pairs + Array.length chosen.(v);
+      outgoing_rate := !outgoing_rate +. rates.(v)
+    done;
+    {
+      chosen;
+      selected_rate = rates;
+      num_pairs = !num_pairs;
+      outgoing_rate = !outgoing_rate;
+    }
+  end
+
+let rsp_order w ~tau ~eps order v =
+  let tv = order v in
+  let tau_v = Workload.tau_v w ~tau v in
+  let picked = ref [] in
+  let sum = ref 0. in
+  let i = ref 0 in
+  while !sum < tau_v -. eps && !i < Array.length tv do
+    let t = tv.(!i) in
+    picked := t :: !picked;
+    sum := !sum +. Workload.event_rate w t;
+    incr i
+  done;
+  (Array.of_list !picked, !sum)
+
+let rsp (p : Problem.t) =
+  let w = p.Problem.workload in
+  let eps = Problem.epsilon p in
+  build ~workload:w (rsp_order w ~tau:p.Problem.tau ~eps (Workload.interests w))
+
+let rsp_shuffled rng (p : Problem.t) =
+  let w = p.Problem.workload in
+  let eps = Problem.epsilon p in
+  let order v =
+    let tv = Array.copy (Workload.interests w v) in
+    Mcss_prng.Rng.shuffle_in_place rng tv;
+    tv
+  in
+  build ~workload:w (rsp_order w ~tau:p.Problem.tau ~eps order)
+
+let integral_rate ev =
+  let r = Float.round ev in
+  if Float.abs (ev -. r) <= 1e-9 && r >= 1. then Some (int_of_float r) else None
+
+(* Min-cost covering knapsack per subscriber: dp.(j) = least total selected
+   rate achieving coverage >= j, with transitions clamped at the target.
+   Backpointers record the item used so the chosen set can be rebuilt. *)
+let optimal_subscriber w ~tau rates v =
+  let tv = Workload.interests w v in
+  let k = Array.length tv in
+  let tau_v = Workload.tau_v w ~tau v in
+  let target = int_of_float (ceil (tau_v -. 1e-9)) in
+  if target <= 0 then ([||], 0.)
+  else begin
+    let dp = Array.make (target + 1) max_int in
+    let back_item = Array.make (target + 1) (-1) in
+    let back_prev = Array.make (target + 1) (-1) in
+    dp.(0) <- 0;
+    for i = 0 to k - 1 do
+      let r = rates.(tv.(i)) in
+      (* Downward iteration with strictly increasing transitions means a
+         cell written in this pass is never read in the same pass, so no
+         item is used twice. *)
+      for j = target - 1 downto 0 do
+        if dp.(j) < max_int then begin
+          let nj = min target (j + r) in
+          if dp.(j) + r < dp.(nj) then begin
+            dp.(nj) <- dp.(j) + r;
+            back_item.(nj) <- i;
+            back_prev.(nj) <- j
+          end
+        end
+      done
+    done;
+    assert (dp.(target) < max_int);
+    let picked = ref [] in
+    let j = ref target in
+    while !j > 0 do
+      picked := tv.(back_item.(!j)) :: !picked;
+      j := back_prev.(!j)
+    done;
+    let topics = Array.of_list !picked in
+    let rate = Array.fold_left (fun acc t -> acc +. float_of_int rates.(t)) 0. topics in
+    (topics, rate)
+  end
+
+let optimal_per_subscriber ?(max_budget = 100_000) (p : Problem.t) =
+  let w = p.Problem.workload in
+  let rates_opt =
+    Array.fold_left
+      (fun acc ev ->
+        match (acc, integral_rate ev) with
+        | Some rs, Some r -> Some (r :: rs)
+        | _ -> None)
+      (Some []) (Workload.event_rates w)
+  in
+  match rates_opt with
+  | None -> None
+  | Some rs ->
+      let rates = Array.of_list (List.rev rs) in
+      let too_big = ref false in
+      for v = 0 to Workload.num_subscribers w - 1 do
+        if ceil (Workload.tau_v w ~tau:p.Problem.tau v) > float_of_int max_budget then
+          too_big := true
+      done;
+      if !too_big then None
+      else Some (build ~workload:w (optimal_subscriber w ~tau:p.Problem.tau rates))
+
+let satisfies (p : Problem.t) s =
+  let eps = Problem.epsilon p in
+  let ok = ref true in
+  Array.iteri
+    (fun v rate -> if rate +. eps < Problem.tau_v p v then ok := false)
+    s.selected_rate;
+  !ok
+
+let pairs_by_topic (p : Problem.t) s =
+  let w = p.Problem.workload in
+  let counts = Array.make (Workload.num_topics w) 0 in
+  Array.iter (Array.iter (fun t -> counts.(t) <- counts.(t) + 1)) s.chosen;
+  let nonempty = ref 0 in
+  Array.iter (fun c -> if c > 0 then incr nonempty) counts;
+  let subs = Array.map (fun c -> Array.make (max c 1) 0) counts in
+  let fill = Array.make (Workload.num_topics w) 0 in
+  Array.iteri
+    (fun v tv ->
+      Array.iter
+        (fun t ->
+          subs.(t).(fill.(t)) <- v;
+          fill.(t) <- fill.(t) + 1)
+        tv)
+    s.chosen;
+  let out = Array.make !nonempty (0, [||]) in
+  let i = ref 0 in
+  Array.iteri
+    (fun t c ->
+      if c > 0 then begin
+        out.(!i) <- (t, subs.(t));
+        incr i
+      end)
+    counts;
+  out
+
+let iter_pairs s f = Array.iteri (fun v tv -> Array.iter (fun t -> f t v) tv) s.chosen

@@ -1,0 +1,77 @@
+module Workload = Mcss_workload.Workload
+
+type t = {
+  num_vms : int;
+  mean_utilization : float;
+  min_utilization : float;
+  max_utilization : float;
+  stddev_utilization : float;
+  topics_placed : int;
+  topics_split : int;
+  max_topic_spread : int;
+  incoming_overhead : float;
+  overhead_fraction : float;
+}
+
+let compute (p : Problem.t) a =
+  let w = p.Problem.workload in
+  let vms = Allocation.vms a in
+  let n = Array.length vms in
+  let utilizations =
+    Array.map (fun vm -> Allocation.load vm /. p.Problem.capacity) vms
+  in
+  let mean =
+    if n = 0 then 0. else Array.fold_left ( +. ) 0. utilizations /. float_of_int n
+  in
+  let stddev =
+    if n = 0 then 0.
+    else
+      sqrt
+        (Array.fold_left (fun acc u -> acc +. ((u -. mean) ** 2.)) 0. utilizations
+        /. float_of_int n)
+  in
+  let spread = Hashtbl.create 256 in
+  Array.iter
+    (fun vm ->
+      List.iter
+        (fun t -> Hashtbl.replace spread t (1 + Option.value ~default:0 (Hashtbl.find_opt spread t)))
+        (Allocation.topics_on vm))
+    vms;
+  let topics_split = ref 0 in
+  let max_topic_spread = ref 0 in
+  let incoming_overhead = ref 0. in
+  Hashtbl.iter
+    (fun t count ->
+      if count > 1 then begin
+        incr topics_split;
+        incoming_overhead :=
+          !incoming_overhead +. (float_of_int (count - 1) *. Workload.event_rate w t)
+      end;
+      if count > !max_topic_spread then max_topic_spread := count)
+    spread;
+  let total_load = Allocation.total_load a in
+  {
+    num_vms = n;
+    mean_utilization = mean;
+    min_utilization =
+      (if n = 0 then 0. else Array.fold_left Float.min utilizations.(0) utilizations);
+    max_utilization = Array.fold_left Float.max 0. utilizations;
+    stddev_utilization = stddev;
+    topics_placed = Hashtbl.length spread;
+    topics_split = !topics_split;
+    max_topic_spread = !max_topic_spread;
+    incoming_overhead = !incoming_overhead;
+    overhead_fraction =
+      (if total_load > 0. then !incoming_overhead /. total_load else 0.);
+  }
+
+let pp ppf s =
+  Format.fprintf ppf
+    "%d VMs; utilization mean %.1f%% (min %.1f%%, max %.1f%%, stddev %.1f%%);@ %d/%d \
+     topics split (worst over %d VMs);@ incoming overhead %.0f events (%.2f%% of \
+     traffic)"
+    s.num_vms (100. *. s.mean_utilization) (100. *. s.min_utilization)
+    (100. *. s.max_utilization)
+    (100. *. s.stddev_utilization)
+    s.topics_split s.topics_placed s.max_topic_spread s.incoming_overhead
+    (100. *. s.overhead_fraction)

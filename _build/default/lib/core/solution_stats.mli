@@ -1,0 +1,26 @@
+(** Diagnostics over a computed allocation — the numbers an operator
+    looks at after the solver says "$X, N VMs": how balanced is the
+    fleet, how fragmented are the topics, and what the fragmentation
+    costs in incoming bandwidth. *)
+
+type t = {
+  num_vms : int;
+  mean_utilization : float;  (** Mean of load/BC over the fleet. *)
+  min_utilization : float;
+  max_utilization : float;
+  stddev_utilization : float;
+  topics_placed : int;  (** Distinct topics with at least one pair. *)
+  topics_split : int;  (** Topics present on more than one VM. *)
+  max_topic_spread : int;  (** Worst per-topic VM count. *)
+  incoming_overhead : float;
+      (** Event units of incoming bandwidth beyond the one stream per
+          topic an ideal (unsplit) placement would pay:
+          [Σ_t (spread_t - 1) · ev_t]. *)
+  overhead_fraction : float;
+      (** [incoming_overhead / total_load]; 0 when nothing is split. *)
+}
+
+val compute : Problem.t -> Allocation.t -> t
+(** An empty fleet yields zero utilisation statistics. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,68 @@
+type stage1 = Gsp | Gsp_parallel | Gsp_reference | Rsp | Global_greedy
+type stage2 = Ffbp | Cbp of Cbp.options
+
+type config = { stage1 : stage1; stage2 : stage2 }
+
+type result = {
+  selection : Selection.t;
+  allocation : Allocation.t;
+  num_vms : int;
+  bandwidth : float;
+  cost : float;
+  stage1_seconds : float;
+  stage2_seconds : float;
+}
+
+let default = { stage1 = Gsp; stage2 = Cbp Cbp.with_cost_decision }
+let naive = { stage1 = Rsp; stage2 = Ffbp }
+
+let ladder =
+  [
+    ("RSP+FFBP", naive);
+    ("(a) GSP+FFBP", { stage1 = Gsp; stage2 = Ffbp });
+    ("(b) +grouping", { stage1 = Gsp; stage2 = Cbp Cbp.grouping_only });
+    ("(c) +expensive-first", { stage1 = Gsp; stage2 = Cbp Cbp.with_expensive_first });
+    ("(d) +most-free-VM", { stage1 = Gsp; stage2 = Cbp Cbp.with_most_free });
+    ("(e) +cost-decision", { stage1 = Gsp; stage2 = Cbp Cbp.with_cost_decision });
+  ]
+
+let config_of_name name = List.assoc_opt name ladder
+
+let timed f =
+  let start = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. start)
+
+let solve ?(config = default) (p : Problem.t) =
+  let selection, stage1_seconds =
+    timed (fun () ->
+        match config.stage1 with
+        | Gsp -> Selection.gsp p
+        | Gsp_parallel -> Selection.gsp_parallel p
+        | Gsp_reference -> Selection.gsp_reference p
+        | Rsp -> Selection.rsp p
+        | Global_greedy -> Global_greedy.select p)
+  in
+  let allocation, stage2_seconds =
+    timed (fun () ->
+        match config.stage2 with
+        | Ffbp -> Ffbp.run p selection
+        | Cbp opts -> Cbp.run p selection opts)
+  in
+  let num_vms = Allocation.num_vms allocation in
+  let bandwidth = Allocation.total_load allocation in
+  {
+    selection;
+    allocation;
+    num_vms;
+    bandwidth;
+    cost = Problem.cost p ~vms:num_vms ~bandwidth;
+    stage1_seconds;
+    stage2_seconds;
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "%d pairs selected, %d VMs, bandwidth %.1f, cost $%.2f (stage1 %.3fs, stage2 %.3fs)"
+    r.selection.Selection.num_pairs r.num_vms r.bandwidth r.cost r.stage1_seconds
+    r.stage2_seconds

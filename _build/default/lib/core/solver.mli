@@ -1,0 +1,49 @@
+(** The end-to-end two-stage MCSS heuristic (§III): pick a Stage-1
+    selector and a Stage-2 packer, run them, and account the result.
+
+    The paper's evaluation compares six configurations — the naive
+    baseline plus the optimisation ladder (a)–(e) — which {!ladder}
+    provides by name so benchmarks and the CLI share one source of
+    truth. *)
+
+type stage1 =
+  | Gsp
+  | Gsp_parallel  (** {!Selection.gsp_parallel} over all recommended domains. *)
+  | Gsp_reference
+  | Rsp
+  | Global_greedy  (** The cross-subscriber extension, {!Global_greedy}. *)
+
+type stage2 = Ffbp | Cbp of Cbp.options
+
+type config = { stage1 : stage1; stage2 : stage2 }
+
+type result = {
+  selection : Selection.t;
+  allocation : Allocation.t;
+  num_vms : int;
+  bandwidth : float;  (** [Σ_b bw_b], event units. *)
+  cost : float;  (** [C1(num_vms) + C2(bandwidth)]. *)
+  stage1_seconds : float;
+  stage2_seconds : float;
+}
+
+val solve : ?config:config -> Problem.t -> result
+(** Run both stages ([config] defaults to {!default}: GSP + full CBP).
+    Raises {!Problem.Infeasible} when the workload cannot fit the VM
+    capacity. *)
+
+val default : config
+(** GSP + CBP with all optimisations (b)–(e). *)
+
+val naive : config
+(** RSP + FFBP, the paper's baseline. *)
+
+val ladder : (string * config) list
+(** The evaluation ladder, in the paper's order: ["RSP+FFBP"],
+    ["(a) GSP+FFBP"], ["(b) +grouping"], ["(c) +expensive-first"],
+    ["(d) +most-free-VM"], ["(e) +cost-decision"]. *)
+
+val config_of_name : string -> config option
+(** Look up a ladder entry by its name. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,1 @@
+lib/dynamic/churn.ml: Array Delta Float Hashtbl List Mcss_prng Mcss_workload

@@ -1,0 +1,1 @@
+lib/dynamic/churn.mli: Delta Mcss_prng Mcss_workload

@@ -1,0 +1,1 @@
+lib/dynamic/delta.ml: Array Format Hashtbl List Mcss_core Mcss_workload Printf

@@ -1,0 +1,1 @@
+lib/dynamic/delta.mli: Format Mcss_workload

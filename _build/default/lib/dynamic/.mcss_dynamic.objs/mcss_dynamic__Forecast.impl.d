@@ -1,0 +1,1 @@
+lib/dynamic/forecast.ml: Array Float Format List Mcss_core Mcss_pricing Mcss_workload

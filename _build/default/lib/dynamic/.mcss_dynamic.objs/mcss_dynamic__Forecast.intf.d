@@ -1,0 +1,1 @@
+lib/dynamic/forecast.mli: Format Mcss_pricing Mcss_workload

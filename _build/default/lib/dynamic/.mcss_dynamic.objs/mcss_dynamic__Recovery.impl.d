@@ -1,0 +1,1 @@
+lib/dynamic/recovery.ml: Array Hashtbl List Mcss_core Mcss_workload Option Printf Reprovision

@@ -1,0 +1,1 @@
+lib/dynamic/reprovision.ml: Array Hashtbl List Mcss_core Mcss_workload Option Printf

@@ -1,0 +1,1 @@
+lib/dynamic/reprovision.mli: Mcss_core

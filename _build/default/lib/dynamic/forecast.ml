@@ -1,0 +1,94 @@
+module Workload = Mcss_workload.Workload
+module Problem = Mcss_core.Problem
+module Solver = Mcss_core.Solver
+module Billing = Mcss_pricing.Billing
+module Cost_model = Mcss_pricing.Cost_model
+
+type strategy = On_demand_only | All_reserved | Hybrid
+
+type period_plan = {
+  period : int;
+  subscribers : int;
+  vms_needed : int;
+  cost_on_demand : float;
+  cost_all_reserved : float;
+  cost_hybrid : float;
+}
+
+type plan = {
+  periods : period_plan list;
+  total_on_demand : float;
+  total_all_reserved : float;
+  total_hybrid : float;
+  best : strategy;
+}
+
+let pp_strategy ppf = function
+  | On_demand_only -> Format.pp_print_string ppf "on-demand only"
+  | All_reserved -> Format.pp_print_string ppf "all reserved"
+  | Hybrid -> Format.pp_print_string ppf "hybrid (reserved baseline + on-demand burst)"
+
+(* Grow the subscriber population to [target] by cloning existing
+   subscribers round-robin: the joint (interests, rates) distribution is
+   preserved exactly, which is what "same service, more users" means. *)
+let grown base target =
+  let ns = Workload.num_subscribers base in
+  if target <= ns then base
+  else begin
+    let interests =
+      Array.init target (fun v ->
+          Workload.interests base (if v < ns then v else v mod ns))
+    in
+    Workload.create ~event_rates:(Workload.event_rates base) ~interests
+  end
+
+let plan ~base ~tau ~capacity_events ~model ~growth_per_period ~periods ~reserved_term =
+  if not (growth_per_period > 0.) then invalid_arg "Forecast.plan: growth must be positive";
+  if periods < 1 then invalid_arg "Forecast.plan: need at least one period";
+  let base_subs = Workload.num_subscribers base in
+  let subscribers_in k =
+    int_of_float (Float.round (float_of_int base_subs *. (growth_per_period ** float_of_int k)))
+  in
+  let od_hourly = Billing.effective_hourly model.Cost_model.instance Billing.On_demand in
+  let ri_hourly = Billing.effective_hourly model.Cost_model.instance reserved_term in
+  let hours = model.Cost_model.horizon_hours in
+  let solve_period k =
+    let w = grown base (subscribers_in k) in
+    let p = Problem.of_pricing ~capacity_events ~workload:w ~tau model in
+    let r = Solver.solve p in
+    (k, Workload.num_subscribers w, r.Solver.num_vms,
+     Cost_model.bandwidth_cost model r.Solver.bandwidth)
+  in
+  let solved = List.init periods solve_period in
+  let final_vms =
+    List.fold_left (fun acc (_, _, vms, _) -> max acc vms) 0 solved
+  in
+  let baseline_vms =
+    match solved with (_, _, vms, _) :: _ -> vms | [] -> 0
+  in
+  let period_plans =
+    List.map
+      (fun (k, subscribers, vms, bw_cost) ->
+        let cost_on_demand = (float_of_int vms *. od_hourly *. hours) +. bw_cost in
+        let cost_all_reserved = (float_of_int final_vms *. ri_hourly *. hours) +. bw_cost in
+        let burst = max 0 (vms - baseline_vms) in
+        let cost_hybrid =
+          (float_of_int baseline_vms *. ri_hourly *. hours)
+          +. (float_of_int burst *. od_hourly *. hours)
+          +. bw_cost
+        in
+        { period = k; subscribers; vms_needed = vms; cost_on_demand;
+          cost_all_reserved; cost_hybrid })
+      solved
+  in
+  let total f = List.fold_left (fun acc pp -> acc +. f pp) 0. period_plans in
+  let total_on_demand = total (fun pp -> pp.cost_on_demand) in
+  let total_all_reserved = total (fun pp -> pp.cost_all_reserved) in
+  let total_hybrid = total (fun pp -> pp.cost_hybrid) in
+  let best =
+    if total_on_demand <= total_all_reserved && total_on_demand <= total_hybrid then
+      On_demand_only
+    else if total_all_reserved <= total_hybrid then All_reserved
+    else Hybrid
+  in
+  { periods = period_plans; total_on_demand; total_all_reserved; total_hybrid; best }

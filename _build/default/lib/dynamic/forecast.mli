@@ -1,0 +1,58 @@
+(** Multi-period capacity planning under growth: social pub/sub workloads
+    grow (the paper's traces are samples of services adding users daily),
+    and the Reserved-vs-On-Demand decision depends on how much of the
+    fleet is a stable baseline. This planner sizes the fleet for each
+    future period by scaling the workload, then prices three purchasing
+    strategies:
+
+    - {b on-demand}: rent exactly each period's fleet at the On-Demand
+      rate;
+    - {b all-reserved}: reserve the {e final} period's fleet from day
+      one (no elasticity, maximal discount, idle VMs early on);
+    - {b hybrid}: reserve the first period's fleet as a baseline and
+      cover each period's growth with On-Demand instances.
+
+    Scaling approximates growth by replicating subscribers: period [k]
+    uses the base workload with every subscriber's threshold demand
+    multiplied via a fleet-size model that is linear in the number of
+    subscribers, which matches how the MCSS fleet scales when topic
+    popularity stays fixed. Fleet sizes are obtained by solving MCSS on
+    the scaled subscriber population. *)
+
+type strategy = On_demand_only | All_reserved | Hybrid
+
+type period_plan = {
+  period : int;  (** 0-based. *)
+  subscribers : int;
+  vms_needed : int;
+  cost_on_demand : float;
+  cost_all_reserved : float;
+  cost_hybrid : float;
+}
+
+type plan = {
+  periods : period_plan list;
+  total_on_demand : float;
+  total_all_reserved : float;
+  total_hybrid : float;
+  best : strategy;
+}
+
+val plan :
+  base:Mcss_workload.Workload.t ->
+  tau:float ->
+  capacity_events:float ->
+  model:Mcss_pricing.Cost_model.t ->
+  growth_per_period:float ->
+  periods:int ->
+  reserved_term:Mcss_pricing.Billing.term ->
+  plan
+(** [growth_per_period] is the multiplicative subscriber growth (e.g.
+    [1.2] for +20% per period); [periods >= 1]. The [model]'s own term is
+    ignored — On-Demand and [reserved_term] prices are taken from
+    {!Mcss_pricing.Billing}. Bandwidth cost is charged identically under
+    every strategy and included in all totals. Subscriber populations are
+    grown by cloning the base workload's subscribers round-robin.
+    Raises [Invalid_argument] on a non-positive growth or period count. *)
+
+val pp_strategy : Format.formatter -> strategy -> unit

@@ -1,0 +1,22 @@
+(** Failure recovery: when VMs die (the failure-injection experiments
+    measure what that costs subscribers per hour), the orchestrator must
+    re-home the lost pairs. This planner rebuilds the fleet without the
+    failed VMs, re-places their pairs with the usual insertion rule, and
+    reports how much capacity had to be re-provisioned — turning the
+    simulator's "13% of subscribers lost τ" observation into a repair
+    action. *)
+
+type stats = {
+  vms_lost : int;
+  pairs_rehomed : int;  (** Pairs that lived on failed VMs. *)
+  vms_added : int;  (** Fresh VMs deployed to absorb them. *)
+}
+
+val replan :
+  Reprovision.plan -> failed:int list -> Reprovision.plan * stats
+(** [replan plan ~failed] treats the listed VM ids as permanently dead.
+    Surviving placements stay where they are; orphaned pairs are packed
+    onto survivors (most-free first) and fresh VMs. Unknown ids are
+    ignored. The input plan is not modified. The result satisfies the
+    plan's problem again — verify it, as the tests do. Raises
+    {!Mcss_core.Problem.Infeasible} if an orphaned pair fits no VM. *)

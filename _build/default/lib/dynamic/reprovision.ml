@@ -1,0 +1,282 @@
+module Workload = Mcss_workload.Workload
+module Problem = Mcss_core.Problem
+module Selection = Mcss_core.Selection
+module Allocation = Mcss_core.Allocation
+module Solver = Mcss_core.Solver
+module Vec = Mcss_core.Vec
+
+type plan = {
+  problem : Problem.t;
+  selection : Selection.t;
+  allocation : Allocation.t;
+}
+
+type stats = {
+  pairs_kept : int;
+  pairs_added : int;
+  pairs_removed : int;
+  pairs_evicted : int;
+  vms_added : int;
+  vms_removed : int;
+}
+
+let initial problem =
+  let r = Solver.solve problem in
+  { problem; selection = r.Solver.selection; allocation = r.Solver.allocation }
+
+let cost plan =
+  Problem.cost plan.problem
+    ~vms:(Allocation.num_vms plan.allocation)
+    ~bandwidth:(Allocation.total_load plan.allocation)
+
+(* Group pending pairs per topic and place them with the CBP insertion
+   rule: most-free VM that can take a pair, new VMs on overflow. *)
+let place_pending (p : Problem.t) a pending =
+  let w = p.Problem.workload in
+  let eps = Problem.epsilon p in
+  Hashtbl.iter
+    (fun topic subs ->
+      let ev = Workload.event_rate w topic in
+      let subs = Array.of_list subs in
+      let n = Array.length subs in
+      let from = ref 0 in
+      while !from < n do
+        let best = ref None in
+        Array.iter
+          (fun vm ->
+            if Allocation.max_pairs_that_fit a vm ~topic ~ev ~eps > 0 then
+              match !best with
+              | Some b when Allocation.free a b >= Allocation.free a vm -> ()
+              | _ -> best := Some vm)
+          (Allocation.vms a);
+        let vm =
+          match !best with
+          | Some vm -> vm
+          | None ->
+              let vm = Allocation.deploy a in
+              if Allocation.max_pairs_that_fit a vm ~topic ~ev ~eps = 0 then
+                raise
+                  (Problem.Infeasible
+                     (Printf.sprintf
+                        "topic %d: a single pair needs %g bandwidth but BC is %g" topic
+                        (2. *. ev) p.Problem.capacity));
+              vm
+        in
+        let k = min (Allocation.max_pairs_that_fit a vm ~topic ~ev ~eps) (n - !from) in
+        Allocation.place a vm ~topic ~ev ~subscribers:subs ~from:!from ~count:k;
+        from := !from + k
+      done)
+    pending
+
+(* Rebuild an identical fleet so consolidation never mutates its input. *)
+let clone_allocation (p : Problem.t) a =
+  let w = p.Problem.workload in
+  let fresh = Allocation.create ~capacity:p.Problem.capacity in
+  Array.iter
+    (fun vm ->
+      let copy = Allocation.deploy fresh in
+      List.iter
+        (fun topic ->
+          let subs = Array.of_list (Allocation.subscribers_of_topic_on vm topic) in
+          Allocation.place fresh copy ~topic ~ev:(Workload.event_rate w topic)
+            ~subscribers:subs ~from:0 ~count:(Array.length subs))
+        (Allocation.topics_on vm))
+    (Allocation.vms a);
+  fresh
+
+(* Can [src]'s whole content move into the other VMs? Plan against a
+   snapshot of their free capacities and topic presence; commit only on a
+   complete drain so bandwidth never grows without freeing the VM. *)
+let plan_drain (p : Problem.t) a src =
+  let w = p.Problem.workload in
+  let eps = Problem.epsilon p in
+  (* Only non-empty peers may receive: refilling a previously drained VM
+     would undo the work, and excluding empties guarantees every
+     successful drain strictly shrinks the set of occupied VMs (so the
+     outer loop terminates). *)
+  let others =
+    Array.of_list
+      (List.filter
+         (fun vm ->
+           Allocation.vm_id vm <> Allocation.vm_id src && Allocation.num_pairs_on vm > 0)
+         (Array.to_list (Allocation.vms a)))
+  in
+  let free = Array.map (fun vm -> Allocation.free a vm) others in
+  let groups =
+    List.map
+      (fun topic ->
+        (topic, Array.of_list (Allocation.subscribers_of_topic_on src topic)))
+      (Allocation.topics_on src)
+  in
+  (* Largest groups first: they are the hardest to place. *)
+  let groups =
+    List.sort
+      (fun (ta, sa) (tb, sb) ->
+        let vol (t, s) = float_of_int (Array.length s) *. Workload.event_rate w t in
+        compare (-.vol (tb, sb), ta) (-.vol (ta, sa), tb))
+      groups
+  in
+  let hosts = Hashtbl.create 64 in
+  Array.iteri
+    (fun i vm ->
+      List.iter (fun t -> Hashtbl.replace hosts (i, t) ()) (Allocation.topics_on vm))
+    others;
+  let moves = ref [] in
+  let ok = ref true in
+  List.iter
+    (fun (topic, subs) ->
+      if !ok then begin
+        let ev = Workload.event_rate w topic in
+        let n = Array.length subs in
+        let from = ref 0 in
+        while !from < n && !ok do
+          (* Most free first among those that can take a pair. *)
+          let best = ref (-1) in
+          Array.iteri
+            (fun i _ ->
+              let incoming = if Hashtbl.mem hosts (i, topic) then 0. else ev in
+              if free.(i) +. eps -. incoming >= ev then
+                match !best with
+                | -1 -> best := i
+                | b -> if free.(i) > free.(b) then best := i)
+            others;
+          match !best with
+          | -1 -> ok := false
+          | i ->
+              let incoming = if Hashtbl.mem hosts (i, topic) then 0. else ev in
+              let k =
+                min (n - !from)
+                  (int_of_float (floor ((free.(i) +. eps -. incoming) /. ev)))
+              in
+              free.(i) <- free.(i) -. (float_of_int k *. ev) -. incoming;
+              Hashtbl.replace hosts (i, topic) ();
+              moves := (Allocation.vm_id others.(i), topic, ev, subs, !from, k) :: !moves;
+              from := !from + k
+        done
+      end)
+    groups;
+  if !ok then Some !moves else None
+
+let consolidate ?(max_moves = 10_000) plan =
+  let p = plan.problem in
+  let a = clone_allocation p plan.allocation in
+  let moved = ref 0 in
+  let drained = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    (* Least-loaded non-empty VM that fully drains. *)
+    let candidates =
+      Array.to_list (Allocation.vms a)
+      |> List.filter (fun vm -> Allocation.num_pairs_on vm > 0)
+      |> List.sort (fun x y -> compare (Allocation.load x) (Allocation.load y))
+    in
+    let rec try_candidates = function
+      | [] -> ()
+      | src :: rest -> (
+          if Allocation.num_pairs_on src + !moved > max_moves then try_candidates rest
+          else
+            match plan_drain p a src with
+            | None -> try_candidates rest
+            | Some moves ->
+                List.iter
+                  (fun (target_id, topic, ev, subs, from, k) ->
+                    for i = from to from + k - 1 do
+                      ignore (Allocation.remove a src ~topic ~ev ~subscriber:subs.(i))
+                    done;
+                    let target = (Allocation.vms a).(target_id) in
+                    Allocation.place a target ~topic ~ev ~subscribers:subs ~from
+                      ~count:k;
+                    moved := !moved + k)
+                  moves;
+                incr drained;
+                continue_ := true)
+    in
+    try_candidates candidates
+  done;
+  let compacted, _ = Allocation.compact a in
+  ( { plan with allocation = compacted },
+    {
+      pairs_kept = 0;
+      pairs_added = 0;
+      pairs_removed = 0;
+      pairs_evicted = !moved;
+      vms_added = 0;
+      vms_removed = !drained;
+    } )
+
+let reprovision ~previous (p : Problem.t) =
+  let w = p.Problem.workload in
+  let eps = Problem.epsilon p in
+  let selection = Selection.gsp p in
+  let wanted = Hashtbl.create (2 * selection.Selection.num_pairs) in
+  Selection.iter_pairs selection (fun t v -> Hashtbl.replace wanted (t, v) ());
+  (* Rebuild the fleet: surviving pairs stay on their VM index. Topics or
+     subscribers can only be appended, so old placements keep their ids. *)
+  let a = Allocation.create ~capacity:p.Problem.capacity in
+  let old_vms = Allocation.vms previous.allocation in
+  let vms = Array.map (fun _ -> Allocation.deploy a) old_vms in
+  let pairs_kept = ref 0 in
+  let pairs_removed = ref 0 in
+  Array.iteri
+    (fun i old_vm ->
+      Allocation.iter_vm_pairs old_vm (fun t v ->
+          if t < Workload.num_topics w && Hashtbl.mem wanted (t, v) then begin
+            Allocation.place a vms.(i) ~topic:t ~ev:(Workload.event_rate w t)
+              ~subscribers:[| v |] ~from:0 ~count:1;
+            Hashtbl.remove wanted (t, v);
+            incr pairs_kept
+          end
+          else incr pairs_removed))
+    old_vms;
+  (* Evict from VMs pushed over capacity by rate increases: keep taking a
+     pair of the highest-rate topic on the VM until it fits again (its
+     incoming stream disappears with the last pair, so this converges). *)
+  let pending : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+  let pend t v =
+    Hashtbl.replace pending t (v :: Option.value ~default:[] (Hashtbl.find_opt pending t))
+  in
+  let pairs_evicted = ref 0 in
+  Array.iter
+    (fun vm ->
+      while Allocation.load vm > p.Problem.capacity +. eps do
+        let worst = ref None in
+        List.iter
+          (fun t ->
+            let ev = Workload.event_rate w t in
+            match !worst with
+            | Some (_, ev') when ev' >= ev -> ()
+            | _ -> worst := Some (t, ev))
+          (Allocation.topics_on vm);
+        match !worst with
+        | None -> failwith "Reprovision: over-capacity VM with no topics"
+        | Some (t, ev) -> (
+            match Allocation.subscribers_of_topic_on vm t with
+            | [] -> failwith "Reprovision: topic listed but empty"
+            | v :: _ ->
+                ignore (Allocation.remove a vm ~topic:t ~ev ~subscriber:v);
+                pend t v;
+                incr pairs_evicted)
+      done)
+    vms;
+  (* Newly selected pairs join the pending pool. *)
+  let pairs_added = ref 0 in
+  Hashtbl.iter
+    (fun (t, v) () ->
+      pend t v;
+      incr pairs_added)
+    wanted;
+  place_pending p a pending;
+  let compacted, _mapping = Allocation.compact a in
+  let before = Array.length old_vms in
+  let fresh = Allocation.num_vms a - before in
+  let after = Allocation.num_vms compacted in
+  ( { problem = p; selection; allocation = compacted },
+    {
+      pairs_kept = !pairs_kept;
+      pairs_added = !pairs_added;
+      pairs_removed = !pairs_removed;
+      pairs_evicted = !pairs_evicted;
+      vms_added = fresh;
+      vms_removed = before + fresh - after;
+    } )

@@ -1,0 +1,57 @@
+(** Incremental re-provisioning: adapt a running deployment to a changed
+    workload while moving as little as possible.
+
+    A cold re-solve produces a near-arbitrary new allocation: every pair
+    may land on a different VM, which in a live broker fleet means state
+    migration and subscriber reconnects. This planner instead:
+
+    + recomputes the Stage-1 selection with GSP (deterministic, so
+      subscribers untouched by the deltas keep their exact old choice);
+    + keeps every surviving pair on the VM it already occupies;
+    + re-prices every VM under the new event rates and {e evicts} just
+      enough pairs from any VM pushed over capacity;
+    + places the new and evicted pairs with the CustomBinPacking
+      insertion rule (grouped per topic, most-free VM first, new VMs on
+      overflow);
+    + drops VMs that ended up empty.
+
+    The churn statistics quantify the migration the fleet would perform;
+    the ablation benchmark compares cost and churn against a cold
+    re-solve over a stream of deltas. *)
+
+type plan = {
+  problem : Mcss_core.Problem.t;
+  selection : Mcss_core.Selection.t;
+  allocation : Mcss_core.Allocation.t;
+}
+
+type stats = {
+  pairs_kept : int;  (** Survived in place. *)
+  pairs_added : int;  (** Newly selected, placed fresh. *)
+  pairs_removed : int;  (** Deselected, dropped from their VM. *)
+  pairs_evicted : int;  (** Still selected but moved off an overloaded VM. *)
+  vms_added : int;
+  vms_removed : int;
+}
+
+val initial : Mcss_core.Problem.t -> plan
+(** A cold solve (GSP + full CBP) wrapped as a plan. *)
+
+val cost : plan -> float
+
+val reprovision : previous:plan -> Mcss_core.Problem.t -> plan * stats
+(** Adapt [previous] to the new problem (same id space, evolved by
+    deltas). The result always satisfies the new problem — run it through
+    {!Mcss_core.Verifier} to confirm, as the tests do. Raises
+    {!Mcss_core.Problem.Infeasible} when a needed pair cannot fit any
+    VM. *)
+
+val consolidate : ?max_moves:int -> plan -> plan * stats
+(** Defragment a fleet that accumulated slack through churn: repeatedly
+    try to drain the least-loaded VM into the rest of the fleet
+    (all-or-nothing per VM, so bandwidth never grows without a VM being
+    freed) until no VM can be fully drained or [max_moves] pair moves
+    (default 10_000) have been spent. The input plan's allocation is not
+    modified; the result is a fresh plan over the same problem.
+    [stats.vms_removed] counts the drained VMs and [stats.pairs_evicted]
+    the pairs moved. *)

@@ -1,0 +1,1 @@
+lib/exact/brute.ml: Array Hashtbl List Mcss_core Mcss_workload

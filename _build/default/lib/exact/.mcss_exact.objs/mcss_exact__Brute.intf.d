@@ -1,0 +1,1 @@
+lib/exact/brute.mli: Mcss_core

@@ -1,0 +1,1 @@
+lib/exact/lp_export.ml: Array Buffer Mcss_core Mcss_workload Out_channel Printf

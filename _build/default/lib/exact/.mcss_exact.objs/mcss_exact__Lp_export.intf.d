@@ -1,0 +1,1 @@
+lib/exact/lp_export.mli: Mcss_core

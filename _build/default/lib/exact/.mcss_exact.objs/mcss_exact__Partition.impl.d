@@ -1,0 +1,1 @@
+lib/exact/partition.ml: Array Mcss_core Mcss_workload

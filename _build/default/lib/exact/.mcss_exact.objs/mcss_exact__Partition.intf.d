@@ -1,0 +1,1 @@
+lib/exact/partition.mli: Mcss_core

@@ -1,0 +1,41 @@
+(** Exact MCSS by exhaustive search with branch-and-bound — tractable only
+    for tiny instances, where it serves two purposes: quantifying the
+    two-stage heuristic's sub-optimality gap, and deciding DCSS instances
+    (e.g. those produced by the Theorem II.2 reduction).
+
+    The search exploits that the objective is monotone in the selection
+    (adding a pair never lowers the optimal cost), so only {e minimal}
+    satisfying interest subsets per subscriber need be considered; for
+    each combination of minimal subsets the pairs are packed optimally by
+    branch-and-bound over per-pair VM assignments with symmetry breaking
+    (a new VM may only be opened as the next index). *)
+
+type result = {
+  cost : float;
+  num_vms : int;
+  bandwidth : float;
+  selection : Mcss_core.Selection.t;
+  allocation : Mcss_core.Allocation.t;
+}
+
+type limits = {
+  max_interests : int;
+      (** Per-subscriber interest-set size cap for subset enumeration
+          (default 16). *)
+  max_combinations : int;
+      (** Cap on the product of per-subscriber minimal-subset counts
+          (default 20_000). *)
+  max_pairs : int;
+      (** Cap on pairs per packing search (default 14). *)
+}
+
+val default_limits : limits
+
+val solve : ?limits:limits -> Mcss_core.Problem.t -> result option
+(** [None] when the instance exceeds the limits (never because no solution
+    exists: a satisfying selection always exists, and packing only fails
+    by {!Mcss_core.Problem.Infeasible}, which propagates). *)
+
+val dcss : ?limits:limits -> Mcss_core.Problem.t -> threshold:float -> bool option
+(** The decision problem: [Some true] iff the optimal cost is at most the
+    threshold; [None] if over the limits. *)

@@ -1,0 +1,43 @@
+(** Export an MCSS instance as a mixed-integer program in CPLEX LP
+    format, for users with access to an industrial solver.
+
+    The paper formulates MCSS as the integer program of §II-C and notes
+    that no IP solver scales to the millions of variables of real
+    workloads — which motivates the heuristic. For the small instances
+    where exact answers matter (validation, adversarial cases), this
+    module writes the standard linearisation so CPLEX/Gurobi/SCIP/CBC can
+    chew on it:
+
+    - [x_t_v_b] ∈ {0,1} — pair (t, v) assigned to VM b (Eq. 1);
+    - [z_t_b] ∈ {0,1} — topic t present on VM b (the incoming-stream
+      indicator realising [max_{v∈V_t} x_tvb] of Eq. 2);
+    - [y_b] ∈ {0,1} — VM b rented (realising [C1(|B|)]);
+    - [w_t_v] ∈ {0,1} — pair counted towards satisfaction (realising
+      [max_b x_tvb] of Eq. 3);
+
+    with [x ≤ z ≤ y], per-VM capacity [Σ ev·x + Σ ev·z ≤ BC·y],
+    satisfaction [Σ_t ev_t·w_t_v ≥ τ_v], [w ≤ Σ_b x], and the
+    symmetry-breaking chain [y_b ≥ y_{b+1}].
+
+    Costs must be linear for an LP file: pass the per-VM price and the
+    per-event transfer price explicitly. *)
+
+type dimensions = {
+  vms : int;  (** The fleet bound [B] used for the model. *)
+  variables : int;
+  constraints : int;
+}
+
+val to_string :
+  Mcss_core.Problem.t -> max_vms:int -> vm_usd:float -> per_event_usd:float ->
+  string * dimensions
+(** Render the model over at most [max_vms] VMs. Note the VM/bandwidth
+    trade-off (§II-A): the optimum may use {e more} VMs than a heuristic
+    solution to save bandwidth, so pass the heuristic's fleet size plus
+    some slack when optimality within the bound matters. Raises
+    [Invalid_argument] if [max_vms <= 0]. *)
+
+val save :
+  Mcss_core.Problem.t -> max_vms:int -> vm_usd:float -> per_event_usd:float ->
+  path:string -> dimensions
+(** [to_string] into a file. *)

@@ -1,0 +1,53 @@
+module Workload = Mcss_workload.Workload
+module Problem = Mcss_core.Problem
+
+let solve xs =
+  Array.iter (fun x -> if x <= 0 then invalid_arg "Partition.solve: nonpositive element") xs;
+  let total = Array.fold_left ( + ) 0 xs in
+  if total mod 2 <> 0 then None
+  else begin
+    let half = total / 2 in
+    let n = Array.length xs in
+    (* reach.(s) = index of the first element whose inclusion first made
+       sum s reachable, or -1; -2 marks "reachable with no elements". *)
+    let reach = Array.make (half + 1) (-1) in
+    reach.(0) <- -2;
+    (* Downward iteration per element: a cell written in this pass is never
+       read in the same pass, so no element is used twice. *)
+    for i = 0 to n - 1 do
+      for s = half downto xs.(i) do
+        if reach.(s) = -1 && reach.(s - xs.(i)) <> -1 then reach.(s) <- i
+      done
+    done;
+    if reach.(half) = -1 then None
+    else begin
+      let side = Array.make n false in
+      let s = ref half in
+      while !s > 0 do
+        let i = reach.(!s) in
+        side.(i) <- true;
+        s := !s - xs.(i)
+      done;
+      Some side
+    end
+  end
+
+let balanced xs side =
+  let total = Array.fold_left ( + ) 0 xs in
+  total mod 2 = 0
+  &&
+  let sum1 = ref 0 in
+  Array.iteri (fun i x -> if side.(i) then sum1 := !sum1 + x) xs;
+  2 * !sum1 = total
+
+let dcss_cost_threshold = 2.
+
+let reduce xs =
+  if Array.length xs = 0 then invalid_arg "Partition.reduce: empty multiset";
+  Array.iter (fun x -> if x <= 0 then invalid_arg "Partition.reduce: nonpositive element") xs;
+  let event_rates = Array.map float_of_int xs in
+  let interests = Array.init (Array.length xs) (fun i -> [| i |]) in
+  let workload = Workload.create ~event_rates ~interests in
+  let capacity = float_of_int (Array.fold_left ( + ) 0 xs) in
+  let tau = float_of_int (Array.fold_left max xs.(0) xs) in
+  Problem.create ~workload ~tau ~capacity Problem.unit_costs

@@ -1,0 +1,25 @@
+(** The Partition Problem and its reduction to DCSS (Theorem II.2) — the
+    paper's NP-hardness argument, as executable code.
+
+    Given a multiset of positive integers, Partition asks whether it splits
+    into two halves of equal sum. The reduction creates one topic per
+    integer [x_i] with rate [x_i] and a dedicated subscriber, sets
+    [BC = Σ x_i], [τ = max x_i], [C1(n) = n] and [C2 = 0]; the instance
+    then admits total cost (= VM count) at most 2 iff the partition
+    exists. *)
+
+val solve : int array -> bool array option
+(** Pseudo-polynomial DP: [Some side] maps each element to its half when a
+    perfect partition exists, [None] otherwise. Requires all elements
+    positive. O(n · Σ/2) time and space. *)
+
+val reduce : int array -> Mcss_core.Problem.t
+(** The Theorem II.2 instance for the given multiset. Requires a
+    nonempty array of positive integers. *)
+
+val dcss_cost_threshold : float
+(** The constant [CT = 2] used by the reduction. *)
+
+val balanced : int array -> bool array -> bool
+(** [balanced xs side] checks a claimed partition: both halves sum to
+    [Σ xs / 2]. *)

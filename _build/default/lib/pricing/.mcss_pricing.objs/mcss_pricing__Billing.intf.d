@@ -1,0 +1,1 @@
+lib/pricing/billing.mli: Format Instance

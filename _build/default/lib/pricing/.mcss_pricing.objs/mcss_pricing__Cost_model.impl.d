@@ -1,0 +1,1 @@
+lib/pricing/cost_model.ml: Billing Format Instance

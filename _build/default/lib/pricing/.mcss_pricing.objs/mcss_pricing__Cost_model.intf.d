@@ -1,0 +1,1 @@
+lib/pricing/cost_model.mli: Billing Format Instance

@@ -1,0 +1,1 @@
+lib/pricing/instance.mli: Format

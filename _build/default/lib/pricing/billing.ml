@@ -1,0 +1,18 @@
+type term = On_demand | Reserved_1yr | Reserved_3yr
+
+let discount = function On_demand -> 1.0 | Reserved_1yr -> 0.62 | Reserved_3yr -> 0.45
+
+let effective_hourly (i : Instance.t) term = i.Instance.hourly_usd *. discount term
+
+let pp ppf = function
+  | On_demand -> Format.pp_print_string ppf "on-demand"
+  | Reserved_1yr -> Format.pp_print_string ppf "reserved-1yr"
+  | Reserved_3yr -> Format.pp_print_string ppf "reserved-3yr"
+
+let of_string = function
+  | "on-demand" -> Some On_demand
+  | "reserved-1yr" -> Some Reserved_1yr
+  | "reserved-3yr" -> Some Reserved_3yr
+  | _ -> None
+
+let all = [ On_demand; Reserved_1yr; Reserved_3yr ]

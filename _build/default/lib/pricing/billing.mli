@@ -1,0 +1,27 @@
+(** Billing terms. The paper prices everything On-Demand; 2014-era EC2
+    also sold Reserved Instances whose upfront fee buys a lower hourly
+    rate — a pub/sub fleet that re-provisions hourly around a stable
+    baseline is exactly the workload RIs were made for, so the capacity
+    planner should be able to price them.
+
+    The discounts are the typical 2014 heavy-utilisation amortised
+    factors (upfront spread over the term plus the reduced hourly),
+    deliberately kept as simple multipliers: exact RI price sheets varied
+    by region and month. *)
+
+type term =
+  | On_demand
+  | Reserved_1yr  (** ≈ 38% below On-Demand, amortised. *)
+  | Reserved_3yr  (** ≈ 55% below On-Demand, amortised. *)
+
+val discount : term -> float
+(** Multiplier on the On-Demand hourly price: 1.0 / 0.62 / 0.45. *)
+
+val effective_hourly : Instance.t -> term -> float
+
+val pp : Format.formatter -> term -> unit
+
+val of_string : string -> term option
+(** ["on-demand" | "reserved-1yr" | "reserved-3yr"]. *)
+
+val all : term list

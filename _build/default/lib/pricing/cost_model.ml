@@ -1,0 +1,37 @@
+type t = {
+  instance : Instance.t;
+  term : Billing.term;
+  bandwidth_usd_per_gb : float;
+  message_bytes : float;
+  horizon_hours : float;
+}
+
+let ec2_2014 ?(instance = Instance.c3_large) ?(term = Billing.On_demand) () =
+  {
+    instance;
+    term;
+    bandwidth_usd_per_gb = 0.12;
+    message_bytes = 200.;
+    horizon_hours = 240.;
+  }
+
+let capacity_events m =
+  let bytes_per_second = m.instance.Instance.bandwidth_mbps *. 1e6 /. 8. in
+  let horizon_seconds = m.horizon_hours *. 3600. in
+  bytes_per_second *. horizon_seconds /. m.message_bytes
+
+let bytes_of_events m events = events *. m.message_bytes
+
+let gb_of_events m events = bytes_of_events m events /. 1e9
+
+let vm_cost m n =
+  float_of_int n *. Billing.effective_hourly m.instance m.term *. m.horizon_hours
+
+let bandwidth_cost m events = gb_of_events m events *. m.bandwidth_usd_per_gb
+
+let total_cost m ~vms ~bandwidth_events =
+  vm_cost m vms +. bandwidth_cost m bandwidth_events
+
+let pp ppf m =
+  Format.fprintf ppf "%a %a, $%.2f/GB, %g B/msg, %g h horizon" Instance.pp m.instance
+    Billing.pp m.term m.bandwidth_usd_per_gb m.message_bytes m.horizon_hours

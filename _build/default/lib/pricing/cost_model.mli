@@ -1,0 +1,46 @@
+(** The IaaS cost model of the paper (§II-B, §IV-A): the total monetary
+    cost of a deployment is [C1(|B|) + C2(Σ_b bw_b)], where [C1] charges
+    per rented VM and [C2] charges per byte transferred in or out of the
+    cloud.
+
+    The MCSS algorithms work in abstract event-rate units (events per
+    {e horizon}, the period over which the trace was collected and the
+    service is billed — 10 days in the paper). This module is the single
+    place where event rates are converted to bytes, gigabytes, money, and
+    a per-VM capacity in event units. *)
+
+type t = {
+  instance : Instance.t;  (** The VM type rented for every broker. *)
+  term : Billing.term;  (** Billing term; the paper uses On-Demand. *)
+  bandwidth_usd_per_gb : float;
+      (** Data-transfer price, charged identically for incoming and
+          outgoing traffic ($0.12/GB in the paper). *)
+  message_bytes : float;  (** Mean size of one event message (200 B). *)
+  horizon_hours : float;
+      (** Billing/trace horizon; event rates are events per horizon. *)
+}
+
+val ec2_2014 : ?instance:Instance.t -> ?term:Billing.term -> unit -> t
+(** The paper's setup: $0.12/GB, 200-byte messages, 10-day (240 h)
+    horizon, [c3.large] On-Demand unless overridden. *)
+
+val capacity_events : t -> float
+(** The VM bandwidth capacity [BC] expressed in event-rate units:
+    the number of (200-byte) events one VM can move over the horizon at
+    its mbps limit. *)
+
+val bytes_of_events : t -> float -> float
+val gb_of_events : t -> float -> float
+
+val vm_cost : t -> int -> float
+(** [C1 n]: renting [n] VMs for the whole horizon. *)
+
+val bandwidth_cost : t -> float -> float
+(** [C2 events]: transferring the given traffic volume, in event units
+    (the caller passes the sum of incoming and outgoing volumes, as the
+    MCSS objective does). *)
+
+val total_cost : t -> vms:int -> bandwidth_events:float -> float
+(** [C1 vms + C2 bandwidth_events]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,14 @@
+type t = { name : string; hourly_usd : float; bandwidth_mbps : float }
+
+let c3_large = { name = "c3.large"; hourly_usd = 0.15; bandwidth_mbps = 64. }
+let c3_xlarge = { name = "c3.xlarge"; hourly_usd = 0.30; bandwidth_mbps = 128. }
+let c3_2xlarge = { name = "c3.2xlarge"; hourly_usd = 0.60; bandwidth_mbps = 256. }
+let c3_4xlarge = { name = "c3.4xlarge"; hourly_usd = 1.20; bandwidth_mbps = 512. }
+let c3_8xlarge = { name = "c3.8xlarge"; hourly_usd = 2.40; bandwidth_mbps = 1024. }
+
+let catalogue = [ c3_large; c3_xlarge; c3_2xlarge; c3_4xlarge; c3_8xlarge ]
+
+let find name = List.find_opt (fun i -> i.name = name) catalogue
+
+let pp ppf i =
+  Format.fprintf ppf "%s ($%.2f/h, %g mbps)" i.name i.hourly_usd i.bandwidth_mbps

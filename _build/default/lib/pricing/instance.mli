@@ -1,0 +1,29 @@
+(** Catalogue of IaaS virtual-machine instance types.
+
+    The paper's evaluation (§IV-A) uses the 2014 Amazon EC2 On-Demand
+    Compute-Optimized generation: c3.large at $0.15/h with a 64 mbps
+    bandwidth limit and c3.xlarge at $0.30/h with 128 mbps. Those two are
+    reproduced exactly; the larger c3 sizes follow EC2's historical
+    price/bandwidth doubling pattern and are provided for sweeps. *)
+
+type t = {
+  name : string;
+  hourly_usd : float;  (** On-Demand price per instance-hour. *)
+  bandwidth_mbps : float;
+      (** Bandwidth capacity [BC] (megabits per second), covering incoming
+          plus outgoing traffic as the paper assumes. *)
+}
+
+val c3_large : t
+val c3_xlarge : t
+val c3_2xlarge : t
+val c3_4xlarge : t
+val c3_8xlarge : t
+
+val catalogue : t list
+(** All known instance types, ascending by size. *)
+
+val find : string -> t option
+(** Look up by [name]. *)
+
+val pp : Format.formatter -> t -> unit

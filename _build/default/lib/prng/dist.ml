@@ -1,0 +1,100 @@
+let exponential g ~mean =
+  if not (mean > 0.) then invalid_arg "Dist.exponential: mean must be positive";
+  -.mean *. log (Rng.unit_float_pos g)
+
+let standard_normal g =
+  (* Marsaglia's polar method; rejection keeps us inside the unit disc. *)
+  let rec draw () =
+    let u = (2. *. Rng.unit_float g) -. 1. in
+    let v = (2. *. Rng.unit_float g) -. 1. in
+    let s = (u *. u) +. (v *. v) in
+    if s >= 1. || s = 0. then draw ()
+    else u *. sqrt (-2. *. log s /. s)
+  in
+  draw ()
+
+let normal g ~mu ~sigma =
+  if sigma < 0. then invalid_arg "Dist.normal: sigma must be nonnegative";
+  mu +. (sigma *. standard_normal g)
+
+let log_normal g ~mu ~sigma = exp (normal g ~mu ~sigma)
+
+let pareto g ~scale ~alpha =
+  if not (scale > 0. && alpha > 0.) then invalid_arg "Dist.pareto";
+  scale /. (Rng.unit_float_pos g ** (1. /. alpha))
+
+let poisson_knuth g mean =
+  let limit = exp (-.mean) in
+  let rec loop k p =
+    let p = p *. Rng.unit_float g in
+    if p <= limit then k else loop (k + 1) p
+  in
+  loop 0 1.0
+
+let poisson g ~mean =
+  if mean < 0. then invalid_arg "Dist.poisson: mean must be nonnegative";
+  if mean = 0. then 0
+  else if mean <= 64. then poisson_knuth g mean
+  else
+    (* Normal approximation with continuity correction; adequate for the
+       synthetic workloads where only the tail shape matters. *)
+    let x = normal g ~mu:mean ~sigma:(sqrt mean) in
+    max 0 (int_of_float (Float.round x))
+
+let geometric g ~p =
+  if not (p > 0. && p <= 1.) then invalid_arg "Dist.geometric";
+  if p = 1. then 0
+  else
+    let u = Rng.unit_float_pos g in
+    int_of_float (floor (log u /. log (1. -. p)))
+
+let cumulative_sums w =
+  let n = Array.length w in
+  let c = Array.make n 0. in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    if w.(i) < 0. then invalid_arg "Dist.cumulative_sums: negative weight";
+    acc := !acc +. w.(i);
+    c.(i) <- !acc
+  done;
+  c
+
+(* Least index [i] with [c.(i) > x]; requires [x < c.(n-1)]. *)
+let search_cumulative c x =
+  let lo = ref 0 and hi = ref (Array.length c - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if c.(mid) > x then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let weighted_index w ~cumulative g =
+  if Array.length w = 0 then invalid_arg "Dist.weighted_index: empty weights";
+  let c = match cumulative with Some c -> c | None -> cumulative_sums w in
+  let total = c.(Array.length c - 1) in
+  if not (total > 0.) then invalid_arg "Dist.weighted_index: zero total weight";
+  let x = Rng.unit_float g *. total in
+  search_cumulative c x
+
+module Zipf = struct
+  type t = { n : int; cumulative : float array; total : float }
+
+  let create ~n ~s =
+    if n < 1 then invalid_arg "Dist.Zipf.create: n must be >= 1";
+    if s < 0. then invalid_arg "Dist.Zipf.create: s must be nonnegative";
+    let w = Array.init n (fun i -> Float.of_int (i + 1) ** -.s) in
+    let cumulative = cumulative_sums w in
+    { n; cumulative; total = cumulative.(n - 1) }
+
+  let support z = z.n
+
+  let sample z g =
+    let x = Rng.unit_float g *. z.total in
+    search_cumulative z.cumulative x + 1
+
+  let prob z k =
+    if k < 1 || k > z.n then 0.
+    else
+      let below = if k = 1 then 0. else z.cumulative.(k - 2) in
+      (z.cumulative.(k - 1) -. below) /. z.total
+end

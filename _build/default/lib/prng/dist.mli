@@ -1,0 +1,54 @@
+(** Random-variate samplers for the distributions used by the synthetic
+    trace generators: the workloads in the paper are characterised by
+    heavy-tailed follower counts, interest counts, and event rates.
+
+    All samplers take the {!Rng.t} first and advance it. *)
+
+val exponential : Rng.t -> mean:float -> float
+(** Exponential variate with the given mean; requires [mean > 0]. *)
+
+val standard_normal : Rng.t -> float
+(** Standard normal variate (Box–Muller, polar form). *)
+
+val normal : Rng.t -> mu:float -> sigma:float -> float
+(** Normal variate; requires [sigma >= 0]. *)
+
+val log_normal : Rng.t -> mu:float -> sigma:float -> float
+(** Log-normal variate: [exp (normal ~mu ~sigma)]. *)
+
+val pareto : Rng.t -> scale:float -> alpha:float -> float
+(** Pareto (type I) variate [>= scale]; requires [scale > 0], [alpha > 0]. *)
+
+val poisson : Rng.t -> mean:float -> int
+(** Poisson variate. Exact (Knuth) for small means, normal approximation
+    clamped at 0 for means above 64. Requires [mean >= 0]. *)
+
+val geometric : Rng.t -> p:float -> int
+(** Number of failures before the first success; requires [0 < p <= 1]. *)
+
+(** Bounded Zipf distribution over ranks [1..n] with exponent [s]:
+    [P(k) ∝ k^-s]. Building the table is O(n); each sample is O(log n). *)
+module Zipf : sig
+  type t
+
+  val create : n:int -> s:float -> t
+  (** Requires [n >= 1] and [s >= 0]. *)
+
+  val support : t -> int
+  (** The [n] the table was built with. *)
+
+  val sample : t -> Rng.t -> int
+  (** A rank in [1..n]. *)
+
+  val prob : t -> int -> float
+  (** [prob z k] is the probability mass of rank [k]; 0 outside [1..n]. *)
+end
+
+val weighted_index : float array -> cumulative:float array option -> Rng.t -> int
+(** [weighted_index w ~cumulative g] samples an index of [w] with
+    probability proportional to [w.(i)]. Pass a precomputed inclusive
+    prefix-sum array to amortise repeated sampling; otherwise it is computed
+    on the fly. Requires all weights nonnegative with positive sum. *)
+
+val cumulative_sums : float array -> float array
+(** Inclusive prefix sums, for use with [weighted_index]. *)

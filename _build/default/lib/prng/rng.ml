@@ -1,0 +1,80 @@
+type t = Splitmix.t
+
+let create seed = Splitmix.create (Int64.of_int seed)
+let of_splitmix g = g
+let copy = Splitmix.copy
+let split = Splitmix.split
+let bits64 = Splitmix.next
+
+(* 62 uniform nonnegative bits, which always fit an OCaml int. *)
+let bits62 g = Int64.to_int (Int64.shift_right_logical (Splitmix.next g) 2)
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let max62 = (1 lsl 62) - 1 in
+  let limit = max62 - (max62 mod bound) in
+  let rec draw () =
+    let r = bits62 g in
+    if r >= limit then draw () else r mod bound
+  in
+  draw ()
+
+let int_in g lo hi =
+  if lo > hi then invalid_arg "Rng.int_in: lo > hi";
+  lo + int g (hi - lo + 1)
+
+let unit_float g =
+  (* 53 uniform bits into the mantissa: uniform on [0,1). *)
+  let r = Int64.to_int (Int64.shift_right_logical (Splitmix.next g) 11) in
+  float_of_int r *. 0x1p-53
+
+let unit_float_pos g = 1.0 -. unit_float g
+
+let float g x =
+  if not (x > 0.) then invalid_arg "Rng.float: bound must be positive";
+  unit_float g *. x
+
+let bool g = Int64.logand (Splitmix.next g) 1L = 1L
+
+let bernoulli g p =
+  if p < 0. || p > 1. then invalid_arg "Rng.bernoulli: p outside [0,1]";
+  unit_float g < p
+
+let shuffle_in_place g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample_without_replacement g k n =
+  if k < 0 || k > n then invalid_arg "Rng.sample_without_replacement";
+  if k = 0 then [||]
+  else if 2 * k >= n then begin
+    (* Dense case: shuffle a full permutation prefix. *)
+    let a = Array.init n (fun i -> i) in
+    for i = 0 to k - 1 do
+      let j = int_in g i (n - 1) in
+      let tmp = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- tmp
+    done;
+    Array.sub a 0 k
+  end
+  else begin
+    (* Sparse case: rejection into a hash set, O(k) expected. *)
+    let seen = Hashtbl.create (2 * k) in
+    let out = Array.make k 0 in
+    let filled = ref 0 in
+    while !filled < k do
+      let c = int g n in
+      if not (Hashtbl.mem seen c) then begin
+        Hashtbl.add seen c ();
+        out.(!filled) <- c;
+        incr filled
+      end
+    done;
+    out
+  end

@@ -1,0 +1,54 @@
+(** Convenience sampling layer over {!Splitmix}.
+
+    All functions advance the generator passed to them. Every sampler is
+    total for the documented argument ranges and raises [Invalid_argument]
+    otherwise. *)
+
+type t
+(** A stateful random source. *)
+
+val create : int -> t
+(** [create seed] builds a source from an integer seed. *)
+
+val of_splitmix : Splitmix.t -> t
+(** Wrap an existing SplitMix state. *)
+
+val copy : t -> t
+(** Independent copy replaying the same future stream. *)
+
+val split : t -> t
+(** Fork a statistically independent source; also advances the parent. *)
+
+val bits64 : t -> int64
+(** 64 uniform random bits. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform on [0, bound); requires [bound > 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in g lo hi] is uniform on the inclusive range [lo, hi];
+    requires [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float g x] is uniform on [0, x); requires [x > 0]. *)
+
+val unit_float : t -> float
+(** Uniform on [0, 1). *)
+
+val unit_float_pos : t -> float
+(** Uniform on (0, 1]; safe as an argument to [log]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli g p] is [true] with probability [p]; requires
+    [0 <= p <= 1]. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher–Yates shuffle. *)
+
+val sample_without_replacement : t -> int -> int -> int array
+(** [sample_without_replacement g k n] draws [k] distinct integers uniformly
+    from [0, n), in random order; requires [0 <= k <= n]. Runs in O(k)
+    expected time when [k] is small relative to [n] and O(n) otherwise. *)

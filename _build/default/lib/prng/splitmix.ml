@@ -1,0 +1,28 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let copy g = { state = g.state }
+
+(* The 64-bit finaliser from the reference implementation: two
+   xor-shift-multiply rounds followed by a final xor-shift. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+(* A variant mix used to derive the gamma of a split stream; since we keep a
+   single golden gamma, deriving the child seed through a different
+   finaliser suffices to decorrelate the streams. *)
+let mix_child z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xFF51AFD7ED558CCDL in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xC4CEB9FE1A85EC53L in
+  Int64.logxor z (Int64.shift_right_logical z 33)
+
+let split g = create (mix_child (next g))

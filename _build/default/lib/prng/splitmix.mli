@@ -1,0 +1,24 @@
+(** SplitMix64: a fast, high-quality, splittable pseudo-random number
+    generator (Steele, Lea & Flood, OOPSLA 2014).
+
+    This is the only source of randomness in the whole reproduction: seeding
+    it explicitly makes every generated trace, test and benchmark
+    reproducible byte-for-byte across runs and machines. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator deterministically derived from
+    [seed]. Distinct seeds yield statistically independent streams. *)
+
+val copy : t -> t
+(** [copy g] is an independent generator that will replay exactly the
+    outputs [g] would have produced from this point on. *)
+
+val next : t -> int64
+(** [next g] advances [g] and returns 64 uniformly distributed bits. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a new generator whose stream is
+    statistically independent of the remainder of [g]'s stream. *)

@@ -1,0 +1,1 @@
+lib/report/plot.ml: Buffer Filename Fun List Printf String Sys

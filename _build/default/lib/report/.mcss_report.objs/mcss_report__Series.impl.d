@@ -1,0 +1,1 @@
+lib/report/series.ml: Buffer Filename Fun List Printf Sys

@@ -1,0 +1,28 @@
+(** Gnuplot script generation, so the [.dat] series written by
+    {!Series} turn into the paper's figures with one
+    [gnuplot bench_out/fig8.gp]. *)
+
+type axis = Linear | Log
+
+type style = Lines | Points | Linespoints
+
+type spec = {
+  title : string;
+  xlabel : string;
+  ylabel : string;
+  xaxis : axis;
+  yaxis : axis;
+  style : style;
+  series : (string * string) list;
+      (** (legend label, path to the .dat file relative to where gnuplot
+          runs). *)
+}
+
+val script : spec -> output:string -> string
+(** The gnuplot script text; [output] is the PNG file the script writes
+    ([set terminal pngcairo]). *)
+
+val save : spec -> dir:string -> name:string -> unit
+(** Write [dir/name.gp] producing [dir/name.png]; creates [dir] if
+    needed. Series paths are emitted as given — keep them relative to
+    [dir] and run gnuplot from there. *)

@@ -1,0 +1,18 @@
+(** Numeric data series written as whitespace-separated [.dat] files, one
+    point per line — the format gnuplot consumes, used to dump the data
+    behind each reproduced figure. *)
+
+type point = { x : float; y : float }
+
+type t = { name : string; points : point list }
+
+val of_pairs : name:string -> (float * float) list -> t
+val of_int_pairs : name:string -> (int * float) list -> t
+
+val save : t -> dir:string -> unit
+(** [save s ~dir] writes [dir ^ "/" ^ s.name ^ ".dat"], creating [dir] if
+    needed. The file starts with a ["# x y"] comment header. *)
+
+val save_all : t list -> dir:string -> unit
+
+val to_string : t -> string

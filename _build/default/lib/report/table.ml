@@ -1,0 +1,69 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = {
+  headers : (string * align) list;
+  mutable rows : row list;  (* reversed *)
+}
+
+let create headers = { headers; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg
+      (Printf.sprintf "Table.add_row: %d cells for %d columns" (List.length cells)
+         (List.length t.headers));
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let measure cells =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  measure (List.map fst t.headers);
+  List.iter (function Cells cells -> measure cells | Separator -> ()) rows;
+  let buf = Buffer.create 1024 in
+  let rule () =
+    Array.iteri
+      (fun i w ->
+        if i > 0 then Buffer.add_string buf "-+-";
+        Buffer.add_string buf (String.make w '-'))
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let emit cells aligns =
+    List.iteri
+      (fun i (c, a) ->
+        if i > 0 then Buffer.add_string buf " | ";
+        Buffer.add_string buf (pad a widths.(i) c))
+      (List.combine cells aligns);
+    Buffer.add_char buf '\n'
+  in
+  let aligns = List.map snd t.headers in
+  emit (List.map fst t.headers) aligns;
+  rule ();
+  List.iter
+    (function Cells cells -> emit cells aligns | Separator -> rule ())
+    rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let cell_float ?(decimals = 1) x = Printf.sprintf "%.*f" decimals x
+let cell_usd x = Printf.sprintf "$%.2f" x
+let cell_pct x = Printf.sprintf "%.1f%%" x
+
+let pct_change ~baseline x =
+  if baseline = 0. then 0. else (baseline -. x) /. baseline *. 100.

@@ -1,0 +1,36 @@
+(** Minimal aligned plain-text tables, shared by the benchmark harness, the
+    CLI and the examples to print the paper's figures as rows. *)
+
+type align = Left | Right
+
+type t
+(** A table under construction. *)
+
+val create : (string * align) list -> t
+(** [create headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; raises [Invalid_argument] if the arity differs from the
+    header. *)
+
+val add_separator : t -> unit
+(** Append a horizontal rule row. *)
+
+val render : t -> string
+(** The finished table, including a header rule, newline-terminated. *)
+
+val print : t -> unit
+(** [render] to stdout. *)
+
+val cell_float : ?decimals:int -> float -> string
+(** Format a float for a table cell (default 1 decimal). *)
+
+val cell_usd : float -> string
+(** ["$1234.56"]. *)
+
+val cell_pct : float -> string
+(** ["12.3%"]. *)
+
+val pct_change : baseline:float -> float -> float
+(** [(baseline - x) / baseline * 100], the "reduction vs baseline"
+    convention used throughout the paper's evaluation. *)

@@ -1,0 +1,17 @@
+(** A binary min-heap keyed by float timestamps — the pending-event queue
+    of the discrete-event simulator. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+(** Insert a payload at the given key. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the entry with the smallest key; [None] when empty.
+    Entries with equal keys come out in unspecified relative order. *)
+
+val peek : 'a t -> (float * 'a) option

@@ -1,0 +1,223 @@
+module Workload = Mcss_workload.Workload
+module Problem = Mcss_core.Problem
+module Allocation = Mcss_core.Allocation
+
+type arrivals =
+  | Deterministic
+  | Poisson of int
+  | Diurnal of { seed : int; amplitude : float }
+
+let pi = 4. *. atan 1.
+
+(* Intensity modulation with unit mean over whole horizons. *)
+let modulation ~amplitude time = 1. +. (amplitude *. sin (2. *. pi *. time))
+
+type outage = { vm : int; from_time : float; until_time : float }
+
+type config = {
+  duration : float;
+  buckets : int;
+  arrivals : arrivals;
+  outages : outage list;
+}
+
+let default_config =
+  { duration = 1.0; buckets = 20; arrivals = Deterministic; outages = [] }
+
+type result = {
+  events_published : int;
+  vm_ingress : int array;
+  vm_egress : int array;
+  delivered : int array;
+  lost : int array;
+  vm_bucket_load : float array array;
+  config : config;
+}
+
+(* A deterministic per-topic phase in [0, 1): decorrelates the evenly
+   spaced publication streams without any RNG state. *)
+let phase_of_topic t =
+  let h = Int64.to_int (Int64.shift_right_logical (Int64.mul (Int64.of_int (t + 1)) 0x9E3779B97F4A7C15L) 11) in
+  float_of_int h *. 0x1p-53
+
+let run (p : Problem.t) a config =
+  if not (config.duration > 0.) then invalid_arg "Simulator.run: duration must be positive";
+  if config.buckets < 1 then invalid_arg "Simulator.run: buckets must be >= 1";
+  (match config.arrivals with
+  | Diurnal { amplitude; _ } when amplitude < 0. || amplitude >= 1. ->
+      invalid_arg "Simulator.run: diurnal amplitude must be in [0, 1)"
+  | _ -> ());
+  let w = p.Problem.workload in
+  let num_vms = Allocation.num_vms a in
+  (* hosting.(t): the VMs carrying pairs of topic t, with pair counts. *)
+  let hosting = Array.make (Workload.num_topics w) [] in
+  Array.iter
+    (fun vm ->
+      let counts = Hashtbl.create 16 in
+      Allocation.iter_vm_pairs vm (fun t _v ->
+          Hashtbl.replace counts t (1 + Option.value ~default:0 (Hashtbl.find_opt counts t)));
+      Hashtbl.iter
+        (fun t c -> hosting.(t) <- (Allocation.vm_id vm, c) :: hosting.(t))
+        counts)
+    (Allocation.vms a);
+  let vm_ingress = Array.make num_vms 0 in
+  let vm_egress = Array.make num_vms 0 in
+  let vm_bucket_load = Array.make_matrix num_vms config.buckets 0. in
+  (* Outage windows per VM, and a per-(vm, topic) count of publications a
+     down VM failed to forward. *)
+  let vm_outages = Array.make num_vms [] in
+  List.iter
+    (fun o ->
+      if o.vm >= 0 && o.vm < num_vms then
+        vm_outages.(o.vm) <- (o.from_time, o.until_time) :: vm_outages.(o.vm))
+    config.outages;
+  let down vm time =
+    List.exists (fun (f, u) -> time >= f && time < u) vm_outages.(vm)
+  in
+  let missed : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let pubs = Array.make (Workload.num_topics w) 0 in
+  let events_published = ref 0 in
+  let bucket_of time =
+    min (config.buckets - 1) (int_of_float (time /. config.duration *. float_of_int config.buckets))
+  in
+  let publish time t =
+    pubs.(t) <- pubs.(t) + 1;
+    incr events_published;
+    let k = bucket_of time in
+    List.iter
+      (fun (vm, count) ->
+        if down vm time then
+          Hashtbl.replace missed (vm, t)
+            (1 + Option.value ~default:0 (Hashtbl.find_opt missed (vm, t)))
+        else begin
+          vm_ingress.(vm) <- vm_ingress.(vm) + 1;
+          vm_egress.(vm) <- vm_egress.(vm) + count;
+          vm_bucket_load.(vm).(k) <- vm_bucket_load.(vm).(k) +. float_of_int (1 + count)
+        end)
+      hosting.(t)
+  in
+  (* Drive all topic streams through one time-ordered queue. Each heap
+     payload is (topic, interval): [interval <= 0.] marks a Poisson stream
+     whose next gap is drawn on the fly. *)
+  let heap = Event_heap.create () in
+  let rng =
+    match config.arrivals with
+    | Deterministic -> None
+    | Poisson seed | Diurnal { seed; _ } -> Some (Mcss_prng.Rng.create seed)
+  in
+  (* Every topic publishes — whether or not the allocation forwards it —
+     so the delivered counts reflect the world, not just the fleet. *)
+  for t = 0 to Workload.num_topics w - 1 do
+    let ev = Workload.event_rate w t in
+    match config.arrivals with
+    | Deterministic ->
+        let n = int_of_float (Float.round (ev *. config.duration)) in
+        if n > 0 then begin
+          let interval = config.duration /. float_of_int n in
+          Event_heap.push heap (phase_of_topic t *. interval) (t, interval)
+        end
+    | Poisson _ ->
+        let rng = Option.get rng in
+        let first = Mcss_prng.Dist.exponential rng ~mean:(1. /. ev) in
+        if first < config.duration then Event_heap.push heap first (t, -1.)
+    | Diurnal { amplitude; _ } ->
+        (* Thinning: candidates at the peak rate, accepted with
+           probability modulation/peak; rejected candidates re-arm the
+           stream without publishing (interval = -2 marks the variant). *)
+        let rng = Option.get rng in
+        let peak = ev *. (1. +. amplitude) in
+        let first = Mcss_prng.Dist.exponential rng ~mean:(1. /. peak) in
+        if first < config.duration then Event_heap.push heap first (t, -2.)
+  done;
+  let amplitude =
+    match config.arrivals with Diurnal { amplitude; _ } -> amplitude | _ -> 0.
+  in
+  let rec drain () =
+    match Event_heap.pop heap with
+    | None -> ()
+    | Some (time, (t, interval)) ->
+        let ev = Workload.event_rate w t in
+        (if interval = -2. then begin
+           (* Diurnal thinning: accept at the modulated fraction. *)
+           let accept =
+             Mcss_prng.Rng.unit_float (Option.get rng)
+             < modulation ~amplitude time /. (1. +. amplitude)
+           in
+           if accept then publish time t
+         end
+         else publish time t);
+        let next =
+          if interval > 0. then time +. interval
+          else if interval = -2. then
+            time
+            +. Mcss_prng.Dist.exponential (Option.get rng)
+                 ~mean:(1. /. (ev *. (1. +. amplitude)))
+          else time +. Mcss_prng.Dist.exponential (Option.get rng) ~mean:(1. /. ev)
+        in
+        if next < config.duration then Event_heap.push heap next (t, interval);
+        drain ()
+  in
+  drain ();
+  (* Each distinct placed pair delivers every publication of its topic
+     once (duplicates across VMs would double-deliver in a real broker
+     too, but the verifier rules them out upstream). *)
+  let delivered = Array.make (Workload.num_subscribers w) 0 in
+  let lost = Array.make (Workload.num_subscribers w) 0 in
+  let seen = Hashtbl.create 1024 in
+  Array.iter
+    (fun vm ->
+      let b = Allocation.vm_id vm in
+      Allocation.iter_vm_pairs vm (fun t v ->
+          if not (Hashtbl.mem seen (t, v)) then begin
+            Hashtbl.add seen (t, v) ();
+            let dropped = Option.value ~default:0 (Hashtbl.find_opt missed (b, t)) in
+            delivered.(v) <- delivered.(v) + pubs.(t) - dropped;
+            lost.(v) <- lost.(v) + dropped
+          end))
+    (Allocation.vms a);
+  {
+    events_published = !events_published;
+    vm_ingress;
+    vm_egress;
+    delivered;
+    lost;
+    vm_bucket_load;
+    config;
+  }
+
+let total_vm_traffic r ~vm = r.vm_ingress.(vm) + r.vm_egress.(vm)
+
+let peak_bucket_rate r ~vm =
+  let bucket_len = r.config.duration /. float_of_int r.config.buckets in
+  Array.fold_left Float.max 0. r.vm_bucket_load.(vm) /. bucket_len
+
+type check = {
+  unsatisfied : (int * int * float) list;
+  traffic_mismatch : (int * int * float) list;
+}
+
+(* Allowed deviation around an expected count [x]: proportional plus a
+   sampling-noise term that matters for small counts (Poisson stddev is
+   √x). Zero tolerance demands exact agreement. *)
+let slack ~tolerance x = (tolerance *. (x +. (3. *. sqrt (Float.max x 1.)))) +. 1e-9
+
+let check (p : Problem.t) a r ~tolerance =
+  let w = p.Problem.workload in
+  let unsatisfied = ref [] in
+  for v = Workload.num_subscribers w - 1 downto 0 do
+    let required = Problem.tau_v p v *. r.config.duration in
+    if float_of_int r.delivered.(v) +. slack ~tolerance required < required then
+      unsatisfied := (v, r.delivered.(v), required) :: !unsatisfied
+  done;
+  let traffic_mismatch = ref [] in
+  Array.iter
+    (fun vm ->
+      let b = Allocation.vm_id vm in
+      let measured = total_vm_traffic r ~vm:b in
+      let analytical = Allocation.load vm *. r.config.duration in
+      if Float.abs (float_of_int measured -. analytical) > slack ~tolerance analytical
+      then traffic_mismatch := (b, measured, analytical) :: !traffic_mismatch)
+    (Allocation.vms a);
+  { unsatisfied = !unsatisfied; traffic_mismatch = !traffic_mismatch }
+
+let all_ok c = c.unsatisfied = [] && c.traffic_mismatch = []

@@ -1,0 +1,1 @@
+lib/traces/edge_list.ml: Array Float Hashtbl In_channel List Mcss_workload Out_channel Printf String

@@ -1,0 +1,1 @@
+lib/traces/edge_list.mli: Mcss_workload

@@ -1,0 +1,1 @@
+lib/traces/gen.ml: Array Float Hashtbl Mcss_prng

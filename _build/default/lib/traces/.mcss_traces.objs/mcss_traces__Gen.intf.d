@@ -1,0 +1,1 @@
+lib/traces/gen.mli: Mcss_prng

@@ -1,0 +1,1 @@
+lib/traces/spotify.mli: Mcss_workload

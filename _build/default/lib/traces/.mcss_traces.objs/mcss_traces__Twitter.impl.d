@@ -1,0 +1,1 @@
+lib/traces/twitter.ml: Array Float Gen Mcss_prng Mcss_workload

@@ -1,0 +1,1 @@
+lib/traces/twitter.mli: Mcss_workload

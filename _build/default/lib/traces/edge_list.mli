@@ -1,0 +1,32 @@
+(** Import/export of workloads in the split format real crawls ship in —
+    the paper's Twitter trace combined the Kwak et al. follower graph
+    (edge list) with per-user tweet counts fetched separately. Feeding
+    such files through this module yields an MCSS workload directly, so
+    the pipeline runs on a real crawl whenever one is available.
+
+    Edge file: one [follower followee] pair of user ids per line
+    (whitespace separated, ['#'] comments and blank lines ignored) —
+    "follower subscribes to followee's publications".
+
+    Rates file: one [user count] pair per line — events published by the
+    user over the horizon.
+
+    Following the paper's §IV-B methodology: users with no positive count
+    are {e inactive} and dropped as topics (with their incident edges);
+    a user is a subscriber iff at least one of its followees survives;
+    user ids may be sparse and are densified. *)
+
+type mapping = {
+  user_of_topic : int array;  (** Topic id -> original user id. *)
+  user_of_subscriber : int array;  (** Subscriber id -> original user id. *)
+}
+
+val load : edges:string -> rates:string -> Mcss_workload.Workload.t * mapping
+(** Raises {!Mcss_workload.Wio.Parse_error} with file/line context on
+    malformed input, [Sys_error] on I/O failure. Duplicate edges are
+    tolerated (collapsed); duplicate rate lines keep the last value. *)
+
+val save : Mcss_workload.Workload.t -> edges:string -> rates:string -> unit
+(** Export a workload in the same two-file format; topic [t] is written
+    as user id [t] and subscriber [v] as user id [num_topics + v] (the
+    two id spaces are disjoint in the export). *)

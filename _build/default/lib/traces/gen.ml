@@ -1,0 +1,44 @@
+module Rng = Mcss_prng.Rng
+module Dist = Mcss_prng.Dist
+
+type popularity = {
+  zipf : Dist.Zipf.t;
+  topic_of_rank : int array;  (* rank - 1 -> topic id *)
+  rank_of_topic : int array;  (* topic id -> rank *)
+}
+
+let popularity rng ~num_topics ~exponent =
+  if num_topics < 1 then invalid_arg "Gen.popularity: need at least one topic";
+  let zipf = Dist.Zipf.create ~n:num_topics ~s:exponent in
+  let topic_of_rank = Array.init num_topics (fun i -> i) in
+  Rng.shuffle_in_place rng topic_of_rank;
+  let rank_of_topic = Array.make num_topics 0 in
+  Array.iteri (fun i t -> rank_of_topic.(t) <- i + 1) topic_of_rank;
+  { zipf; topic_of_rank; rank_of_topic }
+
+let rank_of_topic p t = p.rank_of_topic.(t)
+
+let sample_distinct_interests rng p ~count =
+  let n = Array.length p.topic_of_rank in
+  let count = min count n in
+  if count = 0 then [||]
+  else if 4 * count >= n then
+    (* Dense case: rejection would thrash; take a uniform distinct sample
+       (popularity hardly matters when most topics are taken anyway). *)
+    Rng.sample_without_replacement rng count n
+  else begin
+    let seen = Hashtbl.create (2 * count) in
+    let out = Array.make count 0 in
+    let filled = ref 0 in
+    while !filled < count do
+      let t = p.topic_of_rank.(Dist.Zipf.sample p.zipf rng - 1) in
+      if not (Hashtbl.mem seen t) then begin
+        Hashtbl.add seen t ();
+        out.(!filled) <- t;
+        incr filled
+      end
+    done;
+    out
+  end
+
+let round_rate x = Float.max 1. (Float.round x)

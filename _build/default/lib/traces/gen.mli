@@ -1,0 +1,21 @@
+(** Shared machinery for the synthetic trace generators: skewed topic
+    popularity and distinct-interest sampling. *)
+
+type popularity
+(** A sampling distribution over topic ids with Zipf-like skew, where the
+    popularity rank of a topic is decoupled from its id by a random
+    permutation (so topic id 0 is not automatically the most popular). *)
+
+val popularity : Mcss_prng.Rng.t -> num_topics:int -> exponent:float -> popularity
+
+val rank_of_topic : popularity -> int -> int
+(** Popularity rank of a topic id, 1 = most popular. *)
+
+val sample_distinct_interests : Mcss_prng.Rng.t -> popularity -> count:int -> int array
+(** Draw [count] distinct topic ids, popular topics proportionally more
+    often (rejection on duplicates; [count] is clamped to the number of
+    topics). The result is unsorted. *)
+
+val round_rate : float -> float
+(** Round a raw positive rate to an integral event count, at least 1 —
+    trace event rates are integer counts over the horizon. *)

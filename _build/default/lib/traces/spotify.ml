@@ -1,0 +1,62 @@
+module Rng = Mcss_prng.Rng
+module Dist = Mcss_prng.Dist
+module Workload = Mcss_workload.Workload
+
+type params = {
+  num_topics : int;
+  num_subscribers : int;
+  mean_interests : float;
+  heavy_interest_fraction : float;
+  popularity_exponent : float;
+  rate_mu : float;
+  rate_sigma : float;
+  seed : int;
+}
+
+let full_scale =
+  {
+    num_topics = 1_100_000;
+    num_subscribers = 4_900_000;
+    mean_interests = 2.45;
+    heavy_interest_fraction = 0.02;
+    popularity_exponent = 0.85;
+    rate_mu = 5.0;
+    rate_sigma = 1.0;
+    seed = 20130109;
+  }
+
+let scaled f =
+  if not (f > 0.) then invalid_arg "Spotify.scaled: factor must be positive";
+  {
+    full_scale with
+    num_topics = max 1 (int_of_float (Float.round (float_of_int full_scale.num_topics *. f)));
+    num_subscribers =
+      max 1 (int_of_float (Float.round (float_of_int full_scale.num_subscribers *. f)));
+  }
+
+let default = scaled 0.02
+
+let interest_count rng params =
+  let base = 1 + Dist.poisson rng ~mean:(params.mean_interests -. 1.) in
+  if Rng.bernoulli rng params.heavy_interest_fraction then
+    base + int_of_float (Dist.pareto rng ~scale:5. ~alpha:1.5)
+  else base
+
+let generate params =
+  if params.num_topics < 1 || params.num_subscribers < 0 then
+    invalid_arg "Spotify.generate: bad dimensions";
+  let rng = Rng.create params.seed in
+  let pop =
+    Gen.popularity rng ~num_topics:params.num_topics
+      ~exponent:params.popularity_exponent
+  in
+  let event_rates =
+    Array.init params.num_topics (fun _ ->
+        Gen.round_rate (Dist.log_normal rng ~mu:params.rate_mu ~sigma:params.rate_sigma))
+  in
+  let interests =
+    Array.init params.num_subscribers (fun _ ->
+        let k = interest_count rng params in
+        Gen.sample_distinct_interests rng pop ~count:k)
+  in
+  Workload.create ~event_rates ~interests

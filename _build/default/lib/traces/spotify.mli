@@ -1,0 +1,43 @@
+(** Synthetic Spotify-like pub/sub workload.
+
+    The paper's Spotify trace (proprietary; 10 days of music-playback
+    events from the Stockholm data centre, analysed in detail in its
+    reference [6]) comprises ~1.1 M topics, ~4.9 M subscribers and ~12 M
+    topic–subscriber pairs, i.e. ~2.4 interests per subscriber, with
+    heavy-tailed follower counts and per-user playback rates in the
+    hundreds of events per 10 days.
+
+    This generator reproduces those marginals: topic popularity is
+    Zipf-skewed, interest counts are [1 + Poisson] with a small Pareto
+    tail, and event rates are log-normal integer counts. The MCSS
+    algorithms consume only these distributions, so the cost/optimisation
+    behaviour of the real trace is preserved (see DESIGN.md §2). *)
+
+type params = {
+  num_topics : int;
+  num_subscribers : int;
+  mean_interests : float;  (** Mean [|T_v|]; the trace has ~2.45. *)
+  heavy_interest_fraction : float;
+      (** Fraction of subscribers with an additional Pareto-tailed batch
+          of interests (power listeners following many artists). *)
+  popularity_exponent : float;  (** Zipf [s] for topic choice. *)
+  rate_mu : float;
+  rate_sigma : float;
+      (** Log-normal parameters of the per-topic event count per horizon. *)
+  seed : int;
+}
+
+val full_scale : params
+(** The published trace's dimensions: 1.1 M topics, 4.9 M subscribers. *)
+
+val scaled : float -> params
+(** [scaled f] shrinks topic and subscriber counts by factor [f]
+    (e.g. [scaled 0.02] for a 1/50-size trace); distribution parameters
+    are unchanged, so the shape survives scaling. *)
+
+val default : params
+(** [scaled 0.02] — the benchmark default (≈22 k topics, 98 k
+    subscribers, ≈240 k pairs). *)
+
+val generate : params -> Mcss_workload.Workload.t
+(** Deterministic for a fixed [params] (including [seed]). *)

@@ -1,0 +1,108 @@
+module Rng = Mcss_prng.Rng
+module Dist = Mcss_prng.Dist
+module Workload = Mcss_workload.Workload
+
+type params = {
+  num_topics : int;
+  num_subscribers : int;
+  interest_pareto_scale : float;
+  interest_pareto_alpha : float;
+  glitch20_fraction : float;
+  cap2000_fraction : float;
+  popularity_exponent : float;
+  rate_sigma : float;
+  rate_follower_exponent : float;
+  celebrity_knee_fraction : float;
+  celebrity_dip : float;
+  bot_fraction : float;
+  bot_boost : float;
+  target_mean_rate : float;
+  seed : int;
+}
+
+let full_scale =
+  {
+    num_topics = 8_000_000;
+    num_subscribers = 30_000_000;
+    interest_pareto_scale = 3.5;
+    interest_pareto_alpha = 1.1;
+    glitch20_fraction = 0.06;
+    cap2000_fraction = 0.7;
+    popularity_exponent = 1.0;
+    rate_sigma = 1.3;
+    rate_follower_exponent = 0.85;
+    celebrity_knee_fraction = 1e5 /. 30e6;
+    celebrity_dip = 0.05;
+    bot_fraction = 0.006;
+    bot_boost = 30.;
+    target_mean_rate = 57.;
+    seed = 20131030;
+  }
+
+let scaled f =
+  if not (f > 0.) then invalid_arg "Twitter.scaled: factor must be positive";
+  {
+    full_scale with
+    num_topics = max 1 (int_of_float (Float.round (float_of_int full_scale.num_topics *. f)));
+    num_subscribers =
+      max 1 (int_of_float (Float.round (float_of_int full_scale.num_subscribers *. f)));
+  }
+
+let default = scaled 0.004
+
+let followings_count rng params =
+  if Rng.bernoulli rng params.glitch20_fraction then 20
+  else begin
+    let raw =
+      Dist.pareto rng ~scale:params.interest_pareto_scale
+        ~alpha:params.interest_pareto_alpha
+    in
+    let k = max 1 (int_of_float (Float.round raw)) in
+    if k > 2000 && Rng.bernoulli rng params.cap2000_fraction then 2000 else k
+  end
+
+(* Mean-rate multiplier as a function of follower count: roughly linear
+   growth up to the knee, a dip beyond it (Fig. 10's celebrity cloud). *)
+let follower_multiplier params ~knee followers =
+  let f = float_of_int (max followers 1) in
+  if f <= knee then f ** params.rate_follower_exponent
+  else (knee ** params.rate_follower_exponent) *. params.celebrity_dip
+       *. ((f /. knee) ** 0.3)
+
+let generate params =
+  if params.num_topics < 1 || params.num_subscribers < 0 then
+    invalid_arg "Twitter.generate: bad dimensions";
+  let rng = Rng.create params.seed in
+  let pop =
+    Gen.popularity rng ~num_topics:params.num_topics
+      ~exponent:params.popularity_exponent
+  in
+  (* Pass 1: the follow graph. *)
+  let interests =
+    Array.init params.num_subscribers (fun _ ->
+        let k = followings_count rng params in
+        Gen.sample_distinct_interests rng pop ~count:k)
+  in
+  let followers = Array.make params.num_topics 0 in
+  Array.iter
+    (Array.iter (fun t -> followers.(t) <- followers.(t) + 1))
+    interests;
+  (* Pass 2: tweet rates conditioned on realised audience size, rescaled
+     to the target mean. *)
+  let knee =
+    Float.max 10.
+      (params.celebrity_knee_fraction *. float_of_int params.num_subscribers)
+  in
+  let raw =
+    Array.init params.num_topics (fun t ->
+        let individual = Dist.log_normal rng ~mu:0. ~sigma:params.rate_sigma in
+        let base = individual *. follower_multiplier params ~knee followers.(t) in
+        if Rng.bernoulli rng params.bot_fraction then base *. params.bot_boost
+        else base)
+  in
+  let mean_raw =
+    Array.fold_left ( +. ) 0. raw /. float_of_int params.num_topics
+  in
+  let scale = params.target_mean_rate /. mean_raw in
+  let event_rates = Array.map (fun x -> Gen.round_rate (x *. scale)) raw in
+  Workload.create ~event_rates ~interests

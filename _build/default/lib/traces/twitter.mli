@@ -1,0 +1,61 @@
+(** Synthetic Twitter-like pub/sub workload.
+
+    The paper's Twitter trace couples the Kwak et al. (WWW 2010) social
+    graph with per-user tweet counts fetched for a 10-day window in 2013:
+    ~8 M active topics (users who tweeted), ~30 M subscribers, ~683.5 M
+    topic–subscriber pairs and ~455 M tweets. Its Appendix D documents
+    the distinguishing features this generator reproduces:
+
+    - the followings CCDF has glitches at 20 (historical default-follow
+      suggestions) and at 2000 (the pre-2009 following cap);
+    - follower counts are heavy-tailed over five orders of magnitude;
+    - the mean tweet rate grows roughly linearly with follower count up
+      to ~1e5 followers, then {e drops} — celebrities and news agencies
+      have enormous audiences but tweet comparatively rarely;
+    - ~half the active users tweet fewer than 10 times in 10 days, while
+      a small bot population tweets thousands of times.
+
+    Rates are assigned in a second pass, conditioned on the realised
+    follower counts, then rescaled so the mean rate matches
+    [target_mean_rate] (≈57 = 455 M / 8 M in the trace). *)
+
+type params = {
+  num_topics : int;
+  num_subscribers : int;
+  interest_pareto_scale : float;
+  interest_pareto_alpha : float;
+      (** Pareto followings; scale 3.5, alpha 1.1 gives the trace's mean of
+          ~22 followings. *)
+  glitch20_fraction : float;
+      (** Subscribers pinned at exactly 20 followings. *)
+  cap2000_fraction : float;
+      (** Probability that a draw above 2000 is clamped to exactly 2000
+          (pre-2009 accounts). *)
+  popularity_exponent : float;  (** Zipf [s] for follow-target choice. *)
+  rate_sigma : float;  (** Log-normal spread of individual tweet rates. *)
+  rate_follower_exponent : float;
+      (** Growth of mean rate with follower count below the knee. *)
+  celebrity_knee_fraction : float;
+      (** The knee as a fraction of the subscriber count (1e5 followers
+          out of 30 M subscribers ≈ 0.0033). *)
+  celebrity_dip : float;
+      (** Mean-rate reduction factor applied beyond the knee. *)
+  bot_fraction : float;  (** Topics with bot-level (×[bot_boost]) rates. *)
+  bot_boost : float;
+  target_mean_rate : float;  (** Mean events per topic per horizon. *)
+  seed : int;
+}
+
+val full_scale : params
+(** The published trace's dimensions: 8 M topics, 30 M subscribers. *)
+
+val scaled : float -> params
+(** Shrink topic and subscriber counts by the factor; distribution
+    parameters are unchanged. *)
+
+val default : params
+(** [scaled 0.004] (≈32 k topics, 120 k subscribers, ≈2.7 M pairs) —
+    the benchmark default. *)
+
+val generate : params -> Mcss_workload.Workload.t
+(** Deterministic for a fixed [params]. *)

@@ -1,0 +1,1 @@
+lib/workload/histogram.ml: Array Buffer Float Format List String

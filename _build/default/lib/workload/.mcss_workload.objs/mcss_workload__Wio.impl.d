@@ -1,0 +1,1 @@
+lib/workload/wio.ml: Array Fun In_channel List Printf String Workload

@@ -1,0 +1,1 @@
+lib/workload/wio.mli: Workload

@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Array Float Format List Mcss_prng Printf

@@ -1,0 +1,97 @@
+type regression = { slope : float; intercept : float; r2 : float }
+
+let linear_regression points =
+  let n = List.length points in
+  if n < 2 then None
+  else begin
+    let fn = float_of_int n in
+    let sx = List.fold_left (fun acc (x, _) -> acc +. x) 0. points in
+    let sy = List.fold_left (fun acc (_, y) -> acc +. y) 0. points in
+    let mean_x = sx /. fn and mean_y = sy /. fn in
+    let sxx =
+      List.fold_left (fun acc (x, _) -> acc +. ((x -. mean_x) ** 2.)) 0. points
+    in
+    let syy =
+      List.fold_left (fun acc (_, y) -> acc +. ((y -. mean_y) ** 2.)) 0. points
+    in
+    let sxy =
+      List.fold_left
+        (fun acc (x, y) -> acc +. ((x -. mean_x) *. (y -. mean_y)))
+        0. points
+    in
+    if sxx = 0. then None
+    else begin
+      let slope = sxy /. sxx in
+      let intercept = mean_y -. (slope *. mean_x) in
+      let r2 = if syy = 0. then 1. else sxy *. sxy /. (sxx *. syy) in
+      Some { slope; intercept; r2 }
+    end
+  end
+
+let loglog_regression points =
+  let logs =
+    List.filter_map
+      (fun (x, y) -> if x > 0. && y > 0. then Some (log10 x, log10 y) else None)
+      points
+  in
+  linear_regression logs
+
+let powerlaw_exponent_of_ccdf ccdf =
+  match loglog_regression ccdf with
+  | Some { slope; _ } -> Some (-.slope)
+  | None -> None
+
+let pearson xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Fit.pearson: length mismatch";
+  if n < 2 then invalid_arg "Fit.pearson: need at least two samples";
+  let fn = float_of_int n in
+  let mean a = Array.fold_left ( +. ) 0. a /. fn in
+  let mx = mean xs and my = mean ys in
+  let sxx = ref 0. and syy = ref 0. and sxy = ref 0. in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+    sxx := !sxx +. (dx *. dx);
+    syy := !syy +. (dy *. dy);
+    sxy := !sxy +. (dx *. dy)
+  done;
+  if !sxx = 0. || !syy = 0. then nan else !sxy /. sqrt (!sxx *. !syy)
+
+let chi_square ~observed ~expected =
+  let n = Array.length observed in
+  if n = 0 then invalid_arg "Fit.chi_square: empty input";
+  if n <> Array.length expected then invalid_arg "Fit.chi_square: length mismatch";
+  let stat = ref 0. in
+  for i = 0 to n - 1 do
+    if not (expected.(i) > 0.) then
+      invalid_arg "Fit.chi_square: expected counts must be positive";
+    let d = float_of_int observed.(i) -. expected.(i) in
+    stat := !stat +. (d *. d /. expected.(i))
+  done;
+  !stat
+
+let chi_square_critical_99 ~df =
+  if df < 1 then invalid_arg "Fit.chi_square_critical_99: df must be >= 1";
+  (* Wilson–Hilferty: χ²_p(k) ≈ k (1 - 2/(9k) + z_p √(2/(9k)))³ with
+     z_0.99 = 2.3263. *)
+  let k = float_of_int df in
+  let h = 2. /. (9. *. k) in
+  k *. ((1. -. h +. (2.3263 *. sqrt h)) ** 3.)
+
+let thin_log ?(per_decade = 10) points =
+  match points with
+  | [] | [ _ ] -> points
+  | first :: _ ->
+      let last = List.nth points (List.length points - 1) in
+      let step = 1. /. float_of_int (max 1 per_decade) in
+      let kept = ref [ first ] in
+      let next_threshold = ref (log10 (Float.max (fst first) 1e-300) +. step) in
+      List.iter
+        (fun (x, y) ->
+          if x > 0. && log10 x >= !next_threshold then begin
+            kept := (x, y) :: !kept;
+            next_threshold := log10 x +. step
+          end)
+        points;
+      let kept = if List.hd !kept = last then !kept else last :: !kept in
+      List.rev kept

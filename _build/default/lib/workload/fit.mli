@@ -1,0 +1,45 @@
+(** Least-squares fitting utilities for trace analysis: the paper's
+    Appendix-D figures are log-log CCDFs whose straight-line stretches
+    characterise the heavy tails; this module measures those slopes so
+    generator fidelity can be asserted numerically instead of eyeballed. *)
+
+type regression = {
+  slope : float;
+  intercept : float;
+  r2 : float;  (** Coefficient of determination; 1 = perfect line. *)
+}
+
+val linear_regression : (float * float) list -> regression option
+(** Ordinary least squares over the points; [None] with fewer than two
+    distinct x values. An exactly constant y yields [r2 = 1]. *)
+
+val loglog_regression : (float * float) list -> regression option
+(** OLS over [(log10 x, log10 y)], silently dropping points with a
+    non-positive coordinate; [None] if fewer than two survive. *)
+
+val powerlaw_exponent_of_ccdf : (float * float) list -> float option
+(** For a CCDF that follows [P(X > x) ∝ x^-α], returns the fitted [α]
+    (the negated log-log slope). Points with zero probability (the last
+    CCDF step) are dropped by the log transform. *)
+
+val pearson : float array -> float array -> float
+(** Pearson correlation coefficient; raises [Invalid_argument] on length
+    mismatch or fewer than two samples; returns [nan] when either side
+    has zero variance. *)
+
+val thin_log : ?per_decade:int -> (float * float) list -> (float * float) list
+(** Thin a (sorted by x, positive x) series to roughly [per_decade]
+    (default 10) points per decade of x — enough for plotting without
+    megabyte .dat files. Always keeps the first and last points. *)
+
+val chi_square : observed:int array -> expected:float array -> float
+(** Pearson's goodness-of-fit statistic [Σ (o - e)² / e] — the classical
+    way to test a sampler against its target distribution, used by the
+    PRNG test suite. Raises [Invalid_argument] on mismatched lengths,
+    empty input, or a non-positive expected count. *)
+
+val chi_square_critical_99 : df:int -> float
+(** Approximate 99th-percentile critical value of the χ² distribution
+    with [df >= 1] degrees of freedom (Wilson–Hilferty approximation,
+    accurate to well under 1% for df >= 3): a correct sampler's statistic
+    exceeds it only ~1% of the time. *)

@@ -1,0 +1,79 @@
+type t = { edges : float array; counts : int array; total : int }
+
+let build edges xs =
+  let n = Array.length edges - 1 in
+  let counts = Array.make n 0 in
+  Array.iter
+    (fun x ->
+      (* Rightmost bin whose lower edge is <= x, clamped into range. *)
+      let rec find lo hi =
+        if lo >= hi then lo
+        else
+          let mid = (lo + hi + 1) / 2 in
+          if edges.(mid) <= x then find mid hi else find lo (mid - 1)
+      in
+      let i = min (n - 1) (find 0 (n - 1)) in
+      counts.(i) <- counts.(i) + 1)
+    xs;
+  { edges; counts; total = Array.length xs }
+
+let equi_width ?(bins = 20) xs =
+  if Array.length xs = 0 then invalid_arg "Histogram.equi_width: empty sample";
+  if bins < 1 then invalid_arg "Histogram.equi_width: bins must be >= 1";
+  let lo = Array.fold_left Float.min xs.(0) xs in
+  let hi = Array.fold_left Float.max xs.(0) xs in
+  if lo = hi then build [| lo; lo +. 1. |] xs
+  else begin
+    let bins = bins in
+    let width = (hi -. lo) /. float_of_int bins in
+    let edges = Array.init (bins + 1) (fun i -> lo +. (float_of_int i *. width)) in
+    build edges xs
+  end
+
+let log_bins ?(per_decade = 3) xs =
+  if Array.length xs = 0 then invalid_arg "Histogram.log_bins: empty sample";
+  if per_decade < 1 then invalid_arg "Histogram.log_bins: per_decade must be >= 1";
+  Array.iter
+    (fun x -> if not (x > 0.) then invalid_arg "Histogram.log_bins: non-positive sample")
+    xs;
+  let lo = Array.fold_left Float.min xs.(0) xs in
+  let hi = Array.fold_left Float.max xs.(0) xs in
+  if lo = hi then build [| lo; lo *. 10. |] xs
+  else begin
+    let step = 1. /. float_of_int per_decade in
+    let log_lo = floor (log10 lo /. step) *. step in
+    let bins =
+      max 1 (int_of_float (ceil ((log10 hi -. log_lo) /. step +. 1e-9)))
+    in
+    let edges =
+      Array.init (bins + 1) (fun i -> 10. ** (log_lo +. (float_of_int i *. step)))
+    in
+    build edges xs
+  end
+
+let blocks = [| " "; "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84";
+                "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+let sparkline h =
+  let max_count = Array.fold_left max 1 h.counts in
+  let buf = Buffer.create (Array.length h.counts * 3) in
+  Array.iter
+    (fun c ->
+      let level =
+        if c = 0 then 0
+        else 1 + (c * (Array.length blocks - 2) / max_count)
+      in
+      Buffer.add_string buf blocks.(min level (Array.length blocks - 1)))
+    h.counts;
+  Buffer.contents buf
+
+let pp ppf h =
+  let max_count = Array.fold_left max 1 h.counts in
+  Array.iteri
+    (fun i c ->
+      if c > 0 then begin
+        let bar_len = max 1 (c * 40 / max_count) in
+        Format.fprintf ppf "[%10.4g, %10.4g) %8d %s@." h.edges.(i) h.edges.(i + 1) c
+          (String.concat "" (List.init bar_len (fun _ -> "#")))
+      end)
+    h.counts

@@ -1,0 +1,26 @@
+(** Histograms with terminal-friendly rendering — the [mcss analyze]
+    command summarises the heavy-tailed trace distributions as log-binned
+    sparklines instead of pages of numbers. *)
+
+type t = private {
+  edges : float array;  (** [n+1] ascending bin edges. *)
+  counts : int array;  (** [n] bin counts; values land in [edge_i, edge_{i+1}). *)
+  total : int;  (** Number of samples binned (outliers are clamped in). *)
+}
+
+val equi_width : ?bins:int -> float array -> t
+(** [bins] defaults to 20. Raises [Invalid_argument] on an empty sample or
+    [bins < 1]. A constant sample yields one bin holding everything. *)
+
+val log_bins : ?per_decade:int -> float array -> t
+(** Logarithmic bins, [per_decade] (default 3) per factor of ten,
+    spanning the positive samples; non-positive samples are rejected with
+    [Invalid_argument]. *)
+
+val sparkline : t -> string
+(** One Unicode block character per bin, height proportional to the
+    count: ["▁▂▃▄▅▆▇█"] (empty bins print a space). *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line rendering: one row per non-empty bin with edge range,
+    count and a bar. *)

@@ -1,0 +1,96 @@
+exception Parse_error of string
+
+let output oc w =
+  Printf.fprintf oc "mcss-workload 1\n";
+  Printf.fprintf oc "topics %d\n" (Workload.num_topics w);
+  Printf.fprintf oc "subscribers %d\n" (Workload.num_subscribers w);
+  Printf.fprintf oc "rates\n";
+  Array.iter (fun ev -> Printf.fprintf oc "%.17g\n" ev) (Workload.event_rates w);
+  Printf.fprintf oc "interests\n";
+  for v = 0 to Workload.num_subscribers w - 1 do
+    let tv = Workload.interests w v in
+    Printf.fprintf oc "%d" (Array.length tv);
+    Array.iter (fun t -> Printf.fprintf oc " %d" t) tv;
+    Printf.fprintf oc "\n"
+  done
+
+let save w path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output oc w)
+
+type reader = { ic : in_channel; mutable line_num : int }
+
+let fail r msg = raise (Parse_error (Printf.sprintf "line %d: %s" r.line_num msg))
+
+(* Next non-comment, non-blank line, or None at end of input. *)
+let rec next_line r =
+  match In_channel.input_line r.ic with
+  | None -> None
+  | Some line ->
+      r.line_num <- r.line_num + 1;
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then next_line r else Some line
+
+let expect_line r what =
+  match next_line r with
+  | Some line -> line
+  | None -> fail r (Printf.sprintf "unexpected end of file, expected %s" what)
+
+let expect_keyword_int r keyword =
+  let line = expect_line r keyword in
+  match String.split_on_char ' ' line with
+  | [ k; n ] when k = keyword -> (
+      match int_of_string_opt n with
+      | Some n -> n
+      | None -> fail r (Printf.sprintf "bad integer %S after %s" n keyword))
+  | _ -> fail r (Printf.sprintf "expected %S <int>, got %S" keyword line)
+
+let expect_exact r expected =
+  let line = expect_line r expected in
+  if line <> expected then fail r (Printf.sprintf "expected %S, got %S" expected line)
+
+let input ic =
+  let r = { ic; line_num = 0 } in
+  expect_exact r "mcss-workload 1";
+  let num_topics = expect_keyword_int r "topics" in
+  let num_subscribers = expect_keyword_int r "subscribers" in
+  if num_topics < 0 || num_subscribers < 0 then fail r "negative count";
+  expect_exact r "rates";
+  let event_rates =
+    Array.init num_topics (fun _ ->
+        let line = expect_line r "an event rate" in
+        match float_of_string_opt line with
+        | Some ev -> ev
+        | None -> fail r (Printf.sprintf "bad event rate %S" line))
+  in
+  expect_exact r "interests";
+  let interests =
+    Array.init num_subscribers (fun _ ->
+        let line = expect_line r "an interest list" in
+        let fields =
+          String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+        in
+        match fields with
+        | [] -> fail r "empty interest line"
+        | k :: topics -> (
+            match int_of_string_opt k with
+            | None -> fail r (Printf.sprintf "bad interest count %S" k)
+            | Some k ->
+                if List.length topics <> k then
+                  fail r (Printf.sprintf "interest count %d does not match %d topics"
+                            k (List.length topics));
+                Array.of_list
+                  (List.map
+                     (fun s ->
+                       match int_of_string_opt s with
+                       | Some t -> t
+                       | None -> fail r (Printf.sprintf "bad topic id %S" s))
+                     topics)))
+  in
+  match Workload.create ~event_rates ~interests with
+  | w -> w
+  | exception Invalid_argument msg -> fail r msg
+
+let load path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> input ic)

@@ -1,0 +1,27 @@
+(** Plain-text (de)serialisation of workloads, so generated traces can be
+    saved once and replayed by the CLI, benches, and examples.
+
+    Format (line-oriented, ['#'] comments allowed anywhere):
+    {v
+    mcss-workload 1
+    topics <l>
+    subscribers <n>
+    rates
+    <l lines: one float per line, topic 0 first>
+    interests
+    <n lines: k t_1 ... t_k, subscriber 0 first>
+    v} *)
+
+exception Parse_error of string
+(** Raised with a human-readable message (including line number) when the
+    input does not conform to the format. *)
+
+val save : Workload.t -> string -> unit
+(** [save w path] writes [w] to [path], replacing any existing file. *)
+
+val load : string -> Workload.t
+(** [load path] reads a workload back. Raises {!Parse_error} on malformed
+    input and [Sys_error] on I/O failure. *)
+
+val output : out_channel -> Workload.t -> unit
+val input : in_channel -> Workload.t

@@ -1,0 +1,110 @@
+type topic = int
+type subscriber = int
+
+type t = {
+  event_rates : float array;
+  interests : topic array array;
+  num_pairs : int;
+  interest_rate : float array;
+  total_event_rate : float;
+  mutable followers : subscriber array array option;
+}
+
+let validate ~event_rates ~interests =
+  let num_topics = Array.length event_rates in
+  Array.iteri
+    (fun t ev ->
+      if not (ev > 0.) then
+        invalid_arg
+          (Printf.sprintf "Workload.create: event rate of topic %d is %g (must be > 0)" t ev))
+    event_rates;
+  Array.iteri
+    (fun v tv ->
+      Array.iter
+        (fun t ->
+          if t < 0 || t >= num_topics then
+            invalid_arg
+              (Printf.sprintf "Workload.create: subscriber %d references topic %d out of range"
+                 v t))
+        tv;
+      for i = 1 to Array.length tv - 1 do
+        if tv.(i) = tv.(i - 1) then
+          invalid_arg
+            (Printf.sprintf "Workload.create: subscriber %d lists topic %d twice" v tv.(i))
+      done)
+    interests
+
+let create ~event_rates ~interests =
+  let interests = Array.map (fun tv -> Array.copy tv) interests in
+  Array.iter (fun tv -> Array.sort compare tv) interests;
+  validate ~event_rates ~interests;
+  let event_rates = Array.copy event_rates in
+  let num_pairs = Array.fold_left (fun acc tv -> acc + Array.length tv) 0 interests in
+  let interest_rate =
+    Array.map (fun tv -> Array.fold_left (fun acc t -> acc +. event_rates.(t)) 0. tv) interests
+  in
+  let total_event_rate = Array.fold_left ( +. ) 0. event_rates in
+  { event_rates; interests; num_pairs; interest_rate; total_event_rate; followers = None }
+
+let num_topics w = Array.length w.event_rates
+let num_subscribers w = Array.length w.interests
+let num_pairs w = w.num_pairs
+let event_rate w t = w.event_rates.(t)
+let event_rates w = w.event_rates
+let interests w v = w.interests.(v)
+let interest_rate w v = w.interest_rate.(v)
+let total_event_rate w = w.total_event_rate
+
+let compute_followers w =
+  let counts = Array.make (num_topics w) 0 in
+  Array.iter (fun tv -> Array.iter (fun t -> counts.(t) <- counts.(t) + 1) tv) w.interests;
+  let followers = Array.map (fun c -> Array.make c 0) counts in
+  let fill = Array.make (num_topics w) 0 in
+  Array.iteri
+    (fun v tv ->
+      Array.iter
+        (fun t ->
+          followers.(t).(fill.(t)) <- v;
+          fill.(t) <- fill.(t) + 1)
+        tv)
+    w.interests;
+  (* Subscribers were visited in ascending order, so each list is sorted. *)
+  followers
+
+let followers w t =
+  match w.followers with
+  | Some f -> f.(t)
+  | None ->
+      let f = compute_followers w in
+      w.followers <- Some f;
+      f.(t)
+
+let num_followers w t = Array.length (followers w t)
+
+let tau_v w ~tau v = Float.min tau w.interest_rate.(v)
+
+let iter_pairs w f =
+  Array.iteri (fun v tv -> Array.iter (fun t -> f t v) tv) w.interests
+
+let subscribers_with_interests w =
+  let out = ref [] in
+  for v = num_subscribers w - 1 downto 0 do
+    if Array.length w.interests.(v) > 0 then out := v :: !out
+  done;
+  !out
+
+let sample_subscribers rng ~fraction w =
+  if fraction < 0. || fraction > 1. then
+    invalid_arg "Workload.sample_subscribers: fraction outside [0,1]";
+  let kept = ref [] in
+  for v = num_subscribers w - 1 downto 0 do
+    if Mcss_prng.Rng.bernoulli rng fraction then kept := v :: !kept
+  done;
+  let interests =
+    Array.of_list (List.map (fun v -> Array.copy w.interests.(v)) !kept)
+  in
+  create ~event_rates:w.event_rates ~interests
+
+let pp_summary ppf w =
+  Format.fprintf ppf "workload: %d topics, %d subscribers, %d pairs, total rate %.1f"
+    (num_topics w) (num_subscribers w) w.num_pairs w.total_event_rate

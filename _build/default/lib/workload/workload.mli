@@ -1,0 +1,74 @@
+(** The pub/sub workload model of the paper (§II-B).
+
+    A workload is the static description the resource allocator consumes:
+    a set of topics [T] with per-topic event rates [ev_t], and a set of
+    subscribers [V] with interests [T_v ⊆ T]. Users of social pub/sub
+    systems are both topics and subscribers, but the model keeps the two id
+    spaces separate: topic ids are [0 .. num_topics - 1] and subscriber ids
+    are [0 .. num_subscribers - 1].
+
+    Event rates are in events per time unit (the paper uses events/min for
+    the worked example and events/10-days for the traces); conversion to
+    bytes and money happens in [Mcss_pricing]. *)
+
+type topic = int
+type subscriber = int
+
+type t
+(** An immutable workload. Construction validates the representation; all
+    accessors are O(1) or return shared arrays that must not be mutated. *)
+
+val create : event_rates:float array -> interests:topic array array -> t
+(** [create ~event_rates ~interests] builds a workload with
+    [Array.length event_rates] topics and [Array.length interests]
+    subscribers. Raises [Invalid_argument] if any event rate is not
+    strictly positive (the paper assumes [ev_t > 0]), any interest refers
+    to an out-of-range topic, or a subscriber lists the same topic twice.
+    Interest arrays are sorted by topic id internally. *)
+
+val num_topics : t -> int
+val num_subscribers : t -> int
+
+val num_pairs : t -> int
+(** Total number of topic–subscriber pairs, [Σ_v |T_v|]. *)
+
+val event_rate : t -> topic -> float
+(** [ev_t]. *)
+
+val event_rates : t -> float array
+(** The full rate array, indexed by topic. Do not mutate. *)
+
+val interests : t -> subscriber -> topic array
+(** [T_v], sorted by topic id. Do not mutate. *)
+
+val followers : t -> topic -> subscriber array
+(** [V_t], the subscribers interested in [t], sorted by subscriber id.
+    Derived from the interests on first use and cached. Do not mutate. *)
+
+val num_followers : t -> topic -> int
+
+val interest_rate : t -> subscriber -> float
+(** [Σ_{t ∈ T_v} ev_t], the total rate a subscriber could ever receive. *)
+
+val total_event_rate : t -> float
+(** [Σ_t ev_t]. *)
+
+val tau_v : t -> tau:float -> subscriber -> float
+(** The subscriber-specific satisfaction threshold
+    [τ_v = min τ (Σ_{t∈T_v} ev_t)] (§II-B). *)
+
+val iter_pairs : t -> (topic -> subscriber -> unit) -> unit
+(** Iterate over every (t, v) pair, grouped by subscriber. *)
+
+val subscribers_with_interests : t -> subscriber list
+(** Subscribers with at least one interest, ascending. *)
+
+val sample_subscribers : Mcss_prng.Rng.t -> fraction:float -> t -> t
+(** A sub-workload keeping each subscriber independently with the given
+    probability (topics and rates untouched) — the paper evaluates on
+    "about 10% / 1% samples" of its traces, and scaling experiments need
+    the same knob. Requires [0 <= fraction <= 1]. Subscriber ids are
+    re-densified in the original order. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-line summary: topic/subscriber/pair counts and total rate. *)

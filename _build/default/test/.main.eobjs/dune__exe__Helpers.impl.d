@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Format List Mcss_core Mcss_prng Mcss_workload QCheck QCheck_alcotest Rng String

@@ -1,0 +1,1 @@
+test/test_allocation.ml: Alcotest Helpers List Mcss_core

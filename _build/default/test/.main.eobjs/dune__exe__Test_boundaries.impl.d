@@ -1,0 +1,1 @@
+test/test_boundaries.ml: Alcotest Array Helpers List Mcss_core Mcss_prng Mcss_workload

@@ -1,0 +1,1 @@
+test/test_broker.ml: Alcotest Float Helpers List Mcss_broker Mcss_core Mcss_sim Mcss_workload

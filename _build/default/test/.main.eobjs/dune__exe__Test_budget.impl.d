@@ -1,0 +1,1 @@
+test/test_budget.ml: Alcotest Array Hashtbl Helpers List Mcss_core Mcss_prng Mcss_workload

@@ -1,0 +1,1 @@
+test/test_churn.ml: Alcotest Format Helpers List Mcss_dynamic Mcss_pricing Mcss_prng Mcss_workload QCheck

@@ -1,0 +1,1 @@
+test/test_dist.ml: Alcotest Array Float Helpers Mcss_prng QCheck

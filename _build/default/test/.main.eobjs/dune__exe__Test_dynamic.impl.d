@@ -1,0 +1,1 @@
+test/test_dynamic.ml: Alcotest Array Float Format Helpers List Mcss_core Mcss_dynamic Mcss_prng Mcss_workload Printf QCheck Rng

@@ -1,0 +1,1 @@
+test/test_edge_list.ml: Alcotest Array Filename Fun Helpers List Mcss_core Mcss_traces Mcss_workload Out_channel Sys

@@ -1,0 +1,1 @@
+test/test_exact.ml: Alcotest Array Helpers List Mcss_core Mcss_exact Mcss_prng Mcss_workload QCheck

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Helpers Mcss_core Mcss_prng Mcss_sim Mcss_workload Printf

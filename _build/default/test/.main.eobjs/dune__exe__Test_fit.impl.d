@@ -1,0 +1,1 @@
+test/test_fit.ml: Alcotest Array Float Helpers List Mcss_prng Mcss_workload

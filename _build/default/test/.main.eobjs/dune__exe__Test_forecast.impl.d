@@ -1,0 +1,1 @@
+test/test_forecast.ml: Alcotest Format Helpers List Mcss_dynamic Mcss_pricing Mcss_prng Mcss_workload

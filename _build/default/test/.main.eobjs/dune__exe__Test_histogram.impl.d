@@ -1,0 +1,1 @@
+test/test_histogram.ml: Alcotest Array Format Helpers Mcss_workload QCheck String

@@ -1,0 +1,1 @@
+test/test_lower_bound.ml: Alcotest Helpers List Mcss_core Mcss_exact QCheck

@@ -1,0 +1,1 @@
+test/test_lp_export.ml: Alcotest Array Filename Fun Helpers In_channel List Mcss_core Mcss_exact Mcss_workload Sys

@@ -1,0 +1,1 @@
+test/test_packing.ml: Alcotest Array Hashtbl Helpers List Mcss_core Mcss_workload Option

@@ -1,0 +1,1 @@
+test/test_paper_example.ml: Alcotest Array Float Helpers List Mcss_core Mcss_exact Mcss_pricing Mcss_traces Mcss_workload

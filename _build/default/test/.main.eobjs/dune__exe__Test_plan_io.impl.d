@@ -1,0 +1,1 @@
+test/test_plan_io.ml: Alcotest Filename Float Fun Helpers Mcss_core Mcss_workload Out_channel Sys

@@ -1,0 +1,1 @@
+test/test_pricing.ml: Alcotest Helpers List Mcss_pricing

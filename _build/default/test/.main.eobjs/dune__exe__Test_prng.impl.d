@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Float Helpers Int64 Mcss_prng Printf

@@ -1,0 +1,1 @@
+test/test_problem.ml: Alcotest Helpers Mcss_core Mcss_pricing Mcss_workload

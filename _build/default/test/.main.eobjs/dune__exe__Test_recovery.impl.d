@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Format Helpers List Mcss_core Mcss_dynamic Mcss_pricing Mcss_prng Mcss_workload

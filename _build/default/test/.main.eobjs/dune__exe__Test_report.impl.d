@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Filename Helpers In_channel List Mcss_report String Sys

@@ -1,0 +1,1 @@
+test/test_selection.ml: Alcotest Array Hashtbl Helpers List Mcss_core Mcss_prng Mcss_workload QCheck

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Helpers List Mcss_core Mcss_sim QCheck

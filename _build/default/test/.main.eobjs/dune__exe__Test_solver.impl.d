@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Format Helpers List Mcss_core Mcss_prng

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Float Helpers List Mcss_core Mcss_workload

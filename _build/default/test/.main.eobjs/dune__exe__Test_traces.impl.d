@@ -1,0 +1,1 @@
+test/test_traces.ml: Alcotest Array Float Helpers Mcss_prng Mcss_traces Mcss_workload

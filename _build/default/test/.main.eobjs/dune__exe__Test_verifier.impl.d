@@ -1,0 +1,1 @@
+test/test_verifier.ml: Alcotest Format Helpers List Mcss_core

@@ -1,0 +1,1 @@
+test/test_wio.ml: Alcotest Array Filename Fun Helpers Mcss_core Mcss_workload Out_channel Sys

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Format Helpers List Mcss_core Mcss_workload

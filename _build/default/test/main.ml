@@ -1,0 +1,36 @@
+let () =
+  Alcotest.run "mcss"
+    [
+      ("prng", Test_prng.suite);
+      ("dist", Test_dist.suite);
+      ("vec", Test_vec.suite);
+      ("workload", Test_workload.suite);
+      ("stats", Test_stats.suite);
+      ("wio", Test_wio.suite);
+      ("pricing", Test_pricing.suite);
+      ("problem", Test_problem.suite);
+      ("selection", Test_selection.suite);
+      ("allocation", Test_allocation.suite);
+      ("packing", Test_packing.suite);
+      ("lower-bound", Test_lower_bound.suite);
+      ("verifier", Test_verifier.suite);
+      ("solver", Test_solver.suite);
+      ("exact", Test_exact.suite);
+      ("sim", Test_sim.suite);
+      ("traces", Test_traces.suite);
+      ("report", Test_report.suite);
+      ("paper-example", Test_paper_example.suite);
+      ("dynamic", Test_dynamic.suite);
+      ("extensions", Test_extensions.suite);
+      ("broker", Test_broker.suite);
+      ("budget", Test_budget.suite);
+      ("fit", Test_fit.suite);
+      ("edge-list", Test_edge_list.suite);
+      ("lp-export", Test_lp_export.suite);
+      ("churn+billing", Test_churn.suite);
+      ("forecast", Test_forecast.suite);
+      ("histogram", Test_histogram.suite);
+      ("plan-io", Test_plan_io.suite);
+      ("recovery", Test_recovery.suite);
+      ("boundaries", Test_boundaries.suite);
+    ]

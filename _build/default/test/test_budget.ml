@@ -1,0 +1,115 @@
+(* Tests for the fixed-budget satisfaction maximiser (the dual problem,
+   after the paper's reference [9]). *)
+
+module Workload = Mcss_workload.Workload
+module Problem = Mcss_core.Problem
+module Allocation = Mcss_core.Allocation
+module Solver = Mcss_core.Solver
+module Budget = Mcss_core.Budget
+
+let test_zero_budget () =
+  let p = Helpers.fig1_problem ~capacity:50. () in
+  let r = Budget.solve p ~budget:0 in
+  Helpers.check_int "nobody satisfied" 0 r.Budget.num_satisfied;
+  Helpers.check_int "no VMs" 0 (Allocation.num_vms r.Budget.allocation)
+
+let test_ample_budget_satisfies_all () =
+  let p = Helpers.fig1_problem ~capacity:50. () in
+  let full = Solver.solve p in
+  let r = Budget.solve p ~budget:full.Solver.num_vms in
+  Helpers.check_int "everyone satisfied" 3 r.Budget.num_satisfied;
+  Helpers.check_bool "within budget" true
+    (Allocation.num_vms r.Budget.allocation <= full.Solver.num_vms)
+
+let test_partial_budget_prefers_cheap_subscribers () =
+  (* fig1 with BC=50: the full solution needs 3 VMs. With 1 VM, only the
+     cheap subscriber (v2, needing just topic 1 at rate 10) fits along
+     with at most one expensive one. *)
+  let p = Helpers.fig1_problem ~capacity:50. () in
+  let r = Budget.solve p ~budget:1 in
+  Helpers.check_bool "v2 admitted" true r.Budget.satisfied.(2);
+  Helpers.check_bool "not everyone" true (r.Budget.num_satisfied < 3);
+  Helpers.check_int "one VM" 1 (Allocation.num_vms r.Budget.allocation)
+
+let test_negative_budget_rejected () =
+  let p = Helpers.fig1_problem () in
+  Alcotest.check_raises "negative" (Invalid_argument "Budget.solve: negative budget")
+    (fun () -> ignore (Budget.solve p ~budget:(-1)))
+
+let test_no_interest_subscribers_free () =
+  let w = Helpers.workload ~rates:[ 5. ] ~interests:[ []; [ 0 ] ] in
+  let p = Problem.create ~workload:w ~tau:5. ~capacity:100. Problem.unit_costs in
+  let r = Budget.solve p ~budget:0 in
+  Helpers.check_bool "empty subscriber satisfied" true r.Budget.satisfied.(0);
+  Helpers.check_int "count" 1 r.Budget.num_satisfied
+
+let test_satisfaction_curve_monotone () =
+  let rng = Mcss_prng.Rng.create 23 in
+  let p =
+    Helpers.random_problem rng ~num_topics:40 ~num_subscribers:80 ~max_rate:20
+      ~max_interests:6 ~tau:40. ~capacity:150.
+  in
+  let curve = Budget.satisfaction_curve p ~budgets:[ 0; 1; 2; 4; 8; 16; 32 ] in
+  let rec monotone = function
+    | (_, a) :: ((_, b) :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  Helpers.check_bool "non-decreasing in budget" true (monotone curve)
+
+(* The budget solver's claims, checked from first principles: admitted
+   subscribers really receive tau_v, capacity and budget hold. *)
+let check_result (p : Problem.t) budget (r : Budget.result) =
+  let w = p.Problem.workload in
+  let eps = Problem.epsilon p in
+  let delivered = Array.make (Workload.num_subscribers w) 0. in
+  let over = ref false in
+  Array.iter
+    (fun vm ->
+      let seen = Hashtbl.create 16 in
+      let load = ref 0. in
+      Allocation.iter_vm_pairs vm (fun t v ->
+          let ev = Workload.event_rate w t in
+          delivered.(v) <- delivered.(v) +. ev;
+          load := !load +. ev;
+          if not (Hashtbl.mem seen t) then begin
+            Hashtbl.add seen t ();
+            load := !load +. ev
+          end);
+      if !load > p.Problem.capacity +. eps then over := true)
+    (Allocation.vms r.Budget.allocation);
+  (not !over)
+  && Allocation.num_vms r.Budget.allocation <= budget
+  && Array.for_all
+       (fun v ->
+         (not r.Budget.satisfied.(v)) || delivered.(v) +. eps >= Problem.tau_v p v)
+       (Array.init (Workload.num_subscribers w) (fun v -> v))
+
+let prop_budget_solutions_sound =
+  Helpers.qtest ~count:80 "budgeted solutions satisfy exactly whom they claim"
+    Helpers.problem_arbitrary (fun p ->
+      List.for_all
+        (fun budget -> check_result p budget (Budget.solve p ~budget))
+        [ 0; 1; 3; 10 ])
+
+let prop_ample_budget_satisfies_everyone =
+  (* One VM per selected pair is always enough room for the greedy to
+     admit every subscriber (each pair alone fits an empty VM whenever
+     the instance is feasible at all). *)
+  Helpers.qtest ~count:60 "a pair-per-VM budget satisfies everyone"
+    Helpers.problem_arbitrary (fun p ->
+      let gsp = Mcss_core.Selection.gsp p in
+      let r = Budget.solve p ~budget:gsp.Mcss_core.Selection.num_pairs in
+      r.Budget.num_satisfied = Workload.num_subscribers p.Problem.workload)
+
+let suite =
+  [
+    Alcotest.test_case "zero budget" `Quick test_zero_budget;
+    Alcotest.test_case "ample budget satisfies all" `Quick test_ample_budget_satisfies_all;
+    Alcotest.test_case "partial budget prefers cheap" `Quick
+      test_partial_budget_prefers_cheap_subscribers;
+    Alcotest.test_case "negative budget rejected" `Quick test_negative_budget_rejected;
+    Alcotest.test_case "no-interest subscribers free" `Quick test_no_interest_subscribers_free;
+    Alcotest.test_case "satisfaction curve monotone" `Quick test_satisfaction_curve_monotone;
+    prop_budget_solutions_sound;
+    prop_ample_budget_satisfies_everyone;
+  ]

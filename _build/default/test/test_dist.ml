@@ -1,0 +1,178 @@
+(* Tests for the distribution samplers: support, moments (loose, seeded),
+   and the Zipf table. *)
+
+module Rng = Mcss_prng.Rng
+module Dist = Mcss_prng.Dist
+
+let near name ~tolerance expected actual =
+  if Float.abs (expected -. actual) > tolerance then
+    Alcotest.failf "%s: expected ~%g, got %g" name expected actual
+
+let sample_mean g n f =
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. f g
+  done;
+  !sum /. float_of_int n
+
+let test_exponential_mean () =
+  let g = Rng.create 21 in
+  near "mean" ~tolerance:0.2 5.0 (sample_mean g 20_000 (fun g -> Dist.exponential g ~mean:5.0))
+
+let test_exponential_positive () =
+  let g = Rng.create 22 in
+  for _ = 1 to 1000 do
+    Helpers.check_bool "positive" true (Dist.exponential g ~mean:1.0 >= 0.)
+  done
+
+let test_exponential_rejects () =
+  let g = Rng.create 22 in
+  Alcotest.check_raises "bad mean"
+    (Invalid_argument "Dist.exponential: mean must be positive") (fun () ->
+      ignore (Dist.exponential g ~mean:0.))
+
+let test_normal_moments () =
+  let g = Rng.create 23 in
+  let n = 20_000 in
+  let xs = Array.init n (fun _ -> Dist.normal g ~mu:3. ~sigma:2.) in
+  let mean = Array.fold_left ( +. ) 0. xs /. float_of_int n in
+  let var =
+    Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. xs /. float_of_int n
+  in
+  near "mean" ~tolerance:0.1 3. mean;
+  near "variance" ~tolerance:0.3 4. var
+
+let test_log_normal_median () =
+  let g = Rng.create 24 in
+  let n = 20_000 in
+  let xs = Array.init n (fun _ -> Dist.log_normal g ~mu:2. ~sigma:1.) in
+  Array.sort compare xs;
+  (* Median of log-normal is e^mu. *)
+  near "median" ~tolerance:0.5 (exp 2.) xs.(n / 2)
+
+let test_pareto_support () =
+  let g = Rng.create 25 in
+  for _ = 1 to 1000 do
+    Helpers.check_bool "x >= scale" true (Dist.pareto g ~scale:3. ~alpha:1.5 >= 3.)
+  done
+
+let test_pareto_mean () =
+  let g = Rng.create 26 in
+  (* Mean of Pareto(scale, alpha) = scale * alpha / (alpha - 1) = 6. *)
+  near "mean" ~tolerance:0.6 6. (sample_mean g 50_000 (fun g -> Dist.pareto g ~scale:3. ~alpha:2.))
+
+let test_poisson_zero () =
+  let g = Rng.create 27 in
+  Helpers.check_int "mean 0" 0 (Dist.poisson g ~mean:0.)
+
+let test_poisson_small_mean () =
+  let g = Rng.create 28 in
+  near "mean 4" ~tolerance:0.15 4.
+    (sample_mean g 20_000 (fun g -> float_of_int (Dist.poisson g ~mean:4.)))
+
+let test_poisson_large_mean () =
+  let g = Rng.create 29 in
+  near "mean 200 (normal approx)" ~tolerance:2. 200.
+    (sample_mean g 5_000 (fun g -> float_of_int (Dist.poisson g ~mean:200.)))
+
+let test_poisson_nonnegative () =
+  let g = Rng.create 30 in
+  for _ = 1 to 1000 do
+    Helpers.check_bool "nonnegative" true (Dist.poisson g ~mean:100. >= 0)
+  done
+
+let test_geometric () =
+  let g = Rng.create 31 in
+  Helpers.check_int "p=1 is 0" 0 (Dist.geometric g ~p:1.);
+  (* Mean failures before success = (1-p)/p = 3 for p = 0.25. *)
+  near "mean" ~tolerance:0.2 3.
+    (sample_mean g 20_000 (fun g -> float_of_int (Dist.geometric g ~p:0.25)))
+
+let test_zipf_support_and_probs () =
+  let z = Dist.Zipf.create ~n:10 ~s:1.2 in
+  Helpers.check_int "support" 10 (Dist.Zipf.support z);
+  let total = ref 0. in
+  for k = 1 to 10 do
+    total := !total +. Dist.Zipf.prob z k
+  done;
+  Helpers.check_float "probs sum to 1" 1.0 !total;
+  for k = 2 to 10 do
+    Helpers.check_bool "monotone non-increasing" true
+      (Dist.Zipf.prob z k <= Dist.Zipf.prob z (k - 1) +. 1e-12)
+  done;
+  Helpers.check_float "prob outside support" 0. (Dist.Zipf.prob z 0);
+  Helpers.check_float "prob outside support" 0. (Dist.Zipf.prob z 11)
+
+let test_zipf_sample_range_and_skew () =
+  let g = Rng.create 32 in
+  let z = Dist.Zipf.create ~n:100 ~s:1.0 in
+  let counts = Array.make 101 0 in
+  for _ = 1 to 20_000 do
+    let k = Dist.Zipf.sample z g in
+    Helpers.check_bool "in range" true (k >= 1 && k <= 100);
+    counts.(k) <- counts.(k) + 1
+  done;
+  Helpers.check_bool "rank 1 much more frequent than rank 100" true
+    (counts.(1) > 10 * max 1 counts.(100))
+
+let test_zipf_uniform_when_s_zero () =
+  let z = Dist.Zipf.create ~n:4 ~s:0. in
+  for k = 1 to 4 do
+    Helpers.check_float "uniform" 0.25 (Dist.Zipf.prob z k)
+  done
+
+let test_weighted_index () =
+  let g = Rng.create 33 in
+  let w = [| 0.; 5.; 0.; 5. |] in
+  for _ = 1 to 500 do
+    let i = Dist.weighted_index w ~cumulative:None g in
+    Helpers.check_bool "zero weights never chosen" true (i = 1 || i = 3)
+  done;
+  let c = Dist.cumulative_sums w in
+  Alcotest.(check (array (float 1e-12))) "cumsums" [| 0.; 5.; 5.; 10. |] c;
+  for _ = 1 to 500 do
+    let i = Dist.weighted_index w ~cumulative:(Some c) g in
+    Helpers.check_bool "precomputed path agrees on support" true (i = 1 || i = 3)
+  done
+
+let test_weighted_index_rejects () =
+  let g = Rng.create 34 in
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Dist.weighted_index: empty weights") (fun () ->
+      ignore (Dist.weighted_index [||] ~cumulative:None g));
+  Alcotest.check_raises "zero total"
+    (Invalid_argument "Dist.weighted_index: zero total weight") (fun () ->
+      ignore (Dist.weighted_index [| 0.; 0. |] ~cumulative:None g))
+
+let prop_zipf_sample_in_range =
+  Helpers.qtest "zipf sample always in [1,n]"
+    QCheck.(pair small_int (pair small_int small_int))
+    (fun (seed, (n_raw, s_raw)) ->
+      let n = 1 + (n_raw mod 50) in
+      let s = float_of_int (s_raw mod 4) /. 2. in
+      let z = Dist.Zipf.create ~n ~s in
+      let g = Rng.create seed in
+      let k = Dist.Zipf.sample z g in
+      k >= 1 && k <= n)
+
+let suite =
+  [
+    Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+    Alcotest.test_case "exponential positive" `Quick test_exponential_positive;
+    Alcotest.test_case "exponential rejects" `Quick test_exponential_rejects;
+    Alcotest.test_case "normal moments" `Quick test_normal_moments;
+    Alcotest.test_case "log-normal median" `Quick test_log_normal_median;
+    Alcotest.test_case "pareto support" `Quick test_pareto_support;
+    Alcotest.test_case "pareto mean" `Quick test_pareto_mean;
+    Alcotest.test_case "poisson zero" `Quick test_poisson_zero;
+    Alcotest.test_case "poisson small mean" `Quick test_poisson_small_mean;
+    Alcotest.test_case "poisson large mean" `Quick test_poisson_large_mean;
+    Alcotest.test_case "poisson nonnegative" `Quick test_poisson_nonnegative;
+    Alcotest.test_case "geometric" `Quick test_geometric;
+    Alcotest.test_case "zipf support and probs" `Quick test_zipf_support_and_probs;
+    Alcotest.test_case "zipf sample range and skew" `Quick test_zipf_sample_range_and_skew;
+    Alcotest.test_case "zipf uniform when s=0" `Quick test_zipf_uniform_when_s_zero;
+    Alcotest.test_case "weighted index" `Quick test_weighted_index;
+    Alcotest.test_case "weighted index rejects" `Quick test_weighted_index_rejects;
+    prop_zipf_sample_in_range;
+  ]

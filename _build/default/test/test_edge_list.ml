@@ -1,0 +1,113 @@
+(* Tests for the edge-list trace importer/exporter. *)
+
+module Workload = Mcss_workload.Workload
+module Wio = Mcss_workload.Wio
+module Edge_list = Mcss_traces.Edge_list
+
+let with_files edges_content rates_content f =
+  let edges = Filename.temp_file "mcss_edges" ".txt" in
+  let rates = Filename.temp_file "mcss_rates" ".txt" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove edges;
+      Sys.remove rates)
+    (fun () ->
+      Out_channel.with_open_text edges (fun oc -> output_string oc edges_content);
+      Out_channel.with_open_text rates (fun oc -> output_string oc rates_content);
+      f ~edges ~rates)
+
+let test_basic_import () =
+  with_files "100 1\n100 2\n101 1\n# comment\n\n102 3\n" "1 50\n2 10\n3 0\n"
+    (fun ~edges ~rates ->
+      let w, mapping = Edge_list.load ~edges ~rates in
+      (* User 3 is inactive: dropped as a topic, its edge with it. *)
+      Helpers.check_int "two active topics" 2 (Workload.num_topics w);
+      (* User 102 only followed the inactive user: not a subscriber. *)
+      Helpers.check_int "two subscribers" 2 (Workload.num_subscribers w);
+      Helpers.check_int "three pairs" 3 (Workload.num_pairs w);
+      Alcotest.(check (array int)) "topic users" [| 1; 2 |]
+        mapping.Edge_list.user_of_topic;
+      Alcotest.(check (array int)) "subscriber users" [| 100; 101 |]
+        mapping.Edge_list.user_of_subscriber;
+      (* Rates follow the densified ids. *)
+      Helpers.check_float "rate of user 1" 50. (Workload.event_rate w 0);
+      Helpers.check_float "rate of user 2" 10. (Workload.event_rate w 1))
+
+let test_duplicate_edges_collapse () =
+  with_files "5 1\n5 1\n5 1\n" "1 7\n" (fun ~edges ~rates ->
+      let w, _ = Edge_list.load ~edges ~rates in
+      Helpers.check_int "one pair" 1 (Workload.num_pairs w))
+
+let test_tabs_and_sparse_ids () =
+  with_files "1000000\t42\n" "42 3\n" (fun ~edges ~rates ->
+      let w, mapping = Edge_list.load ~edges ~rates in
+      Helpers.check_int "densified" 1 (Workload.num_topics w);
+      Alcotest.(check (array int)) "sparse follower id kept" [| 1000000 |]
+        mapping.Edge_list.user_of_subscriber)
+
+let expect_parse name edges rates =
+  with_files edges rates (fun ~edges ~rates ->
+      match Edge_list.load ~edges ~rates with
+      | _ -> Alcotest.failf "%s: expected Parse_error" name
+      | exception Wio.Parse_error _ -> ())
+
+let test_rejects_malformed () =
+  expect_parse "three columns" "1 2 3\n" "1 1\n";
+  expect_parse "non-integer" "a b\n" "1 1\n";
+  expect_parse "negative user" "-1 2\n" "2 1\n";
+  expect_parse "negative count" "1 2\n" "2 -5\n"
+
+let test_roundtrip () =
+  let original =
+    Helpers.workload ~rates:[ 5.; 3.; 7. ] ~interests:[ [ 0; 2 ]; [ 1 ]; [ 0; 1; 2 ] ]
+  in
+  let edges = Filename.temp_file "mcss_edges" ".txt" in
+  let rates = Filename.temp_file "mcss_rates" ".txt" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove edges;
+      Sys.remove rates)
+    (fun () ->
+      Edge_list.save original ~edges ~rates;
+      let w, _ = Edge_list.load ~edges ~rates in
+      Helpers.check_int "topics" 3 (Workload.num_topics w);
+      Helpers.check_int "subscribers" 3 (Workload.num_subscribers w);
+      Helpers.check_int "pairs" 6 (Workload.num_pairs w);
+      Alcotest.(check (array (float 1e-9))) "rates" [| 5.; 3.; 7. |] (Workload.event_rates w);
+      (* Interests survive (modulo the disjoint-id export convention). *)
+      Alcotest.(check (array int)) "v0 interests" [| 0; 2 |] (Workload.interests w 0))
+
+let prop_roundtrip_random =
+  Helpers.qtest ~count:40 "edge-list export/import preserves the workload"
+    Helpers.problem_arbitrary (fun p ->
+      let original = p.Mcss_core.Problem.workload in
+      let edges = Filename.temp_file "mcss_edges" ".txt" in
+      let rates = Filename.temp_file "mcss_rates" ".txt" in
+      Fun.protect
+        ~finally:(fun () ->
+          Sys.remove edges;
+          Sys.remove rates)
+        (fun () ->
+          Edge_list.save original ~edges ~rates;
+          let w, _ = Edge_list.load ~edges ~rates in
+          (* Subscribers with no interests are not representable in an
+             edge list; compare the populated ones. *)
+          let populated =
+            List.filter
+              (fun v -> Array.length (Workload.interests original v) > 0)
+              (List.init (Workload.num_subscribers original) (fun v -> v))
+          in
+          Workload.num_topics w = Workload.num_topics original
+          && Workload.num_subscribers w = List.length populated
+          && Workload.num_pairs w = Workload.num_pairs original
+          && Workload.event_rates w = Workload.event_rates original))
+
+let suite =
+  [
+    Alcotest.test_case "basic import" `Quick test_basic_import;
+    Alcotest.test_case "duplicate edges collapse" `Quick test_duplicate_edges_collapse;
+    Alcotest.test_case "tabs and sparse ids" `Quick test_tabs_and_sparse_ids;
+    Alcotest.test_case "rejects malformed" `Quick test_rejects_malformed;
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    prop_roundtrip_random;
+  ]

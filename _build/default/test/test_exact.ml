@@ -1,0 +1,134 @@
+(* Tests for the exact branch-and-bound solver and the Partition/DCSS
+   reduction (Theorem II.2). *)
+
+module Problem = Mcss_core.Problem
+module Solver = Mcss_core.Solver
+module Verifier = Mcss_core.Verifier
+module Brute = Mcss_exact.Brute
+module Partition = Mcss_exact.Partition
+
+let test_partition_yes () =
+  let xs = [| 3; 1; 1; 2; 2; 1 |] in
+  match Partition.solve xs with
+  | None -> Alcotest.fail "expected a partition"
+  | Some side -> Helpers.check_bool "balanced" true (Partition.balanced xs side)
+
+let test_partition_odd_total () =
+  Helpers.check_bool "odd total" true (Partition.solve [| 3; 1; 1 |] = None)
+
+let test_partition_even_but_impossible () =
+  Helpers.check_bool "no split" true (Partition.solve [| 1; 1; 6 |] = None)
+
+let test_partition_rejects_nonpositive () =
+  Alcotest.check_raises "zero" (Invalid_argument "Partition.solve: nonpositive element")
+    (fun () -> ignore (Partition.solve [| 1; 0 |]))
+
+let test_reduce_structure () =
+  let xs = [| 4; 2; 6 |] in
+  let p = Partition.reduce xs in
+  let w = p.Problem.workload in
+  Helpers.check_int "one topic per integer" 3 (Mcss_workload.Workload.num_topics w);
+  Helpers.check_int "one subscriber per topic" 3
+    (Mcss_workload.Workload.num_subscribers w);
+  Helpers.check_float "BC = sum" 12. p.Problem.capacity;
+  Helpers.check_float "tau = max" 6. p.Problem.tau;
+  (* C1 counts VMs, C2 is zero. *)
+  Helpers.check_float "unit costs" 5. (Problem.cost p ~vms:5 ~bandwidth:1e9);
+  (* Every subscriber is forced to take its whole topic: tau_v = ev. *)
+  Helpers.check_float "tau_v forces the pair" 4. (Problem.tau_v p 0)
+
+let test_reduction_yes_instance () =
+  let p = Partition.reduce [| 3; 1; 1; 2; 2; 1 |] in
+  match Brute.dcss p ~threshold:Partition.dcss_cost_threshold with
+  | Some answer -> Helpers.check_bool "2 VMs suffice" true answer
+  | None -> Alcotest.fail "within limits but refused"
+
+let test_reduction_no_instance () =
+  let p = Partition.reduce [| 3; 3; 3 |] in
+  match Brute.dcss p ~threshold:Partition.dcss_cost_threshold with
+  | Some answer -> Helpers.check_bool "2 VMs cannot suffice" false answer
+  | None -> Alcotest.fail "within limits but refused"
+
+let test_brute_fig1 () =
+  let p = Helpers.fig1_problem ~capacity:50. () in
+  match Brute.solve p with
+  | None -> Alcotest.fail "tiny instance refused"
+  | Some ex ->
+      (* The heuristic already achieves 3 VMs / 120 bandwidth; exact must
+         agree (it cannot do better: t0's two pairs cannot share a VM). *)
+      Helpers.check_int "3 VMs" 3 ex.Brute.num_vms;
+      Helpers.check_float "cost" 3. ex.Brute.cost;
+      Helpers.check_bool "exact allocation verifies" true
+        (Verifier.is_valid (Verifier.verify p ex.Brute.selection ex.Brute.allocation))
+
+let test_limits_refuse_large () =
+  let rng = Mcss_prng.Rng.create 5 in
+  let p =
+    Helpers.random_problem rng ~num_topics:30 ~num_subscribers:30 ~max_rate:9
+      ~max_interests:8 ~tau:20. ~capacity:100.
+  in
+  let tight = { Brute.default_limits with Brute.max_combinations = 2 } in
+  Helpers.check_bool "refuses" true (Brute.solve ~limits:tight p = None)
+
+let prop_partition_solution_balanced =
+  Helpers.qtest ~count:200 "any partition found is balanced"
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 12) (QCheck.int_range 1 20))
+    (fun xs ->
+      let xs = Array.of_list xs in
+      match Partition.solve xs with
+      | None -> true
+      | Some side -> Partition.balanced xs side)
+
+let prop_partition_agrees_with_reduction =
+  (* The heart of Theorem II.2, executed: the multiset partitions evenly
+     iff the reduced DCSS instance admits cost <= 2. *)
+  Helpers.qtest ~count:40 "Partition(xs) <=> DCSS(reduce xs) <= 2"
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 7) (QCheck.int_range 1 9))
+    (fun xs ->
+      let xs = Array.of_list xs in
+      let direct = Partition.solve xs <> None in
+      (* An element above half the total makes even a single pair exceed
+         BC: the reduced instance is wholly unallocatable, hence a "no". *)
+      let reduced =
+        try Brute.dcss (Partition.reduce xs) ~threshold:Partition.dcss_cost_threshold
+        with Problem.Infeasible _ -> Some false
+      in
+      match reduced with
+      | None -> QCheck.assume_fail ()
+      | Some reduced -> direct = reduced)
+
+let prop_exact_at_most_heuristic =
+  Helpers.qtest ~count:60 "exact cost <= every ladder heuristic's cost"
+    Helpers.tiny_problem_arbitrary (fun p ->
+      match Brute.solve p with
+      | None -> QCheck.assume_fail ()
+      | Some ex ->
+          List.for_all
+            (fun (_, config) ->
+              ex.Brute.cost <= (Solver.solve ~config p).Solver.cost +. 1e-6)
+            Solver.ladder)
+
+let prop_exact_allocation_verifies =
+  Helpers.qtest ~count:60 "exact solutions pass the verifier"
+    Helpers.tiny_problem_arbitrary (fun p ->
+      match Brute.solve p with
+      | None -> QCheck.assume_fail ()
+      | Some ex ->
+          Verifier.is_valid (Verifier.verify p ex.Brute.selection ex.Brute.allocation))
+
+let suite =
+  [
+    Alcotest.test_case "partition yes" `Quick test_partition_yes;
+    Alcotest.test_case "partition odd total" `Quick test_partition_odd_total;
+    Alcotest.test_case "partition impossible" `Quick test_partition_even_but_impossible;
+    Alcotest.test_case "partition rejects nonpositive" `Quick test_partition_rejects_nonpositive;
+    Alcotest.test_case "reduce structure" `Quick test_reduce_structure;
+    Alcotest.test_case "reduction yes-instance" `Quick test_reduction_yes_instance;
+    Alcotest.test_case "reduction no-instance" `Quick test_reduction_no_instance;
+    Alcotest.test_case "brute on fig1" `Quick test_brute_fig1;
+    Alcotest.test_case "limits refuse large" `Quick test_limits_refuse_large;
+    prop_partition_solution_balanced;
+    prop_partition_agrees_with_reduction;
+    prop_exact_at_most_heuristic;
+    prop_exact_allocation_verifies;
+  ]

@@ -1,0 +1,143 @@
+(* Tests for the least-squares fitting utilities. *)
+
+module Fit = Mcss_workload.Fit
+module Stats = Mcss_workload.Stats
+
+let test_exact_line () =
+  let points = [ (0., 1.); (1., 3.); (2., 5.); (3., 7.) ] in
+  match Fit.linear_regression points with
+  | None -> Alcotest.fail "fit failed"
+  | Some r ->
+      Helpers.check_float "slope" 2. r.Fit.slope;
+      Helpers.check_float "intercept" 1. r.Fit.intercept;
+      Helpers.check_float "r2" 1. r.Fit.r2
+
+let test_degenerate_inputs () =
+  Helpers.check_bool "one point" true (Fit.linear_regression [ (1., 1.) ] = None);
+  Helpers.check_bool "vertical" true
+    (Fit.linear_regression [ (1., 1.); (1., 2.) ] = None);
+  (match Fit.linear_regression [ (0., 5.); (1., 5.) ] with
+  | Some r ->
+      Helpers.check_float "flat slope" 0. r.Fit.slope;
+      Helpers.check_float "flat r2" 1. r.Fit.r2
+  | None -> Alcotest.fail "flat line should fit")
+
+let test_noisy_r2_below_one () =
+  let points = [ (0., 0.); (1., 2.); (2., 1.); (3., 4.); (4., 3.) ] in
+  match Fit.linear_regression points with
+  | None -> Alcotest.fail "fit failed"
+  | Some r -> Helpers.check_bool "r2 in (0,1)" true (r.Fit.r2 > 0. && r.Fit.r2 < 1.)
+
+let test_loglog_drops_nonpositive () =
+  (* y = x^-2 plus a zero point that the log transform must drop. *)
+  let points = [ (1., 1.); (10., 0.01); (100., 0.0001); (1000., 0.) ] in
+  match Fit.loglog_regression points with
+  | None -> Alcotest.fail "fit failed"
+  | Some r -> Helpers.check_float "slope -2" (-2.) r.Fit.slope
+
+let test_powerlaw_exponent_exact () =
+  let ccdf = List.init 20 (fun i -> let x = float_of_int (i + 1) in (x, x ** -1.5)) in
+  match Fit.powerlaw_exponent_of_ccdf ccdf with
+  | None -> Alcotest.fail "fit failed"
+  | Some alpha -> Helpers.check_float "alpha" 1.5 alpha
+
+let test_powerlaw_on_pareto_sample () =
+  (* The CCDF of Pareto(scale, alpha) is (scale/x)^alpha: the fitted
+     exponent on a big sample must come out near alpha. *)
+  let rng = Mcss_prng.Rng.create 77 in
+  let xs = Array.init 50_000 (fun _ -> Mcss_prng.Dist.pareto rng ~scale:1. ~alpha:1.8) in
+  let ccdf = Stats.ccdf_float xs in
+  match Fit.powerlaw_exponent_of_ccdf (Fit.thin_log ccdf) with
+  | None -> Alcotest.fail "fit failed"
+  | Some alpha ->
+      if Float.abs (alpha -. 1.8) > 0.25 then
+        Alcotest.failf "fitted alpha %.2f too far from 1.8" alpha
+
+let test_pearson () =
+  Helpers.check_float "perfect" 1. (Fit.pearson [| 1.; 2.; 3. |] [| 10.; 20.; 30. |]);
+  Helpers.check_float "anti" (-1.) (Fit.pearson [| 1.; 2.; 3. |] [| 3.; 2.; 1. |]);
+  Helpers.check_bool "no variance is nan" true
+    (Float.is_nan (Fit.pearson [| 1.; 1. |] [| 1.; 2. |]));
+  Alcotest.check_raises "mismatch" (Invalid_argument "Fit.pearson: length mismatch")
+    (fun () -> ignore (Fit.pearson [| 1. |] [| 1.; 2. |]))
+
+let test_thin_log () =
+  let points = List.init 1000 (fun i -> (float_of_int (i + 1), 1.)) in
+  let thinned = Fit.thin_log ~per_decade:5 points in
+  Helpers.check_bool "much smaller" true (List.length thinned < 30);
+  Helpers.check_bool "keeps first" true (List.hd thinned = (1., 1.));
+  Helpers.check_bool "keeps last" true
+    (List.nth thinned (List.length thinned - 1) = (1000., 1.));
+  Alcotest.(check (list (pair (float 0.) (float 0.)))) "tiny lists pass through"
+    [ (1., 2.) ] (Fit.thin_log [ (1., 2.) ])
+
+let test_chi_square_statistic () =
+  (* Known value: observed [10;20;30] vs expected [20;20;20]:
+     (100 + 0 + 100) / 20 = 10. *)
+  Helpers.check_float "statistic" 10.
+    (Fit.chi_square ~observed:[| 10; 20; 30 |] ~expected:[| 20.; 20.; 20. |]);
+  Alcotest.check_raises "mismatch" (Invalid_argument "Fit.chi_square: length mismatch")
+    (fun () -> ignore (Fit.chi_square ~observed:[| 1 |] ~expected:[| 1.; 2. |]));
+  Alcotest.check_raises "zero expected"
+    (Invalid_argument "Fit.chi_square: expected counts must be positive") (fun () ->
+      ignore (Fit.chi_square ~observed:[| 1 |] ~expected:[| 0. |]))
+
+let test_chi_square_critical () =
+  (* Table values: chi2_{0.99}(5) = 15.086, (10) = 23.209, (50) = 76.154. *)
+  List.iter
+    (fun (df, expected) ->
+      let got = Fit.chi_square_critical_99 ~df in
+      if Float.abs (got -. expected) /. expected > 0.01 then
+        Alcotest.failf "df=%d: %.3f vs table %.3f" df got expected)
+    [ (5, 15.086); (10, 23.209); (50, 76.154) ]
+
+let test_uniform_sampler_passes_chi_square () =
+  (* Rng.int over 20 buckets, 20k draws: must not reject at 1%. *)
+  let g = Mcss_prng.Rng.create 2024 in
+  let buckets = 20 in
+  let n = 20_000 in
+  let observed = Array.make buckets 0 in
+  for _ = 1 to n do
+    let i = Mcss_prng.Rng.int g buckets in
+    observed.(i) <- observed.(i) + 1
+  done;
+  let expected = Array.make buckets (float_of_int n /. float_of_int buckets) in
+  let stat = Fit.chi_square ~observed ~expected in
+  let critical = Fit.chi_square_critical_99 ~df:(buckets - 1) in
+  if stat > critical then
+    Alcotest.failf "uniform sampler rejected: chi2 %.1f > %.1f" stat critical
+
+let test_zipf_sampler_passes_chi_square () =
+  let z = Mcss_prng.Dist.Zipf.create ~n:10 ~s:1.0 in
+  let g = Mcss_prng.Rng.create 5150 in
+  let n = 50_000 in
+  let observed = Array.make 10 0 in
+  for _ = 1 to n do
+    let k = Mcss_prng.Dist.Zipf.sample z g in
+    observed.(k - 1) <- observed.(k - 1) + 1
+  done;
+  let expected =
+    Array.init 10 (fun i -> float_of_int n *. Mcss_prng.Dist.Zipf.prob z (i + 1))
+  in
+  let stat = Fit.chi_square ~observed ~expected in
+  let critical = Fit.chi_square_critical_99 ~df:9 in
+  if stat > critical then
+    Alcotest.failf "zipf sampler rejected: chi2 %.1f > %.1f" stat critical
+
+let suite =
+  [
+    Alcotest.test_case "exact line" `Quick test_exact_line;
+    Alcotest.test_case "chi-square statistic" `Quick test_chi_square_statistic;
+    Alcotest.test_case "chi-square critical values" `Quick test_chi_square_critical;
+    Alcotest.test_case "uniform sampler vs chi-square" `Quick
+      test_uniform_sampler_passes_chi_square;
+    Alcotest.test_case "zipf sampler vs chi-square" `Quick
+      test_zipf_sampler_passes_chi_square;
+    Alcotest.test_case "degenerate inputs" `Quick test_degenerate_inputs;
+    Alcotest.test_case "noisy r2 below one" `Quick test_noisy_r2_below_one;
+    Alcotest.test_case "loglog drops nonpositive" `Quick test_loglog_drops_nonpositive;
+    Alcotest.test_case "powerlaw exponent exact" `Quick test_powerlaw_exponent_exact;
+    Alcotest.test_case "powerlaw on pareto sample" `Quick test_powerlaw_on_pareto_sample;
+    Alcotest.test_case "pearson" `Quick test_pearson;
+    Alcotest.test_case "thin_log" `Quick test_thin_log;
+  ]

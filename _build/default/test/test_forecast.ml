@@ -1,0 +1,84 @@
+(* Tests for the multi-period growth/billing planner. *)
+
+module Workload = Mcss_workload.Workload
+module Cost_model = Mcss_pricing.Cost_model
+module Billing = Mcss_pricing.Billing
+module Forecast = Mcss_dynamic.Forecast
+
+let base () =
+  let rng = Mcss_prng.Rng.create 41 in
+  Helpers.random_workload rng ~num_topics:40 ~num_subscribers:100 ~max_rate:20
+    ~max_interests:5
+
+let plan ?(growth = 1.5) ?(periods = 4) () =
+  Forecast.plan ~base:(base ()) ~tau:30. ~capacity_events:2000.
+    ~model:(Cost_model.ec2_2014 ()) ~growth_per_period:growth ~periods
+    ~reserved_term:Billing.Reserved_1yr
+
+let test_periods_and_growth () =
+  let p = plan () in
+  Helpers.check_int "four periods" 4 (List.length p.Forecast.periods);
+  let subs = List.map (fun pp -> pp.Forecast.subscribers) p.Forecast.periods in
+  (match subs with
+  | [ a; b; c; d ] ->
+      Helpers.check_int "period 0 is the base" 100 a;
+      Helpers.check_int "x1.5" 150 b;
+      Helpers.check_int "x2.25" 225 c;
+      Helpers.check_int "x3.375" 338 d
+  | _ -> Alcotest.fail "wrong period count");
+  (* Fleet demand grows with the population. *)
+  let vms = List.map (fun pp -> pp.Forecast.vms_needed) p.Forecast.periods in
+  Helpers.check_bool "monotone fleets" true
+    (List.sort compare vms = vms && List.nth vms 3 > List.hd vms)
+
+let test_totals_are_sums () =
+  let p = plan () in
+  let sum f = List.fold_left (fun acc pp -> acc +. f pp) 0. p.Forecast.periods in
+  Helpers.check_float "od total" (sum (fun pp -> pp.Forecast.cost_on_demand))
+    p.Forecast.total_on_demand;
+  Helpers.check_float "ri total" (sum (fun pp -> pp.Forecast.cost_all_reserved))
+    p.Forecast.total_all_reserved;
+  Helpers.check_float "hybrid total" (sum (fun pp -> pp.Forecast.cost_hybrid))
+    p.Forecast.total_hybrid
+
+let test_best_is_cheapest () =
+  let p = plan () in
+  let best_total =
+    match p.Forecast.best with
+    | Forecast.On_demand_only -> p.Forecast.total_on_demand
+    | Forecast.All_reserved -> p.Forecast.total_all_reserved
+    | Forecast.Hybrid -> p.Forecast.total_hybrid
+  in
+  Helpers.check_bool "best <= all" true
+    (best_total <= p.Forecast.total_on_demand +. 1e-9
+    && best_total <= p.Forecast.total_all_reserved +. 1e-9
+    && best_total <= p.Forecast.total_hybrid +. 1e-9)
+
+let test_flat_growth_favours_reserved () =
+  (* With no growth every period needs the same fleet, so the reserved
+     discount wins outright and hybrid equals all-reserved. *)
+  let p = plan ~growth:1.0 ~periods:3 () in
+  Helpers.check_bool "not on-demand" true (p.Forecast.best <> Forecast.On_demand_only);
+  Helpers.check_float "hybrid = all-reserved under flat growth"
+    p.Forecast.total_all_reserved p.Forecast.total_hybrid
+
+let test_validation () =
+  Alcotest.check_raises "growth" (Invalid_argument "Forecast.plan: growth must be positive")
+    (fun () -> ignore (plan ~growth:0. ()));
+  Alcotest.check_raises "periods"
+    (Invalid_argument "Forecast.plan: need at least one period") (fun () ->
+      ignore (plan ~periods:0 ()))
+
+let test_pp_strategy () =
+  let s = Format.asprintf "%a" Forecast.pp_strategy Forecast.Hybrid in
+  Helpers.check_bool "renders" true (Helpers.contains ~needle:"hybrid" s)
+
+let suite =
+  [
+    Alcotest.test_case "periods and growth" `Quick test_periods_and_growth;
+    Alcotest.test_case "totals are sums" `Quick test_totals_are_sums;
+    Alcotest.test_case "best is cheapest" `Quick test_best_is_cheapest;
+    Alcotest.test_case "flat growth favours reserved" `Quick test_flat_growth_favours_reserved;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "pp strategy" `Quick test_pp_strategy;
+  ]

@@ -1,0 +1,68 @@
+(* Tests for the histogram module. *)
+
+module Histogram = Mcss_workload.Histogram
+
+let test_equi_width () =
+  let h = Histogram.equi_width ~bins:4 [| 0.; 1.; 2.; 3.; 4. |] in
+  Helpers.check_int "total" 5 h.Histogram.total;
+  Helpers.check_int "bins" 4 (Array.length h.Histogram.counts);
+  Helpers.check_int "edges" 5 (Array.length h.Histogram.edges);
+  Helpers.check_int "sums to total" 5 (Array.fold_left ( + ) 0 h.Histogram.counts);
+  (* The maximum lands in the last bin (clamped). *)
+  Helpers.check_bool "last bin nonempty" true (h.Histogram.counts.(3) > 0)
+
+let test_constant_sample () =
+  let h = Histogram.equi_width [| 7.; 7.; 7. |] in
+  Helpers.check_int "one bin" 1 (Array.length h.Histogram.counts);
+  Helpers.check_int "holds all" 3 h.Histogram.counts.(0)
+
+let test_rejects () =
+  Alcotest.check_raises "empty" (Invalid_argument "Histogram.equi_width: empty sample")
+    (fun () -> ignore (Histogram.equi_width [||]));
+  Alcotest.check_raises "nonpositive"
+    (Invalid_argument "Histogram.log_bins: non-positive sample") (fun () ->
+      ignore (Histogram.log_bins [| 1.; 0. |]))
+
+let test_log_bins () =
+  let xs = [| 1.; 10.; 100.; 1000. |] in
+  let h = Histogram.log_bins ~per_decade:1 xs in
+  Helpers.check_int "sums to total" 4 (Array.fold_left ( + ) 0 h.Histogram.counts);
+  (* Edges are powers of 10 and ascending. *)
+  Array.iteri
+    (fun i e ->
+      if i > 0 then
+        Helpers.check_bool "ascending" true (e > h.Histogram.edges.(i - 1)))
+    h.Histogram.edges
+
+let test_sparkline () =
+  let h = Histogram.equi_width ~bins:3 [| 0.; 0.; 0.; 1.5; 3. |] in
+  let line = Histogram.sparkline h in
+  Helpers.check_bool "nonempty" true (String.length line > 0);
+  (* Bin 0 is the fullest: its glyph is the tallest block used. *)
+  Helpers.check_bool "renders blocks" true (Helpers.contains ~needle:"\xe2\x96" line)
+
+let test_pp () =
+  let h = Histogram.equi_width ~bins:2 [| 1.; 2. |] in
+  let s = Format.asprintf "%a" Histogram.pp h in
+  Helpers.check_bool "has bars" true (Helpers.contains ~needle:"#" s)
+
+let prop_counts_conserved =
+  Helpers.qtest "histograms never lose a sample"
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 200) (QCheck.float_range 0.1 1e6))
+    (fun xs ->
+      let xs = Array.of_list xs in
+      let eq = Histogram.equi_width xs in
+      let lg = Histogram.log_bins xs in
+      Array.fold_left ( + ) 0 eq.Histogram.counts = Array.length xs
+      && Array.fold_left ( + ) 0 lg.Histogram.counts = Array.length xs)
+
+let suite =
+  [
+    Alcotest.test_case "equi width" `Quick test_equi_width;
+    Alcotest.test_case "constant sample" `Quick test_constant_sample;
+    Alcotest.test_case "rejects" `Quick test_rejects;
+    Alcotest.test_case "log bins" `Quick test_log_bins;
+    Alcotest.test_case "sparkline" `Quick test_sparkline;
+    Alcotest.test_case "pp" `Quick test_pp;
+    prop_counts_conserved;
+  ]

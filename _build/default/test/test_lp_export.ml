@@ -1,0 +1,92 @@
+(* Tests for the CPLEX-LP export of the MCSS integer program. *)
+
+module Problem = Mcss_core.Problem
+module Lp_export = Mcss_exact.Lp_export
+
+let fig1_lp () =
+  let p = Helpers.fig1_problem ~capacity:50. () in
+  Lp_export.to_string p ~max_vms:3 ~vm_usd:36. ~per_event_usd:0.001
+
+let test_structure () =
+  let text, dims = fig1_lp () in
+  Helpers.check_int "fleet bound" 3 dims.Lp_export.vms;
+  (* fig1: 2 topics, 3 subscribers, 5 pairs, B = 3.
+     Binaries: y: 3, z: 2*3 = 6, w: 5, x: 5*3 = 15 -> 29. *)
+  Helpers.check_int "binaries" 29 dims.Lp_export.variables;
+  (* Constraints: sat 3, cnt 5, inc 15, use 6, cap 3, sym 2 -> 34. *)
+  Helpers.check_int "constraints" 34 dims.Lp_export.constraints;
+  List.iter
+    (fun needle ->
+      Helpers.check_bool (needle ^ " present") true (Helpers.contains ~needle text))
+    [
+      "Minimize"; "Subject To"; "Binary"; "End";
+      (* Satisfaction of v0: 20 w_0_0 + 10 w_1_0 >= 30. *)
+      "sat_0: + 20 w_0_0 + 10 w_1_0 >= 30";
+      (* v2 has tau_v = 10 (capped). *)
+      "sat_2: + 10 w_1_2 >= 10";
+      (* Per-VM capacity right-hand side. *)
+      "<= 50";
+      (* Symmetry chain. *)
+      "sym_0: y_0 - y_1 >= 0";
+    ]
+
+let test_counting_link () =
+  let text, _ = fig1_lp () in
+  Helpers.check_bool "w bounded by placements" true
+    (Helpers.contains ~needle:"cnt_0_0: w_0_0 - x_0_0_0 - x_0_0_1 - x_0_0_2 <= 0" text)
+
+let test_objective_prices () =
+  let text, _ = fig1_lp () in
+  Helpers.check_bool "vm price" true (Helpers.contains ~needle:"36 y_0" text);
+  (* Outgoing price of a topic-0 pair: 0.001 * 20 = 0.02. *)
+  Helpers.check_bool "bandwidth price" true (Helpers.contains ~needle:"0.02 x_0_0_0" text)
+
+let test_rejects_bad_bound () =
+  let p = Helpers.fig1_problem () in
+  Alcotest.check_raises "zero" (Invalid_argument "Lp_export.to_string: max_vms must be positive")
+    (fun () -> ignore (Lp_export.to_string p ~max_vms:0 ~vm_usd:1. ~per_event_usd:0.))
+
+let test_save () =
+  let p = Helpers.fig1_problem ~capacity:50. () in
+  let path = Filename.temp_file "mcss_lp" ".lp" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let dims = Lp_export.save p ~max_vms:2 ~vm_usd:1. ~per_event_usd:0. ~path in
+      Helpers.check_int "bound" 2 dims.Lp_export.vms;
+      let content = In_channel.with_open_text path In_channel.input_all in
+      Helpers.check_bool "ends with End" true (Helpers.contains ~needle:"End" content))
+
+let prop_dimensions_formula =
+  Helpers.qtest ~count:40 "variable/constraint counts match the closed form"
+    Helpers.tiny_problem_arbitrary (fun p ->
+      let w = p.Problem.workload in
+      let module W = Mcss_workload.Workload in
+      let b = 3 in
+      let _, dims = Lp_export.to_string p ~max_vms:b ~vm_usd:1. ~per_event_usd:0.01 in
+      let pairs = W.num_pairs w in
+      let followed =
+        List.length
+          (List.filter
+             (fun t -> W.num_followers w t > 0)
+             (List.init (W.num_topics w) (fun t -> t)))
+      in
+      let subscribed =
+        List.length
+          (List.filter
+             (fun v -> Array.length (W.interests w v) > 0)
+             (List.init (W.num_subscribers w) (fun v -> v)))
+      in
+      dims.Lp_export.variables = b + (followed * b) + pairs + (pairs * b)
+      && dims.Lp_export.constraints
+         = subscribed + pairs + (pairs * b) + (followed * b) + b + (b - 1))
+
+let suite =
+  [
+    Alcotest.test_case "structure" `Quick test_structure;
+    Alcotest.test_case "counting link" `Quick test_counting_link;
+    Alcotest.test_case "objective prices" `Quick test_objective_prices;
+    Alcotest.test_case "rejects bad bound" `Quick test_rejects_bad_bound;
+    Alcotest.test_case "save" `Quick test_save;
+    prop_dimensions_formula;
+  ]

@@ -1,0 +1,97 @@
+(* End-to-end checks pinned to the paper's own worked numbers: the Fig. 1
+   workload, the NP-hardness construction, and the documented behaviour of
+   the optimisation ladder on a trace-shaped instance. *)
+
+module Workload = Mcss_workload.Workload
+module Problem = Mcss_core.Problem
+module Selection = Mcss_core.Selection
+module Allocation = Mcss_core.Allocation
+module Solver = Mcss_core.Solver
+module Verifier = Mcss_core.Verifier
+module Lower_bound = Mcss_core.Lower_bound
+module Spotify = Mcss_traces.Spotify
+
+(* Fig. 1 (§III-B): topics at 20 and 10 KB/min (1 KB messages, so rates
+   20 and 10), tau = 30, five pairs. With BC = 50 the optimum is forced:
+   each (t0, v) pair costs 40 alone, so t0 splits, and all of t1 shares
+   one VM — 3 VMs, 120 KB/min total. Every ladder configuration finds it,
+   and it matches the exact optimum. *)
+let test_fig1_all_configs_reach_forced_optimum () =
+  let p = Helpers.fig1_problem ~capacity:50. () in
+  List.iter
+    (fun (name, config) ->
+      let r = Solver.solve ~config p in
+      if r.Solver.num_vms <> 3 || Float.abs (r.Solver.bandwidth -. 120.) > 1e-9 then
+        Alcotest.failf "%s: got %d VMs / %g bandwidth" name r.Solver.num_vms
+          r.Solver.bandwidth)
+    Solver.ladder;
+  match Mcss_exact.Brute.solve p with
+  | None -> Alcotest.fail "exact refused fig1"
+  | Some ex -> Helpers.check_float "heuristic = exact here" 3. ex.Mcss_exact.Brute.cost
+
+(* The same workload with BC = 80 leaves room for choices; the section-III
+   argument that grouping pairs of one topic reduces incoming bandwidth
+   translates to: CBP's bandwidth <= FFBP's. *)
+let test_fig1_grouping_saves_bandwidth () =
+  let w =
+    Helpers.workload ~rates:[ 20.; 10. ]
+      ~interests:[ [ 0; 1 ]; [ 0; 1 ]; [ 0; 1 ]; [ 0; 1 ]; [ 1 ] ]
+  in
+  let p = Problem.create ~workload:w ~tau:30. ~capacity:100. Problem.unit_costs in
+  let s = Selection.gsp p in
+  let ff = Mcss_core.Ffbp.run p s in
+  let cb = Mcss_core.Cbp.run p s Mcss_core.Cbp.with_most_free in
+  Helpers.check_bool "CBP <= FFBP bandwidth" true
+    (Allocation.total_load cb <= Allocation.total_load ff);
+  ignore (Verifier.check_exn p s ff);
+  ignore (Verifier.check_exn p s cb)
+
+(* Theorem II.2's worked construction: doubling every input value leaves
+   the reduced instance equivalent. *)
+let test_reduction_scale_invariance () =
+  let base = [| 3; 1; 1; 2; 2; 1 |] in
+  let doubled = Array.map (fun x -> 2 * x) base in
+  let answer xs =
+    Mcss_exact.Brute.dcss (Mcss_exact.Partition.reduce xs)
+      ~threshold:Mcss_exact.Partition.dcss_cost_threshold
+  in
+  Helpers.check_bool "same answer" true (answer base = answer doubled)
+
+(* §IV-C's qualitative claims on a (small) Spotify-like trace:
+   - GSP+FFBP is cheaper than RSP+FFBP;
+   - the full ladder is cheaper than GSP+FFBP;
+   - the lower bound is below everything;
+   - savings shrink as tau grows. *)
+let test_ladder_shape_on_spotify_trace () =
+  let w = Spotify.generate { (Spotify.scaled 0.002) with Spotify.seed = 9 } in
+  let model = Mcss_pricing.Cost_model.ec2_2014 () in
+  let run tau config =
+    let p = Problem.of_pricing ~capacity_events:200_000. ~workload:w ~tau model in
+    (Solver.solve ~config p, p)
+  in
+  let cost tau config = (fst (run tau config)).Solver.cost in
+  let naive10 = cost 10. Solver.naive in
+  let gsp10 = cost 10. { Solver.stage1 = Solver.Gsp; stage2 = Solver.Ffbp } in
+  let full10 = cost 10. Solver.default in
+  Helpers.check_bool "GSP beats RSP (tau=10)" true (gsp10 < naive10);
+  Helpers.check_bool "full ladder beats GSP+FFBP (tau=10)" true (full10 <= gsp10);
+  let r10, p10 = run 10. Solver.default in
+  let lb10 = Lower_bound.compute p10 in
+  Helpers.check_bool "LB below heuristic" true (lb10.Lower_bound.cost <= r10.Solver.cost);
+  (* Relative saving shrinks with tau (the paper's Figs. 2-3 trend). *)
+  let saving tau =
+    let naive = cost tau Solver.naive in
+    (naive -. cost tau Solver.default) /. naive
+  in
+  Helpers.check_bool "saving(10) > saving(1000)" true (saving 10. > saving 1000.)
+
+let suite =
+  [
+    Alcotest.test_case "fig1: all configs reach forced optimum" `Quick
+      test_fig1_all_configs_reach_forced_optimum;
+    Alcotest.test_case "fig1: grouping saves bandwidth" `Quick
+      test_fig1_grouping_saves_bandwidth;
+    Alcotest.test_case "reduction scale invariance" `Quick test_reduction_scale_invariance;
+    Alcotest.test_case "ladder shape on spotify trace" `Slow
+      test_ladder_shape_on_spotify_trace;
+  ]

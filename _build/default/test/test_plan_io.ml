@@ -1,0 +1,84 @@
+(* Tests for plan persistence. *)
+
+module Workload = Mcss_workload.Workload
+module Problem = Mcss_core.Problem
+module Allocation = Mcss_core.Allocation
+module Selection = Mcss_core.Selection
+module Solver = Mcss_core.Solver
+module Verifier = Mcss_core.Verifier
+module Plan_io = Mcss_core.Plan_io
+
+let roundtrip p =
+  let r = Solver.solve p in
+  let path = Filename.temp_file "mcss_plan" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Plan_io.save r.Solver.allocation path;
+      let a, s = Plan_io.load ~workload:p.Problem.workload path in
+      (r, a, s))
+
+let test_roundtrip_fig1 () =
+  let p = Helpers.fig1_problem ~capacity:50. () in
+  let r, a, s = roundtrip p in
+  Helpers.check_int "VM count" r.Solver.num_vms (Allocation.num_vms a);
+  Helpers.check_float "total load" r.Solver.bandwidth (Allocation.total_load a);
+  Helpers.check_int "pairs" r.Solver.selection.Selection.num_pairs s.Selection.num_pairs;
+  Helpers.check_bool "reloaded plan verifies" true
+    (Verifier.is_valid (Verifier.verify p s a))
+
+let parse ~workload content =
+  let path = Filename.temp_file "mcss_plan" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_text path (fun oc -> output_string oc content);
+      Plan_io.load ~workload path)
+
+let expect_error name ~workload content =
+  match parse ~workload content with
+  | _ -> Alcotest.failf "%s: expected Parse_error" name
+  | exception Plan_io.Parse_error _ -> ()
+
+let test_parse_errors () =
+  let w = Helpers.fig1_workload () in
+  expect_error "bad header" ~workload:w "mcss-plan 2\n";
+  expect_error "bad capacity" ~workload:w "mcss-plan 1\ncapacity -3\nvms 0\n";
+  expect_error "vm out of range" ~workload:w
+    "mcss-plan 1\ncapacity 50\nvms 1\nplace 2 0 1 0\n";
+  expect_error "topic out of range" ~workload:w
+    "mcss-plan 1\ncapacity 50\nvms 1\nplace 0 9 1 0\n";
+  expect_error "subscriber out of range" ~workload:w
+    "mcss-plan 1\ncapacity 50\nvms 1\nplace 0 0 1 9\n";
+  expect_error "pair never subscribed" ~workload:w
+    "mcss-plan 1\ncapacity 50\nvms 1\nplace 0 0 1 2\n";
+  expect_error "duplicate pair" ~workload:w
+    "mcss-plan 1\ncapacity 50\nvms 2\nplace 0 0 1 0\nplace 1 0 1 0\n";
+  expect_error "count mismatch" ~workload:w
+    "mcss-plan 1\ncapacity 50\nvms 1\nplace 0 0 2 0\n"
+
+let test_accepts_comments () =
+  let w = Helpers.fig1_workload () in
+  let a, s =
+    parse ~workload:w "# a plan\nmcss-plan 1\ncapacity 50\nvms 1\n# one pair\nplace 0 1 1 2\n"
+  in
+  Helpers.check_int "one vm" 1 (Allocation.num_vms a);
+  Helpers.check_int "one pair" 1 s.Selection.num_pairs;
+  Helpers.check_float "load = 2 ev" 20. (Allocation.total_load a)
+
+let prop_roundtrip_preserves_everything =
+  Helpers.qtest ~count:80 "plan save/load preserves fleet, loads and selection"
+    Helpers.problem_arbitrary (fun p ->
+      let r, a, s = roundtrip p in
+      Allocation.num_vms a = r.Solver.num_vms
+      && Float.abs (Allocation.total_load a -. r.Solver.bandwidth) < 1e-6
+      && s.Selection.chosen = r.Solver.selection.Selection.chosen
+      && Verifier.is_valid (Verifier.verify p s a))
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip fig1" `Quick test_roundtrip_fig1;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "accepts comments" `Quick test_accepts_comments;
+    prop_roundtrip_preserves_everything;
+  ]

@@ -1,0 +1,70 @@
+(* Tests for the EC2-style pricing model (§IV-A numbers). *)
+
+module Instance = Mcss_pricing.Instance
+module Cost_model = Mcss_pricing.Cost_model
+
+let test_catalogue () =
+  Helpers.check_int "five sizes" 5 (List.length Instance.catalogue);
+  Helpers.check_bool "ascending prices" true
+    (let rec ascending = function
+       | a :: (b :: _ as rest) ->
+           a.Instance.hourly_usd <= b.Instance.hourly_usd && ascending rest
+       | _ -> true
+     in
+     ascending Instance.catalogue)
+
+let test_paper_instances () =
+  Helpers.check_float "c3.large price" 0.15 Instance.c3_large.Instance.hourly_usd;
+  Helpers.check_float "c3.large bw" 64. Instance.c3_large.Instance.bandwidth_mbps;
+  Helpers.check_float "c3.xlarge price" 0.30 Instance.c3_xlarge.Instance.hourly_usd;
+  Helpers.check_float "c3.xlarge bw" 128. Instance.c3_xlarge.Instance.bandwidth_mbps
+
+let test_find () =
+  (match Instance.find "c3.xlarge" with
+  | Some i -> Helpers.check_float "found" 0.30 i.Instance.hourly_usd
+  | None -> Alcotest.fail "c3.xlarge not found");
+  Helpers.check_bool "missing" true (Instance.find "m1.banana" = None)
+
+let test_ec2_defaults () =
+  let m = Cost_model.ec2_2014 () in
+  Helpers.check_float "per GB" 0.12 m.Cost_model.bandwidth_usd_per_gb;
+  Helpers.check_float "message bytes" 200. m.Cost_model.message_bytes;
+  Helpers.check_float "horizon" 240. m.Cost_model.horizon_hours;
+  Alcotest.(check string) "default instance" "c3.large" m.Cost_model.instance.Instance.name
+
+let test_capacity_events () =
+  (* 64 mbps = 8e6 B/s; 240 h = 864000 s; / 200 B per event = 3.456e10. *)
+  let m = Cost_model.ec2_2014 () in
+  Helpers.check_float "capacity" 3.456e10 (Cost_model.capacity_events m);
+  let x = Cost_model.ec2_2014 ~instance:Instance.c3_xlarge () in
+  Helpers.check_float "doubles with bandwidth" (2. *. 3.456e10)
+    (Cost_model.capacity_events x)
+
+let test_vm_cost () =
+  let m = Cost_model.ec2_2014 () in
+  (* 10 VMs x $0.15/h x 240 h = $360. *)
+  Helpers.check_float "C1" 360. (Cost_model.vm_cost m 10);
+  Helpers.check_float "C1 0" 0. (Cost_model.vm_cost m 0)
+
+let test_bandwidth_cost () =
+  let m = Cost_model.ec2_2014 () in
+  (* 5e9 events x 200 B = 1000 GB -> $120. *)
+  Helpers.check_float "C2" 120. (Cost_model.bandwidth_cost m 5e9);
+  Helpers.check_float "bytes" 1e12 (Cost_model.bytes_of_events m 5e9);
+  Helpers.check_float "GB" 1000. (Cost_model.gb_of_events m 5e9)
+
+let test_total_cost () =
+  let m = Cost_model.ec2_2014 () in
+  Helpers.check_float "C1+C2" 480. (Cost_model.total_cost m ~vms:10 ~bandwidth_events:5e9)
+
+let suite =
+  [
+    Alcotest.test_case "catalogue" `Quick test_catalogue;
+    Alcotest.test_case "paper instances" `Quick test_paper_instances;
+    Alcotest.test_case "find" `Quick test_find;
+    Alcotest.test_case "ec2 defaults" `Quick test_ec2_defaults;
+    Alcotest.test_case "capacity in events" `Quick test_capacity_events;
+    Alcotest.test_case "vm cost" `Quick test_vm_cost;
+    Alcotest.test_case "bandwidth cost" `Quick test_bandwidth_cost;
+    Alcotest.test_case "total cost" `Quick test_total_cost;
+  ]

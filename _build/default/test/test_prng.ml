@@ -1,0 +1,180 @@
+(* Tests for Splitmix and Rng: determinism, ranges, and basic statistical
+   sanity. *)
+
+module Splitmix = Mcss_prng.Splitmix
+module Rng = Mcss_prng.Rng
+
+let test_determinism () =
+  let a = Splitmix.create 42L and b = Splitmix.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Splitmix.next a) (Splitmix.next b)
+  done
+
+let test_distinct_seeds () =
+  let a = Splitmix.create 1L and b = Splitmix.create 2L in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Splitmix.next a <> Splitmix.next b then differs := true
+  done;
+  Helpers.check_bool "streams differ" true !differs
+
+let test_copy_replays () =
+  let a = Splitmix.create 7L in
+  ignore (Splitmix.next a);
+  let b = Splitmix.copy a in
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "copy replays" (Splitmix.next a) (Splitmix.next b)
+  done
+
+let test_split_independent () =
+  let a = Splitmix.create 7L in
+  let child = Splitmix.split a in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Splitmix.next a <> Splitmix.next child then differs := true
+  done;
+  Helpers.check_bool "split stream differs from parent" true !differs
+
+let test_bit_balance () =
+  (* Each of the 64 bit positions should be set roughly half the time. *)
+  let g = Splitmix.create 1234L in
+  let n = 2000 in
+  let counts = Array.make 64 0 in
+  for _ = 1 to n do
+    let x = Splitmix.next g in
+    for bit = 0 to 63 do
+      if Int64.logand (Int64.shift_right_logical x bit) 1L = 1L then
+        counts.(bit) <- counts.(bit) + 1
+    done
+  done;
+  Array.iteri
+    (fun bit c ->
+      if c < n / 3 || c > 2 * n / 3 then
+        Alcotest.failf "bit %d set %d/%d times" bit c n)
+    counts
+
+let test_int_bounds () =
+  let g = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let x = Rng.int g 7 in
+    if x < 0 || x >= 7 then Alcotest.failf "Rng.int out of range: %d" x
+  done
+
+let test_int_rejects_bad_bound () =
+  let g = Rng.create 5 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int g 0))
+
+let test_int_covers_all_values () =
+  let g = Rng.create 5 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 500 do
+    seen.(Rng.int g 5) <- true
+  done;
+  Array.iteri (fun i s -> Helpers.check_bool (Printf.sprintf "value %d seen" i) true s) seen
+
+let test_int_in () =
+  let g = Rng.create 6 in
+  for _ = 1 to 500 do
+    let x = Rng.int_in g (-3) 4 in
+    if x < -3 || x > 4 then Alcotest.failf "int_in out of range: %d" x
+  done;
+  Helpers.check_int "degenerate range" 9 (Rng.int_in g 9 9)
+
+let test_unit_float_range () =
+  let g = Rng.create 8 in
+  for _ = 1 to 1000 do
+    let x = Rng.unit_float g in
+    if x < 0. || x >= 1. then Alcotest.failf "unit_float out of range: %g" x
+  done
+
+let test_unit_float_pos_range () =
+  let g = Rng.create 9 in
+  for _ = 1 to 1000 do
+    let x = Rng.unit_float_pos g in
+    if x <= 0. || x > 1. then Alcotest.failf "unit_float_pos out of range: %g" x
+  done
+
+let test_unit_float_mean () =
+  let g = Rng.create 10 in
+  let n = 10_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Rng.unit_float g
+  done;
+  let mean = !sum /. float_of_int n in
+  Helpers.check_bool "mean near 0.5" true (Float.abs (mean -. 0.5) < 0.02)
+
+let test_bernoulli_extremes () =
+  let g = Rng.create 11 in
+  for _ = 1 to 100 do
+    Helpers.check_bool "p=0 never" false (Rng.bernoulli g 0.);
+    Helpers.check_bool "p=1 always" true (Rng.bernoulli g 1.)
+  done
+
+let test_bernoulli_rejects () =
+  let g = Rng.create 11 in
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Rng.bernoulli: p outside [0,1]") (fun () ->
+      ignore (Rng.bernoulli g 1.5))
+
+let test_shuffle_is_permutation () =
+  let g = Rng.create 12 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle_in_place g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_sample_without_replacement_distinct () =
+  let g = Rng.create 13 in
+  (* Sparse branch. *)
+  let s = Rng.sample_without_replacement g 5 1000 in
+  Helpers.check_int "size" 5 (Array.length s);
+  let sorted = Array.copy s in
+  Array.sort compare sorted;
+  for i = 1 to 4 do
+    Helpers.check_bool "distinct" true (sorted.(i) <> sorted.(i - 1))
+  done;
+  (* Dense branch. *)
+  let d = Rng.sample_without_replacement g 90 100 in
+  Helpers.check_int "dense size" 90 (Array.length d);
+  let sorted = Array.copy d in
+  Array.sort compare sorted;
+  for i = 1 to 89 do
+    Helpers.check_bool "dense distinct" true (sorted.(i) <> sorted.(i - 1))
+  done;
+  Array.iter (fun x -> Helpers.check_bool "in range" true (x >= 0 && x < 100)) d
+
+let test_sample_without_replacement_edges () =
+  let g = Rng.create 14 in
+  Helpers.check_int "k=0" 0 (Array.length (Rng.sample_without_replacement g 0 10));
+  let all = Rng.sample_without_replacement g 10 10 in
+  let sorted = Array.copy all in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "k=n is a permutation" (Array.init 10 (fun i -> i)) sorted;
+  Alcotest.check_raises "k>n" (Invalid_argument "Rng.sample_without_replacement")
+    (fun () -> ignore (Rng.sample_without_replacement g 11 10))
+
+let suite =
+  [
+    Alcotest.test_case "splitmix determinism" `Quick test_determinism;
+    Alcotest.test_case "splitmix distinct seeds" `Quick test_distinct_seeds;
+    Alcotest.test_case "splitmix copy replays" `Quick test_copy_replays;
+    Alcotest.test_case "splitmix split independent" `Quick test_split_independent;
+    Alcotest.test_case "splitmix bit balance" `Quick test_bit_balance;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int rejects bad bound" `Quick test_int_rejects_bad_bound;
+    Alcotest.test_case "int covers all values" `Quick test_int_covers_all_values;
+    Alcotest.test_case "int_in" `Quick test_int_in;
+    Alcotest.test_case "unit_float range" `Quick test_unit_float_range;
+    Alcotest.test_case "unit_float_pos range" `Quick test_unit_float_pos_range;
+    Alcotest.test_case "unit_float mean" `Quick test_unit_float_mean;
+    Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+    Alcotest.test_case "bernoulli rejects" `Quick test_bernoulli_rejects;
+    Alcotest.test_case "shuffle is permutation" `Quick test_shuffle_is_permutation;
+    Alcotest.test_case "sample w/o replacement distinct" `Quick
+      test_sample_without_replacement_distinct;
+    Alcotest.test_case "sample w/o replacement edges" `Quick
+      test_sample_without_replacement_edges;
+  ]

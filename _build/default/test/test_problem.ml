@@ -1,0 +1,72 @@
+(* Tests for the MCSS problem instance: construction, thresholds,
+   feasibility screening, cost plumbing. *)
+
+module Workload = Mcss_workload.Workload
+module Problem = Mcss_core.Problem
+module Cost_model = Mcss_pricing.Cost_model
+
+let test_create_validates () =
+  let w = Helpers.fig1_workload () in
+  Alcotest.check_raises "tau" (Invalid_argument "Problem.create: tau must be positive")
+    (fun () -> ignore (Problem.create ~workload:w ~tau:0. ~capacity:10. Problem.unit_costs));
+  Alcotest.check_raises "capacity"
+    (Invalid_argument "Problem.create: capacity must be positive") (fun () ->
+      ignore (Problem.create ~workload:w ~tau:1. ~capacity:0. Problem.unit_costs))
+
+let test_tau_v () =
+  let p = Helpers.fig1_problem () in
+  (* v0 and v1 subscribe to 30 events/min total; v2 only to 10. *)
+  Helpers.check_float "v0" 30. (Problem.tau_v p 0);
+  Helpers.check_float "v2 capped" 10. (Problem.tau_v p 2)
+
+let test_unit_costs () =
+  let p = Helpers.fig1_problem () in
+  Helpers.check_float "C1 only" 3. (Problem.cost p ~vms:3 ~bandwidth:1e9)
+
+let test_linear_costs () =
+  let w = Helpers.fig1_workload () in
+  let p =
+    Problem.create ~workload:w ~tau:30. ~capacity:80.
+      (Problem.linear_costs ~vm_usd:10. ~per_event_usd:0.5)
+  in
+  Helpers.check_float "cost" 80. (Problem.cost p ~vms:3 ~bandwidth:100.)
+
+let test_of_pricing_capacity () =
+  let w = Helpers.fig1_workload () in
+  let m = Cost_model.ec2_2014 () in
+  let p = Problem.of_pricing ~workload:w ~tau:30. m in
+  Helpers.check_float "derived BC" (Cost_model.capacity_events m) p.Problem.capacity;
+  let p2 = Problem.of_pricing ~capacity_events:1234. ~workload:w ~tau:30. m in
+  Helpers.check_float "override BC" 1234. p2.Problem.capacity;
+  Helpers.check_float "C1 via pricing" (Cost_model.vm_cost m 2) (Problem.cost p ~vms:2 ~bandwidth:0.)
+
+let test_pair_fits_empty_vm () =
+  let p = Helpers.fig1_problem ~capacity:35. () in
+  (* t0 needs 2x20 = 40 > 35; t1 needs 20 <= 35. *)
+  Helpers.check_bool "t0 too big" false (Problem.pair_fits_empty_vm p 0);
+  Helpers.check_bool "t1 fits" true (Problem.pair_fits_empty_vm p 1)
+
+let test_infeasible_subscribers () =
+  (* BC = 35: topic 0 (rate 20) cannot be placed at all. v0/v1 need 30
+     but can only reach 10 via t1 -> infeasible; v2 needs 10 -> fine. *)
+  let p = Helpers.fig1_problem ~capacity:35. () in
+  Alcotest.(check (list int)) "v0 v1 stuck" [ 0; 1 ] (Problem.infeasible_subscribers p);
+  let ok = Helpers.fig1_problem ~capacity:80. () in
+  Alcotest.(check (list int)) "all fine" [] (Problem.infeasible_subscribers ok)
+
+let test_epsilon_scales_with_capacity () =
+  let p1 = Helpers.fig1_problem ~capacity:1. () in
+  let p2 = Helpers.fig1_problem ~capacity:1e6 () in
+  Helpers.check_bool "scales" true (Problem.epsilon p2 > Problem.epsilon p1)
+
+let suite =
+  [
+    Alcotest.test_case "create validates" `Quick test_create_validates;
+    Alcotest.test_case "tau_v" `Quick test_tau_v;
+    Alcotest.test_case "unit costs" `Quick test_unit_costs;
+    Alcotest.test_case "linear costs" `Quick test_linear_costs;
+    Alcotest.test_case "of_pricing" `Quick test_of_pricing_capacity;
+    Alcotest.test_case "pair fits empty VM" `Quick test_pair_fits_empty_vm;
+    Alcotest.test_case "infeasible subscribers" `Quick test_infeasible_subscribers;
+    Alcotest.test_case "epsilon scales" `Quick test_epsilon_scales_with_capacity;
+  ]

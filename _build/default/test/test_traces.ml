@@ -1,0 +1,179 @@
+(* Tests for the synthetic trace generators: determinism, dimensions, and
+   the distributional features documented in the paper's Appendix D. *)
+
+module Workload = Mcss_workload.Workload
+module Stats = Mcss_workload.Stats
+module Spotify = Mcss_traces.Spotify
+module Twitter = Mcss_traces.Twitter
+module Gen = Mcss_traces.Gen
+
+(* Small parameter sets so the suite stays fast. *)
+let small_spotify = { (Spotify.scaled 0.002) with Spotify.seed = 1 }
+let small_twitter = { (Twitter.scaled 0.0005) with Twitter.seed = 1 }
+
+let test_spotify_dimensions () =
+  let w = Spotify.generate small_spotify in
+  Helpers.check_int "topics" small_spotify.Spotify.num_topics (Workload.num_topics w);
+  Helpers.check_int "subscribers" small_spotify.Spotify.num_subscribers
+    (Workload.num_subscribers w)
+
+let test_spotify_deterministic () =
+  let a = Spotify.generate small_spotify in
+  let b = Spotify.generate small_spotify in
+  Helpers.check_bool "same rates" true (Workload.event_rates a = Workload.event_rates b);
+  Helpers.check_int "same pairs" (Workload.num_pairs a) (Workload.num_pairs b)
+
+let test_spotify_seed_changes_output () =
+  let b = Spotify.generate { small_spotify with Spotify.seed = 2 } in
+  let a = Spotify.generate small_spotify in
+  Helpers.check_bool "different rates" false
+    (Workload.event_rates a = Workload.event_rates b)
+
+let test_spotify_mean_interests () =
+  let w = Spotify.generate small_spotify in
+  let mean =
+    float_of_int (Workload.num_pairs w) /. float_of_int (Workload.num_subscribers w)
+  in
+  (* Target 2.45 plus the small heavy tail; generous band. *)
+  Helpers.check_bool "mean interests plausible" true (mean > 1.8 && mean < 4.0)
+
+let test_spotify_rates_integral_positive () =
+  let w = Spotify.generate small_spotify in
+  Array.iter
+    (fun ev ->
+      if ev < 1. || Float.rem ev 1. <> 0. then
+        Alcotest.failf "rate %g not a positive integer" ev)
+    (Workload.event_rates w)
+
+let test_spotify_scaled_validation () =
+  Alcotest.check_raises "bad factor"
+    (Invalid_argument "Spotify.scaled: factor must be positive") (fun () ->
+      ignore (Spotify.scaled 0.))
+
+let test_twitter_dimensions_and_determinism () =
+  let a = Twitter.generate small_twitter in
+  let b = Twitter.generate small_twitter in
+  Helpers.check_int "topics" small_twitter.Twitter.num_topics (Workload.num_topics a);
+  Helpers.check_bool "deterministic" true
+    (Workload.event_rates a = Workload.event_rates b && Workload.num_pairs a = Workload.num_pairs b)
+
+let test_twitter_mean_rate_calibrated () =
+  let w = Twitter.generate small_twitter in
+  let mean = Workload.total_event_rate w /. float_of_int (Workload.num_topics w) in
+  (* Rescaled to target_mean_rate = 57, then rounded; allow 15%. *)
+  Helpers.check_bool "mean rate near 57" true (Float.abs (mean -. 57.) < 57. *. 0.15)
+
+let test_twitter_glitch_at_20 () =
+  let w = Twitter.generate small_twitter in
+  let counts = Stats.interest_counts w in
+  let n = Array.length counts in
+  let at_20 = Array.fold_left (fun acc k -> if k = 20 then acc + 1 else acc) 0 counts in
+  let at_19 = Array.fold_left (fun acc k -> if k = 19 then acc + 1 else acc) 0 counts in
+  (* The default-follow spike: mass at exactly 20 dwarfs its neighbour. *)
+  Helpers.check_bool "spike at 20" true (at_20 > 3 * max 1 at_19);
+  Helpers.check_bool "spike is a few percent" true
+    (float_of_int at_20 /. float_of_int n > 0.03)
+
+let test_twitter_heavy_tails () =
+  let w = Twitter.generate small_twitter in
+  let ic = Array.map float_of_int (Stats.interest_counts w) in
+  let s = Stats.summarize ic in
+  Helpers.check_bool "followings heavy-tailed" true (s.Stats.max > 20. *. s.Stats.p50);
+  let rates = Stats.summarize (Workload.event_rates w) in
+  Helpers.check_bool "rates heavy-tailed" true (rates.Stats.max > 20. *. rates.Stats.p50);
+  Helpers.check_bool "half the users tweet little" true (rates.Stats.p50 < 25.)
+
+let test_twitter_celebrity_dip () =
+  (* Fit the below-knee growth, then check topics beyond the knee fall
+     well under its extrapolation — Fig. 10's celebrity cloud. *)
+  let params = { (Twitter.scaled 0.002) with Twitter.seed = 3 } in
+  let w = Twitter.generate params in
+  let followers = Stats.follower_counts w in
+  let rates = Workload.event_rates w in
+  let knee =
+    Float.max 10.
+      (params.Twitter.celebrity_knee_fraction
+      *. float_of_int params.Twitter.num_subscribers)
+  in
+  let below_sum = ref 0. and below_n = ref 0 in
+  let above_sum = ref 0. and above_n = ref 0 in
+  Array.iteri
+    (fun t f ->
+      let f = float_of_int f in
+      if f > 0. then begin
+        (* Normalise each topic's rate by its audience size. *)
+        let per_follower = rates.(t) /. (f ** params.Twitter.rate_follower_exponent) in
+        if f <= knee then begin
+          below_sum := !below_sum +. per_follower;
+          incr below_n
+        end
+        else begin
+          above_sum := !above_sum +. per_follower;
+          incr above_n
+        end
+      end)
+    followers;
+  if !above_n = 0 then Alcotest.fail "no topics beyond the knee; enlarge the trace";
+  let below = !below_sum /. float_of_int !below_n in
+  let above = !above_sum /. float_of_int !above_n in
+  Helpers.check_bool "beyond-knee topics tweet less per follower" true (above < 0.5 *. below)
+
+let test_popularity_rank_bijection () =
+  let rng = Mcss_prng.Rng.create 4 in
+  let pop = Gen.popularity rng ~num_topics:100 ~exponent:1.0 in
+  let seen = Array.make 101 false in
+  for t = 0 to 99 do
+    let r = Gen.rank_of_topic pop t in
+    if r < 1 || r > 100 then Alcotest.failf "rank %d out of range" r;
+    if seen.(r) then Alcotest.failf "rank %d duplicated" r;
+    seen.(r) <- true
+  done
+
+let test_sample_distinct_interests () =
+  let rng = Mcss_prng.Rng.create 5 in
+  let pop = Gen.popularity rng ~num_topics:50 ~exponent:1.0 in
+  (* Sparse branch. *)
+  let s = Gen.sample_distinct_interests rng pop ~count:5 in
+  let sorted = Array.copy s in
+  Array.sort compare sorted;
+  for i = 1 to Array.length sorted - 1 do
+    Helpers.check_bool "distinct" true (sorted.(i) <> sorted.(i - 1))
+  done;
+  (* Clamped to the topic count. *)
+  Helpers.check_int "clamped" 50 (Array.length (Gen.sample_distinct_interests rng pop ~count:500))
+
+let test_popular_topics_get_more_followers () =
+  let w = Spotify.generate { small_spotify with Spotify.num_subscribers = 5000 } in
+  let rng = Mcss_prng.Rng.create 0 in
+  ignore rng;
+  let counts = Stats.follower_counts w in
+  let sorted = Array.copy counts in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  (* Zipf skew: the busiest topic dominates the median topic. *)
+  Helpers.check_bool "skewed followers" true (sorted.(n - 1) >= 5 * max 1 sorted.(n / 2))
+
+let test_round_rate () =
+  Helpers.check_float "floors at 1" 1. (Gen.round_rate 0.2);
+  Helpers.check_float "rounds" 3. (Gen.round_rate 2.6)
+
+let suite =
+  [
+    Alcotest.test_case "spotify dimensions" `Quick test_spotify_dimensions;
+    Alcotest.test_case "spotify deterministic" `Quick test_spotify_deterministic;
+    Alcotest.test_case "spotify seed changes output" `Quick test_spotify_seed_changes_output;
+    Alcotest.test_case "spotify mean interests" `Quick test_spotify_mean_interests;
+    Alcotest.test_case "spotify rates integral" `Quick test_spotify_rates_integral_positive;
+    Alcotest.test_case "spotify scaled validation" `Quick test_spotify_scaled_validation;
+    Alcotest.test_case "twitter dimensions/determinism" `Quick
+      test_twitter_dimensions_and_determinism;
+    Alcotest.test_case "twitter mean rate calibrated" `Quick test_twitter_mean_rate_calibrated;
+    Alcotest.test_case "twitter glitch at 20" `Quick test_twitter_glitch_at_20;
+    Alcotest.test_case "twitter heavy tails" `Quick test_twitter_heavy_tails;
+    Alcotest.test_case "twitter celebrity dip" `Slow test_twitter_celebrity_dip;
+    Alcotest.test_case "popularity rank bijection" `Quick test_popularity_rank_bijection;
+    Alcotest.test_case "sample distinct interests" `Quick test_sample_distinct_interests;
+    Alcotest.test_case "popular topics get followers" `Quick
+      test_popular_topics_get_more_followers;
+    Alcotest.test_case "round_rate" `Quick test_round_rate;
+  ]

@@ -1,0 +1,65 @@
+(* Tests for the growable array. *)
+
+module Vec = Mcss_core.Vec
+
+let test_empty () =
+  let v = Vec.create () in
+  Helpers.check_int "length" 0 (Vec.length v);
+  Helpers.check_bool "is_empty" true (Vec.is_empty v)
+
+let test_push_get () =
+  let v = Vec.create () in
+  for i = 0 to 99 do
+    Vec.push v (i * 2)
+  done;
+  Helpers.check_int "length" 100 (Vec.length v);
+  Helpers.check_int "get 0" 0 (Vec.get v 0);
+  Helpers.check_int "get 99" 198 (Vec.get v 99)
+
+let test_set () =
+  let v = Vec.of_array [| 1; 2; 3 |] in
+  Vec.set v 1 42;
+  Alcotest.(check (array int)) "updated" [| 1; 42; 3 |] (Vec.to_array v)
+
+let test_bounds () =
+  let v = Vec.of_array [| 1 |] in
+  Alcotest.check_raises "get oob" (Invalid_argument "Vec: index 1 out of 1") (fun () ->
+      ignore (Vec.get v 1));
+  Alcotest.check_raises "negative" (Invalid_argument "Vec: index -1 out of 1") (fun () ->
+      ignore (Vec.get v (-1)))
+
+let test_iterators () =
+  let v = Vec.of_array [| 3; 1; 4 |] in
+  let sum = ref 0 in
+  Vec.iter (fun x -> sum := !sum + x) v;
+  Helpers.check_int "iter" 8 !sum;
+  let indexed = ref [] in
+  Vec.iteri (fun i x -> indexed := (i, x) :: !indexed) v;
+  Alcotest.(check (list (pair int int))) "iteri" [ (0, 3); (1, 1); (2, 4) ] (List.rev !indexed);
+  Helpers.check_int "fold" 8 (Vec.fold_left ( + ) 0 v);
+  Helpers.check_bool "exists" true (Vec.exists (fun x -> x = 4) v);
+  Helpers.check_bool "not exists" false (Vec.exists (fun x -> x = 9) v);
+  Alcotest.(check (list int)) "to_list" [ 3; 1; 4 ] (Vec.to_list v)
+
+let test_of_array_copies () =
+  let a = [| 1; 2 |] in
+  let v = Vec.of_array a in
+  a.(0) <- 99;
+  Helpers.check_int "copied" 1 (Vec.get v 0)
+
+let prop_to_array_roundtrip =
+  Helpers.qtest "push-all then to_array is identity" QCheck.(list int) (fun xs ->
+      let v = Vec.create () in
+      List.iter (Vec.push v) xs;
+      Vec.to_list v = xs)
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "push/get" `Quick test_push_get;
+    Alcotest.test_case "set" `Quick test_set;
+    Alcotest.test_case "bounds" `Quick test_bounds;
+    Alcotest.test_case "iterators" `Quick test_iterators;
+    Alcotest.test_case "of_array copies" `Quick test_of_array_copies;
+    prop_to_array_roundtrip;
+  ]

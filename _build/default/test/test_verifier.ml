@@ -1,0 +1,122 @@
+(* Tests that the verifier actually catches each class of violation —
+   built by hand-placing pairs outside the algorithms. *)
+
+module Problem = Mcss_core.Problem
+module Selection = Mcss_core.Selection
+module Allocation = Mcss_core.Allocation
+module Verifier = Mcss_core.Verifier
+module Solver = Mcss_core.Solver
+
+let has pred report = List.exists pred report.Verifier.violations
+
+let test_clean_solution_is_valid () =
+  let p = Helpers.fig1_problem () in
+  let r = Solver.solve p in
+  let report = Verifier.verify p r.Solver.selection r.Solver.allocation in
+  Helpers.check_bool "valid" true (Verifier.is_valid report);
+  Helpers.check_int "vms agree" r.Solver.num_vms report.Verifier.num_vms;
+  Helpers.check_float "bandwidth agrees" r.Solver.bandwidth report.Verifier.total_bandwidth
+
+let test_detects_missing_pair () =
+  let p = Helpers.fig1_problem () in
+  let s = Selection.gsp p in
+  let a = Allocation.create ~capacity:80. in
+  let b = Allocation.deploy a in
+  (* Place only one of the five selected pairs. *)
+  Allocation.place a b ~topic:0 ~ev:20. ~subscribers:[| 0 |] ~from:0 ~count:1;
+  let report = Verifier.verify p s a in
+  Helpers.check_bool "missing pair flagged" true
+    (has (function Verifier.Pair_missing _ -> true | _ -> false) report);
+  Helpers.check_bool "unsatisfied flagged" true
+    (has (function Verifier.Unsatisfied _ -> true | _ -> false) report)
+
+let test_detects_over_capacity () =
+  let p = Helpers.fig1_problem ~capacity:35. ~tau:10. () in
+  let selection =
+    (* A hand-built selection of all five pairs; packing them all on one
+       35-capacity VM must trip the capacity check. *)
+    let chosen = [| [| 0; 1 |]; [| 0; 1 |]; [| 1 |] |] in
+    {
+      Selection.chosen;
+      selected_rate = [| 30.; 30.; 10. |];
+      num_pairs = 5;
+      outgoing_rate = 70.;
+    }
+  in
+  let a = Allocation.create ~capacity:35. in
+  let b = Allocation.deploy a in
+  Allocation.place a b ~topic:0 ~ev:20. ~subscribers:[| 0; 1 |] ~from:0 ~count:2;
+  Allocation.place a b ~topic:1 ~ev:10. ~subscribers:[| 0; 1; 2 |] ~from:0 ~count:3;
+  let report = Verifier.verify p selection a in
+  Helpers.check_bool "over capacity flagged" true
+    (has (function Verifier.Over_capacity _ -> true | _ -> false) report)
+
+let test_detects_foreign_pair () =
+  let p = Helpers.fig1_problem () in
+  let s = Selection.gsp p in
+  let a = Allocation.create ~capacity:80. in
+  let b = Allocation.deploy a in
+  Allocation.place a b ~topic:0 ~ev:20. ~subscribers:[| 0; 1 |] ~from:0 ~count:2;
+  Allocation.place a b ~topic:1 ~ev:10. ~subscribers:[| 0; 1; 2 |] ~from:0 ~count:3;
+  (* Subscriber 2 never selected topic 0 — smuggle the pair in. *)
+  let b2 = Allocation.deploy a in
+  Allocation.place a b2 ~topic:0 ~ev:20. ~subscribers:[| 2 |] ~from:0 ~count:1;
+  let report = Verifier.verify p s a in
+  Helpers.check_bool "foreign pair flagged" true
+    (has (function Verifier.Pair_not_selected { topic = 0; subscriber = 2 } -> true | _ -> false)
+       report)
+
+let test_detects_duplicate_pair () =
+  let p = Helpers.fig1_problem () in
+  let s = Selection.gsp p in
+  let a = Allocation.create ~capacity:80. in
+  let b0 = Allocation.deploy a in
+  Allocation.place a b0 ~topic:0 ~ev:20. ~subscribers:[| 0; 1 |] ~from:0 ~count:2;
+  Allocation.place a b0 ~topic:1 ~ev:10. ~subscribers:[| 0; 1; 2 |] ~from:0 ~count:3;
+  let b1 = Allocation.deploy a in
+  (* (t1, v2) again, on another VM. *)
+  Allocation.place a b1 ~topic:1 ~ev:10. ~subscribers:[| 2 |] ~from:0 ~count:1;
+  let report = Verifier.verify p s a in
+  Helpers.check_bool "duplicate flagged" true
+    (has (function Verifier.Pair_duplicated { topic = 1; subscriber = 2 } -> true | _ -> false)
+       report)
+
+let test_pp_violation_renders () =
+  let s =
+    Format.asprintf "%a" Verifier.pp_violation
+      (Verifier.Unsatisfied { subscriber = 3; delivered = 1.; required = 2. })
+  in
+  Helpers.check_bool "mentions subscriber" true (Helpers.contains ~needle:"subscriber 3" s)
+
+let test_check_exn () =
+  let p = Helpers.fig1_problem () in
+  let s = Selection.gsp p in
+  let a = Allocation.create ~capacity:80. in
+  (match Verifier.check_exn p s a with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure msg ->
+      Helpers.check_bool "message mentions violations" true
+        (Helpers.contains ~needle:"violation" msg));
+  let r = Solver.solve p in
+  ignore (Verifier.check_exn p r.Solver.selection r.Solver.allocation)
+
+let prop_solver_output_always_verifies =
+  Helpers.qtest ~count:150 "Solver output is always verifier-clean (all configs)"
+    Helpers.problem_arbitrary (fun p ->
+      List.for_all
+        (fun (_, config) ->
+          let r = Solver.solve ~config p in
+          Verifier.is_valid (Verifier.verify p r.Solver.selection r.Solver.allocation))
+        Solver.ladder)
+
+let suite =
+  [
+    Alcotest.test_case "clean solution valid" `Quick test_clean_solution_is_valid;
+    Alcotest.test_case "detects missing pair" `Quick test_detects_missing_pair;
+    Alcotest.test_case "detects over capacity" `Quick test_detects_over_capacity;
+    Alcotest.test_case "detects foreign pair" `Quick test_detects_foreign_pair;
+    Alcotest.test_case "detects duplicate pair" `Quick test_detects_duplicate_pair;
+    Alcotest.test_case "pp_violation renders" `Quick test_pp_violation_renders;
+    Alcotest.test_case "check_exn" `Quick test_check_exn;
+    prop_solver_output_always_verifies;
+  ]
