@@ -628,7 +628,7 @@ let ablate_failures ~w ~scale =
       let down = int_of_float (Float.round (fraction *. float_of_int num_vms)) in
       let outages =
         List.init down (fun i ->
-            { Simulator.vm = i; from_time = 0.5; until_time = infinity })
+            Simulator.outage ~vm:i ~from_time:0.5 ~until_time:infinity ())
       in
       let config = { Simulator.default_config with Simulator.outages } in
       let res = Simulator.run p r.Solver.allocation config in
@@ -823,11 +823,161 @@ let latency ~w ~scale =
      queueing theory then predicts the nonlinear latency relief that each\n\
      increment of bandwidth headroom buys)"
 
+(* Resilience scenario: one seeded fault campaign (crash + transient +
+   zone-correlated burst + throttle) pushed through three operating
+   modes — nobody watching, the orchestrator repairing, and k=2
+   zone-diverse replicas riding it out — with the SLA ledger and the
+   redundancy premium written to BENCH_resilience.json. *)
+let resilience ~w ~scale ~out_dir =
+  section_header "resilience" "fault campaign: no recovery vs repair vs k=2 replicas";
+  let module Failure_model = Mcss_resilience.Failure_model in
+  let module Orchestrator = Mcss_resilience.Orchestrator in
+  let module Redundancy = Mcss_resilience.Redundancy in
+  let module Sla = Mcss_resilience.Sla in
+  let module Reprovision = Mcss_dynamic.Reprovision in
+  let model = Cost_model.ec2_2014 () in
+  let capacity_events = bc_events ~scale Instance.c3_large in
+  let p = Problem.of_pricing ~capacity_events ~workload:w ~tau:100. model in
+  let zones = 3 in
+  let campaign =
+    {
+      Failure_model.seed = 11;
+      faults =
+        [
+          Failure_model.Crash { vm = 0; at = 0.6 };
+          Failure_model.Transient { vm = 1; from_time = 1.6; until_time = 1.9 };
+          Failure_model.Zone_burst { zone = 1; at = 2.4; duration = 0.3 };
+          Failure_model.Throttle
+            { vm = 2; from_time = 3.1; until_time = 3.4; severity = 0.5 };
+        ];
+    }
+  in
+  Printf.printf "campaign (seed %d, %d zones):\n" campaign.Failure_model.seed zones;
+  List.iter
+    (fun f -> Printf.printf "  %s\n" (Failure_model.fault_to_string f))
+    campaign.Failure_model.faults;
+  let policy = Orchestrator.default_policy in
+  let baseline =
+    Orchestrator.run ~policy:{ policy with Orchestrator.recovery = false } ~zones
+      ~campaign p
+  in
+  let supervised = Orchestrator.run ~policy ~zones ~campaign p in
+  let selection = Selection.gsp p in
+  let redundant, rstats = Redundancy.place ~zones ~k:2 p selection in
+  (match Redundancy.check p selection ~k:2 redundant with
+  | Ok () -> ()
+  | Error m -> failwith ("resilience: redundant placement failed audit: " ^ m));
+  let replicated = Orchestrator.evaluate ~policy ~zones ~campaign p redundant in
+  let base_cost = rstats.Redundancy.base_cost in
+  let overhead cost =
+    if base_cost > 0. then (cost -. base_cost) /. base_cost *. 100. else 0.
+  in
+  let plan_cost (o : Orchestrator.outcome) = Reprovision.cost o.Orchestrator.plan in
+  let table =
+    Table.create
+      [
+        ("strategy", Table.Left);
+        ("viol-hours", Table.Right);
+        ("delivered", Table.Right);
+        ("repairs", Table.Right);
+        ("VMs", Table.Right);
+        ("cost vs k=1", Table.Right);
+      ]
+  in
+  let row name (r : Sla.report) ~repairs ~vms ~overhead_pct =
+    Table.add_row table
+      [
+        name;
+        Table.cell_float ~decimals:1 r.Sla.violation_hours;
+        Table.cell_pct (100. *. r.Sla.delivered_fraction);
+        string_of_int repairs;
+        string_of_int vms;
+        Printf.sprintf "%+.1f%%" overhead_pct;
+      ]
+  in
+  let vms_of (o : Orchestrator.outcome) =
+    Allocation.num_vms o.Orchestrator.plan.Reprovision.allocation
+  in
+  row "no recovery" baseline.Orchestrator.sla ~repairs:0 ~vms:(vms_of baseline)
+    ~overhead_pct:(overhead (plan_cost baseline));
+  row "supervised repair" supervised.Orchestrator.sla
+    ~repairs:supervised.Orchestrator.repairs ~vms:(vms_of supervised)
+    ~overhead_pct:(overhead (plan_cost supervised));
+  row "k=2 replicas" replicated ~repairs:0 ~vms:rstats.Redundancy.vms
+    ~overhead_pct:rstats.Redundancy.overhead_vs_base_pct;
+  Table.print table;
+  Printf.printf
+    "supervised plan verified: %b (%d replacement VM(s)); k=2: %d/%d pairs\n\
+     zone-diverse, +%.1f%% over the lower bound\n"
+    (supervised.Orchestrator.verified = Ok ())
+    supervised.Orchestrator.vms_added rstats.Redundancy.zone_diverse_pairs
+    selection.Selection.num_pairs rstats.Redundancy.overhead_vs_lb_pct;
+  (* Machine-readable summary next to the .dat series. *)
+  let rec mkdir_p dir =
+    if dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+      mkdir_p (Filename.dirname dir);
+      (try Sys.mkdir dir 0o755 with Sys_error _ -> ())
+    end
+  in
+  mkdir_p out_dir;
+  let path = Filename.concat out_dir "BENCH_resilience.json" in
+  let oc = open_out path in
+  let variant name (r : Sla.report) ~repairs ~vms ~overhead_pct =
+    Printf.sprintf
+      "    { \"name\": %S, \"violation_hours\": %g, \"violation_epochs\": %d,\n\
+      \      \"delivered_fraction\": %.6f, \"lost_events\": %d, \"repairs\": %d,\n\
+      \      \"mean_epochs_to_recover\": %g, \"downtime_cost_usd\": %g,\n\
+      \      \"vms\": %d, \"cost_overhead_vs_base_pct\": %g }"
+      name r.Sla.violation_hours r.Sla.violation_epochs r.Sla.delivered_fraction
+      r.Sla.lost_events repairs r.Sla.mean_epochs_to_recover r.Sla.downtime_cost
+      vms overhead_pct
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"scenario\": \"resilience\",\n\
+    \  \"trace_scale\": %g,\n\
+    \  \"tau\": 100,\n\
+    \  \"zones\": %d,\n\
+    \  \"campaign_seed\": %d,\n\
+    \  \"faults\": [%s],\n\
+    \  \"variants\": [\n%s\n  ],\n\
+    \  \"redundancy\": {\n\
+    \    \"k\": %d, \"replicas_placed\": %d, \"zone_diverse_pairs\": %d,\n\
+    \    \"selected_pairs\": %d, \"base_vms\": %d, \"vms\": %d,\n\
+    \    \"base_cost_usd\": %g, \"cost_usd\": %g, \"lb_cost_usd\": %g,\n\
+    \    \"overhead_vs_base_pct\": %g, \"overhead_vs_lb_pct\": %g\n\
+    \  }\n\
+     }\n"
+    scale zones campaign.Failure_model.seed
+    (String.concat ", "
+       (List.map
+          (fun f -> Printf.sprintf "%S" (Failure_model.fault_to_string f))
+          campaign.Failure_model.faults))
+    (String.concat ",\n"
+       [
+         variant "no_recovery" baseline.Orchestrator.sla ~repairs:0
+           ~vms:(vms_of baseline)
+           ~overhead_pct:(overhead (plan_cost baseline));
+         variant "supervised" supervised.Orchestrator.sla
+           ~repairs:supervised.Orchestrator.repairs ~vms:(vms_of supervised)
+           ~overhead_pct:(overhead (plan_cost supervised));
+         variant "k2_replicas" replicated ~repairs:0 ~vms:rstats.Redundancy.vms
+           ~overhead_pct:rstats.Redundancy.overhead_vs_base_pct;
+       ])
+    rstats.Redundancy.k rstats.Redundancy.replicas_placed
+    rstats.Redundancy.zone_diverse_pairs selection.Selection.num_pairs
+    rstats.Redundancy.base_vms rstats.Redundancy.vms rstats.Redundancy.base_cost
+    rstats.Redundancy.cost rstats.Redundancy.lb_cost
+    rstats.Redundancy.overhead_vs_base_pct rstats.Redundancy.overhead_vs_lb_pct;
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
 let all_sections =
   [
     "fig1"; "fig2a"; "fig2b"; "fig3a"; "fig3b"; "fig4"; "fig5"; "fig6"; "fig7";
     "fig8-12"; "summary"; "ablate-stage1"; "ablate-stage2"; "ablate-dynamic";
-    "ablate-failures"; "ablate-scaling"; "ablate-skew"; "ablate-budget"; "latency"; "micro";
+    "ablate-failures"; "ablate-scaling"; "ablate-skew"; "ablate-budget"; "latency";
+    "resilience"; "micro";
   ]
 
 let run_bench sections spotify_scale twitter_scale out_dir =
@@ -908,6 +1058,8 @@ let run_bench sections spotify_scale twitter_scale out_dir =
   if enabled "ablate-skew" then ablate_skew ~scale:spotify_scale;
   if enabled "ablate-budget" then ablate_budget ~w:(Lazy.force spotify) ~scale:spotify_scale;
   if enabled "latency" then latency ~w:(Lazy.force spotify) ~scale:spotify_scale;
+  if enabled "resilience" then
+    resilience ~w:(Lazy.force spotify) ~scale:spotify_scale ~out_dir;
   if enabled "micro" then micro ();
   Printf.printf "\ndone. figure data series in %s/\n" out_dir
 

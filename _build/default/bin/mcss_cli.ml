@@ -21,6 +21,10 @@ module Lower_bound = Mcss_core.Lower_bound
 module Simulator = Mcss_sim.Simulator
 module Table = Mcss_report.Table
 module Series = Mcss_report.Series
+module Failure_model = Mcss_resilience.Failure_model
+module Orchestrator = Mcss_resilience.Orchestrator
+module Redundancy = Mcss_resilience.Redundancy
+module Sla = Mcss_resilience.Sla
 
 open Cmdliner
 
@@ -315,6 +319,33 @@ let analyze_cmd =
 
 (* ----- simulate ----- *)
 
+let outage_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ vm_s; from_s; until_s ] -> (
+        match
+          ( int_of_string_opt vm_s,
+            float_of_string_opt from_s,
+            float_of_string_opt until_s )
+        with
+        | Some vm, Some from_time, Some until_time
+          when vm >= 0 && from_time >= 0. && from_time <= until_time ->
+            Ok (Simulator.outage ~vm ~from_time ~until_time ())
+        | _ ->
+            Error
+              (`Msg
+                (Printf.sprintf
+                   "bad outage %S: VM:FROM:UNTIL needs a nonnegative VM id and \
+                    0 <= FROM <= UNTIL (UNTIL may be 'inf')"
+                   s)))
+    | _ -> Error (`Msg (Printf.sprintf "bad outage %S: expected VM:FROM:UNTIL" s))
+  in
+  let print ppf (o : Simulator.outage) =
+    Format.fprintf ppf "%d:%g:%g" o.Simulator.vm o.Simulator.from_time
+      o.Simulator.until_time
+  in
+  Arg.conv (parse, print)
+
 let simulate_cmd =
   let poisson_arg =
     Arg.(value & opt (some int) None & info [ "poisson" ] ~docv:"SEED"
@@ -328,7 +359,14 @@ let simulate_cmd =
     Arg.(value & opt (some string) None & info [ "plan" ] ~docv:"FILE"
            ~doc:"Replay a saved plan instead of solving.")
   in
-  let run () file trace scale seed tau instance_name bc_events poisson duration plan =
+  let outages_arg =
+    Arg.(value & opt_all outage_conv [] & info [ "outage" ] ~docv:"VM:FROM:UNTIL"
+           ~doc:"Take a VM down over a window, in horizons (repeatable; UNTIL may \
+                 be 'inf'). With outages the run reports damage instead of \
+                 pass/fail.")
+  in
+  let run () file trace scale seed tau instance_name bc_events poisson duration plan
+      outages =
     let ( let* ) r f = match r with Ok x -> f x | Error e -> `Error (false, e) in
     let* w = load_workload file trace scale seed in
     let* instance = resolve_instance instance_name in
@@ -355,10 +393,14 @@ let simulate_cmd =
           (match poisson with
           | Some s -> Simulator.Poisson s
           | None -> Simulator.Deterministic);
-        outages = [];
+        outages;
       }
     in
-    let res = Simulator.run p allocation config in
+    let* res =
+      match Simulator.run p allocation config with
+      | r -> Ok r
+      | exception Invalid_argument m -> Error m
+    in
     Printf.printf "published %d events over %.2f horizon(s)\n" res.Simulator.events_published
       duration;
     let tolerance = match poisson with Some _ -> 0.5 | None -> 0. in
@@ -375,7 +417,13 @@ let simulate_cmd =
         if u > !worst then worst := u)
       (Allocation.vms allocation);
     Printf.printf "worst instantaneous VM utilisation: %.0f%%\n" (100. *. !worst);
-    if Simulator.all_ok c then `Ok ()
+    if outages <> [] then begin
+      (* Failure injection is a damage report, not a pass/fail gate. *)
+      Printf.printf "events lost to outages: %d\n"
+        (Array.fold_left ( + ) 0 res.Simulator.lost);
+      `Ok ()
+    end
+    else if Simulator.all_ok c then `Ok ()
     else `Error (false, "simulation check failed")
   in
   Cmd.v
@@ -384,7 +432,7 @@ let simulate_cmd =
       ret
         (const run $ setup_logs_term $ workload_file $ trace_arg $ scale_arg $ seed_arg
         $ tau_arg $ instance_arg $ bc_events_arg $ poisson_arg $ duration_arg
-        $ plan_arg))
+        $ plan_arg $ outages_arg))
 
 (* ----- budget ----- *)
 
@@ -544,13 +592,148 @@ let verify_cmd =
         (const run $ setup_logs_term $ workload_file $ trace_arg $ scale_arg $ seed_arg
         $ tau_arg $ instance_arg $ bc_events_arg $ plan_arg))
 
+(* ----- chaos ----- *)
+
+let chaos_cmd =
+  let fault_conv =
+    let parse s =
+      match Failure_model.fault_of_string s with
+      | Ok f -> Ok f
+      | Error m -> Error (`Msg m)
+    in
+    Arg.conv (parse, Failure_model.pp_fault)
+  in
+  let faults_arg =
+    Arg.(value & opt_all fault_conv [] & info [ "fault" ] ~docv:"SPEC"
+           ~doc:"Inject one fault (repeatable): $(b,crash:VM@AT), \
+                 $(b,transient:VM@FROM-UNTIL), $(b,throttle:VM@FROM-UNTIL*SEV), \
+                 or $(b,zone:Z@AT+DUR); times in horizons. Without any, a random \
+                 campaign is drawn from --campaign-seed.")
+  in
+  let campaign_seed_arg =
+    Arg.(value & opt int 1 & info [ "campaign-seed" ] ~docv:"N"
+           ~doc:"Seed for the random campaign (and the backoff jitter).")
+  in
+  let epochs_arg =
+    Arg.(value & opt int 8 & info [ "epochs" ] ~docv:"N"
+           ~doc:"Supervision epochs to run.")
+  in
+  let epoch_duration_arg =
+    Arg.(value & opt float 0.5 & info [ "epoch-duration" ] ~docv:"F"
+           ~doc:"Simulated horizons per epoch.")
+  in
+  let zones_arg =
+    Arg.(value & opt int 3 & info [ "zones" ] ~docv:"N"
+           ~doc:"Failure zones (VM b lives in zone b mod N).")
+  in
+  let k_arg =
+    Arg.(value & opt int 1 & info [ "k"; "replicas" ] ~docv:"K"
+           ~doc:"Replicas per pair. K=1 runs the supervised recovery loop; K>1 \
+                 drills a passive K-redundant placement instead.")
+  in
+  let no_recovery_arg =
+    Arg.(value & flag & info [ "no-recovery" ]
+           ~doc:"Observe only, never repair (the ablation baseline).")
+  in
+  let max_new_vms_arg =
+    Arg.(value & opt (some int) None & info [ "max-new-vms" ] ~docv:"N"
+           ~doc:"Replacement-VM budget for repairs (default: unlimited).")
+  in
+  let penalty_arg =
+    Arg.(value & opt float 50. & info [ "penalty" ] ~docv:"USD"
+           ~doc:"SLA penalty per subscriber violation-hour.")
+  in
+  let hysteresis_arg =
+    Arg.(value & opt int 1 & info [ "hysteresis" ] ~docv:"N"
+           ~doc:"Consecutive dead epochs before a VM is declared failed.")
+  in
+  let run () file trace scale seed tau instance_name bc_events faults campaign_seed
+      epochs epoch_duration zones k no_recovery max_new_vms penalty hysteresis =
+    let ( let* ) r f = match r with Ok x -> f x | Error e -> `Error (false, e) in
+    let* () = if k >= 1 then Ok () else Error "--replicas must be >= 1" in
+    let* () = if zones >= 1 then Ok () else Error "--zones must be >= 1" in
+    let* w = load_workload file trace scale seed in
+    let* instance = resolve_instance instance_name in
+    let _model, p = problem_of ~w ~tau ~instance ~scale ~bc_events in
+    let policy =
+      {
+        Orchestrator.default_policy with
+        Orchestrator.epochs;
+        epoch_duration;
+        hysteresis;
+        seed = campaign_seed;
+        recovery = not no_recovery;
+        max_new_vms = Option.value ~default:max_int max_new_vms;
+        penalty_usd_per_violation_hour = penalty;
+      }
+    in
+    let drill () =
+      let selection = Mcss_core.Selection.gsp p in
+      let fleet =
+        Allocation.num_vms (Mcss_core.Cbp.run p selection Mcss_core.Cbp.with_cost_decision)
+      in
+      let campaign =
+        if faults <> [] then { Failure_model.seed = campaign_seed; faults }
+        else
+          Failure_model.random ~seed:campaign_seed ~num_vms:fleet ~zones
+            ~horizon:(float_of_int epochs *. epoch_duration)
+            ()
+      in
+      Printf.printf "fleet: %d VMs over %d zone(s); campaign (seed %d):\n" fleet zones
+        campaign.Failure_model.seed;
+      List.iter
+        (fun f -> Printf.printf "  %s\n" (Failure_model.fault_to_string f))
+        campaign.Failure_model.faults;
+      if k <= 1 then begin
+        let o = Orchestrator.run ~policy ~zones ~log:print_endline ~campaign p in
+        Format.printf "@.%a@." Sla.pp_report o.Orchestrator.sla;
+        Printf.printf
+          "repairs: %d adopted of %d attempt(s), %d backoff skip(s), %d VM(s) added, \
+           %d pair(s) shed\n"
+          o.Orchestrator.repairs o.Orchestrator.repair_attempts
+          o.Orchestrator.backoff_skips o.Orchestrator.vms_added
+          (List.length o.Orchestrator.shed);
+        match o.Orchestrator.verified with
+        | Ok () ->
+            print_endline "final plan: verifier CLEAN";
+            `Ok ()
+        | Error m ->
+            Printf.printf "final plan: NOT verifiable (%s)\n" m;
+            `Ok ()
+      end
+      else begin
+        let a, stats = Redundancy.place ~zones ~k p selection in
+        match Redundancy.check p selection ~k a with
+        | Error m -> `Error (false, m)
+        | Ok () ->
+            Format.printf "@.%a@." Redundancy.pp_stats stats;
+            let sla = Orchestrator.evaluate ~policy ~zones ~campaign p a in
+            Format.printf "%a@." Sla.pp_report sla;
+            `Ok ()
+      end
+    in
+    match drill () with
+    | r -> r
+    | exception Invalid_argument m -> `Error (false, m)
+    | exception Problem.Infeasible m -> `Error (false, "infeasible: " ^ m)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Run a fault-injection campaign: supervised recovery or k-redundant drill")
+    Term.(
+      ret
+        (const run $ setup_logs_term $ workload_file $ trace_arg $ scale_arg $ seed_arg
+        $ tau_arg $ instance_arg $ bc_events_arg $ faults_arg $ campaign_seed_arg
+        $ epochs_arg $ epoch_duration_arg $ zones_arg $ k_arg $ no_recovery_arg
+        $ max_new_vms_arg $ penalty_arg $ hysteresis_arg))
+
 let main_cmd =
   let doc = "cost-effective resource allocation for pub/sub on cloud (ICDCS'14)" in
   Cmd.group
     (Cmd.info "mcss" ~version:"1.0.0" ~doc)
     [
       generate_cmd; solve_cmd; lower_bound_cmd; analyze_cmd; simulate_cmd; budget_cmd;
-      convert_cmd; export_lp_cmd; verify_cmd;
+      convert_cmd; export_lp_cmd; verify_cmd; chaos_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/failure_drill.ml: Format List Mcss_core Mcss_dynamic Mcss_resilience Mcss_workload Printf

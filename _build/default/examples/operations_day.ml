@@ -67,7 +67,7 @@ let () =
       Simulator.default_config with
       Simulator.outages =
         List.map
-          (fun vm -> { Simulator.vm; from_time = 0.5; until_time = infinity })
+          (fun vm -> Simulator.outage ~vm ~from_time:0.5 ~until_time:infinity ())
           failed;
     }
   in

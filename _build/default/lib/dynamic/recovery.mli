@@ -17,6 +17,10 @@ val replan :
 (** [replan plan ~failed] treats the listed VM ids as permanently dead.
     Surviving placements stay where they are; orphaned pairs are packed
     onto survivors (most-free first) and fresh VMs. Unknown ids are
-    ignored. The input plan is not modified. The result satisfies the
-    plan's problem again — verify it, as the tests do. Raises
-    {!Mcss_core.Problem.Infeasible} if an orphaned pair fits no VM. *)
+    ignored. Failing {e every} VM does not raise: the fleet is rebuilt
+    from scratch, with every pair counted as rehomed. The input plan is
+    not modified, so stats are per-call — a second [replan] on the
+    result counts only the second failure's damage. The result satisfies
+    the plan's problem again — verify it, as the tests do. Raises
+    {!Mcss_core.Problem.Infeasible} if an orphaned pair fits no VM
+    (capacity shrank, never from failure alone). *)

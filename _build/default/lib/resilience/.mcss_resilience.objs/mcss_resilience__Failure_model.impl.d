@@ -1,0 +1,1 @@
+lib/resilience/failure_model.ml: Format List Mcss_prng Mcss_sim Printf String

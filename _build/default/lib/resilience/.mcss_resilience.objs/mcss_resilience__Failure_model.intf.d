@@ -1,0 +1,1 @@
+lib/resilience/failure_model.mli: Format Mcss_sim

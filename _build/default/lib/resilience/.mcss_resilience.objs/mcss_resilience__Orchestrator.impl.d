@@ -1,0 +1,1 @@
+lib/resilience/orchestrator.ml: Array Failure_model Float Format List Mcss_core Mcss_dynamic Mcss_prng Mcss_sim Mcss_workload Printf Sla

@@ -1,0 +1,1 @@
+lib/resilience/orchestrator.mli: Failure_model Mcss_core Mcss_dynamic Mcss_prng Sla

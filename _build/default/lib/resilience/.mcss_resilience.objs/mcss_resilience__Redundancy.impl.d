@@ -1,0 +1,1 @@
+lib/resilience/redundancy.ml: Array Failure_model Float Format Hashtbl List Mcss_core Mcss_workload Option Printf

@@ -1,0 +1,1 @@
+lib/resilience/redundancy.mli: Format Mcss_core

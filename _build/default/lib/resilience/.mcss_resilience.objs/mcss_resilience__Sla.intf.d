@@ -1,0 +1,1 @@
+lib/resilience/sla.mli: Format

@@ -1,0 +1,77 @@
+(** Seeded, deterministic fault campaigns.
+
+    A campaign is a list of faults in campaign time (horizons, like
+    simulator time). Faults name VM {e slots}: fleet positions at the
+    moment the fault strikes, so a campaign stays meaningful across
+    repairs that renumber the fleet. Compiling a campaign against a
+    concrete fleet yields {!Mcss_sim.Simulator.outage} windows; faults
+    aimed at slots beyond the fleet are dropped (a smaller fleet simply
+    has nothing there to break).
+
+    Zones model correlated failure domains (racks, availability zones):
+    VM [b] lives in zone [b mod zones], and a {!Zone_burst} takes out
+    every VM of one zone at once — the case k-redundant placement with
+    zone anti-affinity ({!Redundancy}) is built to survive. *)
+
+type fault =
+  | Crash of { vm : int; at : float }
+      (** Permanent death at [at] — down until repaired (or forever). *)
+  | Transient of { vm : int; from_time : float; until_time : float }
+      (** Full outage over a bounded window; recovers by itself. *)
+  | Throttle of { vm : int; from_time : float; until_time : float; severity : float }
+      (** Capacity-throttled VM: drops a [severity] fraction of its
+          events inside the window. [severity] in (0, 1). *)
+  | Zone_burst of { zone : int; at : float; duration : float }
+      (** Zone-correlated burst: every VM of the zone is fully down for
+          [duration] horizons starting at [at]. *)
+
+type campaign = { seed : int; faults : fault list }
+(** [seed] also drives the orchestrator's backoff jitter, so one value
+    reproduces a whole drill. *)
+
+val zone_of_vm : zones:int -> int -> int
+(** The zone of a VM slot: [vm mod zones]. Requires [zones >= 1]. *)
+
+val start_time : fault -> float
+(** When the fault begins. *)
+
+val validate : campaign -> unit
+(** Raises [Invalid_argument] on a malformed fault: negative vm/zone,
+    negative or NaN times, inverted windows, nonpositive duration, or a
+    throttle severity outside (0, 1). *)
+
+val compile : campaign -> num_vms:int -> zones:int -> Mcss_sim.Simulator.outage list
+(** Lower the campaign onto a concrete fleet, in fault order. Validates
+    first. Faults on slots [>= num_vms] (or zones [>= zones]) compile to
+    nothing. *)
+
+val compile_fault : fault -> num_vms:int -> zones:int -> Mcss_sim.Simulator.outage list
+(** Lower one (already validated) fault — what the orchestrator does at
+    the moment a fault strikes, against the fleet of that moment. *)
+
+val random :
+  seed:int ->
+  num_vms:int ->
+  zones:int ->
+  ?crashes:int ->
+  ?transients:int ->
+  ?throttles:int ->
+  ?zone_bursts:int ->
+  ?horizon:float ->
+  unit ->
+  campaign
+(** A reproducible random campaign: fault times are spread over
+    [[0.05·horizon, 0.85·horizon)] ([horizon] defaults to [1.]), windows
+    and severities drawn from {!Mcss_prng}. Defaults: 1 crash, 1
+    transient, 1 throttle, 1 zone burst. *)
+
+val fault_to_string : fault -> string
+(** Compact textual form, the CLI campaign format:
+    [crash:VM\@AT], [transient:VM\@FROM-UNTIL],
+    [throttle:VM\@FROM-UNTIL*SEVERITY], [zone:Z\@AT+DURATION]. *)
+
+val fault_of_string : string -> (fault, string) result
+(** Parse the {!fault_to_string} format; [Error] carries a message
+    naming the offending input. *)
+
+val pp_fault : Format.formatter -> fault -> unit

@@ -1,0 +1,90 @@
+type epoch = {
+  index : int;
+  hours : float;
+  violations : int;
+  subscribers : int;
+  delivered : int;
+  lost : int;
+  repaired : bool;
+}
+
+type report = {
+  epochs : int;
+  horizon_hours : float;
+  delivered_events : int;
+  lost_events : int;
+  delivered_fraction : float;
+  violation_hours : float;
+  violation_epochs : int;
+  worst_epoch_violations : int;
+  repairs : int;
+  mean_epochs_to_recover : float;
+  downtime_cost : float;
+}
+
+type t = { mutable entries : epoch list (* newest first *) }
+
+let create () = { entries = [] }
+let record t e = t.entries <- e :: t.entries
+let entries t = List.rev t.entries
+
+let report ?(penalty_usd_per_violation_hour = 0.) t =
+  let es = entries t in
+  let epochs = List.length es in
+  let horizon_hours = List.fold_left (fun acc e -> acc +. e.hours) 0. es in
+  let delivered_events = List.fold_left (fun acc e -> acc + e.delivered) 0 es in
+  let lost_events = List.fold_left (fun acc e -> acc + e.lost) 0 es in
+  let flowed = delivered_events + lost_events in
+  let delivered_fraction =
+    if flowed = 0 then 1. else float_of_int delivered_events /. float_of_int flowed
+  in
+  let violation_hours =
+    List.fold_left (fun acc e -> acc +. (float_of_int e.violations *. e.hours)) 0. es
+  in
+  let violation_epochs =
+    List.fold_left (fun acc e -> if e.violations > 0 then acc + 1 else acc) 0 es
+  in
+  let worst_epoch_violations =
+    List.fold_left (fun acc e -> max acc e.violations) 0 es
+  in
+  let repairs = List.fold_left (fun acc e -> if e.repaired then acc + 1 else acc) 0 es in
+  (* Maximal runs of consecutive violation epochs; a run still open at
+     the horizon counts with its length so far. *)
+  let runs, open_run =
+    List.fold_left
+      (fun (runs, run) e ->
+        if e.violations > 0 then (runs, run + 1)
+        else if run > 0 then (run :: runs, 0)
+        else (runs, 0))
+      ([], 0) es
+  in
+  let runs = if open_run > 0 then open_run :: runs else runs in
+  let mean_epochs_to_recover =
+    match runs with
+    | [] -> 0.
+    | _ ->
+        float_of_int (List.fold_left ( + ) 0 runs) /. float_of_int (List.length runs)
+  in
+  {
+    epochs;
+    horizon_hours;
+    delivered_events;
+    lost_events;
+    delivered_fraction;
+    violation_hours;
+    violation_epochs;
+    worst_epoch_violations;
+    repairs;
+    mean_epochs_to_recover;
+    downtime_cost = penalty_usd_per_violation_hour *. violation_hours;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "%d epochs (%.2f h): delivered %.2f%% (%d events, %d lost),@ %.2f \
+     violation-hours over %d epoch(s) (worst: %d subscribers),@ %d repair(s), mean \
+     recovery %.1f epochs, downtime cost $%.2f"
+    r.epochs r.horizon_hours
+    (100. *. r.delivered_fraction)
+    r.delivered_events r.lost_events r.violation_hours r.violation_epochs
+    r.worst_epoch_violations r.repairs r.mean_epochs_to_recover r.downtime_cost

@@ -1,1 +1,1 @@
-lib/sim/simulator.ml: Array Event_heap Float Hashtbl Int64 List Mcss_core Mcss_prng Mcss_workload Option
+lib/sim/simulator.ml: Array Event_heap Float Hashtbl Int64 List Mcss_core Mcss_prng Mcss_workload Option Printf

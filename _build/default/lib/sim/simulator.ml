@@ -12,7 +12,10 @@ let pi = 4. *. atan 1.
 (* Intensity modulation with unit mean over whole horizons. *)
 let modulation ~amplitude time = 1. +. (amplitude *. sin (2. *. pi *. time))
 
-type outage = { vm : int; from_time : float; until_time : float }
+type outage = { vm : int; from_time : float; until_time : float; severity : float }
+
+let outage ?(severity = 1.) ~vm ~from_time ~until_time () =
+  { vm; from_time; until_time; severity }
 
 type config = {
   duration : float;
@@ -49,6 +52,23 @@ let run (p : Problem.t) a config =
   | _ -> ());
   let w = p.Problem.workload in
   let num_vms = Allocation.num_vms a in
+  List.iter
+    (fun o ->
+      if o.vm < 0 || o.vm >= num_vms then
+        invalid_arg
+          (Printf.sprintf "Simulator.run: outage vm %d out of range (fleet has %d VMs)"
+             o.vm num_vms);
+      if not (o.from_time <= o.until_time) then
+        invalid_arg
+          (Printf.sprintf
+             "Simulator.run: outage on vm %d has inverted window (%g > %g)" o.vm
+             o.from_time o.until_time);
+      if not (o.severity > 0. && o.severity <= 1.) then
+        invalid_arg
+          (Printf.sprintf
+             "Simulator.run: outage on vm %d has severity %g outside (0, 1]" o.vm
+             o.severity))
+    config.outages;
   (* hosting.(t): the VMs carrying pairs of topic t, with pair counts. *)
   let hosting = Array.make (Workload.num_topics w) [] in
   Array.iter
@@ -63,18 +83,40 @@ let run (p : Problem.t) a config =
   let vm_ingress = Array.make num_vms 0 in
   let vm_egress = Array.make num_vms 0 in
   let vm_bucket_load = Array.make_matrix num_vms config.buckets 0. in
-  (* Outage windows per VM, and a per-(vm, topic) count of publications a
-     down VM failed to forward. *)
+  (* Outage windows per VM. A full-severity window takes the VM out
+     entirely; a throttled window (severity < 1) makes it drop exactly
+     that fraction of the events it would have processed, by systematic
+     thinning over a per-VM counter — deterministic, no RNG. *)
   let vm_outages = Array.make num_vms [] in
   List.iter
     (fun o ->
-      if o.vm >= 0 && o.vm < num_vms then
-        vm_outages.(o.vm) <- (o.from_time, o.until_time) :: vm_outages.(o.vm))
+      vm_outages.(o.vm) <- (o.from_time, o.until_time, o.severity) :: vm_outages.(o.vm))
     config.outages;
-  let down vm time =
-    List.exists (fun (f, u) -> time >= f && time < u) vm_outages.(vm)
+  let throttle_seen = Array.make num_vms 0 in
+  (* Whether the VM processes an event published at [time]. *)
+  let forwards vm time =
+    let sev =
+      List.fold_left
+        (fun acc (f, u, s) -> if time >= f && time < u then Float.max acc s else acc)
+        0. vm_outages.(vm)
+    in
+    if sev <= 0. then true
+    else if sev >= 1. then false
+    else begin
+      let n = throttle_seen.(vm) + 1 in
+      throttle_seen.(vm) <- n;
+      (* Drop the events where ⌊n·sev⌋ ticks up: exactly a [sev] fraction. *)
+      not
+        (int_of_float (float_of_int n *. sev)
+        > int_of_float (float_of_int (n - 1) *. sev))
+    end
   in
-  let missed : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  (* Per topic: publication counts keyed by the exact set of hosting VMs
+     that failed to forward them. [hosting.(t)] order is fixed for the
+     run, so the key list is canonical. A pair replicated across VMs then
+     loses an event only when {e every} replica host is in the failed
+     set. *)
+  let missed : (int, (int list, int) Hashtbl.t) Hashtbl.t = Hashtbl.create 64 in
   let pubs = Array.make (Workload.num_topics w) 0 in
   let events_published = ref 0 in
   let bucket_of time =
@@ -84,17 +126,28 @@ let run (p : Problem.t) a config =
     pubs.(t) <- pubs.(t) + 1;
     incr events_published;
     let k = bucket_of time in
+    let failed = ref [] in
     List.iter
       (fun (vm, count) ->
-        if down vm time then
-          Hashtbl.replace missed (vm, t)
-            (1 + Option.value ~default:0 (Hashtbl.find_opt missed (vm, t)))
-        else begin
+        if forwards vm time then begin
           vm_ingress.(vm) <- vm_ingress.(vm) + 1;
           vm_egress.(vm) <- vm_egress.(vm) + count;
           vm_bucket_load.(vm).(k) <- vm_bucket_load.(vm).(k) +. float_of_int (1 + count)
-        end)
-      hosting.(t)
+        end
+        else failed := vm :: !failed)
+      hosting.(t);
+    match !failed with
+    | [] -> ()
+    | f ->
+        let tbl =
+          match Hashtbl.find_opt missed t with
+          | Some tbl -> tbl
+          | None ->
+              let tbl = Hashtbl.create 4 in
+              Hashtbl.add missed t tbl;
+              tbl
+        in
+        Hashtbl.replace tbl f (1 + Option.value ~default:0 (Hashtbl.find_opt tbl f))
   in
   (* Drive all topic streams through one time-ordered queue. Each heap
      payload is (topic, interval): [interval <= 0.] marks a Poisson stream
@@ -159,22 +212,33 @@ let run (p : Problem.t) a config =
   in
   drain ();
   (* Each distinct placed pair delivers every publication of its topic
-     once (duplicates across VMs would double-deliver in a real broker
-     too, but the verifier rules them out upstream). *)
+     once. Replicas of the same pair on several VMs dedupe (a real broker
+     would dedupe by event id): an event is lost for the pair only when
+     every hosting VM failed to forward it. *)
   let delivered = Array.make (Workload.num_subscribers w) 0 in
   let lost = Array.make (Workload.num_subscribers w) 0 in
-  let seen = Hashtbl.create 1024 in
+  let pair_hosts : (int * int, int list) Hashtbl.t = Hashtbl.create 1024 in
   Array.iter
     (fun vm ->
       let b = Allocation.vm_id vm in
       Allocation.iter_vm_pairs vm (fun t v ->
-          if not (Hashtbl.mem seen (t, v)) then begin
-            Hashtbl.add seen (t, v) ();
-            let dropped = Option.value ~default:0 (Hashtbl.find_opt missed (b, t)) in
-            delivered.(v) <- delivered.(v) + pubs.(t) - dropped;
-            lost.(v) <- lost.(v) + dropped
-          end))
+          Hashtbl.replace pair_hosts (t, v)
+            (b :: Option.value ~default:[] (Hashtbl.find_opt pair_hosts (t, v)))))
     (Allocation.vms a);
+  Hashtbl.iter
+    (fun (t, v) hosts ->
+      let dropped =
+        match Hashtbl.find_opt missed t with
+        | None -> 0
+        | Some tbl ->
+            Hashtbl.fold
+              (fun fail c acc ->
+                if List.for_all (fun h -> List.mem h fail) hosts then acc + c else acc)
+              tbl 0
+      in
+      delivered.(v) <- delivered.(v) + pubs.(t) - dropped;
+      lost.(v) <- lost.(v) + dropped)
+    pair_hosts;
   {
     events_published = !events_published;
     vm_ingress;

@@ -32,10 +32,19 @@ type outage = {
   vm : int;  (** VM id, as in the allocation. *)
   from_time : float;
   until_time : float;  (** Use [infinity] for a crash with no recovery. *)
+  severity : float;
+      (** Fraction of the VM's events dropped inside the window, in
+          (0, 1]. [1.] is a full outage; anything lower models a
+          capacity-throttled VM, thinned deterministically (no RNG). *)
 }
 (** While down, a VM neither ingests nor forwards: publications in the
-    window are lost for every pair it hosts. Failure injection measures
-    how much subscriber satisfaction a partial outage costs. *)
+    window are lost for every pair it hosts — unless the pair is
+    replicated on a VM that is still up (see {!run}). Failure injection
+    measures how much subscriber satisfaction a partial outage costs. *)
+
+val outage :
+  ?severity:float -> vm:int -> from_time:float -> until_time:float -> unit -> outage
+(** Build an outage; [severity] defaults to [1.] (full outage). *)
 
 type config = {
   duration : float;  (** Window length in horizons; must be positive. *)
@@ -63,8 +72,14 @@ val run : Mcss_core.Problem.t -> Mcss_core.Allocation.t -> config -> result
 (** Replay the deployment. Deliveries are counted from the pairs the
     fleet actually hosts (each distinct placed pair delivers once per
     publication), so an allocation that lost pairs shows up as
-    under-delivery. O((E + P) log T) for E published events and P placed
-    pairs. *)
+    under-delivery. A pair replicated on several VMs (k-redundant
+    placement) delivers as long as {e any} replica host forwards the
+    event — replicas dedupe, they never double-deliver. O((E + P) log T)
+    for E published events and P placed pairs.
+
+    Every outage is validated up front: raises [Invalid_argument] if an
+    outage's [vm] is outside the fleet, its window is inverted
+    ([from_time > until_time]), or its [severity] is outside (0, 1]. *)
 
 val total_vm_traffic : result -> vm:int -> int
 (** Ingress plus egress of one VM, in events. *)

@@ -1,0 +1,1 @@
+test/test_resilience.ml: Alcotest Array Float Helpers List Mcss_core Mcss_dynamic Mcss_prng Mcss_resilience Mcss_sim Mcss_workload Printf

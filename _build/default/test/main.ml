@@ -32,5 +32,6 @@ let () =
       ("histogram", Test_histogram.suite);
       ("plan-io", Test_plan_io.suite);
       ("recovery", Test_recovery.suite);
+      ("resilience", Test_resilience.suite);
       ("boundaries", Test_boundaries.suite);
     ]

@@ -181,7 +181,8 @@ let test_outage_loses_exactly_the_window () =
   let config =
     {
       Simulator.default_config with
-      Simulator.outages = [ { Simulator.vm = 0; from_time = 0.5; until_time = infinity } ];
+      Simulator.outages =
+        [ Simulator.outage ~vm:0 ~from_time:0.5 ~until_time:infinity () ];
     }
   in
   let res = Simulator.run p r.Solver.allocation config in
@@ -210,13 +211,13 @@ let test_outage_with_recovery () =
   let brief =
     {
       Simulator.default_config with
-      Simulator.outages = [ { Simulator.vm = 0; from_time = 0.4; until_time = 0.6 } ];
+      Simulator.outages = [ Simulator.outage ~vm:0 ~from_time:0.4 ~until_time:0.6 () ];
     }
   in
   let long =
     {
       Simulator.default_config with
-      Simulator.outages = [ { Simulator.vm = 0; from_time = 0.2; until_time = 0.9 } ];
+      Simulator.outages = [ Simulator.outage ~vm:0 ~from_time:0.2 ~until_time:0.9 () ];
     }
   in
   let lost cfg =
@@ -226,17 +227,49 @@ let test_outage_with_recovery () =
   Helpers.check_bool "longer outage loses more" true (lost long > lost brief);
   Helpers.check_int "no outage loses nothing" 0 (lost Simulator.default_config)
 
-let test_outage_on_unknown_vm_is_ignored () =
+let test_outage_on_unknown_vm_rejected () =
   let p = Helpers.fig1_problem ~capacity:50. () in
   let r = Solver.solve p in
   let config =
     {
       Simulator.default_config with
-      Simulator.outages = [ { Simulator.vm = 99; from_time = 0.; until_time = infinity } ];
+      Simulator.outages =
+        [ Simulator.outage ~vm:99 ~from_time:0. ~until_time:infinity () ];
     }
   in
-  let res = Simulator.run p r.Solver.allocation config in
-  Helpers.check_int "nothing lost" 0 (Array.fold_left ( + ) 0 res.Simulator.lost)
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Simulator.run: outage vm 99 out of range (fleet has 3 VMs)")
+    (fun () -> ignore (Simulator.run p r.Solver.allocation config))
+
+let test_outage_inverted_window_rejected () =
+  let p = Helpers.fig1_problem ~capacity:50. () in
+  let r = Solver.solve p in
+  let config =
+    {
+      Simulator.default_config with
+      Simulator.outages = [ Simulator.outage ~vm:0 ~from_time:0.8 ~until_time:0.2 () ];
+    }
+  in
+  Alcotest.check_raises "inverted"
+    (Invalid_argument "Simulator.run: outage on vm 0 has inverted window (0.8 > 0.2)")
+    (fun () -> ignore (Simulator.run p r.Solver.allocation config))
+
+let test_outage_bad_severity_rejected () =
+  let p = Helpers.fig1_problem ~capacity:50. () in
+  let r = Solver.solve p in
+  let with_severity s =
+    {
+      Simulator.default_config with
+      Simulator.outages =
+        [ Simulator.outage ~severity:s ~vm:0 ~from_time:0.2 ~until_time:0.8 () ];
+    }
+  in
+  Alcotest.check_raises "zero"
+    (Invalid_argument "Simulator.run: outage on vm 0 has severity 0 outside (0, 1]")
+    (fun () -> ignore (Simulator.run p r.Solver.allocation (with_severity 0.)));
+  Alcotest.check_raises "above one"
+    (Invalid_argument "Simulator.run: outage on vm 0 has severity 1.5 outside (0, 1]")
+    (fun () -> ignore (Simulator.run p r.Solver.allocation (with_severity 1.5)))
 
 let suite =
   [
@@ -256,6 +289,10 @@ let suite =
     Alcotest.test_case "vec find_index" `Quick test_vec_find_index;
     Alcotest.test_case "outage loses the window" `Quick test_outage_loses_exactly_the_window;
     Alcotest.test_case "outage with recovery" `Quick test_outage_with_recovery;
-    Alcotest.test_case "outage on unknown vm ignored" `Quick
-      test_outage_on_unknown_vm_is_ignored;
+    Alcotest.test_case "outage on unknown vm rejected" `Quick
+      test_outage_on_unknown_vm_rejected;
+    Alcotest.test_case "outage inverted window rejected" `Quick
+      test_outage_inverted_window_rejected;
+    Alcotest.test_case "outage bad severity rejected" `Quick
+      test_outage_bad_severity_rejected;
   ]

@@ -1,0 +1,180 @@
+module Simulator = Mcss_sim.Simulator
+
+type fault =
+  | Crash of { vm : int; at : float }
+  | Transient of { vm : int; from_time : float; until_time : float }
+  | Throttle of { vm : int; from_time : float; until_time : float; severity : float }
+  | Zone_burst of { zone : int; at : float; duration : float }
+
+type campaign = { seed : int; faults : fault list }
+
+let zone_of_vm ~zones vm =
+  if zones < 1 then invalid_arg "Failure_model.zone_of_vm: zones must be >= 1";
+  vm mod zones
+
+let start_time = function
+  | Crash { at; _ } -> at
+  | Transient { from_time; _ } -> from_time
+  | Throttle { from_time; _ } -> from_time
+  | Zone_burst { at; _ } -> at
+
+let bad fmt = Printf.ksprintf invalid_arg fmt
+
+(* [0 <= a] written as [not (a >= 0)] so NaN is caught too. *)
+let check_time what x = if not (x >= 0.) then bad "Failure_model: %s time %g invalid" what x
+
+let check_window what f u =
+  check_time what f;
+  if not (f <= u) then bad "Failure_model: %s window inverted (%g > %g)" what f u
+
+let validate c =
+  List.iter
+    (fun fault ->
+      match fault with
+      | Crash { vm; at } ->
+          if vm < 0 then bad "Failure_model: crash on negative vm %d" vm;
+          check_time "crash" at
+      | Transient { vm; from_time; until_time } ->
+          if vm < 0 then bad "Failure_model: transient on negative vm %d" vm;
+          check_window "transient" from_time until_time
+      | Throttle { vm; from_time; until_time; severity } ->
+          if vm < 0 then bad "Failure_model: throttle on negative vm %d" vm;
+          check_window "throttle" from_time until_time;
+          if not (severity > 0. && severity < 1.) then
+            bad "Failure_model: throttle severity %g outside (0, 1)" severity
+      | Zone_burst { zone; at; duration } ->
+          if zone < 0 then bad "Failure_model: burst in negative zone %d" zone;
+          check_time "zone burst" at;
+          if not (duration > 0.) then
+            bad "Failure_model: zone burst duration %g must be positive" duration)
+    c.faults
+
+let compile_fault fault ~num_vms ~zones =
+  if zones < 1 then invalid_arg "Failure_model.compile_fault: zones must be >= 1";
+  match fault with
+  | Crash { vm; at } ->
+      if vm >= num_vms then []
+      else [ Simulator.outage ~vm ~from_time:at ~until_time:infinity () ]
+  | Transient { vm; from_time; until_time } ->
+      if vm >= num_vms then []
+      else [ Simulator.outage ~vm ~from_time ~until_time () ]
+  | Throttle { vm; from_time; until_time; severity } ->
+      if vm >= num_vms then []
+      else [ Simulator.outage ~severity ~vm ~from_time ~until_time () ]
+  | Zone_burst { zone; at; duration } ->
+      if zone >= zones then []
+      else
+        List.filter_map
+          (fun vm ->
+            if zone_of_vm ~zones vm = zone then
+              Some (Simulator.outage ~vm ~from_time:at ~until_time:(at +. duration) ())
+            else None)
+          (List.init num_vms (fun i -> i))
+
+let compile c ~num_vms ~zones =
+  validate c;
+  List.concat_map (fun fault -> compile_fault fault ~num_vms ~zones) c.faults
+
+let random ~seed ~num_vms ~zones ?(crashes = 1) ?(transients = 1) ?(throttles = 1)
+    ?(zone_bursts = 1) ?(horizon = 1.) () =
+  if num_vms < 1 then invalid_arg "Failure_model.random: num_vms must be >= 1";
+  if zones < 1 then invalid_arg "Failure_model.random: zones must be >= 1";
+  let rng = Mcss_prng.Rng.create seed in
+  let at () = horizon *. (0.05 +. Mcss_prng.Rng.float rng 0.8) in
+  let window () =
+    let f = at () in
+    (f, f +. (horizon *. (0.02 +. Mcss_prng.Rng.float rng 0.2)))
+  in
+  let faults =
+    List.init crashes (fun _ -> Crash { vm = Mcss_prng.Rng.int rng num_vms; at = at () })
+    @ List.init transients (fun _ ->
+          let from_time, until_time = window () in
+          Transient { vm = Mcss_prng.Rng.int rng num_vms; from_time; until_time })
+    @ List.init throttles (fun _ ->
+          let from_time, until_time = window () in
+          Throttle
+            {
+              vm = Mcss_prng.Rng.int rng num_vms;
+              from_time;
+              until_time;
+              severity = 0.3 +. Mcss_prng.Rng.float rng 0.6;
+            })
+    @ List.init zone_bursts (fun _ ->
+          Zone_burst
+            {
+              zone = Mcss_prng.Rng.int rng zones;
+              at = at ();
+              duration = horizon *. (0.05 +. Mcss_prng.Rng.float rng 0.15);
+            })
+  in
+  let faults =
+    List.sort (fun a b -> compare (start_time a, a) (start_time b, b)) faults
+  in
+  { seed; faults }
+
+let fault_to_string = function
+  | Crash { vm; at } -> Printf.sprintf "crash:%d@%g" vm at
+  | Transient { vm; from_time; until_time } ->
+      Printf.sprintf "transient:%d@%g-%g" vm from_time until_time
+  | Throttle { vm; from_time; until_time; severity } ->
+      Printf.sprintf "throttle:%d@%g-%g*%g" vm from_time until_time severity
+  | Zone_burst { zone; at; duration } -> Printf.sprintf "zone:%d@%g+%g" zone at duration
+
+(* Split [s] on the single occurrence of [sep]; None if absent. *)
+let split2 sep s =
+  match String.index_opt s sep with
+  | None -> None
+  | Some i ->
+      Some (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+let fault_of_string s =
+  let fail () =
+    Error
+      (Printf.sprintf
+         "bad fault %S: expected crash:VM@AT, transient:VM@FROM-UNTIL, \
+          throttle:VM@FROM-UNTIL*SEV, or zone:Z@AT+DUR" s)
+  in
+  let num x = try Some (float_of_string x) with Failure _ -> None in
+  let id x = try Some (int_of_string x) with Failure _ -> None in
+  match split2 ':' s with
+  | None -> fail ()
+  | Some (kind, rest) -> (
+      match (kind, split2 '@' rest) with
+      | "crash", Some (vm, at) -> (
+          match (id vm, num at) with
+          | Some vm, Some at when vm >= 0 && at >= 0. -> Ok (Crash { vm; at })
+          | _ -> fail ())
+      | "transient", Some (vm, w) -> (
+          match (id vm, split2 '-' w) with
+          | Some vm, Some (f, u) -> (
+              match (num f, num u) with
+              | Some from_time, Some until_time
+                when vm >= 0 && from_time >= 0. && from_time <= until_time ->
+                  Ok (Transient { vm; from_time; until_time })
+              | _ -> fail ())
+          | _ -> fail ())
+      | "throttle", Some (vm, w) -> (
+          match (id vm, split2 '*' w) with
+          | Some vm, Some (window, sev) -> (
+              match (split2 '-' window, num sev) with
+              | Some (f, u), Some severity -> (
+                  match (num f, num u) with
+                  | Some from_time, Some until_time
+                    when vm >= 0 && from_time >= 0. && from_time <= until_time
+                         && severity > 0. && severity < 1. ->
+                      Ok (Throttle { vm; from_time; until_time; severity })
+                  | _ -> fail ())
+              | _ -> fail ())
+          | _ -> fail ())
+      | "zone", Some (zone, w) -> (
+          match (id zone, split2 '+' w) with
+          | Some zone, Some (at, dur) -> (
+              match (num at, num dur) with
+              | Some at, Some duration
+                when zone >= 0 && at >= 0. && duration > 0. ->
+                  Ok (Zone_burst { zone; at; duration })
+              | _ -> fail ())
+          | _ -> fail ())
+      | _ -> fail ())
+
+let pp_fault ppf f = Format.pp_print_string ppf (fault_to_string f)

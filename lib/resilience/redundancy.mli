@@ -1,0 +1,69 @@
+(** k-redundant pair placement: pay for replicas up front instead of (or
+    on top of) repairing after the fact.
+
+    The primary copy of every selected pair is placed by the full
+    CustomBinPacking; each further replica round re-places the whole
+    selection with two anti-affinity rules layered on the CBP insertion
+    order (expensive topics first, most-free VM first):
+
+    + {e VM anti-affinity} — a replica never lands on a VM already
+      hosting a copy of the same pair (hard rule; a fresh VM is deployed
+      rather than violating it);
+    + {e zone anti-affinity} — among admissible VMs, those in a zone no
+      copy of the pair occupies yet are preferred (best effort: with
+      more replicas than zones, or a fleet that never touches some zone,
+      a replica may share a zone — {!stats.zone_diverse_pairs} reports
+      how often full diversity was achieved).
+
+    Zones follow {!Failure_model.zone_of_vm} ([vm mod zones]), so a
+    {!Failure_model.Zone_burst} is exactly the failure a zone-diverse
+    replica survives. The simulator's replica-aware delivery accounting
+    ({!Mcss_sim.Simulator.run}) then delivers a pair as long as any
+    copy's host is up.
+
+    A redundant allocation intentionally violates the base problem's
+    "each pair placed exactly once" consistency rule, so it must be
+    audited with {!check} here, not {!Mcss_core.Verifier}. Capacity and
+    satisfaction constraints still hold and are re-checked from
+    scratch. *)
+
+type stats = {
+  k : int;
+  zones : int;
+  replicas_placed : int;  (** Copies beyond the primaries. *)
+  zone_diverse_pairs : int;
+      (** Pairs whose copies span [min k zones] distinct zones. *)
+  base_vms : int;  (** Fleet size of the k=1 CBP placement. *)
+  base_cost : float;
+  vms : int;
+  bandwidth : float;
+  cost : float;
+  lb_cost : float;  (** {!Mcss_core.Lower_bound} for the instance. *)
+  overhead_vs_base_pct : float;  (** Cost premium over the k=1 plan. *)
+  overhead_vs_lb_pct : float;  (** Cost premium over the lower bound. *)
+}
+
+val place :
+  ?zones:int ->
+  k:int ->
+  Mcss_core.Problem.t ->
+  Mcss_core.Selection.t ->
+  Mcss_core.Allocation.t * stats
+(** Place every selected pair [k] times ([k >= 1]; [k = 1] is plain
+    CBP). [zones] defaults to [1] (no zone anti-affinity). Raises
+    [Invalid_argument] on [k < 1] or [zones < 1], and
+    {!Mcss_core.Problem.Infeasible} if a pair cannot fit an empty VM. *)
+
+val check :
+  Mcss_core.Problem.t ->
+  Mcss_core.Selection.t ->
+  k:int ->
+  Mcss_core.Allocation.t ->
+  (unit, string) result
+(** From-scratch audit of a redundant allocation: recomputed per-VM
+    loads within capacity and matching the incremental bookkeeping,
+    every selected pair placed exactly [k] times, no VM hosting the same
+    pair twice, no stray pairs, and every subscriber's distinct placed
+    topics reaching [τ_v]. *)
+
+val pp_stats : Format.formatter -> stats -> unit

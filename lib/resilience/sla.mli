@@ -1,0 +1,53 @@
+(** Availability accounting for a failure drill.
+
+    The orchestrator ({!Orchestrator}) runs the simulator in epochs and
+    records one {!epoch} entry per epoch; this module folds the entries
+    into the SLA ledger an operator would read after the drill:
+    delivered fraction, violation-hours, how long violations lasted, and
+    what the downtime cost compared to what the resilience (repairs,
+    replicas) cost. *)
+
+type epoch = {
+  index : int;
+  hours : float;  (** Wall-clock hours the epoch represents. *)
+  violations : int;  (** Subscribers below [τ_v] this epoch. *)
+  subscribers : int;
+  delivered : int;  (** Events delivered, summed over subscribers. *)
+  lost : int;  (** Events lost to outages, summed over subscribers. *)
+  repaired : bool;  (** A repair was adopted during this epoch. *)
+}
+
+type report = {
+  epochs : int;
+  horizon_hours : float;
+  delivered_events : int;
+  lost_events : int;
+  delivered_fraction : float;
+      (** [delivered / (delivered + lost)]; [1.] when nothing flowed. *)
+  violation_hours : float;
+      (** [Σ_epochs violations · hours] — subscriber-hours spent below
+          [τ_v], the quantity the SLA bills for. *)
+  violation_epochs : int;  (** Epochs with at least one violation. *)
+  worst_epoch_violations : int;
+  repairs : int;  (** Epochs in which a repair was adopted. *)
+  mean_epochs_to_recover : float;
+      (** Mean length of maximal runs of consecutive violation epochs
+          (a run still open at the horizon counts with its length so
+          far); [0.] if no epoch violated. *)
+  downtime_cost : float;
+      (** [penalty_usd_per_violation_hour · violation_hours]. *)
+}
+
+type t
+(** A mutable accumulator of epoch entries. *)
+
+val create : unit -> t
+val record : t -> epoch -> unit
+val entries : t -> epoch list
+(** In recording order. *)
+
+val report : ?penalty_usd_per_violation_hour:float -> t -> report
+(** Fold the entries; the penalty rate defaults to [0.] (no monetised
+    downtime). *)
+
+val pp_report : Format.formatter -> report -> unit

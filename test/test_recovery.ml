@@ -45,6 +45,28 @@ let test_replan_unknown_ids_ignored () =
   Helpers.check_int "nothing rehomed" 0 stats.Recovery.pairs_rehomed;
   Helpers.check_bool "still valid" true (valid plan')
 
+let test_replan_then_second_failure () =
+  (* Stats are per-call: a second failure right after a repair counts
+     only its own damage, not the first one's again. *)
+  let p = Helpers.fig1_problem ~capacity:50. () in
+  let plan = plan_for p in
+  let plan1, stats1 = Recovery.replan plan ~failed:[ 0 ] in
+  Helpers.check_bool "first repair verifies" true (valid plan1);
+  let plan2, stats2 = Recovery.replan plan1 ~failed:[ 0 ] in
+  Helpers.check_int "second failure loses one VM" 1 stats2.Recovery.vms_lost;
+  Helpers.check_bool "second repair verifies" true (valid plan2);
+  let total = stats1.Recovery.pairs_rehomed + stats2.Recovery.pairs_rehomed in
+  Helpers.check_bool "no double counting" true
+    (total <= 2 * Mcss_workload.Workload.num_pairs p.Problem.workload);
+  (* Replaying the same failure on the untouched input is idempotent. *)
+  let _, stats1' = Recovery.replan plan ~failed:[ 0 ] in
+  Helpers.check_int "replay: same vms lost" stats1.Recovery.vms_lost
+    stats1'.Recovery.vms_lost;
+  Helpers.check_int "replay: same pairs rehomed" stats1.Recovery.pairs_rehomed
+    stats1'.Recovery.pairs_rehomed;
+  Helpers.check_int "replay: same vms added" stats1.Recovery.vms_added
+    stats1'.Recovery.vms_added
+
 let prop_recovery_always_valid =
   Helpers.qtest ~count:60 "recovery from random failures keeps plans valid"
     Helpers.problem_arbitrary (fun p ->
@@ -133,6 +155,7 @@ let suite =
     Alcotest.test_case "replan after one failure" `Quick test_replan_after_one_failure;
     Alcotest.test_case "replan all failed" `Quick test_replan_all_failed;
     Alcotest.test_case "replan unknown ids" `Quick test_replan_unknown_ids_ignored;
+    Alcotest.test_case "replan then second failure" `Quick test_replan_then_second_failure;
     prop_recovery_always_valid;
     Alcotest.test_case "right-size downsizes tail" `Quick test_right_size_downsizes_tail;
     Alcotest.test_case "right-size capacity safe" `Quick test_right_size_never_violates_capacity;
