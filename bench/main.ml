@@ -35,6 +35,32 @@ module Series = Mcss_report.Series
 let implied_bc_full_scale = 5e7
 let taus = [ 10.; 100.; 1000. ]
 
+(* Every seeded generator in the harness derives from one --trace-seed,
+   so a whole bench run (and both BENCH_*.json files) is reproducible
+   from a single number. Offsets keep the streams distinct. *)
+type seeds = {
+  trace_seed : int;
+  spotify : int;
+  twitter : int;
+  scaling : int;
+  skew : int;
+  micro : int;
+  dynamic : int;
+}
+
+let default_trace_seed = 20130109
+
+let derive_seeds trace_seed =
+  {
+    trace_seed;
+    spotify = trace_seed;
+    twitter = trace_seed + 1;
+    scaling = trace_seed + 2;
+    skew = trace_seed + 3;
+    micro = trace_seed + 4;
+    dynamic = trace_seed + 5;
+  }
+
 let bc_events ~scale (instance : Instance.t) =
   implied_bc_full_scale *. scale *. (instance.Instance.bandwidth_mbps /. 64.)
 
@@ -392,13 +418,13 @@ let summary ~spotify ~twitter ~spotify_scale ~twitter_scale =
   line "twitter" twitter twitter_scale "74%"
 
 (* Bechamel microbenchmarks of the kernels. *)
-let micro () =
+let micro ~seeds () =
   section_header "micro" "kernel microbenchmarks (Bechamel)";
   let open Bechamel in
-  let rng = Mcss_prng.Rng.create 99 in
+  let rng = Mcss_prng.Rng.create (seeds.micro lxor 99) in
   let w =
     Mcss_traces.Spotify.generate
-      { (Mcss_traces.Spotify.scaled 0.001) with Mcss_traces.Spotify.seed = 5 }
+      { (Mcss_traces.Spotify.scaled 0.001) with Mcss_traces.Spotify.seed = seeds.micro }
   in
   let p =
     Problem.create ~workload:w ~tau:100. ~capacity:50_000.
@@ -540,7 +566,7 @@ let ablate_stage2 ~title ~w ~scale =
         ])
     [
       ("next-fit", Mcss_core.Baselines.next_fit);
-      ("first-fit (paper FFBP)", Mcss_core.Ffbp.run);
+      ("first-fit (paper FFBP)", (fun p s -> Mcss_core.Ffbp.run p s));
       ("best-fit decreasing", Mcss_core.Baselines.best_fit_decreasing);
       ("CBP grouping only (b)", fun p s -> Mcss_core.Cbp.run p s Mcss_core.Cbp.grouping_only);
       ("CBP all opts (e)", fun p s -> Mcss_core.Cbp.run p s Mcss_core.Cbp.with_cost_decision);
@@ -549,12 +575,12 @@ let ablate_stage2 ~title ~w ~scale =
 
 (* Dynamic ablation: a week of churn, incremental planner vs cold
    re-solve — cost gap, pair churn, runtime. *)
-let ablate_dynamic ~w =
+let ablate_dynamic ~seeds ~w =
   section_header "ablate-dynamic" "incremental reprovisioning vs cold re-solve";
   let module Delta = Mcss_dynamic.Delta in
   let module Churn = Mcss_dynamic.Churn in
   let module Reprovision = Mcss_dynamic.Reprovision in
-  let rng = Mcss_prng.Rng.create 71 in
+  let rng = Mcss_prng.Rng.create seeds.dynamic in
   let problem_for w =
     Problem.of_pricing ~capacity_events:250_000. ~workload:w ~tau:100.
       (Cost_model.ec2_2014 ())
@@ -648,7 +674,7 @@ let ablate_failures ~w ~scale =
    well for millions of subscribers and runs fast". Sweep the trace scale
    and watch the runtime growth of each stage — GSP+CBP should grow
    near-linearly in the pair count while FFBP grows superlinearly. *)
-let ablate_scaling () =
+let ablate_scaling ~seeds () =
   section_header "ablate-scaling" "runtime vs trace size (Spotify-like, tau=100)";
   let model = Cost_model.ec2_2014 () in
   let table =
@@ -666,7 +692,7 @@ let ablate_scaling () =
     (fun scale ->
       let w =
         Mcss_traces.Spotify.generate
-          { (Mcss_traces.Spotify.scaled scale) with Mcss_traces.Spotify.seed = 13 }
+          { (Mcss_traces.Spotify.scaled scale) with Mcss_traces.Spotify.seed = seeds.scaling }
       in
       let capacity_events = bc_events ~scale Instance.c3_large in
       let p = Problem.of_pricing ~capacity_events ~workload:w ~tau:100. model in
@@ -693,7 +719,7 @@ let ablate_scaling () =
    GSP exploits rate dispersion, CBP exploits popularity skew. Flattening
    either distribution in the generator should shrink the savings; this
    section measures by how much. *)
-let ablate_skew ~scale =
+let ablate_skew ~seeds ~scale =
   section_header "ablate-skew"
     "where the savings come from: popularity / rate skew sweep (Spotify-like, tau=100)";
   let model = Cost_model.ec2_2014 () in
@@ -712,7 +738,7 @@ let ablate_skew ~scale =
       let params =
         {
           (Mcss_traces.Spotify.scaled scale) with
-          Mcss_traces.Spotify.seed = 77;
+          Mcss_traces.Spotify.seed = seeds.skew;
           popularity_exponent;
           rate_sigma;
         }
@@ -828,7 +854,7 @@ let latency ~w ~scale =
    modes — nobody watching, the orchestrator repairing, and k=2
    zone-diverse replicas riding it out — with the SLA ledger and the
    redundancy premium written to BENCH_resilience.json. *)
-let resilience ~w ~scale ~out_dir =
+let resilience ~seeds ~w ~scale ~out_dir =
   section_header "resilience" "fault campaign: no recovery vs repair vs k=2 replicas";
   let module Failure_model = Mcss_resilience.Failure_model in
   let module Orchestrator = Mcss_resilience.Orchestrator in
@@ -936,6 +962,7 @@ let resilience ~w ~scale ~out_dir =
     "{\n\
     \  \"scenario\": \"resilience\",\n\
     \  \"trace_scale\": %g,\n\
+    \  \"trace_seed\": %d,\n\
     \  \"tau\": 100,\n\
     \  \"zones\": %d,\n\
     \  \"campaign_seed\": %d,\n\
@@ -948,7 +975,7 @@ let resilience ~w ~scale ~out_dir =
     \    \"overhead_vs_base_pct\": %g, \"overhead_vs_lb_pct\": %g\n\
     \  }\n\
      }\n"
-    scale zones campaign.Failure_model.seed
+    scale seeds.trace_seed zones campaign.Failure_model.seed
     (String.concat ", "
        (List.map
           (fun f -> Printf.sprintf "%S" (Failure_model.fault_to_string f))
@@ -972,24 +999,137 @@ let resilience ~w ~scale ~out_dir =
   close_out oc;
   Printf.printf "wrote %s\n" path
 
+
+(* Observability overhead: the acceptance gate for lib/obs. Runs the
+   end-to-end pipeline (solve + deterministic simulate) on both traces
+   with instrumentation off (Registry.noop) and on (a live registry),
+   takes the median of several repetitions, and writes the enabled vs
+   disabled comparison to BENCH_obs.json. The no-op path must stay
+   within a few percent — instrumentation is compiled in permanently,
+   so its disabled cost is the number that matters. *)
+let obs_overhead ~seeds ~spotify ~twitter ~spotify_scale ~twitter_scale ~out_dir =
+  section_header "obs" "observability overhead: enabled vs disabled (lib/obs)";
+  let module Registry = Mcss_obs.Registry in
+  let model = Cost_model.ec2_2014 () in
+  let reps = 7 in
+  let median xs =
+    let xs = Array.of_list xs in
+    Array.sort compare xs;
+    xs.(Array.length xs / 2)
+  in
+  let pipeline obs p =
+    let r = Solver.solve ~obs p in
+    ignore (Simulator.run ~obs p r.Solver.allocation Simulator.default_config)
+  in
+  let time_pipeline obs p =
+    let t0 = Unix.gettimeofday () in
+    pipeline obs p;
+    Unix.gettimeofday () -. t0
+  in
+  let measure name w scale =
+    let capacity_events = bc_events ~scale Instance.c3_large in
+    let p = Problem.of_pricing ~capacity_events ~workload:w ~tau:100. model in
+    (* Warm up allocators and caches once per variant before timing. *)
+    pipeline Registry.noop p;
+    let disabled = List.init reps (fun _ -> time_pipeline Registry.noop p) in
+    let enabled =
+      List.init reps (fun _ -> time_pipeline (Registry.create ()) p)
+    in
+    let reg = Registry.create () in
+    pipeline reg p;
+    let metrics = List.length (Registry.samples reg) in
+    let spans =
+      List.length (Mcss_obs.Span.flatten (Mcss_obs.Span.roots reg))
+    in
+    let d = median disabled and e = median enabled in
+    let overhead_pct = if d > 0. then (e -. d) /. d *. 100. else 0. in
+    (name, scale, d, e, overhead_pct, metrics, spans)
+  in
+  let rows =
+    [
+      measure "spotify" spotify spotify_scale;
+      measure "twitter" twitter twitter_scale;
+    ]
+  in
+  let table =
+    Table.create
+      [
+        ("trace", Table.Left);
+        ("disabled s", Table.Right);
+        ("enabled s", Table.Right);
+        ("overhead", Table.Right);
+        ("metrics", Table.Right);
+        ("spans", Table.Right);
+      ]
+  in
+  List.iter
+    (fun (name, _scale, d, e, pct, metrics, spans) ->
+      Table.add_row table
+        [
+          name;
+          Table.cell_float ~decimals:3 d;
+          Table.cell_float ~decimals:3 e;
+          Printf.sprintf "%+.2f%%" pct;
+          string_of_int metrics;
+          string_of_int spans;
+        ])
+    rows;
+  Table.print table;
+  print_endline
+    "(median of 7 solve+simulate pipelines per variant; counters accumulate\n\
+     in locals on the hot paths and flush once, so both columns should\n\
+     agree to within noise)";
+  let rec mkdir_p dir =
+    if dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+      mkdir_p (Filename.dirname dir);
+      (try Sys.mkdir dir 0o755 with Sys_error _ -> ())
+    end
+  in
+  mkdir_p out_dir;
+  let path = Filename.concat out_dir "BENCH_obs.json" in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"scenario\": \"obs_overhead\",\n\
+    \  \"trace_seed\": %d,\n\
+    \  \"tau\": 100,\n\
+    \  \"reps\": %d,\n\
+    \  \"pipeline\": \"solve+simulate\",\n\
+    \  \"traces\": [\n%s\n  ]\n\
+     }\n"
+    seeds.trace_seed reps
+    (String.concat ",\n"
+       (List.map
+          (fun (name, scale, d, e, pct, metrics, spans) ->
+            Printf.sprintf
+              "    { \"name\": %S, \"scale\": %g, \"disabled_s\": %.6f,\n\
+              \      \"enabled_s\": %.6f, \"overhead_pct\": %.3f,\n\
+              \      \"metrics\": %d, \"spans\": %d }"
+              name scale d e pct metrics spans)
+          rows));
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
 let all_sections =
   [
     "fig1"; "fig2a"; "fig2b"; "fig3a"; "fig3b"; "fig4"; "fig5"; "fig6"; "fig7";
     "fig8-12"; "summary"; "ablate-stage1"; "ablate-stage2"; "ablate-dynamic";
     "ablate-failures"; "ablate-scaling"; "ablate-skew"; "ablate-budget"; "latency";
-    "resilience"; "micro";
+    "resilience"; "obs"; "micro";
   ]
 
-let run_bench sections spotify_scale twitter_scale out_dir =
+let run_bench sections spotify_scale twitter_scale trace_seed out_dir =
   let enabled s = sections = [] || List.mem s sections in
-  Printf.printf "MCSS experiment harness — Spotify scale %g, Twitter scale %g\n"
-    spotify_scale twitter_scale;
+  let seeds = derive_seeds trace_seed in
+  Printf.printf
+    "MCSS experiment harness — Spotify scale %g, Twitter scale %g, trace seed %d\n"
+    spotify_scale twitter_scale seeds.trace_seed;
   let spotify =
     lazy
       (Mcss_traces.Spotify.generate
          {
            (Mcss_traces.Spotify.scaled spotify_scale) with
-           Mcss_traces.Spotify.seed = 20130109;
+           Mcss_traces.Spotify.seed = seeds.spotify;
          })
   in
   let twitter =
@@ -997,7 +1137,7 @@ let run_bench sections spotify_scale twitter_scale out_dir =
       (Mcss_traces.Twitter.generate
          {
            (Mcss_traces.Twitter.scaled twitter_scale) with
-           Mcss_traces.Twitter.seed = 20131030;
+           Mcss_traces.Twitter.seed = seeds.twitter;
          })
   in
   let matrices = Hashtbl.create 4 in
@@ -1052,15 +1192,18 @@ let run_bench sections spotify_scale twitter_scale out_dir =
       ~w:(Lazy.force twitter) ~scale:twitter_scale
   end;
   if enabled "ablate-dynamic" then
-    ablate_dynamic ~w:(Lazy.force spotify);
+    ablate_dynamic ~seeds ~w:(Lazy.force spotify);
   if enabled "ablate-failures" then ablate_failures ~w:(Lazy.force twitter) ~scale:twitter_scale;
-  if enabled "ablate-scaling" then ablate_scaling ();
-  if enabled "ablate-skew" then ablate_skew ~scale:spotify_scale;
+  if enabled "ablate-scaling" then ablate_scaling ~seeds ();
+  if enabled "ablate-skew" then ablate_skew ~seeds ~scale:spotify_scale;
   if enabled "ablate-budget" then ablate_budget ~w:(Lazy.force spotify) ~scale:spotify_scale;
   if enabled "latency" then latency ~w:(Lazy.force spotify) ~scale:spotify_scale;
   if enabled "resilience" then
-    resilience ~w:(Lazy.force spotify) ~scale:spotify_scale ~out_dir;
-  if enabled "micro" then micro ();
+    resilience ~seeds ~w:(Lazy.force spotify) ~scale:spotify_scale ~out_dir;
+  if enabled "obs" then
+    obs_overhead ~seeds ~spotify:(Lazy.force spotify) ~twitter:(Lazy.force twitter)
+      ~spotify_scale ~twitter_scale ~out_dir;
+  if enabled "micro" then micro ~seeds ();
   Printf.printf "\ndone. figure data series in %s/\n" out_dir
 
 open Cmdliner
@@ -1080,6 +1223,14 @@ let twitter_scale_arg =
   let doc = "Twitter trace scale relative to the published 8M-topic trace." in
   Arg.(value & opt float 0.002 & info [ "twitter-scale" ] ~docv:"F" ~doc)
 
+let trace_seed_arg =
+  let doc =
+    "Master seed for every synthetic trace and seeded RNG in the harness; \
+     per-section seeds derive from it by fixed offsets, so one number \
+     reproduces the whole run (including BENCH_*.json)."
+  in
+  Arg.(value & opt int default_trace_seed & info [ "trace-seed" ] ~docv:"N" ~doc)
+
 let out_dir_arg =
   let doc = "Directory for the figure data series (.dat files)." in
   Arg.(value & opt string "bench_out" & info [ "o"; "out-dir" ] ~docv:"DIR" ~doc)
@@ -1090,6 +1241,6 @@ let cmd =
     (Cmd.info "mcss-bench" ~doc)
     Term.(
       const run_bench $ sections_arg $ spotify_scale_arg $ twitter_scale_arg
-      $ out_dir_arg)
+      $ trace_seed_arg $ out_dir_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -21,6 +21,9 @@ module Lower_bound = Mcss_core.Lower_bound
 module Simulator = Mcss_sim.Simulator
 module Table = Mcss_report.Table
 module Series = Mcss_report.Series
+module Registry = Mcss_obs.Registry
+module Span = Mcss_obs.Span
+module Sink = Mcss_obs.Sink
 module Failure_model = Mcss_resilience.Failure_model
 module Orchestrator = Mcss_resilience.Orchestrator
 module Redundancy = Mcss_resilience.Redundancy
@@ -73,6 +76,25 @@ let bc_events_arg =
   in
   Arg.(value & opt (some float) None & info [ "bc-events" ] ~docv:"F" ~doc)
 
+let metrics_out_arg =
+  let doc =
+    "Record solver/simulator metrics and span timings during the run and \
+     write them to $(docv) as JSON lines (see the obs library)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+(* An enabled registry only when someone will read it; [flush] writes the
+   JSONL snapshot (and logs the path) after the command's work is done. *)
+let obs_of metrics_out =
+  match metrics_out with None -> Registry.noop | Some _ -> Registry.create ()
+
+let flush_metrics obs metrics_out =
+  match metrics_out with
+  | None -> ()
+  | Some path ->
+      Sink.write_jsonl obs ~path;
+      Printf.printf "metrics written to %s\n" path
+
 let generate_workload trace scale seed =
   match trace with
   | `Spotify ->
@@ -90,9 +112,11 @@ let generate_workload trace scale seed =
 
 let load_workload file trace scale seed =
   match (file, trace) with
-  | Some path, _ ->
+  | Some path, _ -> (
       Logs.info (fun m -> m "loading workload from %s" path);
-      Ok (Wio.load path)
+      try Ok (Wio.load path) with
+      | Sys_error msg -> Error msg
+      | Failure msg -> Error (Printf.sprintf "%s: %s" path msg))
   | None, Some trace ->
       Logs.info (fun m -> m "generating synthetic trace at scale %g" scale);
       Ok (generate_workload trace scale seed)
@@ -157,10 +181,11 @@ let solve_cmd =
            ~doc:"Print fleet diagnostics (utilisation spread, topic fragmentation).")
   in
   let run () file trace scale seed tau instance_name bc_events config_name ladder
-      no_verify save_plan detail =
+      no_verify save_plan detail metrics_out =
     let ( let* ) r f = match r with Ok x -> f x | Error e -> `Error (false, e) in
     let* w = load_workload file trace scale seed in
     let* instance = resolve_instance instance_name in
+    let obs = obs_of metrics_out in
     let model, p = problem_of ~w ~tau ~instance ~scale ~bc_events in
     Format.printf "%a@." Workload.pp_summary w;
     Format.printf "model: %a; BC = %g events/horizon@." Cost_model.pp model
@@ -191,7 +216,7 @@ let solve_cmd =
     in
     List.iter
       (fun (name, config) ->
-        let r = Solver.solve ~config p in
+        let r = Solver.solve ~obs ~config p in
         let valid =
           if no_verify then "-"
           else if
@@ -235,6 +260,7 @@ let solve_cmd =
       in
       Format.printf "right-sizing %a@." Mcss_core.Right_size.pp rs
     end;
+    flush_metrics obs metrics_out;
     `Ok ()
   in
   Cmd.v
@@ -243,7 +269,7 @@ let solve_cmd =
       ret
         (const run $ setup_logs_term $ workload_file $ trace_arg $ scale_arg $ seed_arg
         $ tau_arg $ instance_arg $ bc_events_arg $ config_arg $ ladder_arg
-        $ no_verify_arg $ save_plan_arg $ detail_arg))
+        $ no_verify_arg $ save_plan_arg $ detail_arg $ metrics_out_arg))
 
 (* ----- lower-bound ----- *)
 
@@ -366,10 +392,11 @@ let simulate_cmd =
                  pass/fail.")
   in
   let run () file trace scale seed tau instance_name bc_events poisson duration plan
-      outages =
+      outages metrics_out =
     let ( let* ) r f = match r with Ok x -> f x | Error e -> `Error (false, e) in
     let* w = load_workload file trace scale seed in
     let* instance = resolve_instance instance_name in
+    let obs = obs_of metrics_out in
     let _model, p = problem_of ~w ~tau ~instance ~scale ~bc_events in
     let allocation =
       match plan with
@@ -381,7 +408,7 @@ let simulate_cmd =
             (if Verifier.is_valid report then "clean" else "VIOLATIONS");
           a
       | None ->
-          let r = Solver.solve p in
+          let r = Solver.solve ~obs p in
           Format.printf "solved: %a@." Solver.pp_result r;
           r.Solver.allocation
     in
@@ -397,7 +424,7 @@ let simulate_cmd =
       }
     in
     let* res =
-      match Simulator.run p allocation config with
+      match Simulator.run ~obs p allocation config with
       | r -> Ok r
       | exception Invalid_argument m -> Error m
     in
@@ -417,6 +444,7 @@ let simulate_cmd =
         if u > !worst then worst := u)
       (Allocation.vms allocation);
     Printf.printf "worst instantaneous VM utilisation: %.0f%%\n" (100. *. !worst);
+    flush_metrics obs metrics_out;
     if outages <> [] then begin
       (* Failure injection is a damage report, not a pass/fail gate. *)
       Printf.printf "events lost to outages: %d\n"
@@ -432,7 +460,7 @@ let simulate_cmd =
       ret
         (const run $ setup_logs_term $ workload_file $ trace_arg $ scale_arg $ seed_arg
         $ tau_arg $ instance_arg $ bc_events_arg $ poisson_arg $ duration_arg
-        $ plan_arg $ outages_arg))
+        $ plan_arg $ outages_arg $ metrics_out_arg))
 
 (* ----- budget ----- *)
 
@@ -648,12 +676,14 @@ let chaos_cmd =
            ~doc:"Consecutive dead epochs before a VM is declared failed.")
   in
   let run () file trace scale seed tau instance_name bc_events faults campaign_seed
-      epochs epoch_duration zones k no_recovery max_new_vms penalty hysteresis =
+      epochs epoch_duration zones k no_recovery max_new_vms penalty hysteresis
+      metrics_out =
     let ( let* ) r f = match r with Ok x -> f x | Error e -> `Error (false, e) in
     let* () = if k >= 1 then Ok () else Error "--replicas must be >= 1" in
     let* () = if zones >= 1 then Ok () else Error "--zones must be >= 1" in
     let* w = load_workload file trace scale seed in
     let* instance = resolve_instance instance_name in
+    let obs = obs_of metrics_out in
     let _model, p = problem_of ~w ~tau ~instance ~scale ~bc_events in
     let policy =
       {
@@ -685,7 +715,7 @@ let chaos_cmd =
         (fun f -> Printf.printf "  %s\n" (Failure_model.fault_to_string f))
         campaign.Failure_model.faults;
       if k <= 1 then begin
-        let o = Orchestrator.run ~policy ~zones ~log:print_endline ~campaign p in
+        let o = Orchestrator.run ~obs ~policy ~zones ~log:print_endline ~campaign p in
         Format.printf "@.%a@." Sla.pp_report o.Orchestrator.sla;
         Printf.printf
           "repairs: %d adopted of %d attempt(s), %d backoff skip(s), %d VM(s) added, \
@@ -707,13 +737,15 @@ let chaos_cmd =
         | Error m -> `Error (false, m)
         | Ok () ->
             Format.printf "@.%a@." Redundancy.pp_stats stats;
-            let sla = Orchestrator.evaluate ~policy ~zones ~campaign p a in
+            let sla = Orchestrator.evaluate ~obs ~policy ~zones ~campaign p a in
             Format.printf "%a@." Sla.pp_report sla;
             `Ok ()
       end
     in
     match drill () with
-    | r -> r
+    | r ->
+        flush_metrics obs metrics_out;
+        r
     | exception Invalid_argument m -> `Error (false, m)
     | exception Problem.Infeasible m -> `Error (false, "infeasible: " ^ m)
   in
@@ -725,7 +757,75 @@ let chaos_cmd =
         (const run $ setup_logs_term $ workload_file $ trace_arg $ scale_arg $ seed_arg
         $ tau_arg $ instance_arg $ bc_events_arg $ faults_arg $ campaign_seed_arg
         $ epochs_arg $ epoch_duration_arg $ zones_arg $ k_arg $ no_recovery_arg
-        $ max_new_vms_arg $ penalty_arg $ hysteresis_arg))
+        $ max_new_vms_arg $ penalty_arg $ hysteresis_arg $ metrics_out_arg))
+
+(* ----- profile ----- *)
+
+let profile_cmd =
+  let format_arg =
+    let doc = "Output format: $(b,console) (table + span tree), $(b,prometheus), or $(b,jsonl)." in
+    Arg.(value
+         & opt (enum [ ("console", `Console); ("prometheus", `Prometheus); ("jsonl", `Jsonl) ])
+             `Console
+         & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let no_simulate_arg =
+    Arg.(value & flag & info [ "no-simulate" ]
+           ~doc:"Profile the solver only; skip the simulator and broker-fleet replay.")
+  in
+  let message_bytes_arg =
+    Arg.(value & opt int 512 & info [ "message-bytes" ] ~docv:"N"
+           ~doc:"Message size for the broker-fleet replay.")
+  in
+  let run () file trace scale seed tau instance_name bc_events config_name format
+      no_simulate message_bytes metrics_out =
+    let ( let* ) r f = match r with Ok x -> f x | Error e -> `Error (false, e) in
+    let* w = load_workload file trace scale seed in
+    let* instance = resolve_instance instance_name in
+    let _model, p = problem_of ~w ~tau ~instance ~scale ~bc_events in
+    let config =
+      match Solver.config_of_name config_name with
+      | Some c -> c
+      | None -> Solver.default
+    in
+    let obs = Registry.create () in
+    let* () =
+      match
+        Span.with_ obs ~name:"profile" (fun () ->
+            let r = Solver.solve ~obs ~config p in
+            if not no_simulate then begin
+              ignore
+                (Simulator.run ~obs p r.Solver.allocation Simulator.default_config);
+              let fleet =
+                Mcss_broker.Fleet.build p r.Solver.allocation ~message_bytes
+              in
+              ignore (Mcss_broker.Fleet.run ~obs fleet Mcss_broker.Fleet.default_config)
+            end)
+      with
+      | () -> Ok ()
+      | exception Problem.Infeasible m -> Error ("infeasible: " ^ m)
+      | exception Invalid_argument m -> Error m
+    in
+    (match format with
+    | `Console -> print_string (Sink.console obs)
+    | `Prometheus -> print_string (Sink.prometheus obs)
+    | `Jsonl -> print_string (Sink.jsonl obs));
+    flush_metrics obs metrics_out;
+    `Ok ()
+  in
+  let config_arg =
+    Arg.(value & opt string "(e) +cost-decision" & info [ "config" ] ~docv:"NAME"
+           ~doc:"Solver configuration by ladder name.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Run solver + simulator + broker fleet with instrumentation on and print \
+             the metrics and span tree")
+    Term.(
+      ret
+        (const run $ setup_logs_term $ workload_file $ trace_arg $ scale_arg $ seed_arg
+        $ tau_arg $ instance_arg $ bc_events_arg $ config_arg $ format_arg
+        $ no_simulate_arg $ message_bytes_arg $ metrics_out_arg))
 
 let main_cmd =
   let doc = "cost-effective resource allocation for pub/sub on cloud (ICDCS'14)" in
@@ -733,7 +833,7 @@ let main_cmd =
     (Cmd.info "mcss" ~version:"1.0.0" ~doc)
     [
       generate_cmd; solve_cmd; lower_bound_cmd; analyze_cmd; simulate_cmd; budget_cmd;
-      convert_cmd; export_lp_cmd; verify_cmd; chaos_cmd;
+      convert_cmd; export_lp_cmd; verify_cmd; chaos_cmd; profile_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -4,6 +4,10 @@ module Problem = Mcss_core.Problem
 module Allocation = Mcss_core.Allocation
 module Rng = Mcss_prng.Rng
 module Dist = Mcss_prng.Dist
+module Registry = Mcss_obs.Registry
+module Span = Mcss_obs.Span
+module Counter = Mcss_obs.Metric.Counter
+module Gauge = Mcss_obs.Metric.Gauge
 
 type t = {
   problem : Problem.t;
@@ -149,42 +153,83 @@ let reservoir_summary r =
       }
   end
 
-let run fleet config =
+let run ?(obs = Registry.noop) fleet config =
   if not (config.duration > 0.) then invalid_arg "Fleet.run: duration must be positive";
+  Span.with_ obs ~name:"fleet" @@ fun () ->
   let w = fleet.problem.Problem.workload in
-  let events = schedule fleet config in
+  let events = Span.with_ obs ~name:"schedule" (fun () -> schedule fleet config) in
   let received = Array.make (Workload.num_subscribers w) 0 in
   let reservoir = reservoir_create config.latency_reservoir in
   let routed = ref 0 in
   let deliveries = ref 0 in
-  Array.iteri
-    (fun i (time, topic) ->
-      let message =
-        Message.make ~id:i ~topic ~publish_time:time ~size_bytes:fleet.message_bytes
-      in
-      List.iter
-        (fun broker_id ->
-          incr routed;
-          let delivered = Broker.ingest fleet.brokers.(broker_id) message in
+  Span.with_ obs ~name:"deliver" (fun () ->
+      Array.iteri
+        (fun i (time, topic) ->
+          let message =
+            Message.make ~id:i ~topic ~publish_time:time ~size_bytes:fleet.message_bytes
+          in
           List.iter
-            (fun d ->
-              incr deliveries;
-              received.(d.Broker.subscriber) <- received.(d.Broker.subscriber) + 1;
-              reservoir_add reservoir (d.Broker.depart_time -. time))
-            delivered)
-        fleet.routing.(topic))
-    events;
+            (fun broker_id ->
+              incr routed;
+              let delivered = Broker.ingest fleet.brokers.(broker_id) message in
+              List.iter
+                (fun d ->
+                  incr deliveries;
+                  received.(d.Broker.subscriber) <- received.(d.Broker.subscriber) + 1;
+                  reservoir_add reservoir (d.Broker.depart_time -. time))
+                delivered)
+            fleet.routing.(topic))
+        events);
   let max_utilization =
     Array.fold_left
       (fun acc broker -> Float.max acc (Broker.utilization broker ~horizon:config.duration))
       0. fleet.brokers
   in
-  {
-    published = Array.length events;
-    routed = !routed;
-    deliveries = !deliveries;
-    received;
-    latency = reservoir_summary reservoir;
-    max_utilization;
-    broker_stats = Array.to_list (Array.map (fun b -> (Broker.id b, Broker.stats b)) fleet.brokers);
-  }
+  let report =
+    {
+      published = Array.length events;
+      routed = !routed;
+      deliveries = !deliveries;
+      received;
+      latency = reservoir_summary reservoir;
+      max_utilization;
+      broker_stats = Array.to_list (Array.map (fun b -> (Broker.id b, Broker.stats b)) fleet.brokers);
+    }
+  in
+  if Registry.enabled obs then begin
+    let c name help v = Counter.add (Registry.counter obs ~help name) v in
+    c "broker.published" "Messages generated by the publishers" report.published;
+    c "broker.routed" "Message-to-broker handoffs" report.routed;
+    c "broker.deliveries" "Message copies handed to subscribers" report.deliveries;
+    Gauge.set
+      (Registry.gauge obs ~help:"Busiest broker's bandwidth utilisation"
+         "broker.max_utilization")
+      report.max_utilization;
+    let util =
+      Registry.histogram obs
+        ~buckets:(Mcss_obs.Metric.Histogram.linear ~lo:0.1 ~hi:2.0 ~buckets:20)
+        ~help:"Per-broker bandwidth utilisation over the horizon"
+        "broker.utilization"
+    in
+    Array.iter
+      (fun b ->
+        Mcss_obs.Metric.Histogram.observe util
+          (Broker.utilization b ~horizon:config.duration))
+      fleet.brokers;
+    (match report.latency with
+    | None -> ()
+    | Some _ ->
+        let h =
+          Registry.histogram obs
+            ~buckets:(Mcss_obs.Metric.Histogram.exponential ~lo:1e-6 ~factor:4. ~buckets:16)
+            ~help:"Delivery latency reservoir summary points (horizon units)"
+            "broker.delivery_latency"
+        in
+        (* The reservoir keeps the exact samples; replay the kept window
+           so the histogram's quantiles agree with the report's. *)
+        Array.iter
+          (fun x -> Mcss_obs.Metric.Histogram.observe h x)
+          (Array.sub reservoir.store 0
+             (min reservoir.seen (Array.length reservoir.store))))
+  end;
+  report

@@ -1,4 +1,6 @@
 module Workload = Mcss_workload.Workload
+module Registry = Mcss_obs.Registry
+module Counter = Mcss_obs.Metric.Counter
 
 type topic_order = Arbitrary | Expensive_first | Heaviest_group_first
 type vm_choice = First_fit | Most_free
@@ -81,9 +83,49 @@ let order_groups opts groups =
         groups;
       groups
 
-let run (p : Problem.t) (s : Selection.t) opts =
+(* Stage-2 work counts: plain mutable ints on the packing path, flushed
+   once per run together with the per-VM residual-capacity histogram. *)
+type s2_counts = {
+  mutable placements : int;
+  mutable whole_group_fits : int;
+  mutable decision_distribute : int;
+  mutable decision_deploy : int;
+  mutable cost_decisions : int;
+}
+
+let flush_stage2 obs (p : Problem.t) a ~groups counts =
+  let c name help v = Counter.add (Registry.counter obs ~help name) v in
+  c "stage2.groups" "Topic groups packed by Stage 2" groups;
+  c "stage2.vms_deployed" "VMs opened by Stage 2" (Allocation.num_vms a);
+  c "stage2.placements" "Allocation.place calls (pair batches placed)" counts.placements;
+  c "stage2.whole_group_fits" "Groups placed whole on the current VM" counts.whole_group_fits;
+  c "stage2.decision_distribute" "Groups spread over existing VMs" counts.decision_distribute;
+  c "stage2.decision_deploy" "Groups sent straight to fresh VMs" counts.decision_deploy;
+  c "stage2.cost_decisions" "Alg. 7 cost comparisons evaluated" counts.cost_decisions;
+  if Registry.enabled obs then begin
+    let h =
+      Registry.histogram obs
+        ~buckets:(Mcss_obs.Metric.Histogram.linear ~lo:0.1 ~hi:1.0 ~buckets:10)
+        ~help:"Residual capacity fraction per deployed VM" "stage2.vm_residual_frac"
+    in
+    Array.iter
+      (fun vm ->
+        Mcss_obs.Metric.Histogram.observe h (Allocation.free a vm /. p.Problem.capacity))
+      (Allocation.vms a)
+  end
+
+let run ?(obs = Registry.noop) (p : Problem.t) (s : Selection.t) opts =
   let w = p.Problem.workload in
   let eps = Problem.epsilon p in
+  let counts =
+    {
+      placements = 0;
+      whole_group_fits = 0;
+      decision_distribute = 0;
+      decision_deploy = 0;
+      cost_decisions = 0;
+    }
+  in
   let a = Allocation.create ~capacity:p.Problem.capacity in
   let groups =
     Selection.pairs_by_topic p s
@@ -106,6 +148,7 @@ let run (p : Problem.t) (s : Selection.t) opts =
                 topic (2. *. ev) p.Problem.capacity));
       let k = min k (n - !from) in
       Allocation.place a vm ~topic ~ev ~subscribers:subs ~from:!from ~count:k;
+      counts.placements <- counts.placements + 1;
       from := !from + k
     done
   in
@@ -140,6 +183,7 @@ let run (p : Problem.t) (s : Selection.t) opts =
             min (Allocation.max_pairs_that_fit a vm ~topic ~ev ~eps) (n - !from)
           in
           Allocation.place a vm ~topic ~ev ~subscribers:subs ~from:!from ~count:k;
+          counts.placements <- counts.placements + 1;
           from := !from + k
     done;
     if !from < n then deploy_for ~topic ~ev ~subs ~from:!from
@@ -156,15 +200,27 @@ let run (p : Problem.t) (s : Selection.t) opts =
         | None -> None
       in
       match fits_current with
-      | Some vm -> Allocation.place a vm ~topic ~ev ~subscribers:subs ~from:0 ~count:n
+      | Some vm ->
+          Allocation.place a vm ~topic ~ev ~subscribers:subs ~from:0 ~count:n;
+          counts.placements <- counts.placements + 1;
+          counts.whole_group_fits <- counts.whole_group_fits + 1
       | None ->
           let spread =
             Allocation.num_vms a > 0
             && (not opts.cost_decision
-               || cheaper_to_distribute p a ~ev ~count:n
-                    ~hosts:(fun vm -> Allocation.hosts_topic vm topic))
+               ||
+               (counts.cost_decisions <- counts.cost_decisions + 1;
+                cheaper_to_distribute p a ~ev ~count:n
+                  ~hosts:(fun vm -> Allocation.hosts_topic vm topic)))
           in
-          if spread then distribute ~topic ~ev ~subs
-          else deploy_for ~topic ~ev ~subs ~from:0)
+          if spread then begin
+            counts.decision_distribute <- counts.decision_distribute + 1;
+            distribute ~topic ~ev ~subs
+          end
+          else begin
+            counts.decision_deploy <- counts.decision_deploy + 1;
+            deploy_for ~topic ~ev ~subs ~from:0
+          end)
     groups;
+  flush_stage2 obs p a ~groups:(Array.length groups) counts;
   a

@@ -48,9 +48,14 @@ val with_most_free : options  (** Step (d). *)
 
 val with_cost_decision : options  (** Step (e) — the full CBP. *)
 
-val run : Problem.t -> Selection.t -> options -> Allocation.t
+val run : ?obs:Mcss_obs.Registry.t -> Problem.t -> Selection.t -> options -> Allocation.t
 (** Raises {!Problem.Infeasible} if some selected pair cannot fit even an
-    empty VM. *)
+    empty VM. [obs] (default {!Mcss_obs.Registry.noop}) receives the
+    Stage-2 work counters ([stage2.groups], [stage2.vms_deployed],
+    [stage2.placements], [stage2.whole_group_fits],
+    [stage2.decision_distribute] / [stage2.decision_deploy],
+    [stage2.cost_decisions]) and the [stage2.vm_residual_frac] per-VM
+    residual-capacity histogram. *)
 
 val cheaper_to_distribute :
   Problem.t -> Allocation.t -> ev:float -> count:int ->

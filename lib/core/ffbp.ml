@@ -1,9 +1,13 @@
 module Workload = Mcss_workload.Workload
+module Registry = Mcss_obs.Registry
+module Counter = Mcss_obs.Metric.Counter
 
-let run (p : Problem.t) (s : Selection.t) =
+let run ?(obs = Registry.noop) (p : Problem.t) (s : Selection.t) =
   let w = p.Problem.workload in
   let eps = Problem.epsilon p in
   let a = Allocation.create ~capacity:p.Problem.capacity in
+  let placements = ref 0 in
+  let probes = ref 0 in
   let place_one t v =
     let ev = Workload.event_rate w t in
     let subscribers = [| v |] in
@@ -11,8 +15,10 @@ let run (p : Problem.t) (s : Selection.t) =
     let vms = Allocation.vms a in
     let rec first_fit i =
       if i >= Array.length vms then None
-      else if fits vms.(i) then Some vms.(i)
-      else first_fit (i + 1)
+      else begin
+        incr probes;
+        if fits vms.(i) then Some vms.(i) else first_fit (i + 1)
+      end
     in
     let vm =
       match first_fit 0 with
@@ -27,7 +33,23 @@ let run (p : Problem.t) (s : Selection.t) =
                     (2. *. ev) p.Problem.capacity));
           vm
     in
-    Allocation.place a vm ~topic:t ~ev ~subscribers ~from:0 ~count:1
+    Allocation.place a vm ~topic:t ~ev ~subscribers ~from:0 ~count:1;
+    incr placements
   in
   Selection.iter_pairs s place_one;
+  let c name help v = Counter.add (Registry.counter obs ~help name) v in
+  c "stage2.vms_deployed" "VMs opened by Stage 2" (Allocation.num_vms a);
+  c "stage2.placements" "Allocation.place calls (pair batches placed)" !placements;
+  c "stage2.ffbp_probes" "First-fit VM probes across all pairs" !probes;
+  if Registry.enabled obs then begin
+    let h =
+      Registry.histogram obs
+        ~buckets:(Mcss_obs.Metric.Histogram.linear ~lo:0.1 ~hi:1.0 ~buckets:10)
+        ~help:"Residual capacity fraction per deployed VM" "stage2.vm_residual_frac"
+    in
+    Array.iter
+      (fun vm ->
+        Mcss_obs.Metric.Histogram.observe h (Allocation.free a vm /. p.Problem.capacity))
+      (Allocation.vms a)
+  end;
   a

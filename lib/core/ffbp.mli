@@ -12,6 +12,8 @@
     Complexity O(|pairs| · |B|); this is the slow, bandwidth-wasteful
     strategy the CustomBinPacking optimisations are measured against. *)
 
-val run : Problem.t -> Selection.t -> Allocation.t
+val run : ?obs:Mcss_obs.Registry.t -> Problem.t -> Selection.t -> Allocation.t
 (** Raises {!Problem.Infeasible} if some selected pair cannot fit even an
-    empty VM. *)
+    empty VM. [obs] receives [stage2.vms_deployed], [stage2.placements],
+    the [stage2.ffbp_probes] first-fit scan counter and the
+    [stage2.vm_residual_frac] per-VM residual-capacity histogram. *)

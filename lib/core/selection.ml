@@ -1,4 +1,7 @@
 module Workload = Mcss_workload.Workload
+module Registry = Mcss_obs.Registry
+module Counter = Mcss_obs.Metric.Counter
+module Gauge = Mcss_obs.Metric.Gauge
 
 type t = {
   chosen : Workload.topic array array;
@@ -16,6 +19,37 @@ let benefit_cost_ratio ~ev ~rem =
    1 / (2 max(ev, rem)), but comparing the key avoids float-division
    rounding breaking mathematically exact ties. *)
 let gsp_key ~ev ~rem = Float.max ev rem
+
+(* Per-run Stage-1 work counts, accumulated in plain mutable ints on the
+   hot path and flushed to the registry once per selection (so the
+   enabled-path overhead stays a handful of integer writes per
+   subscriber, and the disabled path costs the same). *)
+type s1_counts = { mutable considered : int; mutable set_ops : int }
+
+let new_counts () = { considered = 0; set_ops = 0 }
+
+let flush_stage1 obs (s : t) counts =
+  Counter.add
+    (Registry.counter obs ~help:"Subscribers processed by Stage 1" "stage1.subscribers")
+    (Array.length s.chosen);
+  Counter.add
+    (Registry.counter obs ~help:"(topic, subscriber) pairs accepted into the selection"
+       "stage1.pairs_selected")
+    s.num_pairs;
+  Counter.add
+    (Registry.counter obs
+       ~help:"Candidate benefit/cost evaluations (Alg. 1 ratio recomputations)"
+       "stage1.candidates_considered")
+    counts.considered;
+  Counter.add
+    (Registry.counter obs
+       ~help:"Eligible-set insertions and removals (the GSP heap-op analogue)"
+       "stage1.eligible_set_ops")
+    counts.set_ops;
+  Gauge.set
+    (Registry.gauge obs ~help:"Selected outgoing event rate (sum over pairs)"
+       "stage1.outgoing_rate")
+    s.outgoing_rate
 
 let build ~workload per_subscriber =
   let n = Workload.num_subscribers workload in
@@ -41,7 +75,7 @@ let build ~workload per_subscriber =
 (* Literal Alg. 2 for one subscriber: after every pick, re-derive every
    remaining candidate's ratio from the current remainder and rescan for
    the argmax (lowest topic id on ties). Quadratic in |T_v|. *)
-let gsp_reference_subscriber w ~tau ~eps v =
+let gsp_reference_subscriber w ~tau ~eps ~counts v =
   let tv = Workload.interests w v in
   let k = Array.length tv in
   let tau_v = Workload.tau_v w ~tau v in
@@ -54,6 +88,7 @@ let gsp_reference_subscriber w ~tau ~eps v =
     let best_key = ref infinity in
     for i = 0 to k - 1 do
       if not selected.(i) then begin
+        counts.considered <- counts.considered + 1;
         let key = gsp_key ~ev:(Workload.event_rate w tv.(i)) ~rem in
         if key < !best_key then begin
           best_key := key;
@@ -69,10 +104,13 @@ let gsp_reference_subscriber w ~tau ~eps v =
   done;
   (Array.of_list !picked, !sum)
 
-let gsp_reference (p : Problem.t) =
+let gsp_reference ?(obs = Registry.noop) (p : Problem.t) =
   let w = p.Problem.workload in
   let eps = Problem.epsilon p in
-  build ~workload:w (gsp_reference_subscriber w ~tau:p.Problem.tau ~eps)
+  let counts = new_counts () in
+  let s = build ~workload:w (gsp_reference_subscriber w ~tau:p.Problem.tau ~eps ~counts) in
+  flush_stage1 obs s counts;
+  s
 
 (* O(|T_v| log |T_v|) GSP for one subscriber.
 
@@ -84,7 +122,7 @@ let gsp_reference (p : Problem.t) =
    the high-rate end as rem decreases. *)
 module Int_set = Set.Make (Int)
 
-let gsp_subscriber w ~tau ~eps v =
+let gsp_subscriber w ~tau ~eps ~counts v =
   let tv = Workload.interests w v in
   let k = Array.length tv in
   let tau_v = Workload.tau_v w ~tau v in
@@ -105,12 +143,14 @@ let gsp_subscriber w ~tau ~eps v =
     let hi = ref 0 in
     while !hi < k && ev by_rate.(!hi) <= rem () do
       eligible := Int_set.add tv.(by_rate.(!hi)) !eligible;
+      counts.set_ops <- counts.set_ops + 1;
       incr hi
     done;
     let shrink () =
       while !hi > 0 && ev by_rate.(!hi - 1) > rem () do
         decr hi;
-        eligible := Int_set.remove tv.(by_rate.(!hi)) !eligible
+        eligible := Int_set.remove tv.(by_rate.(!hi)) !eligible;
+        counts.set_ops <- counts.set_ops + 1
       done
     in
     let pos_of_topic = Hashtbl.create k in
@@ -122,10 +162,12 @@ let gsp_subscriber w ~tau ~eps v =
     in
     let endgame = ref 0 in
     while !sum < tau_v -. eps do
+      counts.considered <- counts.considered + 1;
       match Int_set.min_elt_opt !eligible with
       | Some topic ->
           let pos = Hashtbl.find pos_of_topic topic in
           eligible := Int_set.remove topic !eligible;
+          counts.set_ops <- counts.set_ops + 1;
           select pos;
           shrink ()
       | None ->
@@ -137,32 +179,38 @@ let gsp_subscriber w ~tau ~eps v =
     (Array.of_list !picked, !sum)
   end
 
-let gsp (p : Problem.t) =
+let gsp ?(obs = Registry.noop) (p : Problem.t) =
   let w = p.Problem.workload in
   let eps = Problem.epsilon p in
-  build ~workload:w (gsp_subscriber w ~tau:p.Problem.tau ~eps)
+  let counts = new_counts () in
+  let s = build ~workload:w (gsp_subscriber w ~tau:p.Problem.tau ~eps ~counts) in
+  flush_stage1 obs s counts;
+  s
 
 (* Parallel GSP: subscribers are independent, so each domain fills a
    disjoint slice of the result arrays; the aggregate sums are folded
    sequentially afterwards so the result is bit-identical to [gsp]. *)
-let gsp_parallel ?domains (p : Problem.t) =
+let gsp_parallel ?(obs = Registry.noop) ?domains (p : Problem.t) =
   let w = p.Problem.workload in
   let eps = Problem.epsilon p in
   let n = Workload.num_subscribers w in
   let domains =
     match domains with Some d -> d | None -> Domain.recommended_domain_count ()
   in
-  if domains <= 1 || n < 2 then gsp p
+  if domains <= 1 || n < 2 then gsp ~obs p
   else begin
     let domains = min domains n in
     let chosen = Array.make n [||] in
     let rates = Array.make n 0. in
     let chunk = (n + domains - 1) / domains in
+    (* One counts record per domain: no shared mutable state across
+       domains; merged sequentially after the join. *)
+    let domain_counts = Array.init domains (fun _ -> new_counts ()) in
     let worker d () =
       let lo = d * chunk in
       let hi = min n (lo + chunk) - 1 in
       for v = lo to hi do
-        let topics, rate = gsp_subscriber w ~tau:p.Problem.tau ~eps v in
+        let topics, rate = gsp_subscriber w ~tau:p.Problem.tau ~eps ~counts:domain_counts.(d) v in
         Array.sort compare topics;
         chosen.(v) <- topics;
         rates.(v) <- rate
@@ -179,21 +227,32 @@ let gsp_parallel ?domains (p : Problem.t) =
       num_pairs := !num_pairs + Array.length chosen.(v);
       outgoing_rate := !outgoing_rate +. rates.(v)
     done;
-    {
-      chosen;
-      selected_rate = rates;
-      num_pairs = !num_pairs;
-      outgoing_rate = !outgoing_rate;
-    }
+    let s =
+      {
+        chosen;
+        selected_rate = rates;
+        num_pairs = !num_pairs;
+        outgoing_rate = !outgoing_rate;
+      }
+    in
+    let merged = new_counts () in
+    Array.iter
+      (fun c ->
+        merged.considered <- merged.considered + c.considered;
+        merged.set_ops <- merged.set_ops + c.set_ops)
+      domain_counts;
+    flush_stage1 obs s merged;
+    s
   end
 
-let rsp_order w ~tau ~eps order v =
+let rsp_order w ~tau ~eps ~counts order v =
   let tv = order v in
   let tau_v = Workload.tau_v w ~tau v in
   let picked = ref [] in
   let sum = ref 0. in
   let i = ref 0 in
   while !sum < tau_v -. eps && !i < Array.length tv do
+    counts.considered <- counts.considered + 1;
     let t = tv.(!i) in
     picked := t :: !picked;
     sum := !sum +. Workload.event_rate w t;
@@ -201,12 +260,15 @@ let rsp_order w ~tau ~eps order v =
   done;
   (Array.of_list !picked, !sum)
 
-let rsp (p : Problem.t) =
+let rsp ?(obs = Registry.noop) (p : Problem.t) =
   let w = p.Problem.workload in
   let eps = Problem.epsilon p in
-  build ~workload:w (rsp_order w ~tau:p.Problem.tau ~eps (Workload.interests w))
+  let counts = new_counts () in
+  let s = build ~workload:w (rsp_order w ~tau:p.Problem.tau ~eps ~counts (Workload.interests w)) in
+  flush_stage1 obs s counts;
+  s
 
-let rsp_shuffled rng (p : Problem.t) =
+let rsp_shuffled ?(obs = Registry.noop) rng (p : Problem.t) =
   let w = p.Problem.workload in
   let eps = Problem.epsilon p in
   let order v =
@@ -214,7 +276,10 @@ let rsp_shuffled rng (p : Problem.t) =
     Mcss_prng.Rng.shuffle_in_place rng tv;
     tv
   in
-  build ~workload:w (rsp_order w ~tau:p.Problem.tau ~eps order)
+  let counts = new_counts () in
+  let s = build ~workload:w (rsp_order w ~tau:p.Problem.tau ~eps ~counts order) in
+  flush_stage1 obs s counts;
+  s
 
 let integral_rate ev =
   let r = Float.round ev in

@@ -29,11 +29,15 @@ type t = {
           bandwidth any allocation of this selection must carry. *)
 }
 
-val gsp : Problem.t -> t
+val gsp : ?obs:Mcss_obs.Registry.t -> Problem.t -> t
 (** GreedySelectPairs. Deterministic: ties in the benefit-cost ratio are
-    broken towards the lowest topic id, matching {!gsp_reference}. *)
+    broken towards the lowest topic id, matching {!gsp_reference}.
+    [obs] (default {!Mcss_obs.Registry.noop}) receives Stage-1 work
+    counters: [stage1.subscribers], [stage1.pairs_selected],
+    [stage1.candidates_considered], [stage1.eligible_set_ops] and the
+    [stage1.outgoing_rate] gauge. *)
 
-val gsp_parallel : ?domains:int -> Problem.t -> t
+val gsp_parallel : ?obs:Mcss_obs.Registry.t -> ?domains:int -> Problem.t -> t
 (** {!gsp} fanned out over OCaml 5 domains — subscribers are independent
     in Stage 1, so the selection parallelises embarrassingly. Produces
     {e exactly} the same selection as {!gsp} (property-tested); the
@@ -41,15 +45,15 @@ val gsp_parallel : ?domains:int -> Problem.t -> t
     [domains] defaults to [Domain.recommended_domain_count ()], and
     values <= 1 fall back to the sequential code. *)
 
-val gsp_reference : Problem.t -> t
+val gsp_reference : ?obs:Mcss_obs.Registry.t -> Problem.t -> t
 (** Literal Alg. 2: recompute every remaining ratio after each pick and
     scan for the argmax (first maximum in topic-id order). Quadratic per
     subscriber; use only on small instances. *)
 
-val rsp : Problem.t -> t
+val rsp : ?obs:Mcss_obs.Registry.t -> Problem.t -> t
 (** RandomSelectPairs: interests in topic-id order until satisfied. *)
 
-val rsp_shuffled : Mcss_prng.Rng.t -> Problem.t -> t
+val rsp_shuffled : ?obs:Mcss_obs.Registry.t -> Mcss_prng.Rng.t -> Problem.t -> t
 (** RSP with each subscriber's interests visited in random order. *)
 
 val optimal_per_subscriber : ?max_budget:int -> Problem.t -> t option

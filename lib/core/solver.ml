@@ -1,3 +1,8 @@
+module Registry = Mcss_obs.Registry
+module Span = Mcss_obs.Span
+module Counter = Mcss_obs.Metric.Counter
+module Gauge = Mcss_obs.Metric.Gauge
+
 type stage1 = Gsp | Gsp_parallel | Gsp_reference | Rsp | Global_greedy
 type stage2 = Ffbp | Cbp of Cbp.options
 
@@ -33,30 +38,44 @@ let timed f =
   let x = f () in
   (x, Unix.gettimeofday () -. start)
 
-let solve ?(config = default) (p : Problem.t) =
+let solve ?(obs = Registry.noop) ?(config = default) (p : Problem.t) =
+  Span.with_ obs ~name:"solve" @@ fun () ->
   let selection, stage1_seconds =
     timed (fun () ->
-        match config.stage1 with
-        | Gsp -> Selection.gsp p
-        | Gsp_parallel -> Selection.gsp_parallel p
-        | Gsp_reference -> Selection.gsp_reference p
-        | Rsp -> Selection.rsp p
-        | Global_greedy -> Global_greedy.select p)
+        Span.with_ obs ~name:"stage1" (fun () ->
+            match config.stage1 with
+            | Gsp -> Selection.gsp ~obs p
+            | Gsp_parallel -> Selection.gsp_parallel ~obs p
+            | Gsp_reference -> Selection.gsp_reference ~obs p
+            | Rsp -> Selection.rsp ~obs p
+            | Global_greedy -> Global_greedy.select p))
   in
   let allocation, stage2_seconds =
     timed (fun () ->
-        match config.stage2 with
-        | Ffbp -> Ffbp.run p selection
-        | Cbp opts -> Cbp.run p selection opts)
+        Span.with_ obs ~name:"stage2" (fun () ->
+            match config.stage2 with
+            | Ffbp -> Ffbp.run ~obs p selection
+            | Cbp opts -> Cbp.run ~obs p selection opts))
   in
   let num_vms = Allocation.num_vms allocation in
   let bandwidth = Allocation.total_load allocation in
+  let cost = Problem.cost p ~vms:num_vms ~bandwidth in
+  Counter.inc (Registry.counter obs ~help:"Solver.solve invocations" "solve.runs");
+  Gauge.set (Registry.gauge obs ~help:"VMs in the final allocation" "solve.num_vms")
+    (float_of_int num_vms);
+  Gauge.set
+    (Registry.gauge obs ~help:"Total bandwidth of the final allocation (event units)"
+       "solve.bandwidth_events")
+    bandwidth;
+  Gauge.set (Registry.gauge obs ~help:"Deployment cost of the final allocation (USD)"
+       "solve.cost_usd")
+    cost;
   {
     selection;
     allocation;
     num_vms;
     bandwidth;
-    cost = Problem.cost p ~vms:num_vms ~bandwidth;
+    cost;
     stage1_seconds;
     stage2_seconds;
   }

@@ -27,10 +27,14 @@ type result = {
   stage2_seconds : float;
 }
 
-val solve : ?config:config -> Problem.t -> result
+val solve : ?obs:Mcss_obs.Registry.t -> ?config:config -> Problem.t -> result
 (** Run both stages ([config] defaults to {!default}: GSP + full CBP).
     Raises {!Problem.Infeasible} when the workload cannot fit the VM
-    capacity. *)
+    capacity. [obs] (default {!Mcss_obs.Registry.noop}) records a
+    [solve] span with [stage1]/[stage2] children, the Stage-1/Stage-2
+    work counters of the chosen selector and packer, and the
+    [solve.num_vms] / [solve.bandwidth_events] / [solve.cost_usd]
+    result gauges. *)
 
 val default : config
 (** GSP + CBP with all optimisations (b)–(e). *)

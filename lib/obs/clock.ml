@@ -1,0 +1,4 @@
+external now_ns : unit -> int64 = "mcss_obs_clock_monotonic_ns"
+
+let ns_to_seconds ns = Int64.to_float ns *. 1e-9
+let seconds_since t0 = ns_to_seconds (Int64.sub (now_ns ()) t0)

@@ -1,0 +1,17 @@
+(** Monotonic time source for the observability subsystem.
+
+    Backed by [clock_gettime(CLOCK_MONOTONIC)] via a tiny C stub, so span
+    durations are immune to wall-clock adjustments. All other [mcss]
+    timing ([Unix.gettimeofday] in the solver result, the bench harness)
+    measures elapsed wall time over seconds-long runs where drift is
+    irrelevant; spans attribute sub-millisecond stages, where it is not. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds since an arbitrary fixed origin. Strictly non-decreasing
+    within a process. *)
+
+val ns_to_seconds : int64 -> float
+(** Convert a nanosecond span to seconds. *)
+
+val seconds_since : int64 -> float
+(** [seconds_since t0] is [ns_to_seconds (now_ns () - t0)]. *)

@@ -1,0 +1,113 @@
+module Counter = struct
+  type t = { mutable count : int }
+
+  let make () = { count = 0 }
+  let inc t = t.count <- t.count + 1
+  let add t n = t.count <- t.count + n
+  let value t = t.count
+end
+
+module Gauge = struct
+  (* All-float record: stored flat, so [set] is one unboxed write. *)
+  type t = { mutable v : float }
+
+  let make () = { v = 0. }
+  let set t x = t.v <- x
+  let add t x = t.v <- t.v +. x
+  let value t = t.v
+end
+
+module Histogram = struct
+  type t = {
+    bounds : float array;  (* ascending upper bounds; observe binary-searches *)
+    counts : int array;  (* length = Array.length bounds + 1 (overflow) *)
+    stats : float array;  (* 0: sum, 1: min, 2: max — flat float array *)
+    mutable n : int;
+  }
+
+  let linear ~lo ~hi ~buckets =
+    if buckets < 1 then invalid_arg "Histogram.linear: buckets must be >= 1";
+    if not (hi > lo) then invalid_arg "Histogram.linear: need hi > lo";
+    let step = (hi -. lo) /. float_of_int buckets in
+    Array.init buckets (fun i -> lo +. (step *. float_of_int (i + 1)))
+
+  let exponential ~lo ~factor ~buckets =
+    if buckets < 1 then invalid_arg "Histogram.exponential: buckets must be >= 1";
+    if not (lo > 0.) then invalid_arg "Histogram.exponential: need lo > 0";
+    if not (factor > 1.) then invalid_arg "Histogram.exponential: need factor > 1";
+    Array.init buckets (fun i -> lo *. (factor ** float_of_int i))
+
+  let default_buckets = exponential ~lo:1e-6 ~factor:4. ~buckets:16
+
+  let make ?(buckets = default_buckets) () =
+    if Array.length buckets = 0 then invalid_arg "Histogram.make: no buckets";
+    for i = 1 to Array.length buckets - 1 do
+      if not (buckets.(i) > buckets.(i - 1)) then
+        invalid_arg "Histogram.make: bounds must be strictly increasing"
+    done;
+    {
+      bounds = Array.copy buckets;
+      counts = Array.make (Array.length buckets + 1) 0;
+      stats = [| 0.; infinity; neg_infinity |];
+      n = 0;
+    }
+
+  (* Index of the first bound >= x, or the overflow bucket. *)
+  let bucket_index t x =
+    let nb = Array.length t.bounds in
+    if x > t.bounds.(nb - 1) then nb
+    else begin
+      let lo = ref 0 and hi = ref (nb - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if x <= t.bounds.(mid) then hi := mid else lo := mid + 1
+      done;
+      !lo
+    end
+
+  let observe t x =
+    if not (Float.is_nan x) then begin
+      let i = bucket_index t x in
+      t.counts.(i) <- t.counts.(i) + 1;
+      t.stats.(0) <- t.stats.(0) +. x;
+      if x < t.stats.(1) then t.stats.(1) <- x;
+      if x > t.stats.(2) then t.stats.(2) <- x;
+      t.n <- t.n + 1
+    end
+
+  let count t = t.n
+  let sum t = t.stats.(0)
+  let min_value t = if t.n = 0 then nan else t.stats.(1)
+  let max_value t = if t.n = 0 then nan else t.stats.(2)
+  let mean t = if t.n = 0 then nan else t.stats.(0) /. float_of_int t.n
+  let bucket_bounds t = Array.copy t.bounds
+  let bucket_counts t = Array.copy t.counts
+
+  let quantile t q =
+    if not (q >= 0. && q <= 1.) then invalid_arg "Histogram.quantile: q outside [0, 1]";
+    if t.n = 0 then nan
+    else begin
+      let nb = Array.length t.bounds in
+      let target = q *. float_of_int t.n in
+      let rec walk i cum =
+        if i > nb then max_value t
+        else begin
+          let c = t.counts.(i) in
+          let cum' = cum + c in
+          if float_of_int cum' >= target && c > 0 then begin
+            (* Interpolate inside bucket i between its lower and upper
+               edge, clamping the open ends to the observed extremes. *)
+            let lo =
+              if i = 0 then min_value t else Float.max (min_value t) t.bounds.(i - 1)
+            in
+            let hi = if i = nb then max_value t else Float.min (max_value t) t.bounds.(i) in
+            let need = target -. float_of_int cum in
+            let frac = if c = 0 then 0. else Float.max 0. (need /. float_of_int c) in
+            Float.min hi (lo +. (frac *. (hi -. lo)))
+          end
+          else walk (i + 1) cum'
+        end
+      in
+      walk 0 0
+    end
+end

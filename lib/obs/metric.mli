@@ -1,0 +1,92 @@
+(** The three metric primitives of the observability subsystem.
+
+    All hot-path operations ({!Counter.inc}, {!Counter.add}, {!Gauge.set},
+    {!Histogram.observe}) are allocation-free: counters are mutable [int]
+    cells, gauges are flat float records, and histograms update
+    pre-allocated arrays in place. A disabled {!Registry.t} hands out
+    shared dummy instances of these same types, so instrumented code pays
+    one predictable memory write per operation and nothing else. *)
+
+module Counter : sig
+  type t
+  (** A monotonically increasing integer. *)
+
+  val make : unit -> t
+
+  val inc : t -> unit
+  (** Add one. Never allocates. *)
+
+  val add : t -> int -> unit
+  (** Add [n] (negative [n] is accepted but makes Prometheus semantics
+      lie; instrumentation only adds nonnegative deltas). Never
+      allocates. *)
+
+  val value : t -> int
+end
+
+module Gauge : sig
+  type t
+  (** A point-in-time float (fleet size, cost, utilisation). *)
+
+  val make : unit -> t
+
+  val set : t -> float -> unit
+  (** Replace the value. Never allocates (flat float record). *)
+
+  val add : t -> float -> unit
+  val value : t -> float
+end
+
+module Histogram : sig
+  type t
+  (** A fixed-bucket histogram: upper bucket bounds are chosen at
+      creation and never change, so {!observe} is a binary search plus
+      array increments. An implicit overflow bucket catches values above
+      the last bound. *)
+
+  val make : ?buckets:float array -> unit -> t
+  (** [buckets] are the ascending, strictly increasing upper bounds
+      (default {!default_buckets}). Raises [Invalid_argument] if empty or
+      not strictly increasing. *)
+
+  val linear : lo:float -> hi:float -> buckets:int -> float array
+  (** [buckets] evenly spaced upper bounds covering [(lo, hi]]: the first
+      bound is [lo + (hi-lo)/buckets], the last is [hi]. *)
+
+  val exponential : lo:float -> factor:float -> buckets:int -> float array
+  (** Upper bounds [lo, lo·factor, lo·factor², …] ([factor > 1]). *)
+
+  val default_buckets : float array
+  (** Exponential bounds from 1 µs to ~1000 s — suited to durations in
+      seconds. *)
+
+  val observe : t -> float -> unit
+  (** Record one value (NaN is dropped). Never allocates. *)
+
+  val count : t -> int
+  val sum : t -> float
+
+  val min_value : t -> float
+  (** Smallest observed value; [nan] when empty. *)
+
+  val max_value : t -> float
+  (** Largest observed value; [nan] when empty. *)
+
+  val mean : t -> float
+  (** [sum / count]; [nan] when empty. *)
+
+  val bucket_bounds : t -> float array
+  (** The upper bounds, as passed at creation (fresh copy). *)
+
+  val bucket_counts : t -> int array
+  (** Per-bucket counts (fresh copy), one longer than
+      {!bucket_bounds}: the final cell is the overflow bucket. *)
+
+  val quantile : t -> float -> float
+  (** [quantile h q] estimates the [q]-quantile ([0 <= q <= 1]) by linear
+      interpolation inside the bucket holding rank [q·count], using the
+      observed min/max as the edges of the first and overflow buckets.
+      The estimate is exact at the bucket bounds and within one bucket
+      width elsewhere; [nan] when empty. Raises [Invalid_argument] when
+      [q] is outside [0, 1]. *)
+end

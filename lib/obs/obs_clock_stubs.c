@@ -1,0 +1,15 @@
+/* Monotonic clock for span tracing: CLOCK_MONOTONIC is immune to
+   wall-clock adjustments (NTP slew, manual resets), which matters when
+   spans are used to attribute sub-second stage runtimes. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value mcss_obs_clock_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  (void) unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t) ts.tv_sec * 1000000000LL + (int64_t) ts.tv_nsec);
+}

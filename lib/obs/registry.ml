@@ -1,0 +1,134 @@
+type metric =
+  | Counter of Metric.Counter.t
+  | Gauge of Metric.Gauge.t
+  | Histogram of Metric.Histogram.t
+
+type sample = { name : string; help : string; metric : metric }
+
+(* Accumulating span-tree node: children keyed by name so repeated
+   executions of the same span under the same parent aggregate. *)
+type span_acc = {
+  aname : string;
+  mutable acount : int;
+  mutable atotal : int64;
+  akids : (string, span_acc) Hashtbl.t;
+  mutable aorder : string list;  (* reversed first-execution order *)
+}
+
+let fresh_acc name =
+  { aname = name; acount = 0; atotal = 0L; akids = Hashtbl.create 8; aorder = [] }
+
+type t = {
+  on : bool;
+  metrics : (string, sample) Hashtbl.t;
+  mutable order : string list;  (* reversed registration order *)
+  mutable root : span_acc;
+  mutable stack : span_acc list;  (* open spans, innermost first *)
+  dummy_counter : Metric.Counter.t;
+  dummy_gauge : Metric.Gauge.t;
+  dummy_histogram : Metric.Histogram.t;
+}
+
+let make ~on =
+  {
+    on;
+    metrics = Hashtbl.create 64;
+    order = [];
+    root = fresh_acc "";
+    stack = [];
+    dummy_counter = Metric.Counter.make ();
+    dummy_gauge = Metric.Gauge.make ();
+    dummy_histogram = Metric.Histogram.make ();
+  }
+
+let create () = make ~on:true
+let noop = make ~on:false
+let enabled t = t.on
+
+let register t name help make_metric =
+  match Hashtbl.find_opt t.metrics name with
+  | Some s -> s.metric
+  | None ->
+      let metric = make_metric () in
+      Hashtbl.add t.metrics name { name; help; metric };
+      t.order <- name :: t.order;
+      metric
+
+let kind_error name want =
+  invalid_arg (Printf.sprintf "Registry: %S already registered as a different kind (want %s)" name want)
+
+let counter t ?(help = "") name =
+  if not t.on then t.dummy_counter
+  else
+    match register t name help (fun () -> Counter (Metric.Counter.make ())) with
+    | Counter c -> c
+    | _ -> kind_error name "counter"
+
+let gauge t ?(help = "") name =
+  if not t.on then t.dummy_gauge
+  else
+    match register t name help (fun () -> Gauge (Metric.Gauge.make ())) with
+    | Gauge g -> g
+    | _ -> kind_error name "gauge"
+
+let histogram t ?(help = "") ?buckets name =
+  if not t.on then t.dummy_histogram
+  else
+    match
+      register t name help (fun () -> Histogram (Metric.Histogram.make ?buckets ()))
+    with
+    | Histogram h -> h
+    | _ -> kind_error name "histogram"
+
+let samples t =
+  List.rev_map (fun name -> Hashtbl.find t.metrics name) t.order
+
+type span_node = {
+  span_name : string;
+  count : int;
+  total_ns : int64;
+  children : span_node list;
+}
+
+let with_span t name f =
+  if not t.on then f ()
+  else begin
+    let parent = match t.stack with [] -> t.root | p :: _ -> p in
+    let acc =
+      match Hashtbl.find_opt parent.akids name with
+      | Some a -> a
+      | None ->
+          let a = fresh_acc name in
+          Hashtbl.add parent.akids name a;
+          parent.aorder <- name :: parent.aorder;
+          a
+    in
+    t.stack <- acc :: t.stack;
+    let t0 = Clock.now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        acc.atotal <- Int64.add acc.atotal (Int64.sub (Clock.now_ns ()) t0);
+        acc.acount <- acc.acount + 1;
+        match t.stack with
+        | top :: rest when top == acc -> t.stack <- rest
+        | _ -> ())
+      f
+  end
+
+let rec node_of_acc a =
+  {
+    span_name = a.aname;
+    count = a.acount;
+    total_ns = a.atotal;
+    children = List.rev_map (fun n -> node_of_acc (Hashtbl.find a.akids n)) a.aorder;
+  }
+
+let span_roots t = (node_of_acc t.root).children
+
+let reset t =
+  if t.on then begin
+    Hashtbl.reset t.metrics;
+    t.order <- [];
+    t.root <- fresh_acc "";
+    t.stack <- []
+  end

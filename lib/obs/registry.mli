@@ -1,0 +1,67 @@
+(** The handle every instrumented layer shares: a named-metric registry
+    plus the mutable state behind {!Span} tracing.
+
+    A registry is either {e enabled} ({!create}) or the shared {e no-op}
+    handle ({!noop}). Instrumented code is written once against this
+    interface; with {!noop} the registration calls hand back shared dummy
+    metrics and {!with_span} calls through without touching the clock, so
+    the disabled-path overhead is a branch and a memory write — the
+    regression test pins the counter hot path to zero allocations.
+
+    Registration is idempotent: asking twice for the same name returns
+    the same metric, so callees can re-register on every call instead of
+    threading metric handles around. Asking for the same name with a
+    different kind raises [Invalid_argument]. *)
+
+type t
+
+val create : unit -> t
+(** A fresh, enabled, empty registry. *)
+
+val noop : t
+(** The shared disabled registry: metrics registered on it are dummies
+    (never reported), spans do not time anything, {!samples} is always
+    empty. *)
+
+val enabled : t -> bool
+
+val counter : t -> ?help:string -> string -> Metric.Counter.t
+val gauge : t -> ?help:string -> string -> Metric.Gauge.t
+
+val histogram : t -> ?help:string -> ?buckets:float array -> string -> Metric.Histogram.t
+(** [buckets] is only honoured by the call that creates the histogram;
+    later registrations of the same name return the existing one. *)
+
+type metric =
+  | Counter of Metric.Counter.t
+  | Gauge of Metric.Gauge.t
+  | Histogram of Metric.Histogram.t
+
+type sample = { name : string; help : string; metric : metric }
+
+val samples : t -> sample list
+(** Snapshot of every registered metric, in registration order. *)
+
+(** {2 Span state}
+
+    {!Span} is the public face; these are the underlying operations. A
+    span tree node aggregates every execution of the same name under the
+    same parent: [count] executions totalling [total_ns]. *)
+
+type span_node = {
+  span_name : string;
+  count : int;
+  total_ns : int64;
+  children : span_node list;  (** First-execution order. *)
+}
+
+val with_span : t -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a named span nested under the currently open
+    span (exception-safe). On {!noop}, calls the thunk directly. *)
+
+val span_roots : t -> span_node list
+(** The aggregated top-level spans, in first-execution order. *)
+
+val reset : t -> unit
+(** Drop all metrics and spans (for reusing one registry across
+    benchmark repetitions). No-op on {!noop}. *)

@@ -1,0 +1,58 @@
+type node = Registry.span_node = {
+  span_name : string;
+  count : int;
+  total_ns : int64;
+  children : node list;
+}
+
+let with_ t ~name f = Registry.with_span t name f
+let roots = Registry.span_roots
+let seconds n = Clock.ns_to_seconds n.total_ns
+
+let rec find nodes name =
+  match nodes with
+  | [] -> None
+  | n :: rest ->
+      if n.span_name = name then Some n
+      else (
+        match find n.children name with Some hit -> Some hit | None -> find rest name)
+
+let flatten nodes =
+  let out = ref [] in
+  let rec go prefix n =
+    let path = if prefix = "" then n.span_name else prefix ^ "/" ^ n.span_name in
+    out := (path, n) :: !out;
+    List.iter (go path) n.children
+  in
+  List.iter (go "") nodes;
+  List.rev !out
+
+let human_duration ns =
+  let ns_f = Int64.to_float ns in
+  if ns_f < 1e3 then Printf.sprintf "%.0f ns" ns_f
+  else if ns_f < 1e6 then Printf.sprintf "%.1f us" (ns_f /. 1e3)
+  else if ns_f < 1e9 then Printf.sprintf "%.1f ms" (ns_f /. 1e6)
+  else Printf.sprintf "%.3f s" (ns_f /. 1e9)
+
+let pp ppf nodes =
+  (* [label] is the already-built connector column for this node's line;
+     [prefix] is what the node's children extend. *)
+  let rec go ~depth ~prefix ~label n =
+    (* [label] holds multi-byte box-drawing chars: each tree level is 3
+       display columns, so pad the name from [depth], not byte length. *)
+    Format.fprintf ppf "%s%-*s  %9s  x%d@," label
+      (max 1 (24 - (3 * depth)))
+      n.span_name (human_duration n.total_ns) n.count;
+    let k = List.length n.children in
+    List.iteri
+      (fun i c ->
+        let last = i = k - 1 in
+        go ~depth:(depth + 1)
+          ~prefix:(prefix ^ if last then "   " else "\xe2\x94\x82  ")
+          ~label:(prefix ^ if last then "\xe2\x94\x94\xe2\x94\x80 " else "\xe2\x94\x9c\xe2\x94\x80 ")
+          c)
+      n.children
+  in
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun n -> go ~depth:0 ~prefix:"" ~label:"" n) nodes;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,49 @@
+(** Nestable monotonic-clock span tracing.
+
+    [Span.with_ obs ~name f] times [f] on the monotonic clock and records
+    it under the innermost open span, producing a tree: repeated
+    executions of the same name under the same parent aggregate into one
+    node with a count and a total. On the no-op registry it calls [f]
+    directly.
+
+    {[
+      Span.with_ obs ~name:"solve" (fun () ->
+          let s = Span.with_ obs ~name:"stage1" (fun () -> Selection.gsp p) in
+          Span.with_ obs ~name:"stage2" (fun () -> Cbp.run p s opts))
+    ]}
+
+    prints as
+
+    {v
+    solve              240.1 ms  x1
+    ├─ stage1          180.3 ms  x1
+    └─ stage2           59.2 ms  x1
+    v} *)
+
+type node = Registry.span_node = {
+  span_name : string;
+  count : int;  (** Executions aggregated into this node. *)
+  total_ns : int64;  (** Summed duration across executions. *)
+  children : node list;  (** First-execution order. *)
+}
+
+val with_ : Registry.t -> name:string -> (unit -> 'a) -> 'a
+(** Time the thunk as a span named [name] (exception-safe: the span is
+    recorded even when the thunk raises). *)
+
+val roots : Registry.t -> node list
+(** The aggregated top-level spans recorded so far. *)
+
+val seconds : node -> float
+(** [total_ns] in seconds. *)
+
+val find : node list -> string -> node option
+(** First node with that name, searching depth-first. *)
+
+val flatten : node list -> (string * node) list
+(** Every node paired with its slash-separated path from the root, e.g.
+    [("solve/stage1", n)], in tree order. *)
+
+val pp : Format.formatter -> node list -> unit
+(** Render the forest with box-drawing connectors, humanised durations
+    and execution counts. *)

@@ -7,6 +7,9 @@ module Simulator = Mcss_sim.Simulator
 module Reprovision = Mcss_dynamic.Reprovision
 module Recovery = Mcss_dynamic.Recovery
 module Rng = Mcss_prng.Rng
+module Registry = Mcss_obs.Registry
+module Span = Mcss_obs.Span
+module Counter = Mcss_obs.Metric.Counter
 
 type policy = {
   epochs : int;
@@ -140,7 +143,8 @@ let rebuild_degraded (plan : Reprovision.plan) ~failed ~allowed =
     orphans;
   ({ plan with Reprovision.allocation = fresh }, List.rev !shed, !added)
 
-let run ?(policy = default_policy) ?(zones = 1) ?(log = fun _ -> ()) ~campaign p =
+let run ?(obs = Registry.noop) ?(policy = default_policy) ?(zones = 1)
+    ?(log = fun _ -> ()) ~campaign p =
   check_policy policy;
   if zones < 1 then invalid_arg "Orchestrator.run: zones must be >= 1";
   Failure_model.validate campaign;
@@ -163,6 +167,17 @@ let run ?(policy = default_policy) ?(zones = 1) ?(log = fun _ -> ()) ~campaign p
   and vms_added = ref 0
   and failures = ref 0
   and cooldown_until = ref 0 in
+  (* Observability: first-suspect bookkeeping feeds the recovery-latency
+     histogram (epochs from a VM first turning suspect to the repair that
+     clears it); totals flush to counters after the campaign. *)
+  let detections = ref 0 and suspect_since = ref None in
+  let recovery_latency =
+    Registry.histogram obs
+      ~buckets:(Mcss_obs.Metric.Histogram.linear ~lo:1. ~hi:10. ~buckets:10)
+      ~help:"Epochs from first suspicion to an adopted repair"
+      "resilience.recovery_latency_epochs"
+  in
+  let degraded_rebuilds = ref 0 in
   (* Pending windows follow surviving VMs through the replan's
      renumbering (new id = rank among survivors); windows on the
      replaced VMs die with them. Dead-counters restart from zero. *)
@@ -179,6 +194,7 @@ let run ?(policy = default_policy) ?(zones = 1) ?(log = fun _ -> ()) ~campaign p
     counters := Array.make (Allocation.num_vms (!plan).Reprovision.allocation) 0
   in
   for e = 0 to policy.epochs - 1 do
+    Span.with_ obs ~name:"epoch" @@ fun () ->
     let t0 = float_of_int e *. d and t1 = float_of_int (e + 1) *. d in
     let a = (!plan).Reprovision.allocation in
     let n = Allocation.num_vms a in
@@ -195,7 +211,9 @@ let run ?(policy = default_policy) ?(zones = 1) ?(log = fun _ -> ()) ~campaign p
         end)
       faults;
     let outages = clip_outages !active ~t0 ~t1 in
-    let result = Simulator.run p a { Simulator.default_config with duration = d; outages } in
+    let result =
+      Simulator.run ~obs p a { Simulator.default_config with duration = d; outages }
+    in
     let chk = Simulator.check p a result ~tolerance:policy.tolerance in
     let violations = List.length chk.Simulator.unsatisfied in
     let delivered = sum result.Simulator.delivered in
@@ -217,6 +235,10 @@ let run ?(policy = default_policy) ?(zones = 1) ?(log = fun _ -> ()) ~campaign p
     let suspects = ref [] in
     Array.iteri (fun id c -> if c >= policy.hysteresis then suspects := id :: !suspects) cnt;
     let suspects = List.rev !suspects in
+    if suspects <> [] then begin
+      detections := !detections + List.length suspects;
+      if !suspect_since = None then suspect_since := Some e
+    end;
     let repaired = ref false in
     if policy.recovery && suspects <> [] && violations > 0 then begin
       if e < !cooldown_until then begin
@@ -229,7 +251,9 @@ let run ?(policy = default_policy) ?(zones = 1) ?(log = fun _ -> ()) ~campaign p
         let budget_left = max 0 (policy.max_new_vms - !vms_added) in
         let decision =
           try
-            let candidate, stats = Recovery.replan !plan ~failed:suspects in
+            let candidate, stats =
+              Span.with_ obs ~name:"replan" (fun () -> Recovery.replan !plan ~failed:suspects)
+            in
             let survivor_cost =
               Problem.cost p
                 ~vms:(n - List.length suspects)
@@ -256,6 +280,12 @@ let run ?(policy = default_policy) ?(zones = 1) ?(log = fun _ -> ()) ~campaign p
             repaired := true;
             failures := 0;
             cooldown_until := e + 1;
+            (match !suspect_since with
+            | Some e0 ->
+                Mcss_obs.Metric.Histogram.observe recovery_latency
+                  (float_of_int (e - e0 + 1));
+                suspect_since := None
+            | None -> ());
             remap_after_repair suspects;
             logf "epoch %d: repaired — %d VM(s) replaced by %d fresh, %d pairs re-homed"
               e stats.Recovery.vms_lost stats.Recovery.vms_added
@@ -269,7 +299,14 @@ let run ?(policy = default_policy) ?(zones = 1) ?(log = fun _ -> ()) ~campaign p
             shed := !shed @ newly_shed;
             repaired := true;
             incr failures;
+            incr degraded_rebuilds;
             cooldown_until := e + 1 + backoff policy rng ~failures:!failures;
+            (match !suspect_since with
+            | Some e0 ->
+                Mcss_obs.Metric.Histogram.observe recovery_latency
+                  (float_of_int (e - e0 + 1));
+                suspect_since := None
+            | None -> ());
             remap_after_repair suspects;
             logf
               "epoch %d: degraded — %d VM(s) dropped, %d fresh allowed, %d pair(s) \
@@ -305,21 +342,41 @@ let run ?(policy = default_policy) ?(zones = 1) ?(log = fun _ -> ()) ~campaign p
       | [] -> Ok ()
       | v :: _ -> Error (Format.asprintf "%a" Verifier.pp_violation v)
   in
-  {
-    plan = !plan;
-    sla =
-      Sla.report ~penalty_usd_per_violation_hour:policy.penalty_usd_per_violation_hour
-        sla;
-    epoch_log = Sla.entries sla;
-    repairs = !repairs;
-    repair_attempts = !attempts;
-    backoff_skips = !backoff_skips;
-    shed = !shed;
-    vms_added = !vms_added;
-    verified;
-  }
+  let outcome =
+    {
+      plan = !plan;
+      sla =
+        Sla.report ~penalty_usd_per_violation_hour:policy.penalty_usd_per_violation_hour
+          sla;
+      epoch_log = Sla.entries sla;
+      repairs = !repairs;
+      repair_attempts = !attempts;
+      backoff_skips = !backoff_skips;
+      shed = !shed;
+      vms_added = !vms_added;
+      verified;
+    }
+  in
+  if Registry.enabled obs then begin
+    let c name help v = Counter.add (Registry.counter obs ~help name) v in
+    c "resilience.epochs" "Campaign epochs executed" policy.epochs;
+    c "resilience.suspect_detections" "Suspect-VM detections (VM-epochs over hysteresis)"
+      !detections;
+    c "resilience.repair_attempts" "Repairs attempted" outcome.repair_attempts;
+    c "resilience.repairs_adopted" "Repairs adopted (full or degraded)" outcome.repairs;
+    c "resilience.backoff_skips" "Repair opportunities skipped while backing off"
+      outcome.backoff_skips;
+    c "resilience.degraded_rebuilds" "Degraded rebuilds (orphans re-homed, rest shed)"
+      !degraded_rebuilds;
+    c "resilience.vms_added" "Fresh VMs provisioned by repairs" outcome.vms_added;
+    c "resilience.pairs_shed" "Pairs shed by degraded rebuilds" (List.length outcome.shed);
+    c "resilience.violation_epochs" "Epochs with at least one SLA violation"
+      (List.length
+         (List.filter (fun (ep : Sla.epoch) -> ep.Sla.violations > 0) outcome.epoch_log))
+  end;
+  outcome
 
-let evaluate ?(policy = default_policy) ?(zones = 1) ~campaign p a =
+let evaluate ?(obs = Registry.noop) ?(policy = default_policy) ?(zones = 1) ~campaign p a =
   check_policy policy;
   if zones < 1 then invalid_arg "Orchestrator.evaluate: zones must be >= 1";
   Failure_model.validate campaign;
@@ -340,7 +397,9 @@ let evaluate ?(policy = default_policy) ?(zones = 1) ~campaign p a =
         end)
       faults;
     let outages = clip_outages !active ~t0 ~t1 in
-    let result = Simulator.run p a { Simulator.default_config with duration = d; outages } in
+    let result =
+      Simulator.run ~obs p a { Simulator.default_config with duration = d; outages }
+    in
     let chk = Simulator.check p a result ~tolerance:policy.tolerance in
     Sla.record sla
       {

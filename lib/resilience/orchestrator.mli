@@ -70,6 +70,7 @@ type outcome = {
 }
 
 val run :
+  ?obs:Mcss_obs.Registry.t ->
   ?policy:policy ->
   ?zones:int ->
   ?log:(string -> unit) ->
@@ -77,11 +78,21 @@ val run :
   Mcss_core.Problem.t ->
   outcome
 (** Solve the problem cold (GSP + CBP), then supervise it through the
-    campaign. [zones] (default 1) scopes {!Failure_model.Zone_burst}
+    campaign. [obs] (default {!Mcss_obs.Registry.noop}) records one
+    [epoch] span per epoch (with the inner [simulate] and [replan]
+    children), the campaign counters ([resilience.epochs],
+    [resilience.suspect_detections], [resilience.repair_attempts],
+    [resilience.repairs_adopted], [resilience.backoff_skips],
+    [resilience.degraded_rebuilds], [resilience.vms_added],
+    [resilience.pairs_shed], [resilience.violation_epochs]) and the
+    [resilience.recovery_latency_epochs] histogram (epochs from first
+    suspicion to an adopted repair).
+    [zones] (default 1) scopes {!Failure_model.Zone_burst}
     faults. [log] receives one deterministic line per notable event
     (epoch summary, detection, repair decision). *)
 
 val evaluate :
+  ?obs:Mcss_obs.Registry.t ->
   ?policy:policy ->
   ?zones:int ->
   campaign:Failure_model.campaign ->
@@ -91,7 +102,8 @@ val evaluate :
 (** Passive drill: meter a {e fixed} allocation (e.g. a k-redundant
     placement from {!Redundancy.place}) through the campaign with no
     recovery, and report the SLA. This is how replicas are compared
-    against repairs. *)
+    against repairs. [obs] is forwarded to each epoch's
+    {!Mcss_sim.Simulator.run}. *)
 
 val backoff : policy -> Mcss_prng.Rng.t -> failures:int -> int
 (** Cooldown epochs after the [failures]-th consecutive failed repair:

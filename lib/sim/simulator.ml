@@ -1,6 +1,9 @@
 module Workload = Mcss_workload.Workload
 module Problem = Mcss_core.Problem
 module Allocation = Mcss_core.Allocation
+module Registry = Mcss_obs.Registry
+module Span = Mcss_obs.Span
+module Counter = Mcss_obs.Metric.Counter
 
 type arrivals =
   | Deterministic
@@ -39,11 +42,16 @@ type result = {
 
 (* A deterministic per-topic phase in [0, 1): decorrelates the evenly
    spaced publication streams without any RNG state. *)
+let peak_bucket_rate_raw ~duration ~buckets loads =
+  let bucket_len = duration /. float_of_int buckets in
+  Array.fold_left Float.max 0. loads /. bucket_len
+
 let phase_of_topic t =
   let h = Int64.to_int (Int64.shift_right_logical (Int64.mul (Int64.of_int (t + 1)) 0x9E3779B97F4A7C15L) 11) in
   float_of_int h *. 0x1p-53
 
-let run (p : Problem.t) a config =
+let run ?(obs = Registry.noop) (p : Problem.t) a config =
+  Span.with_ obs ~name:"simulate" @@ fun () ->
   if not (config.duration > 0.) then invalid_arg "Simulator.run: duration must be positive";
   if config.buckets < 1 then invalid_arg "Simulator.run: buckets must be >= 1";
   (match config.arrivals with
@@ -93,6 +101,11 @@ let run (p : Problem.t) a config =
       vm_outages.(o.vm) <- (o.from_time, o.until_time, o.severity) :: vm_outages.(o.vm))
     config.outages;
   let throttle_seen = Array.make num_vms 0 in
+  (* Hot-loop tallies live in plain refs and flush to the registry once
+     after the drain, keeping the per-event cost identical whether or not
+     observability is enabled. *)
+  let n_forwards = ref 0 in
+  let n_outage_drops = ref 0 in
   (* Whether the VM processes an event published at [time]. *)
   let forwards vm time =
     let sev =
@@ -130,11 +143,15 @@ let run (p : Problem.t) a config =
     List.iter
       (fun (vm, count) ->
         if forwards vm time then begin
+          incr n_forwards;
           vm_ingress.(vm) <- vm_ingress.(vm) + 1;
           vm_egress.(vm) <- vm_egress.(vm) + count;
           vm_bucket_load.(vm).(k) <- vm_bucket_load.(vm).(k) +. float_of_int (1 + count)
         end
-        else failed := vm :: !failed)
+        else begin
+          incr n_outage_drops;
+          failed := vm :: !failed
+        end)
       hosting.(t);
     match !failed with
     | [] -> ()
@@ -160,6 +177,7 @@ let run (p : Problem.t) a config =
   in
   (* Every topic publishes — whether or not the allocation forwards it —
      so the delivered counts reflect the world, not just the fleet. *)
+  Span.with_ obs ~name:"setup" (fun () ->
   for t = 0 to Workload.num_topics w - 1 do
     let ev = Workload.event_rate w t in
     match config.arrivals with
@@ -181,14 +199,16 @@ let run (p : Problem.t) a config =
         let peak = ev *. (1. +. amplitude) in
         let first = Mcss_prng.Dist.exponential rng ~mean:(1. /. peak) in
         if first < config.duration then Event_heap.push heap first (t, -2.)
-  done;
+  done);
   let amplitude =
     match config.arrivals with Diurnal { amplitude; _ } -> amplitude | _ -> 0.
   in
+  let heap_pops = ref 0 in
   let rec drain () =
     match Event_heap.pop heap with
     | None -> ()
     | Some (time, (t, interval)) ->
+        incr heap_pops;
         let ev = Workload.event_rate w t in
         (if interval = -2. then begin
            (* Diurnal thinning: accept at the modulated fraction. *)
@@ -210,7 +230,7 @@ let run (p : Problem.t) a config =
         if next < config.duration then Event_heap.push heap next (t, interval);
         drain ()
   in
-  drain ();
+  Span.with_ obs ~name:"drain" drain;
   (* Each distinct placed pair delivers every publication of its topic
      once. Replicas of the same pair on several VMs dedupe (a real broker
      would dedupe by event id): an event is lost for the pair only when
@@ -225,29 +245,66 @@ let run (p : Problem.t) a config =
           Hashtbl.replace pair_hosts (t, v)
             (b :: Option.value ~default:[] (Hashtbl.find_opt pair_hosts (t, v)))))
     (Allocation.vms a);
-  Hashtbl.iter
-    (fun (t, v) hosts ->
-      let dropped =
-        match Hashtbl.find_opt missed t with
-        | None -> 0
-        | Some tbl ->
-            Hashtbl.fold
-              (fun fail c acc ->
-                if List.for_all (fun h -> List.mem h fail) hosts then acc + c else acc)
-              tbl 0
-      in
-      delivered.(v) <- delivered.(v) + pubs.(t) - dropped;
-      lost.(v) <- lost.(v) + dropped)
-    pair_hosts;
-  {
-    events_published = !events_published;
-    vm_ingress;
-    vm_egress;
-    delivered;
-    lost;
-    vm_bucket_load;
-    config;
-  }
+  Span.with_ obs ~name:"settle" (fun () ->
+      Hashtbl.iter
+        (fun (t, v) hosts ->
+          let dropped =
+            match Hashtbl.find_opt missed t with
+            | None -> 0
+            | Some tbl ->
+                Hashtbl.fold
+                  (fun fail c acc ->
+                    if List.for_all (fun h -> List.mem h fail) hosts then acc + c
+                    else acc)
+                  tbl 0
+          in
+          delivered.(v) <- delivered.(v) + pubs.(t) - dropped;
+          lost.(v) <- lost.(v) + dropped)
+        pair_hosts);
+  let r =
+    {
+      events_published = !events_published;
+      vm_ingress;
+      vm_egress;
+      delivered;
+      lost;
+      vm_bucket_load;
+      config;
+    }
+  in
+  if Registry.enabled obs then begin
+    let c name help v = Counter.add (Registry.counter obs ~help name) v in
+    c "sim.events_published" "Publications generated by the event loop" r.events_published;
+    c "sim.heap_pops" "Event-heap pops (arrivals dispatched)" !heap_pops;
+    c "sim.forwards" "Per-VM forwarding decisions that went through" !n_forwards;
+    c "sim.outage_drops" "Per-VM forwarding decisions lost to outages" !n_outage_drops;
+    c "sim.outage_windows" "Outage windows injected into the run"
+      (List.length config.outages);
+    c "sim.delivered_events" "Events delivered across all subscribers"
+      (Array.fold_left ( + ) 0 delivered);
+    c "sim.lost_events" "Events lost across all subscribers"
+      (Array.fold_left ( + ) 0 lost);
+    let traffic =
+      Registry.histogram obs
+        ~buckets:(Mcss_obs.Metric.Histogram.exponential ~lo:1. ~factor:4. ~buckets:12)
+        ~help:"Per-VM total traffic (ingress + egress events)" "sim.vm_traffic_events"
+    in
+    let util =
+      Registry.histogram obs
+        ~buckets:(Mcss_obs.Metric.Histogram.linear ~lo:0.1 ~hi:2.0 ~buckets:20)
+        ~help:"Per-VM peak bucket rate as a fraction of capacity BC"
+        "sim.vm_peak_utilisation"
+    in
+    for vm = 0 to num_vms - 1 do
+      Mcss_obs.Metric.Histogram.observe traffic
+        (float_of_int (vm_ingress.(vm) + vm_egress.(vm)));
+      Mcss_obs.Metric.Histogram.observe util
+        (peak_bucket_rate_raw ~duration:config.duration ~buckets:config.buckets
+           vm_bucket_load.(vm)
+        /. p.Problem.capacity)
+    done
+  end;
+  r
 
 let total_vm_traffic r ~vm = r.vm_ingress.(vm) + r.vm_egress.(vm)
 

@@ -68,7 +68,9 @@ type result = {
   config : config;
 }
 
-val run : Mcss_core.Problem.t -> Mcss_core.Allocation.t -> config -> result
+val run :
+  ?obs:Mcss_obs.Registry.t ->
+  Mcss_core.Problem.t -> Mcss_core.Allocation.t -> config -> result
 (** Replay the deployment. Deliveries are counted from the pairs the
     fleet actually hosts (each distinct placed pair delivers once per
     publication), so an allocation that lost pairs shows up as
@@ -79,7 +81,16 @@ val run : Mcss_core.Problem.t -> Mcss_core.Allocation.t -> config -> result
 
     Every outage is validated up front: raises [Invalid_argument] if an
     outage's [vm] is outside the fleet, its window is inverted
-    ([from_time > until_time]), or its [severity] is outside (0, 1]. *)
+    ([from_time > until_time]), or its [severity] is outside (0, 1].
+
+    [obs] (default {!Mcss_obs.Registry.noop}) records a [simulate] span
+    with [setup]/[drain]/[settle] children, the event-loop counters
+    ([sim.events_published], [sim.heap_pops], [sim.forwards],
+    [sim.outage_drops], [sim.outage_windows], [sim.delivered_events],
+    [sim.lost_events]) and two per-VM histograms:
+    [sim.vm_traffic_events] and [sim.vm_peak_utilisation] (peak bucket
+    rate over capacity). Hot-loop tallies accumulate in locals and flush
+    once, so the per-event overhead is negligible. *)
 
 val total_vm_traffic : result -> vm:int -> int
 (** Ingress plus egress of one VM, in events. *)

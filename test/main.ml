@@ -34,4 +34,5 @@ let () =
       ("recovery", Test_recovery.suite);
       ("resilience", Test_resilience.suite);
       ("boundaries", Test_boundaries.suite);
+      ("obs", Test_obs.suite);
     ]
