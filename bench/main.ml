@@ -1110,12 +1110,204 @@ let obs_overhead ~seeds ~spotify ~twitter ~spotify_scale ~twitter_scale ~out_dir
   close_out oc;
   Printf.printf "wrote %s\n" path
 
+(* Planning-service throughput: an in-process [mcss serve] on a Unix
+   socket, N concurrent client domains driving a solve+whatif mix over a
+   small set of parameter points. After warm-up most requests hit the
+   plan cache, so the numbers characterise the service path (protocol,
+   cache, admission, socket) rather than the solver. Writes
+   BENCH_serve.json: requests/s, p50/p95/p99 latency, steady-state
+   cache hit ratio. *)
+let serve_bench ~seeds ~spotify ~spotify_scale ~out_dir =
+  section_header "serve"
+    "planning service: concurrent solve/whatif over a Unix socket";
+  let module Service = Mcss_serve.Service in
+  let module Server = Mcss_serve.Server in
+  let module Client = Mcss_serve.Client in
+  let module Json = Mcss_serve.Json in
+  let module Protocol = Mcss_serve.Protocol in
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mcss-bench-serve-%d.sock" (Unix.getpid ()))
+  in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let svc = Service.create () in
+  let digest = Service.load_workload svc spotify in
+  let address = Server.Unix_socket path in
+  let sconfig =
+    { Server.default_config with Server.workers = 8; accept_tick_s = 0.05 }
+  in
+  let server = Domain.spawn (fun () -> Server.run ~config:sconfig svc address) in
+  let rec await tries =
+    if tries = 0 then failwith "serve bench: server never came up";
+    match Client.connect address with
+    | Ok c -> Client.close c
+    | Error _ ->
+        Unix.sleepf 0.02;
+        await (tries - 1)
+  in
+  await 200;
+  (* Eight parameter points; after one cold solve each, everything is a
+     cache hit, which is the steady state a plan server lives in. *)
+  let taus = [| 25.; 50.; 75.; 100.; 150.; 200.; 400.; 800. |] in
+  let capacity = bc_events ~scale:spotify_scale Instance.c3_large in
+  let num_clients = 6 and requests_per_client = 50 in
+  let solve_request tau =
+    Json.Obj
+      [
+        ("req", Json.String "solve");
+        ("digest", Json.String digest);
+        ("tau", Json.Float tau);
+        ("bc_events", Json.Float capacity);
+      ]
+  in
+  let whatif_request () =
+    Json.Obj
+      [
+        ("req", Json.String "whatif");
+        ("digest", Json.String digest);
+        ("bc_events", Json.Float capacity);
+        ("taus", Json.List (List.map (fun t -> Json.Float t) [ 50.; 100.; 200. ]));
+      ]
+  in
+  (* Warm the cache once so the measured phase is steady-state. *)
+  (match
+     Client.with_connection address (fun c ->
+         Array.iter (fun tau -> ignore (Client.request c (solve_request tau))) taus;
+         ignore (Client.request c (whatif_request ()));
+         Ok ())
+   with
+  | Ok () -> ()
+  | Error m -> failwith ("serve bench warm-up: " ^ m));
+  let warm_stats = Service.cache_stats svc in
+  let run_client idx =
+    Domain.spawn (fun () ->
+        match
+          Client.with_connection address (fun c ->
+              let latencies = Array.make requests_per_client 0. in
+              let errors = ref 0 in
+              for k = 0 to requests_per_client - 1 do
+                let request =
+                  if (idx + k) mod 8 = 7 then whatif_request ()
+                  else solve_request taus.((idx + k) mod Array.length taus)
+                in
+                let t0 = Unix.gettimeofday () in
+                (match Client.request c request with
+                | Ok reply ->
+                    if not (Protocol.response_ok reply) then incr errors
+                | Error _ -> incr errors);
+                latencies.(k) <- Unix.gettimeofday () -. t0
+              done;
+              Ok (latencies, !errors))
+        with
+        | Ok r -> r
+        | Error m -> failwith ("serve bench client: " ^ m))
+  in
+  let t_start = Unix.gettimeofday () in
+  let domains = List.init num_clients run_client in
+  let per_client = List.map Domain.join domains in
+  let wall_s = Unix.gettimeofday () -. t_start in
+  (* Drain the server before reading its counters. *)
+  (match
+     Client.with_connection address (fun c ->
+         Client.request c (Json.Obj [ ("req", Json.String "shutdown") ]))
+   with
+  | Ok _ | Error _ -> ());
+  Domain.join server;
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let latencies =
+    Array.concat (List.map (fun (ls, _) -> ls) per_client)
+  in
+  let errors = List.fold_left (fun acc (_, e) -> acc + e) 0 per_client in
+  Array.sort compare latencies;
+  let pct p =
+    let n = Array.length latencies in
+    latencies.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1 |> max 0))
+  in
+  let total_requests = num_clients * requests_per_client in
+  let requests_per_s = float_of_int total_requests /. wall_s in
+  let final_stats = Service.cache_stats svc in
+  (* Steady state: only lookups made during the measured phase. *)
+  let steady_hits = final_stats.Mcss_serve.Plan_cache.hits - warm_stats.Mcss_serve.Plan_cache.hits in
+  let steady_misses =
+    final_stats.Mcss_serve.Plan_cache.misses - warm_stats.Mcss_serve.Plan_cache.misses
+  in
+  let steady_hit_ratio =
+    if steady_hits + steady_misses = 0 then 0.
+    else float_of_int steady_hits /. float_of_int (steady_hits + steady_misses)
+  in
+  let table =
+    Table.create
+      [
+        ("clients", Table.Right);
+        ("requests", Table.Right);
+        ("errors", Table.Right);
+        ("req/s", Table.Right);
+        ("p50 ms", Table.Right);
+        ("p95 ms", Table.Right);
+        ("p99 ms", Table.Right);
+        ("hit ratio", Table.Right);
+      ]
+  in
+  Table.add_row table
+    [
+      string_of_int num_clients;
+      string_of_int total_requests;
+      string_of_int errors;
+      Table.cell_float ~decimals:0 requests_per_s;
+      Table.cell_float ~decimals:3 (pct 0.50 *. 1e3);
+      Table.cell_float ~decimals:3 (pct 0.95 *. 1e3);
+      Table.cell_float ~decimals:3 (pct 0.99 *. 1e3);
+      Table.cell_float ~decimals:3 steady_hit_ratio;
+    ];
+  Table.print table;
+  Printf.printf
+    "(steady state after a warm-up pass over all %d parameter points;\n\
+    \ solver ran %d times in total — everything else came from the cache)\n"
+    (Array.length taus + 3)
+    (Service.solver_runs svc);
+  let rec mkdir_p dir =
+    if dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+      mkdir_p (Filename.dirname dir);
+      (try Sys.mkdir dir 0o755 with Sys_error _ -> ())
+    end
+  in
+  mkdir_p out_dir;
+  let json_path = Filename.concat out_dir "BENCH_serve.json" in
+  let oc = open_out json_path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"scenario\": \"serve_throughput\",\n\
+    \  \"version\": %S,\n\
+    \  \"trace_seed\": %d,\n\
+    \  \"trace\": \"spotify\",\n\
+    \  \"scale\": %g,\n\
+    \  \"clients\": %d,\n\
+    \  \"requests\": %d,\n\
+    \  \"errors\": %d,\n\
+    \  \"wall_s\": %.6f,\n\
+    \  \"requests_per_s\": %.2f,\n\
+    \  \"latency_ms\": { \"p50\": %.4f, \"p95\": %.4f, \"p99\": %.4f },\n\
+    \  \"cache\": { \"steady_state_hit_ratio\": %.4f, \"hits\": %d,\n\
+    \    \"misses\": %d, \"entries\": %d },\n\
+    \  \"solver_runs\": %d\n\
+     }\n"
+    (Mcss_serve.Build_info.to_string ())
+    seeds.trace_seed spotify_scale num_clients total_requests errors wall_s
+    requests_per_s
+    (pct 0.50 *. 1e3)
+    (pct 0.95 *. 1e3)
+    (pct 0.99 *. 1e3)
+    steady_hit_ratio steady_hits steady_misses
+    final_stats.Mcss_serve.Plan_cache.entries (Service.solver_runs svc);
+  close_out oc;
+  Printf.printf "wrote %s\n" json_path
+
 let all_sections =
   [
     "fig1"; "fig2a"; "fig2b"; "fig3a"; "fig3b"; "fig4"; "fig5"; "fig6"; "fig7";
     "fig8-12"; "summary"; "ablate-stage1"; "ablate-stage2"; "ablate-dynamic";
     "ablate-failures"; "ablate-scaling"; "ablate-skew"; "ablate-budget"; "latency";
-    "resilience"; "obs"; "micro";
+    "resilience"; "obs"; "serve"; "micro";
   ]
 
 let run_bench sections spotify_scale twitter_scale trace_seed out_dir =
@@ -1203,6 +1395,8 @@ let run_bench sections spotify_scale twitter_scale trace_seed out_dir =
   if enabled "obs" then
     obs_overhead ~seeds ~spotify:(Lazy.force spotify) ~twitter:(Lazy.force twitter)
       ~spotify_scale ~twitter_scale ~out_dir;
+  if enabled "serve" then
+    serve_bench ~seeds ~spotify:(Lazy.force spotify) ~spotify_scale ~out_dir;
   if enabled "micro" then micro ~seeds ();
   Printf.printf "\ndone. figure data series in %s/\n" out_dir
 

@@ -28,6 +28,12 @@ module Failure_model = Mcss_resilience.Failure_model
 module Orchestrator = Mcss_resilience.Orchestrator
 module Redundancy = Mcss_resilience.Redundancy
 module Sla = Mcss_resilience.Sla
+module Serve_json = Mcss_serve.Json
+module Serve_protocol = Mcss_serve.Protocol
+module Serve_service = Mcss_serve.Service
+module Serve_server = Mcss_serve.Server
+module Serve_client = Mcss_serve.Client
+module Build_info = Mcss_serve.Build_info
 
 open Cmdliner
 
@@ -110,17 +116,31 @@ let generate_workload trace scale seed =
       in
       Mcss_traces.Twitter.generate p
 
+(* Fail-fast file access, shared by every subcommand: a missing or
+   corrupt workload/plan file is one line on stderr and exit 1, never a
+   backtrace and never silently different behaviour per subcommand. *)
+let die fmt = Printf.ksprintf (fun m -> prerr_endline ("mcss: " ^ m); exit 1) fmt
+
 let load_workload file trace scale seed =
   match (file, trace) with
   | Some path, _ -> (
       Logs.info (fun m -> m "loading workload from %s" path);
       try Ok (Wio.load path) with
       | Sys_error msg -> Error msg
-      | Failure msg -> Error (Printf.sprintf "%s: %s" path msg))
+      | Wio.Parse_error msg | Failure msg -> Error (Printf.sprintf "%s: %s" path msg))
   | None, Some trace ->
       Logs.info (fun m -> m "generating synthetic trace at scale %g" scale);
       Ok (generate_workload trace scale seed)
   | None, None -> Error "pass either --workload FILE or --trace NAME"
+
+let require_workload file trace scale seed =
+  match load_workload file trace scale seed with Ok w -> w | Error e -> die "%s" e
+
+let require_plan ~workload path =
+  match Mcss_core.Plan_io.load ~workload path with
+  | plan -> plan
+  | exception Sys_error msg -> die "%s" msg
+  | exception Mcss_core.Plan_io.Parse_error msg -> die "%s: %s" path msg
 
 let resolve_instance name =
   match Instance.find name with
@@ -183,7 +203,7 @@ let solve_cmd =
   let run () file trace scale seed tau instance_name bc_events config_name ladder
       no_verify save_plan detail metrics_out =
     let ( let* ) r f = match r with Ok x -> f x | Error e -> `Error (false, e) in
-    let* w = load_workload file trace scale seed in
+    let w = require_workload file trace scale seed in
     let* instance = resolve_instance instance_name in
     let obs = obs_of metrics_out in
     let model, p = problem_of ~w ~tau ~instance ~scale ~bc_events in
@@ -276,7 +296,7 @@ let solve_cmd =
 let lower_bound_cmd =
   let run () file trace scale seed tau instance_name bc_events =
     let ( let* ) r f = match r with Ok x -> f x | Error e -> `Error (false, e) in
-    let* w = load_workload file trace scale seed in
+    let w = require_workload file trace scale seed in
     let* instance = resolve_instance instance_name in
     let model, p = problem_of ~w ~tau ~instance ~scale ~bc_events in
     let lb = Lower_bound.compute p in
@@ -301,8 +321,7 @@ let analyze_cmd =
            ~doc:"Also dump CCDF/series data files there.")
   in
   let run () file trace scale seed out_dir =
-    let ( let* ) r f = match r with Ok x -> f x | Error e -> `Error (false, e) in
-    let* w = load_workload file trace scale seed in
+    let w = require_workload file trace scale seed in
     Format.printf "%a@." Workload.pp_summary w;
     let rates = Stats.summarize (Workload.event_rates w) in
     Printf.printf "event rate:  mean %.1f  p50 %.0f  p90 %.0f  p99 %.0f  max %.0f\n"
@@ -394,14 +413,14 @@ let simulate_cmd =
   let run () file trace scale seed tau instance_name bc_events poisson duration plan
       outages metrics_out =
     let ( let* ) r f = match r with Ok x -> f x | Error e -> `Error (false, e) in
-    let* w = load_workload file trace scale seed in
+    let w = require_workload file trace scale seed in
     let* instance = resolve_instance instance_name in
     let obs = obs_of metrics_out in
     let _model, p = problem_of ~w ~tau ~instance ~scale ~bc_events in
     let allocation =
       match plan with
       | Some path ->
-          let a, s = Mcss_core.Plan_io.load ~workload:w path in
+          let a, s = require_plan ~workload:w path in
           let report = Verifier.verify p s a in
           Printf.printf "loaded plan: %d VMs (verifier: %s)\n"
             (Allocation.num_vms a)
@@ -471,7 +490,7 @@ let budget_cmd =
   in
   let run () file trace scale seed tau instance_name bc_events budgets =
     let ( let* ) r f = match r with Ok x -> f x | Error e -> `Error (false, e) in
-    let* w = load_workload file trace scale seed in
+    let w = require_workload file trace scale seed in
     let* instance = resolve_instance instance_name in
     let _model, p = problem_of ~w ~tau ~instance ~scale ~bc_events in
     let full = Solver.solve p in
@@ -554,7 +573,7 @@ let export_lp_cmd =
   in
   let run () file trace scale seed tau instance_name bc_events out max_vms =
     let ( let* ) r f = match r with Ok x -> f x | Error e -> `Error (false, e) in
-    let* w = load_workload file trace scale seed in
+    let w = require_workload file trace scale seed in
     let* instance = resolve_instance instance_name in
     let model, p = problem_of ~w ~tau ~instance ~scale ~bc_events in
     let max_vms =
@@ -587,10 +606,10 @@ let verify_cmd =
   in
   let run () file trace scale seed tau instance_name bc_events plan =
     let ( let* ) r f = match r with Ok x -> f x | Error e -> `Error (false, e) in
-    let* w = load_workload file trace scale seed in
+    let w = require_workload file trace scale seed in
     let* instance = resolve_instance instance_name in
     let model, p = problem_of ~w ~tau ~instance ~scale ~bc_events in
-    let a, s = Mcss_core.Plan_io.load ~workload:w plan in
+    let a, s = require_plan ~workload:w plan in
     let report = Verifier.verify p s a in
     Printf.printf "plan: %d VMs, %.2f GB bandwidth, cost %s\n" report.Verifier.num_vms
       (Cost_model.gb_of_events model report.Verifier.total_bandwidth)
@@ -681,7 +700,7 @@ let chaos_cmd =
     let ( let* ) r f = match r with Ok x -> f x | Error e -> `Error (false, e) in
     let* () = if k >= 1 then Ok () else Error "--replicas must be >= 1" in
     let* () = if zones >= 1 then Ok () else Error "--zones must be >= 1" in
-    let* w = load_workload file trace scale seed in
+    let w = require_workload file trace scale seed in
     let* instance = resolve_instance instance_name in
     let obs = obs_of metrics_out in
     let _model, p = problem_of ~w ~tau ~instance ~scale ~bc_events in
@@ -780,7 +799,7 @@ let profile_cmd =
   let run () file trace scale seed tau instance_name bc_events config_name format
       no_simulate message_bytes metrics_out =
     let ( let* ) r f = match r with Ok x -> f x | Error e -> `Error (false, e) in
-    let* w = load_workload file trace scale seed in
+    let w = require_workload file trace scale seed in
     let* instance = resolve_instance instance_name in
     let _model, p = problem_of ~w ~tau ~instance ~scale ~bc_events in
     let config =
@@ -827,13 +846,272 @@ let profile_cmd =
         $ tau_arg $ instance_arg $ bc_events_arg $ config_arg $ format_arg
         $ no_simulate_arg $ message_bytes_arg $ metrics_out_arg))
 
+(* ----- serve ----- *)
+
+let serve_cmd =
+  let listen_arg =
+    Arg.(value & opt string "unix:mcss.sock" & info [ "l"; "listen" ] ~docv:"ADDR"
+           ~doc:"Listen address: $(b,unix:PATH), $(b,HOST:PORT), $(b,:PORT) or a \
+                 bare port.")
+  in
+  let cache_size_arg =
+    Arg.(value & opt int 128 & info [ "cache-size" ] ~docv:"N"
+           ~doc:"Plan-cache capacity in entries (LRU beyond that).")
+  in
+  let max_in_flight_arg =
+    Arg.(value & opt int 4 & info [ "max-in-flight" ] ~docv:"N"
+           ~doc:"Concurrent solver runs admitted; further solves are refused \
+                 with an $(b,overloaded) error.")
+  in
+  let workers_arg =
+    Arg.(value & opt int 4 & info [ "serve-workers" ] ~docv:"N"
+           ~doc:"Connection-worker domains.")
+  in
+  let max_request_bytes_arg =
+    Arg.(value & opt int (8 * 1024 * 1024) & info [ "max-request-bytes" ] ~docv:"N"
+           ~doc:"Longest accepted request line; longer ones get a \
+                 $(b,too_large) error.")
+  in
+  let default_deadline_arg =
+    Arg.(value & opt (some float) None & info [ "default-deadline-ms" ] ~docv:"MS"
+           ~doc:"Deadline applied to requests that do not carry their own.")
+  in
+  let preload_arg =
+    Arg.(value & opt_all string [] & info [ "preload" ] ~docv:"FILE"
+           ~doc:"Workload file to register at startup (repeatable); its digest \
+                 is printed.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "silent" ] ~doc:"No lifecycle logging.")
+  in
+  let run () listen cache_size max_in_flight workers max_request_bytes
+      default_deadline preloads quiet =
+    let ( let* ) r f = match r with Ok x -> f x | Error e -> `Error (false, e) in
+    let* address = Serve_server.address_of_string listen in
+    let* () = if cache_size >= 1 then Ok () else Error "--cache-size must be >= 1" in
+    let* () =
+      if max_in_flight >= 1 then Ok () else Error "--max-in-flight must be >= 1"
+    in
+    let* () = if workers >= 1 then Ok () else Error "--serve-workers must be >= 1" in
+    let* () =
+      if max_request_bytes >= 1024 then Ok ()
+      else Error "--max-request-bytes must be >= 1024"
+    in
+    let config =
+      {
+        Serve_service.cache_capacity = cache_size;
+        max_in_flight;
+        default_deadline_ms = default_deadline;
+      }
+    in
+    let service = Serve_service.create ~config () in
+    List.iter
+      (fun path ->
+        match Wio.load path with
+        | w ->
+            let digest = Serve_service.load_workload service w in
+            if not quiet then Printf.printf "preloaded %s: digest %s\n%!" path digest
+        | exception Sys_error m -> die "%s" m
+        | exception Wio.Parse_error m -> die "%s: %s" path m)
+      preloads;
+    let log = if quiet then ignore else fun s -> Printf.printf "%s\n%!" s in
+    log (Printf.sprintf "mcss-plan-server %s" (Build_info.to_string ()));
+    let sconfig =
+      { Serve_server.default_config with Serve_server.workers; max_request_bytes; log }
+    in
+    match Serve_server.run ~config:sconfig service address with
+    | () -> `Ok ()
+    | exception Unix.Unix_error (e, _, detail) ->
+        `Error
+          (false,
+           Printf.sprintf "cannot serve on %s: %s%s" listen (Unix.error_message e)
+             (if detail = "" then "" else " (" ^ detail ^ ")"))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the planning daemon: resident workloads, a plan cache, and the \
+             line-delimited JSON protocol (see $(b,mcss query))")
+    Term.(
+      ret
+        (const run $ setup_logs_term $ listen_arg $ cache_size_arg $ max_in_flight_arg
+        $ workers_arg $ max_request_bytes_arg $ default_deadline_arg $ preload_arg
+        $ quiet_arg))
+
+(* ----- query ----- *)
+
+let query_cmd =
+  let connect_arg =
+    Arg.(value & opt string "unix:mcss.sock" & info [ "c"; "connect" ] ~docv:"ADDR"
+           ~doc:"Server address: $(b,unix:PATH), $(b,HOST:PORT), $(b,:PORT) or a \
+                 bare port.")
+  in
+  let verb_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"VERB"
+           ~doc:"One of $(b,health), $(b,load), $(b,solve), $(b,whatif), \
+                 $(b,chaos), $(b,stats), $(b,metrics), $(b,shutdown), or \
+                 $(b,raw) (send the next positional argument verbatim).")
+  in
+  let raw_json_arg =
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"JSON"
+           ~doc:"Raw request line for $(b,raw).")
+  in
+  let digest_arg =
+    Arg.(value & opt (some string) None & info [ "digest" ] ~docv:"HEX"
+           ~doc:"Workload digest returned by $(b,load).")
+  in
+  let taus_arg =
+    Arg.(value & opt_all float [] & info [ "tau" ] ~docv:"F"
+           ~doc:"Satisfaction threshold (repeat for a $(b,whatif) sweep).")
+  in
+  let deadline_arg =
+    Arg.(value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS"
+           ~doc:"Per-request deadline; exceeding it yields a $(b,timeout) error.")
+  in
+  let config_name_arg =
+    Arg.(value & opt string "(e) +cost-decision" & info [ "config" ] ~docv:"NAME"
+           ~doc:"Solver configuration (ladder name, or $(b,parallel)).")
+  in
+  let faults_arg =
+    Arg.(value & opt_all string [] & info [ "fault" ] ~docv:"SPEC"
+           ~doc:"Fault spec for $(b,chaos) (repeatable), as in $(b,mcss chaos).")
+  in
+  let campaign_seed_arg =
+    Arg.(value & opt int 1 & info [ "campaign-seed" ] ~docv:"N"
+           ~doc:"Random-campaign / jitter seed for $(b,chaos).")
+  in
+  let epochs_arg =
+    Arg.(value & opt int 8 & info [ "epochs" ] ~docv:"N"
+           ~doc:"Supervision epochs for $(b,chaos).")
+  in
+  let zones_arg =
+    Arg.(value & opt int 3 & info [ "zones" ] ~docv:"N"
+           ~doc:"Failure zones for $(b,chaos).")
+  in
+  let run () connect verb raw_json wfile digest taus instance_name bc_events
+      config_name deadline faults campaign_seed epochs zones =
+    let ( let* ) r f = match r with Ok x -> f x | Error e -> `Error (false, e) in
+    let ( let& ) r f = match r with Ok x -> f x | Error _ as e -> e in
+    let* address = Serve_server.address_of_string connect in
+    let params tau =
+      {
+        Serve_protocol.tau;
+        instance = instance_name;
+        bc_events;
+        config = config_name;
+      }
+    in
+    let need_digest () =
+      match digest with
+      | Some d -> Ok d
+      | None -> Error "--digest is required (run 'mcss query load -w FILE' first)"
+    in
+    let one_tau () = match taus with [] -> 100. | t :: _ -> t in
+    let* request =
+      match verb with
+      | "health" -> Ok (`Envelope Serve_protocol.Health)
+      | "stats" -> Ok (`Envelope Serve_protocol.Stats)
+      | "metrics" -> Ok (`Envelope Serve_protocol.Metrics)
+      | "shutdown" -> Ok (`Envelope Serve_protocol.Shutdown)
+      | "load" -> (
+          match wfile with
+          | None -> Error "load needs -w FILE (sent inline, content-addressed)"
+          | Some path -> (
+              match In_channel.with_open_bin path In_channel.input_all with
+              | text -> Ok (`Envelope (Serve_protocol.Load (`Inline text)))
+              | exception Sys_error m -> die "%s" m))
+      | "solve" ->
+          let& d = need_digest () in
+          Ok (`Envelope (Serve_protocol.Solve { digest = d; params = params (one_tau ()) }))
+      | "whatif" ->
+          let& d = need_digest () in
+          let taus = if taus = [] then [ 10.; 100.; 1000. ] else taus in
+          Ok (`Envelope (Serve_protocol.Whatif { digest = d; params = params 100.; taus }))
+      | "chaos" ->
+          let& d = need_digest () in
+          Ok
+            (`Envelope
+              (Serve_protocol.Chaos
+                 {
+                   digest = d;
+                   params = params (one_tau ());
+                   seed = campaign_seed;
+                   epochs;
+                   zones;
+                   faults;
+                 }))
+      | "raw" -> (
+          match raw_json with
+          | Some line -> Ok (`Raw line)
+          | None -> Error "raw needs a JSON argument")
+      | other -> Error (Printf.sprintf "unknown query verb %S" other)
+    in
+    let result =
+      Serve_client.with_connection address (fun c ->
+          match request with
+          | `Raw line -> (
+              match Serve_json.parse line with
+              | Error m -> Error ("request is not valid JSON: " ^ m)
+              | Ok j -> Serve_client.request c j)
+          | `Envelope req ->
+              Serve_client.request_envelope c
+                { Serve_protocol.id = None; deadline_ms = deadline; request = req })
+    in
+    match result with
+    | Error m -> die "%s" m
+    | Ok reply ->
+        if Serve_protocol.response_ok reply then begin
+          (match
+             (verb, Serve_json.member "body" reply
+                    |> Fun.flip Option.bind Serve_json.to_string_opt)
+           with
+          | "metrics", Some body -> print_string body
+          | _ -> print_endline (Serve_json.to_string reply));
+          `Ok ()
+        end
+        else begin
+          (match Serve_protocol.response_error reply with
+          | Some (code, message) ->
+              prerr_endline
+                (Printf.sprintf "mcss query: %s: %s"
+                   (match code with
+                   | Some c -> Serve_protocol.error_code_to_string c
+                   | None -> "error")
+                   message)
+          | None -> prerr_endline "mcss query: request failed");
+          print_endline (Serve_json.to_string reply);
+          exit 1
+        end
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Send one request to a running $(b,mcss serve) and print the reply")
+    Term.(
+      ret
+        (const run $ setup_logs_term $ connect_arg $ verb_arg $ raw_json_arg
+        $ workload_file $ digest_arg $ taus_arg $ instance_arg $ bc_events_arg
+        $ config_name_arg $ deadline_arg $ faults_arg $ campaign_seed_arg
+        $ epochs_arg $ zones_arg))
+
+(* ----- version ----- *)
+
+let version_cmd =
+  let run () =
+    print_endline ("mcss " ^ Build_info.to_string ());
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "version"
+       ~doc:"Print the package version (and git describe when available)")
+    Term.(ret (const run $ const ()))
+
 let main_cmd =
   let doc = "cost-effective resource allocation for pub/sub on cloud (ICDCS'14)" in
   Cmd.group
-    (Cmd.info "mcss" ~version:"1.0.0" ~doc)
+    (Cmd.info "mcss" ~version:Mcss_serve.Build_info.version ~doc)
     [
       generate_cmd; solve_cmd; lower_bound_cmd; analyze_cmd; simulate_cmd; budget_cmd;
-      convert_cmd; export_lp_cmd; verify_cmd; chaos_cmd; profile_cmd;
+      convert_cmd; export_lp_cmd; verify_cmd; chaos_cmd; profile_cmd; serve_cmd;
+      query_cmd; version_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -79,13 +79,32 @@ let prom_float x =
   else if x = neg_infinity then "-Inf"
   else Printf.sprintf "%.12g" x
 
+(* Exposition-format escaping. HELP text escapes backslash and newline;
+   label values additionally escape the double quote. Without this, a
+   help string or span path containing a newline or quote splits the
+   line and breaks every scraper. *)
+let prom_escape ~quote s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '"' when quote -> Buffer.add_string buf "\\\""
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_help = prom_escape ~quote:false
+let escape_label = prom_escape ~quote:true
+
 let prometheus reg =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
   List.iter
     (fun { Registry.name; help; metric } ->
       let pname = "mcss_" ^ sanitize name in
-      if help <> "" then add "# HELP %s %s" pname help;
+      if help <> "" then add "# HELP %s %s" pname (escape_help help);
       match metric with
       | Registry.Counter c ->
           add "# TYPE %s counter" pname;
@@ -113,12 +132,13 @@ let prometheus reg =
     add "# TYPE mcss_span_seconds gauge";
     List.iter
       (fun (path, (n : Span.node)) ->
-        add "mcss_span_seconds{path=\"%s\"} %s" (sanitize path) (prom_float (Span.seconds n)))
+        add "mcss_span_seconds{path=\"%s\"} %s" (escape_label path)
+          (prom_float (Span.seconds n)))
       spans;
     add "# TYPE mcss_span_count counter";
     List.iter
       (fun (path, (n : Span.node)) ->
-        add "mcss_span_count{path=\"%s\"} %d" (sanitize path) n.Span.count)
+        add "mcss_span_count{path=\"%s\"} %d" (escape_label path) n.Span.count)
       spans
   end;
   Buffer.contents buf

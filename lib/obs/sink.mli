@@ -34,7 +34,11 @@ val prometheus : Registry.t -> string
 (** Prometheus text exposition: [# HELP]/[# TYPE] headers, names
     sanitised to [[a-zA-Z0-9_:]] and prefixed with [mcss_], histograms
     as cumulative [_bucket{le="..."}]/[_sum]/[_count] series, spans as
-    [mcss_span_seconds{path="..."}] plus [mcss_span_count{path="..."}]. *)
+    [mcss_span_seconds{path="..."}] plus [mcss_span_count{path="..."}].
+    Help strings escape backslash and newline; label values (span
+    paths) additionally escape the double quote, per the exposition
+    format — so a help string or span name containing any of those
+    cannot split a line or truncate a label. *)
 
 val console : Registry.t -> string
 (** A human-readable report: one aligned table of metrics (histograms

@@ -1,0 +1,53 @@
+module Clock = Mcss_obs.Clock
+
+type t = {
+  max : int;
+  mutable busy : int;
+  mutable rejected : int;
+  lock : Mutex.t;
+}
+
+let create ~max_in_flight =
+  if max_in_flight < 1 then invalid_arg "Admission.create: max_in_flight must be >= 1";
+  { max = max_in_flight; busy = 0; rejected = 0; lock = Mutex.create () }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let try_acquire t =
+  locked t (fun () ->
+      if t.busy < t.max then begin
+        t.busy <- t.busy + 1;
+        true
+      end
+      else begin
+        t.rejected <- t.rejected + 1;
+        false
+      end)
+
+let release t = locked t (fun () -> t.busy <- max 0 (t.busy - 1))
+
+let with_slot t f =
+  if try_acquire t then
+    Some (Fun.protect ~finally:(fun () -> release t) f)
+  else None
+
+let in_flight t = locked t (fun () -> t.busy)
+let max_in_flight t = t.max
+let rejected t = locked t (fun () -> t.rejected)
+
+(* ----- deadlines ----- *)
+
+type deadline = int64 option  (* absolute monotonic ns *)
+
+let deadline_of_ms = function
+  | None -> None
+  | Some ms ->
+      Some (Int64.add (Clock.now_ns ()) (Int64.of_float (ms *. 1e6)))
+
+let remaining_ms = function
+  | None -> infinity
+  | Some at -> Int64.to_float (Int64.sub at (Clock.now_ns ())) /. 1e6
+
+let expired d = remaining_ms d <= 0.

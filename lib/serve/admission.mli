@@ -1,0 +1,51 @@
+(** Request admission control for the planning daemon.
+
+    Three gates keep a misbehaving client from taking the service down:
+
+    - {e in-flight solves}: at most [max_in_flight] solver runs at once
+      — the solver fans out across domains internally, so unbounded
+      concurrent solves would oversubscribe the machine. A request that
+      finds the gate full is refused immediately with an [overloaded]
+      error (shed, not queued: the client can retry with backoff).
+    - {e deadlines}: a per-request time budget, checked at admission and
+      again before expensive phases; exceeding it yields a clean
+      [timeout] reply instead of a stale answer.
+    - {e oversized requests}: enforced by the connection reader
+      ({!Server}), which refuses to buffer a request line beyond the
+      configured byte limit.
+
+    The gate is shared across connection workers; all operations are
+    thread-safe. *)
+
+type t
+
+val create : max_in_flight:int -> t
+(** Raises [Invalid_argument] when [max_in_flight < 1]. *)
+
+val try_acquire : t -> bool
+(** Take a solve slot if one is free; never blocks. *)
+
+val release : t -> unit
+
+val with_slot : t -> (unit -> 'a) -> 'a option
+(** Run the thunk holding a slot; [None] when the gate is full.
+    Exception-safe: the slot is released either way. *)
+
+val in_flight : t -> int
+val max_in_flight : t -> int
+
+val rejected : t -> int
+(** How many {!try_acquire}/{!with_slot} calls found the gate full. *)
+
+(** {2 Deadlines} *)
+
+type deadline
+(** An absolute point on the monotonic clock (or "none"). *)
+
+val deadline_of_ms : float option -> deadline
+(** Start the clock now; [None] means no deadline. *)
+
+val expired : deadline -> bool
+
+val remaining_ms : deadline -> float
+(** [infinity] when there is no deadline; can go negative once expired. *)

@@ -1,0 +1,25 @@
+let version = "1.0.0"
+
+let probe_git () =
+  let safe_close ic = try ignore (Unix.close_process_in ic) with _ -> () in
+  match
+    Unix.open_process_in "git describe --tags --always --dirty 2>/dev/null"
+  with
+  | exception _ -> None
+  | ic -> (
+      match input_line ic with
+      | line ->
+          let status = try Unix.close_process_in ic with _ -> Unix.WEXITED 1 in
+          let line = String.trim line in
+          if status = Unix.WEXITED 0 && line <> "" then Some line else None
+      | exception _ ->
+          safe_close ic;
+          None)
+
+let describe = lazy (probe_git ())
+let git_describe () = Lazy.force describe
+
+let to_string () =
+  match git_describe () with
+  | Some d -> Printf.sprintf "%s (git %s)" version d
+  | None -> version

@@ -1,0 +1,15 @@
+(** What this binary is: the package version plus, when the binary runs
+    inside a git checkout with [git] on PATH, the commit description.
+    The serve handshake, [mcss version], and the bench JSON all log the
+    same string so a measurement can always be traced to a build. *)
+
+val version : string
+(** The package version (kept in lock-step with the opam metadata). *)
+
+val git_describe : unit -> string option
+(** [git describe --tags --always --dirty] of the current directory's
+    checkout, probed once per process; [None] when git or the repository
+    is unavailable. Never raises. *)
+
+val to_string : unit -> string
+(** ["VERSION"] or ["VERSION (git DESCRIBE)"]. *)

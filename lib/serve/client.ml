@@ -1,0 +1,81 @@
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  mutable closed : bool;
+}
+
+let connect address =
+  let sockaddr, domain =
+    match address with
+    | Server.Unix_socket path -> (Unix.ADDR_UNIX path, Unix.PF_UNIX)
+    | Server.Tcp (host, port) -> (
+        match
+          try Unix.inet_addr_of_string host
+          with Failure _ -> (
+            match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+            | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+            | _ -> raise Not_found)
+        with
+        | inet -> (Unix.ADDR_INET (inet, port), Unix.PF_INET)
+        | exception Not_found ->
+            raise (Unix.Unix_error (Unix.EINVAL, "resolve", host)))
+  in
+  match
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd sockaddr
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    fd
+  with
+  | fd -> Ok { fd; ic = Unix.in_channel_of_descr fd; closed = false }
+  | exception Unix.Unix_error (err, _, _) ->
+      Error
+        (Printf.sprintf "cannot connect to %s: %s"
+           (Server.address_to_string address)
+           (Unix.error_message err))
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (* Closing the channel closes the underlying fd. *)
+    try close_in t.ic with Sys_error _ -> ()
+  end
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let len = Bytes.length b in
+  let rec go off =
+    if off < len then
+      let n = Unix.write fd b off (len - off) in
+      go (off + n)
+  in
+  go 0
+
+let request t json =
+  if t.closed then Error "connection is closed"
+  else
+    match
+      write_all t.fd (Json.to_string json ^ "\n");
+      input_line t.ic
+    with
+    | line -> (
+        match Json.parse line with
+        | Ok reply -> Ok reply
+        | Error m -> Error (Printf.sprintf "unparseable reply: %s" m))
+    | exception End_of_file ->
+        close t;
+        Error "server closed the connection"
+    | exception Unix.Unix_error (err, _, _) ->
+        close t;
+        Error (Unix.error_message err)
+    | exception Sys_error m ->
+        close t;
+        Error m
+
+let request_envelope t env = request t (Protocol.encode env)
+
+let with_connection address f =
+  match connect address with
+  | Error _ as e -> e
+  | Ok t -> Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

@@ -1,0 +1,25 @@
+(** A blocking client for the planning daemon — one connection, one
+    request/reply at a time. Backs [mcss query] and the [serve] bench
+    driver. *)
+
+type t
+
+val connect : Server.address -> (t, string) result
+(** Errors are human-readable connection failures ("connection refused",
+    missing socket, unresolvable host). *)
+
+val request : t -> Json.t -> (Json.t, string) result
+(** Send one request object, wait for the reply line. [Error] means the
+    transport failed (closed connection, unparseable reply) — protocol-
+    level failures come back as [Ok] error replies
+    ({!Protocol.response_error}). *)
+
+val request_envelope : t -> Protocol.envelope -> (Json.t, string) result
+(** {!Protocol.encode} then {!request}. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val with_connection :
+  Server.address -> (t -> ('a, string) result) -> ('a, string) result
+(** Connect, run, always close. *)

@@ -1,0 +1,44 @@
+(** A minimal JSON value type with a strict parser and printer — just
+    enough for the planning daemon's line-delimited protocol, so the
+    serving stack stays zero-dependency.
+
+    The parser accepts RFC 8259 JSON with two deliberate relaxations:
+    numbers are read with [float_of_string] (so [1e999] parses to
+    [infinity] rather than erroring), and top-level values other than
+    objects/arrays are allowed. The printer always emits valid JSON on
+    one line (non-finite floats become [null]), so a printed value can
+    be framed by a single ['\n']. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list  (** Fields in insertion order; duplicates kept. *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON value; [Error] carries a message with the byte
+    offset. Trailing whitespace is allowed, trailing garbage is not. *)
+
+val to_string : t -> string
+(** One-line rendering; strings are escaped per RFC 8259. *)
+
+(** {2 Accessors}
+
+    All return [None] on a type or shape mismatch instead of raising, so
+    request decoding can fold them with [Option.bind]. *)
+
+val member : string -> t -> t option
+(** First field with that name, when the value is an object. *)
+
+val to_string_opt : t -> string option
+val to_int_opt : t -> int option
+(** Accepts [Int] and integral [Float]s. *)
+
+val to_float_opt : t -> float option
+(** Accepts [Float] and [Int]. *)
+
+val to_bool_opt : t -> bool option
+val to_list_opt : t -> t list option

@@ -1,0 +1,35 @@
+(** A thread-safe, content-addressed LRU cache for solved plans.
+
+    Keys are opaque strings — the service keys entries by
+    [(workload digest, solver params)] so two clients asking the same
+    what-if question share one solve. Capacity is a fixed entry count;
+    inserting into a full cache evicts the least recently used entry.
+    [find] promotes, and every operation is guarded by an internal
+    mutex so connection workers on different domains can share one
+    cache.
+
+    Hits, misses and evictions are counted since creation; the service
+    surfaces them through [stats] and the Prometheus [metrics] reply. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] when [capacity < 1]. *)
+
+val capacity : 'a t -> int
+
+val find : 'a t -> string -> 'a option
+(** Look up and promote; counts one hit or one miss. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Insert or replace (replacement promotes and does not evict);
+    eviction of the LRU entry is counted. *)
+
+val length : 'a t -> int
+
+type stats = { hits : int; misses : int; evictions : int; entries : int }
+
+val stats : 'a t -> stats
+
+val hit_ratio : stats -> float
+(** [hits / (hits + misses)]; [0.] before any lookup. *)

@@ -1,0 +1,82 @@
+type t = {
+  queue : (unit -> unit) Queue.t;
+  depth : int;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  mutable closing : bool;
+  mutable escaped : int;
+  mutable workers : unit Domain.t array;
+}
+
+let worker_loop pool () =
+  let rec next () =
+    Mutex.lock pool.lock;
+    let job =
+      let rec wait () =
+        if not (Queue.is_empty pool.queue) then Some (Queue.pop pool.queue)
+        else if pool.closing then None
+        else begin
+          Condition.wait pool.nonempty pool.lock;
+          wait ()
+        end
+      in
+      wait ()
+    in
+    Mutex.unlock pool.lock;
+    match job with
+    | None -> ()
+    | Some job ->
+        (try job ()
+         with _ ->
+           Mutex.lock pool.lock;
+           pool.escaped <- pool.escaped + 1;
+           Mutex.unlock pool.lock);
+        next ()
+  in
+  next ()
+
+let start ?queue_depth ~workers () =
+  if workers < 1 then invalid_arg "Pool.start: workers must be >= 1";
+  let depth = match queue_depth with Some d -> max 1 d | None -> 4 * workers in
+  let pool =
+    {
+      queue = Queue.create ();
+      depth;
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      closing = false;
+      escaped = 0;
+      workers = [||];
+    }
+  in
+  (* [workers] is only read by [shutdown], which happens strictly after
+     this assignment on the starting thread. *)
+  pool.workers <- Array.init workers (fun _ -> Domain.spawn (worker_loop pool));
+  pool
+
+let submit pool job =
+  Mutex.lock pool.lock;
+  let accepted =
+    if pool.closing || Queue.length pool.queue >= pool.depth then false
+    else begin
+      Queue.push job pool.queue;
+      Condition.signal pool.nonempty;
+      true
+    end
+  in
+  Mutex.unlock pool.lock;
+  accepted
+
+let escaped_exceptions pool =
+  Mutex.lock pool.lock;
+  let n = pool.escaped in
+  Mutex.unlock pool.lock;
+  n
+
+let shutdown pool =
+  Mutex.lock pool.lock;
+  let first = not pool.closing in
+  pool.closing <- true;
+  Condition.broadcast pool.nonempty;
+  Mutex.unlock pool.lock;
+  if first then Array.iter Domain.join pool.workers

@@ -1,0 +1,30 @@
+(** A fixed pool of worker domains draining a bounded job queue — the
+    concurrency substrate of the planning daemon.
+
+    The accept loop submits one job per client connection; each worker
+    handles its connection to completion (many requests) before taking
+    the next, so a long [chaos] drill on one connection never blocks
+    another client that lands on a different worker. Solver parallelism
+    stays inside the job: Stage-1 spawns its own short-lived domains,
+    and the {!Admission} gate bounds how many jobs may do so at once.
+
+    Jobs must not raise — the pool wraps each job and swallows (counts)
+    escaped exceptions so a poisoned connection cannot kill a worker. *)
+
+type t
+
+val start : ?queue_depth:int -> workers:int -> unit -> t
+(** Spawn [workers] domains ([>= 1]; raises [Invalid_argument]
+    otherwise). [queue_depth] (default [4 * workers]) bounds the number
+    of submitted-but-unclaimed jobs. *)
+
+val submit : t -> (unit -> unit) -> bool
+(** Enqueue a job; [false] when the queue is full or the pool is
+    shutting down (the caller sheds the connection). Never blocks. *)
+
+val escaped_exceptions : t -> int
+(** Jobs that terminated with an uncaught exception. *)
+
+val shutdown : t -> unit
+(** Stop accepting jobs, let queued and running jobs finish, then join
+    every worker. Idempotent. *)

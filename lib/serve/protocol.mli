@@ -1,0 +1,95 @@
+(** The planning daemon's wire protocol: one JSON object per line, in
+    both directions.
+
+    A request names its verb in a ["req"] field and may carry:
+
+    - ["id"] — any JSON value, echoed verbatim in the response so
+      clients can match replies when pipelining;
+    - ["deadline_ms"] — per-request deadline budget; when the server
+      cannot complete the work inside it, the reply is an [`Timeout]
+      error and the connection stays usable.
+
+    Verbs:
+
+    {v
+    {"req":"health"}
+    {"req":"load","workload":"<mcss-workload text>"}   (or "path":"FILE")
+    {"req":"solve","digest":D,"tau":100,"instance":"c3.large",
+     "bc_events":F?,"config":"(e) +cost-decision"?}
+    {"req":"whatif","digest":D,"taus":[10,100,1000],...solve params...}
+    {"req":"chaos","digest":D,"seed":1,"epochs":8,"zones":3,
+     "faults":["crash:0@0.6",...]?,...solve params...}
+    {"req":"stats"}
+    {"req":"metrics"}
+    {"req":"shutdown"}
+    v}
+
+    Responses are [{"ok":true,...}] or
+    [{"ok":false,"error":CODE,"message":TEXT}]. *)
+
+type solve_params = {
+  tau : float;  (** Satisfaction threshold (default 100). *)
+  instance : string;  (** EC2 instance type name (default ["c3.large"]). *)
+  bc_events : float option;  (** Per-VM capacity override, events/horizon. *)
+  config : string;  (** Solver ladder configuration name. *)
+}
+
+val default_params : solve_params
+
+type request =
+  | Health
+  | Load of [ `Inline of string | `Path of string ]
+  | Solve of { digest : string; params : solve_params }
+  | Whatif of { digest : string; params : solve_params; taus : float list }
+  | Chaos of {
+      digest : string;
+      params : solve_params;
+      seed : int;
+      epochs : int;
+      zones : int;
+      faults : string list;  (** {!Mcss_resilience.Failure_model} specs; empty = random campaign. *)
+    }
+  | Stats
+  | Metrics
+  | Shutdown
+
+type envelope = {
+  id : Json.t option;
+  deadline_ms : float option;  (** Must be positive when present. *)
+  request : request;
+}
+
+val decode : Json.t -> (envelope, string) result
+(** Decode a request line; [Error] is a human-readable reason suited to
+    a [`Bad_request] reply. *)
+
+val encode : envelope -> Json.t
+(** The inverse of {!decode} (used by clients and the bench driver). *)
+
+(** {2 Replies} *)
+
+type error_code =
+  | Bad_request  (** Malformed JSON or missing/ill-typed fields. *)
+  | Too_large  (** Request line exceeded the server's byte limit. *)
+  | Unknown_digest  (** No workload registered under that digest. *)
+  | Timeout  (** Deadline exceeded before the reply could be produced. *)
+  | Overloaded  (** Admission control refused: too many in-flight solves. *)
+  | Draining  (** Server is shutting down and no longer takes work. *)
+  | Infeasible  (** The MCSS instance cannot be solved at these params. *)
+  | Internal  (** Unexpected server-side failure. *)
+
+val error_code_to_string : error_code -> string
+val error_code_of_string : string -> error_code option
+
+val ok_response : ?id:Json.t option -> (string * Json.t) list -> Json.t
+(** [{"ok":true,"id":...?,...fields}]. *)
+
+val error_response :
+  ?id:Json.t option -> code:error_code -> message:string -> unit -> Json.t
+(** [{"ok":false,"id":...?,"error":CODE,"message":TEXT}]. *)
+
+val response_ok : Json.t -> bool
+(** Whether a reply has ["ok"] = [true]. *)
+
+val response_error : Json.t -> (error_code option * string) option
+(** [(code, message)] of an error reply; [None] for an ok reply. *)

@@ -1,0 +1,37 @@
+(** The socket front of the planning daemon: accept loop, per-connection
+    line framing, and graceful drain. All protocol logic lives in
+    {!Service} — this module only moves bytes.
+
+    Connections speak one JSON object per line in each direction
+    ({!Protocol}). A request line longer than [max_request_bytes] is
+    answered with a [too_large] error (the oversized line is consumed,
+    the connection survives). When a [shutdown] request has been
+    answered, the listener closes, idle connections are hung up, in-
+    flight requests finish, and {!run} returns. *)
+
+type address =
+  | Unix_socket of string  (** Filesystem path. *)
+  | Tcp of string * int  (** Host (numeric or name) and port. *)
+
+val address_to_string : address -> string
+
+val address_of_string : string -> (address, string) result
+(** Accepts ["unix:PATH"], a bare path containing ['/'], ["HOST:PORT"],
+    [":PORT"], or a bare port number (loopback). *)
+
+type config = {
+  workers : int;  (** Connection-worker domains (default 4). *)
+  max_request_bytes : int;  (** Request-line size limit (default 8 MiB). *)
+  backlog : int;  (** [listen] backlog (default 64). *)
+  accept_tick_s : float;
+      (** How often the accept loop re-checks the drain flag (default 0.2 s). *)
+  log : string -> unit;  (** One line per lifecycle event. *)
+}
+
+val default_config : config
+(** Logging disabled. *)
+
+val run : ?config:config -> Service.t -> address -> unit
+(** Bind, serve until the service starts draining, drain, clean up
+    (including unlinking a Unix-socket path) and return. Raises
+    [Unix.Unix_error] when the address cannot be bound. *)

@@ -1,0 +1,527 @@
+module Workload = Mcss_workload.Workload
+module Wio = Mcss_workload.Wio
+module Instance = Mcss_pricing.Instance
+module Cost_model = Mcss_pricing.Cost_model
+module Problem = Mcss_core.Problem
+module Solver = Mcss_core.Solver
+module Failure_model = Mcss_resilience.Failure_model
+module Orchestrator = Mcss_resilience.Orchestrator
+module Sla = Mcss_resilience.Sla
+module Registry = Mcss_obs.Registry
+module Counter = Mcss_obs.Metric.Counter
+module Gauge = Mcss_obs.Metric.Gauge
+module Histogram = Mcss_obs.Metric.Histogram
+module Clock = Mcss_obs.Clock
+module Sink = Mcss_obs.Sink
+
+type config = {
+  cache_capacity : int;
+  max_in_flight : int;
+  default_deadline_ms : float option;
+}
+
+let default_config =
+  { cache_capacity = 128; max_in_flight = 4; default_deadline_ms = None }
+
+(* A cached plan: the full solver result (so chaos drills can replay the
+   allocation) plus the money view, which depends only on the params the
+   plan is keyed under. *)
+type plan = { result : Solver.result; bandwidth_gb : float; solve_seconds : float }
+
+type t = {
+  config : config;
+  obs : Registry.t;
+  cache : plan Plan_cache.t;
+  gate : Admission.t;
+  workloads : (string, Workload.t) Hashtbl.t;
+  lock : Mutex.t;  (** Guards [workloads], [obs] updates, and the mutable fields. *)
+  started_ns : int64;
+  mutable draining : bool;
+  mutable requests : int;
+  mutable solver_run_count : int;
+}
+
+let create ?obs ?(config = default_config) () =
+  let obs = match obs with Some r -> r | None -> Registry.create () in
+  {
+    config;
+    obs;
+    cache = Plan_cache.create ~capacity:config.cache_capacity;
+    gate = Admission.create ~max_in_flight:config.max_in_flight;
+    workloads = Hashtbl.create 8;
+    lock = Mutex.create ();
+    started_ns = Clock.now_ns ();
+    draining = false;
+    requests = 0;
+    solver_run_count = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let obs t = t.obs
+let draining t = locked t (fun () -> t.draining)
+let cache_stats t = Plan_cache.stats t.cache
+let solver_runs t = locked t (fun () -> t.solver_run_count)
+
+(* ----- content digests ----- *)
+
+(* The digest is over a canonical rendering of the workload's semantic
+   content (rates at full float precision, interests sorted as Workload
+   stores them), so it is independent of Wio formatting details like
+   comments or float spelling in the source file. *)
+let digest_of_workload w =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "mcss-workload-digest 1\n";
+  Buffer.add_string buf (string_of_int (Workload.num_topics w));
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (string_of_int (Workload.num_subscribers w));
+  Buffer.add_char buf '\n';
+  Array.iter
+    (fun r ->
+      Buffer.add_string buf (Printf.sprintf "%.17g" r);
+      Buffer.add_char buf '\n')
+    (Workload.event_rates w);
+  for v = 0 to Workload.num_subscribers w - 1 do
+    Array.iter
+      (fun topic ->
+        Buffer.add_string buf (string_of_int topic);
+        Buffer.add_char buf ' ')
+      (Workload.interests w v);
+    Buffer.add_char buf '\n'
+  done;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let load_workload t w =
+  let digest = digest_of_workload w in
+  locked t (fun () -> Hashtbl.replace t.workloads digest w);
+  digest
+
+let find_workload t digest = locked t (fun () -> Hashtbl.find_opt t.workloads digest)
+
+(* ----- metrics plumbing (all under the service lock) ----- *)
+
+let record_request t ~endpoint ~ok ~seconds =
+  locked t (fun () ->
+      t.requests <- t.requests + 1;
+      Counter.inc
+        (Registry.counter t.obs
+           ~help:"Requests handled, by endpoint"
+           (Printf.sprintf "serve.requests.%s" endpoint));
+      if not ok then
+        Counter.inc
+          (Registry.counter t.obs ~help:"Error replies, by endpoint"
+             (Printf.sprintf "serve.errors.%s" endpoint));
+      Histogram.observe
+        (Registry.histogram t.obs
+           ~help:"Request latency by endpoint (seconds)"
+           (Printf.sprintf "serve.latency_seconds.%s" endpoint))
+        seconds)
+
+let record_solver_run t ~seconds ~(r : Solver.result) =
+  locked t (fun () ->
+      t.solver_run_count <- t.solver_run_count + 1;
+      Counter.inc
+        (Registry.counter t.obs ~help:"Solver executions (cache misses)"
+           "serve.solver.runs");
+      Histogram.observe
+        (Registry.histogram t.obs ~help:"End-to-end solver time (seconds)"
+           "serve.solver.seconds")
+        seconds;
+      Histogram.observe
+        (Registry.histogram t.obs ~help:"Stage-1 time of served solves (seconds)"
+           "serve.solver.stage1_seconds")
+        r.Solver.stage1_seconds;
+      Histogram.observe
+        (Registry.histogram t.obs ~help:"Stage-2 time of served solves (seconds)"
+           "serve.solver.stage2_seconds")
+        r.Solver.stage2_seconds)
+
+let refresh_gauges t =
+  let cs = Plan_cache.stats t.cache in
+  locked t (fun () ->
+      let set name help v = Gauge.set (Registry.gauge t.obs ~help name) v in
+      set "serve.cache.hits" "Plan-cache hits since start" (float_of_int cs.Plan_cache.hits);
+      set "serve.cache.misses" "Plan-cache misses since start"
+        (float_of_int cs.Plan_cache.misses);
+      set "serve.cache.evictions" "Plan-cache evictions since start"
+        (float_of_int cs.Plan_cache.evictions);
+      set "serve.cache.entries" "Plans currently cached"
+        (float_of_int cs.Plan_cache.entries);
+      set "serve.cache.hit_ratio" "hits / (hits + misses)" (Plan_cache.hit_ratio cs);
+      set "serve.inflight_solves" "Solver runs currently in flight"
+        (float_of_int (Admission.in_flight t.gate));
+      set "serve.overload_rejections" "Requests shed by the admission gate"
+        (float_of_int (Admission.rejected t.gate));
+      set "serve.workloads_resident" "Workloads registered"
+        (float_of_int (Hashtbl.length t.workloads)))
+
+(* ----- solving ----- *)
+
+(* "parallel" opts a request into the multi-domain Stage-1; everything
+   else resolves through the solver's own ladder so server and CLI name
+   configurations identically. *)
+let resolve_config name =
+  if name = "parallel" then
+    Some { Solver.default with Solver.stage1 = Solver.Gsp_parallel }
+  else Solver.config_of_name name
+
+type solve_error =
+  | E of Protocol.error_code * string
+
+let problem_for w (params : Protocol.solve_params) =
+  match Instance.find params.Protocol.instance with
+  | None ->
+      Error
+        (E (Protocol.Bad_request,
+            Printf.sprintf "unknown instance type %S" params.Protocol.instance))
+  | Some instance -> (
+      let model = Cost_model.ec2_2014 ~instance () in
+      match
+        Problem.of_pricing ?capacity_events:params.Protocol.bc_events ~workload:w
+          ~tau:params.Protocol.tau model
+      with
+      | p -> Ok (model, p)
+      | exception Invalid_argument m -> Error (E (Protocol.Bad_request, m)))
+
+let cache_key digest (params : Protocol.solve_params) =
+  Printf.sprintf "%s|tau=%.17g|instance=%s|bc=%s|config=%s" digest
+    params.Protocol.tau params.Protocol.instance
+    (match params.Protocol.bc_events with
+    | None -> "default"
+    | Some x -> Printf.sprintf "%.17g" x)
+    params.Protocol.config
+
+(* Obtain a plan for (digest, params): from the cache, or by running the
+   solver under the admission gate. [deadline] is re-checked after
+   waiting turns (admission) and the solver run itself. *)
+let obtain_plan t ~digest ~w ~(params : Protocol.solve_params) ~deadline =
+  let key = cache_key digest params in
+  match Plan_cache.find t.cache key with
+  | Some plan -> Ok (plan, true)
+  | None -> (
+      match resolve_config params.Protocol.config with
+      | None ->
+          Error
+            (E (Protocol.Bad_request,
+                Printf.sprintf "unknown solver config %S" params.Protocol.config))
+      | Some config -> (
+          match problem_for w params with
+          | Error _ as e -> e
+          | Ok (model, p) ->
+              if Admission.expired deadline then
+                Error (E (Protocol.Timeout, "deadline exceeded before solve started"))
+              else
+                let run () =
+                  let t0 = Clock.now_ns () in
+                  match Solver.solve ~config p with
+                  | r ->
+                      let seconds = Clock.seconds_since t0 in
+                      let plan =
+                        {
+                          result = r;
+                          bandwidth_gb = Cost_model.gb_of_events model r.Solver.bandwidth;
+                          solve_seconds = seconds;
+                        }
+                      in
+                      record_solver_run t ~seconds ~r;
+                      Plan_cache.add t.cache key plan;
+                      if Admission.expired deadline then
+                        Error
+                          (E (Protocol.Timeout,
+                              Printf.sprintf
+                                "solve finished after the deadline (%.0f ms late); \
+                                 plan cached for a retry"
+                                (-.Admission.remaining_ms deadline)))
+                      else Ok (plan, false)
+                  | exception Problem.Infeasible m ->
+                      Error (E (Protocol.Infeasible, m))
+                  | exception Invalid_argument m ->
+                      Error (E (Protocol.Bad_request, m))
+                in
+                (match Admission.with_slot t.gate run with
+                | Some r -> r
+                | None ->
+                    Error
+                      (E (Protocol.Overloaded,
+                          Printf.sprintf "solver gate full (%d in flight)"
+                            (Admission.max_in_flight t.gate))))))
+
+let plan_fields digest (params : Protocol.solve_params) plan ~cached =
+  let r = plan.result in
+  [
+    ("digest", Json.String digest);
+    ("cached", Json.Bool cached);
+    ("tau", Json.Float params.Protocol.tau);
+    ("instance", Json.String params.Protocol.instance);
+    ("config", Json.String params.Protocol.config);
+    ("vms", Json.Int r.Solver.num_vms);
+    ("bandwidth_events", Json.Float r.Solver.bandwidth);
+    ("bandwidth_gb", Json.Float plan.bandwidth_gb);
+    ("cost_usd", Json.Float r.Solver.cost);
+    ("stage1_s", Json.Float r.Solver.stage1_seconds);
+    ("stage2_s", Json.Float r.Solver.stage2_seconds);
+    ("solve_s", Json.Float (if cached then 0. else plan.solve_seconds));
+  ]
+
+(* ----- endpoints ----- *)
+
+let uptime_s t = Clock.seconds_since t.started_ns
+
+let handle_health t ~id =
+  let status = if draining t then "draining" else "serving" in
+  Protocol.ok_response ~id
+    [
+      ("status", Json.String status);
+      ("service", Json.String "mcss-plan-server");
+      ("version", Json.String (Build_info.to_string ()));
+      ("pid", Json.Int (Unix.getpid ()));
+      ("uptime_s", Json.Float (uptime_s t));
+    ]
+
+let handle_load t ~id source =
+  if draining t then
+    Protocol.error_response ~id ~code:Protocol.Draining
+      ~message:"server is draining; no new workloads" ()
+  else
+    let parse_result =
+      match source with
+      | `Path path -> (
+          match Wio.load path with
+          | w -> Ok w
+          | exception Sys_error m -> Error m
+          | exception Wio.Parse_error m -> Error (path ^ ": " ^ m))
+      | `Inline text -> (
+          (* Wio parses channels; stage the payload through a temp file. *)
+          let tmp = Filename.temp_file "mcss-serve" ".wl" in
+          Fun.protect
+            ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+            (fun () ->
+              let oc = open_out tmp in
+              output_string oc text;
+              close_out oc;
+              match Wio.load tmp with
+              | w -> Ok w
+              | exception Wio.Parse_error m -> Error m
+              | exception Sys_error m -> Error m))
+    in
+    match parse_result with
+    | Error m -> Protocol.error_response ~id ~code:Protocol.Bad_request ~message:m ()
+    | Ok w ->
+        let digest = load_workload t w in
+        Protocol.ok_response ~id
+          [
+            ("digest", Json.String digest);
+            ("topics", Json.Int (Workload.num_topics w));
+            ("subscribers", Json.Int (Workload.num_subscribers w));
+            ("pairs", Json.Int (Workload.num_pairs w));
+            ("total_event_rate", Json.Float (Workload.total_event_rate w));
+          ]
+
+let with_workload t ~id digest f =
+  match find_workload t digest with
+  | None ->
+      Protocol.error_response ~id ~code:Protocol.Unknown_digest
+        ~message:(Printf.sprintf "no workload loaded under digest %s" digest)
+        ()
+  | Some w -> f w
+
+let reply_of_error ~id (E (code, message)) =
+  Protocol.error_response ~id ~code ~message ()
+
+let handle_solve t ~id ~deadline ~digest ~params =
+  with_workload t ~id digest (fun w ->
+      match obtain_plan t ~digest ~w ~params ~deadline with
+      | Ok (plan, cached) ->
+          Protocol.ok_response ~id (plan_fields digest params plan ~cached)
+      | Error e -> reply_of_error ~id e)
+
+let handle_whatif t ~id ~deadline ~digest ~params ~taus =
+  with_workload t ~id digest (fun w ->
+      let rec sweep acc = function
+        | [] -> Ok (List.rev acc)
+        | tau :: rest ->
+            if Admission.expired deadline then
+              Error
+                (E (Protocol.Timeout,
+                    Printf.sprintf
+                      "deadline exceeded after %d of %d points (finished points \
+                       are cached)"
+                      (List.length acc)
+                      (List.length acc + 1 + List.length rest)))
+            else
+              let params = { params with Protocol.tau } in
+              (match obtain_plan t ~digest ~w ~params ~deadline with
+              | Ok (plan, cached) ->
+                  sweep (Json.Obj (plan_fields digest params plan ~cached) :: acc) rest
+              | Error _ as e -> e)
+      in
+      match sweep [] taus with
+      | Ok points ->
+          Protocol.ok_response ~id
+            [ ("digest", Json.String digest); ("points", Json.List points) ]
+      | Error e -> reply_of_error ~id e)
+
+let handle_chaos t ~id ~deadline ~digest ~params ~seed ~epochs ~zones ~faults =
+  with_workload t ~id digest (fun w ->
+      match obtain_plan t ~digest ~w ~params ~deadline with
+      | Error e -> reply_of_error ~id e
+      | Ok (plan, cached) -> (
+          let fleet = plan.result.Solver.num_vms in
+          let campaign_result =
+            if faults = [] then
+              Ok (Failure_model.random ~seed ~num_vms:fleet ~zones ())
+            else
+              let rec conv acc = function
+                | [] -> Ok { Failure_model.seed; faults = List.rev acc }
+                | s :: rest -> (
+                    match Failure_model.fault_of_string s with
+                    | Ok f -> conv (f :: acc) rest
+                    | Error m -> Error m)
+              in
+              conv [] faults
+          in
+          match campaign_result with
+          | Error m ->
+              Protocol.error_response ~id ~code:Protocol.Bad_request ~message:m ()
+          | Ok campaign -> (
+              match problem_for w params with
+              | Error e -> reply_of_error ~id e
+              | Ok (_model, p) -> (
+                  let policy =
+                    {
+                      Orchestrator.default_policy with
+                      Orchestrator.epochs;
+                      seed;
+                    }
+                  in
+                  (* Passive drill against the cached allocation: other
+                     connections keep being served by the other workers
+                     while this one spins the simulator. *)
+                  match
+                    Orchestrator.evaluate ~policy ~zones ~campaign p
+                      plan.result.Solver.allocation
+                  with
+                  | sla ->
+                      Protocol.ok_response ~id
+                        [
+                          ("digest", Json.String digest);
+                          ("plan_cached", Json.Bool cached);
+                          ("fleet_vms", Json.Int fleet);
+                          ("zones", Json.Int zones);
+                          ("epochs", Json.Int epochs);
+                          ("campaign_seed", Json.Int campaign.Failure_model.seed);
+                          ("faults",
+                           Json.List
+                             (List.map
+                                (fun f -> Json.String (Failure_model.fault_to_string f))
+                                campaign.Failure_model.faults));
+                          ("delivered_fraction",
+                           Json.Float sla.Sla.delivered_fraction);
+                          ("violation_hours", Json.Float sla.Sla.violation_hours);
+                          ("violation_epochs", Json.Int sla.Sla.violation_epochs);
+                          ("lost_events", Json.Int sla.Sla.lost_events);
+                          ("worst_epoch_violations",
+                           Json.Int sla.Sla.worst_epoch_violations);
+                        ]
+                  | exception Invalid_argument m ->
+                      Protocol.error_response ~id ~code:Protocol.Bad_request
+                        ~message:m ()))))
+
+let handle_stats t ~id =
+  let cs = Plan_cache.stats t.cache in
+  let requests, solver_run_count, workloads =
+    locked t (fun () -> (t.requests, t.solver_run_count, Hashtbl.length t.workloads))
+  in
+  Protocol.ok_response ~id
+    [
+      ("uptime_s", Json.Float (uptime_s t));
+      ("draining", Json.Bool (draining t));
+      ("requests", Json.Int requests);
+      ("workloads_resident", Json.Int workloads);
+      ("solver_runs", Json.Int solver_run_count);
+      ("inflight_solves", Json.Int (Admission.in_flight t.gate));
+      ("max_inflight_solves", Json.Int (Admission.max_in_flight t.gate));
+      ("overload_rejections", Json.Int (Admission.rejected t.gate));
+      ( "cache",
+        Json.Obj
+          [
+            ("capacity", Json.Int (Plan_cache.capacity t.cache));
+            ("entries", Json.Int cs.Plan_cache.entries);
+            ("hits", Json.Int cs.Plan_cache.hits);
+            ("misses", Json.Int cs.Plan_cache.misses);
+            ("evictions", Json.Int cs.Plan_cache.evictions);
+            ("hit_ratio", Json.Float (Plan_cache.hit_ratio cs));
+          ] );
+    ]
+
+let handle_metrics t ~id =
+  refresh_gauges t;
+  let body = locked t (fun () -> Sink.prometheus t.obs) in
+  Protocol.ok_response ~id
+    [
+      ("content_type", Json.String "text/plain; version=0.0.4");
+      ("body", Json.String body);
+    ]
+
+let handle_shutdown t ~id =
+  let served = locked t (fun () -> t.draining <- true; t.requests) in
+  Protocol.ok_response ~id
+    [ ("draining", Json.Bool true); ("requests_served", Json.Int served) ]
+
+(* ----- dispatch ----- *)
+
+let endpoint_name = function
+  | Protocol.Health -> "health"
+  | Protocol.Load _ -> "load"
+  | Protocol.Solve _ -> "solve"
+  | Protocol.Whatif _ -> "whatif"
+  | Protocol.Chaos _ -> "chaos"
+  | Protocol.Stats -> "stats"
+  | Protocol.Metrics -> "metrics"
+  | Protocol.Shutdown -> "shutdown"
+
+let handle t (env : Protocol.envelope) =
+  let id = env.Protocol.id in
+  let endpoint = endpoint_name env.Protocol.request in
+  let deadline =
+    Admission.deadline_of_ms
+      (match env.Protocol.deadline_ms with
+      | Some _ as d -> d
+      | None -> t.config.default_deadline_ms)
+  in
+  let t0 = Clock.now_ns () in
+  let dispatch () =
+    match env.Protocol.request with
+    | Protocol.Health -> handle_health t ~id
+    | Protocol.Load source -> handle_load t ~id source
+    | Protocol.Solve { digest; params } -> handle_solve t ~id ~deadline ~digest ~params
+    | Protocol.Whatif { digest; params; taus } ->
+        handle_whatif t ~id ~deadline ~digest ~params ~taus
+    | Protocol.Chaos { digest; params; seed; epochs; zones; faults } ->
+        handle_chaos t ~id ~deadline ~digest ~params ~seed ~epochs ~zones ~faults
+    | Protocol.Stats -> handle_stats t ~id
+    | Protocol.Metrics -> handle_metrics t ~id
+    | Protocol.Shutdown -> handle_shutdown t ~id
+  in
+  let reply =
+    match dispatch () with
+    | r -> r
+    | exception exn ->
+        Protocol.error_response ~id ~code:Protocol.Internal
+          ~message:(Printexc.to_string exn) ()
+  in
+  record_request t ~endpoint ~ok:(Protocol.response_ok reply)
+    ~seconds:(Clock.seconds_since t0);
+  reply
+
+let handle_line t line =
+  match Json.parse line with
+  | Error m -> Protocol.error_response ~code:Protocol.Bad_request ~message:m ()
+  | Ok j -> (
+      match Protocol.decode j with
+      | Error m ->
+          Protocol.error_response ~id:(Json.member "id" j)
+            ~code:Protocol.Bad_request ~message:m ()
+      | Ok env -> handle t env)

@@ -1,0 +1,56 @@
+(** The planning service proper: resident workloads, the plan cache, the
+    admission gate, and the request dispatcher — everything except the
+    sockets, so it can be driven in-process by tests and the bench as
+    well as by {!Server}.
+
+    A workload is registered once ([load]) and addressed thereafter by
+    the MD5 digest of its canonical {!Mcss_workload.Wio} text, so the
+    same content always maps to the same digest no matter how it
+    arrived. Plans are cached under [(digest, solver params)]; a [solve]
+    or [whatif] point that hits the cache is answered without running
+    the solver (the [serve.solver.runs] counter does not move and no
+    solver timing is recorded — only [serve.cache.hits]).
+
+    All entry points are thread-safe; the heavy phases (solving, chaos
+    drills) run outside the internal lock so concurrent workers only
+    contend for microseconds. *)
+
+type config = {
+  cache_capacity : int;  (** Plan-cache entries (default 128). *)
+  max_in_flight : int;  (** Concurrent solver runs (default 4). *)
+  default_deadline_ms : float option;
+      (** Applied when a request carries no ["deadline_ms"]. *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?obs:Mcss_obs.Registry.t -> ?config:config -> unit -> t
+(** [obs] (default a fresh enabled registry) receives the per-endpoint
+    request counters and latency histograms, the cache and in-flight
+    gauges, and the solver-run counter/duration histogram; it is what
+    the [metrics] request renders. *)
+
+val handle_line : t -> string -> Json.t
+(** Decode one request line and dispatch it. Never raises: malformed
+    input becomes a [bad_request] reply, unexpected exceptions an
+    [internal] one. *)
+
+val handle : t -> Protocol.envelope -> Json.t
+(** Dispatch an already-decoded request. Never raises. *)
+
+val load_workload : t -> Mcss_workload.Workload.t -> string
+(** Register a workload directly (the CLI uses this to preload), returns
+    its digest. *)
+
+val digest_of_workload : Mcss_workload.Workload.t -> string
+(** The content digest (hex MD5 of the canonical Wio text). *)
+
+val draining : t -> bool
+(** Set forever once a [shutdown] request has been answered; {!Server}
+    polls it to stop accepting and drain. *)
+
+val obs : t -> Mcss_obs.Registry.t
+val cache_stats : t -> Plan_cache.stats
+val solver_runs : t -> int

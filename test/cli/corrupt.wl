@@ -1,0 +1,1 @@
+mcss-workload 9

@@ -1,0 +1,110 @@
+(* Property tests for the simulator's pending-event queue: against a
+   model multiset, pops must come out in non-decreasing key order and
+   return exactly the pushed (key, payload) pairs — including under
+   duplicate keys and arbitrary push/pop interleavings. *)
+
+module Event_heap = Mcss_sim.Event_heap
+
+(* An operation script: [push (key, payload)] or [pop]. Keys are drawn
+   from a small integer range so duplicates are common. *)
+let op_gen =
+  QCheck.(
+    list
+      (oneof
+         [
+           map (fun (k, v) -> `Push (float_of_int (k mod 8), v)) (pair small_int small_int);
+           always `Pop;
+         ]))
+
+let sorted_multiset pairs = List.sort compare pairs
+
+let prop_interleaved_ops =
+  Helpers.qtest ~count:300 "heap = sorted multiset under push/pop interleavings"
+    op_gen
+    (fun ops ->
+      let h = Event_heap.create () in
+      (* Model: the multiset of (key, payload) pairs still inside. *)
+      let inside = ref [] in
+      let popped = ref [] in
+      let last_key = ref neg_infinity in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | `Push (k, v) ->
+              Event_heap.push h k v;
+              inside := (k, v) :: !inside;
+              (* A push may legitimately rewind the floor for later pops. *)
+              last_key := neg_infinity
+          | `Pop -> (
+              match Event_heap.pop h with
+              | None -> if !inside <> [] then ok := false
+              | Some (k, v) ->
+                  if k < !last_key then ok := false;
+                  last_key := k;
+                  (* The popped key must be minimal among resident keys. *)
+                  List.iter (fun (k', _) -> if k' < k then ok := false) !inside;
+                  (match
+                     List.partition (fun entry -> entry = (k, v)) !inside
+                   with
+                  | first :: rest_same, others ->
+                      ignore first;
+                      inside := rest_same @ others
+                  | [], _ -> ok := false);
+                  popped := (k, v) :: !popped))
+        ops;
+      (* Drain: what remains must come out sorted and account for every
+         remaining model entry. *)
+      let rec drain acc =
+        match Event_heap.pop h with
+        | None -> List.rev acc
+        | Some (k, v) -> drain ((k, v) :: acc)
+      in
+      let drained = drain [] in
+      let keys = List.map fst drained in
+      let rec nondecreasing = function
+        | a :: (b :: _ as rest) -> a <= b && nondecreasing rest
+        | _ -> true
+      in
+      !ok && nondecreasing keys
+      && Event_heap.is_empty h
+      && sorted_multiset drained = sorted_multiset !inside)
+
+let prop_duplicate_keys_preserve_payloads =
+  Helpers.qtest ~count:200 "duplicate timestamps lose no payloads"
+    QCheck.(pair (int_bound 6) (small_list small_int))
+    (fun (key_raw, payloads) ->
+      let key = float_of_int key_raw in
+      let h = Event_heap.create () in
+      List.iter (fun v -> Event_heap.push h key v) payloads;
+      let rec drain acc =
+        match Event_heap.pop h with
+        | None -> List.rev acc
+        | Some (k, v) ->
+            if k <> key then raise Exit;
+            drain (v :: acc)
+      in
+      let out = drain [] in
+      List.sort compare out = List.sort compare payloads)
+
+let test_empty_heap () =
+  let h : int Event_heap.t = Event_heap.create () in
+  Alcotest.(check bool) "fresh heap empty" true (Event_heap.is_empty h);
+  Alcotest.(check int) "size 0" 0 (Event_heap.size h);
+  Alcotest.(check bool) "pop on empty" true (Event_heap.pop h = None);
+  Alcotest.(check bool) "peek on empty" true (Event_heap.peek h = None)
+
+let test_peek_matches_pop () =
+  let h = Event_heap.create () in
+  List.iter (fun (k, v) -> Event_heap.push h k v) [ (3., "c"); (1., "a"); (2., "b") ];
+  Alcotest.(check bool) "peek is min" true (Event_heap.peek h = Some (1., "a"));
+  Alcotest.(check bool) "pop agrees with peek" true (Event_heap.pop h = Some (1., "a"));
+  Alcotest.(check int) "size decremented" 2 (Event_heap.size h)
+
+let suite =
+  [
+    Alcotest.test_case "empty heap" `Quick test_empty_heap;
+    Alcotest.test_case "peek matches pop" `Quick test_peek_matches_pop;
+    prop_interleaved_ops;
+    prop_duplicate_keys_preserve_payloads;
+  ]

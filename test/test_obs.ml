@@ -345,6 +345,82 @@ let test_prometheus_shape () =
          end);
   Alcotest.(check int) "cumulative ends at count" 2 !last_bucket
 
+(* Exposition-format escaping: a hostile help string or span name must
+   come back intact after unescaping, and must never split its line. *)
+let prom_unescape ~quote s =
+  let buf = Buffer.create (String.length s) in
+  let i = ref 0 in
+  let n = String.length s in
+  while !i < n do
+    (if s.[!i] = '\\' && !i + 1 < n then begin
+       (match s.[!i + 1] with
+       | '\\' -> Buffer.add_char buf '\\'
+       | 'n' -> Buffer.add_char buf '\n'
+       | '"' when quote -> Buffer.add_char buf '"'
+       | c ->
+           Buffer.add_char buf '\\';
+           Buffer.add_char buf c);
+       incr i
+     end
+     else Buffer.add_char buf s.[!i]);
+    incr i
+  done;
+  Buffer.contents buf
+
+let test_prometheus_escaping_roundtrip () =
+  let hostile = "line one\nline two \\ and \"quotes\"" in
+  let r = Registry.create () in
+  Metric.Counter.inc (Registry.counter r ~help:hostile "esc.counter");
+  Span.with_ r ~name:hostile (fun () -> ());
+  let text = Sink.prometheus r in
+  let lines = String.split_on_char '\n' text in
+  (* No payload may have introduced a raw newline: every line is either
+     a comment, empty (trailing), or "name{...} value". *)
+  List.iter
+    (fun line ->
+      if line <> "" && line.[0] <> '#' then
+        Alcotest.(check bool)
+          (Printf.sprintf "sample line %S has a value" line)
+          true
+          (String.contains line ' '))
+    lines;
+  let help_line =
+    List.find
+      (fun l ->
+        String.length l > 7
+        && String.sub l 0 7 = "# HELP "
+        &&
+        let rec contains i =
+          i + 11 <= String.length l
+          && (String.sub l i 11 = "esc_counter" || contains (i + 1))
+        in
+        contains 0)
+      lines
+  in
+  (* "# HELP mcss_esc_counter <escaped help>" *)
+  let escaped_help =
+    let after_name =
+      let i = String.index_from help_line 7 ' ' in
+      String.sub help_line (i + 1) (String.length help_line - i - 1)
+    in
+    after_name
+  in
+  Alcotest.(check string) "help string survives the round trip" hostile
+    (prom_unescape ~quote:false escaped_help);
+  let span_line =
+    List.find
+      (fun l ->
+        String.length l > 24 && String.sub l 0 24 = "mcss_span_seconds{path=\"")
+      lines
+  in
+  let escaped_path =
+    let start = 24 in
+    let close = String.rindex span_line '"' in
+    String.sub span_line start (close - start)
+  in
+  Alcotest.(check string) "span path label survives the round trip" hostile
+    (prom_unescape ~quote:true escaped_path)
+
 let test_console_renders () =
   let r = Registry.create () in
   Metric.Counter.inc (Registry.counter r "a");
@@ -412,6 +488,8 @@ let suite =
     Alcotest.test_case "span exception safety" `Quick test_span_exception_safe;
     Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_roundtrip;
     Alcotest.test_case "prometheus exposition" `Quick test_prometheus_shape;
+    Alcotest.test_case "prometheus escaping round-trip" `Quick
+      test_prometheus_escaping_roundtrip;
     Alcotest.test_case "console sink" `Quick test_console_renders;
     Alcotest.test_case "noop hot path zero-alloc" `Quick
       test_noop_hot_path_does_not_allocate;
