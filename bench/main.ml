@@ -1302,12 +1302,320 @@ let serve_bench ~seeds ~spotify ~spotify_scale ~out_dir =
   close_out oc;
   Printf.printf "wrote %s\n" json_path
 
+(* The resilience of the serving stack itself: (1) crash recovery — how
+   fast a kill -9'd journaled daemon is back to answering its solves as
+   cache hits; (2) client-visible latency when 10% of connections are
+   aborted with real RSTs by a fault-injecting proxy and the retry layer
+   has to reconnect-and-replay; (3) a full circuit-breaker open → shed →
+   half-open → close cycle with degraded replies counted. Writes
+   BENCH_serve_faults.json. *)
+let serve_faults_bench ~seeds ~spotify ~spotify_scale ~out_dir =
+  section_header "serve-faults"
+    "planning service under crash, wire resets, and an open circuit";
+  let module Service = Mcss_serve.Service in
+  let module Server = Mcss_serve.Server in
+  let module Client = Mcss_serve.Client in
+  let module Journal = Mcss_serve.Journal in
+  let module Breaker = Mcss_serve.Breaker in
+  let module Retry = Mcss_serve.Retry in
+  let module Faulty = Mcss_serve.Faulty in
+  let module Json = Mcss_serve.Json in
+  let module Protocol = Mcss_serve.Protocol in
+  let capacity = bc_events ~scale:spotify_scale Instance.c3_large in
+  let taus = [ 25.; 50.; 100.; 200. ] in
+  let solve_line digest tau =
+    Json.to_string
+      (Json.Obj
+         [
+           ("req", Json.String "solve");
+           ("digest", Json.String digest);
+           ("tau", Json.Float tau);
+           ("bc_events", Json.Float capacity);
+         ])
+  in
+  let is_cached reply =
+    match Option.bind (Json.member "cached" reply) Json.to_bool_opt with
+    | Some b -> b
+    | None -> false
+  in
+  (* ----- 1. crash recovery ----- *)
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mcss-bench-faults-%d" (Unix.getpid ()))
+  in
+  let rec rm_rf path =
+    match Unix.lstat path with
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+        Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+        (try Unix.rmdir path with Unix.Unix_error _ -> ())
+    | _ -> ( try Sys.remove path with Sys_error _ -> ())
+    | exception Unix.Unix_error _ -> ()
+  in
+  rm_rf dir;
+  let journaled =
+    { Service.default_config with Service.journal = Some (Journal.default_config ~dir) }
+  in
+  let svc = Service.create ~config:journaled () in
+  let digest = Service.load_workload svc spotify in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun tau ->
+      let reply = Service.handle_line svc (solve_line digest tau) in
+      if not (Protocol.response_ok reply) then
+        failwith ("serve-faults: cold solve failed: " ^ Json.to_string reply))
+    taus;
+  let cold_solve_s = Unix.gettimeofday () -. t0 in
+  (* kill -9 equivalence: abandon the instance without close — every
+     append was fsynced, so this is exactly what a crash leaves behind. *)
+  let t0 = Unix.gettimeofday () in
+  let svc2 = Service.create ~config:journaled () in
+  let replay_s = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  let recovered_hits =
+    List.fold_left
+      (fun acc tau ->
+        let reply = Service.handle_line svc2 (solve_line digest tau) in
+        if Protocol.response_ok reply && is_cached reply then acc + 1 else acc)
+      0 taus
+  in
+  let reanswer_s = Unix.gettimeofday () -. t0 in
+  let plans_recovered =
+    match Service.replay_stats svc2 with
+    | Some r -> r.Service.plans_recovered
+    | None -> 0
+  in
+  let recovery_table =
+    Table.create
+      [
+        ("cold solve s", Table.Right);
+        ("replay ms", Table.Right);
+        ("re-answer ms", Table.Right);
+        ("plans recovered", Table.Right);
+        ("served as hits", Table.Right);
+        ("solver re-runs", Table.Right);
+      ]
+  in
+  Table.add_row recovery_table
+    [
+      Table.cell_float ~decimals:3 cold_solve_s;
+      Table.cell_float ~decimals:2 (replay_s *. 1e3);
+      Table.cell_float ~decimals:2 (reanswer_s *. 1e3);
+      string_of_int plans_recovered;
+      Printf.sprintf "%d/%d" recovered_hits (List.length taus);
+      string_of_int (Service.solver_runs svc2);
+    ];
+  Table.print recovery_table;
+  (* ----- 2. p99 under 10% injected connection resets ----- *)
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mcss-bench-faults-%d.sock" (Unix.getpid ()))
+  in
+  (try Unix.unlink sock with Unix.Unix_error _ -> ());
+  let upstream = Server.Unix_socket sock in
+  let sconfig =
+    { Server.default_config with Server.workers = 4; accept_tick_s = 0.05 }
+  in
+  let server = Domain.spawn (fun () -> Server.run ~config:sconfig svc2 upstream) in
+  let rec await tries =
+    if tries = 0 then failwith "serve-faults: server never came up";
+    match Client.connect upstream with
+    | Ok c -> Client.close c
+    | Error _ ->
+        Unix.sleepf 0.02;
+        await (tries - 1)
+  in
+  await 200;
+  let reset_every = 10 in
+  let proxy =
+    Faulty.start
+      ~plan:(fun ~conn ->
+        if conn mod reset_every = 0 then
+          { Faulty.clean with Faulty.to_client = [ Faulty.Reset_after 0 ] }
+        else Faulty.clean)
+      ~upstream ()
+  in
+  let address = Faulty.address proxy in
+  let policy =
+    {
+      Retry.max_attempts = 4;
+      base_ms = 2.;
+      cap_ms = 50.;
+      attempt_timeout_ms = Some 5000.;
+    }
+  in
+  let num_clients = 3 and requests_per_client = 40 in
+  let tau_array = Array.of_list taus in
+  let run_client idx =
+    Domain.spawn (fun () ->
+        let rng = Mcss_prng.Rng.create (seeds.trace_seed + 100 + idx) in
+        let latencies = Array.make requests_per_client 0. in
+        let attempts = ref 0 and errors = ref 0 in
+        for k = 0 to requests_per_client - 1 do
+          let tau = tau_array.((idx + k) mod Array.length tau_array) in
+          let env =
+            {
+              Protocol.id = None;
+              deadline_ms = None;
+              request =
+                Protocol.Solve
+                  {
+                    digest;
+                    params =
+                      {
+                        Protocol.default_params with
+                        Protocol.tau;
+                        bc_events = Some capacity;
+                      };
+                  };
+            }
+          in
+          let t0 = Unix.gettimeofday () in
+          let o = Client.call ~rng ~policy address env in
+          latencies.(k) <- Unix.gettimeofday () -. t0;
+          attempts := !attempts + o.Retry.attempts;
+          match o.Retry.result with
+          | Ok reply when Protocol.response_ok reply -> ()
+          | Ok _ | Error _ -> incr errors
+        done;
+        (latencies, !attempts, !errors))
+  in
+  let per_client = List.map Domain.join (List.init num_clients run_client) in
+  let reset_conns = (Faulty.connections proxy + reset_every - 1) / reset_every in
+  Faulty.stop proxy;
+  (match
+     Client.with_connection upstream (fun c ->
+         Client.request c (Json.Obj [ ("req", Json.String "shutdown") ]))
+   with
+  | Ok _ | Error _ -> ());
+  Domain.join server;
+  (try Unix.unlink sock with Unix.Unix_error _ -> ());
+  Service.close svc2;
+  let latencies = Array.concat (List.map (fun (ls, _, _) -> ls) per_client) in
+  let attempts = List.fold_left (fun a (_, n, _) -> a + n) 0 per_client in
+  let errors = List.fold_left (fun a (_, _, e) -> a + e) 0 per_client in
+  Array.sort compare latencies;
+  let pct p =
+    let n = Array.length latencies in
+    latencies.(min (n - 1) (max 0 (int_of_float (ceil (p *. float_of_int n)) - 1)))
+  in
+  let total_requests = num_clients * requests_per_client in
+  let reset_table =
+    Table.create
+      [
+        ("requests", Table.Right);
+        ("resets", Table.Right);
+        ("attempts", Table.Right);
+        ("errors", Table.Right);
+        ("p50 ms", Table.Right);
+        ("p95 ms", Table.Right);
+        ("p99 ms", Table.Right);
+      ]
+  in
+  Table.add_row reset_table
+    [
+      string_of_int total_requests;
+      string_of_int reset_conns;
+      string_of_int attempts;
+      string_of_int errors;
+      Table.cell_float ~decimals:3 (pct 0.50 *. 1e3);
+      Table.cell_float ~decimals:3 (pct 0.95 *. 1e3);
+      Table.cell_float ~decimals:3 (pct 0.99 *. 1e3);
+    ];
+  Table.print reset_table;
+  Printf.printf
+    "(every %dth connection is aborted with a real RST; the client's \n\
+    \ reconnect-and-replay absorbs them — %d requests, 0 expected errors)\n"
+    reset_every total_requests;
+  (* ----- 3. breaker open → shed degraded → half-open → close ----- *)
+  let breaker_cfg = { Breaker.failure_threshold = 1; cooldown_ms = 100. } in
+  let svc3 =
+    Service.create ~config:{ Service.default_config with Service.breaker = breaker_cfg } ()
+  in
+  let digest3 = Service.load_workload svc3 spotify in
+  (match Service.handle_line svc3 (solve_line digest3 50.) with
+  | reply when Protocol.response_ok reply -> ()
+  | reply -> failwith ("serve-faults: baseline solve failed: " ^ Json.to_string reply));
+  Breaker.failure (Service.breaker svc3);
+  let shed_requests = 20 in
+  let degraded_replies = ref 0 in
+  for _ = 1 to shed_requests do
+    let reply = Service.handle_line svc3 (solve_line digest3 60.) in
+    if Protocol.response_degraded reply then incr degraded_replies
+  done;
+  Unix.sleepf ((breaker_cfg.Breaker.cooldown_ms +. 50.) /. 1000.);
+  (* The half-open probe runs the solver for real and closes the circuit. *)
+  (match Service.handle_line svc3 (solve_line digest3 60.) with
+  | reply when Protocol.response_ok reply && not (Protocol.response_degraded reply) -> ()
+  | reply -> failwith ("serve-faults: probe solve failed: " ^ Json.to_string reply));
+  let b = Service.breaker svc3 in
+  let breaker_table =
+    Table.create
+      [
+        ("shed requests", Table.Right);
+        ("degraded replies", Table.Right);
+        ("opens", Table.Right);
+        ("closes", Table.Right);
+        ("rejections", Table.Right);
+        ("final state", Table.Right);
+      ]
+  in
+  Table.add_row breaker_table
+    [
+      string_of_int shed_requests;
+      string_of_int !degraded_replies;
+      string_of_int (Breaker.opens b);
+      string_of_int (Breaker.closes b);
+      string_of_int (Breaker.rejections b);
+      Breaker.state_to_string (Breaker.state b);
+    ];
+  Table.print breaker_table;
+  let rec mkdir_p d =
+    if d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      mkdir_p (Filename.dirname d);
+      (try Sys.mkdir d 0o755 with Sys_error _ -> ())
+    end
+  in
+  mkdir_p out_dir;
+  let json_path = Filename.concat out_dir "BENCH_serve_faults.json" in
+  let oc = open_out json_path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"scenario\": \"serve_faults\",\n\
+    \  \"version\": %S,\n\
+    \  \"trace_seed\": %d,\n\
+    \  \"trace\": \"spotify\",\n\
+    \  \"scale\": %g,\n\
+    \  \"recovery\": { \"cold_solve_s\": %.6f, \"replay_ms\": %.3f,\n\
+    \    \"reanswer_ms\": %.3f, \"plans_recovered\": %d,\n\
+    \    \"served_as_hits\": %d, \"solver_reruns\": %d },\n\
+    \  \"resets\": { \"requests\": %d, \"injected_resets\": %d,\n\
+    \    \"reset_every\": %d, \"attempts\": %d, \"errors\": %d,\n\
+    \    \"latency_ms\": { \"p50\": %.4f, \"p95\": %.4f, \"p99\": %.4f } },\n\
+    \  \"breaker\": { \"shed_requests\": %d, \"degraded_replies\": %d,\n\
+    \    \"opens\": %d, \"closes\": %d, \"rejections\": %d,\n\
+    \    \"final_state\": %S }\n\
+     }\n"
+    (Mcss_serve.Build_info.to_string ())
+    seeds.trace_seed spotify_scale cold_solve_s (replay_s *. 1e3)
+    (reanswer_s *. 1e3) plans_recovered recovered_hits
+    (Service.solver_runs svc2) total_requests reset_conns reset_every attempts
+    errors
+    (pct 0.50 *. 1e3)
+    (pct 0.95 *. 1e3)
+    (pct 0.99 *. 1e3)
+    shed_requests !degraded_replies (Breaker.opens b) (Breaker.closes b)
+    (Breaker.rejections b)
+    (Breaker.state_to_string (Breaker.state b));
+  close_out oc;
+  rm_rf dir;
+  Printf.printf "wrote %s\n" json_path
+
 let all_sections =
   [
     "fig1"; "fig2a"; "fig2b"; "fig3a"; "fig3b"; "fig4"; "fig5"; "fig6"; "fig7";
     "fig8-12"; "summary"; "ablate-stage1"; "ablate-stage2"; "ablate-dynamic";
     "ablate-failures"; "ablate-scaling"; "ablate-skew"; "ablate-budget"; "latency";
-    "resilience"; "obs"; "serve"; "micro";
+    "resilience"; "obs"; "serve"; "serve-faults"; "micro";
   ]
 
 let run_bench sections spotify_scale twitter_scale trace_seed out_dir =
@@ -1397,6 +1705,8 @@ let run_bench sections spotify_scale twitter_scale trace_seed out_dir =
       ~spotify_scale ~twitter_scale ~out_dir;
   if enabled "serve" then
     serve_bench ~seeds ~spotify:(Lazy.force spotify) ~spotify_scale ~out_dir;
+  if enabled "serve-faults" then
+    serve_faults_bench ~seeds ~spotify:(Lazy.force spotify) ~spotify_scale ~out_dir;
   if enabled "micro" then micro ~seeds ();
   Printf.printf "\ndone. figure data series in %s/\n" out_dir
 

@@ -33,6 +33,9 @@ module Serve_protocol = Mcss_serve.Protocol
 module Serve_service = Mcss_serve.Service
 module Serve_server = Mcss_serve.Server
 module Serve_client = Mcss_serve.Client
+module Serve_journal = Mcss_serve.Journal
+module Serve_breaker = Mcss_serve.Breaker
+module Serve_retry = Mcss_serve.Retry
 module Build_info = Mcss_serve.Build_info
 
 open Cmdliner
@@ -881,11 +884,54 @@ let serve_cmd =
            ~doc:"Workload file to register at startup (repeatable); its digest \
                  is printed.")
   in
+  let journal_arg =
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"DIR"
+           ~doc:"Persist workloads and solved plans to a write-ahead log + \
+                 snapshot under $(docv); a restarted (even kill -9'd) server \
+                 replays it and answers the same solves as cache hits.")
+  in
+  let snapshot_every_arg =
+    Arg.(value & opt int 256 & info [ "snapshot-every" ] ~docv:"N"
+           ~doc:"Fold the WAL into a fresh snapshot every $(docv) records \
+                 (0 never; needs --journal).")
+  in
+  let no_fsync_arg =
+    Arg.(value & flag & info [ "no-fsync" ]
+           ~doc:"Skip the per-append fsync (faster; risks the WAL tail on \
+                 power loss, not on process crash).")
+  in
+  let breaker_failures_arg =
+    Arg.(value & opt int Serve_breaker.default_config.Serve_breaker.failure_threshold
+         & info [ "breaker-failures" ] ~docv:"N"
+           ~doc:"Consecutive solver failures (deadline blowouts or internal \
+                 errors) that open the circuit; while open, cache misses are \
+                 answered $(b,degraded) from the last solved plan.")
+  in
+  let breaker_cooldown_arg =
+    Arg.(value & opt float Serve_breaker.default_config.Serve_breaker.cooldown_ms
+         & info [ "breaker-cooldown-ms" ] ~docv:"MS"
+           ~doc:"Open time before a half-open probe solve is let through.")
+  in
+  let queue_depth_arg =
+    Arg.(value & opt (some int) None & info [ "queue-depth" ] ~docv:"N"
+           ~doc:"Accepted-but-unclaimed connection bound; beyond it new \
+                 connections are shed with an $(b,overloaded) reply (default \
+                 4 x workers).")
+  in
+  let start_degraded_arg =
+    Arg.(value & flag & info [ "start-degraded" ]
+           ~doc:"Boot with the solver circuit already open (maintenance mode): \
+                 cache hits and journaled plans are still served — misses get \
+                 $(b,degraded) replies — but the solver does not run until the \
+                 breaker cooldown admits a probe. Pair with a large \
+                 $(b,--breaker-cooldown-ms) to hold it open.")
+  in
   let quiet_arg =
     Arg.(value & flag & info [ "silent" ] ~doc:"No lifecycle logging.")
   in
   let run () listen cache_size max_in_flight workers max_request_bytes
-      default_deadline preloads quiet =
+      default_deadline preloads journal snapshot_every no_fsync breaker_failures
+      breaker_cooldown queue_depth start_degraded quiet =
     let ( let* ) r f = match r with Ok x -> f x | Error e -> `Error (false, e) in
     let* address = Serve_server.address_of_string listen in
     let* () = if cache_size >= 1 then Ok () else Error "--cache-size must be >= 1" in
@@ -897,14 +943,47 @@ let serve_cmd =
       if max_request_bytes >= 1024 then Ok ()
       else Error "--max-request-bytes must be >= 1024"
     in
+    let* () =
+      if snapshot_every >= 0 then Ok () else Error "--snapshot-every must be >= 0"
+    in
+    let* () =
+      if breaker_failures >= 1 then Ok () else Error "--breaker-failures must be >= 1"
+    in
+    let* () =
+      if breaker_cooldown > 0. then Ok ()
+      else Error "--breaker-cooldown-ms must be positive"
+    in
+    let* () =
+      match queue_depth with
+      | Some d when d < 1 -> Error "--queue-depth must be >= 1"
+      | _ -> Ok ()
+    in
     let config =
       {
         Serve_service.cache_capacity = cache_size;
         max_in_flight;
         default_deadline_ms = default_deadline;
+        journal =
+          Option.map
+            (fun dir ->
+              { Serve_journal.dir; fsync = not no_fsync; snapshot_every })
+            journal;
+        breaker =
+          {
+            Serve_breaker.failure_threshold = breaker_failures;
+            cooldown_ms = breaker_cooldown;
+          };
       }
     in
-    let service = Serve_service.create ~config () in
+    let* service =
+      match Serve_service.create ~config () with
+      | s -> Ok s
+      | exception Unix.Unix_error (e, _, detail) ->
+          Error
+            (Printf.sprintf "cannot open journal: %s%s" (Unix.error_message e)
+               (if detail = "" then "" else " (" ^ detail ^ ")"))
+      | exception Sys_error m -> Error ("cannot open journal: " ^ m)
+    in
     List.iter
       (fun path ->
         match Wio.load path with
@@ -916,10 +995,37 @@ let serve_cmd =
       preloads;
     let log = if quiet then ignore else fun s -> Printf.printf "%s\n%!" s in
     log (Printf.sprintf "mcss-plan-server %s" (Build_info.to_string ()));
+    (match Serve_service.replay_stats service with
+    | Some r ->
+        log
+          (Printf.sprintf
+             "mcss serve: journal replayed (%d workloads, %d plans, %d skipped, \
+              %d bytes torn tail, %d corrupt)"
+             r.Serve_service.workloads_recovered r.Serve_service.plans_recovered
+             r.Serve_service.records_skipped r.Serve_service.wal_truncated_bytes
+             r.Serve_service.corrupt_records)
+    | None -> ());
+    if start_degraded then begin
+      let b = Serve_service.breaker service in
+      for _ = 1 to breaker_failures do
+        Serve_breaker.failure b
+      done;
+      log "mcss serve: solver circuit opened at boot (--start-degraded)"
+    end;
     let sconfig =
-      { Serve_server.default_config with Serve_server.workers; max_request_bytes; log }
+      {
+        Serve_server.default_config with
+        Serve_server.workers;
+        queue_depth;
+        max_request_bytes;
+        log;
+      }
     in
-    match Serve_server.run ~config:sconfig service address with
+    match
+      Fun.protect
+        ~finally:(fun () -> Serve_service.close service)
+        (fun () -> Serve_server.run ~config:sconfig service address)
+    with
     | () -> `Ok ()
     | exception Unix.Unix_error (e, _, detail) ->
         `Error
@@ -935,7 +1041,8 @@ let serve_cmd =
       ret
         (const run $ setup_logs_term $ listen_arg $ cache_size_arg $ max_in_flight_arg
         $ workers_arg $ max_request_bytes_arg $ default_deadline_arg $ preload_arg
-        $ quiet_arg))
+        $ journal_arg $ snapshot_every_arg $ no_fsync_arg $ breaker_failures_arg
+        $ breaker_cooldown_arg $ queue_depth_arg $ start_degraded_arg $ quiet_arg))
 
 (* ----- query ----- *)
 
@@ -987,8 +1094,25 @@ let query_cmd =
     Arg.(value & opt int 3 & info [ "zones" ] ~docv:"N"
            ~doc:"Failure zones for $(b,chaos).")
   in
+  let retries_arg =
+    Arg.(value & opt int 1 & info [ "retries" ] ~docv:"N"
+           ~doc:"Total attempts (including the first). Transport failures and \
+                 $(b,overloaded)/$(b,timeout) replies are retried on a fresh \
+                 connection with jittered exponential backoff.")
+  in
+  let retry_base_arg =
+    Arg.(value & opt float Serve_retry.default_policy.Serve_retry.base_ms
+         & info [ "retry-base-ms" ] ~docv:"MS"
+           ~doc:"Backoff lower bound per retry (cap is 2000 ms).")
+  in
+  let timeout_arg =
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"MS"
+           ~doc:"Per-attempt timeout: socket receive timeout and, unless \
+                 --deadline-ms is given, the request's deadline.")
+  in
   let run () connect verb raw_json wfile digest taus instance_name bc_events
-      config_name deadline faults campaign_seed epochs zones =
+      config_name deadline faults campaign_seed epochs zones retries retry_base
+      timeout =
     let ( let* ) r f = match r with Ok x -> f x | Error e -> `Error (false, e) in
     let ( let& ) r f = match r with Ok x -> f x | Error _ as e -> e in
     let* address = Serve_server.address_of_string connect in
@@ -1045,17 +1169,40 @@ let query_cmd =
           | None -> Error "raw needs a JSON argument")
       | other -> Error (Printf.sprintf "unknown query verb %S" other)
     in
-    let result =
-      Serve_client.with_connection address (fun c ->
-          match request with
-          | `Raw line -> (
-              match Serve_json.parse line with
-              | Error m -> Error ("request is not valid JSON: " ^ m)
-              | Ok j -> Serve_client.request c j)
-          | `Envelope req ->
-              Serve_client.request_envelope c
-                { Serve_protocol.id = None; deadline_ms = deadline; request = req })
+    let* () = if retries >= 1 then Ok () else Error "--retries must be >= 1" in
+    let policy =
+      {
+        Serve_retry.default_policy with
+        Serve_retry.max_attempts = retries;
+        base_ms = retry_base;
+        attempt_timeout_ms = timeout;
+      }
     in
+    let result =
+      match request with
+      | `Raw line -> (
+          (* Raw lines bypass the protocol codec, so they also bypass
+             the retry layer (we cannot tell if they are idempotent). *)
+          match Serve_json.parse line with
+          | Error m -> Error ("request is not valid JSON: " ^ m)
+          | Ok j ->
+              Serve_client.with_connection address (fun c ->
+                  Serve_client.request c j))
+      | `Envelope req ->
+          let outcome =
+            Serve_client.call ~policy address
+              { Serve_protocol.id = None; deadline_ms = deadline; request = req }
+          in
+          if outcome.Serve_retry.attempts > 1 then
+            prerr_endline
+              (Printf.sprintf "mcss query: %d attempts, %.0f ms backing off"
+                 outcome.Serve_retry.attempts
+                 outcome.Serve_retry.total_backoff_ms);
+          outcome.Serve_retry.result
+    in
+    (* Exit status: 0 on a full answer, 2 when the service degraded or
+       shed the request (retry later; see the protocol docs), 1 on hard
+       errors — so scripts can tell the three apart. *)
     match result with
     | Error m -> die "%s" m
     | Ok reply ->
@@ -1066,20 +1213,31 @@ let query_cmd =
            with
           | "metrics", Some body -> print_string body
           | _ -> print_endline (Serve_json.to_string reply));
+          if Serve_protocol.response_degraded reply then begin
+            prerr_endline "mcss query: degraded reply (stale plan served)";
+            exit 2
+          end;
           `Ok ()
         end
         else begin
-          (match Serve_protocol.response_error reply with
-          | Some (code, message) ->
-              prerr_endline
-                (Printf.sprintf "mcss query: %s: %s"
-                   (match code with
-                   | Some c -> Serve_protocol.error_code_to_string c
-                   | None -> "error")
-                   message)
-          | None -> prerr_endline "mcss query: request failed");
+          let code =
+            match Serve_protocol.response_error reply with
+            | Some (code, message) ->
+                prerr_endline
+                  (Printf.sprintf "mcss query: %s: %s"
+                     (match code with
+                     | Some c -> Serve_protocol.error_code_to_string c
+                     | None -> "error")
+                     message);
+                code
+            | None ->
+                prerr_endline "mcss query: request failed";
+                None
+          in
           print_endline (Serve_json.to_string reply);
-          exit 1
+          match code with
+          | Some Serve_protocol.Degraded | Some Serve_protocol.Overloaded -> exit 2
+          | _ -> exit 1
         end
   in
   Cmd.v
@@ -1090,7 +1248,7 @@ let query_cmd =
         (const run $ setup_logs_term $ connect_arg $ verb_arg $ raw_json_arg
         $ workload_file $ digest_arg $ taus_arg $ instance_arg $ bc_events_arg
         $ config_name_arg $ deadline_arg $ faults_arg $ campaign_seed_arg
-        $ epochs_arg $ zones_arg))
+        $ epochs_arg $ zones_arg $ retries_arg $ retry_base_arg $ timeout_arg))
 
 (* ----- version ----- *)
 

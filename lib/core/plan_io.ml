@@ -2,32 +2,41 @@ module Workload = Mcss_workload.Workload
 
 exception Parse_error of string
 
-let output oc a =
-  Printf.fprintf oc "mcss-plan 1\n";
-  Printf.fprintf oc "capacity %.17g\n" (Allocation.capacity a);
-  Printf.fprintf oc "vms %d\n" (Allocation.num_vms a);
+let emit add a =
+  add "mcss-plan 1\n";
+  add (Printf.sprintf "capacity %.17g\n" (Allocation.capacity a));
+  add (Printf.sprintf "vms %d\n" (Allocation.num_vms a));
   Array.iter
     (fun vm ->
       List.iter
         (fun topic ->
           let subs = Allocation.subscribers_of_topic_on vm topic in
-          Printf.fprintf oc "place %d %d %d" (Allocation.vm_id vm) topic
-            (List.length subs);
-          List.iter (fun v -> Printf.fprintf oc " %d" v) subs;
-          Printf.fprintf oc "\n")
+          add (Printf.sprintf "place %d %d %d" (Allocation.vm_id vm) topic
+                 (List.length subs));
+          List.iter (fun v -> add (Printf.sprintf " %d" v)) subs;
+          add "\n")
         (Allocation.topics_on vm))
     (Allocation.vms a)
+
+let output oc a = emit (output_string oc) a
+
+let to_string a =
+  let buf = Buffer.create 4096 in
+  emit (Buffer.add_string buf) a;
+  Buffer.contents buf
 
 let save a path =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output oc a)
 
-type reader = { ic : in_channel; mutable line_num : int }
+(* The reader pulls raw lines from a closure so channels and in-memory
+   strings parse through the same code. *)
+type reader = { next_raw : unit -> string option; mutable line_num : int }
 
 let fail r msg = raise (Parse_error (Printf.sprintf "line %d: %s" r.line_num msg))
 
 let rec next_line r =
-  match In_channel.input_line r.ic with
+  match r.next_raw () with
   | None -> None
   | Some line ->
       r.line_num <- r.line_num + 1;
@@ -44,8 +53,20 @@ let parse_int r what s =
   | Some n -> n
   | None -> fail r (Printf.sprintf "bad %s %S" what s)
 
-let input ~workload ic =
-  let r = { ic; line_num = 0 } in
+let lines_of_string s =
+  let pos = ref 0 in
+  let n = String.length s in
+  fun () ->
+    if !pos >= n then None
+    else
+      let stop =
+        match String.index_from_opt s !pos '\n' with Some i -> i | None -> n
+      in
+      let line = String.sub s !pos (stop - !pos) in
+      pos := stop + 1;
+      Some line
+
+let parse ~workload r =
   (match expect_line r "the header" with
   | "mcss-plan 1" -> ()
   | other -> fail r (Printf.sprintf "expected \"mcss-plan 1\", got %S" other));
@@ -127,6 +148,12 @@ let input ~workload ic =
     }
   in
   (a, selection)
+
+let input ~workload ic =
+  parse ~workload { next_raw = (fun () -> In_channel.input_line ic); line_num = 0 }
+
+let of_string ~workload s =
+  parse ~workload { next_raw = lines_of_string s; line_num = 0 }
 
 let load ~workload path =
   let ic = open_in path in

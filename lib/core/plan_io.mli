@@ -30,3 +30,11 @@ val load : workload:Mcss_workload.Workload.t -> string -> Allocation.t * Selecti
     capacity — run {!Verifier.verify} on the result, as the CLI does. *)
 
 val input : workload:Mcss_workload.Workload.t -> in_channel -> Allocation.t * Selection.t
+
+val to_string : Allocation.t -> string
+(** The canonical rendering {!save} writes — what the planning service
+    journals and digests ([plan_digest] in solve replies). *)
+
+val of_string :
+  workload:Mcss_workload.Workload.t -> string -> Allocation.t * Selection.t
+(** Parse an in-memory rendering; raises {!Parse_error} like {!load}. *)

@@ -39,15 +39,22 @@ let rejected t = locked t (fun () -> t.rejected)
 
 (* ----- deadlines ----- *)
 
-type deadline = int64 option  (* absolute monotonic ns *)
+(* A non-positive budget is [Expired] from birth rather than "now plus
+   zero": checking it never races the monotonic clock, so a 0 ms
+   deadline deterministically times out. *)
+type deadline = Never | At of int64 (* absolute monotonic ns *) | Expired
 
 let deadline_of_ms = function
-  | None -> None
-  | Some ms ->
-      Some (Int64.add (Clock.now_ns ()) (Int64.of_float (ms *. 1e6)))
+  | None -> Never
+  | Some ms when ms <= 0. -> Expired
+  | Some ms -> At (Int64.add (Clock.now_ns ()) (Int64.of_float (ms *. 1e6)))
 
 let remaining_ms = function
-  | None -> infinity
-  | Some at -> Int64.to_float (Int64.sub at (Clock.now_ns ())) /. 1e6
+  | Never -> infinity
+  | Expired -> 0.
+  | At at -> Int64.to_float (Int64.sub at (Clock.now_ns ())) /. 1e6
 
-let expired d = remaining_ms d <= 0.
+let expired = function
+  | Never -> false
+  | Expired -> true
+  | At _ as d -> remaining_ms d <= 0.

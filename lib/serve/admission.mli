@@ -43,9 +43,12 @@ type deadline
 (** An absolute point on the monotonic clock (or "none"). *)
 
 val deadline_of_ms : float option -> deadline
-(** Start the clock now; [None] means no deadline. *)
+(** Start the clock now; [None] means no deadline. A non-positive
+    budget (0 ms, or negative) is expired from birth: {!expired} is
+    deterministically [true] without ever consulting the clock. *)
 
 val expired : deadline -> bool
 
 val remaining_ms : deadline -> float
-(** [infinity] when there is no deadline; can go negative once expired. *)
+(** [infinity] when there is no deadline; can go negative once expired
+    ([0.] for a deadline born expired). *)

@@ -1,0 +1,117 @@
+module Clock = Mcss_obs.Clock
+
+type state = Closed | Open | Half_open
+
+let state_to_string = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half_open"
+
+type config = { failure_threshold : int; cooldown_ms : float }
+
+let default_config = { failure_threshold = 5; cooldown_ms = 5000. }
+
+type t = {
+  config : config;
+  now : unit -> int64;
+  lock : Mutex.t;
+  mutable st : state;
+  mutable failures : int;  (* consecutive, while Closed *)
+  mutable opened_at : int64;  (* meaningful while Open *)
+  mutable probe_in_flight : bool;  (* meaningful while Half_open *)
+  mutable opens : int;
+  mutable closes : int;
+  mutable rejections : int;
+}
+
+let create ?(now = Clock.now_ns) config =
+  if config.failure_threshold < 1 then
+    invalid_arg "Breaker.create: failure_threshold must be >= 1";
+  if config.cooldown_ms <= 0. then
+    invalid_arg "Breaker.create: cooldown_ms must be positive";
+  {
+    config;
+    now;
+    lock = Mutex.create ();
+    st = Closed;
+    failures = 0;
+    opened_at = 0L;
+    probe_in_flight = false;
+    opens = 0;
+    closes = 0;
+    rejections = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let cooldown_elapsed t =
+  let elapsed_ms =
+    Int64.to_float (Int64.sub (t.now ()) t.opened_at) /. 1e6
+  in
+  elapsed_ms >= t.config.cooldown_ms
+
+(* Under the lock. *)
+let tick t =
+  if t.st = Open && cooldown_elapsed t then begin
+    t.st <- Half_open;
+    t.probe_in_flight <- false
+  end
+
+let open_circuit t =
+  t.st <- Open;
+  t.opened_at <- t.now ();
+  t.probe_in_flight <- false;
+  t.opens <- t.opens + 1
+
+let admit t =
+  locked t (fun () ->
+      tick t;
+      match t.st with
+      | Closed -> true
+      | Open ->
+          t.rejections <- t.rejections + 1;
+          false
+      | Half_open ->
+          if t.probe_in_flight then begin
+            t.rejections <- t.rejections + 1;
+            false
+          end
+          else begin
+            t.probe_in_flight <- true;
+            true
+          end)
+
+let success t =
+  locked t (fun () ->
+      match t.st with
+      | Closed -> t.failures <- 0
+      | Half_open ->
+          t.st <- Closed;
+          t.failures <- 0;
+          t.probe_in_flight <- false;
+          t.closes <- t.closes + 1
+      | Open ->
+          (* A run admitted before the circuit opened finished late;
+             nothing to do. *)
+          ())
+
+let failure t =
+  locked t (fun () ->
+      match t.st with
+      | Closed ->
+          t.failures <- t.failures + 1;
+          if t.failures >= t.config.failure_threshold then open_circuit t
+      | Half_open -> open_circuit t
+      | Open -> ())
+
+let state t =
+  locked t (fun () ->
+      tick t;
+      t.st)
+
+let opens t = locked t (fun () -> t.opens)
+let closes t = locked t (fun () -> t.closes)
+let rejections t = locked t (fun () -> t.rejections)
+let consecutive_failures t = locked t (fun () -> t.failures)

@@ -1,0 +1,59 @@
+(** A circuit breaker around the solver: after enough consecutive
+    failures (internal errors or deadline blowouts) the circuit {e
+    opens} and solve attempts are refused instantly — the service sheds
+    to [degraded] replies built from the last known plan instead of
+    queueing doomed work. After a cooldown the breaker lets exactly one
+    {e half-open} probe through; a success closes the circuit, a failure
+    re-opens it and restarts the cooldown.
+
+    Thread-safe. The clock is injectable so the whole state machine unit
+    tests without sleeping. *)
+
+type state = Closed | Open | Half_open
+
+val state_to_string : state -> string
+
+type config = {
+  failure_threshold : int;  (** Consecutive failures that open the circuit. *)
+  cooldown_ms : float;  (** Open time before a half-open probe is allowed. *)
+}
+
+val default_config : config
+(** 5 failures, 5000 ms. *)
+
+type t
+
+val create : ?now:(unit -> int64) -> config -> t
+(** [now] returns monotonic nanoseconds (default
+    {!Mcss_obs.Clock.now_ns}). Raises [Invalid_argument] when
+    [failure_threshold < 1] or [cooldown_ms <= 0]. *)
+
+val admit : t -> bool
+(** May a solve run now? [Closed]: yes. [Open]: no, until the cooldown
+    has elapsed — then the breaker turns [Half_open] and this call
+    admits the probe. [Half_open]: no while the probe is outstanding.
+    Every admitted call {e must} be matched by exactly one {!success} or
+    {!failure}. *)
+
+val success : t -> unit
+(** The admitted run completed: reset the failure streak; a half-open
+    probe closes the circuit. *)
+
+val failure : t -> unit
+(** The admitted run failed: extend the streak; at
+    [failure_threshold] the circuit opens, and a failed half-open probe
+    re-opens it immediately. *)
+
+val state : t -> state
+(** Current state; reading it also performs the [Open] → [Half_open]
+    transition when the cooldown has elapsed (so a gauge scrape shows
+    the same state {!admit} would act on). *)
+
+val opens : t -> int
+(** Times the circuit opened (including half-open → open). *)
+
+val closes : t -> int
+val rejections : t -> int
+(** {!admit} calls refused. *)
+
+val consecutive_failures : t -> int

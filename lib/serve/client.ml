@@ -47,8 +47,9 @@ let write_all fd s =
   let len = Bytes.length b in
   let rec go off =
     if off < len then
-      let n = Unix.write fd b off (len - off) in
-      go (off + n)
+      match Unix.write fd b off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
   in
   go 0
 
@@ -79,3 +80,44 @@ let with_connection address f =
   match connect address with
   | Error _ as e -> e
   | Ok t -> Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+(* ----- resilient one-shot call ----- *)
+
+let receive_timeout t seconds =
+  try Unix.setsockopt_float t.fd Unix.SO_RCVTIMEO seconds
+  with Unix.Unix_error _ | Invalid_argument _ -> ()
+
+(* Which replies are worth another attempt: the server shed us
+   ([overloaded]) or blew the deadline ([timeout] — the plan stays
+   cached server-side, so the retry is usually a hit). Everything else
+   is a real answer the caller must see. *)
+let transient_reply reply =
+  match Protocol.response_error reply with
+  | Some (Some Protocol.Overloaded, m) -> Some ("overloaded: " ^ m)
+  | Some (Some Protocol.Timeout, m) -> Some ("timeout: " ^ m)
+  | _ -> None
+
+let call ?obs ?sleep ?(rng = Mcss_prng.Rng.create 0)
+    ?(policy = Retry.default_policy) address (env : Protocol.envelope) =
+  let replayable = Protocol.idempotent env.Protocol.request in
+  let env =
+    match (env.Protocol.deadline_ms, policy.Retry.attempt_timeout_ms) with
+    | None, Some ms -> { env with Protocol.deadline_ms = Some ms }
+    | _ -> env
+  in
+  Retry.run ?obs ?sleep ~rng ~policy (fun ~attempt:_ ->
+      (* A fresh connection per attempt: the previous one may be
+         half-dead (reset mid-frame, server restarting). *)
+      let attempt_result =
+        with_connection address (fun t ->
+            (match policy.Retry.attempt_timeout_ms with
+            | Some ms -> receive_timeout t (ms /. 1000.)
+            | None -> ());
+            request_envelope t env)
+      in
+      match attempt_result with
+      | Ok reply -> (
+          match transient_reply reply with
+          | Some m when replayable -> Retry.Retry m
+          | _ -> Retry.Done reply)
+      | Error m -> if replayable then Retry.Retry m else Retry.Give_up m)

@@ -23,3 +23,21 @@ val close : t -> unit
 val with_connection :
   Server.address -> (t -> ('a, string) result) -> ('a, string) result
 (** Connect, run, always close. *)
+
+val call :
+  ?obs:Mcss_obs.Registry.t ->
+  ?sleep:(float -> unit) ->
+  ?rng:Mcss_prng.Rng.t ->
+  ?policy:Retry.policy ->
+  Server.address ->
+  Protocol.envelope ->
+  Json.t Retry.outcome
+(** One request with {!Retry} semantics: each attempt connects fresh
+    (reconnect-and-replay), applies [policy.attempt_timeout_ms] as both
+    the socket receive timeout and the request's [deadline_ms] (unless
+    the envelope carries its own), and retries transport failures and
+    [overloaded]/[timeout] replies — but only when the request is
+    {!Protocol.idempotent}; otherwise the first failure gives up.
+    Other error replies (bad request, infeasible, degraded, ...) are
+    final answers, returned [Ok] for the caller to inspect. [rng]
+    (default seed 0) drives the jittered backoff. *)

@@ -1,0 +1,260 @@
+type fault =
+  | Delay_ms of float
+  | Chop of int
+  | Trickle of { chunk : int; delay_ms : float }
+  | Garbage of string
+  | Tear_after of int
+  | Reset_after of int
+
+type script = { to_server : fault list; to_client : fault list }
+
+let clean = { to_server = []; to_client = [] }
+
+(* A fault list folded into one pump configuration; later entries win
+   where they overlap (e.g. [Chop] then [Trickle]). *)
+type mode = {
+  delay_ms : float;
+  garbage : string;
+  chunk : int option;
+  inter_delay_ms : float;
+  cutoff : (int * [ `Fin | `Rst ]) option;
+}
+
+let mode_of_faults faults =
+  List.fold_left
+    (fun m -> function
+      | Delay_ms d -> { m with delay_ms = m.delay_ms +. d }
+      | Chop n -> { m with chunk = Some (max 1 n); inter_delay_ms = 0. }
+      | Trickle { chunk; delay_ms } ->
+          { m with chunk = Some (max 1 chunk); inter_delay_ms = delay_ms }
+      | Garbage g -> { m with garbage = m.garbage ^ g }
+      | Tear_after n -> { m with cutoff = Some (max 0 n, `Fin) }
+      | Reset_after n -> { m with cutoff = Some (max 0 n, `Rst) })
+    { delay_ms = 0.; garbage = ""; chunk = None; inter_delay_ms = 0.; cutoff = None }
+    faults
+
+(* One proxied connection: the two fds and an idempotent teardown the
+   two pump domains (and [stop]) can all call. *)
+type conn = {
+  client_fd : Unix.file_descr;
+  server_fd : Unix.file_descr;
+  conn_lock : Mutex.t;
+  mutable open_ : bool;
+}
+
+(* [`Rst] aborts the client side: SO_LINGER 0 turns the close into a
+   real RST, which is what a crashed or power-cycled peer looks like on
+   the wire. *)
+let teardown conn ~how =
+  Mutex.lock conn.conn_lock;
+  let first = conn.open_ in
+  conn.open_ <- false;
+  Mutex.unlock conn.conn_lock;
+  if first then begin
+    (match how with
+    | `Rst -> (
+        try Unix.setsockopt_optint conn.client_fd Unix.SO_LINGER (Some 0)
+        with Unix.Unix_error _ | Invalid_argument _ -> ())
+    | `Fin -> ());
+    List.iter
+      (fun fd ->
+        (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+        try Unix.close fd with Unix.Unix_error _ -> ())
+      [ conn.client_fd; conn.server_fd ]
+  end
+
+let rec eintr f = try f () with Unix.Unix_error (Unix.EINTR, _, _) -> eintr f
+
+let write_all fd b off len =
+  let rec go off len =
+    if len > 0 then
+      let n = eintr (fun () -> Unix.write fd b off len) in
+      go (off + n) (len - n)
+  in
+  go off len
+
+let sleep_ms ms = if ms > 0. then Unix.sleepf (ms /. 1000.)
+
+(* Forward src → dst through [mode] until EOF, a cutoff, or the
+   connection is torn down by the other pump. *)
+let pump conn ~src ~dst mode =
+  let buf = Bytes.create 4096 in
+  let forwarded = ref 0 in
+  let send b off len =
+    let step = match mode.chunk with Some c -> c | None -> len in
+    let rec chunks off len =
+      if len > 0 then begin
+        let n = min step len in
+        write_all dst b off n;
+        if len - n > 0 then sleep_ms mode.inter_delay_ms;
+        chunks (off + n) (len - n)
+      end
+    in
+    chunks off len;
+    forwarded := !forwarded + len
+  in
+  match
+    sleep_ms mode.delay_ms;
+    if mode.garbage <> "" then begin
+      let g = Bytes.of_string mode.garbage in
+      write_all dst g 0 (Bytes.length g)
+    end;
+    let rec loop () =
+      let n = eintr (fun () -> Unix.read src buf 0 (Bytes.length buf)) in
+      if n = 0 then teardown conn ~how:`Fin
+      else
+        match mode.cutoff with
+        | Some (limit, how) when !forwarded + n >= limit ->
+            send buf 0 (max 0 (limit - !forwarded));
+            teardown conn ~how
+        | _ ->
+            send buf 0 n;
+            loop ()
+    in
+    loop ()
+  with
+  | () -> ()
+  | exception (Unix.Unix_error _ | Sys_error _) -> teardown conn ~how:`Fin
+
+type t = {
+  listener : Unix.file_descr;
+  listen_port : int;
+  plan : conn:int -> script;
+  lock : Mutex.t;
+  mutable closing : bool;
+  mutable accepted : int;
+  mutable conns : conn list;
+  mutable pumps : unit Domain.t list;
+  mutable acceptor : unit Domain.t option;
+}
+
+let dial = function
+  | Server.Unix_socket path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_UNIX path)
+       with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+      fd
+  | Server.Tcp (host, port) ->
+      let inet =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+          | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+          | _ -> raise (Unix.Unix_error (Unix.EINVAL, "getaddrinfo", host)))
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_INET (inet, port))
+       with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+      fd
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let handle_accept t upstream client_fd =
+  match dial upstream with
+  | exception (Unix.Unix_error _ as _e) ->
+      (* Upstream down (e.g. the kill -9 window): drop the client; its
+         retry layer is the thing under test. *)
+      (try Unix.close client_fd with Unix.Unix_error _ -> ())
+  | server_fd ->
+      let conn =
+        { client_fd; server_fd; conn_lock = Mutex.create (); open_ = true }
+      in
+      let script =
+        let i = locked t (fun () -> let i = t.accepted in t.accepted <- i + 1; i) in
+        t.plan ~conn:i
+      in
+      let up =
+        Domain.spawn (fun () ->
+            pump conn ~src:client_fd ~dst:server_fd
+              (mode_of_faults script.to_server))
+      in
+      let down =
+        Domain.spawn (fun () ->
+            pump conn ~src:server_fd ~dst:client_fd
+              (mode_of_faults script.to_client))
+      in
+      locked t (fun () ->
+          t.conns <- conn :: t.conns;
+          t.pumps <- up :: down :: t.pumps)
+
+let accept_loop t upstream () =
+  let rec loop () =
+    if locked t (fun () -> t.closing) then ()
+    else begin
+      (match eintr (fun () -> Unix.select [ t.listener ] [] [] 0.05) with
+      | [ _ ], _, _ -> (
+          match Unix.accept t.listener with
+          | fd, _ -> handle_accept t upstream fd
+          | exception Unix.Unix_error _ -> ())
+      | _ -> ()
+      | exception Unix.Unix_error _ -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let start ?(plan = fun ~conn:_ -> clean) ~upstream () =
+  let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt listener Unix.SO_REUSEADDR true;
+     Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+     Unix.listen listener 16
+   with e ->
+     (try Unix.close listener with Unix.Unix_error _ -> ());
+     raise e);
+  let listen_port =
+    match Unix.getsockname listener with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  let t =
+    {
+      listener;
+      listen_port;
+      plan;
+      lock = Mutex.create ();
+      closing = false;
+      accepted = 0;
+      conns = [];
+      pumps = [];
+      acceptor = None;
+    }
+  in
+  t.acceptor <- Some (Domain.spawn (accept_loop t upstream));
+  t
+
+let address t = Server.Tcp ("127.0.0.1", t.listen_port)
+let port t = t.listen_port
+let connections t = locked t (fun () -> t.accepted)
+
+let stop t =
+  let first = locked t (fun () -> let f = not t.closing in t.closing <- true; f) in
+  if first then begin
+    (try Unix.close t.listener with Unix.Unix_error _ -> ());
+    (match t.acceptor with Some d -> Domain.join d | None -> ());
+    let conns, pumps = locked t (fun () -> (t.conns, t.pumps)) in
+    List.iter (fun c -> teardown c ~how:`Fin) conns;
+    List.iter Domain.join pumps
+  end
+
+(* ----- signal storm ----- *)
+
+let with_signal_storm ?(interval_ms = 0.2) f =
+  let stop_flag = Atomic.make false in
+  let previous = Sys.signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> ())) in
+  let pid = Unix.getpid () in
+  let storm =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop_flag) do
+          (try Unix.kill pid Sys.sigusr1 with Unix.Unix_error _ -> ());
+          Unix.sleepf (interval_ms /. 1000.)
+        done)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop_flag true;
+      Domain.join storm;
+      Sys.set_signal Sys.sigusr1 previous)
+    f

@@ -1,0 +1,69 @@
+(** Wire-level fault injection for the planning daemon's transport: a
+    TCP proxy that sits between a client and a real server and mangles
+    the byte stream on purpose — partial writes, torn frames, abrupt
+    resets, slow-loris trickle, garbage bytes — plus a signal storm that
+    forces genuine [EINTR] out of blocking syscalls.
+
+    The point is to prove, in tests and the [serve-faults] bench, that
+    the resilient pieces actually resist: {!Client.call} retries through
+    a reset, {!Server}'s reader survives torn frames, {!Journal} replay
+    truncates torn tails, and the {!Retry} backoff spreads reconnect
+    storms. A real proxy (not a mock transport) is used so resets are
+    real RSTs ([SO_LINGER 0]) and partial writes are real short
+    [write(2)]s. *)
+
+(** What to do to one direction of one proxied connection. Byte counts
+    are of {e forwarded} payload for that direction. *)
+type fault =
+  | Delay_ms of float  (** Sleep before forwarding the first byte. *)
+  | Chop of int  (** Forward in at-most-[n]-byte writes (partial writes). *)
+  | Trickle of { chunk : int; delay_ms : float }
+      (** Slow-loris: [Chop chunk] plus a sleep between chunks. *)
+  | Garbage of string  (** Inject these bytes before any real ones. *)
+  | Tear_after of int
+      (** Forward only the first [n] bytes, then close both sides
+          cleanly (FIN) — the peer sees a torn frame, then EOF. *)
+  | Reset_after of int
+      (** Forward the first [n] bytes, then abort the client side with
+          [SO_LINGER 0] — the peer sees a real RST ([ECONNRESET]). *)
+
+type script = {
+  to_server : fault list;  (** Applied to client → server bytes. *)
+  to_client : fault list;  (** Applied to server → client bytes. *)
+}
+
+val clean : script
+(** Forward both directions untouched. *)
+
+type t
+
+val start :
+  ?plan:(conn:int -> script) -> upstream:Server.address -> unit -> t
+(** Listen on an ephemeral loopback TCP port; each accepted connection
+    [i] (0-based, in accept order) dials [upstream] and is pumped
+    through [plan ~conn:i] (default {!clean} for every connection).
+    Raises [Unix.Unix_error] when the listener cannot bind. *)
+
+val address : t -> Server.address
+(** Where clients should connect. *)
+
+val port : t -> int
+
+val connections : t -> int
+(** Connections accepted so far. *)
+
+val stop : t -> unit
+(** Close the listener and every live connection, join the pumps.
+    Idempotent. *)
+
+(** {2 Signal storm}
+
+    Blocking syscalls in OCaml are interrupted by signals (handlers are
+    installed without [SA_RESTART]), so pounding the process with a
+    harmless signal makes [read]/[write]/[select] return [EINTR] at
+    random points — exactly the noise the I/O loops must absorb. *)
+
+val with_signal_storm : ?interval_ms:float -> (unit -> 'a) -> 'a
+(** Install a no-op [SIGUSR1] handler, spawn a domain that signals this
+    process every [interval_ms] (default 0.2 ms) while [f] runs, then
+    stop the storm and restore the previous handler. Exception-safe. *)

@@ -1,0 +1,258 @@
+module Registry = Mcss_obs.Registry
+module Counter = Mcss_obs.Metric.Counter
+module Histogram = Mcss_obs.Metric.Histogram
+module Clock = Mcss_obs.Clock
+
+type config = { dir : string; fsync : bool; snapshot_every : int }
+
+let default_config ~dir = { dir; fsync = true; snapshot_every = 256 }
+
+type replay = {
+  records : string list;
+  snapshot_records : int;
+  wal_records : int;
+  truncated_bytes : int;
+  corrupt_records : int;
+}
+
+(* ----- CRC-32 (IEEE 802.3 / zlib polynomial, table-driven) ----- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let idx =
+        Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl)
+      in
+      c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+(* ----- framing ----- *)
+
+let header_bytes = 8
+let max_record_bytes = 256 * 1024 * 1024
+
+let frame payload =
+  let len = String.length payload in
+  if len > max_record_bytes then
+    invalid_arg (Printf.sprintf "Journal.append: record of %d bytes" len);
+  let b = Bytes.create (header_bytes + len) in
+  Bytes.set_int32_le b 0 (Int32.of_int len);
+  Bytes.set_int32_le b 4 (crc32 payload);
+  Bytes.blit_string payload 0 b header_bytes len;
+  Bytes.unsafe_to_string b
+
+(* Scan the framed records of [path]. Returns the payloads in order plus
+   the byte offset just past the last good record and how many framing/
+   CRC failures stopped the scan (0 or 1 — the first failure ends it,
+   since nothing after an unsynchronised point can be trusted). *)
+let scan path =
+  match open_in_bin path with
+  | exception Sys_error _ -> ([], 0, 0)
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let total = in_channel_length ic in
+          let header = Bytes.create header_bytes in
+          let rec go acc good_end =
+            if total - good_end < header_bytes then (List.rev acc, good_end, 0)
+            else begin
+              really_input ic header 0 header_bytes;
+              let len = Int32.to_int (Bytes.get_int32_le header 0) in
+              let crc = Bytes.get_int32_le header 4 in
+              if len < 0 || len > max_record_bytes then
+                (* A garbage length: unsynchronised, cut here. *)
+                (List.rev acc, good_end, 1)
+              else if total - good_end - header_bytes < len then
+                (* Torn tail: the payload never fully made it to disk. *)
+                (List.rev acc, good_end, 0)
+              else
+                let payload = really_input_string ic len in
+                if crc32 payload <> crc then (List.rev acc, good_end, 1)
+                else go (payload :: acc) (good_end + header_bytes + len)
+            end
+          in
+          go [] 0)
+
+(* ----- the journal ----- *)
+
+type t = {
+  config : config;
+  obs : Registry.t;
+  lock : Mutex.t;
+  mutable wal_fd : Unix.file_descr option;
+  mutable wal_count : int;
+  mutable snapshot_count : int;
+}
+
+let wal_path_of dir = Filename.concat dir "wal.mcssj"
+let snapshot_path_of dir = Filename.concat dir "snapshot.mcssj"
+
+let wal_path t = wal_path_of t.config.dir
+let snapshot_path t = snapshot_path_of t.config.dir
+
+let rec mkdir_p dir =
+  if dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let rec fsync_eintr fd =
+  try Unix.fsync fd
+  with Unix.Unix_error (Unix.EINTR, _, _) -> fsync_eintr fd
+
+let fsync_timed t fd =
+  let t0 = Clock.now_ns () in
+  fsync_eintr fd;
+  Histogram.observe
+    (Registry.histogram t.obs ~help:"Journal fsync latency (seconds)"
+       "serve.journal.fsync_seconds")
+    (Clock.seconds_since t0)
+
+let fsync_dir dir =
+  (* Persist the rename/creation itself; best-effort where directories
+     cannot be fsynced (some filesystems refuse). *)
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let count c name help n =
+  if n > 0 then Counter.add (Registry.counter c ~help name) n
+
+let open_ ?obs config =
+  let obs = match obs with Some r -> r | None -> Registry.noop in
+  mkdir_p config.dir;
+  let snap_records, _snap_end, snap_corrupt = scan (snapshot_path_of config.dir) in
+  let wal_records, wal_end, wal_corrupt = scan (wal_path_of config.dir) in
+  (* Cut the torn/corrupt tail off the WAL so the next append starts at
+     a clean frame boundary. *)
+  let wal = wal_path_of config.dir in
+  let truncated_bytes =
+    match Unix.openfile wal [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 with
+    | fd ->
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            let size = (Unix.fstat fd).Unix.st_size in
+            if size > wal_end then Unix.ftruncate fd wal_end;
+            size - wal_end)
+    | exception Unix.Unix_error _ -> 0
+  in
+  let wal_fd =
+    Unix.openfile wal [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+  in
+  let t =
+    {
+      config;
+      obs;
+      lock = Mutex.create ();
+      wal_fd = Some wal_fd;
+      wal_count = List.length wal_records;
+      snapshot_count = 0;
+    }
+  in
+  let replay =
+    {
+      records = snap_records @ wal_records;
+      snapshot_records = List.length snap_records;
+      wal_records = List.length wal_records;
+      truncated_bytes = max 0 truncated_bytes;
+      corrupt_records = snap_corrupt + wal_corrupt;
+    }
+  in
+  count obs "serve.journal.replay.records" "Records recovered at startup"
+    (List.length replay.records);
+  count obs "serve.journal.replay.truncated_bytes"
+    "Torn WAL tail bytes cut at startup" replay.truncated_bytes;
+  count obs "serve.journal.replay.corrupt_records"
+    "CRC/framing failures hit during replay" replay.corrupt_records;
+  (t, replay)
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let len = Bytes.length b in
+  let rec go off =
+    if off < len then
+      match Unix.write fd b off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let live t =
+  match t.wal_fd with
+  | Some fd -> fd
+  | None -> raise (Sys_error "journal is closed")
+
+let append t payload =
+  locked t (fun () ->
+      let fd = live t in
+      write_all fd (frame payload);
+      if t.config.fsync then fsync_timed t fd;
+      t.wal_count <- t.wal_count + 1;
+      Counter.inc
+        (Registry.counter t.obs ~help:"Records appended to the WAL"
+           "serve.journal.appends"))
+
+let wal_records t = locked t (fun () -> t.wal_count)
+
+let snapshot_due t =
+  locked t (fun () ->
+      t.config.snapshot_every > 0 && t.wal_count >= t.config.snapshot_every)
+
+let snapshot t payloads =
+  locked t (fun () ->
+      let fd = live t in
+      let tmp = snapshot_path t ^ ".tmp" in
+      let snap_fd =
+        Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+      in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close snap_fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          List.iter (fun p -> write_all snap_fd (frame p)) payloads;
+          fsync_timed t snap_fd);
+      Unix.rename tmp (snapshot_path t);
+      fsync_dir t.config.dir;
+      (* The WAL's contents are now folded into the snapshot. *)
+      Unix.ftruncate fd 0;
+      if t.config.fsync then fsync_timed t fd;
+      t.wal_count <- 0;
+      t.snapshot_count <- t.snapshot_count + 1;
+      Counter.inc
+        (Registry.counter t.obs ~help:"Snapshot rewrites since start"
+           "serve.journal.snapshots"))
+
+let snapshots_taken t = locked t (fun () -> t.snapshot_count)
+
+let close t =
+  locked t (fun () ->
+      match t.wal_fd with
+      | None -> ()
+      | Some fd ->
+          t.wal_fd <- None;
+          (try if t.config.fsync then Unix.fsync fd with Unix.Unix_error _ -> ());
+          (try Unix.close fd with Unix.Unix_error _ -> ()))

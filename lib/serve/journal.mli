@@ -1,0 +1,81 @@
+(** Crash-safe persistence for the planning daemon: a write-ahead log of
+    framed records plus a periodically rewritten snapshot, so a
+    [kill -9]'d server recovers its workload registry and plan cache on
+    restart instead of re-running the solver.
+
+    The journal stores opaque string payloads ({!Service} encodes its
+    ops as one JSON object per record). On disk each record is framed as
+
+    {v
+    <u32 LE payload length> <u32 LE CRC-32 of payload> <payload bytes>
+    v}
+
+    under [DIR/wal.mcssj]; [DIR/snapshot.mcssj] holds the same framing
+    and is only ever replaced atomically (write to a temp file, fsync,
+    rename), after which the WAL is truncated. Replay reads the snapshot
+    then the WAL; a torn tail — a crash mid-append leaves a short header
+    or a payload whose CRC does not match — is cut off the WAL in place
+    ([ftruncate] to the last good record) and everything before it is
+    recovered. A corrupt snapshot record stops the snapshot replay at
+    that point but is never "repaired": the snapshot is only written
+    whole.
+
+    All operations are thread-safe. *)
+
+type config = {
+  dir : string;  (** Created (with parents) on {!open_} when missing. *)
+  fsync : bool;
+      (** [fsync] the WAL after every append (default). Disabling trades
+          the tail of the log on power loss for append latency. *)
+  snapshot_every : int;
+      (** WAL records after which {!snapshot_due} turns true; [0] never. *)
+}
+
+val default_config : dir:string -> config
+(** [fsync = true], [snapshot_every = 256]. *)
+
+type replay = {
+  records : string list;  (** Recovered payloads: snapshot first, then WAL. *)
+  snapshot_records : int;
+  wal_records : int;
+  truncated_bytes : int;  (** Torn tail cut off the WAL. *)
+  corrupt_records : int;  (** Framing/CRC failures hit during replay. *)
+}
+
+type t
+
+val open_ : ?obs:Mcss_obs.Registry.t -> config -> t * replay
+(** Replay what is on disk, truncate any torn WAL tail, and reopen the
+    WAL for appending. [obs] receives [serve.journal.*] counters and the
+    fsync latency histogram. Raises [Unix.Unix_error]/[Sys_error] when
+    the directory cannot be created or opened. *)
+
+val append : t -> string -> unit
+(** Frame, write, and (per {!config}) fsync one record. *)
+
+val wal_records : t -> int
+(** Records currently in the WAL (replayed + appended since the last
+    {!snapshot}). *)
+
+val snapshot_due : t -> bool
+
+val snapshot : t -> string list -> unit
+(** Atomically replace the snapshot with the given full state and start
+    a fresh WAL. The caller (the service) passes every record needed to
+    rebuild its state from scratch. *)
+
+val snapshots_taken : t -> int
+
+val wal_path : t -> string
+val snapshot_path : t -> string
+
+val close : t -> unit
+(** Idempotent. Appending after [close] raises [Sys_error]. *)
+
+(** {2 CRC-32}
+
+    Exposed for tests and the fault-injection suite (corrupting a frame
+    deliberately requires computing what the good CRC would have been). *)
+
+val crc32 : string -> int32
+(** IEEE 802.3 (zlib) CRC-32 of the whole string. *)

@@ -85,6 +85,16 @@ let add c key value =
 
 let length c = locked c (fun () -> Hashtbl.length c.table)
 
+let to_list c =
+  locked c (fun () ->
+      (* Walk tail→head collecting MRU-first, then reverse to LRU-first:
+         re-adding in that order reproduces the recency list. *)
+      let rec walk acc = function
+        | None -> acc
+        | Some n -> walk ((n.key, n.value) :: acc) n.prev
+      in
+      List.rev (walk [] c.tail))
+
 type stats = { hits : int; misses : int; evictions : int; entries : int }
 
 let stats c =

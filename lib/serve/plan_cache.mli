@@ -27,6 +27,11 @@ val add : 'a t -> string -> 'a -> unit
 
 val length : 'a t -> int
 
+val to_list : 'a t -> (string * 'a) list
+(** Every entry, least recently used first, so [add]-ing them back in
+    order reproduces the recency list. Snapshots use this to persist
+    the cache without disturbing it (no promotion, no counter churn). *)
+
 type stats = { hits : int; misses : int; evictions : int; entries : int }
 
 val stats : 'a t -> stats

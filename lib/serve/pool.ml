@@ -5,6 +5,7 @@ type t = {
   nonempty : Condition.t;
   mutable closing : bool;
   mutable escaped : int;
+  mutable rejected : int;
   mutable workers : unit Domain.t array;
 }
 
@@ -46,6 +47,7 @@ let start ?queue_depth ~workers () =
       nonempty = Condition.create ();
       closing = false;
       escaped = 0;
+      rejected = 0;
       workers = [||];
     }
   in
@@ -57,7 +59,10 @@ let start ?queue_depth ~workers () =
 let submit pool job =
   Mutex.lock pool.lock;
   let accepted =
-    if pool.closing || Queue.length pool.queue >= pool.depth then false
+    if pool.closing || Queue.length pool.queue >= pool.depth then begin
+      pool.rejected <- pool.rejected + 1;
+      false
+    end
     else begin
       Queue.push job pool.queue;
       Condition.signal pool.nonempty;
@@ -70,6 +75,18 @@ let submit pool job =
 let escaped_exceptions pool =
   Mutex.lock pool.lock;
   let n = pool.escaped in
+  Mutex.unlock pool.lock;
+  n
+
+let queue_length pool =
+  Mutex.lock pool.lock;
+  let n = Queue.length pool.queue in
+  Mutex.unlock pool.lock;
+  n
+
+let rejected pool =
+  Mutex.lock pool.lock;
+  let n = pool.rejected in
   Mutex.unlock pool.lock;
   n
 

@@ -25,6 +25,12 @@ val submit : t -> (unit -> unit) -> bool
 val escaped_exceptions : t -> int
 (** Jobs that terminated with an uncaught exception. *)
 
+val queue_length : t -> int
+(** Jobs submitted but not yet claimed by a worker. *)
+
+val rejected : t -> int
+(** {!submit} calls refused because the queue was full or closing. *)
+
 val shutdown : t -> unit
 (** Stop accepting jobs, let queued and running jobs finish, then join
     every worker. Idempotent. *)

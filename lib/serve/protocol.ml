@@ -215,6 +215,7 @@ type error_code =
   | Overloaded
   | Draining
   | Infeasible
+  | Degraded
   | Internal
 
 let error_code_to_string = function
@@ -225,6 +226,7 @@ let error_code_to_string = function
   | Overloaded -> "overloaded"
   | Draining -> "draining"
   | Infeasible -> "infeasible"
+  | Degraded -> "degraded"
   | Internal -> "internal"
 
 let error_code_of_string = function
@@ -235,6 +237,7 @@ let error_code_of_string = function
   | "overloaded" -> Some Overloaded
   | "draining" -> Some Draining
   | "infeasible" -> Some Infeasible
+  | "degraded" -> Some Degraded
   | "internal" -> Some Internal
   | _ -> None
 
@@ -253,6 +256,21 @@ let error_response ?id ~code ~message () =
          ])
 
 let response_ok j = Json.member "ok" j |> Fun.flip Option.bind Json.to_bool_opt = Some true
+
+let response_degraded j =
+  response_ok j
+  && Json.member "degraded" j |> Fun.flip Option.bind Json.to_bool_opt = Some true
+
+(* Every current verb is safe to replay on a fresh connection after a
+   transport failure: [load] is content-addressed (re-sending the same
+   workload maps to the same digest), [solve]/[whatif] are deterministic
+   and cached, [chaos] is seeded, and the read-only verbs are read-only.
+   [shutdown] merely re-sets the drain flag. The function exists so a
+   future mutating verb has somewhere to say "no" — {!Client.call} will
+   then stop replaying it. *)
+let idempotent = function
+  | Health | Load _ | Solve _ | Whatif _ | Chaos _ | Stats | Metrics | Shutdown ->
+      true
 
 let response_error j =
   if response_ok j then None

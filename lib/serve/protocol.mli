@@ -25,7 +25,18 @@
     v}
 
     Responses are [{"ok":true,...}] or
-    [{"ok":false,"error":CODE,"message":TEXT}]. *)
+    [{"ok":false,"error":CODE,"message":TEXT}].
+
+    {b Degraded replies.} When the solver's circuit breaker is open, a
+    [solve] (or [whatif] point) that misses the plan cache is answered
+    from the last journaled plan for that digest instead of erroring:
+    the reply is [ok:true] with ["degraded":true], a
+    ["degraded_reason"], the ["requested_tau"], and the {e served}
+    plan's own parameters in the usual fields — the client gets a stale
+    but feasible plan rather than nothing. When no plan for the digest
+    has ever been solved, the reply is an [ok:false] error with code
+    [degraded]. [mcss query] exits with status 2 (not 1) on both shapes
+    so scripts can tell "shed, retry later" from a hard error. *)
 
 type solve_params = {
   tau : float;  (** Satisfaction threshold (default 100). *)
@@ -76,6 +87,9 @@ type error_code =
   | Overloaded  (** Admission control refused: too many in-flight solves. *)
   | Draining  (** Server is shutting down and no longer takes work. *)
   | Infeasible  (** The MCSS instance cannot be solved at these params. *)
+  | Degraded
+      (** The solver circuit is open and no previously solved plan
+          exists for this digest to degrade to. *)
   | Internal  (** Unexpected server-side failure. *)
 
 val error_code_to_string : error_code -> string
@@ -91,5 +105,14 @@ val error_response :
 val response_ok : Json.t -> bool
 (** Whether a reply has ["ok"] = [true]. *)
 
+val response_degraded : Json.t -> bool
+(** Whether a reply is an ok reply carrying ["degraded"] = [true] (a
+    stale plan served because the solver circuit is open). *)
+
 val response_error : Json.t -> (error_code option * string) option
 (** [(code, message)] of an error reply; [None] for an ok reply. *)
+
+val idempotent : request -> bool
+(** Whether replaying the request on a fresh connection is safe after a
+    transport failure mid-exchange. True for every current verb; retry
+    layers gate reconnect-and-replay on it. *)

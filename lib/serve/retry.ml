@@ -1,0 +1,71 @@
+module Rng = Mcss_prng.Rng
+module Registry = Mcss_obs.Registry
+module Counter = Mcss_obs.Metric.Counter
+module Histogram = Mcss_obs.Metric.Histogram
+
+type policy = {
+  max_attempts : int;
+  base_ms : float;
+  cap_ms : float;
+  attempt_timeout_ms : float option;
+}
+
+let default_policy =
+  { max_attempts = 4; base_ms = 25.; cap_ms = 2000.; attempt_timeout_ms = None }
+
+let backoff_ms rng policy ~prev_ms =
+  let hi = Float.max policy.base_ms (3. *. prev_ms) in
+  let draw =
+    if hi <= policy.base_ms then policy.base_ms
+    else policy.base_ms +. Rng.float rng (hi -. policy.base_ms)
+  in
+  Float.min policy.cap_ms draw
+
+type 'a verdict = Done of 'a | Give_up of string | Retry of string
+
+type 'a outcome = {
+  result : ('a, string) result;
+  attempts : int;
+  total_backoff_ms : float;
+}
+
+let run ?obs ?sleep ~rng ~policy f =
+  if policy.max_attempts < 1 then
+    invalid_arg "Retry.run: max_attempts must be >= 1";
+  let obs = match obs with Some r -> r | None -> Registry.noop in
+  let sleep = match sleep with Some s -> s | None -> fun ms -> Unix.sleepf (ms /. 1000.) in
+  let attempts_c =
+    Registry.counter obs ~help:"Client request attempts (incl. first tries)"
+      "serve.client.retry.attempts"
+  in
+  let retries_c =
+    Registry.counter obs ~help:"Client retries after a transient failure"
+      "serve.client.retry.retries"
+  in
+  let backoff_h =
+    Registry.histogram obs ~help:"Backoff sleeps between attempts (seconds)"
+      "serve.client.retry.backoff_seconds"
+  in
+  let rec go attempt prev_ms total_backoff =
+    Counter.inc attempts_c;
+    match f ~attempt with
+    | Done v -> { result = Ok v; attempts = attempt; total_backoff_ms = total_backoff }
+    | Give_up m ->
+        { result = Error m; attempts = attempt; total_backoff_ms = total_backoff }
+    | Retry m ->
+        if attempt >= policy.max_attempts then
+          {
+            result =
+              Error (Printf.sprintf "%s (gave up after %d attempts)" m attempt);
+            attempts = attempt;
+            total_backoff_ms = total_backoff;
+          }
+        else begin
+          let ms = backoff_ms rng policy ~prev_ms in
+          Counter.inc retries_c;
+          Histogram.observe backoff_h (ms /. 1000.);
+          sleep ms;
+          go (attempt + 1) ms (total_backoff +. ms)
+        end
+  in
+  go 1 0. 0.

@@ -1,0 +1,54 @@
+(** Retry with capped exponential backoff and decorrelated jitter, for
+    clients of the planning daemon: a transient transport failure (reset
+    mid-frame, refused connect during a restart, an [overloaded] shed)
+    is retried on a fresh connection instead of surfacing to the caller.
+
+    The backoff follows the "decorrelated jitter" rule: each sleep is
+    drawn uniformly from [[base, 3 × previous sleep]] and capped, which
+    spreads synchronised retry storms apart faster than equal-jitter
+    while keeping the expected wait close to plain exponential. The
+    randomness comes from {!Mcss_prng.Rng}, so a seeded client retries
+    reproducibly. *)
+
+type policy = {
+  max_attempts : int;  (** Total attempts including the first ([>= 1]). *)
+  base_ms : float;  (** Lower bound of every backoff draw. *)
+  cap_ms : float;  (** Upper bound of every backoff draw. *)
+  attempt_timeout_ms : float option;
+      (** Per-attempt deadline. {!Client.call} applies it as both the
+          socket receive timeout and the request's [deadline_ms]. *)
+}
+
+val default_policy : policy
+(** 4 attempts, 25 ms base, 2000 ms cap, no per-attempt timeout. *)
+
+val backoff_ms : Mcss_prng.Rng.t -> policy -> prev_ms:float -> float
+(** One decorrelated-jitter draw:
+    [min cap_ms (uniform base_ms (max base_ms (3 × prev_ms)))]. Pass
+    [prev_ms = 0.] for the first backoff. *)
+
+type 'a verdict =
+  | Done of 'a  (** Stop; the outcome's result is [Ok]. *)
+  | Give_up of string  (** Stop; not retryable (e.g. a [bad_request]). *)
+  | Retry of string  (** Transient; back off and try again. *)
+
+type 'a outcome = {
+  result : ('a, string) result;
+      (** The final verdict; [Error] carries the last failure message. *)
+  attempts : int;  (** Attempts actually made ([>= 1]). *)
+  total_backoff_ms : float;  (** Time spent sleeping between attempts. *)
+}
+
+val run :
+  ?obs:Mcss_obs.Registry.t ->
+  ?sleep:(float -> unit) ->
+  rng:Mcss_prng.Rng.t ->
+  policy:policy ->
+  (attempt:int -> 'a verdict) ->
+  'a outcome
+(** Drive [f ~attempt] (1-based) until [Done]/[Give_up] or the attempt
+    budget runs out. [sleep] takes milliseconds (default
+    [Unix.sleepf (ms /. 1000.)]; tests inject a recorder). [obs]
+    receives [serve.client.retry.*] counters and the backoff histogram.
+    Exceptions from [f] are not caught — wrap transport calls that
+    already speak [result]. *)

@@ -27,6 +27,7 @@ let address_of_string s =
 
 type config = {
   workers : int;
+  queue_depth : int option;
   max_request_bytes : int;
   backlog : int;
   accept_tick_s : float;
@@ -36,6 +37,7 @@ type config = {
 let default_config =
   {
     workers = 4;
+    queue_depth = None;
     max_request_bytes = 8 * 1024 * 1024;
     backlog = 64;
     accept_tick_s = 0.2;
@@ -49,8 +51,9 @@ let write_all fd s =
   let len = Bytes.length b in
   let rec go off =
     if off < len then
-      let n = Unix.write fd b off (len - off) in
-      go (off + n)
+      match Unix.write fd b off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
   in
   go 0
 
@@ -176,7 +179,7 @@ let run ?(config = default_config) service address =
   | _ -> ()
   | exception (Invalid_argument _ | Sys_error _) -> ());
   let listener = bind_listener address ~backlog:config.backlog in
-  let pool = Pool.start ~workers:(max 1 config.workers) () in
+  let pool = Pool.start ?queue_depth:config.queue_depth ~workers:(max 1 config.workers) () in
   config.log
     (Printf.sprintf "mcss serve: listening on %s (%d workers)"
        (address_to_string address) (max 1 config.workers));
@@ -191,6 +194,10 @@ let run ?(config = default_config) service address =
               then begin
                 (* Pool saturated or closing: shed the connection with a
                    parseable reason rather than a silent RST. *)
+                Mcss_obs.Metric.Counter.inc
+                  (Mcss_obs.Registry.counter (Service.obs service)
+                     ~help:"Connections shed because the worker queue was full"
+                     "serve.connections.shed");
                 (try
                    send_reply fd
                      (Protocol.error_response ~code:Protocol.Overloaded

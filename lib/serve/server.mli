@@ -21,6 +21,10 @@ val address_of_string : string -> (address, string) result
 
 type config = {
   workers : int;  (** Connection-worker domains (default 4). *)
+  queue_depth : int option;
+      (** Submitted-but-unclaimed connection bound; beyond it new
+          connections are shed with an [overloaded] reply (default
+          [4 * workers]). *)
   max_request_bytes : int;  (** Request-line size limit (default 8 MiB). *)
   backlog : int;  (** [listen] backlog (default 64). *)
   accept_tick_s : float;

@@ -4,6 +4,8 @@ module Instance = Mcss_pricing.Instance
 module Cost_model = Mcss_pricing.Cost_model
 module Problem = Mcss_core.Problem
 module Solver = Mcss_core.Solver
+module Allocation = Mcss_core.Allocation
+module Plan_io = Mcss_core.Plan_io
 module Failure_model = Mcss_resilience.Failure_model
 module Orchestrator = Mcss_resilience.Orchestrator
 module Sla = Mcss_resilience.Sla
@@ -18,43 +20,77 @@ type config = {
   cache_capacity : int;
   max_in_flight : int;
   default_deadline_ms : float option;
+  journal : Journal.config option;
+  breaker : Breaker.config;
 }
 
 let default_config =
-  { cache_capacity = 128; max_in_flight = 4; default_deadline_ms = None }
+  {
+    cache_capacity = 128;
+    max_in_flight = 4;
+    default_deadline_ms = None;
+    journal = None;
+    breaker = Breaker.default_config;
+  }
 
 (* A cached plan: the full solver result (so chaos drills can replay the
    allocation) plus the money view, which depends only on the params the
-   plan is keyed under. *)
-type plan = { result : Solver.result; bandwidth_gb : float; solve_seconds : float }
+   plan is keyed under, plus the canonical plan text the journal stores
+   and the digest clients use to compare plans across restarts. *)
+type plan = {
+  result : Solver.result;
+  bandwidth_gb : float;
+  solve_seconds : float;
+  text : string;
+  plan_digest : string;
+}
+
+(* A cache entry remembers what it was solved for, so a snapshot can
+   re-journal it and a degraded reply can disclose the served params. *)
+type entry = { digest : string; params : Protocol.solve_params; plan : plan }
+
+type replay_stats = {
+  workloads_recovered : int;
+  plans_recovered : int;
+  records_skipped : int;
+  wal_truncated_bytes : int;
+  corrupt_records : int;
+}
+
+(* Leader outcome shared with single-flight followers. A late solve
+   ([M_late]) is a timeout for the leader but the plan was cached, so
+   followers treat it as a hit. *)
+type miss_outcome =
+  | M_plan of entry
+  | M_late of entry * string
+  | M_shed
+  | M_err of solve_error
+
+and solve_error = E of Protocol.error_code * string
 
 type t = {
   config : config;
   obs : Registry.t;
-  cache : plan Plan_cache.t;
+  cache : entry Plan_cache.t;
   gate : Admission.t;
+  breaker : Breaker.t;
+  sf : miss_outcome Single_flight.t;
   workloads : (string, Workload.t) Hashtbl.t;
-  lock : Mutex.t;  (** Guards [workloads], [obs] updates, and the mutable fields. *)
+  fallback : (string, entry) Hashtbl.t;
+      (** Last solved plan per workload digest — what degraded replies
+          serve. Never evicted (entries are small: text + result). *)
+  lock : Mutex.t;  (** Guards [workloads], [fallback], [obs] updates, and the mutable fields. *)
+  journal : Journal.t option;
+  journal_lock : Mutex.t;
+      (** Serialises appends and snapshots. Lock order: [journal_lock]
+          then [lock]; never the reverse. *)
   started_ns : int64;
   mutable draining : bool;
   mutable requests : int;
   mutable solver_run_count : int;
+  mutable degraded_served : int;
+  mutable replay : replay_stats option;
 }
-
-let create ?obs ?(config = default_config) () =
-  let obs = match obs with Some r -> r | None -> Registry.create () in
-  {
-    config;
-    obs;
-    cache = Plan_cache.create ~capacity:config.cache_capacity;
-    gate = Admission.create ~max_in_flight:config.max_in_flight;
-    workloads = Hashtbl.create 8;
-    lock = Mutex.create ();
-    started_ns = Clock.now_ns ();
-    draining = false;
-    requests = 0;
-    solver_run_count = 0;
-  }
 
 let locked t f =
   Mutex.lock t.lock;
@@ -64,6 +100,8 @@ let obs t = t.obs
 let draining t = locked t (fun () -> t.draining)
 let cache_stats t = Plan_cache.stats t.cache
 let solver_runs t = locked t (fun () -> t.solver_run_count)
+let breaker t = t.breaker
+let replay_stats t = locked t (fun () -> t.replay)
 
 (* ----- content digests ----- *)
 
@@ -93,12 +131,263 @@ let digest_of_workload w =
   done;
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
-let load_workload t w =
+let find_workload t digest = locked t (fun () -> Hashtbl.find_opt t.workloads digest)
+
+let cache_key digest (params : Protocol.solve_params) =
+  Printf.sprintf "%s|tau=%.17g|instance=%s|bc=%s|config=%s" digest
+    params.Protocol.tau params.Protocol.instance
+    (match params.Protocol.bc_events with
+    | None -> "default"
+    | Some x -> Printf.sprintf "%.17g" x)
+    params.Protocol.config
+
+(* ----- journal ops -----
+
+   One JSON object per record. Floats that must round-trip exactly
+   (params feed {!cache_key}, which renders them at [%.17g]) are stored
+   as [%.17g] strings, not JSON numbers — the wire printer rounds
+   numbers to 12 significant digits. *)
+
+let f17 x = Json.String (Printf.sprintf "%.17g" x)
+
+let f17_get j key =
+  match Json.member key j with
+  | Some (Json.String s) -> float_of_string_opt s
+  | Some v -> Json.to_float_opt v
+  | None -> None
+
+let load_op digest w =
+  Json.to_string
+    (Json.Obj
+       [
+         ("op", Json.String "load");
+         ("digest", Json.String digest);
+         ("wio", Json.String (Wio.to_string w));
+       ])
+
+let plan_op (e : entry) =
+  let p = e.params in
+  Json.to_string
+    (Json.Obj
+       ([
+          ("op", Json.String "plan");
+          ("digest", Json.String e.digest);
+          ("tau", f17 p.Protocol.tau);
+          ("instance", Json.String p.Protocol.instance);
+          ("config", Json.String p.Protocol.config);
+        ]
+       @ (match p.Protocol.bc_events with
+         | None -> []
+         | Some x -> [ ("bc", f17 x) ])
+       @ [
+           ("plan", Json.String e.plan.text);
+           ("bandwidth", f17 e.plan.result.Solver.bandwidth);
+           ("bandwidth_gb", f17 e.plan.bandwidth_gb);
+           ("cost", f17 e.plan.result.Solver.cost);
+           ("stage1_s", f17 e.plan.result.Solver.stage1_seconds);
+           ("stage2_s", f17 e.plan.result.Solver.stage2_seconds);
+           ("solve_s", f17 e.plan.solve_seconds);
+         ]))
+
+(* Rebuild service state from one journal record. Registers directly
+   (no re-journaling). Raises nothing: any malformed or orphaned record
+   is skipped and counted. *)
+let apply_record t line ~workloads ~plans ~skipped =
+  let skip () = incr skipped in
+  match Json.parse line with
+  | Error _ -> skip ()
+  | Ok j -> (
+      let str key = Json.member key j |> Fun.flip Option.bind Json.to_string_opt in
+      match str "op" with
+      | Some "load" -> (
+          match str "wio" with
+          | None -> skip ()
+          | Some text -> (
+              match Wio.of_string text with
+              | w ->
+                  let digest = digest_of_workload w in
+                  (* Trust-but-verify: a record whose payload no longer
+                     hashes to its digest would orphan every plan keyed
+                     under it — drop it rather than serve mislabeled
+                     state. *)
+                  if str "digest" = Some digest then begin
+                    Hashtbl.replace t.workloads digest w;
+                    incr workloads
+                  end
+                  else skip ()
+              | exception Wio.Parse_error _ -> skip ()))
+      | Some "plan" -> (
+          match (str "digest", str "plan") with
+          | Some digest, Some text -> (
+              match Hashtbl.find_opt t.workloads digest with
+              | None -> skip () (* plan for a workload we never recovered *)
+              | Some w -> (
+                  let params =
+                    match
+                      ( f17_get j "tau",
+                        str "instance",
+                        str "config" )
+                    with
+                    | Some tau, Some instance, Some config ->
+                        Some
+                          {
+                            Protocol.tau;
+                            instance;
+                            config;
+                            bc_events = f17_get j "bc";
+                          }
+                    | _ -> None
+                  in
+                  match params with
+                  | None -> skip ()
+                  | Some params -> (
+                      match Plan_io.of_string ~workload:w text with
+                      | allocation, selection -> (
+                          match
+                            ( f17_get j "bandwidth",
+                              f17_get j "bandwidth_gb",
+                              f17_get j "cost" )
+                          with
+                          | Some bandwidth, Some bandwidth_gb, Some cost ->
+                              let result =
+                                {
+                                  Solver.selection;
+                                  allocation;
+                                  num_vms = Allocation.num_vms allocation;
+                                  bandwidth;
+                                  cost;
+                                  stage1_seconds =
+                                    Option.value ~default:0. (f17_get j "stage1_s");
+                                  stage2_seconds =
+                                    Option.value ~default:0. (f17_get j "stage2_s");
+                                }
+                              in
+                              let plan =
+                                {
+                                  result;
+                                  bandwidth_gb;
+                                  solve_seconds =
+                                    Option.value ~default:0. (f17_get j "solve_s");
+                                  text;
+                                  plan_digest = Digest.to_hex (Digest.string text);
+                                }
+                              in
+                              let e = { digest; params; plan } in
+                              Plan_cache.add t.cache (cache_key digest params) e;
+                              Hashtbl.replace t.fallback digest e;
+                              incr plans
+                          | _ -> skip ())
+                      | exception Plan_io.Parse_error _ -> skip ())))
+          | _ -> skip ())
+      | _ -> skip ())
+
+(* Everything needed to rebuild the registry and cache from scratch:
+   loads first (plan replay looks its workload up), then plans with the
+   cache's LRU entries last so replaying reproduces the recency order.
+   Fallback-only plans (evicted from the cache but still served by
+   degraded replies) go before the cache so they cannot evict live
+   entries on replay. *)
+let full_state t =
+  let cached = List.map snd (Plan_cache.to_list t.cache) in
+  let loads, fallback_only =
+    locked t (fun () ->
+        let seen = Hashtbl.create 64 in
+        List.iter
+          (fun e -> Hashtbl.replace seen (cache_key e.digest e.params) ())
+          cached;
+        ( Hashtbl.fold (fun d w acc -> load_op d w :: acc) t.workloads [],
+          Hashtbl.fold
+            (fun _ e acc ->
+              if Hashtbl.mem seen (cache_key e.digest e.params) then acc
+              else e :: acc)
+            t.fallback [] ))
+  in
+  loads @ List.map plan_op (fallback_only @ cached)
+
+(* Append one op; when the WAL has grown past the configured threshold,
+   fold it into a fresh snapshot while still holding [journal_lock] so
+   concurrent appends cannot interleave with the truncation. *)
+let journal_append t op =
+  match t.journal with
+  | None -> ()
+  | Some j ->
+      Mutex.lock t.journal_lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.journal_lock)
+        (fun () ->
+          Journal.append j op;
+          if Journal.snapshot_due j then Journal.snapshot j (full_state t))
+
+let register_workload t w =
   let digest = digest_of_workload w in
-  locked t (fun () -> Hashtbl.replace t.workloads digest w);
+  let fresh =
+    locked t (fun () ->
+        let fresh = not (Hashtbl.mem t.workloads digest) in
+        Hashtbl.replace t.workloads digest w;
+        fresh)
+  in
+  (* Re-loading known content is a no-op on disk too. *)
+  if fresh then journal_append t (load_op digest w);
   digest
 
-let find_workload t digest = locked t (fun () -> Hashtbl.find_opt t.workloads digest)
+let load_workload = register_workload
+
+let create ?obs ?(config = default_config) () =
+  let obs = match obs with Some r -> r | None -> Registry.create () in
+  let journal, journal_replay =
+    match config.journal with
+    | None -> (None, None)
+    | Some jc ->
+        let j, replay = Journal.open_ ~obs jc in
+        (Some j, Some replay)
+  in
+  let t =
+    {
+      config;
+      obs;
+      cache = Plan_cache.create ~capacity:config.cache_capacity;
+      gate = Admission.create ~max_in_flight:config.max_in_flight;
+      breaker = Breaker.create config.breaker;
+      sf = Single_flight.create ();
+      workloads = Hashtbl.create 8;
+      fallback = Hashtbl.create 8;
+      lock = Mutex.create ();
+      journal;
+      journal_lock = Mutex.create ();
+      started_ns = Clock.now_ns ();
+      draining = false;
+      requests = 0;
+      solver_run_count = 0;
+      degraded_served = 0;
+      replay = None;
+    }
+  in
+  (match journal_replay with
+  | None -> ()
+  | Some r ->
+      let workloads = ref 0 and plans = ref 0 and skipped = ref 0 in
+      List.iter
+        (fun line -> apply_record t line ~workloads ~plans ~skipped)
+        r.Journal.records;
+      t.replay <-
+        Some
+          {
+            workloads_recovered = !workloads;
+            plans_recovered = !plans;
+            records_skipped = !skipped;
+            wal_truncated_bytes = r.Journal.truncated_bytes;
+            corrupt_records = r.Journal.corrupt_records;
+          });
+  t
+
+let close t =
+  match t.journal with
+  | None -> ()
+  | Some j ->
+      Mutex.lock t.journal_lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.journal_lock)
+        (fun () -> Journal.close j)
 
 (* ----- metrics plumbing (all under the service lock) ----- *)
 
@@ -138,8 +427,29 @@ let record_solver_run t ~seconds ~(r : Solver.result) =
            "serve.solver.stage2_seconds")
         r.Solver.stage2_seconds)
 
+let record_degraded t ~served =
+  locked t (fun () ->
+      if served then begin
+        t.degraded_served <- t.degraded_served + 1;
+        Counter.inc
+          (Registry.counter t.obs
+             ~help:"Stale plans served while the solver circuit was open"
+             "serve.degraded.served")
+      end
+      else
+        Counter.inc
+          (Registry.counter t.obs
+             ~help:"Sheds with no previously solved plan to degrade to"
+             "serve.degraded.no_fallback"))
+
+let breaker_state_value = function
+  | Breaker.Closed -> 0.
+  | Breaker.Half_open -> 1.
+  | Breaker.Open -> 2.
+
 let refresh_gauges t =
   let cs = Plan_cache.stats t.cache in
+  let breaker_state = Breaker.state t.breaker in
   locked t (fun () ->
       let set name help v = Gauge.set (Registry.gauge t.obs ~help name) v in
       set "serve.cache.hits" "Plan-cache hits since start" (float_of_int cs.Plan_cache.hits);
@@ -155,7 +465,22 @@ let refresh_gauges t =
       set "serve.overload_rejections" "Requests shed by the admission gate"
         (float_of_int (Admission.rejected t.gate));
       set "serve.workloads_resident" "Workloads registered"
-        (float_of_int (Hashtbl.length t.workloads)))
+        (float_of_int (Hashtbl.length t.workloads));
+      set "serve.breaker.state" "Solver circuit: 0 closed, 1 half-open, 2 open"
+        (breaker_state_value breaker_state);
+      set "serve.breaker.opens" "Times the solver circuit opened"
+        (float_of_int (Breaker.opens t.breaker));
+      set "serve.breaker.closes" "Times the solver circuit closed"
+        (float_of_int (Breaker.closes t.breaker));
+      set "serve.breaker.rejections" "Solve attempts refused by the open circuit"
+        (float_of_int (Breaker.rejections t.breaker));
+      match t.journal with
+      | None -> ()
+      | Some j ->
+          set "serve.journal.wal_records" "Records in the write-ahead log"
+            (float_of_int (Journal.wal_records j));
+          set "serve.journal.snapshots" "Snapshots taken since start"
+            (float_of_int (Journal.snapshots_taken j)))
 
 (* ----- solving ----- *)
 
@@ -166,9 +491,6 @@ let resolve_config name =
   if name = "parallel" then
     Some { Solver.default with Solver.stage1 = Solver.Gsp_parallel }
   else Solver.config_of_name name
-
-type solve_error =
-  | E of Protocol.error_code * string
 
 let problem_for w (params : Protocol.solve_params) =
   match Instance.find params.Protocol.instance with
@@ -185,68 +507,134 @@ let problem_for w (params : Protocol.solve_params) =
       | p -> Ok (model, p)
       | exception Invalid_argument m -> Error (E (Protocol.Bad_request, m)))
 
-let cache_key digest (params : Protocol.solve_params) =
-  Printf.sprintf "%s|tau=%.17g|instance=%s|bc=%s|config=%s" digest
-    params.Protocol.tau params.Protocol.instance
-    (match params.Protocol.bc_events with
-    | None -> "default"
-    | Some x -> Printf.sprintf "%.17g" x)
-    params.Protocol.config
+(* Publish a freshly solved plan: plan cache, degraded-reply fallback,
+   and the journal (in that order — a plan visible to clients before it
+   is durable only costs a re-solve after a crash, never a wrong answer). *)
+let publish t ~key (e : entry) =
+  Plan_cache.add t.cache key e;
+  locked t (fun () -> Hashtbl.replace t.fallback e.digest e);
+  journal_append t (plan_op e)
+
+(* The cache-miss path, run by exactly one single-flight leader per key.
+   The admission gate is taken before the breaker is consulted: a
+   half-open probe, once admitted, must actually run the solver so its
+   success/failure verdict is meaningful. *)
+let miss t ~key ~digest ~w ~(params : Protocol.solve_params) ~deadline =
+  match resolve_config params.Protocol.config with
+  | None ->
+      M_err
+        (E (Protocol.Bad_request,
+            Printf.sprintf "unknown solver config %S" params.Protocol.config))
+  | Some config -> (
+      match problem_for w params with
+      | Error e -> M_err e
+      | Ok (model, p) ->
+          if Admission.expired deadline then
+            M_err (E (Protocol.Timeout, "deadline exceeded before solve started"))
+          else
+            let run () =
+              if not (Breaker.admit t.breaker) then M_shed
+              else
+                let t0 = Clock.now_ns () in
+                match Solver.solve ~config p with
+                | r ->
+                    let seconds = Clock.seconds_since t0 in
+                    let text = Plan_io.to_string r.Solver.allocation in
+                    let plan =
+                      {
+                        result = r;
+                        bandwidth_gb =
+                          Cost_model.gb_of_events model r.Solver.bandwidth;
+                        solve_seconds = seconds;
+                        text;
+                        plan_digest = Digest.to_hex (Digest.string text);
+                      }
+                    in
+                    let e = { digest; params; plan } in
+                    record_solver_run t ~seconds ~r;
+                    publish t ~key e;
+                    if Admission.expired deadline then begin
+                      (* The solver blew the budget: that is the failure
+                         mode the breaker exists for. *)
+                      Breaker.failure t.breaker;
+                      M_late
+                        ( e,
+                          Printf.sprintf
+                            "solve finished after the deadline (%.0f ms late); \
+                             plan cached for a retry"
+                            (-.Admission.remaining_ms deadline) )
+                    end
+                    else begin
+                      Breaker.success t.breaker;
+                      M_plan e
+                    end
+                | exception Problem.Infeasible m ->
+                    (* The solver did its job; the instance has no
+                       feasible plan. Not a breaker failure. *)
+                    Breaker.success t.breaker;
+                    M_err (E (Protocol.Infeasible, m))
+                | exception Invalid_argument m ->
+                    Breaker.success t.breaker;
+                    M_err (E (Protocol.Bad_request, m))
+                | exception exn ->
+                    Breaker.failure t.breaker;
+                    M_err (E (Protocol.Internal, Printexc.to_string exn))
+            in
+            (match Admission.with_slot t.gate run with
+            | Some m -> m
+            | None ->
+                M_err
+                  (E (Protocol.Overloaded,
+                      Printf.sprintf "solver gate full (%d in flight)"
+                        (Admission.max_in_flight t.gate)))))
+
+type obtained =
+  | Served of plan * bool  (* plan, cached *)
+  | Degr of entry * string  (* fallback served under an open circuit *)
+  | Failed of solve_error
+
+(* Turn a shed into a degraded answer when any plan for this digest was
+   ever solved (this run or a journaled predecessor). *)
+let shed t ~digest =
+  let fb = locked t (fun () -> Hashtbl.find_opt t.fallback digest) in
+  match fb with
+  | Some e ->
+      record_degraded t ~served:true;
+      Degr (e, "solver circuit open; serving last solved plan")
+  | None ->
+      record_degraded t ~served:false;
+      Failed
+        (E (Protocol.Degraded,
+            "solver circuit open and no previously solved plan for this digest"))
 
 (* Obtain a plan for (digest, params): from the cache, or by running the
-   solver under the admission gate. [deadline] is re-checked after
-   waiting turns (admission) and the solver run itself. *)
+   solver — once per key across concurrent requests (single-flight) —
+   under the admission gate and the circuit breaker. *)
 let obtain_plan t ~digest ~w ~(params : Protocol.solve_params) ~deadline =
   let key = cache_key digest params in
   match Plan_cache.find t.cache key with
-  | Some plan -> Ok (plan, true)
+  | Some e -> Served (e.plan, true)
   | None -> (
-      match resolve_config params.Protocol.config with
-      | None ->
-          Error
-            (E (Protocol.Bad_request,
-                Printf.sprintf "unknown solver config %S" params.Protocol.config))
-      | Some config -> (
-          match problem_for w params with
-          | Error _ as e -> e
-          | Ok (model, p) ->
-              if Admission.expired deadline then
-                Error (E (Protocol.Timeout, "deadline exceeded before solve started"))
-              else
-                let run () =
-                  let t0 = Clock.now_ns () in
-                  match Solver.solve ~config p with
-                  | r ->
-                      let seconds = Clock.seconds_since t0 in
-                      let plan =
-                        {
-                          result = r;
-                          bandwidth_gb = Cost_model.gb_of_events model r.Solver.bandwidth;
-                          solve_seconds = seconds;
-                        }
-                      in
-                      record_solver_run t ~seconds ~r;
-                      Plan_cache.add t.cache key plan;
-                      if Admission.expired deadline then
-                        Error
-                          (E (Protocol.Timeout,
-                              Printf.sprintf
-                                "solve finished after the deadline (%.0f ms late); \
-                                 plan cached for a retry"
-                                (-.Admission.remaining_ms deadline)))
-                      else Ok (plan, false)
-                  | exception Problem.Infeasible m ->
-                      Error (E (Protocol.Infeasible, m))
-                  | exception Invalid_argument m ->
-                      Error (E (Protocol.Bad_request, m))
-                in
-                (match Admission.with_slot t.gate run with
-                | Some r -> r
-                | None ->
-                    Error
-                      (E (Protocol.Overloaded,
-                          Printf.sprintf "solver gate full (%d in flight)"
-                            (Admission.max_in_flight t.gate))))))
+      match
+        Single_flight.run t.sf ~key (fun () ->
+            miss t ~key ~digest ~w ~params ~deadline)
+      with
+      | Single_flight.Leader (M_plan e) -> Served (e.plan, false)
+      | Single_flight.Leader (M_late (_, msg)) ->
+          Failed (E (Protocol.Timeout, msg))
+      | Single_flight.Leader M_shed -> shed t ~digest
+      | Single_flight.Leader (M_err e) -> Failed e
+      | Single_flight.Follower (M_plan e) | Single_flight.Follower (M_late (e, _))
+        ->
+          (* The leader solved it while we waited: a shared hit. *)
+          Served (e.plan, true)
+      | Single_flight.Follower M_shed -> shed t ~digest
+      | Single_flight.Follower (M_err err) -> (
+          (* The leader may still have cached a plan (e.g. it raced an
+             eviction); prefer the cache over inheriting its error. *)
+          match Plan_cache.find t.cache key with
+          | Some e -> Served (e.plan, true)
+          | None -> Failed err))
 
 let plan_fields digest (params : Protocol.solve_params) plan ~cached =
   let r = plan.result in
@@ -260,10 +648,22 @@ let plan_fields digest (params : Protocol.solve_params) plan ~cached =
     ("bandwidth_events", Json.Float r.Solver.bandwidth);
     ("bandwidth_gb", Json.Float plan.bandwidth_gb);
     ("cost_usd", Json.Float r.Solver.cost);
+    ("plan_digest", Json.String plan.plan_digest);
     ("stage1_s", Json.Float r.Solver.stage1_seconds);
     ("stage2_s", Json.Float r.Solver.stage2_seconds);
     ("solve_s", Json.Float (if cached then 0. else plan.solve_seconds));
   ]
+
+(* A degraded reply carries the served plan's own params in the usual
+   fields (the client must know what it actually got) and discloses what
+   was asked for in [requested_tau]. *)
+let degraded_fields (requested : Protocol.solve_params) (e : entry) ~reason =
+  plan_fields e.digest e.params e.plan ~cached:true
+  @ [
+      ("degraded", Json.Bool true);
+      ("degraded_reason", Json.String reason);
+      ("requested_tau", Json.Float requested.Protocol.tau);
+    ]
 
 (* ----- endpoints ----- *)
 
@@ -293,23 +693,14 @@ let handle_load t ~id source =
           | exception Sys_error m -> Error m
           | exception Wio.Parse_error m -> Error (path ^ ": " ^ m))
       | `Inline text -> (
-          (* Wio parses channels; stage the payload through a temp file. *)
-          let tmp = Filename.temp_file "mcss-serve" ".wl" in
-          Fun.protect
-            ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
-            (fun () ->
-              let oc = open_out tmp in
-              output_string oc text;
-              close_out oc;
-              match Wio.load tmp with
-              | w -> Ok w
-              | exception Wio.Parse_error m -> Error m
-              | exception Sys_error m -> Error m))
+          match Wio.of_string text with
+          | w -> Ok w
+          | exception Wio.Parse_error m -> Error m)
     in
     match parse_result with
     | Error m -> Protocol.error_response ~id ~code:Protocol.Bad_request ~message:m ()
     | Ok w ->
-        let digest = load_workload t w in
+        let digest = register_workload t w in
         Protocol.ok_response ~id
           [
             ("digest", Json.String digest);
@@ -333,9 +724,11 @@ let reply_of_error ~id (E (code, message)) =
 let handle_solve t ~id ~deadline ~digest ~params =
   with_workload t ~id digest (fun w ->
       match obtain_plan t ~digest ~w ~params ~deadline with
-      | Ok (plan, cached) ->
+      | Served (plan, cached) ->
           Protocol.ok_response ~id (plan_fields digest params plan ~cached)
-      | Error e -> reply_of_error ~id e)
+      | Degr (e, reason) ->
+          Protocol.ok_response ~id (degraded_fields params e ~reason)
+      | Failed e -> reply_of_error ~id e)
 
 let handle_whatif t ~id ~deadline ~digest ~params ~taus =
   with_workload t ~id digest (fun w ->
@@ -353,9 +746,13 @@ let handle_whatif t ~id ~deadline ~digest ~params ~taus =
             else
               let params = { params with Protocol.tau } in
               (match obtain_plan t ~digest ~w ~params ~deadline with
-              | Ok (plan, cached) ->
+              | Served (plan, cached) ->
                   sweep (Json.Obj (plan_fields digest params plan ~cached) :: acc) rest
-              | Error _ as e -> e)
+              | Degr (e, reason) ->
+                  (* A sweep under an open circuit still answers: this
+                     point is marked degraded, the rest keep going. *)
+                  sweep (Json.Obj (degraded_fields params e ~reason) :: acc) rest
+              | Failed e -> Error e)
       in
       match sweep [] taus with
       | Ok points ->
@@ -366,8 +763,16 @@ let handle_whatif t ~id ~deadline ~digest ~params ~taus =
 let handle_chaos t ~id ~deadline ~digest ~params ~seed ~epochs ~zones ~faults =
   with_workload t ~id digest (fun w ->
       match obtain_plan t ~digest ~w ~params ~deadline with
-      | Error e -> reply_of_error ~id e
-      | Ok (plan, cached) -> (
+      | Failed e -> reply_of_error ~id e
+      | Degr _ ->
+          (* A drill against some other plan would answer a question
+             nobody asked; chaos needs the plan for these exact params. *)
+          Protocol.error_response ~id ~code:Protocol.Degraded
+            ~message:
+              "solver circuit open; chaos drills need a plan solved at the \
+               requested parameters"
+            ()
+      | Served (plan, cached) -> (
           let fleet = plan.result.Solver.num_vms in
           let campaign_result =
             if faults = [] then
@@ -431,30 +836,73 @@ let handle_chaos t ~id ~deadline ~digest ~params ~seed ~epochs ~zones ~faults =
 
 let handle_stats t ~id =
   let cs = Plan_cache.stats t.cache in
-  let requests, solver_run_count, workloads =
-    locked t (fun () -> (t.requests, t.solver_run_count, Hashtbl.length t.workloads))
+  let breaker_state = Breaker.state t.breaker in
+  let requests, solver_run_count, workloads, degraded_served, replay =
+    locked t (fun () ->
+        ( t.requests,
+          t.solver_run_count,
+          Hashtbl.length t.workloads,
+          t.degraded_served,
+          t.replay ))
   in
   Protocol.ok_response ~id
-    [
-      ("uptime_s", Json.Float (uptime_s t));
-      ("draining", Json.Bool (draining t));
-      ("requests", Json.Int requests);
-      ("workloads_resident", Json.Int workloads);
-      ("solver_runs", Json.Int solver_run_count);
-      ("inflight_solves", Json.Int (Admission.in_flight t.gate));
-      ("max_inflight_solves", Json.Int (Admission.max_in_flight t.gate));
-      ("overload_rejections", Json.Int (Admission.rejected t.gate));
-      ( "cache",
-        Json.Obj
+    ([
+       ("uptime_s", Json.Float (uptime_s t));
+       ("draining", Json.Bool (draining t));
+       ("requests", Json.Int requests);
+       ("workloads_resident", Json.Int workloads);
+       ("solver_runs", Json.Int solver_run_count);
+       ("degraded_served", Json.Int degraded_served);
+       ("inflight_solves", Json.Int (Admission.in_flight t.gate));
+       ("max_inflight_solves", Json.Int (Admission.max_in_flight t.gate));
+       ("overload_rejections", Json.Int (Admission.rejected t.gate));
+       ( "cache",
+         Json.Obj
+           [
+             ("capacity", Json.Int (Plan_cache.capacity t.cache));
+             ("entries", Json.Int cs.Plan_cache.entries);
+             ("hits", Json.Int cs.Plan_cache.hits);
+             ("misses", Json.Int cs.Plan_cache.misses);
+             ("evictions", Json.Int cs.Plan_cache.evictions);
+             ("hit_ratio", Json.Float (Plan_cache.hit_ratio cs));
+           ] );
+       ( "breaker",
+         Json.Obj
+           [
+             ("state", Json.String (Breaker.state_to_string breaker_state));
+             ("opens", Json.Int (Breaker.opens t.breaker));
+             ("closes", Json.Int (Breaker.closes t.breaker));
+             ("rejections", Json.Int (Breaker.rejections t.breaker));
+             ("consecutive_failures",
+              Json.Int (Breaker.consecutive_failures t.breaker));
+           ] );
+     ]
+    @ (match t.journal with
+      | None -> []
+      | Some j ->
           [
-            ("capacity", Json.Int (Plan_cache.capacity t.cache));
-            ("entries", Json.Int cs.Plan_cache.entries);
-            ("hits", Json.Int cs.Plan_cache.hits);
-            ("misses", Json.Int cs.Plan_cache.misses);
-            ("evictions", Json.Int cs.Plan_cache.evictions);
-            ("hit_ratio", Json.Float (Plan_cache.hit_ratio cs));
-          ] );
-    ]
+            ( "journal",
+              Json.Obj
+                [
+                  ("wal_records", Json.Int (Journal.wal_records j));
+                  ("snapshots", Json.Int (Journal.snapshots_taken j));
+                ] );
+          ])
+    @
+    match replay with
+    | None -> []
+    | Some r ->
+        [
+          ( "replay",
+            Json.Obj
+              [
+                ("workloads_recovered", Json.Int r.workloads_recovered);
+                ("plans_recovered", Json.Int r.plans_recovered);
+                ("records_skipped", Json.Int r.records_skipped);
+                ("wal_truncated_bytes", Json.Int r.wal_truncated_bytes);
+                ("corrupt_records", Json.Int r.corrupt_records);
+              ] );
+        ])
 
 let handle_metrics t ~id =
   refresh_gauges t;

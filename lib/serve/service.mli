@@ -1,7 +1,7 @@
 (** The planning service proper: resident workloads, the plan cache, the
-    admission gate, and the request dispatcher — everything except the
-    sockets, so it can be driven in-process by tests and the bench as
-    well as by {!Server}.
+    admission gate, the solver circuit breaker, and the request
+    dispatcher — everything except the sockets, so it can be driven
+    in-process by tests and the bench as well as by {!Server}.
 
     A workload is registered once ([load]) and addressed thereafter by
     the MD5 digest of its canonical {!Mcss_workload.Wio} text, so the
@@ -9,7 +9,20 @@
     arrived. Plans are cached under [(digest, solver params)]; a [solve]
     or [whatif] point that hits the cache is answered without running
     the solver (the [serve.solver.runs] counter does not move and no
-    solver timing is recorded — only [serve.cache.hits]).
+    solver timing is recorded — only [serve.cache.hits]). Concurrent
+    misses on the same key are single-flighted: one request runs the
+    solver, the rest share its result as a hit.
+
+    {b Durability.} With a {!Journal} configured, every registered
+    workload and every solved plan is appended to a write-ahead log
+    before the reply goes out; {!create} replays the log so a restarted
+    (even [kill -9]'d) daemon answers the same [solve] as a cache hit,
+    with the same [plan_digest], without re-running the solver.
+
+    {b Degradation.} Consecutive solver failures (deadline blowouts or
+    internal errors) open a circuit breaker; while it is open, cache
+    misses are answered [degraded] from the last solved plan for the
+    digest (see {!Protocol}) instead of queueing doomed work.
 
     All entry points are thread-safe; the heavy phases (solving, chaos
     drills) run outside the internal lock so concurrent workers only
@@ -20,6 +33,10 @@ type config = {
   max_in_flight : int;  (** Concurrent solver runs (default 4). *)
   default_deadline_ms : float option;
       (** Applied when a request carries no ["deadline_ms"]. *)
+  journal : Journal.config option;
+      (** Where to persist state; [None] (default) serves from memory
+          only. *)
+  breaker : Breaker.config;  (** Solver circuit breaker thresholds. *)
 }
 
 val default_config : config
@@ -28,9 +45,15 @@ type t
 
 val create : ?obs:Mcss_obs.Registry.t -> ?config:config -> unit -> t
 (** [obs] (default a fresh enabled registry) receives the per-endpoint
-    request counters and latency histograms, the cache and in-flight
-    gauges, and the solver-run counter/duration histogram; it is what
-    the [metrics] request renders. *)
+    request counters and latency histograms, the cache/in-flight/breaker
+    gauges, the journal counters, and the solver-run counter/duration
+    histogram; it is what the [metrics] request renders. When
+    [config.journal] is set, opens the journal and replays it (raising
+    [Unix.Unix_error]/[Sys_error] if the directory cannot be created or
+    opened). *)
+
+val close : t -> unit
+(** Close the journal (no-op without one). Idempotent. *)
 
 val handle_line : t -> string -> Json.t
 (** Decode one request line and dispatch it. Never raises: malformed
@@ -42,7 +65,7 @@ val handle : t -> Protocol.envelope -> Json.t
 
 val load_workload : t -> Mcss_workload.Workload.t -> string
 (** Register a workload directly (the CLI uses this to preload), returns
-    its digest. *)
+    its digest. Journaled unless the digest is already resident. *)
 
 val digest_of_workload : Mcss_workload.Workload.t -> string
 (** The content digest (hex MD5 of the canonical Wio text). *)
@@ -51,6 +74,22 @@ val draining : t -> bool
 (** Set forever once a [shutdown] request has been answered; {!Server}
     polls it to stop accepting and drain. *)
 
+type replay_stats = {
+  workloads_recovered : int;
+  plans_recovered : int;
+  records_skipped : int;
+      (** Records that no longer decode or reference a workload that was
+          not recovered; skipped, never fatal. *)
+  wal_truncated_bytes : int;  (** Torn tail cut off the WAL. *)
+  corrupt_records : int;  (** Framing/CRC failures hit during replay. *)
+}
+
+val replay_stats : t -> replay_stats option
+(** What {!create} recovered from the journal; [None] without one. *)
+
 val obs : t -> Mcss_obs.Registry.t
 val cache_stats : t -> Plan_cache.stats
 val solver_runs : t -> int
+
+val breaker : t -> Breaker.t
+(** The solver circuit breaker (tests trip and inspect it directly). *)

@@ -1,0 +1,50 @@
+type 'a cell = {
+  m : Mutex.t;
+  cv : Condition.t;
+  mutable outcome : ('a, exn) result option;  (* [None] while running *)
+}
+
+type 'a t = { lock : Mutex.t; table : (string, 'a cell) Hashtbl.t }
+
+let create () = { lock = Mutex.create (); table = Hashtbl.create 16 }
+
+type 'a role = Leader of 'a | Follower of 'a
+
+let run t ~key f =
+  Mutex.lock t.lock;
+  match Hashtbl.find_opt t.table key with
+  | Some cell ->
+      Mutex.unlock t.lock;
+      Mutex.lock cell.m;
+      let rec wait () =
+        match cell.outcome with
+        | Some r -> r
+        | None ->
+            Condition.wait cell.cv cell.m;
+            wait ()
+      in
+      let r = wait () in
+      Mutex.unlock cell.m;
+      (match r with Ok v -> Follower v | Error e -> raise e)
+  | None ->
+      let cell = { m = Mutex.create (); cv = Condition.create (); outcome = None } in
+      Hashtbl.replace t.table key cell;
+      Mutex.unlock t.lock;
+      let outcome = try Ok (f ()) with e -> Error e in
+      (* Unpublish before waking the followers, so a request arriving
+         after completion starts fresh rather than adopting a result its
+         cache lookup already missed. *)
+      Mutex.lock t.lock;
+      Hashtbl.remove t.table key;
+      Mutex.unlock t.lock;
+      Mutex.lock cell.m;
+      cell.outcome <- Some outcome;
+      Condition.broadcast cell.cv;
+      Mutex.unlock cell.m;
+      (match outcome with Ok v -> Leader v | Error e -> raise e)
+
+let in_flight t =
+  Mutex.lock t.lock;
+  let n = Hashtbl.length t.table in
+  Mutex.unlock t.lock;
+  n

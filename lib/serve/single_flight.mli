@@ -1,0 +1,26 @@
+(** Cache-stampede suppression: when several requests miss the plan
+    cache on the same key at once, exactly one of them (the {e leader})
+    runs the solver; the rest ({e followers}) block until the leader's
+    result is ready and share it, instead of all running the same solve.
+
+    Thread-safe. Followers block on a condition variable with no
+    timeout: the leader always completes (the service converts solver
+    exceptions to values) and always wakes them. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+type 'a role =
+  | Leader of 'a  (** This caller ran the computation. *)
+  | Follower of 'a  (** Another caller ran it; this is its result. *)
+
+val run : 'a t -> key:string -> (unit -> 'a) -> 'a role
+(** If no computation for [key] is in flight, run [f] as the leader;
+    otherwise wait for the in-flight leader and return its result. A
+    leader exception is re-raised in the leader {e and} every waiting
+    follower. Calls that arrive after the leader finished start a fresh
+    computation (the caller is expected to re-check its cache first). *)
+
+val in_flight : 'a t -> int
+(** Keys with a computation currently running. *)

@@ -1,30 +1,39 @@
 exception Parse_error of string
 
-let output oc w =
-  Printf.fprintf oc "mcss-workload 1\n";
-  Printf.fprintf oc "topics %d\n" (Workload.num_topics w);
-  Printf.fprintf oc "subscribers %d\n" (Workload.num_subscribers w);
-  Printf.fprintf oc "rates\n";
-  Array.iter (fun ev -> Printf.fprintf oc "%.17g\n" ev) (Workload.event_rates w);
-  Printf.fprintf oc "interests\n";
+let emit add w =
+  add (Printf.sprintf "mcss-workload 1\n");
+  add (Printf.sprintf "topics %d\n" (Workload.num_topics w));
+  add (Printf.sprintf "subscribers %d\n" (Workload.num_subscribers w));
+  add "rates\n";
+  Array.iter (fun ev -> add (Printf.sprintf "%.17g\n" ev)) (Workload.event_rates w);
+  add "interests\n";
   for v = 0 to Workload.num_subscribers w - 1 do
     let tv = Workload.interests w v in
-    Printf.fprintf oc "%d" (Array.length tv);
-    Array.iter (fun t -> Printf.fprintf oc " %d" t) tv;
-    Printf.fprintf oc "\n"
+    add (string_of_int (Array.length tv));
+    Array.iter (fun t -> add (Printf.sprintf " %d" t)) tv;
+    add "\n"
   done
+
+let output oc w = emit (output_string oc) w
+
+let to_string w =
+  let buf = Buffer.create 4096 in
+  emit (Buffer.add_string buf) w;
+  Buffer.contents buf
 
 let save w path =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output oc w)
 
-type reader = { ic : in_channel; mutable line_num : int }
+(* The reader pulls raw lines from a closure so channels and in-memory
+   strings parse through the same code. *)
+type reader = { next_raw : unit -> string option; mutable line_num : int }
 
 let fail r msg = raise (Parse_error (Printf.sprintf "line %d: %s" r.line_num msg))
 
 (* Next non-comment, non-blank line, or None at end of input. *)
 let rec next_line r =
-  match In_channel.input_line r.ic with
+  match r.next_raw () with
   | None -> None
   | Some line ->
       r.line_num <- r.line_num + 1;
@@ -49,8 +58,20 @@ let expect_exact r expected =
   let line = expect_line r expected in
   if line <> expected then fail r (Printf.sprintf "expected %S, got %S" expected line)
 
-let input ic =
-  let r = { ic; line_num = 0 } in
+let lines_of_string s =
+  let pos = ref 0 in
+  let n = String.length s in
+  fun () ->
+    if !pos >= n then None
+    else
+      let stop =
+        match String.index_from_opt s !pos '\n' with Some i -> i | None -> n
+      in
+      let line = String.sub s !pos (stop - !pos) in
+      pos := stop + 1;
+      Some line
+
+let parse r =
   expect_exact r "mcss-workload 1";
   let num_topics = expect_keyword_int r "topics" in
   let num_subscribers = expect_keyword_int r "subscribers" in
@@ -90,6 +111,11 @@ let input ic =
   match Workload.create ~event_rates ~interests with
   | w -> w
   | exception Invalid_argument msg -> fail r msg
+
+let input ic =
+  parse { next_raw = (fun () -> In_channel.input_line ic); line_num = 0 }
+
+let of_string s = parse { next_raw = lines_of_string s; line_num = 0 }
 
 let load path =
   let ic = open_in path in

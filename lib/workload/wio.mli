@@ -25,3 +25,10 @@ val load : string -> Workload.t
 
 val output : out_channel -> Workload.t -> unit
 val input : in_channel -> Workload.t
+
+val to_string : Workload.t -> string
+(** The canonical rendering {!save} writes — what the planning service
+    journals and digests. *)
+
+val of_string : string -> Workload.t
+(** Parse an in-memory rendering; raises {!Parse_error} like {!load}. *)

@@ -1,0 +1,115 @@
+#!/bin/sh
+# End-to-end crash smoke + exit-code contract for the planning daemon.
+#
+#   1. Boot `mcss serve --journal`, load a workload, solve once.
+#   2. kill -9 the server, restart it over the same journal, and assert
+#      the same solve is answered as a cache hit with an identical
+#      plan_digest — the solver must not run again.
+#   3. Restart once more with --start-degraded and assert the exit-code
+#      contract: a cache hit exits 0, a miss exits 2 with a degraded
+#      reply carrying the stale plan, and chaos against unsolved params
+#      exits 2 with a `degraded` error.
+#
+# Usage: serve_resilience.sh /path/to/mcss
+# Exits non-zero (with a one-line reason on stderr) on the first failure.
+set -eu
+
+MCSS="$1"
+TMP=$(mktemp -d "${TMPDIR:-/tmp}/mcss-resilience-XXXXXX")
+SERVER_PID=""
+
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null
+  rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+  echo "serve_resilience: $*" >&2
+  exit 1
+}
+
+SOCK="$TMP/mcss.sock"
+JOURNAL="$TMP/journal"
+WL="$TMP/w.wl"
+
+start_server() {
+  "$MCSS" serve -l "unix:$SOCK" --journal "$JOURNAL" --silent "$@" &
+  SERVER_PID=$!
+  i=0
+  until "$MCSS" query -c "unix:$SOCK" health >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "server never became healthy"
+    kill -0 "$SERVER_PID" 2>/dev/null || fail "server died during startup"
+    sleep 0.1
+  done
+}
+
+stop_server_hard() {
+  kill -9 "$SERVER_PID" 2>/dev/null || true
+  wait "$SERVER_PID" 2>/dev/null || true
+  SERVER_PID=""
+}
+
+json_field() { # json_field KEY <<< reply  (string or hex values)
+  grep -o "\"$1\":\"[^\"]*\"" | head -n 1 | cut -d'"' -f4
+}
+
+"$MCSS" generate --trace spotify --scale 0.0005 --seed 11 -o "$WL" >/dev/null
+
+# ----- phase 1: solve once, durably -----
+start_server
+LOAD=$("$MCSS" query -c "unix:$SOCK" load -w "$WL")
+DIGEST=$(echo "$LOAD" | json_field digest)
+[ -n "$DIGEST" ] && [ "$DIGEST" != "" ] || fail "load returned no digest: $LOAD"
+
+SOLVE1=$("$MCSS" query -c "unix:$SOCK" solve --digest "$DIGEST" --tau 50) \
+  || fail "first solve failed"
+echo "$SOLVE1" | grep -q '"cached":false' || fail "first solve was not cold: $SOLVE1"
+PLAN1=$(echo "$SOLVE1" | json_field plan_digest)
+[ -n "$PLAN1" ] || fail "first solve carried no plan_digest: $SOLVE1"
+
+# ----- phase 2: kill -9, restart, same answer from the journal -----
+stop_server_hard
+start_server
+SOLVE2=$("$MCSS" query -c "unix:$SOCK" solve --digest "$DIGEST" --tau 50) \
+  || fail "post-crash solve failed"
+echo "$SOLVE2" | grep -q '"cached":true' \
+  || fail "post-crash solve was not a cache hit: $SOLVE2"
+PLAN2=$(echo "$SOLVE2" | json_field plan_digest)
+[ "$PLAN1" = "$PLAN2" ] \
+  || fail "plan digest changed across the crash: $PLAN1 vs $PLAN2"
+
+# ----- phase 3: the exit-code contract under an open circuit -----
+"$MCSS" query -c "unix:$SOCK" shutdown >/dev/null 2>&1 || true
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+start_server --start-degraded --breaker-failures 1 --breaker-cooldown-ms 3600000
+
+# A cache hit is a full answer: exit 0, not degraded.
+HIT=$("$MCSS" query -c "unix:$SOCK" solve --digest "$DIGEST" --tau 50) \
+  || fail "cache hit under open circuit should exit 0"
+echo "$HIT" | grep -q '"degraded"' && fail "cache hit must not be degraded: $HIT"
+
+# A miss degrades to the journaled plan: exit 2, reply discloses both.
+set +e
+MISS=$("$MCSS" query -c "unix:$SOCK" solve --digest "$DIGEST" --tau 60 2>/dev/null)
+RC=$?
+set -e
+[ "$RC" -eq 2 ] || fail "degraded solve should exit 2, got $RC: $MISS"
+echo "$MISS" | grep -q '"degraded":true' || fail "reply not marked degraded: $MISS"
+echo "$MISS" | grep -q '"requested_tau":60' || fail "requested_tau missing: $MISS"
+PLAN3=$(echo "$MISS" | json_field plan_digest)
+[ "$PLAN1" = "$PLAN3" ] || fail "degraded reply served a different plan: $PLAN3"
+
+# Chaos cannot drill a plan that was never solved at these params: exit 2.
+set +e
+"$MCSS" query -c "unix:$SOCK" chaos --digest "$DIGEST" --tau 60 >/dev/null 2>&1
+RC=$?
+set -e
+[ "$RC" -eq 2 ] || fail "chaos under open circuit should exit 2, got $RC"
+
+"$MCSS" query -c "unix:$SOCK" shutdown >/dev/null 2>&1 || true
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+echo "serve_resilience: OK"
