@@ -31,9 +31,18 @@ module Lower_bound = Mcss_core.Lower_bound
 module Simulator = Mcss_sim.Simulator
 module Table = Mcss_report.Table
 module Series = Mcss_report.Series
+module Front = Mcss_front.Front
+module Engine = Mcss_engine.Engine
+module Clock = Mcss_obs.Clock
 
-let implied_bc_full_scale = 5e7
 let taus = [ 10.; 100.; 1000. ]
+
+(* Monotonic wall-clock timing for every harness measurement (the
+   sub-second ones care; the seconds-long ones lose nothing). *)
+let timed f =
+  let t0 = Clock.now_ns () in
+  let x = f () in
+  (x, Clock.seconds_since t0)
 
 (* Every seeded generator in the harness derives from one --trace-seed,
    so a whole bench run (and both BENCH_*.json files) is reproducible
@@ -46,6 +55,7 @@ type seeds = {
   skew : int;
   micro : int;
   dynamic : int;
+  engine : int;
 }
 
 let default_trace_seed = 20130109
@@ -59,10 +69,10 @@ let derive_seeds trace_seed =
     skew = trace_seed + 3;
     micro = trace_seed + 4;
     dynamic = trace_seed + 5;
+    engine = trace_seed + 6;
   }
 
-let bc_events ~scale (instance : Instance.t) =
-  implied_bc_full_scale *. scale *. (instance.Instance.bandwidth_mbps /. 64.)
+let bc_events = Front.bc_events
 
 type run = {
   config_name : string;
@@ -513,11 +523,6 @@ let ablate_stage1 ~title ~w ~scale =
         Table.cell_float ~decimals:3 seconds;
       ]
   in
-  let timed f =
-    let t0 = Unix.gettimeofday () in
-    let x = f () in
-    (x, Unix.gettimeofday () -. t0)
-  in
   let s, t = timed (fun () -> Selection.rsp p) in
   row "RSP (naive)" s t;
   let s, t = timed (fun () -> Selection.gsp p) in
@@ -549,9 +554,7 @@ let ablate_stage2 ~title ~w ~scale =
   in
   List.iter
     (fun (name, run) ->
-      let t0 = Unix.gettimeofday () in
-      let a = run p s in
-      let seconds = Unix.gettimeofday () -. t0 in
+      let a, seconds = timed (fun () -> run p s) in
       let report = Verifier.verify p s a in
       if not (Verifier.is_valid report) then failwith (name ^ ": invalid packing");
       Table.add_row table
@@ -594,13 +597,13 @@ let ablate_dynamic ~seeds ~w =
   for _day = 1 to 5 do
     w := Delta.apply !w (churn !w);
     let p = problem_for !w in
-    let t0 = Unix.gettimeofday () in
-    let plan', stats = Reprovision.reprovision ~previous:!plan p in
-    incr_time := !incr_time +. (Unix.gettimeofday () -. t0);
+    let (plan', stats), s =
+      timed (fun () -> Reprovision.reprovision ~previous:!plan p)
+    in
+    incr_time := !incr_time +. s;
     plan := plan';
-    let t0 = Unix.gettimeofday () in
-    let cold = Solver.solve p in
-    cold_time := !cold_time +. (Unix.gettimeofday () -. t0);
+    let cold, s = timed (fun () -> Solver.solve p) in
+    cold_time := !cold_time +. s;
     moved := !moved + stats.Reprovision.pairs_added + stats.Reprovision.pairs_evicted;
     total := !total + stats.Reprovision.pairs_kept + stats.Reprovision.pairs_added;
     incr_cost := !incr_cost +. Reprovision.cost plan';
@@ -1021,11 +1024,7 @@ let obs_overhead ~seeds ~spotify ~twitter ~spotify_scale ~twitter_scale ~out_dir
     let r = Solver.solve ~obs p in
     ignore (Simulator.run ~obs p r.Solver.allocation Simulator.default_config)
   in
-  let time_pipeline obs p =
-    let t0 = Unix.gettimeofday () in
-    pipeline obs p;
-    Unix.gettimeofday () -. t0
-  in
+  let time_pipeline obs p = snd (timed (fun () -> pipeline obs p)) in
   let measure name w scale =
     let capacity_events = bc_events ~scale Instance.c3_large in
     let p = Problem.of_pricing ~capacity_events ~workload:w ~tau:100. model in
@@ -1190,22 +1189,22 @@ let serve_bench ~seeds ~spotify ~spotify_scale ~out_dir =
                   if (idx + k) mod 8 = 7 then whatif_request ()
                   else solve_request taus.((idx + k) mod Array.length taus)
                 in
-                let t0 = Unix.gettimeofday () in
+                let t0 = Clock.now_ns () in
                 (match Client.request c request with
                 | Ok reply ->
                     if not (Protocol.response_ok reply) then incr errors
                 | Error _ -> incr errors);
-                latencies.(k) <- Unix.gettimeofday () -. t0
+                latencies.(k) <- Clock.seconds_since t0
               done;
               Ok (latencies, !errors))
         with
         | Ok r -> r
         | Error m -> failwith ("serve bench client: " ^ m))
   in
-  let t_start = Unix.gettimeofday () in
+  let t_start = Clock.now_ns () in
   let domains = List.init num_clients run_client in
   let per_client = List.map Domain.join domains in
-  let wall_s = Unix.gettimeofday () -. t_start in
+  let wall_s = Clock.seconds_since t_start in
   (* Drain the server before reading its counters. *)
   (match
      Client.with_connection address (fun c ->
@@ -1357,28 +1356,26 @@ let serve_faults_bench ~seeds ~spotify ~spotify_scale ~out_dir =
   in
   let svc = Service.create ~config:journaled () in
   let digest = Service.load_workload svc spotify in
-  let t0 = Unix.gettimeofday () in
-  List.iter
-    (fun tau ->
-      let reply = Service.handle_line svc (solve_line digest tau) in
-      if not (Protocol.response_ok reply) then
-        failwith ("serve-faults: cold solve failed: " ^ Json.to_string reply))
-    taus;
-  let cold_solve_s = Unix.gettimeofday () -. t0 in
+  let (), cold_solve_s =
+    timed (fun () ->
+        List.iter
+          (fun tau ->
+            let reply = Service.handle_line svc (solve_line digest tau) in
+            if not (Protocol.response_ok reply) then
+              failwith ("serve-faults: cold solve failed: " ^ Json.to_string reply))
+          taus)
+  in
   (* kill -9 equivalence: abandon the instance without close — every
      append was fsynced, so this is exactly what a crash leaves behind. *)
-  let t0 = Unix.gettimeofday () in
-  let svc2 = Service.create ~config:journaled () in
-  let replay_s = Unix.gettimeofday () -. t0 in
-  let t0 = Unix.gettimeofday () in
-  let recovered_hits =
-    List.fold_left
-      (fun acc tau ->
-        let reply = Service.handle_line svc2 (solve_line digest tau) in
-        if Protocol.response_ok reply && is_cached reply then acc + 1 else acc)
-      0 taus
+  let svc2, replay_s = timed (fun () -> Service.create ~config:journaled ()) in
+  let recovered_hits, reanswer_s =
+    timed (fun () ->
+        List.fold_left
+          (fun acc tau ->
+            let reply = Service.handle_line svc2 (solve_line digest tau) in
+            if Protocol.response_ok reply && is_cached reply then acc + 1 else acc)
+          0 taus)
   in
-  let reanswer_s = Unix.gettimeofday () -. t0 in
   let plans_recovered =
     match Service.replay_stats svc2 with
     | Some r -> r.Service.plans_recovered
@@ -1469,9 +1466,9 @@ let serve_faults_bench ~seeds ~spotify ~spotify_scale ~out_dir =
                   };
             }
           in
-          let t0 = Unix.gettimeofday () in
+          let t0 = Clock.now_ns () in
           let o = Client.call ~rng ~policy address env in
-          latencies.(k) <- Unix.gettimeofday () -. t0;
+          latencies.(k) <- Clock.seconds_since t0;
           attempts := !attempts + o.Retry.attempts;
           match o.Retry.result with
           | Ok reply when Protocol.response_ok reply -> ()
@@ -1610,12 +1607,165 @@ let serve_faults_bench ~seeds ~spotify ~spotify_scale ~out_dir =
   rm_rf dir;
   Printf.printf "wrote %s\n" json_path
 
+(* The incremental engine against cold re-solves: a 1k-delta churn
+   stream folded one small batch at a time into a live engine on the
+   large Spotify trace, with a cold Solver.solve sampled periodically on
+   the same evolved workload. Reports apply-vs-cold p50/p95 latency, the
+   pair-churn totals, and the cost gap of the surgically maintained plan
+   against the cold answer and the Lower_bound — the numbers behind the
+   claim that per-delta planning beats periodic-from-scratch.
+   BENCH_engine.json: apply/cold latency, churn, cost gaps. *)
+let engine_bench ~seeds ~spotify ~spotify_scale ~out_dir =
+  section_header "engine"
+    "incremental engine vs cold re-solve (Spotify, tau=100, 1k-delta stream)";
+  let module Churn = Mcss_dynamic.Churn in
+  let instance = Instance.c3_large in
+  let model = Cost_model.ec2_2014 ~instance () in
+  let capacity_events = bc_events ~scale:spotify_scale instance in
+  let problem_for w = Problem.of_pricing ~capacity_events ~workload:w ~tau:100. model in
+  let rng = Mcss_prng.Rng.create seeds.engine in
+  let eng, create_s = timed (fun () -> Engine.create (problem_for spotify)) in
+  let target_deltas = 1000 and cold_every = 10 in
+  (* ~10 deltas per batch: a plausible between-runs accumulation, and
+     ~100 latency samples for stable percentiles. *)
+  let params = Churn.scaled 0.05 in
+  let apply_lat = ref [] and cold_lat = ref [] and gaps = ref [] in
+  let deltas_total = ref 0 and batches = ref 0 and resolves = ref 0 in
+  let kept = ref 0 and added = ref 0 and removed = ref 0 and evicted = ref 0 in
+  let vms_added = ref 0 and vms_removed = ref 0 in
+  while !deltas_total < target_deltas do
+    let w = (Engine.problem eng).Problem.workload in
+    let ds = Churn.tick rng params w in
+    let stats, s = timed (fun () -> Engine.apply eng ds) in
+    apply_lat := s :: !apply_lat;
+    deltas_total := !deltas_total + List.length ds;
+    incr batches;
+    if stats.Engine.resolved then incr resolves;
+    kept := !kept + stats.Engine.pairs_kept;
+    added := !added + stats.Engine.pairs_added;
+    removed := !removed + stats.Engine.pairs_removed;
+    evicted := !evicted + stats.Engine.pairs_evicted;
+    vms_added := !vms_added + stats.Engine.vms_added;
+    vms_removed := !vms_removed + stats.Engine.vms_removed;
+    if !batches mod cold_every = 0 then begin
+      let cold, cs = timed (fun () -> Solver.solve (Engine.problem eng)) in
+      cold_lat := cs :: !cold_lat;
+      gaps :=
+        ((Engine.cost eng -. cold.Solver.cost) /. cold.Solver.cost *. 100.)
+        :: !gaps
+    end
+  done;
+  (* Final word on the evolved workload: verify the engine's plan, then
+     price it against a cold solve and the Theorem-A.1 bound. *)
+  let { Engine.problem = p_final; selection; allocation } = Engine.plan eng in
+  let report = Verifier.verify p_final selection allocation in
+  if not (Verifier.is_valid report) then
+    failwith "engine bench: evolved allocation failed verification";
+  let cold_final, cold_final_s = timed (fun () -> Solver.solve p_final) in
+  cold_lat := cold_final_s :: !cold_lat;
+  let lb = Lower_bound.compute p_final in
+  let pct latencies p =
+    let a = Array.of_list latencies in
+    Array.sort compare a;
+    let n = Array.length a in
+    a.(min (n - 1) (max 0 (int_of_float (ceil (p *. float_of_int n)) - 1)))
+  in
+  let apply_p50 = pct !apply_lat 0.50 and apply_p95 = pct !apply_lat 0.95 in
+  let cold_p50 = pct !cold_lat 0.50 and cold_p95 = pct !cold_lat 0.95 in
+  let speedup = cold_p50 /. apply_p50 in
+  let gap_final =
+    (Engine.cost eng -. cold_final.Solver.cost) /. cold_final.Solver.cost *. 100.
+  in
+  let gap_max = List.fold_left Float.max gap_final !gaps in
+  let gap_lb =
+    if lb.Lower_bound.cost > 0. then
+      (Engine.cost eng -. lb.Lower_bound.cost) /. lb.Lower_bound.cost *. 100.
+    else 0.
+  in
+  let table =
+    Table.create
+      [
+        ("path", Table.Left);
+        ("p50 ms", Table.Right);
+        ("p95 ms", Table.Right);
+        ("runs", Table.Right);
+      ]
+  in
+  Table.add_row table
+    [
+      "engine apply (incremental)";
+      Table.cell_float ~decimals:3 (apply_p50 *. 1e3);
+      Table.cell_float ~decimals:3 (apply_p95 *. 1e3);
+      string_of_int !batches;
+    ];
+  Table.add_row table
+    [
+      "cold Solver.solve";
+      Table.cell_float ~decimals:3 (cold_p50 *. 1e3);
+      Table.cell_float ~decimals:3 (cold_p95 *. 1e3);
+      string_of_int (List.length !cold_lat);
+    ];
+  Table.print table;
+  Printf.printf
+    "%d deltas in %d batches: apply median %.1fx faster than cold; %d drift \
+     re-solve(s)\n"
+    !deltas_total !batches speedup !resolves;
+  Printf.printf
+    "churn: %d kept, +%d added, -%d removed, %d evicted, +%d/-%d VMs\n" !kept
+    !added !removed !evicted !vms_added !vms_removed;
+  Printf.printf
+    "final cost: engine %s vs cold %s (gap %+.2f%%, worst sampled %+.2f%%); \
+     lower bound %s (gap %+.1f%%)\n"
+    (Table.cell_usd (Engine.cost eng))
+    (Table.cell_usd cold_final.Solver.cost)
+    gap_final gap_max
+    (Table.cell_usd lb.Lower_bound.cost)
+    gap_lb;
+  let rec mkdir_p d =
+    if d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      mkdir_p (Filename.dirname d);
+      (try Sys.mkdir d 0o755 with Sys_error _ -> ())
+    end
+  in
+  mkdir_p out_dir;
+  let json_path = Filename.concat out_dir "BENCH_engine.json" in
+  let oc = open_out json_path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"scenario\": \"engine_incremental\",\n\
+    \  \"version\": %S,\n\
+    \  \"trace_seed\": %d,\n\
+    \  \"trace\": \"spotify\",\n\
+    \  \"scale\": %g,\n\
+    \  \"tau\": 100,\n\
+    \  \"deltas\": %d,\n\
+    \  \"batches\": %d,\n\
+    \  \"create_s\": %.6f,\n\
+    \  \"apply_latency_ms\": { \"p50\": %.4f, \"p95\": %.4f },\n\
+    \  \"cold_solve_latency_ms\": { \"p50\": %.4f, \"p95\": %.4f },\n\
+    \  \"speedup_median\": %.2f,\n\
+    \  \"churn\": { \"pairs_kept\": %d, \"pairs_added\": %d,\n\
+    \    \"pairs_removed\": %d, \"pairs_evicted\": %d,\n\
+    \    \"vms_added\": %d, \"vms_removed\": %d, \"drift_resolves\": %d },\n\
+    \  \"cost\": { \"engine_usd\": %.2f, \"cold_usd\": %.2f,\n\
+    \    \"gap_vs_cold_pct\": %.4f, \"worst_sampled_gap_pct\": %.4f,\n\
+    \    \"lower_bound_usd\": %.2f, \"gap_vs_lower_bound_pct\": %.4f }\n\
+     }\n"
+    (Mcss_serve.Build_info.to_string ())
+    seeds.trace_seed spotify_scale !deltas_total !batches create_s
+    (apply_p50 *. 1e3) (apply_p95 *. 1e3) (cold_p50 *. 1e3) (cold_p95 *. 1e3)
+    speedup !kept !added !removed !evicted !vms_added !vms_removed !resolves
+    (Engine.cost eng) cold_final.Solver.cost gap_final gap_max
+    lb.Lower_bound.cost gap_lb;
+  close_out oc;
+  Printf.printf "wrote %s\n" json_path
+
 let all_sections =
   [
     "fig1"; "fig2a"; "fig2b"; "fig3a"; "fig3b"; "fig4"; "fig5"; "fig6"; "fig7";
     "fig8-12"; "summary"; "ablate-stage1"; "ablate-stage2"; "ablate-dynamic";
     "ablate-failures"; "ablate-scaling"; "ablate-skew"; "ablate-budget"; "latency";
-    "resilience"; "obs"; "serve"; "serve-faults"; "micro";
+    "resilience"; "obs"; "serve"; "serve-faults"; "engine"; "micro";
   ]
 
 let run_bench sections spotify_scale twitter_scale trace_seed out_dir =
@@ -1625,20 +1775,10 @@ let run_bench sections spotify_scale twitter_scale trace_seed out_dir =
     "MCSS experiment harness — Spotify scale %g, Twitter scale %g, trace seed %d\n"
     spotify_scale twitter_scale seeds.trace_seed;
   let spotify =
-    lazy
-      (Mcss_traces.Spotify.generate
-         {
-           (Mcss_traces.Spotify.scaled spotify_scale) with
-           Mcss_traces.Spotify.seed = seeds.spotify;
-         })
+    lazy (Front.generate ~seed:seeds.spotify `Spotify ~scale:spotify_scale)
   in
   let twitter =
-    lazy
-      (Mcss_traces.Twitter.generate
-         {
-           (Mcss_traces.Twitter.scaled twitter_scale) with
-           Mcss_traces.Twitter.seed = seeds.twitter;
-         })
+    lazy (Front.generate ~seed:seeds.twitter `Twitter ~scale:twitter_scale)
   in
   let matrices = Hashtbl.create 4 in
   let matrix_for trace_name w scale instance =
@@ -1707,6 +1847,8 @@ let run_bench sections spotify_scale twitter_scale trace_seed out_dir =
     serve_bench ~seeds ~spotify:(Lazy.force spotify) ~spotify_scale ~out_dir;
   if enabled "serve-faults" then
     serve_faults_bench ~seeds ~spotify:(Lazy.force spotify) ~spotify_scale ~out_dir;
+  if enabled "engine" then
+    engine_bench ~seeds ~spotify:(Lazy.force spotify) ~spotify_scale ~out_dir;
   if enabled "micro" then micro ~seeds ();
   Printf.printf "\ndone. figure data series in %s/\n" out_dir
 

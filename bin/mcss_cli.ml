@@ -37,6 +37,9 @@ module Serve_journal = Mcss_serve.Journal
 module Serve_breaker = Mcss_serve.Breaker
 module Serve_retry = Mcss_serve.Retry
 module Build_info = Mcss_serve.Build_info
+module Front = Mcss_front.Front
+module Engine = Mcss_engine.Engine
+module Delta_io = Mcss_engine.Delta_io
 
 open Cmdliner
 
@@ -104,20 +107,7 @@ let flush_metrics obs metrics_out =
       Sink.write_jsonl obs ~path;
       Printf.printf "metrics written to %s\n" path
 
-let generate_workload trace scale seed =
-  match trace with
-  | `Spotify ->
-      let p = Mcss_traces.Spotify.scaled scale in
-      let p =
-        match seed with Some s -> { p with Mcss_traces.Spotify.seed = s } | None -> p
-      in
-      Mcss_traces.Spotify.generate p
-  | `Twitter ->
-      let p = Mcss_traces.Twitter.scaled scale in
-      let p =
-        match seed with Some s -> { p with Mcss_traces.Twitter.seed = s } | None -> p
-      in
-      Mcss_traces.Twitter.generate p
+let generate_workload trace scale seed = Front.generate ?seed trace ~scale
 
 (* Fail-fast file access, shared by every subcommand: a missing or
    corrupt workload/plan file is one line on stderr and exit 1, never a
@@ -125,39 +115,27 @@ let generate_workload trace scale seed =
 let die fmt = Printf.ksprintf (fun m -> prerr_endline ("mcss: " ^ m); exit 1) fmt
 
 let load_workload file trace scale seed =
-  match (file, trace) with
-  | Some path, _ -> (
-      Logs.info (fun m -> m "loading workload from %s" path);
-      try Ok (Wio.load path) with
-      | Sys_error msg -> Error msg
-      | Wio.Parse_error msg | Failure msg -> Error (Printf.sprintf "%s: %s" path msg))
-  | None, Some trace ->
-      Logs.info (fun m -> m "generating synthetic trace at scale %g" scale);
-      Ok (generate_workload trace scale seed)
-  | None, None -> Error "pass either --workload FILE or --trace NAME"
+  (match (file, trace) with
+  | Some path, _ -> Logs.info (fun m -> m "loading workload from %s" path)
+  | None, Some _ ->
+      Logs.info (fun m -> m "generating synthetic trace at scale %g" scale)
+  | None, None -> ());
+  Front.load_workload ~file ~trace ~scale ~seed
 
 let require_workload file trace scale seed =
   match load_workload file trace scale seed with Ok w -> w | Error e -> die "%s" e
 
 let require_plan ~workload path =
-  match Mcss_core.Plan_io.load ~workload path with
-  | plan -> plan
+  match Front.load_plan ~workload path with Ok plan -> plan | Error e -> die "%s" e
+
+let require_deltas path =
+  match Delta_io.load path with
+  | ds -> ds
   | exception Sys_error msg -> die "%s" msg
-  | exception Mcss_core.Plan_io.Parse_error msg -> die "%s: %s" path msg
+  | exception Delta_io.Parse_error msg -> die "%s: %s" path msg
 
-let resolve_instance name =
-  match Instance.find name with
-  | Some i -> Ok i
-  | None -> Error (Printf.sprintf "unknown instance type %S" name)
-
-let problem_of ~w ~tau ~instance ~scale ~bc_events =
-  let model = Cost_model.ec2_2014 ~instance () in
-  let capacity_events =
-    match bc_events with
-    | Some c -> c
-    | None -> 5e7 *. scale *. (instance.Instance.bandwidth_mbps /. 64.)
-  in
-  (model, Problem.of_pricing ~capacity_events ~workload:w ~tau model)
+let resolve_instance = Front.resolve_instance
+let problem_of = Front.problem_of
 
 (* ----- generate ----- *)
 
@@ -218,13 +196,7 @@ let solve_cmd =
     | bad ->
         Logs.warn (fun m ->
             m "%d subscriber(s) cannot be satisfied under this capacity" (List.length bad)));
-    let configs =
-      if ladder then Solver.ladder
-      else
-        match Solver.config_of_name config_name with
-        | Some c -> [ (config_name, c) ]
-        | None -> [ (config_name, Solver.default) ]
-    in
+    let configs = Front.configs ~ladder config_name in
     let table =
       Table.create
         [
@@ -413,14 +385,19 @@ let simulate_cmd =
                  be 'inf'). With outages the run reports damage instead of \
                  pass/fail.")
   in
+  let deltas_arg =
+    Arg.(value & opt (some string) None & info [ "deltas" ] ~docv:"FILE"
+           ~doc:"Evolve the workload and plan through the incremental engine \
+                 with this delta batch (mcss-deltas format) before simulating.")
+  in
   let run () file trace scale seed tau instance_name bc_events poisson duration plan
-      outages metrics_out =
+      deltas outages metrics_out =
     let ( let* ) r f = match r with Ok x -> f x | Error e -> `Error (false, e) in
     let w = require_workload file trace scale seed in
     let* instance = resolve_instance instance_name in
     let obs = obs_of metrics_out in
     let _model, p = problem_of ~w ~tau ~instance ~scale ~bc_events in
-    let allocation =
+    let selection, allocation =
       match plan with
       | Some path ->
           let a, s = require_plan ~workload:w path in
@@ -428,11 +405,32 @@ let simulate_cmd =
           Printf.printf "loaded plan: %d VMs (verifier: %s)\n"
             (Allocation.num_vms a)
             (if Verifier.is_valid report then "clean" else "VIOLATIONS");
-          a
+          (s, a)
       | None ->
           let r = Solver.solve ~obs p in
           Format.printf "solved: %a@." Solver.pp_result r;
-          r.Solver.allocation
+          (r.Solver.selection, r.Solver.allocation)
+    in
+    let* p, allocation =
+      match deltas with
+      | None -> Ok (p, allocation)
+      | Some path -> (
+          let ds = require_deltas path in
+          let eng = Engine.of_plan { Engine.problem = p; selection; allocation } in
+          match Engine.apply eng ds with
+          | stats ->
+              Printf.printf
+                "deltas applied: %d (%d dirty subscribers, +%d/-%d pairs, %d \
+                 evicted%s); fleet now %d VMs\n"
+                (List.length ds) stats.Engine.dirty_subscribers
+                stats.Engine.pairs_added stats.Engine.pairs_removed
+                stats.Engine.pairs_evicted
+                (if stats.Engine.resolved then ", full re-solve" else "")
+                (Engine.num_vms eng);
+              let plan = Engine.plan eng in
+              Ok (plan.Engine.problem, plan.Engine.allocation)
+          | exception Invalid_argument m -> Error m
+          | exception Problem.Infeasible m -> Error ("infeasible: " ^ m))
     in
     let config =
       {
@@ -482,7 +480,113 @@ let simulate_cmd =
       ret
         (const run $ setup_logs_term $ workload_file $ trace_arg $ scale_arg $ seed_arg
         $ tau_arg $ instance_arg $ bc_events_arg $ poisson_arg $ duration_arg
-        $ plan_arg $ outages_arg $ metrics_out_arg))
+        $ plan_arg $ deltas_arg $ outages_arg $ metrics_out_arg))
+
+(* ----- update ----- *)
+
+let update_cmd =
+  let deltas_arg =
+    Arg.(required & opt (some string) None & info [ "deltas" ] ~docv:"FILE"
+           ~doc:"Delta batch to apply (mcss-deltas format, see Delta_io).")
+  in
+  let plan_arg =
+    Arg.(value & opt (some string) None & info [ "plan" ] ~docv:"FILE"
+           ~doc:"Evolve a saved plan instead of cold-solving first.")
+  in
+  let config_arg =
+    Arg.(value & opt string "(e) +cost-decision" & info [ "config" ] ~docv:"NAME"
+           ~doc:"Solver configuration (used for the cold solve and any \
+                 drift-triggered re-solve).")
+  in
+  let drift_arg =
+    Arg.(value & opt float Engine.default_drift_threshold
+         & info [ "drift-threshold" ] ~docv:"F"
+           ~doc:"Churned-pairs fraction that triggers a full re-solve \
+                 ($(b,inf) disables drift re-solves).")
+  in
+  let save_plan_arg =
+    Arg.(value & opt (some string) None & info [ "save-plan" ] ~docv:"FILE"
+           ~doc:"Write the evolved plan to this file.")
+  in
+  let save_workload_arg =
+    Arg.(value & opt (some string) None & info [ "save-workload" ] ~docv:"FILE"
+           ~doc:"Write the evolved workload to this file.")
+  in
+  let echo_deltas_arg =
+    Arg.(value & flag & info [ "echo-deltas" ]
+           ~doc:"Re-render the parsed batch in canonical mcss-deltas form on \
+                 stdout before applying it (a codec round-trip check).")
+  in
+  let run () file trace scale seed tau instance_name bc_events config_name deltas
+      plan drift save_plan save_workload echo_deltas =
+    let ( let* ) r f = match r with Ok x -> f x | Error e -> `Error (false, e) in
+    let w = require_workload file trace scale seed in
+    let* instance = resolve_instance instance_name in
+    let _model, p = problem_of ~w ~tau ~instance ~scale ~bc_events in
+    let ds = require_deltas deltas in
+    if echo_deltas then print_string (Delta_io.to_string ds);
+    let config = Front.config_or_default config_name in
+    let* eng =
+      match plan with
+      | Some path ->
+          let allocation, selection = require_plan ~workload:w path in
+          Ok
+            (Engine.of_plan ~config ~drift_threshold:drift
+               { Engine.problem = p; selection; allocation })
+      | None -> (
+          match Engine.create ~config ~drift_threshold:drift p with
+          | eng -> Ok eng
+          | exception Problem.Infeasible m -> Error ("infeasible: " ^ m))
+    in
+    Printf.printf "before: %d VMs, cost %s\n" (Engine.num_vms eng)
+      (Table.cell_usd (Engine.cost eng));
+    let t0 = Mcss_obs.Clock.now_ns () in
+    let* stats =
+      match Engine.apply eng ds with
+      | stats -> Ok stats
+      | exception Invalid_argument m -> Error m
+      | exception Problem.Infeasible m -> Error ("infeasible: " ^ m)
+    in
+    Logs.info (fun m ->
+        m "applied %d delta(s) in %.3f ms" (List.length ds)
+          (1e3 *. Mcss_obs.Clock.seconds_since t0));
+    Printf.printf
+      "applied %d delta(s): %d dirty subscriber(s), %d pair(s) kept, +%d added, \
+       -%d removed, %d evicted, +%d/-%d VM(s)%s\n"
+      (List.length ds) stats.Engine.dirty_subscribers stats.Engine.pairs_kept
+      stats.Engine.pairs_added stats.Engine.pairs_removed stats.Engine.pairs_evicted
+      stats.Engine.vms_added stats.Engine.vms_removed
+      (if stats.Engine.resolved then " (drift threshold tripped: full re-solve)"
+       else "");
+    Printf.printf "after:  %d VMs, cost %s\n" (Engine.num_vms eng)
+      (Table.cell_usd (Engine.cost eng));
+    let { Engine.problem = p'; selection = s'; allocation = a' } = Engine.plan eng in
+    let report = Verifier.verify p' s' a' in
+    Printf.printf "verifier: %s\n"
+      (if Verifier.is_valid report then "CLEAN" else "VIOLATIONS");
+    (match save_plan with
+    | None -> ()
+    | Some path ->
+        Mcss_core.Plan_io.save a' path;
+        Printf.printf "plan written to %s\n" path);
+    (match save_workload with
+    | None -> ()
+    | Some path ->
+        Wio.save p'.Problem.workload path;
+        Printf.printf "workload written to %s\n" path);
+    if Verifier.is_valid report then `Ok ()
+    else `Error (false, "evolved plan failed verification")
+  in
+  Cmd.v
+    (Cmd.info "update"
+       ~doc:"Apply a delta batch to a plan through the incremental engine \
+             (offline; see $(b,mcss query update) for the live daemon)")
+    Term.(
+      ret
+        (const run $ setup_logs_term $ workload_file $ trace_arg $ scale_arg $ seed_arg
+        $ tau_arg $ instance_arg $ bc_events_arg $ config_arg $ deltas_arg
+        $ plan_arg $ drift_arg $ save_plan_arg $ save_workload_arg
+        $ echo_deltas_arg))
 
 (* ----- budget ----- *)
 
@@ -805,11 +909,7 @@ let profile_cmd =
     let w = require_workload file trace scale seed in
     let* instance = resolve_instance instance_name in
     let _model, p = problem_of ~w ~tau ~instance ~scale ~bc_events in
-    let config =
-      match Solver.config_of_name config_name with
-      | Some c -> c
-      | None -> Solver.default
-    in
+    let config = Front.config_or_default config_name in
     let obs = Registry.create () in
     let* () =
       match
@@ -999,11 +1099,11 @@ let serve_cmd =
     | Some r ->
         log
           (Printf.sprintf
-             "mcss serve: journal replayed (%d workloads, %d plans, %d skipped, \
-              %d bytes torn tail, %d corrupt)"
+             "mcss serve: journal replayed (%d workloads, %d plans, %d updates, \
+              %d skipped, %d bytes torn tail, %d corrupt)"
              r.Serve_service.workloads_recovered r.Serve_service.plans_recovered
-             r.Serve_service.records_skipped r.Serve_service.wal_truncated_bytes
-             r.Serve_service.corrupt_records)
+             r.Serve_service.updates_replayed r.Serve_service.records_skipped
+             r.Serve_service.wal_truncated_bytes r.Serve_service.corrupt_records)
     | None -> ());
     if start_degraded then begin
       let b = Serve_service.breaker service in
@@ -1054,9 +1154,16 @@ let query_cmd =
   in
   let verb_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"VERB"
-           ~doc:"One of $(b,health), $(b,load), $(b,solve), $(b,whatif), \
-                 $(b,chaos), $(b,stats), $(b,metrics), $(b,shutdown), or \
-                 $(b,raw) (send the next positional argument verbatim).")
+           ~doc:"One of $(b,health), $(b,load), $(b,solve), $(b,update), \
+                 $(b,whatif), $(b,chaos), $(b,stats), $(b,metrics), \
+                 $(b,shutdown), or $(b,raw) (send the next positional \
+                 argument verbatim).")
+  in
+  let deltas_arg =
+    Arg.(value & opt (some string) None & info [ "deltas" ] ~docv:"FILE"
+           ~doc:"Delta batch (mcss-deltas format) for $(b,update); sent inline \
+                 and applied to the plan cached under --digest + the solve \
+                 parameters.")
   in
   let raw_json_arg =
     Arg.(value & pos 1 (some string) None & info [] ~docv:"JSON"
@@ -1110,9 +1217,9 @@ let query_cmd =
            ~doc:"Per-attempt timeout: socket receive timeout and, unless \
                  --deadline-ms is given, the request's deadline.")
   in
-  let run () connect verb raw_json wfile digest taus instance_name bc_events
-      config_name deadline faults campaign_seed epochs zones retries retry_base
-      timeout =
+  let run () connect verb raw_json wfile digest deltas_file taus instance_name
+      bc_events config_name deadline faults campaign_seed epochs zones retries
+      retry_base timeout =
     let ( let* ) r f = match r with Ok x -> f x | Error e -> `Error (false, e) in
     let ( let& ) r f = match r with Ok x -> f x | Error _ as e -> e in
     let* address = Serve_server.address_of_string connect in
@@ -1146,6 +1253,18 @@ let query_cmd =
       | "solve" ->
           let& d = need_digest () in
           Ok (`Envelope (Serve_protocol.Solve { digest = d; params = params (one_tau ()) }))
+      | "update" -> (
+          let& d = need_digest () in
+          match deltas_file with
+          | None -> Error "update needs --deltas FILE (mcss-deltas format)"
+          | Some path -> (
+              match In_channel.with_open_bin path In_channel.input_all with
+              | text ->
+                  Ok
+                    (`Envelope
+                      (Serve_protocol.Update
+                         { digest = d; params = params (one_tau ()); deltas = text }))
+              | exception Sys_error m -> die "%s" m))
       | "whatif" ->
           let& d = need_digest () in
           let taus = if taus = [] then [ 10.; 100.; 1000. ] else taus in
@@ -1246,9 +1365,10 @@ let query_cmd =
     Term.(
       ret
         (const run $ setup_logs_term $ connect_arg $ verb_arg $ raw_json_arg
-        $ workload_file $ digest_arg $ taus_arg $ instance_arg $ bc_events_arg
-        $ config_name_arg $ deadline_arg $ faults_arg $ campaign_seed_arg
-        $ epochs_arg $ zones_arg $ retries_arg $ retry_base_arg $ timeout_arg))
+        $ workload_file $ digest_arg $ deltas_arg $ taus_arg $ instance_arg
+        $ bc_events_arg $ config_name_arg $ deadline_arg $ faults_arg
+        $ campaign_seed_arg $ epochs_arg $ zones_arg $ retries_arg
+        $ retry_base_arg $ timeout_arg))
 
 (* ----- version ----- *)
 
@@ -1267,9 +1387,9 @@ let main_cmd =
   Cmd.group
     (Cmd.info "mcss" ~version:Mcss_serve.Build_info.version ~doc)
     [
-      generate_cmd; solve_cmd; lower_bound_cmd; analyze_cmd; simulate_cmd; budget_cmd;
-      convert_cmd; export_lp_cmd; verify_cmd; chaos_cmd; profile_cmd; serve_cmd;
-      query_cmd; version_cmd;
+      generate_cmd; solve_cmd; lower_bound_cmd; analyze_cmd; simulate_cmd; update_cmd;
+      budget_cmd; convert_cmd; export_lp_cmd; verify_cmd; chaos_cmd; profile_cmd;
+      serve_cmd; query_cmd; version_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -245,6 +245,52 @@ let gsp_parallel ?(obs = Registry.noop) ?domains (p : Problem.t) =
     s
   end
 
+(* Incremental GSP: [gsp_subscriber] is a deterministic function of the
+   subscriber's interest set, those topics' rates, tau and eps — so a
+   subscriber none of whose inputs changed keeps its exact old selection,
+   and re-running only the dirty ones reproduces [gsp] bit-for-bit. *)
+let reselect ?(obs = Registry.noop) (p : Problem.t) ~previous ~dirty =
+  let w = p.Problem.workload in
+  let n = Workload.num_subscribers w in
+  if Array.length dirty <> n then
+    invalid_arg
+      (Printf.sprintf "Selection.reselect: dirty has %d entries for %d subscribers"
+         (Array.length dirty) n);
+  let old_n = Array.length previous.chosen in
+  let eps = Problem.epsilon p in
+  let counts = new_counts () in
+  let chosen = Array.make n [||] in
+  let selected_rate = Array.make n 0. in
+  let num_pairs = ref 0 in
+  let outgoing_rate = ref 0. in
+  for v = 0 to n - 1 do
+    if dirty.(v) then begin
+      let topics, rate = gsp_subscriber w ~tau:p.Problem.tau ~eps ~counts v in
+      Array.sort compare topics;
+      chosen.(v) <- topics;
+      selected_rate.(v) <- rate
+    end
+    else begin
+      if v >= old_n then
+        invalid_arg
+          (Printf.sprintf "Selection.reselect: new subscriber %d not marked dirty" v);
+      chosen.(v) <- previous.chosen.(v);
+      selected_rate.(v) <- previous.selected_rate.(v)
+    end;
+    num_pairs := !num_pairs + Array.length chosen.(v);
+    outgoing_rate := !outgoing_rate +. selected_rate.(v)
+  done;
+  let s =
+    {
+      chosen;
+      selected_rate;
+      num_pairs = !num_pairs;
+      outgoing_rate = !outgoing_rate;
+    }
+  in
+  flush_stage1 obs s counts;
+  s
+
 let rsp_order w ~tau ~eps ~counts order v =
   let tv = order v in
   let tau_v = Workload.tau_v w ~tau v in

@@ -45,6 +45,19 @@ val gsp_parallel : ?obs:Mcss_obs.Registry.t -> ?domains:int -> Problem.t -> t
     [domains] defaults to [Domain.recommended_domain_count ()], and
     values <= 1 fall back to the sequential code. *)
 
+val reselect :
+  ?obs:Mcss_obs.Registry.t -> Problem.t -> previous:t -> dirty:bool array -> t
+(** Incremental GSP for the planning engine: re-run {!gsp}'s
+    per-subscriber kernel only for the subscribers marked [dirty] and
+    share [previous]'s arrays for the rest. Because the kernel is a
+    deterministic function of the subscriber's interests, those topics'
+    rates, and [τ], the result is {e bit-for-bit} the full {!gsp} of the
+    new problem whenever [dirty] covers every subscriber whose inputs
+    changed (property-tested). [dirty] must have exactly
+    [num_subscribers] entries and mark every subscriber beyond
+    [previous]'s range; raises [Invalid_argument] otherwise. [obs]
+    receives Stage-1 counters for the re-run subscribers only. *)
+
 val gsp_reference : ?obs:Mcss_obs.Registry.t -> Problem.t -> t
 (** Literal Alg. 2: recompute every remaining ratio after each pick and
     scan for the argmax (first maximum in topic-id order). Quadratic per

@@ -33,10 +33,12 @@ let ladder =
 
 let config_of_name name = List.assoc_opt name ladder
 
+(* Monotonic, so the reported stage timings cannot go negative or jump
+   when the wall clock is adjusted mid-solve. *)
 let timed f =
-  let start = Unix.gettimeofday () in
+  let start = Mcss_obs.Clock.now_ns () in
   let x = f () in
-  (x, Unix.gettimeofday () -. start)
+  (x, Mcss_obs.Clock.seconds_since start)
 
 let solve ?(obs = Registry.noop) ?(config = default) (p : Problem.t) =
   Span.with_ obs ~name:"solve" @@ fun () ->

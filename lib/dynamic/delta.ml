@@ -1,103 +1,1 @@
-module Workload = Mcss_workload.Workload
-
-type t =
-  | Subscribe of { subscriber : int; topic : int }
-  | Unsubscribe of { subscriber : int; topic : int }
-  | Rate_change of { topic : int; rate : float }
-  | New_topic of { rate : float }
-  | New_subscriber of { interests : int array }
-
-let pp ppf = function
-  | Subscribe { subscriber; topic } -> Format.fprintf ppf "subscribe(%d, %d)" subscriber topic
-  | Unsubscribe { subscriber; topic } ->
-      Format.fprintf ppf "unsubscribe(%d, %d)" subscriber topic
-  | Rate_change { topic; rate } -> Format.fprintf ppf "rate(%d <- %g)" topic rate
-  | New_topic { rate } -> Format.fprintf ppf "new-topic(%g)" rate
-  | New_subscriber { interests } ->
-      Format.fprintf ppf "new-subscriber(%d interests)" (Array.length interests)
-
-let apply w deltas =
-  let num_topics = ref (Workload.num_topics w) in
-  let rates = Hashtbl.create 16 in
-  (* interest sets as hashtables for O(1) membership updates *)
-  let base_subs = Workload.num_subscribers w in
-  let interests =
-    Array.init base_subs (fun v ->
-        let h = Hashtbl.create 8 in
-        Array.iter (fun t -> Hashtbl.replace h t ()) (Workload.interests w v);
-        h)
-  in
-  let extra_interests : (int, unit) Hashtbl.t Mcss_core.Vec.t = Mcss_core.Vec.create () in
-  let num_subscribers () = base_subs + Mcss_core.Vec.length extra_interests in
-  let interest_set v =
-    if v < base_subs then interests.(v) else Mcss_core.Vec.get extra_interests (v - base_subs)
-  in
-  let check_topic t what =
-    if t < 0 || t >= !num_topics then
-      invalid_arg (Printf.sprintf "Delta.apply: %s references topic %d out of %d" what t !num_topics)
-  in
-  let check_subscriber v what =
-    if v < 0 || v >= num_subscribers () then
-      invalid_arg
-        (Printf.sprintf "Delta.apply: %s references subscriber %d out of %d" what v
-           (num_subscribers ()))
-  in
-  List.iter
-    (fun delta ->
-      match delta with
-      | Subscribe { subscriber; topic } ->
-          check_subscriber subscriber "subscribe";
-          check_topic topic "subscribe";
-          let set = interest_set subscriber in
-          if Hashtbl.mem set topic then
-            invalid_arg
-              (Printf.sprintf "Delta.apply: subscriber %d already follows topic %d"
-                 subscriber topic);
-          Hashtbl.replace set topic ()
-      | Unsubscribe { subscriber; topic } ->
-          check_subscriber subscriber "unsubscribe";
-          check_topic topic "unsubscribe";
-          let set = interest_set subscriber in
-          if not (Hashtbl.mem set topic) then
-            invalid_arg
-              (Printf.sprintf "Delta.apply: subscriber %d does not follow topic %d"
-                 subscriber topic);
-          Hashtbl.remove set topic
-      | Rate_change { topic; rate } ->
-          check_topic topic "rate-change";
-          if not (rate > 0.) then invalid_arg "Delta.apply: rate must be positive";
-          Hashtbl.replace rates topic rate
-      | New_topic { rate } ->
-          if not (rate > 0.) then invalid_arg "Delta.apply: rate must be positive";
-          Hashtbl.replace rates !num_topics rate;
-          incr num_topics
-      | New_subscriber { interests = wanted } ->
-          let h = Hashtbl.create 8 in
-          Array.iter
-            (fun t ->
-              check_topic t "new-subscriber";
-              if Hashtbl.mem h t then
-                invalid_arg "Delta.apply: new subscriber lists a topic twice";
-              Hashtbl.replace h t ())
-            wanted;
-          Mcss_core.Vec.push extra_interests h)
-    deltas;
-  let event_rates =
-    Array.init !num_topics (fun t ->
-        match Hashtbl.find_opt rates t with
-        | Some r -> r
-        | None -> Workload.event_rate w t)
-  in
-  let all_interests =
-    Array.init (num_subscribers ()) (fun v ->
-        let set = interest_set v in
-        let a = Array.make (Hashtbl.length set) 0 in
-        let i = ref 0 in
-        Hashtbl.iter
-          (fun t () ->
-            a.(!i) <- t;
-            incr i)
-          set;
-        a)
-  in
-  Workload.create ~event_rates ~interests:all_interests
+include Mcss_engine.Delta

@@ -1,13 +1,10 @@
-(** Workload change events for dynamic re-provisioning — the paper closes
-    by noting the allocator is fast enough to "run periodically to adapt
-    to the changes in the event rates, new subscriptions,
-    unsubscriptions, etc." (§IV-F); this module is the vocabulary of
-    those changes.
+(** Workload change events — re-exported from {!Mcss_engine.Delta}, where
+    the type moved when the incremental planning engine grew beneath this
+    library (the engine consumes deltas, and [Reprovision]/[Recovery] are
+    now thin wrappers over it). Kept here so existing users of
+    [Mcss_dynamic.Delta] keep compiling unchanged. *)
 
-    Topic and subscriber ids are stable and append-only: a new topic gets
-    id [num_topics], a new subscriber id [num_subscribers]. *)
-
-type t =
+type t = Mcss_engine.Delta.t =
   | Subscribe of { subscriber : int; topic : int }
   | Unsubscribe of { subscriber : int; topic : int }
   | Rate_change of { topic : int; rate : float }  (** New absolute rate. *)
@@ -15,10 +12,6 @@ type t =
   | New_subscriber of { interests : int array }
 
 val apply : Mcss_workload.Workload.t -> t list -> Mcss_workload.Workload.t
-(** Apply the deltas in order and build the resulting workload. Raises
-    [Invalid_argument] on inconsistent deltas: subscribing to an already
-    held topic, unsubscribing from an unheld one, referencing ids out of
-    range (including ids introduced earlier in the same batch — those are
-    valid), or a non-positive rate. *)
+(** See {!Mcss_engine.Delta.apply}. *)
 
 val pp : Format.formatter -> t -> unit

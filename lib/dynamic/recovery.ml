@@ -1,81 +1,14 @@
-module Workload = Mcss_workload.Workload
-module Problem = Mcss_core.Problem
-module Allocation = Mcss_core.Allocation
+module Engine = Mcss_engine.Engine
 
-type stats = { vms_lost : int; pairs_rehomed : int; vms_added : int }
+type stats = Mcss_engine.Engine.recovery_stats = {
+  vms_lost : int;
+  pairs_rehomed : int;
+  vms_added : int;
+}
 
+(* Thin wrapper over the engine's failure path: [of_plan] clones, so the
+   input plan is untouched and stats stay per-call. *)
 let replan (plan : Reprovision.plan) ~failed =
-  let p = plan.Reprovision.problem in
-  let w = p.Problem.workload in
-  let eps = Problem.epsilon p in
-  let dead = Hashtbl.create 8 in
-  let old_vms = Allocation.vms plan.Reprovision.allocation in
-  List.iter
-    (fun id -> if id >= 0 && id < Array.length old_vms then Hashtbl.replace dead id ())
-    failed;
-  (* Survivors keep their placements; the dead VMs' pairs go to the
-     pending pool. *)
-  let a = Allocation.create ~capacity:p.Problem.capacity in
-  let pending : (int, int list) Hashtbl.t = Hashtbl.create 64 in
-  let pairs_rehomed = ref 0 in
-  let survivors = ref 0 in
-  Array.iter
-    (fun vm ->
-      let id = Allocation.vm_id vm in
-      if Hashtbl.mem dead id then
-        Allocation.iter_vm_pairs vm (fun t v ->
-            incr pairs_rehomed;
-            Hashtbl.replace pending t
-              (v :: Option.value ~default:[] (Hashtbl.find_opt pending t)))
-      else begin
-        incr survivors;
-        let copy = Allocation.deploy a in
-        List.iter
-          (fun topic ->
-            let subs = Array.of_list (Allocation.subscribers_of_topic_on vm topic) in
-            Allocation.place a copy ~topic ~ev:(Workload.event_rate w topic)
-              ~subscribers:subs ~from:0 ~count:(Array.length subs))
-          (Allocation.topics_on vm)
-      end)
-    old_vms;
-  (* Re-home grouped per topic, most-free first, new VMs on overflow. *)
-  let before_placement = Allocation.num_vms a in
-  Hashtbl.iter
-    (fun topic subs ->
-      let ev = Workload.event_rate w topic in
-      let subs = Array.of_list subs in
-      let n = Array.length subs in
-      let from = ref 0 in
-      while !from < n do
-        let best = ref None in
-        Array.iter
-          (fun vm ->
-            if Allocation.max_pairs_that_fit a vm ~topic ~ev ~eps > 0 then
-              match !best with
-              | Some b when Allocation.free a b >= Allocation.free a vm -> ()
-              | _ -> best := Some vm)
-          (Allocation.vms a);
-        let vm =
-          match !best with
-          | Some vm -> vm
-          | None ->
-              let vm = Allocation.deploy a in
-              if Allocation.max_pairs_that_fit a vm ~topic ~ev ~eps = 0 then
-                raise
-                  (Problem.Infeasible
-                     (Printf.sprintf
-                        "topic %d: a single pair needs %g bandwidth but BC is %g" topic
-                        (2. *. ev) p.Problem.capacity));
-              vm
-        in
-        let k = min (Allocation.max_pairs_that_fit a vm ~topic ~ev ~eps) (n - !from) in
-        Allocation.place a vm ~topic ~ev ~subscribers:subs ~from:!from ~count:k;
-        from := !from + k
-      done)
-    pending;
-  ( { plan with Reprovision.allocation = a },
-    {
-      vms_lost = Array.length old_vms - !survivors;
-      pairs_rehomed = !pairs_rehomed;
-      vms_added = Allocation.num_vms a - before_placement;
-    } )
+  let eng = Engine.of_plan ~drift_threshold:infinity plan in
+  let stats = Engine.fail eng ~failed in
+  (Engine.plan eng, stats)

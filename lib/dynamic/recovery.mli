@@ -6,7 +6,7 @@
     simulator's "13% of subscribers lost τ" observation into a repair
     action. *)
 
-type stats = {
+type stats = Mcss_engine.Engine.recovery_stats = {
   vms_lost : int;
   pairs_rehomed : int;  (** Pairs that lived on failed VMs. *)
   vms_added : int;  (** Fresh VMs deployed to absorb them. *)

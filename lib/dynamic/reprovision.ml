@@ -2,10 +2,9 @@ module Workload = Mcss_workload.Workload
 module Problem = Mcss_core.Problem
 module Selection = Mcss_core.Selection
 module Allocation = Mcss_core.Allocation
-module Solver = Mcss_core.Solver
-module Vec = Mcss_core.Vec
+module Engine = Mcss_engine.Engine
 
-type plan = {
+type plan = Mcss_engine.Engine.plan = {
   problem : Problem.t;
   selection : Selection.t;
   allocation : Allocation.t;
@@ -20,53 +19,12 @@ type stats = {
   vms_removed : int;
 }
 
-let initial problem =
-  let r = Solver.solve problem in
-  { problem; selection = r.Solver.selection; allocation = r.Solver.allocation }
+let initial problem = Engine.plan (Engine.create problem)
 
 let cost plan =
   Problem.cost plan.problem
     ~vms:(Allocation.num_vms plan.allocation)
     ~bandwidth:(Allocation.total_load plan.allocation)
-
-(* Group pending pairs per topic and place them with the CBP insertion
-   rule: most-free VM that can take a pair, new VMs on overflow. *)
-let place_pending (p : Problem.t) a pending =
-  let w = p.Problem.workload in
-  let eps = Problem.epsilon p in
-  Hashtbl.iter
-    (fun topic subs ->
-      let ev = Workload.event_rate w topic in
-      let subs = Array.of_list subs in
-      let n = Array.length subs in
-      let from = ref 0 in
-      while !from < n do
-        let best = ref None in
-        Array.iter
-          (fun vm ->
-            if Allocation.max_pairs_that_fit a vm ~topic ~ev ~eps > 0 then
-              match !best with
-              | Some b when Allocation.free a b >= Allocation.free a vm -> ()
-              | _ -> best := Some vm)
-          (Allocation.vms a);
-        let vm =
-          match !best with
-          | Some vm -> vm
-          | None ->
-              let vm = Allocation.deploy a in
-              if Allocation.max_pairs_that_fit a vm ~topic ~ev ~eps = 0 then
-                raise
-                  (Problem.Infeasible
-                     (Printf.sprintf
-                        "topic %d: a single pair needs %g bandwidth but BC is %g" topic
-                        (2. *. ev) p.Problem.capacity));
-              vm
-        in
-        let k = min (Allocation.max_pairs_that_fit a vm ~topic ~ev ~eps) (n - !from) in
-        Allocation.place a vm ~topic ~ev ~subscribers:subs ~from:!from ~count:k;
-        from := !from + k
-      done)
-    pending
 
 (* Rebuild an identical fleet so consolidation never mutates its input. *)
 let clone_allocation (p : Problem.t) a =
@@ -205,78 +163,19 @@ let consolidate ?(max_moves = 10_000) plan =
       vms_removed = !drained;
     } )
 
+(* The incremental core now lives in {!Mcss_engine.Engine}; this wrapper
+   keeps the historical contract: a pure function of [previous] (cloned
+   by [Engine.of_plan]), full GSP reselection (all-dirty), and never a
+   drift-triggered cold re-solve. *)
 let reprovision ~previous (p : Problem.t) =
-  let w = p.Problem.workload in
-  let eps = Problem.epsilon p in
-  let selection = Selection.gsp p in
-  let wanted = Hashtbl.create (2 * selection.Selection.num_pairs) in
-  Selection.iter_pairs selection (fun t v -> Hashtbl.replace wanted (t, v) ());
-  (* Rebuild the fleet: surviving pairs stay on their VM index. Topics or
-     subscribers can only be appended, so old placements keep their ids. *)
-  let a = Allocation.create ~capacity:p.Problem.capacity in
-  let old_vms = Allocation.vms previous.allocation in
-  let vms = Array.map (fun _ -> Allocation.deploy a) old_vms in
-  let pairs_kept = ref 0 in
-  let pairs_removed = ref 0 in
-  Array.iteri
-    (fun i old_vm ->
-      Allocation.iter_vm_pairs old_vm (fun t v ->
-          if t < Workload.num_topics w && Hashtbl.mem wanted (t, v) then begin
-            Allocation.place a vms.(i) ~topic:t ~ev:(Workload.event_rate w t)
-              ~subscribers:[| v |] ~from:0 ~count:1;
-            Hashtbl.remove wanted (t, v);
-            incr pairs_kept
-          end
-          else incr pairs_removed))
-    old_vms;
-  (* Evict from VMs pushed over capacity by rate increases: keep taking a
-     pair of the highest-rate topic on the VM until it fits again (its
-     incoming stream disappears with the last pair, so this converges). *)
-  let pending : (int, int list) Hashtbl.t = Hashtbl.create 64 in
-  let pend t v =
-    Hashtbl.replace pending t (v :: Option.value ~default:[] (Hashtbl.find_opt pending t))
-  in
-  let pairs_evicted = ref 0 in
-  Array.iter
-    (fun vm ->
-      while Allocation.load vm > p.Problem.capacity +. eps do
-        let worst = ref None in
-        List.iter
-          (fun t ->
-            let ev = Workload.event_rate w t in
-            match !worst with
-            | Some (_, ev') when ev' >= ev -> ()
-            | _ -> worst := Some (t, ev))
-          (Allocation.topics_on vm);
-        match !worst with
-        | None -> failwith "Reprovision: over-capacity VM with no topics"
-        | Some (t, ev) -> (
-            match Allocation.subscribers_of_topic_on vm t with
-            | [] -> failwith "Reprovision: topic listed but empty"
-            | v :: _ ->
-                ignore (Allocation.remove a vm ~topic:t ~ev ~subscriber:v);
-                pend t v;
-                incr pairs_evicted)
-      done)
-    vms;
-  (* Newly selected pairs join the pending pool. *)
-  let pairs_added = ref 0 in
-  Hashtbl.iter
-    (fun (t, v) () ->
-      pend t v;
-      incr pairs_added)
-    wanted;
-  place_pending p a pending;
-  let compacted, _mapping = Allocation.compact a in
-  let before = Array.length old_vms in
-  let fresh = Allocation.num_vms a - before in
-  let after = Allocation.num_vms compacted in
-  ( { problem = p; selection; allocation = compacted },
+  let eng = Engine.of_plan ~drift_threshold:infinity previous in
+  let cs = Engine.retarget eng p in
+  ( Engine.plan eng,
     {
-      pairs_kept = !pairs_kept;
-      pairs_added = !pairs_added;
-      pairs_removed = !pairs_removed;
-      pairs_evicted = !pairs_evicted;
-      vms_added = fresh;
-      vms_removed = before + fresh - after;
+      pairs_kept = cs.Engine.pairs_kept;
+      pairs_added = cs.Engine.pairs_added;
+      pairs_removed = cs.Engine.pairs_removed;
+      pairs_evicted = cs.Engine.pairs_evicted;
+      vms_added = cs.Engine.vms_added;
+      vms_removed = cs.Engine.vms_removed;
     } )

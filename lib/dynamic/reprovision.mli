@@ -19,11 +19,13 @@
     the ablation benchmark compares cost and churn against a cold
     re-solve over a stream of deltas. *)
 
-type plan = {
+type plan = Mcss_engine.Engine.plan = {
   problem : Mcss_core.Problem.t;
   selection : Mcss_core.Selection.t;
   allocation : Mcss_core.Allocation.t;
 }
+(** Equal to {!Mcss_engine.Engine.plan}: plans flow freely between the
+    wrappers here and the stateful engine. *)
 
 type stats = {
   pairs_kept : int;  (** Survived in place. *)
@@ -41,10 +43,13 @@ val cost : plan -> float
 
 val reprovision : previous:plan -> Mcss_core.Problem.t -> plan * stats
 (** Adapt [previous] to the new problem (same id space, evolved by
-    deltas). The result always satisfies the new problem — run it through
-    {!Mcss_core.Verifier} to confirm, as the tests do. Raises
-    {!Mcss_core.Problem.Infeasible} when a needed pair cannot fit any
-    VM. *)
+    deltas). A thin wrapper over {!Mcss_engine.Engine.retarget} with
+    every subscriber marked dirty and drift re-solves disabled — the
+    historical contract: a pure function of its input that never falls
+    back to a cold solve. The result always satisfies the new problem —
+    run it through {!Mcss_core.Verifier} to confirm, as the tests do.
+    Raises {!Mcss_core.Problem.Infeasible} when a needed pair cannot fit
+    any VM. *)
 
 val consolidate : ?max_moves:int -> plan -> plan * stats
 (** Defragment a fleet that accumulated slack through churn: repeatedly

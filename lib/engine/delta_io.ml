@@ -1,0 +1,112 @@
+exception Parse_error of string
+
+let emit add deltas =
+  add "mcss-deltas 1\n";
+  List.iter
+    (fun d ->
+      add
+        (match d with
+        | Delta.Subscribe { subscriber; topic } ->
+            Printf.sprintf "subscribe %d %d\n" subscriber topic
+        | Delta.Unsubscribe { subscriber; topic } ->
+            Printf.sprintf "unsubscribe %d %d\n" subscriber topic
+        | Delta.Rate_change { topic; rate } -> Printf.sprintf "rate %d %.17g\n" topic rate
+        | Delta.New_topic { rate } -> Printf.sprintf "new-topic %.17g\n" rate
+        | Delta.New_subscriber { interests } ->
+            let buf = Buffer.create 32 in
+            Buffer.add_string buf (Printf.sprintf "new-subscriber %d" (Array.length interests));
+            Array.iter (fun t -> Buffer.add_string buf (Printf.sprintf " %d" t)) interests;
+            Buffer.add_char buf '\n';
+            Buffer.contents buf))
+    deltas
+
+let output oc deltas = emit (output_string oc) deltas
+
+let to_string deltas =
+  let buf = Buffer.create 1024 in
+  emit (Buffer.add_string buf) deltas;
+  Buffer.contents buf
+
+let save deltas path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output oc deltas)
+
+(* Same reader shape as {!Mcss_workload.Wio}: raw lines come from a
+   closure so channels and in-memory strings share the parser. *)
+type reader = { next_raw : unit -> string option; mutable line_num : int }
+
+let fail r msg = raise (Parse_error (Printf.sprintf "line %d: %s" r.line_num msg))
+
+let rec next_line r =
+  match r.next_raw () with
+  | None -> None
+  | Some line ->
+      r.line_num <- r.line_num + 1;
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then next_line r else Some line
+
+let int_field r what s =
+  match int_of_string_opt s with
+  | Some n -> n
+  | None -> fail r (Printf.sprintf "bad %s %S" what s)
+
+let rate_field r s =
+  match float_of_string_opt s with
+  | Some rate when rate > 0. -> rate
+  | Some _ -> fail r (Printf.sprintf "rate %S is not positive" s)
+  | None -> fail r (Printf.sprintf "bad rate %S" s)
+
+let parse_line r line =
+  let fields = String.split_on_char ' ' line |> List.filter (fun s -> s <> "") in
+  match fields with
+  | [ "subscribe"; v; t ] ->
+      Delta.Subscribe
+        { subscriber = int_field r "subscriber id" v; topic = int_field r "topic id" t }
+  | [ "unsubscribe"; v; t ] ->
+      Delta.Unsubscribe
+        { subscriber = int_field r "subscriber id" v; topic = int_field r "topic id" t }
+  | [ "rate"; t; rate ] ->
+      Delta.Rate_change { topic = int_field r "topic id" t; rate = rate_field r rate }
+  | [ "new-topic"; rate ] -> Delta.New_topic { rate = rate_field r rate }
+  | "new-subscriber" :: k :: topics ->
+      let k = int_field r "interest count" k in
+      if List.length topics <> k then
+        fail r
+          (Printf.sprintf "interest count %d does not match %d topics" k
+             (List.length topics));
+      Delta.New_subscriber
+        { interests = Array.of_list (List.map (int_field r "topic id") topics) }
+  | verb :: _ -> fail r (Printf.sprintf "unknown delta %S" verb)
+  | [] -> assert false (* blank lines are skipped by [next_line] *)
+
+let parse r =
+  (match next_line r with
+  | Some "mcss-deltas 1" -> ()
+  | Some line -> fail r (Printf.sprintf "expected %S, got %S" "mcss-deltas 1" line)
+  | None -> fail r "empty input, expected \"mcss-deltas 1\"");
+  let rec loop acc =
+    match next_line r with
+    | None -> List.rev acc
+    | Some line -> loop (parse_line r line :: acc)
+  in
+  loop []
+
+let lines_of_string s =
+  let pos = ref 0 in
+  let n = String.length s in
+  fun () ->
+    if !pos >= n then None
+    else
+      let stop =
+        match String.index_from_opt s !pos '\n' with Some i -> i | None -> n
+      in
+      let line = String.sub s !pos (stop - !pos) in
+      pos := stop + 1;
+      Some line
+
+let input ic = parse { next_raw = (fun () -> In_channel.input_line ic); line_num = 0 }
+let of_string s = parse { next_raw = lines_of_string s; line_num = 0 }
+
+let load path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> input ic)

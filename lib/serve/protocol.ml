@@ -12,6 +12,7 @@ type request =
   | Health
   | Load of [ `Inline of string | `Path of string ]
   | Solve of { digest : string; params : solve_params }
+  | Update of { digest : string; params : solve_params; deltas : string }
   | Whatif of { digest : string; params : solve_params; taus : float list }
   | Chaos of {
       digest : string;
@@ -116,6 +117,11 @@ let decode j =
         let* digest = required_string j "digest" in
         let* params = params_of j in
         Ok (Solve { digest; params })
+    | "update" ->
+        let* digest = required_string j "digest" in
+        let* deltas = required_string j "deltas" in
+        let* params = params_of j in
+        Ok (Update { digest; params; deltas })
     | "whatif" ->
         let* digest = required_string j "digest" in
         let* params = params_of j in
@@ -186,6 +192,10 @@ let encode { id; deadline_ms; request } =
     | Solve { digest; params } ->
         (("req", Json.String "solve") :: ("digest", Json.String digest)
         :: params_fields params)
+    | Update { digest; params; deltas } ->
+        ("req", Json.String "update") :: ("digest", Json.String digest)
+        :: ("deltas", Json.String deltas)
+        :: params_fields params
     | Whatif { digest; params; taus } ->
         ("req", Json.String "whatif") :: ("digest", Json.String digest)
         :: ("taus", Json.List (List.map (fun t -> Json.Float t) taus))
@@ -261,16 +271,21 @@ let response_degraded j =
   response_ok j
   && Json.member "degraded" j |> Fun.flip Option.bind Json.to_bool_opt = Some true
 
-(* Every current verb is safe to replay on a fresh connection after a
-   transport failure: [load] is content-addressed (re-sending the same
-   workload maps to the same digest), [solve]/[whatif] are deterministic
-   and cached, [chaos] is seeded, and the read-only verbs are read-only.
-   [shutdown] merely re-sets the drain flag. The function exists so a
-   future mutating verb has somewhere to say "no" — {!Client.call} will
-   then stop replaying it. *)
+(* [load] is content-addressed (re-sending the same workload maps to the
+   same digest), [solve]/[whatif] are deterministic and cached, [chaos]
+   is seeded, the read-only verbs are read-only, and [shutdown] merely
+   re-sets the drain flag — all safe to replay on a fresh connection
+   after a transport failure. [update] is the mutating verb this
+   function existed for: it appends to the write-ahead log, so a blind
+   replay after an ambiguous transport failure would journal the same
+   update twice. The result is deterministic either way, but duplicated
+   history is not "as if sent once" — {!Client.call} refuses to
+   reconnect-and-replay it and surfaces the failure to the caller
+   instead. *)
 let idempotent = function
   | Health | Load _ | Solve _ | Whatif _ | Chaos _ | Stats | Metrics | Shutdown ->
       true
+  | Update _ -> false
 
 let response_error j =
   if response_ok j then None

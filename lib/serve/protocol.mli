@@ -16,6 +16,7 @@
     {"req":"load","workload":"<mcss-workload text>"}   (or "path":"FILE")
     {"req":"solve","digest":D,"tau":100,"instance":"c3.large",
      "bc_events":F?,"config":"(e) +cost-decision"?}
+    {"req":"update","digest":D,"deltas":"<mcss-deltas text>",...solve params...}
     {"req":"whatif","digest":D,"taus":[10,100,1000],...solve params...}
     {"req":"chaos","digest":D,"seed":1,"epochs":8,"zones":3,
      "faults":["crash:0@0.6",...]?,...solve params...}
@@ -51,6 +52,12 @@ type request =
   | Health
   | Load of [ `Inline of string | `Path of string ]
   | Solve of { digest : string; params : solve_params }
+  | Update of { digest : string; params : solve_params; deltas : string }
+      (** Apply a {!Mcss_engine.Delta_io} batch to the plan cached under
+          [(digest, params)] through the incremental engine; the evolved
+          workload is registered under its own content digest and the
+          evolved plan cached under it. The reply carries both digests
+          and the engine's change stats. *)
   | Whatif of { digest : string; params : solve_params; taus : float list }
   | Chaos of {
       digest : string;
@@ -114,5 +121,6 @@ val response_error : Json.t -> (error_code option * string) option
 
 val idempotent : request -> bool
 (** Whether replaying the request on a fresh connection is safe after a
-    transport failure mid-exchange. True for every current verb; retry
-    layers gate reconnect-and-replay on it. *)
+    transport failure mid-exchange. True for every verb except [Update],
+    which appends to the server's write-ahead log; retry layers gate
+    reconnect-and-replay on it. *)

@@ -6,6 +6,8 @@ module Problem = Mcss_core.Problem
 module Solver = Mcss_core.Solver
 module Allocation = Mcss_core.Allocation
 module Plan_io = Mcss_core.Plan_io
+module Engine = Mcss_engine.Engine
+module Delta_io = Mcss_engine.Delta_io
 module Failure_model = Mcss_resilience.Failure_model
 module Orchestrator = Mcss_resilience.Orchestrator
 module Sla = Mcss_resilience.Sla
@@ -52,6 +54,7 @@ type entry = { digest : string; params : Protocol.solve_params; plan : plan }
 type replay_stats = {
   workloads_recovered : int;
   plans_recovered : int;
+  updates_replayed : int;
   records_skipped : int;
   wal_truncated_bytes : int;
   corrupt_records : int;
@@ -84,6 +87,11 @@ type t = {
   journal_lock : Mutex.t;
       (** Serialises appends and snapshots. Lock order: [journal_lock]
           then [lock]; never the reverse. *)
+  update_lock : Mutex.t;
+      (** Serialises [update] requests end to end (engine rebuild, delta
+          application, publication, journaling) so concurrent updates
+          against the same digest cannot interleave their WAL ops.
+          Taken before [journal_lock] and [lock], never inside them. *)
   started_ns : int64;
   mutable draining : bool;
   mutable requests : int;
@@ -141,6 +149,31 @@ let cache_key digest (params : Protocol.solve_params) =
     | Some x -> Printf.sprintf "%.17g" x)
     params.Protocol.config
 
+(* ----- problems ----- *)
+
+(* "parallel" opts a request into the multi-domain Stage-1; everything
+   else resolves through the solver's own ladder so server and CLI name
+   configurations identically. *)
+let resolve_config name =
+  if name = "parallel" then
+    Some { Solver.default with Solver.stage1 = Solver.Gsp_parallel }
+  else Solver.config_of_name name
+
+let problem_for w (params : Protocol.solve_params) =
+  match Instance.find params.Protocol.instance with
+  | None ->
+      Error
+        (E (Protocol.Bad_request,
+            Printf.sprintf "unknown instance type %S" params.Protocol.instance))
+  | Some instance -> (
+      let model = Cost_model.ec2_2014 ~instance () in
+      match
+        Problem.of_pricing ?capacity_events:params.Protocol.bc_events ~workload:w
+          ~tau:params.Protocol.tau model
+      with
+      | p -> Ok (model, p)
+      | exception Invalid_argument m -> Error (E (Protocol.Bad_request, m)))
+
 (* ----- journal ops -----
 
    One JSON object per record. Floats that must round-trip exactly
@@ -189,10 +222,112 @@ let plan_op (e : entry) =
            ("solve_s", f17 e.plan.solve_seconds);
          ]))
 
+(* An update is journaled as its cause (the delta batch), not its effect:
+   the engine is deterministic, so replay re-applies the deltas to the
+   base plan and must land on the recorded [new_digest] — a cheap
+   end-to-end check that recovery reproduced the live run bit for bit.
+   Snapshots fold the evolved workload and plan into ordinary load/plan
+   records, so update ops only ever live in the WAL tail. *)
+let update_op ~digest ~(params : Protocol.solve_params) ~deltas ~new_digest =
+  Json.to_string
+    (Json.Obj
+       ([
+          ("op", Json.String "update");
+          ("digest", Json.String digest);
+          ("tau", f17 params.Protocol.tau);
+          ("instance", Json.String params.Protocol.instance);
+          ("config", Json.String params.Protocol.config);
+        ]
+       @ (match params.Protocol.bc_events with
+         | None -> []
+         | Some x -> [ ("bc", f17 x) ])
+       @ [
+           ("deltas", Json.String deltas);
+           ("new_digest", Json.String new_digest);
+         ]))
+
+(* ----- the incremental engine behind [update] ----- *)
+
+(* The plan entry an update starts from: the live cache, or the
+   never-evicted fallback when it was solved under the same params. *)
+let base_entry t ~key ~digest =
+  match Plan_cache.find t.cache key with
+  | Some e -> Some e
+  | None -> (
+      match locked t (fun () -> Hashtbl.find_opt t.fallback digest) with
+      | Some e when cache_key e.digest e.params = key -> Some e
+      | _ -> None)
+
+(* Both the live path and journal replay rebuild the engine from the
+   entry's canonical plan text, so they start from bit-identical state —
+   that, plus the engine's determinism, is what makes the recorded
+   [new_digest] reproducible after a crash. *)
+let engine_of_entry ~w (e : entry) =
+  match problem_for w e.params with
+  | Error err -> Error err
+  | Ok (model, p) ->
+      let config =
+        Option.value ~default:Solver.default
+          (resolve_config e.params.Protocol.config)
+      in
+      let allocation, selection = Plan_io.of_string ~workload:w e.plan.text in
+      Ok (model, Engine.of_plan ~config { Engine.problem = p; selection; allocation })
+
+(* Snapshot the engine as a cache entry — through the canonical text, so
+   the cached allocation is detached from the live engine and identical
+   to what a restart would parse back. *)
+let entry_of_engine ~model ~(params : Protocol.solve_params) ~solve_seconds eng =
+  let p = Engine.problem eng in
+  let w = p.Problem.workload in
+  let text = Plan_io.to_string (Engine.plan eng).Engine.allocation in
+  let allocation, selection = Plan_io.of_string ~workload:w text in
+  let num_vms = Allocation.num_vms allocation in
+  let bandwidth = Allocation.total_load allocation in
+  let result =
+    {
+      Solver.selection;
+      allocation;
+      num_vms;
+      bandwidth;
+      cost = Problem.cost p ~vms:num_vms ~bandwidth;
+      stage1_seconds = 0.;
+      stage2_seconds = 0.;
+    }
+  in
+  let plan =
+    {
+      result;
+      bandwidth_gb = Cost_model.gb_of_events model bandwidth;
+      solve_seconds;
+      text;
+      plan_digest = Digest.to_hex (Digest.string text);
+    }
+  in
+  { digest = digest_of_workload w; params; plan }
+
+(* Re-run a journaled update. [None] when the record no longer replays
+   (base plan missing, deltas malformed, infeasible, ...). *)
+let replayed_update t ~w ~digest ~(params : Protocol.solve_params) ~deltas =
+  match base_entry t ~key:(cache_key digest params) ~digest with
+  | None -> None
+  | Some e -> (
+      match
+        let ds = Delta_io.of_string deltas in
+        match engine_of_entry ~w e with
+        | Error _ -> None
+        | Ok (model, eng) ->
+            ignore (Engine.apply eng ds);
+            Some
+              ( entry_of_engine ~model ~params ~solve_seconds:0. eng,
+                (Engine.problem eng).Problem.workload )
+      with
+      | r -> r
+      | exception _ -> None)
+
 (* Rebuild service state from one journal record. Registers directly
    (no re-journaling). Raises nothing: any malformed or orphaned record
    is skipped and counted. *)
-let apply_record t line ~workloads ~plans ~skipped =
+let apply_record t line ~workloads ~plans ~updates ~skipped =
   let skip () = incr skipped in
   match Json.parse line with
   | Error _ -> skip ()
@@ -279,6 +414,41 @@ let apply_record t line ~workloads ~plans ~skipped =
                           | _ -> skip ())
                       | exception Plan_io.Parse_error _ -> skip ())))
           | _ -> skip ())
+      | Some "update" -> (
+          match (str "digest", str "deltas", str "new_digest") with
+          | Some digest, Some deltas, Some new_digest -> (
+              let params =
+                match (f17_get j "tau", str "instance", str "config") with
+                | Some tau, Some instance, Some config ->
+                    Some
+                      {
+                        Protocol.tau;
+                        instance;
+                        config;
+                        bc_events = f17_get j "bc";
+                      }
+                | _ -> None
+              in
+              match (Hashtbl.find_opt t.workloads digest, params) with
+              | Some w, Some params -> (
+                  match replayed_update t ~w ~digest ~params ~deltas with
+                  | Some (e, w') when e.digest = new_digest ->
+                      (* The evolved workload was also journaled as a
+                         load op, but re-registering it here keeps the
+                         record self-sufficient. *)
+                      Hashtbl.replace t.workloads e.digest w';
+                      Plan_cache.add t.cache (cache_key e.digest e.params) e;
+                      Hashtbl.replace t.fallback e.digest e;
+                      incr updates
+                  | Some _ ->
+                      (* Replay landed on a different digest than the
+                         live run recorded: the record cannot be trusted
+                         (corruption or a non-deterministic engine) —
+                         drop it rather than serve mislabeled state. *)
+                      skip ()
+                  | None -> skip ())
+              | _ -> skip ())
+          | _ -> skip ())
       | _ -> skip ())
 
 (* Everything needed to rebuild the registry and cache from scratch:
@@ -354,6 +524,7 @@ let create ?obs ?(config = default_config) () =
       lock = Mutex.create ();
       journal;
       journal_lock = Mutex.create ();
+      update_lock = Mutex.create ();
       started_ns = Clock.now_ns ();
       draining = false;
       requests = 0;
@@ -365,15 +536,16 @@ let create ?obs ?(config = default_config) () =
   (match journal_replay with
   | None -> ()
   | Some r ->
-      let workloads = ref 0 and plans = ref 0 and skipped = ref 0 in
+      let workloads = ref 0 and plans = ref 0 and updates = ref 0 and skipped = ref 0 in
       List.iter
-        (fun line -> apply_record t line ~workloads ~plans ~skipped)
+        (fun line -> apply_record t line ~workloads ~plans ~updates ~skipped)
         r.Journal.records;
       t.replay <-
         Some
           {
             workloads_recovered = !workloads;
             plans_recovered = !plans;
+            updates_replayed = !updates;
             records_skipped = !skipped;
             wal_truncated_bytes = r.Journal.truncated_bytes;
             corrupt_records = r.Journal.corrupt_records;
@@ -426,6 +598,22 @@ let record_solver_run t ~seconds ~(r : Solver.result) =
         (Registry.histogram t.obs ~help:"Stage-2 time of served solves (seconds)"
            "serve.solver.stage2_seconds")
         r.Solver.stage2_seconds)
+
+let record_update t ~seconds ~resolved =
+  locked t (fun () ->
+      Counter.inc
+        (Registry.counter t.obs ~help:"Incremental updates applied"
+           "serve.updates.applied");
+      if resolved then
+        Counter.inc
+          (Registry.counter t.obs
+             ~help:"Updates answered by a drift-triggered full re-solve"
+             "serve.updates.resolved");
+      Histogram.observe
+        (Registry.histogram t.obs
+           ~help:"Engine delta-application time (seconds)"
+           "serve.update.apply_seconds")
+        seconds)
 
 let record_degraded t ~served =
   locked t (fun () ->
@@ -483,29 +671,6 @@ let refresh_gauges t =
             (float_of_int (Journal.snapshots_taken j)))
 
 (* ----- solving ----- *)
-
-(* "parallel" opts a request into the multi-domain Stage-1; everything
-   else resolves through the solver's own ladder so server and CLI name
-   configurations identically. *)
-let resolve_config name =
-  if name = "parallel" then
-    Some { Solver.default with Solver.stage1 = Solver.Gsp_parallel }
-  else Solver.config_of_name name
-
-let problem_for w (params : Protocol.solve_params) =
-  match Instance.find params.Protocol.instance with
-  | None ->
-      Error
-        (E (Protocol.Bad_request,
-            Printf.sprintf "unknown instance type %S" params.Protocol.instance))
-  | Some instance -> (
-      let model = Cost_model.ec2_2014 ~instance () in
-      match
-        Problem.of_pricing ?capacity_events:params.Protocol.bc_events ~workload:w
-          ~tau:params.Protocol.tau model
-      with
-      | p -> Ok (model, p)
-      | exception Invalid_argument m -> Error (E (Protocol.Bad_request, m)))
 
 (* Publish a freshly solved plan: plan cache, degraded-reply fallback,
    and the journal (in that order — a plan visible to clients before it
@@ -730,6 +895,94 @@ let handle_solve t ~id ~deadline ~digest ~params =
           Protocol.ok_response ~id (degraded_fields params e ~reason)
       | Failed e -> reply_of_error ~id e)
 
+(* The live [update] path. The base plan comes from the cache (or the
+   fallback, or — on a miss — a breaker/admission-gated cold solve via
+   {!obtain_plan}, exactly like [solve]); the engine then folds the
+   deltas in incrementally, the evolved workload is registered under its
+   own content digest, the evolved plan is published under that digest,
+   and the delta batch is journaled as one WAL op. Serialised end to end
+   by [update_lock]: updates are rare control-plane traffic, and the
+   ordering of their WAL ops must match the order their effects were
+   published in. *)
+let run_update t ~id ~deadline ~digest ~(params : Protocol.solve_params) ~w
+    ~deltas ~ds =
+  let key = cache_key digest params in
+  let base =
+    match base_entry t ~key ~digest with
+    | Some e -> Ok e
+    | None -> (
+        match obtain_plan t ~digest ~w ~params ~deadline with
+        | Served (plan, _cached) -> Ok { digest; params; plan }
+        | Degr _ ->
+            (* Applying deltas to some other params' plan would evolve a
+               plan nobody asked about — same stance as [chaos]. *)
+            Error
+              (E (Protocol.Degraded,
+                  "solver circuit open; update needs a plan solved at the \
+                   requested parameters"))
+        | Failed e -> Error e)
+  in
+  match base with
+  | Error e -> reply_of_error ~id e
+  | Ok e -> (
+      if Admission.expired deadline then
+        Protocol.error_response ~id ~code:Protocol.Timeout
+          ~message:"deadline exceeded before the update was applied" ()
+      else
+        match engine_of_entry ~w e with
+        | Error err -> reply_of_error ~id err
+        | Ok (model, eng) -> (
+            let t0 = Clock.now_ns () in
+            match Engine.apply eng ds with
+            | stats ->
+                let apply_s = Clock.seconds_since t0 in
+                let w' = (Engine.problem eng).Problem.workload in
+                let new_digest = register_workload t w' in
+                let e' =
+                  entry_of_engine ~model ~params ~solve_seconds:apply_s eng
+                in
+                Plan_cache.add t.cache (cache_key new_digest params) e';
+                locked t (fun () -> Hashtbl.replace t.fallback new_digest e');
+                journal_append t (update_op ~digest ~params ~deltas ~new_digest);
+                record_update t ~seconds:apply_s ~resolved:stats.Engine.resolved;
+                Protocol.ok_response ~id
+                  (plan_fields new_digest params e'.plan ~cached:false
+                  @ [
+                      ("previous_digest", Json.String digest);
+                      ("deltas_applied", Json.Int (List.length ds));
+                      ("apply_s", Json.Float apply_s);
+                      ("resolved", Json.Bool stats.Engine.resolved);
+                      ("dirty_subscribers", Json.Int stats.Engine.dirty_subscribers);
+                      ("pairs_kept", Json.Int stats.Engine.pairs_kept);
+                      ("pairs_added", Json.Int stats.Engine.pairs_added);
+                      ("pairs_removed", Json.Int stats.Engine.pairs_removed);
+                      ("pairs_evicted", Json.Int stats.Engine.pairs_evicted);
+                      ("vms_added", Json.Int stats.Engine.vms_added);
+                      ("vms_removed", Json.Int stats.Engine.vms_removed);
+                    ])
+            | exception Invalid_argument m ->
+                Protocol.error_response ~id ~code:Protocol.Bad_request ~message:m ()
+            | exception Problem.Infeasible m ->
+                Protocol.error_response ~id ~code:Protocol.Infeasible ~message:m ()))
+
+let handle_update t ~id ~deadline ~digest ~params ~deltas =
+  if draining t then
+    Protocol.error_response ~id ~code:Protocol.Draining
+      ~message:"server is draining; no new updates" ()
+  else
+    with_workload t ~id digest (fun w ->
+        match Delta_io.of_string deltas with
+        | exception Delta_io.Parse_error m ->
+            Protocol.error_response ~id ~code:Protocol.Bad_request ~message:m ()
+        | [] ->
+            Protocol.error_response ~id ~code:Protocol.Bad_request
+              ~message:"empty delta batch" ()
+        | ds ->
+            Mutex.lock t.update_lock;
+            Fun.protect
+              ~finally:(fun () -> Mutex.unlock t.update_lock)
+              (fun () -> run_update t ~id ~deadline ~digest ~params ~w ~deltas ~ds))
+
 let handle_whatif t ~id ~deadline ~digest ~params ~taus =
   with_workload t ~id digest (fun w ->
       let rec sweep acc = function
@@ -898,6 +1151,7 @@ let handle_stats t ~id =
               [
                 ("workloads_recovered", Json.Int r.workloads_recovered);
                 ("plans_recovered", Json.Int r.plans_recovered);
+                ("updates_replayed", Json.Int r.updates_replayed);
                 ("records_skipped", Json.Int r.records_skipped);
                 ("wal_truncated_bytes", Json.Int r.wal_truncated_bytes);
                 ("corrupt_records", Json.Int r.corrupt_records);
@@ -924,6 +1178,7 @@ let endpoint_name = function
   | Protocol.Health -> "health"
   | Protocol.Load _ -> "load"
   | Protocol.Solve _ -> "solve"
+  | Protocol.Update _ -> "update"
   | Protocol.Whatif _ -> "whatif"
   | Protocol.Chaos _ -> "chaos"
   | Protocol.Stats -> "stats"
@@ -945,6 +1200,8 @@ let handle t (env : Protocol.envelope) =
     | Protocol.Health -> handle_health t ~id
     | Protocol.Load source -> handle_load t ~id source
     | Protocol.Solve { digest; params } -> handle_solve t ~id ~deadline ~digest ~params
+    | Protocol.Update { digest; params; deltas } ->
+        handle_update t ~id ~deadline ~digest ~params ~deltas
     | Protocol.Whatif { digest; params; taus } ->
         handle_whatif t ~id ~deadline ~digest ~params ~taus
     | Protocol.Chaos { digest; params; seed; epochs; zones; faults } ->

@@ -19,6 +19,15 @@
     (even [kill -9]'d) daemon answers the same [solve] as a cache hit,
     with the same [plan_digest], without re-running the solver.
 
+    {b Live updates.} An [update] request evolves a cached plan through
+    the incremental engine ({!Mcss_engine.Engine}): only the delta batch
+    is journaled, and replay re-applies it to the base plan — the engine
+    is deterministic, so the restarted daemon reproduces the exact
+    [plan_digest] the live run answered with (and drops the record if it
+    does not). The evolved workload gets its own content digest, so
+    existing plans for the old digest stay valid and the plan cache
+    never serves a stale allocation for the new content.
+
     {b Degradation.} Consecutive solver failures (deadline blowouts or
     internal errors) open a circuit breaker; while it is open, cache
     misses are answered [degraded] from the last solved plan for the
@@ -77,6 +86,9 @@ val draining : t -> bool
 type replay_stats = {
   workloads_recovered : int;
   plans_recovered : int;
+  updates_replayed : int;
+      (** Journaled delta batches re-applied through the engine, each
+          verified to land on the [new_digest] the live run recorded. *)
   records_skipped : int;
       (** Records that no longer decode or reference a workload that was
           not recovered; skipped, never fatal. *)

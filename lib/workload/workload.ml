@@ -34,17 +34,26 @@ let validate ~event_rates ~interests =
       done)
     interests
 
-let create ~event_rates ~interests =
-  let interests = Array.map (fun tv -> Array.copy tv) interests in
-  Array.iter (fun tv -> Array.sort compare tv) interests;
-  validate ~event_rates ~interests;
-  let event_rates = Array.copy event_rates in
+let build ~event_rates ~interests =
   let num_pairs = Array.fold_left (fun acc tv -> acc + Array.length tv) 0 interests in
   let interest_rate =
     Array.map (fun tv -> Array.fold_left (fun acc t -> acc +. event_rates.(t)) 0. tv) interests
   in
   let total_event_rate = Array.fold_left ( +. ) 0. event_rates in
   { event_rates; interests; num_pairs; interest_rate; total_event_rate; followers = None }
+
+let create ~event_rates ~interests =
+  let interests = Array.map (fun tv -> Array.copy tv) interests in
+  Array.iter (fun tv -> Array.sort compare tv) interests;
+  validate ~event_rates ~interests;
+  build ~event_rates:(Array.copy event_rates) ~interests
+
+let unsafe_create ?followers ~event_rates ~interests () =
+  let w = build ~event_rates ~interests in
+  w.followers <- followers;
+  w
+
+let cached_followers w = w.followers
 
 let num_topics w = Array.length w.event_rates
 let num_subscribers w = Array.length w.interests

@@ -26,6 +26,27 @@ val create : event_rates:float array -> interests:topic array array -> t
     to an out-of-range topic, or a subscriber lists the same topic twice.
     Interest arrays are sorted by topic id internally. *)
 
+val unsafe_create :
+  ?followers:subscriber array array ->
+  event_rates:float array ->
+  interests:topic array array ->
+  unit ->
+  t
+(** Like {!create}, but adopts the arrays without copying, sorting, or
+    validating them. The caller warrants that every rate is strictly
+    positive and every interest array is id-sorted, duplicate-free, in
+    range, and never mutated afterwards — sharing arrays from an
+    existing workload satisfies this. When [followers] is given it
+    seeds the {!followers} cache and must be the exact per-topic
+    inverse of [interests], each array sorted by subscriber id. Used by
+    the incremental engine's delta application, where re-deriving the
+    whole workload per small batch would dominate the apply cost. *)
+
+val cached_followers : t -> subscriber array array option
+(** The followers index if it has been computed (or seeded) already,
+    without forcing it. Lets {!unsafe_create} callers evolve the cache
+    incrementally instead of discarding it. Do not mutate. *)
+
 val num_topics : t -> int
 val num_subscribers : t -> int
 
