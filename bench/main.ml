@@ -1607,6 +1607,463 @@ let serve_faults_bench ~seeds ~spotify ~spotify_scale ~out_dir =
   rm_rf dir;
   Printf.printf "wrote %s\n" json_path
 
+(* One shard of the bench cluster: a journaled leader with its
+   replication hub, and a journaled follower fed over [bs_dial] (the
+   shard-0 link runs through a fault-injecting proxy). *)
+type bench_shard = {
+  bs_name : string;
+  bs_leader : Mcss_serve.Service.t;
+  bs_follower : Mcss_serve.Service.t;
+  bs_hub : Mcss_serve.Replication.leader;
+  bs_proxy : Mcss_serve.Faulty.t option;
+  bs_dial : Mcss_serve.Server.address;
+  bs_stop : bool Atomic.t;
+  bs_follow : unit Domain.t;
+  bs_leader_addr : Mcss_serve.Server.address;
+  bs_follower_addr : Mcss_serve.Server.address;
+  bs_leader_dom : unit Domain.t;
+  bs_follower_dom : unit Domain.t;
+}
+
+(* The full replicated deployment of DESIGN.md §serve: three shards,
+   each a journaled leader streaming its WAL to a journaled follower,
+   fronted by the consistent-hash router. Shard 0's replication link
+   runs through the fault-injecting proxy with every 10th connection
+   reset mid-stream, so the numbers include resync-on-fault overhead.
+   Client domains drive solves for digests spread across the ring
+   through [Router.handle]; reports aggregate req/s and p50/p99, the
+   per-shard request split, and the time a cold follower needs to pull
+   the shard-0 journal through the faulty link.
+   BENCH_serve_cluster.json: throughput, latency, split, resync. *)
+let serve_cluster_bench ~seeds ~spotify ~spotify_scale ~out_dir =
+  section_header "serve-cluster"
+    "3 shards x 2 replicas behind the router, faulty replication link";
+  let module Service = Mcss_serve.Service in
+  let module Server = Mcss_serve.Server in
+  let module Client = Mcss_serve.Client in
+  let module Journal = Mcss_serve.Journal in
+  let module Retry = Mcss_serve.Retry in
+  let module Faulty = Mcss_serve.Faulty in
+  let module Json = Mcss_serve.Json in
+  let module Protocol = Mcss_serve.Protocol in
+  let module Replication = Mcss_serve.Replication in
+  let module Ring = Mcss_serve.Ring in
+  let module Router = Mcss_serve.Router in
+  let capacity = bc_events ~scale:spotify_scale Instance.c3_large in
+  let base =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mcss-bench-cluster-%d" (Unix.getpid ()))
+  in
+  let rec rm_rf path =
+    match Unix.lstat path with
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+        Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+        (try Unix.rmdir path with Unix.Unix_error _ -> ())
+    | _ -> ( try Sys.remove path with Sys_error _ -> ())
+    | exception Unix.Unix_error _ -> ()
+  in
+  let rec mkdir_p d =
+    if d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      mkdir_p (Filename.dirname d);
+      (try Sys.mkdir d 0o755 with Sys_error _ -> ())
+    end
+  in
+  rm_rf base;
+  mkdir_p base;
+  let shard_names = [ "s0"; "s1"; "s2" ] in
+  let ring = Ring.create shard_names in
+  (* The ring hashes content digests, so shard coverage is found, not
+     assumed: keep generating seeded Spotify variants until every shard
+     owns at least one digest and there are six or more in play. *)
+  let variants = ref [ (Service.digest_of_workload spotify, spotify) ] in
+  let covered name =
+    List.exists (fun (d, _) -> Ring.owner ring d = name) !variants
+  in
+  let next = ref 0 in
+  while
+    (List.length !variants < 6 || not (List.for_all covered shard_names))
+    && !next < 24
+  do
+    let w =
+      Front.generate
+        ~seed:(seeds.trace_seed + 7100 + !next)
+        `Spotify
+        ~scale:(spotify_scale /. 2.)
+    in
+    incr next;
+    let d = Service.digest_of_workload w in
+    if not (List.mem_assoc d !variants) then variants := (d, w) :: !variants
+  done;
+  let digests = List.rev !variants in
+  let journaled dir =
+    {
+      Service.default_config with
+      Service.journal =
+        Some { (Journal.default_config ~dir) with Journal.fsync = false };
+    }
+  in
+  let sconfig =
+    { Server.default_config with Server.workers = 4; accept_tick_s = 0.05 }
+  in
+  let fault_every = 10 in
+  let boot i name =
+    let dir sub = Filename.concat base (Filename.concat name sub) in
+    let leader = Service.create ~config:(journaled (dir "leader")) () in
+    let rep = Server.Unix_socket (Filename.concat base (name ^ "-rep.sock")) in
+    let hub = Replication.start_leader ~service:leader rep in
+    let proxy =
+      if i = 0 then
+        Some
+          (Faulty.start
+             ~plan:(fun ~conn ->
+               if conn mod fault_every = 0 then
+                 {
+                   Faulty.clean with
+                   Faulty.to_client = [ Faulty.Reset_after 256 ];
+                 }
+               else Faulty.clean)
+             ~upstream:rep ())
+      else None
+    in
+    let dial = match proxy with Some p -> Faulty.address p | None -> rep in
+    let follower =
+      Service.create
+        ~config:(journaled (dir "follower"))
+        ~role:Service.Follower ()
+    in
+    let stop = Atomic.make false in
+    let fdom =
+      Domain.spawn (fun () ->
+          Replication.follow ~reconnect_ms:20. ~service:follower
+            ~stop:(fun () -> Atomic.get stop)
+            dial)
+    in
+    let laddr =
+      Server.Unix_socket (Filename.concat base (name ^ "-leader.sock"))
+    in
+    let faddr =
+      Server.Unix_socket (Filename.concat base (name ^ "-follower.sock"))
+    in
+    let ldom = Domain.spawn (fun () -> Server.run ~config:sconfig leader laddr) in
+    let sdom =
+      Domain.spawn (fun () -> Server.run ~config:sconfig follower faddr)
+    in
+    {
+      bs_name = name;
+      bs_leader = leader;
+      bs_follower = follower;
+      bs_hub = hub;
+      bs_proxy = proxy;
+      bs_dial = dial;
+      bs_stop = stop;
+      bs_follow = fdom;
+      bs_leader_addr = laddr;
+      bs_follower_addr = faddr;
+      bs_leader_dom = ldom;
+      bs_follower_dom = sdom;
+    }
+  in
+  let shards = Array.of_list (List.mapi boot shard_names) in
+  let await addr =
+    let rec go tries =
+      if tries = 0 then failwith "serve-cluster: server never came up";
+      match Client.connect addr with
+      | Ok c -> Client.close c
+      | Error _ ->
+          Unix.sleepf 0.02;
+          go (tries - 1)
+    in
+    go 200
+  in
+  Array.iter
+    (fun s ->
+      await s.bs_leader_addr;
+      await s.bs_follower_addr)
+    shards;
+  let policy =
+    {
+      Retry.max_attempts = 3;
+      base_ms = 2.;
+      cap_ms = 50.;
+      attempt_timeout_ms = Some 5000.;
+    }
+  in
+  let router =
+    Router.create
+      ~config:
+        {
+          Router.default_config with
+          Router.policy;
+          Router.health_period_s = 0.5;
+          Router.log = (fun _ -> ());
+        }
+      ~seed:(seeds.trace_seed + 7500)
+      (List.map
+         (fun s ->
+           {
+             Router.shard_name = s.bs_name;
+             Router.members =
+               [
+                 { Router.name = "leader"; address = s.bs_leader_addr };
+                 { Router.name = "follower"; address = s.bs_follower_addr };
+               ];
+           })
+         (Array.to_list shards))
+  in
+  Router.probe_all router;
+  let cluster_taus = [ 50.; 100. ] in
+  let env request = { Protocol.id = None; deadline_ms = None; request } in
+  let solve_env digest tau =
+    env
+      (Protocol.Solve
+         {
+           digest;
+           params =
+             {
+               Protocol.default_params with
+               Protocol.tau;
+               bc_events = Some capacity;
+             };
+         })
+  in
+  let expect_ok what reply =
+    if not (Protocol.response_ok reply) then
+      failwith
+        (Printf.sprintf "serve-cluster: %s failed: %s" what
+           (Json.to_string reply))
+  in
+  (* Load every workload and warm each (digest, tau) pair through the
+     router, so the measured run is the steady cache-serving state. *)
+  List.iter
+    (fun (d, w) ->
+      expect_ok ("load " ^ d)
+        (Router.handle router
+           (env (Protocol.Load (`Inline (Mcss_workload.Wio.to_string w)))));
+      List.iter
+        (fun tau -> expect_ok ("warm solve " ^ d) (Router.handle router (solve_env d tau)))
+        cluster_taus)
+    digests;
+  (* Steady state includes the followers: wait for journal parity so the
+     measured window is not paying first-sync costs (shard 0 pays them
+     through the faulty link). *)
+  let wait_until ~what ?(timeout_s = 60.) pred =
+    let t0 = Clock.now_ns () in
+    let rec go () =
+      if pred () then ()
+      else if Clock.seconds_since t0 > timeout_s then
+        failwith ("serve-cluster: timeout waiting for " ^ what)
+      else begin
+        Unix.sleepf 0.01;
+        go ()
+      end
+    in
+    go ()
+  in
+  let in_sync s =
+    Service.journal_last_index s.bs_follower
+    = Service.journal_last_index s.bs_leader
+  in
+  Array.iter
+    (fun s -> wait_until ~what:(s.bs_name ^ " follower parity") (fun () -> in_sync s))
+    shards;
+  let pairs =
+    Array.of_list
+      (List.concat_map
+         (fun (d, _) -> List.map (fun tau -> (d, tau)) cluster_taus)
+         digests)
+  in
+  let shard_index name =
+    let rec go i = function
+      | [] -> 0
+      | n :: rest -> if n = name then i else go (i + 1) rest
+    in
+    go 0 shard_names
+  in
+  let num_clients = 6 and requests_per_client = 50 in
+  let run_client idx =
+    Domain.spawn (fun () ->
+        let latencies = Array.make requests_per_client 0. in
+        let hits = ref 0 and errors = ref 0 in
+        let per_shard = Array.make (List.length shard_names) 0 in
+        for k = 0 to requests_per_client - 1 do
+          let digest, tau =
+            pairs.(((idx * requests_per_client) + k) mod Array.length pairs)
+          in
+          let owner = shard_index (Ring.owner ring digest) in
+          per_shard.(owner) <- per_shard.(owner) + 1;
+          let t0 = Clock.now_ns () in
+          let reply = Router.handle router (solve_env digest tau) in
+          latencies.(k) <- Clock.seconds_since t0;
+          if Protocol.response_ok reply then begin
+            match Option.bind (Json.member "cached" reply) Json.to_bool_opt with
+            | Some true -> incr hits
+            | Some false | None -> ()
+          end
+          else incr errors
+        done;
+        (latencies, !hits, !errors, per_shard))
+  in
+  let t_run = Clock.now_ns () in
+  let per_client = List.map Domain.join (List.init num_clients run_client) in
+  let wall_s = Clock.seconds_since t_run in
+  let latencies =
+    Array.concat (List.map (fun (ls, _, _, _) -> ls) per_client)
+  in
+  let hits = List.fold_left (fun a (_, h, _, _) -> a + h) 0 per_client in
+  let errors = List.fold_left (fun a (_, _, e, _) -> a + e) 0 per_client in
+  let per_shard = Array.make (List.length shard_names) 0 in
+  List.iter
+    (fun (_, _, _, ps) ->
+      Array.iteri (fun i n -> per_shard.(i) <- per_shard.(i) + n) ps)
+    per_client;
+  Array.sort compare latencies;
+  let pct p =
+    let n = Array.length latencies in
+    latencies.(min (n - 1) (max 0 (int_of_float (ceil (p *. float_of_int n)) - 1)))
+  in
+  let total_requests = num_clients * requests_per_client in
+  let requests_per_s = float_of_int total_requests /. wall_s in
+  (* Resync: a cold follower pulls shard 0's whole journal through the
+     faulty link (its very first connection is reset mid-stream). *)
+  let s0 = shards.(0) in
+  let target = Service.journal_last_index s0.bs_leader in
+  let resync_records = Option.value target ~default:0 in
+  let cold =
+    Service.create
+      ~config:(journaled (Filename.concat base "resync"))
+      ~role:Service.Follower ()
+  in
+  let rstop = Atomic.make false in
+  let t_resync = Clock.now_ns () in
+  let rdom =
+    Domain.spawn (fun () ->
+        Replication.follow ~reconnect_ms:20. ~service:cold
+          ~stop:(fun () -> Atomic.get rstop)
+          s0.bs_dial)
+  in
+  wait_until ~what:"cold follower resync" (fun () ->
+      Service.journal_last_index cold = target);
+  let resync_s = Clock.seconds_since t_resync in
+  Atomic.set rstop true;
+  Domain.join rdom;
+  Service.close cold;
+  let faulty_conns =
+    match s0.bs_proxy with Some p -> Faulty.connections p | None -> 0
+  in
+  let injected = (faulty_conns + fault_every - 1) / fault_every in
+  (* Tear the cluster down: drain the six servers, stop the follow
+     loops, then the hubs and the proxy. *)
+  let shutdown addr =
+    match
+      Client.with_connection addr (fun c ->
+          Client.request c (Json.Obj [ ("req", Json.String "shutdown") ]))
+    with
+    | Ok _ | Error _ -> ()
+  in
+  Array.iter
+    (fun s ->
+      shutdown s.bs_leader_addr;
+      shutdown s.bs_follower_addr)
+    shards;
+  Array.iter
+    (fun s ->
+      Domain.join s.bs_leader_dom;
+      Domain.join s.bs_follower_dom;
+      Atomic.set s.bs_stop true;
+      Domain.join s.bs_follow;
+      Replication.stop_leader s.bs_hub;
+      Option.iter Faulty.stop s.bs_proxy;
+      Service.close s.bs_leader;
+      Service.close s.bs_follower)
+    shards;
+  let cluster_table =
+    Table.create
+      [
+        ("digests", Table.Right);
+        ("requests", Table.Right);
+        ("errors", Table.Right);
+        ("cache hits", Table.Right);
+        ("req/s", Table.Right);
+        ("p50 ms", Table.Right);
+        ("p99 ms", Table.Right);
+      ]
+  in
+  Table.add_row cluster_table
+    [
+      string_of_int (List.length digests);
+      string_of_int total_requests;
+      string_of_int errors;
+      Printf.sprintf "%d/%d" hits total_requests;
+      Table.cell_float ~decimals:1 requests_per_s;
+      Table.cell_float ~decimals:3 (pct 0.50 *. 1e3);
+      Table.cell_float ~decimals:3 (pct 0.99 *. 1e3);
+    ];
+  Table.print cluster_table;
+  let shard_table =
+    Table.create
+      [
+        ("shard", Table.Left);
+        ("digests", Table.Right);
+        ("requests", Table.Right);
+        ("journal records", Table.Right);
+        ("replication link", Table.Left);
+      ]
+  in
+  Array.iteri
+    (fun i s ->
+      Table.add_row shard_table
+        [
+          s.bs_name;
+          string_of_int
+            (List.length
+               (List.filter (fun (d, _) -> Ring.owner ring d = s.bs_name) digests));
+          string_of_int per_shard.(i);
+          string_of_int
+            (Option.value (Service.journal_last_index s.bs_leader) ~default:0);
+          (if s.bs_proxy = None then "clean"
+           else Printf.sprintf "1-in-%d reset" fault_every);
+        ])
+    shards;
+  Table.print shard_table;
+  Printf.printf
+    "cold follower resync through the faulty link: %d records in %.1f ms \
+     (%d replication connections, %d reset)\n"
+    resync_records (resync_s *. 1e3) faulty_conns injected;
+  mkdir_p out_dir;
+  let json_path = Filename.concat out_dir "BENCH_serve_cluster.json" in
+  let oc = open_out json_path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"scenario\": \"serve_cluster\",\n\
+    \  \"version\": %S,\n\
+    \  \"trace_seed\": %d,\n\
+    \  \"trace\": \"spotify\",\n\
+    \  \"scale\": %g,\n\
+    \  \"topology\": { \"shards\": %d, \"replicas_per_shard\": 2,\n\
+    \    \"digests\": %d, \"vnodes\": %d },\n\
+    \  \"clients\": %d,\n\
+    \  \"requests\": %d,\n\
+    \  \"errors\": %d,\n\
+    \  \"cache_hits\": %d,\n\
+    \  \"wall_s\": %.6f,\n\
+    \  \"requests_per_s\": %.2f,\n\
+    \  \"latency_ms\": { \"p50\": %.4f, \"p99\": %.4f },\n\
+    \  \"per_shard_requests\": { \"s0\": %d, \"s1\": %d, \"s2\": %d },\n\
+    \  \"replication\": { \"fault_every\": %d, \"faulty_link_connections\": %d,\n\
+    \    \"injected_resets\": %d, \"resync_records\": %d, \"resync_ms\": %.3f }\n\
+     }\n"
+    (Mcss_serve.Build_info.to_string ())
+    seeds.trace_seed spotify_scale (List.length shard_names)
+    (List.length digests) Router.default_config.Router.vnodes num_clients
+    total_requests errors hits wall_s requests_per_s
+    (pct 0.50 *. 1e3)
+    (pct 0.99 *. 1e3)
+    per_shard.(0) per_shard.(1) per_shard.(2) fault_every faulty_conns injected
+    resync_records (resync_s *. 1e3);
+  close_out oc;
+  rm_rf base;
+  Printf.printf "wrote %s\n" json_path
+
 (* The incremental engine against cold re-solves: a 1k-delta churn
    stream folded one small batch at a time into a live engine on the
    large Spotify trace, with a cold Solver.solve sampled periodically on
@@ -1765,7 +2222,8 @@ let all_sections =
     "fig1"; "fig2a"; "fig2b"; "fig3a"; "fig3b"; "fig4"; "fig5"; "fig6"; "fig7";
     "fig8-12"; "summary"; "ablate-stage1"; "ablate-stage2"; "ablate-dynamic";
     "ablate-failures"; "ablate-scaling"; "ablate-skew"; "ablate-budget"; "latency";
-    "resilience"; "obs"; "serve"; "serve-faults"; "engine"; "micro";
+    "resilience"; "obs"; "serve"; "serve-faults"; "serve-cluster"; "engine";
+    "micro";
   ]
 
 let run_bench sections spotify_scale twitter_scale trace_seed out_dir =
@@ -1847,6 +2305,8 @@ let run_bench sections spotify_scale twitter_scale trace_seed out_dir =
     serve_bench ~seeds ~spotify:(Lazy.force spotify) ~spotify_scale ~out_dir;
   if enabled "serve-faults" then
     serve_faults_bench ~seeds ~spotify:(Lazy.force spotify) ~spotify_scale ~out_dir;
+  if enabled "serve-cluster" then
+    serve_cluster_bench ~seeds ~spotify:(Lazy.force spotify) ~spotify_scale ~out_dir;
   if enabled "engine" then
     engine_bench ~seeds ~spotify:(Lazy.force spotify) ~spotify_scale ~out_dir;
   if enabled "micro" then micro ~seeds ();

@@ -36,6 +36,8 @@ module Serve_client = Mcss_serve.Client
 module Serve_journal = Mcss_serve.Journal
 module Serve_breaker = Mcss_serve.Breaker
 module Serve_retry = Mcss_serve.Retry
+module Serve_replication = Mcss_serve.Replication
+module Serve_router = Mcss_serve.Router
 module Build_info = Mcss_serve.Build_info
 module Front = Mcss_front.Front
 module Engine = Mcss_engine.Engine
@@ -1029,9 +1031,24 @@ let serve_cmd =
   let quiet_arg =
     Arg.(value & flag & info [ "silent" ] ~doc:"No lifecycle logging.")
   in
+  let replicate_on_arg =
+    Arg.(value & opt (some string) None & info [ "replicate-on" ] ~docv:"ADDR"
+           ~doc:"Also stream the journal to followers on $(docv) (needs \
+                 --journal): each follower that connects is resynced and then \
+                 fed every subsequent append, so it can take over after this \
+                 process dies.")
+  in
+  let follow_arg =
+    Arg.(value & opt (some string) None & info [ "follow" ] ~docv:"ADDR"
+           ~doc:"Run as a follower of the leader replicating on $(docv) \
+                 (needs --journal): pull its journal stream, mirror it \
+                 locally, refuse $(b,update)s with $(b,not_leader), and serve \
+                 reads; a $(b,promote) query turns this replica into a leader \
+                 in place.")
+  in
   let run () listen cache_size max_in_flight workers max_request_bytes
       default_deadline preloads journal snapshot_every no_fsync breaker_failures
-      breaker_cooldown queue_depth start_degraded quiet =
+      breaker_cooldown queue_depth start_degraded replicate_on follow quiet =
     let ( let* ) r f = match r with Ok x -> f x | Error e -> `Error (false, e) in
     let* address = Serve_server.address_of_string listen in
     let* () = if cache_size >= 1 then Ok () else Error "--cache-size must be >= 1" in
@@ -1058,6 +1075,21 @@ let serve_cmd =
       | Some d when d < 1 -> Error "--queue-depth must be >= 1"
       | _ -> Ok ()
     in
+    let* () =
+      if (replicate_on <> None || follow <> None) && journal = None then
+        Error "--replicate-on and --follow need --journal DIR"
+      else Ok ()
+    in
+    let* replicate_address =
+      match replicate_on with
+      | None -> Ok None
+      | Some a -> Result.map Option.some (Serve_server.address_of_string a)
+    in
+    let* leader_address =
+      match follow with
+      | None -> Ok None
+      | Some a -> Result.map Option.some (Serve_server.address_of_string a)
+    in
     let config =
       {
         Serve_service.cache_capacity = cache_size;
@@ -1075,8 +1107,12 @@ let serve_cmd =
           };
       }
     in
+    let role =
+      if leader_address <> None then Serve_service.Follower
+      else Serve_service.Leader
+    in
     let* service =
-      match Serve_service.create ~config () with
+      match Serve_service.create ~config ~role () with
       | s -> Ok s
       | exception Unix.Unix_error (e, _, detail) ->
           Error
@@ -1094,7 +1130,9 @@ let serve_cmd =
         | exception Wio.Parse_error m -> die "%s: %s" path m)
       preloads;
     let log = if quiet then ignore else fun s -> Printf.printf "%s\n%!" s in
-    log (Printf.sprintf "mcss-plan-server %s" (Build_info.to_string ()));
+    log
+      (Printf.sprintf "mcss-plan-server %s (%s)" (Build_info.to_string ())
+         (Serve_service.role_to_string role));
     (match Serve_service.replay_stats service with
     | Some r ->
         log
@@ -1121,10 +1159,44 @@ let serve_cmd =
         log;
       }
     in
+    let serve () =
+      (* Leader side of replication binds its own listener before the
+         request socket; follower side pulls the leader's stream on a
+         spare domain until drain (or promotion, handled inside). *)
+      let leader_hub =
+        Option.map
+          (fun rep ->
+            log
+              (Printf.sprintf "mcss serve: replicating journal on %s"
+                 (Serve_server.address_to_string rep));
+            Serve_replication.start_leader ~service rep)
+          replicate_address
+      in
+      let stopped = Atomic.make false in
+      let follower =
+        Option.map
+          (fun leader ->
+            log
+              (Printf.sprintf "mcss serve: following leader at %s"
+                 (Serve_server.address_to_string leader));
+            Domain.spawn (fun () ->
+                Serve_replication.follow ~service
+                  ~stop:(fun () ->
+                    Atomic.get stopped || Serve_service.draining service)
+                  leader))
+          leader_address
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Atomic.set stopped true;
+          Option.iter Serve_replication.stop_leader leader_hub;
+          Option.iter Domain.join follower)
+        (fun () -> Serve_server.run ~config:sconfig service address)
+    in
     match
       Fun.protect
         ~finally:(fun () -> Serve_service.close service)
-        (fun () -> Serve_server.run ~config:sconfig service address)
+        serve
     with
     | () -> `Ok ()
     | exception Unix.Unix_error (e, _, detail) ->
@@ -1142,7 +1214,190 @@ let serve_cmd =
         (const run $ setup_logs_term $ listen_arg $ cache_size_arg $ max_in_flight_arg
         $ workers_arg $ max_request_bytes_arg $ default_deadline_arg $ preload_arg
         $ journal_arg $ snapshot_every_arg $ no_fsync_arg $ breaker_failures_arg
-        $ breaker_cooldown_arg $ queue_depth_arg $ start_degraded_arg $ quiet_arg))
+        $ breaker_cooldown_arg $ queue_depth_arg $ start_degraded_arg
+        $ replicate_on_arg $ follow_arg $ quiet_arg))
+
+(* ----- route ----- *)
+
+let route_cmd =
+  let listen_arg =
+    Arg.(value & opt string "unix:mcss-route.sock" & info [ "l"; "listen" ]
+           ~docv:"ADDR"
+           ~doc:"Listen address: $(b,unix:PATH), $(b,HOST:PORT), $(b,:PORT) or \
+                 a bare port.")
+  in
+  let shard_arg =
+    Arg.(non_empty & opt_all string [] & info [ "shard" ] ~docv:"SPEC"
+           ~doc:"One shard as $(b,NAME=ADDR)[$(b,,ADDR)...] (repeatable). The \
+                 first address is the leader, the rest are followers tried \
+                 when it is unreachable.")
+  in
+  let vnodes_arg =
+    Arg.(value & opt int Serve_router.default_config.Serve_router.vnodes
+         & info [ "vnodes" ] ~docv:"N"
+           ~doc:"Virtual ring points per shard.")
+  in
+  let health_period_arg =
+    Arg.(value & opt float Serve_router.default_config.Serve_router.health_period_s
+         & info [ "health-period-s" ] ~docv:"S"
+           ~doc:"Member health-probe cadence in seconds.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "silent" ] ~doc:"No lifecycle logging.")
+  in
+  let run () listen shards vnodes health_period quiet =
+    let ( let* ) r f = match r with Ok x -> f x | Error e -> `Error (false, e) in
+    let* address = Serve_server.address_of_string listen in
+    let* () = if vnodes >= 1 then Ok () else Error "--vnodes must be >= 1" in
+    let* () =
+      if health_period > 0. then Ok ()
+      else Error "--health-period-s must be positive"
+    in
+    let parse_spec spec =
+      match String.index_opt spec '=' with
+      | None | Some 0 ->
+          Error (Printf.sprintf "--shard %s: expected NAME=ADDR[,ADDR...]" spec)
+      | Some i ->
+          let name = String.sub spec 0 i in
+          let rest = String.sub spec (i + 1) (String.length spec - i - 1) in
+          let rec addresses acc = function
+            | [] -> Ok (List.rev acc)
+            | a :: tl -> (
+                match Serve_server.address_of_string a with
+                | Ok addr ->
+                    addresses ({ Serve_router.name = a; address = addr } :: acc) tl
+                | Error m -> Error (Printf.sprintf "--shard %s: %s" spec m))
+          in
+          let parts =
+            List.filter (fun s -> s <> "") (String.split_on_char ',' rest)
+          in
+          if parts = [] then
+            Error (Printf.sprintf "--shard %s: no member addresses" spec)
+          else
+            Result.map
+              (fun members -> { Serve_router.shard_name = name; members })
+              (addresses [] parts)
+    in
+    let rec parse_all acc = function
+      | [] -> Ok (List.rev acc)
+      | s :: tl -> (
+          match parse_spec s with
+          | Ok shard -> parse_all (shard :: acc) tl
+          | Error _ as e -> e)
+    in
+    let* shards = parse_all [] shards in
+    let log = if quiet then ignore else fun s -> Printf.printf "%s\n%!" s in
+    let config =
+      {
+        Serve_router.default_config with
+        Serve_router.vnodes;
+        health_period_s = health_period;
+        log;
+      }
+    in
+    let* router =
+      match Serve_router.create ~config shards with
+      | r -> Ok r
+      | exception Invalid_argument m -> Error m
+    in
+    log (Printf.sprintf "mcss-plan-router %s" (Build_info.to_string ()));
+    List.iter
+      (fun s ->
+        log
+          (Printf.sprintf "mcss route: shard %s -> %s" s.Serve_router.shard_name
+             (String.concat ", "
+                (List.map (fun m -> m.Serve_router.name) s.Serve_router.members))))
+      shards;
+    let server_config = { Serve_server.default_config with Serve_server.log } in
+    match Serve_router.run ~server_config router address with
+    | () -> `Ok ()
+    | exception Unix.Unix_error (e, _, detail) ->
+        `Error
+          (false,
+           Printf.sprintf "cannot route on %s: %s%s" listen (Unix.error_message e)
+             (if detail = "" then "" else " (" ^ detail ^ ")"))
+  in
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:"Run the shard router: forward queries to the owning shard's \
+             leader by workload digest, fail over to followers, and shed with \
+             $(b,no_quorum) when a whole shard is down")
+    Term.(
+      ret
+        (const run $ setup_logs_term $ listen_arg $ shard_arg $ vnodes_arg
+        $ health_period_arg $ quiet_arg))
+
+(* ----- journal ----- *)
+
+let journal_cmd =
+  let dir_arg =
+    Arg.(required & opt (some string) None & info [ "dir" ] ~docv:"DIR"
+           ~doc:"Journal directory (as given to $(b,mcss serve --journal)).")
+  in
+  let seek_arg =
+    Arg.(value & opt (some int) None & info [ "seek" ] ~docv:"N"
+           ~doc:"Point-in-time replay: apply only the first $(docv) recovered \
+                 records (snapshot records first, then the WAL) instead of \
+                 all of them.")
+  in
+  let run () dir seek =
+    let ( let* ) r f = match r with Ok x -> f x | Error e -> `Error (false, e) in
+    let* () =
+      match seek with
+      | Some n when n < 0 -> Error "--seek must be >= 0"
+      | _ -> Ok ()
+    in
+    let config =
+      {
+        Serve_service.default_config with
+        Serve_service.journal =
+          Some { Serve_journal.dir; fsync = false; snapshot_every = 0 };
+      }
+    in
+    let* service =
+      match Serve_service.create ~config ?replay_to:seek () with
+      | s -> Ok s
+      | exception Unix.Unix_error (e, _, detail) ->
+          Error
+            (Printf.sprintf "cannot open journal: %s%s" (Unix.error_message e)
+               (if detail = "" then "" else " (" ^ detail ^ ")"))
+      | exception Sys_error m -> Error ("cannot open journal: " ^ m)
+    in
+    Fun.protect
+      ~finally:(fun () -> Serve_service.close service)
+      (fun () ->
+        let last =
+          Option.value ~default:0 (Serve_service.journal_last_index service)
+        in
+        (match Serve_service.replay_stats service with
+        | None -> Printf.printf "journal %s: empty (last index 0)\n" dir
+        | Some r ->
+            let applied =
+              r.Serve_service.workloads_recovered + r.Serve_service.plans_recovered
+              + r.Serve_service.updates_replayed + r.Serve_service.records_skipped
+            in
+            Printf.printf "journal %s: last index %d\n" dir last;
+            (match seek with
+            | Some n ->
+                Printf.printf "replayed %d of %d records (--seek %d)\n" applied
+                  last n
+            | None -> Printf.printf "replayed %d records\n" applied);
+            Printf.printf
+              "  %d workloads, %d plans, %d updates, %d skipped\n"
+              r.Serve_service.workloads_recovered r.Serve_service.plans_recovered
+              r.Serve_service.updates_replayed r.Serve_service.records_skipped;
+            Printf.printf
+              "  torn tail: %d bytes truncated, %d corrupt records, %d \
+               dropped frames\n"
+              r.Serve_service.wal_truncated_bytes r.Serve_service.corrupt_records
+              r.Serve_service.dropped_frames);
+        `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "journal"
+       ~doc:"Inspect a planning-service journal: replay it (optionally only a \
+             prefix, with $(b,--seek)) and print what was recovered")
+    Term.(ret (const run $ setup_logs_term $ dir_arg $ seek_arg))
 
 (* ----- query ----- *)
 
@@ -1156,8 +1411,8 @@ let query_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"VERB"
            ~doc:"One of $(b,health), $(b,load), $(b,solve), $(b,update), \
                  $(b,whatif), $(b,chaos), $(b,stats), $(b,metrics), \
-                 $(b,shutdown), or $(b,raw) (send the next positional \
-                 argument verbatim).")
+                 $(b,promote), $(b,shutdown), or $(b,raw) (send the next \
+                 positional argument verbatim).")
   in
   let deltas_arg =
     Arg.(value & opt (some string) None & info [ "deltas" ] ~docv:"FILE"
@@ -1243,6 +1498,7 @@ let query_cmd =
       | "stats" -> Ok (`Envelope Serve_protocol.Stats)
       | "metrics" -> Ok (`Envelope Serve_protocol.Metrics)
       | "shutdown" -> Ok (`Envelope Serve_protocol.Shutdown)
+      | "promote" -> Ok (`Envelope Serve_protocol.Promote)
       | "load" -> (
           match wfile with
           | None -> Error "load needs -w FILE (sent inline, content-addressed)"
@@ -1320,8 +1576,9 @@ let query_cmd =
           outcome.Serve_retry.result
     in
     (* Exit status: 0 on a full answer, 2 when the service degraded or
-       shed the request (retry later; see the protocol docs), 1 on hard
-       errors — so scripts can tell the three apart. *)
+       shed the request (retry later; see the protocol docs), 3 when a
+       whole shard was unreachable behind the router (no_quorum — page
+       someone), 1 on hard errors — so scripts can tell them apart. *)
     match result with
     | Error m -> die "%s" m
     | Ok reply ->
@@ -1356,6 +1613,7 @@ let query_cmd =
           print_endline (Serve_json.to_string reply);
           match code with
           | Some Serve_protocol.Degraded | Some Serve_protocol.Overloaded -> exit 2
+          | Some Serve_protocol.No_quorum -> exit 3
           | _ -> exit 1
         end
   in
@@ -1389,7 +1647,7 @@ let main_cmd =
     [
       generate_cmd; solve_cmd; lower_bound_cmd; analyze_cmd; simulate_cmd; update_cmd;
       budget_cmd; convert_cmd; export_lp_cmd; verify_cmd; chaos_cmd; profile_cmd;
-      serve_cmd; query_cmd; version_cmd;
+      serve_cmd; route_cmd; journal_cmd; query_cmd; version_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

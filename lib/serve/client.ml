@@ -98,18 +98,25 @@ let transient_reply reply =
   | _ -> None
 
 let call ?obs ?sleep ?(rng = Mcss_prng.Rng.create 0)
-    ?(policy = Retry.default_policy) address (env : Protocol.envelope) =
+    ?(policy = Retry.default_policy) ?route address (env : Protocol.envelope) =
   let replayable = Protocol.idempotent env.Protocol.request in
+  (* Each attempt re-resolves its target: by default the given address,
+     but a failover-aware caller (the router) plugs in [route] to point
+     the retry at a different member — a mid-reply disconnect used to be
+     retried against the very address that just died. *)
+  let route =
+    match route with Some f -> f | None -> fun ~attempt:_ -> address
+  in
   let env =
     match (env.Protocol.deadline_ms, policy.Retry.attempt_timeout_ms) with
     | None, Some ms -> { env with Protocol.deadline_ms = Some ms }
     | _ -> env
   in
-  Retry.run ?obs ?sleep ~rng ~policy (fun ~attempt:_ ->
+  Retry.run ?obs ?sleep ~rng ~policy (fun ~attempt ->
       (* A fresh connection per attempt: the previous one may be
          half-dead (reset mid-frame, server restarting). *)
       let attempt_result =
-        with_connection address (fun t ->
+        with_connection (route ~attempt) (fun t ->
             (match policy.Retry.attempt_timeout_ms with
             | Some ms -> receive_timeout t (ms /. 1000.)
             | None -> ());

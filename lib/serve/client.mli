@@ -29,6 +29,7 @@ val call :
   ?sleep:(float -> unit) ->
   ?rng:Mcss_prng.Rng.t ->
   ?policy:Retry.policy ->
+  ?route:(attempt:int -> Server.address) ->
   Server.address ->
   Protocol.envelope ->
   Json.t Retry.outcome
@@ -40,4 +41,10 @@ val call :
     {!Protocol.idempotent}; otherwise the first failure gives up.
     Other error replies (bad request, infeasible, degraded, ...) are
     final answers, returned [Ok] for the caller to inspect. [rng]
-    (default seed 0) drives the jittered backoff. *)
+    (default seed 0) drives the jittered backoff.
+
+    [route] re-resolves the target before {e every} attempt (it also
+    decides attempt 1's address; the positional address is only the
+    default when [route] is absent). The router uses it to redirect a
+    retry at a shard's follower after the leader dies mid-reply instead
+    of hammering the dead address. *)

@@ -13,6 +13,7 @@ type replay = {
   wal_records : int;
   truncated_bytes : int;
   corrupt_records : int;
+  dropped_frames : int;
 }
 
 (* ----- CRC-32 (IEEE 802.3 / zlib polynomial, table-driven) ----- *)
@@ -56,34 +57,56 @@ let frame payload =
   Bytes.blit_string payload 0 b header_bytes len;
   Bytes.unsafe_to_string b
 
-(* Scan the framed records of [path]. Returns the payloads in order plus
-   the byte offset just past the last good record and how many framing/
-   CRC failures stopped the scan (0 or 1 — the first failure ends it,
-   since nothing after an unsynchronised point can be trusted). *)
+(* Scan the framed records of [path]. Returns the payloads in order, the
+   byte offset just past the last good record, how many framing/CRC
+   failures stopped the scan (0 or 1 — the first failure ends recovery,
+   since nothing after an unsynchronised point can be trusted), and how
+   many frames the cut tail appears to hold. The dropped count is
+   best-effort forensics for replay stats: after the first failure we
+   keep walking frame headers (without trusting payloads) to estimate
+   how much history was lost; any unsynchronised remainder counts as one
+   more frame. *)
 let scan path =
   match open_in_bin path with
-  | exception Sys_error _ -> ([], 0, 0)
+  | exception Sys_error _ -> ([], 0, 0, 0)
   | ic ->
       Fun.protect
         ~finally:(fun () -> close_in_noerr ic)
         (fun () ->
           let total = in_channel_length ic in
           let header = Bytes.create header_bytes in
+          (* Count-only continuation past the first failure: follow frame
+             headers while they stay plausible, never recovering data. *)
+          let rec count_tail dropped pos =
+            if pos >= total then dropped
+            else if total - pos < header_bytes then dropped + 1
+            else begin
+              seek_in ic pos;
+              really_input ic header 0 header_bytes;
+              let len = Int32.to_int (Bytes.get_int32_le header 0) in
+              if len < 0 || len > max_record_bytes then dropped + 1
+              else if total - pos - header_bytes < len then dropped + 1
+              else count_tail (dropped + 1) (pos + header_bytes + len)
+            end
+          in
           let rec go acc good_end =
-            if total - good_end < header_bytes then (List.rev acc, good_end, 0)
+            if total - good_end < header_bytes then
+              let dropped = if total > good_end then 1 else 0 in
+              (List.rev acc, good_end, 0, dropped)
             else begin
               really_input ic header 0 header_bytes;
               let len = Int32.to_int (Bytes.get_int32_le header 0) in
               let crc = Bytes.get_int32_le header 4 in
               if len < 0 || len > max_record_bytes then
                 (* A garbage length: unsynchronised, cut here. *)
-                (List.rev acc, good_end, 1)
+                (List.rev acc, good_end, 1, count_tail 0 good_end)
               else if total - good_end - header_bytes < len then
                 (* Torn tail: the payload never fully made it to disk. *)
-                (List.rev acc, good_end, 0)
+                (List.rev acc, good_end, 0, 1)
               else
                 let payload = really_input_string ic len in
-                if crc32 payload <> crc then (List.rev acc, good_end, 1)
+                if crc32 payload <> crc then
+                  (List.rev acc, good_end, 1, count_tail 0 good_end)
                 else go (payload :: acc) (good_end + header_bytes + len)
             end
           in
@@ -98,13 +121,30 @@ type t = {
   mutable wal_fd : Unix.file_descr option;
   mutable wal_count : int;
   mutable snapshot_count : int;
+  mutable base : int;
+      (* Absolute index of the last record folded into the snapshot; the
+         WAL holds records [base+1 .. base+wal_count]. Persisted in
+         base.mcssj so indices survive restarts and snapshot folds. *)
 }
 
 let wal_path_of dir = Filename.concat dir "wal.mcssj"
 let snapshot_path_of dir = Filename.concat dir "snapshot.mcssj"
+let base_path_of dir = Filename.concat dir "base.mcssj"
 
 let wal_path t = wal_path_of t.config.dir
 let snapshot_path t = snapshot_path_of t.config.dir
+let base_path t = base_path_of t.config.dir
+
+let read_base dir =
+  match open_in_bin (base_path_of dir) with
+  | exception Sys_error _ -> 0
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match int_of_string_opt (String.trim (input_line ic)) with
+          | Some n when n >= 0 -> n
+          | Some _ | None | (exception End_of_file) -> 0)
 
 let rec mkdir_p dir =
   if dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
@@ -141,8 +181,12 @@ let count c name help n =
 let open_ ?obs config =
   let obs = match obs with Some r -> r | None -> Registry.noop in
   mkdir_p config.dir;
-  let snap_records, _snap_end, snap_corrupt = scan (snapshot_path_of config.dir) in
-  let wal_records, wal_end, wal_corrupt = scan (wal_path_of config.dir) in
+  let snap_records, _snap_end, snap_corrupt, snap_dropped =
+    scan (snapshot_path_of config.dir)
+  in
+  let wal_records, wal_end, wal_corrupt, wal_dropped =
+    scan (wal_path_of config.dir)
+  in
   (* Cut the torn/corrupt tail off the WAL so the next append starts at
      a clean frame boundary. *)
   let wal = wal_path_of config.dir in
@@ -168,6 +212,7 @@ let open_ ?obs config =
       wal_fd = Some wal_fd;
       wal_count = List.length wal_records;
       snapshot_count = 0;
+      base = read_base config.dir;
     }
   in
   let replay =
@@ -177,6 +222,7 @@ let open_ ?obs config =
       wal_records = List.length wal_records;
       truncated_bytes = max 0 truncated_bytes;
       corrupt_records = snap_corrupt + wal_corrupt;
+      dropped_frames = snap_dropped + wal_dropped;
     }
   in
   count obs "serve.journal.replay.records" "Records recovered at startup"
@@ -185,6 +231,8 @@ let open_ ?obs config =
     "Torn WAL tail bytes cut at startup" replay.truncated_bytes;
   count obs "serve.journal.replay.corrupt_records"
     "CRC/framing failures hit during replay" replay.corrupt_records;
+  count obs "serve.journal.replay.dropped_frames"
+    "Frames lost to the cut tail at startup" replay.dropped_frames;
   (t, replay)
 
 let locked t f =
@@ -218,33 +266,88 @@ let append t payload =
            "serve.journal.appends"))
 
 let wal_records t = locked t (fun () -> t.wal_count)
+let base_index t = locked t (fun () -> t.base)
+let last_index t = locked t (fun () -> t.base + t.wal_count)
 
 let snapshot_due t =
   locked t (fun () ->
       t.config.snapshot_every > 0 && t.wal_count >= t.config.snapshot_every)
 
+(* Both callers hold [t.lock]. Writes the new base index atomically; a
+   crash between the snapshot rename and this write only inflates the
+   apparent WAL span, which replication detects as a resync. *)
+let write_base_locked t base =
+  let tmp = base_path t ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      write_all fd (string_of_int base ^ "\n");
+      fsync_timed t fd);
+  Unix.rename tmp (base_path t);
+  fsync_dir t.config.dir;
+  t.base <- base
+
+(* Caller holds [t.lock]. *)
+let write_snapshot_locked t payloads =
+  let tmp = snapshot_path t ^ ".tmp" in
+  let snap_fd =
+    Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close snap_fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      List.iter (fun p -> write_all snap_fd (frame p)) payloads;
+      fsync_timed t snap_fd);
+  Unix.rename tmp (snapshot_path t);
+  fsync_dir t.config.dir
+
+(* Caller holds [t.lock]. *)
+let truncate_wal_locked t =
+  let fd = live t in
+  Unix.ftruncate fd 0;
+  if t.config.fsync then fsync_timed t fd;
+  t.wal_count <- 0;
+  t.snapshot_count <- t.snapshot_count + 1;
+  Counter.inc
+    (Registry.counter t.obs ~help:"Snapshot rewrites since start"
+       "serve.journal.snapshots")
+
 let snapshot t payloads =
   locked t (fun () ->
-      let fd = live t in
-      let tmp = snapshot_path t ^ ".tmp" in
-      let snap_fd =
-        Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
-      in
-      Fun.protect
-        ~finally:(fun () -> try Unix.close snap_fd with Unix.Unix_error _ -> ())
-        (fun () ->
-          List.iter (fun p -> write_all snap_fd (frame p)) payloads;
-          fsync_timed t snap_fd);
-      Unix.rename tmp (snapshot_path t);
-      fsync_dir t.config.dir;
+      let new_base = t.base + t.wal_count in
+      write_snapshot_locked t payloads;
+      write_base_locked t new_base;
       (* The WAL's contents are now folded into the snapshot. *)
-      Unix.ftruncate fd 0;
-      if t.config.fsync then fsync_timed t fd;
-      t.wal_count <- 0;
-      t.snapshot_count <- t.snapshot_count + 1;
-      Counter.inc
-        (Registry.counter t.obs ~help:"Snapshot rewrites since start"
-           "serve.journal.snapshots"))
+      truncate_wal_locked t)
+
+let install_snapshot t ~base payloads =
+  if base < 0 then invalid_arg "Journal.install_snapshot: negative base";
+  locked t (fun () ->
+      write_snapshot_locked t payloads;
+      write_base_locked t base;
+      truncate_wal_locked t)
+
+let read_from t ~index =
+  locked t (fun () ->
+      if index < t.base || index > t.base + t.wal_count then Error `Resync
+      else begin
+        (* Re-scan the WAL on disk: everything appended so far is there,
+           and we hold the lock so no append can race the scan. *)
+        let payloads, _, _, _ = scan (wal_path t) in
+        let rec drop n l =
+          if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl
+        in
+        let tail = drop (index - t.base) payloads in
+        Ok (List.mapi (fun i p -> (index + 1 + i, p)) tail)
+      end)
+
+let iter_from t ~index f =
+  match read_from t ~index with
+  | Error `Resync -> Error `Resync
+  | Ok records ->
+      List.iter (fun (i, p) -> f ~index:i p) records;
+      Ok (List.length records)
 
 let snapshots_taken t = locked t (fun () -> t.snapshot_count)
 

@@ -40,6 +40,12 @@ type replay = {
   wal_records : int;
   truncated_bytes : int;  (** Torn tail cut off the WAL. *)
   corrupt_records : int;  (** Framing/CRC failures hit during replay. *)
+  dropped_frames : int;
+      (** Best-effort count of whole frames lost to the cut tail: the
+          scan keeps following frame headers past the first failure
+          (without trusting their payloads) and counts any
+          unsynchronised remainder as one more frame. [0] on a clean
+          log. *)
 }
 
 type t
@@ -66,16 +72,70 @@ val snapshot : t -> string list -> unit
 
 val snapshots_taken : t -> int
 
+(** {2 Record indices}
+
+    Every record appended to the journal has a dense, monotonically
+    increasing absolute index starting at 1. [DIR/base.mcssj] persists
+    the index of the last record folded into the snapshot, so indices
+    survive both restarts and snapshot folds; the WAL always holds
+    records [base_index + 1 .. last_index]. Replication uses these
+    indices to negotiate incremental resync: a follower reports its
+    [last_index] and the leader streams the missing suffix when it still
+    has it in its WAL, or ships a full snapshot otherwise. *)
+
+val base_index : t -> int
+(** Index of the last record folded into the snapshot ([0] before any
+    fold). *)
+
+val last_index : t -> int
+(** Index of the most recently appended record:
+    [base_index t + wal_records t]. [0] on an empty journal. *)
+
+val read_from : t -> index:int -> ((int * string) list, [ `Resync ]) result
+(** [read_from t ~index] returns the WAL records strictly after absolute
+    index [index], each paired with its own absolute index, in order.
+    [Error `Resync] when the span is gone — [index < base_index t]
+    (folded into the snapshot) or [index > last_index t] (the caller is
+    ahead of this journal, e.g. after a divergent restart) — in which
+    case the caller must take a full snapshot instead. *)
+
+val iter_from :
+  t -> index:int -> (index:int -> string -> unit) -> (int, [ `Resync ]) result
+(** [iter_from t ~index f] applies [f] to each record {!read_from}
+    returns and yields how many records were visited. Same [`Resync]
+    contract as {!read_from}. *)
+
+val install_snapshot : t -> base:int -> string list -> unit
+(** Atomically replace this journal's entire contents with a full state
+    received from elsewhere (follower resync): writes the payloads as
+    the new snapshot, persists [base] as the new base index, and
+    truncates the WAL. After the call [last_index t = base]. The caller
+    owns the corresponding in-memory state reset. *)
+
 val wal_path : t -> string
 val snapshot_path : t -> string
 
 val close : t -> unit
 (** Idempotent. Appending after [close] raises [Sys_error]. *)
 
-(** {2 CRC-32}
+(** {2 Framing}
 
-    Exposed for tests and the fault-injection suite (corrupting a frame
-    deliberately requires computing what the good CRC would have been). *)
+    Exposed for tests, the fault-injection suite (corrupting a frame
+    deliberately requires computing what the good CRC would have been),
+    and {!Replication}, which reuses the on-disk framing as its wire
+    format. *)
 
 val crc32 : string -> int32
 (** IEEE 802.3 (zlib) CRC-32 of the whole string. *)
+
+val frame : string -> string
+(** [frame payload] is the on-disk/on-wire encoding of one record:
+    [<u32 LE length><u32 LE crc32><payload>]. Raises [Invalid_argument]
+    past {!max_record_bytes}. *)
+
+val header_bytes : int
+(** Frame header size in bytes (8). *)
+
+val max_record_bytes : int
+(** Upper bound on a single payload (256 MiB); larger lengths in a frame
+    header are treated as corruption. *)

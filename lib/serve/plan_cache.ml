@@ -85,6 +85,12 @@ let add c key value =
 
 let length c = locked c (fun () -> Hashtbl.length c.table)
 
+let clear c =
+  locked c (fun () ->
+      Hashtbl.reset c.table;
+      c.head <- None;
+      c.tail <- None)
+
 let to_list c =
   locked c (fun () ->
       (* Walk tail→head collecting MRU-first, then reverse to LRU-first:

@@ -27,6 +27,11 @@ val add : 'a t -> string -> 'a -> unit
 
 val length : 'a t -> int
 
+val clear : 'a t -> unit
+(** Drop every entry (hit/miss/eviction counters are kept — they count
+    since creation). A follower resetting to a leader's snapshot uses
+    this before replaying the received state. *)
+
 val to_list : 'a t -> (string * 'a) list
 (** Every entry, least recently used first, so [add]-ing them back in
     order reproduces the recency list. Snapshots use this to persist

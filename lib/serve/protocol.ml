@@ -24,6 +24,7 @@ type request =
     }
   | Stats
   | Metrics
+  | Promote
   | Shutdown
 
 type envelope = {
@@ -100,6 +101,7 @@ let decode j =
     | "health" -> Ok Health
     | "stats" -> Ok Stats
     | "metrics" -> Ok Metrics
+    | "promote" -> Ok Promote
     | "shutdown" -> Ok Shutdown
     | "load" -> (
         match (Json.member "workload" j, Json.member "path" j) with
@@ -185,6 +187,7 @@ let encode { id; deadline_ms; request } =
     | Health -> [ ("req", Json.String "health") ]
     | Stats -> [ ("req", Json.String "stats") ]
     | Metrics -> [ ("req", Json.String "metrics") ]
+    | Promote -> [ ("req", Json.String "promote") ]
     | Shutdown -> [ ("req", Json.String "shutdown") ]
     | Load (`Inline text) ->
         [ ("req", Json.String "load"); ("workload", Json.String text) ]
@@ -226,6 +229,8 @@ type error_code =
   | Draining
   | Infeasible
   | Degraded
+  | Not_leader
+  | No_quorum
   | Internal
 
 let error_code_to_string = function
@@ -237,6 +242,8 @@ let error_code_to_string = function
   | Draining -> "draining"
   | Infeasible -> "infeasible"
   | Degraded -> "degraded"
+  | Not_leader -> "not_leader"
+  | No_quorum -> "no_quorum"
   | Internal -> "internal"
 
 let error_code_of_string = function
@@ -248,6 +255,8 @@ let error_code_of_string = function
   | "draining" -> Some Draining
   | "infeasible" -> Some Infeasible
   | "degraded" -> Some Degraded
+  | "not_leader" -> Some Not_leader
+  | "no_quorum" -> Some No_quorum
   | "internal" -> Some Internal
   | _ -> None
 
@@ -283,7 +292,8 @@ let response_degraded j =
    reconnect-and-replay it and surfaces the failure to the caller
    instead. *)
 let idempotent = function
-  | Health | Load _ | Solve _ | Whatif _ | Chaos _ | Stats | Metrics | Shutdown ->
+  | Health | Load _ | Solve _ | Whatif _ | Chaos _ | Stats | Metrics | Promote
+  | Shutdown ->
       true
   | Update _ -> false
 

@@ -22,6 +22,7 @@
      "faults":["crash:0@0.6",...]?,...solve params...}
     {"req":"stats"}
     {"req":"metrics"}
+    {"req":"promote"}
     {"req":"shutdown"}
     v}
 
@@ -69,6 +70,10 @@ type request =
     }
   | Stats
   | Metrics
+  | Promote
+      (** Ask a follower to become leader: it stops pulling the
+          replication stream and starts accepting [update]s. A no-op on
+          a server that is already leading. *)
   | Shutdown
 
 type envelope = {
@@ -97,6 +102,14 @@ type error_code =
   | Degraded
       (** The solver circuit is open and no previously solved plan
           exists for this digest to degrade to. *)
+  | Not_leader
+      (** The mutating verb ([update]) was sent to a follower; retry
+          against the shard's leader (or promote the follower first). *)
+  | No_quorum
+      (** Router-side shed: every member of the owning shard is
+          unreachable. [mcss query] exits 3 on this code so scripts can
+          tell a whole-shard outage from a degraded reply (2) or a hard
+          error (1). *)
   | Internal  (** Unexpected server-side failure. *)
 
 val error_code_to_string : error_code -> string

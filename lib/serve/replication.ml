@@ -1,0 +1,480 @@
+module Registry = Mcss_obs.Registry
+module Counter = Mcss_obs.Metric.Counter
+
+(* ----- wire format -----
+
+   The follower drives. It connects to the leader's replication address
+   and sends one JSON hello line:
+
+     {"rep":"hello","last_index":N}
+
+   The leader answers with one JSON header line, then switches the
+   stream to binary CRC frames (the journal's own framing, one record
+   per frame):
+
+     {"ok":true,"mode":"tail","from":N}     records N+1, N+2, ... follow
+     {"ok":true,"mode":"reset","base":B,"records":K}
+                                            K full-state records follow,
+                                            then live records B+1, ...
+     {"ok":false,"message":...}             handshake refused
+
+   Indices never travel with the frames: records are dense and
+   monotonic, so the follower numbers them by counting from the
+   negotiated point. Any framing or CRC failure on either side simply
+   drops the connection — the follower's journal keeps only whole
+   verified frames, so the worst case is a truncated tail healed by the
+   next handshake. *)
+
+let rec eintr f = try f () with Unix.Unix_error (Unix.EINTR, _, _) -> eintr f
+
+(* Both sides write to sockets the peer may have torn or reset; a
+   broken pipe must surface as EPIPE, not kill the process. *)
+let ignore_sigpipe () =
+  match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+  | _ -> ()
+  | exception (Invalid_argument _ | Sys_error _) -> ()
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let len = Bytes.length b in
+  let rec go off =
+    if off < len then
+      let n = eintr (fun () -> Unix.write fd b off (len - off)) in
+      go (off + n)
+  in
+  go 0
+
+(* Read exactly [len] bytes. [`Stopped] when [stop] turned true while
+   the socket was idle at a frame boundary-or-not — the caller treats a
+   mid-frame stop as a dropped connection, never a half-applied one. *)
+let read_exactly ~stop fd buf len =
+  let rec go off =
+    if off >= len then `Ok
+    else
+      match Unix.read fd buf off (len - off) with
+      | 0 -> `Eof
+      | n -> go (off + n)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          if stop () then `Stopped else go off
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error _ -> `Eof
+  in
+  go 0
+
+(* One frame off the socket: [`Record payload] with the CRC verified, or
+   the reason the stream ended. *)
+let read_frame ~stop fd =
+  let header = Bytes.create Journal.header_bytes in
+  match read_exactly ~stop fd header Journal.header_bytes with
+  | (`Eof | `Stopped) as e -> e
+  | `Ok ->
+      let len = Int32.to_int (Bytes.get_int32_le header 0) in
+      let crc = Bytes.get_int32_le header 4 in
+      if len < 0 || len > Journal.max_record_bytes then `Corrupt
+      else
+        let payload = Bytes.create len in
+        (match read_exactly ~stop fd payload len with
+        | (`Eof | `Stopped) as e -> e
+        | `Ok ->
+            let payload = Bytes.unsafe_to_string payload in
+            if Journal.crc32 payload <> crc then `Corrupt else `Record payload)
+
+(* Read one newline-terminated line, byte-buffered, bounded. Used for
+   the two handshake lines only — after that the stream is frames. *)
+let read_line_bounded ~stop ?(limit = 1 lsl 20) fd =
+  let buf = Buffer.create 128 in
+  let one = Bytes.create 1 in
+  let rec go () =
+    if Buffer.length buf > limit then `Too_long
+    else
+      match Unix.read fd one 0 1 with
+      | 0 -> `Eof
+      | _ ->
+          let c = Bytes.get one 0 in
+          if c = '\n' then `Line (Buffer.contents buf)
+          else begin
+            Buffer.add_char buf c;
+            go ()
+          end
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          if stop () then `Stopped else go ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error _ -> `Eof
+  in
+  go ()
+
+let set_rcvtimeo fd seconds =
+  try Unix.setsockopt_float fd Unix.SO_RCVTIMEO seconds
+  with Unix.Unix_error _ | Invalid_argument _ -> ()
+
+(* ----- leader side ----- *)
+
+(* Per-follower fan-out queue, fed by the service's journal hook. The
+   hook must never block (it runs under the journal lock), so the queue
+   is bounded: a follower that cannot drain [queue_cap] records loses
+   the connection and resyncs, instead of back-pressuring the leader. *)
+let queue_cap = 1024
+
+type sub = {
+  q : (int * string) Queue.t;
+  m : Mutex.t;
+  cv : Condition.t;
+  mutable overflowed : bool;
+}
+
+type leader = {
+  service : Service.t;
+  listener : Unix.file_descr;
+  obs : Registry.t;
+  lock : Mutex.t;
+  mutable subs : sub list;
+  mutable closing : bool;
+  mutable conn_fds : Unix.file_descr list;
+  mutable conn_domains : unit Domain.t list;
+  mutable acceptor : unit Domain.t option;
+}
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let leader_closing t = locked t (fun () -> t.closing)
+
+let subscribe t =
+  let sub =
+    { q = Queue.create (); m = Mutex.create (); cv = Condition.create ();
+      overflowed = false }
+  in
+  locked t (fun () -> t.subs <- sub :: t.subs);
+  sub
+
+let unsubscribe t sub =
+  locked t (fun () -> t.subs <- List.filter (fun s -> s != sub) t.subs)
+
+(* Next queued record, or [None] once the leader is closing or the
+   queue overflowed (the connection must drop and the follower resync —
+   a partial queue after overflow would hide a gap). *)
+let rec sub_next t sub =
+  Mutex.lock sub.m;
+  let state =
+    if sub.overflowed then `Overflow
+    else match Queue.take_opt sub.q with
+      | Some r -> `Record r
+      | None -> `Empty
+  in
+  (match state with
+  | `Empty when not (leader_closing t) -> Condition.wait sub.cv sub.m
+  | _ -> ());
+  Mutex.unlock sub.m;
+  match state with
+  | `Record r -> Some r
+  | `Overflow -> None
+  | `Empty -> if leader_closing t then None else sub_next t sub
+
+let push_event t (Service.Appended { index; payload }) =
+  let subs = locked t (fun () -> t.subs) in
+  List.iter
+    (fun s ->
+      Mutex.lock s.m;
+      if Queue.length s.q >= queue_cap then s.overflowed <- true
+      else Queue.push (index, payload) s.q;
+      Condition.signal s.cv;
+      Mutex.unlock s.m)
+    subs
+
+let count t name help = Counter.inc (Registry.counter t.obs ~help name)
+
+(* Serve one follower connection to completion. *)
+let handle_follower t fd =
+  set_rcvtimeo fd 0.2;
+  let stop () = leader_closing t in
+  let hello =
+    match read_line_bounded ~stop fd with
+    | `Line line -> (
+        match Json.parse line with
+        | Ok j
+          when Json.member "rep" j
+               |> Fun.flip Option.bind Json.to_string_opt
+               = Some "hello" -> (
+            match
+              Json.member "last_index" j |> Fun.flip Option.bind Json.to_int_opt
+            with
+            | Some n when n >= 0 -> Ok n
+            | _ -> Error "hello carries no usable last_index")
+        | Ok _ -> Error "expected a {\"rep\":\"hello\",...} line"
+        | Error m -> Error ("unparseable hello: " ^ m))
+    | `Eof | `Stopped -> Error "connection ended before hello"
+    | `Too_long -> Error "hello line too long"
+  in
+  match hello with
+  | Error message ->
+      (try
+         write_all fd
+           (Json.to_string
+              (Json.Obj
+                 [ ("ok", Json.Bool false); ("message", Json.String message) ])
+           ^ "\n")
+       with Unix.Unix_error _ -> ())
+  | Ok follower_last ->
+      (* Subscribe before reading the journal: anything appended from
+         here on lands in the queue, anything before is on disk, and
+         the overlap is deduplicated by index below. *)
+      let sub = subscribe t in
+      Fun.protect
+        ~finally:(fun () -> unsubscribe t sub)
+        (fun () ->
+          let header, backlog, sent0 =
+            match Service.journal_read_from t.service ~index:follower_last with
+            | Ok records ->
+                count t "serve.replication.tails" "Incremental tail streams served";
+                ( Json.Obj
+                    [
+                      ("ok", Json.Bool true);
+                      ("mode", Json.String "tail");
+                      ("from", Json.Int follower_last);
+                    ],
+                  List.map snd records,
+                  match List.rev records with
+                  | (i, _) :: _ -> i
+                  | [] -> follower_last )
+            | Error `Resync ->
+                count t "serve.replication.resets" "Full snapshot streams served";
+                let base, payloads = Service.sync_state t.service in
+                ( Json.Obj
+                    [
+                      ("ok", Json.Bool true);
+                      ("mode", Json.String "reset");
+                      ("base", Json.Int base);
+                      ("records", Json.Int (List.length payloads));
+                    ],
+                  payloads,
+                  base )
+          in
+          match
+            write_all fd (Json.to_string header ^ "\n");
+            List.iter (fun p -> write_all fd (Journal.frame p)) backlog
+          with
+          | exception (Unix.Unix_error _ | Sys_error _) -> ()
+          | () ->
+              let rec tail sent =
+                match sub_next t sub with
+                | None -> ()
+                | Some (index, _) when index <= sent -> tail sent
+                | Some (index, payload) -> (
+                    match write_all fd (Journal.frame payload) with
+                    | () -> tail index
+                    | exception (Unix.Unix_error _ | Sys_error _) -> ())
+              in
+              tail sent0)
+
+let accept_loop t () =
+  let rec loop () =
+    if leader_closing t then ()
+    else begin
+      (match eintr (fun () -> Unix.select [ t.listener ] [] [] 0.1) with
+      | [ _ ], _, _ -> (
+          match Unix.accept t.listener with
+          | fd, _ ->
+              let d =
+                Domain.spawn (fun () ->
+                    Fun.protect
+                      ~finally:(fun () ->
+                        try Unix.close fd with Unix.Unix_error _ -> ())
+                      (fun () -> handle_follower t fd))
+              in
+              locked t (fun () ->
+                  t.conn_fds <- fd :: t.conn_fds;
+                  t.conn_domains <- d :: t.conn_domains)
+          | exception Unix.Unix_error _ -> ())
+      | _ -> ()
+      | exception Unix.Unix_error _ -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let start_leader ?obs ~service address =
+  ignore_sigpipe ();
+  let obs = match obs with Some r -> r | None -> Service.obs service in
+  (match Service.journal_last_index service with
+  | Some _ -> ()
+  | None ->
+      invalid_arg "Replication.start_leader: the leader needs a journal");
+  let listener = Server.bind_listener address ~backlog:16 in
+  let t =
+    {
+      service;
+      listener;
+      obs;
+      lock = Mutex.create ();
+      subs = [];
+      closing = false;
+      conn_fds = [];
+      conn_domains = [];
+      acceptor = None;
+    }
+  in
+  Service.set_journal_hook service (Some (push_event t));
+  t.acceptor <- Some (Domain.spawn (accept_loop t));
+  t
+
+let stop_leader t =
+  let first =
+    locked t (fun () ->
+        let f = not t.closing in
+        t.closing <- true;
+        f)
+  in
+  if first then begin
+    Service.set_journal_hook t.service None;
+    (try Unix.close t.listener with Unix.Unix_error _ -> ());
+    (match t.acceptor with Some d -> Domain.join d | None -> ());
+    let subs, fds, domains =
+      locked t (fun () -> (t.subs, t.conn_fds, t.conn_domains))
+    in
+    (* Wake blocked senders, then cut their sockets out from under them. *)
+    List.iter
+      (fun s ->
+        Mutex.lock s.m;
+        Condition.broadcast s.cv;
+        Mutex.unlock s.m)
+      subs;
+    List.iter
+      (fun fd ->
+        (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()))
+      fds;
+    List.iter Domain.join domains
+  end
+
+(* ----- follower side ----- *)
+
+let dial = function
+  | Server.Unix_socket path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_UNIX path)
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         raise e);
+      fd
+  | Server.Tcp (host, port) ->
+      let inet =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+          | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+          | _ -> raise (Unix.Unix_error (Unix.EINVAL, "getaddrinfo", host)))
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_INET (inet, port))
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         raise e);
+      fd
+
+(* One connection's worth of following: handshake, install the backlog,
+   then apply the live tail until something breaks. Returns why. *)
+let follow_once ~stop ~service fd =
+  set_rcvtimeo fd 0.2;
+  let last () = Option.value ~default:0 (Service.journal_last_index service) in
+  write_all fd
+    (Json.to_string
+       (Json.Obj
+          [ ("rep", Json.String "hello"); ("last_index", Json.Int (last ())) ])
+    ^ "\n");
+  let header =
+    match read_line_bounded ~stop fd with
+    | `Line line -> (
+        match Json.parse line with
+        | Ok j -> Ok j
+        | Error m -> Error ("unparseable header: " ^ m))
+    | `Eof -> Error "connection ended before header"
+    | `Stopped -> Error "stopped"
+    | `Too_long -> Error "header line too long"
+  in
+  let apply_stream () =
+    (* Dense records: each frame is the successor of the local journal's
+       last index. Any apply failure is a divergence — drop and resync. *)
+    let rec go () =
+      if stop () then `Stopped
+      else
+        match read_frame ~stop fd with
+        | `Eof -> `Eof
+        | `Stopped -> `Stopped
+        | `Corrupt -> `Corrupt
+        | `Record payload -> (
+            match
+              Service.apply_replicated service ~index:(last () + 1) payload
+            with
+            | Ok () -> go ()
+            | Error m -> `Apply_failed m)
+    in
+    go ()
+  in
+  match header with
+  | Error m -> `Handshake_failed m
+  | Ok j -> (
+      let str key = Json.member key j |> Fun.flip Option.bind Json.to_string_opt in
+      let int key = Json.member key j |> Fun.flip Option.bind Json.to_int_opt in
+      match (Json.member "ok" j |> Fun.flip Option.bind Json.to_bool_opt, str "mode") with
+      | Some true, Some "tail" -> apply_stream ()
+      | Some true, Some "reset" -> (
+          match (int "base", int "records") with
+          | Some base, Some k when base >= 0 && k >= 0 -> (
+              let rec collect acc n =
+                if n = 0 then `Ok (List.rev acc)
+                else
+                  match read_frame ~stop fd with
+                  | `Record p -> collect (p :: acc) (n - 1)
+                  | (`Eof | `Stopped | `Corrupt) as e -> e
+              in
+              match collect [] k with
+              | `Ok payloads -> (
+                  match Service.reset_to_snapshot service ~base payloads with
+                  | Ok () -> apply_stream ()
+                  | Error m -> `Apply_failed m)
+              | `Eof -> `Eof
+              | `Stopped -> `Stopped
+              | `Corrupt -> `Corrupt)
+          | _ -> `Handshake_failed "reset header missing base/records")
+      | _, _ -> (
+          match str "message" with
+          | Some m -> `Handshake_failed m
+          | None -> `Handshake_failed "leader refused the stream"))
+
+let follow ?obs ?(sleep = fun ms -> Unix.sleepf (ms /. 1000.))
+    ?(reconnect_ms = 200.) ~service ~stop leader =
+  ignore_sigpipe ();
+  let obs = match obs with Some r -> r | None -> Service.obs service in
+  let stop () = stop () || Service.role service = Service.Leader in
+  let count name help = Counter.inc (Registry.counter obs ~help name) in
+  let rec loop () =
+    if stop () then ()
+    else begin
+      (match dial leader with
+      | exception Unix.Unix_error _ ->
+          count "serve.replication.connect_failures"
+            "Follower dials that could not reach the leader"
+      | fd ->
+          count "serve.replication.connects" "Follower connections established";
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              match follow_once ~stop ~service fd with
+              | exception (Unix.Unix_error _ | Sys_error _) ->
+                  count "serve.replication.stream_errors"
+                    "Replication streams dropped on a transport error"
+              | `Stopped -> ()
+              | `Eof | `Corrupt ->
+                  count "serve.replication.stream_errors"
+                    "Replication streams dropped on a transport error"
+              | `Handshake_failed _ ->
+                  count "serve.replication.handshake_failures"
+                    "Replication handshakes refused or unparseable"
+              | `Apply_failed _ ->
+                  count "serve.replication.apply_failures"
+                    "Replicated records that failed to apply (resync follows)"));
+      if not (stop ()) then sleep reconnect_ms;
+      loop ()
+    end
+  in
+  loop ()

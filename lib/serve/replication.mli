@@ -1,0 +1,57 @@
+(** Journal streaming between a shard's leader and its followers.
+
+    The leader exposes its journal on a dedicated replication address;
+    each follower connects, names the last absolute record index it has
+    ({!Journal.last_index}), and receives either the missing tail of
+    the WAL or — when its index falls outside the leader's WAL span — a
+    full {!Service.sync_state} snapshot, then the live stream of every
+    subsequent append. Records travel in the journal's own CRC frames;
+    the follower verifies each frame, applies it through the same
+    replay path a restart uses ({!Service.apply_replicated}), and
+    mirrors it into its own journal. After [kill -9] of the leader, a
+    promoted follower therefore answers an already-solved [solve] as a
+    cache hit with the leader's bit-identical [plan_digest].
+
+    {b Fault behaviour.} The stream has no acknowledgements and no
+    repair: a torn frame, CRC mismatch, RST, or gap simply drops the
+    connection. Follower state is only ever advanced by whole verified
+    frames, so every fault degenerates to "reconnect and resync from my
+    last index" — follower corruption is structurally impossible, which
+    is what the {!Faulty}-driven replication test suite pins down. A
+    follower too slow to drain the leader's bounded fan-out queue is
+    disconnected the same way and picks up where it left off. *)
+
+(** {1 Leader side} *)
+
+type leader
+
+val start_leader :
+  ?obs:Mcss_obs.Registry.t -> service:Service.t -> Server.address -> leader
+(** Bind the replication listener and start streaming: hooks the
+    service's journal ({!Service.set_journal_hook}) and serves each
+    follower connection on its own domain. The service must have a
+    journal ([Invalid_argument] otherwise). [obs] defaults to the
+    service's registry and receives [serve.replication.*] counters.
+    Raises [Unix.Unix_error] when the address cannot be bound. *)
+
+val stop_leader : leader -> unit
+(** Unhook the journal, close the listener and every follower stream,
+    and join all domains. Idempotent. *)
+
+(** {1 Follower side} *)
+
+val follow :
+  ?obs:Mcss_obs.Registry.t ->
+  ?sleep:(float -> unit) ->
+  ?reconnect_ms:float ->
+  service:Service.t ->
+  stop:(unit -> bool) ->
+  Server.address ->
+  unit
+(** Pull the leader's stream into [service] until [stop ()] turns true
+    or the service is {!Service.promote}d (checked continuously, also
+    while blocked on the socket). Reconnects with a fixed [reconnect_ms]
+    pause (default 200) after any connection failure, stream fault, or
+    apply failure — each reconnect renegotiates from the follower's own
+    [last_index], so faults cost at most a resync. Runs in the calling
+    domain; spawn one for it. *)

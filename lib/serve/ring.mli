@@ -1,0 +1,28 @@
+(** A consistent-hash ring mapping workload digests to shards.
+
+    The router shards the planning cluster by content digest: every
+    digest-bearing request ([solve], [update], [whatif], [chaos]) and
+    every [load] (hashed by the workload's canonical content) lands on
+    the shard that owns the digest's ring position, so a workload and
+    all of its plans live together and the plan cache of each shard
+    stays disjoint. Each shard contributes [vnodes] virtual points, so
+    load splits near-evenly and resharding moves only the arc owned by
+    the shard that changed. *)
+
+type t
+
+val create : ?vnodes:int -> string list -> t
+(** [create shards] builds the ring over the given shard names
+    ([vnodes] points each, default 64). Raises [Invalid_argument] on an
+    empty or duplicate-bearing list, or [vnodes < 1]. Deterministic:
+    the same names yield the same ring in any order. *)
+
+val owner : t -> string -> string
+(** [owner t key] is the shard owning [key] (the first ring point
+    clockwise from [key]'s hash). Total — any string has an owner. *)
+
+val shards : t -> string list
+(** The shard names, in the order given to {!create}. *)
+
+val points : t -> int
+(** Total virtual points ([shards * vnodes]); exposed for tests. *)

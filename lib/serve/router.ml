@@ -1,0 +1,351 @@
+module Workload = Mcss_workload.Workload
+module Wio = Mcss_workload.Wio
+module Registry = Mcss_obs.Registry
+module Counter = Mcss_obs.Metric.Counter
+module Rng = Mcss_prng.Rng
+
+type member = { name : string; address : Server.address }
+type shard = { shard_name : string; members : member list }
+
+type config = {
+  vnodes : int;
+  health_period_s : float;
+  policy : Retry.policy;
+  log : string -> unit;
+}
+
+let default_config =
+  {
+    vnodes = 64;
+    health_period_s = 1.;
+    policy =
+      {
+        Retry.max_attempts = 4;
+        base_ms = 25.;
+        cap_ms = 500.;
+        attempt_timeout_ms = Some 5000.;
+      };
+    log = ignore;
+  }
+
+type t = {
+  config : config;
+  obs : Registry.t;
+  ring : Ring.t;
+  shards : (string, shard) Hashtbl.t;
+  rng : Rng.t;
+  lock : Mutex.t;  (** Guards [health], [rng], and the mutable flags. *)
+  health : (string, bool) Hashtbl.t;  (* "shard/member" -> last probe ok *)
+  mutable draining : bool;
+  mutable forwarded : int;
+  mutable health_domain : unit Domain.t option;
+}
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let member_key shard m = shard.shard_name ^ "/" ^ m.name
+
+let create ?obs ?(config = default_config) ?(seed = 0) shards =
+  if shards = [] then invalid_arg "Router.create: no shards";
+  List.iter
+    (fun s ->
+      if s.members = [] then
+        invalid_arg
+          (Printf.sprintf "Router.create: shard %S has no members" s.shard_name))
+    shards;
+  let obs = match obs with Some r -> r | None -> Registry.create () in
+  let ring = Ring.create ~vnodes:config.vnodes (List.map (fun s -> s.shard_name) shards) in
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun s -> Hashtbl.replace tbl s.shard_name s) shards;
+  let health = Hashtbl.create 16 in
+  List.iter
+    (fun s -> List.iter (fun m -> Hashtbl.replace health (member_key s m) true) s.members)
+    shards;
+  {
+    config;
+    obs;
+    ring;
+    shards = tbl;
+    rng = Rng.create seed;
+    lock = Mutex.create ();
+    health;
+    draining = false;
+    forwarded = 0;
+    health_domain = None;
+  }
+
+let draining t = locked t (fun () -> t.draining)
+let obs t = t.obs
+
+let set_health t shard m up =
+  locked t (fun () -> Hashtbl.replace t.health (member_key shard m) up)
+
+let healthy t shard m =
+  locked t (fun () ->
+      Option.value ~default:true (Hashtbl.find_opt t.health (member_key shard m)))
+
+(* ----- health checking ----- *)
+
+let probe_policy =
+  {
+    Retry.max_attempts = 1;
+    base_ms = 10.;
+    cap_ms = 10.;
+    attempt_timeout_ms = Some 1000.;
+  }
+
+let probe_member t shard m =
+  let env =
+    { Protocol.id = None; deadline_ms = None; request = Protocol.Health }
+  in
+  let rng = locked t (fun () -> Rng.create (Rng.int t.rng 0x3FFFFFFF)) in
+  let outcome = Client.call ~rng ~policy:probe_policy m.address env in
+  let up = match outcome.Retry.result with Ok _ -> true | Error _ -> false in
+  set_health t shard m up;
+  up
+
+let probe_all t =
+  Hashtbl.iter
+    (fun _ shard -> List.iter (fun m -> ignore (probe_member t shard m)) shard.members)
+    t.shards
+
+let health_loop t () =
+  let rec loop () =
+    if draining t then ()
+    else begin
+      probe_all t;
+      (* Sleep in small ticks so drain is prompt. *)
+      let rec nap left =
+        if left > 0. && not (draining t) then begin
+          Unix.sleepf (Float.min 0.1 left);
+          nap (left -. 0.1)
+        end
+      in
+      nap t.config.health_period_s;
+      loop ()
+    end
+  in
+  loop ()
+
+let start_health_checks t =
+  locked t (fun () ->
+      match t.health_domain with
+      | Some _ -> ()
+      | None -> t.health_domain <- Some (Domain.spawn (health_loop t)))
+
+let join_health_checks t =
+  match locked t (fun () -> t.health_domain) with
+  | Some d ->
+      Domain.join d;
+      locked t (fun () -> t.health_domain <- None)
+  | None -> ()
+
+(* ----- forwarding ----- *)
+
+let count t name help = Counter.inc (Registry.counter t.obs ~help name)
+
+let no_quorum t ~id shard =
+  count t "serve.router.no_quorum" "Requests shed because a whole shard was down";
+  Protocol.error_response ~id ~code:Protocol.No_quorum
+    ~message:
+      (Printf.sprintf "shard %s: no member reachable" shard.shard_name)
+    ()
+
+(* Candidate order for an idempotent request: leader first (its cache is
+   authoritative and it can solve cold misses), then followers, with
+   members that failed their last health probe pushed to the back —
+   still tried, because a probe can be stale in either direction. *)
+let candidates t shard =
+  let up, down = List.partition (fun m -> healthy t shard m) shard.members in
+  up @ down
+
+let forward_idempotent t ~id shard env =
+  let cands = Array.of_list (candidates t shard) in
+  let n = Array.length cands in
+  let policy =
+    { t.config.policy with Retry.max_attempts = max t.config.policy.Retry.max_attempts (2 * n) }
+  in
+  let route ~attempt = cands.((attempt - 1) mod n).address in
+  let rng = locked t (fun () -> Rng.create (Rng.int t.rng 0x3FFFFFFF)) in
+  let outcome = Client.call ~obs:t.obs ~rng ~policy ~route cands.(0).address env in
+  (match outcome.Retry.result with
+  | Ok _ when outcome.Retry.attempts > 1 ->
+      count t "serve.router.failovers"
+        "Requests answered only after rerouting to another member"
+  | _ -> ());
+  match outcome.Retry.result with
+  | Ok reply ->
+      locked t (fun () -> t.forwarded <- t.forwarded + 1);
+      reply
+  | Error _ ->
+      (* Every attempt (cycling all members) failed at the transport:
+         mark them down and shed with a parseable verdict. *)
+      List.iter (fun m -> set_health t shard m false) shard.members;
+      no_quorum t ~id shard
+
+(* [update] mutates the journal, so it goes to the leader (the first
+   member) only — blind replay against a follower would be refused with
+   [not_leader] anyway, and replay against a second leader could fork
+   history. One attempt, no failover. *)
+let forward_update t ~id shard env =
+  let leader = List.hd shard.members in
+  let policy = { t.config.policy with Retry.max_attempts = 1 } in
+  let rng = locked t (fun () -> Rng.create (Rng.int t.rng 0x3FFFFFFF)) in
+  let outcome = Client.call ~obs:t.obs ~rng ~policy leader.address env in
+  match outcome.Retry.result with
+  | Ok reply ->
+      locked t (fun () -> t.forwarded <- t.forwarded + 1);
+      reply
+  | Error m ->
+      set_health t shard leader false;
+      let followers = List.tl shard.members in
+      let any_follower_up =
+        List.exists (fun f -> probe_member t shard f) followers
+      in
+      if any_follower_up then
+        (* The shard still has a live (unpromoted) member: the caller
+           must promote it before updates can continue. *)
+        Protocol.error_response ~id ~code:Protocol.Not_leader
+          ~message:
+            (Printf.sprintf
+               "shard %s: leader unreachable (%s); promote a follower to \
+                resume updates"
+               shard.shard_name m)
+          ()
+      else no_quorum t ~id shard
+
+let shard_of_digest t digest =
+  Hashtbl.find t.shards (Ring.owner t.ring digest)
+
+(* ----- request handling ----- *)
+
+let handle_health t ~id =
+  let members_total, members_up =
+    locked t (fun () ->
+        Hashtbl.fold (fun _ up (total, ups) -> (total + 1, if up then ups + 1 else ups))
+          t.health (0, 0))
+  in
+  Protocol.ok_response ~id
+    [
+      ("status", Json.String (if draining t then "draining" else "serving"));
+      ("service", Json.String "mcss-plan-router");
+      ("role", Json.String "router");
+      ("shards", Json.Int (Hashtbl.length t.shards));
+      ("members", Json.Int members_total);
+      ("members_up", Json.Int members_up);
+      ("pid", Json.Int (Unix.getpid ()));
+    ]
+
+let handle_stats t ~id =
+  let shard_objs =
+    Hashtbl.fold
+      (fun _ shard acc ->
+        Json.Obj
+          [
+            ("shard", Json.String shard.shard_name);
+            ( "members",
+              Json.List
+                (List.mapi
+                   (fun i m ->
+                     Json.Obj
+                       [
+                         ("name", Json.String m.name);
+                         ("address", Json.String (Server.address_to_string m.address));
+                         ("role_hint", Json.String (if i = 0 then "leader" else "follower"));
+                         ("up", Json.Bool (healthy t shard m));
+                       ])
+                   shard.members) );
+          ]
+        :: acc)
+      t.shards []
+  in
+  let forwarded = locked t (fun () -> t.forwarded) in
+  Protocol.ok_response ~id
+    [
+      ("service", Json.String "mcss-plan-router");
+      ("draining", Json.Bool (draining t));
+      ("forwarded", Json.Int forwarded);
+      ("ring_points", Json.Int (Ring.points t.ring));
+      ("shards", Json.List shard_objs);
+    ]
+
+let handle_metrics t ~id =
+  Protocol.ok_response ~id
+    [
+      ("content_type", Json.String "text/plain; version=0.0.4");
+      ("body", Json.String (Mcss_obs.Sink.prometheus t.obs));
+    ]
+
+let handle_shutdown t ~id =
+  let forwarded = locked t (fun () -> t.draining <- true; t.forwarded) in
+  Protocol.ok_response ~id
+    [ ("draining", Json.Bool true); ("requests_forwarded", Json.Int forwarded) ]
+
+(* A [load] must be routed by the digest of its content, which only
+   exists router-side once the workload is parsed; a path is read here
+   (the members may not share a filesystem) and forwarded inline. *)
+let handle_load t ~id env source =
+  let parsed =
+    match source with
+    | `Inline text -> (
+        match Wio.of_string text with
+        | w -> Ok w
+        | exception Wio.Parse_error m -> Error m)
+    | `Path path -> (
+        match Wio.load path with
+        | w -> Ok w
+        | exception Sys_error m -> Error m
+        | exception Wio.Parse_error m -> Error (path ^ ": " ^ m))
+  in
+  match parsed with
+  | Error m -> Protocol.error_response ~id ~code:Protocol.Bad_request ~message:m ()
+  | Ok w ->
+      let digest = Service.digest_of_workload w in
+      let shard = shard_of_digest t digest in
+      let env =
+        { env with Protocol.request = Protocol.Load (`Inline (Wio.to_string w)) }
+      in
+      forward_idempotent t ~id shard env
+
+let handle t (env : Protocol.envelope) =
+  let id = env.Protocol.id in
+  match env.Protocol.request with
+  | Protocol.Health -> handle_health t ~id
+  | Protocol.Stats -> handle_stats t ~id
+  | Protocol.Metrics -> handle_metrics t ~id
+  | Protocol.Shutdown -> handle_shutdown t ~id
+  | Protocol.Promote ->
+      Protocol.error_response ~id ~code:Protocol.Bad_request
+        ~message:"promote must be sent to a member, not the router" ()
+  | Protocol.Load source -> handle_load t ~id env source
+  | Protocol.Solve { digest; _ }
+  | Protocol.Whatif { digest; _ }
+  | Protocol.Chaos { digest; _ } ->
+      forward_idempotent t ~id (shard_of_digest t digest) env
+  | Protocol.Update { digest; _ } ->
+      forward_update t ~id (shard_of_digest t digest) env
+
+let handle_line t line =
+  match Json.parse line with
+  | Error m -> Protocol.error_response ~code:Protocol.Bad_request ~message:m ()
+  | Ok j -> (
+      match Protocol.decode j with
+      | Error m ->
+          Protocol.error_response ~id:(Json.member "id" j)
+            ~code:Protocol.Bad_request ~message:m ()
+      | Ok env -> (
+          match handle t env with
+          | reply -> reply
+          | exception exn ->
+              Protocol.error_response ~id:env.Protocol.id
+                ~code:Protocol.Internal ~message:(Printexc.to_string exn) ()))
+
+let run ?server_config t address =
+  start_health_checks t;
+  Server.run_handler
+    ?config:server_config ~obs:t.obs ~name:"mcss route"
+    ~draining:(fun () -> draining t)
+    ~handle:(handle_line t) address;
+  join_health_checks t

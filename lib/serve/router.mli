@@ -1,0 +1,69 @@
+(** A thin, fault-tolerant router in front of a sharded planning
+    cluster ([mcss route]).
+
+    Requests arrive on the same line protocol the daemon speaks
+    ({!Protocol}); the router maps each digest-bearing request to the
+    owning shard through a consistent-hash {!Ring} over workload
+    digests (a [load] is parsed router-side so its content digest — and
+    therefore its owner — is known before forwarding), and proxies it to
+    a shard member:
+
+    - {e idempotent} verbs go to the leader first and fail over to the
+      followers on a transport failure, using {!Client.call}'s pluggable
+      per-attempt routing;
+    - [update] goes to the leader only — replaying a journal append
+      against a second member could fork history;
+    - when every member of the owning shard is unreachable, the reply is
+      a parseable [no_quorum] error ([mcss query] exits 3), never a
+      hang;
+    - [health]/[stats]/[metrics]/[shutdown] are answered by the router
+      itself.
+
+    A background probe loop health-checks every member each
+    [health_period_s]; probe results only order the candidate list
+    (down-marked members are still tried last, because probes go stale
+    in both directions), except for [no_quorum], which is only declared
+    after live transport failures against every member. *)
+
+type member = { name : string; address : Server.address }
+
+type shard = { shard_name : string; members : member list }
+(** [members] is ordered: the first is the leader, the rest followers.
+    After promoting a follower, restart the router (or pass the new
+    order) — it does not discover role changes on its own. *)
+
+type config = {
+  vnodes : int;  (** Ring points per shard (default 64). *)
+  health_period_s : float;  (** Probe cadence (default 1 s). *)
+  policy : Retry.policy;  (** Per-request forwarding retries. *)
+  log : string -> unit;
+}
+
+val default_config : config
+
+type t
+
+val create : ?obs:Mcss_obs.Registry.t -> ?config:config -> ?seed:int -> shard list -> t
+(** Raises [Invalid_argument] on an empty shard list, a shard without
+    members, or duplicate shard names. [seed] (default 0) drives the
+    retry jitter. *)
+
+val handle : t -> Protocol.envelope -> Json.t
+(** Route one decoded request (tests drive this directly). Never
+    raises. *)
+
+val handle_line : t -> string -> Json.t
+(** Decode and route one request line. Never raises. *)
+
+val run : ?server_config:Server.config -> t -> Server.address -> unit
+(** Serve on [address] (accept loop, line framing, and drain semantics
+    shared with the daemon via {!Server.run_handler}), with the health
+    probe loop running alongside; returns after a [shutdown] request
+    drains the listener. *)
+
+val probe_all : t -> unit
+(** Probe every member once, synchronously (tests use this instead of
+    waiting out the probe cadence). *)
+
+val draining : t -> bool
+val obs : t -> Mcss_obs.Registry.t

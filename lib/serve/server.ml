@@ -120,13 +120,13 @@ and fill r ~dropping =
 
 (* ----- per-connection loop ----- *)
 
-let serve_connection service config fd =
+let serve_connection ~draining ~handle config fd =
   (* A receive timeout lets an idle connection notice the drain flag. *)
   (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO config.accept_tick_s
    with Unix.Unix_error _ | Invalid_argument _ -> ());
   let reader = make_reader fd ~limit:config.max_request_bytes in
   let rec loop () =
-    if Service.draining service then ()
+    if draining () then ()
     else
       match read_line reader ~dropping:false with
       | `Eof -> ()
@@ -141,7 +141,7 @@ let serve_connection service config fd =
           loop ()
       | `Line "" -> loop ()
       | `Line line ->
-          let reply = Service.handle_line service line in
+          let reply = handle line in
           send_reply fd reply;
           loop ()
   in
@@ -174,28 +174,32 @@ let bind_listener address ~backlog =
       Unix.listen fd backlog;
       fd
 
-let run ?(config = default_config) service address =
+let run_handler ?(config = default_config) ?obs ?(name = "mcss serve") ~draining
+    ~handle address =
   (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
   | _ -> ()
   | exception (Invalid_argument _ | Sys_error _) -> ());
+  let obs = match obs with Some r -> r | None -> Mcss_obs.Registry.noop in
   let listener = bind_listener address ~backlog:config.backlog in
   let pool = Pool.start ?queue_depth:config.queue_depth ~workers:(max 1 config.workers) () in
   config.log
-    (Printf.sprintf "mcss serve: listening on %s (%d workers)"
+    (Printf.sprintf "%s: listening on %s (%d workers)" name
        (address_to_string address) (max 1 config.workers));
   let rec accept_loop () =
-    if Service.draining service then ()
+    if draining () then ()
     else begin
       (match Unix.select [ listener ] [] [] config.accept_tick_s with
       | [ _ ], _, _ -> (
           match Unix.accept listener with
           | fd, _ ->
-              if not (Pool.submit pool (fun () -> serve_connection service config fd))
+              if not
+                   (Pool.submit pool (fun () ->
+                        serve_connection ~draining ~handle config fd))
               then begin
                 (* Pool saturated or closing: shed the connection with a
                    parseable reason rather than a silent RST. *)
                 Mcss_obs.Metric.Counter.inc
-                  (Mcss_obs.Registry.counter (Service.obs service)
+                  (Mcss_obs.Registry.counter obs
                      ~help:"Connections shed because the worker queue was full"
                      "serve.connections.shed");
                 (try
@@ -212,10 +216,16 @@ let run ?(config = default_config) service address =
     end
   in
   accept_loop ();
-  config.log "mcss serve: draining";
+  config.log (name ^ ": draining");
   (try Unix.close listener with Unix.Unix_error _ -> ());
   Pool.shutdown pool;
   (match address with
   | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
   | Tcp _ -> ());
-  config.log "mcss serve: stopped"
+  config.log (name ^ ": stopped")
+
+let run ?(config = default_config) service address =
+  run_handler ~config ~obs:(Service.obs service)
+    ~draining:(fun () -> Service.draining service)
+    ~handle:(Service.handle_line service)
+    address

@@ -39,3 +39,34 @@ val run : ?config:config -> Service.t -> address -> unit
 (** Bind, serve until the service starts draining, drain, clean up
     (including unlinking a Unix-socket path) and return. Raises
     [Unix.Unix_error] when the address cannot be bound. *)
+
+val run_handler :
+  ?config:config ->
+  ?obs:Mcss_obs.Registry.t ->
+  ?name:string ->
+  draining:(unit -> bool) ->
+  handle:(string -> Json.t) ->
+  address ->
+  unit
+(** The same accept/line-framing/drain loop with a caller-supplied
+    request handler instead of a {!Service} — the router serves its
+    line protocol through this. [handle] is called on each non-empty
+    request line from a pool worker and must not raise; [draining] is
+    polled every [accept_tick_s] and ends the loop. [obs] receives the
+    shed-connection counter; [name] prefixes log lines. *)
+
+(** {2 Raw building blocks}
+
+    For listeners that do not speak the line protocol (the replication
+    stream). *)
+
+val bind_listener : address -> backlog:int -> Unix.file_descr
+(** Bind and listen; unlinks a stale Unix-socket path first. Raises
+    [Unix.Unix_error] on bind failure. *)
+
+val write_all : Unix.file_descr -> string -> unit
+(** Write the whole string, retrying on [EINTR]. Raises
+    [Unix.Unix_error] on a dead peer. *)
+
+val send_reply : Unix.file_descr -> Json.t -> unit
+(** [write_all] of one JSON line. *)

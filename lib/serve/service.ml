@@ -58,7 +58,16 @@ type replay_stats = {
   records_skipped : int;
   wal_truncated_bytes : int;
   corrupt_records : int;
+  dropped_frames : int;
 }
+
+(* A leader journals its own ops and (via [journal_hook]) feeds them to
+   the replication hub; a follower's journal is a verbatim mirror of the
+   leader's record sequence, so local ops must never append to it — only
+   {!apply_replicated} writes it. *)
+type role = Leader | Follower
+
+type journal_event = Appended of { index : int; payload : string }
 
 (* Leader outcome shared with single-flight followers. A late solve
    ([M_late]) is a timeout for the leader but the plan was cached, so
@@ -98,6 +107,11 @@ type t = {
   mutable solver_run_count : int;
   mutable degraded_served : int;
   mutable replay : replay_stats option;
+  mutable role : role;
+  mutable journal_hook : (journal_event -> unit) option;
+      (** Called under [journal_lock] right after a leader-side append,
+          with the record's absolute index. The replication hub hangs
+          its fan-out here; it must not block. *)
 }
 
 let locked t f =
@@ -110,6 +124,9 @@ let cache_stats t = Plan_cache.stats t.cache
 let solver_runs t = locked t (fun () -> t.solver_run_count)
 let breaker t = t.breaker
 let replay_stats t = locked t (fun () -> t.replay)
+let role t = locked t (fun () -> t.role)
+let role_to_string = function Leader -> "leader" | Follower -> "follower"
+let set_journal_hook t hook = locked t (fun () -> t.journal_hook <- hook)
 
 (* ----- content digests ----- *)
 
@@ -326,7 +343,9 @@ let replayed_update t ~w ~digest ~(params : Protocol.solve_params) ~deltas =
 
 (* Rebuild service state from one journal record. Registers directly
    (no re-journaling). Raises nothing: any malformed or orphaned record
-   is skipped and counted. *)
+   is skipped and counted. Each registry touch takes [t.lock] on its
+   own, so the same code serves startup replay and live application of
+   a leader's replication stream on a follower. *)
 let apply_record t line ~workloads ~plans ~updates ~skipped =
   let skip () = incr skipped in
   match Json.parse line with
@@ -346,7 +365,7 @@ let apply_record t line ~workloads ~plans ~updates ~skipped =
                      under it — drop it rather than serve mislabeled
                      state. *)
                   if str "digest" = Some digest then begin
-                    Hashtbl.replace t.workloads digest w;
+                    locked t (fun () -> Hashtbl.replace t.workloads digest w);
                     incr workloads
                   end
                   else skip ()
@@ -354,7 +373,7 @@ let apply_record t line ~workloads ~plans ~updates ~skipped =
       | Some "plan" -> (
           match (str "digest", str "plan") with
           | Some digest, Some text -> (
-              match Hashtbl.find_opt t.workloads digest with
+              match locked t (fun () -> Hashtbl.find_opt t.workloads digest) with
               | None -> skip () (* plan for a workload we never recovered *)
               | Some w -> (
                   let params =
@@ -409,7 +428,8 @@ let apply_record t line ~workloads ~plans ~updates ~skipped =
                               in
                               let e = { digest; params; plan } in
                               Plan_cache.add t.cache (cache_key digest params) e;
-                              Hashtbl.replace t.fallback digest e;
+                              locked t (fun () ->
+                                  Hashtbl.replace t.fallback digest e);
                               incr plans
                           | _ -> skip ())
                       | exception Plan_io.Parse_error _ -> skip ())))
@@ -429,16 +449,18 @@ let apply_record t line ~workloads ~plans ~updates ~skipped =
                       }
                 | _ -> None
               in
-              match (Hashtbl.find_opt t.workloads digest, params) with
+              match
+                (locked t (fun () -> Hashtbl.find_opt t.workloads digest), params)
+              with
               | Some w, Some params -> (
                   match replayed_update t ~w ~digest ~params ~deltas with
                   | Some (e, w') when e.digest = new_digest ->
                       (* The evolved workload was also journaled as a
                          load op, but re-registering it here keeps the
                          record self-sufficient. *)
-                      Hashtbl.replace t.workloads e.digest w';
+                      locked t (fun () -> Hashtbl.replace t.workloads e.digest w');
                       Plan_cache.add t.cache (cache_key e.digest e.params) e;
-                      Hashtbl.replace t.fallback e.digest e;
+                      locked t (fun () -> Hashtbl.replace t.fallback e.digest e);
                       incr updates
                   | Some _ ->
                       (* Replay landed on a different digest than the
@@ -476,17 +498,24 @@ let full_state t =
 
 (* Append one op; when the WAL has grown past the configured threshold,
    fold it into a fresh snapshot while still holding [journal_lock] so
-   concurrent appends cannot interleave with the truncation. *)
+   concurrent appends cannot interleave with the truncation. On a
+   follower this is a no-op: its journal mirrors the leader's record
+   sequence and only {!apply_replicated} may write it. *)
 let journal_append t op =
   match t.journal with
   | None -> ()
-  | Some j ->
+  | Some j when role t = Leader ->
       Mutex.lock t.journal_lock;
       Fun.protect
         ~finally:(fun () -> Mutex.unlock t.journal_lock)
         (fun () ->
           Journal.append j op;
+          let index = Journal.last_index j in
+          (match locked t (fun () -> t.journal_hook) with
+          | None -> ()
+          | Some hook -> hook (Appended { index; payload = op }));
           if Journal.snapshot_due j then Journal.snapshot j (full_state t))
+  | Some _ -> ()
 
 let register_workload t w =
   let digest = digest_of_workload w in
@@ -502,7 +531,114 @@ let register_workload t w =
 
 let load_workload = register_workload
 
-let create ?obs ?(config = default_config) () =
+(* ----- replication support ----- *)
+
+let journal_last_index t =
+  match t.journal with None -> None | Some j -> Some (Journal.last_index j)
+
+let journal_read_from t ~index =
+  match t.journal with
+  | None -> Error `Resync
+  | Some j -> Journal.read_from j ~index
+
+(* A consistent (base index, full state) pair for shipping to a
+   follower that is too far behind for an incremental tail. Holding
+   [journal_lock] pins the index while the state is rendered; a plan
+   published but not yet journaled may slip into the state and also
+   arrive later as a streamed record — replay is replace-semantics, so
+   the duplicate is harmless. *)
+let sync_state t =
+  match t.journal with
+  | None -> invalid_arg "Service.sync_state: service has no journal"
+  | Some j ->
+      Mutex.lock t.journal_lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.journal_lock)
+        (fun () -> (Journal.last_index j, full_state t))
+
+(* Apply one record of the leader's stream on a follower: run it through
+   the same replay path a restart uses, then mirror it into the local
+   journal (folding into a snapshot when due, exactly like a leader).
+   The index must be the successor of the follower's [last_index] —
+   a gap or a rewind means this stream no longer matches the local
+   journal and the caller must resync. Records that no longer replay
+   (orphaned plans, malformed ops) are still mirrored: the journal
+   tracks the leader's history, not local applicability. *)
+let apply_replicated t ~index payload =
+  match t.journal with
+  | None -> Error "service has no journal to replicate into"
+  | Some j ->
+      Mutex.lock t.journal_lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.journal_lock)
+        (fun () ->
+          let expected = Journal.last_index j + 1 in
+          if index <> expected then
+            Error
+              (Printf.sprintf
+                 "replication gap: record %d arrived but journal is at %d" index
+                 (expected - 1))
+          else begin
+            let workloads = ref 0
+            and plans = ref 0
+            and updates = ref 0
+            and skipped = ref 0 in
+            apply_record t payload ~workloads ~plans ~updates ~skipped;
+            Journal.append j payload;
+            Counter.inc
+              (Registry.counter t.obs ~help:"Leader records applied via replication"
+                 "serve.replication.applied");
+            if !skipped > 0 then
+              Counter.inc
+                (Registry.counter t.obs
+                   ~help:"Replicated records mirrored but not applicable locally"
+                   "serve.replication.skipped");
+            if Journal.snapshot_due j then Journal.snapshot j (full_state t);
+            Ok ()
+          end)
+
+(* Full resync: replace journal and in-memory state with a leader
+   snapshot. After the call [journal_last_index t = Some base] and the
+   service answers exactly as a fresh process that replayed the
+   leader's journal would. *)
+let reset_to_snapshot t ~base payloads =
+  match t.journal with
+  | None -> Error "service has no journal to replicate into"
+  | Some j ->
+      Mutex.lock t.journal_lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.journal_lock)
+        (fun () ->
+          Journal.install_snapshot j ~base payloads;
+          Plan_cache.clear t.cache;
+          locked t (fun () ->
+              Hashtbl.reset t.workloads;
+              Hashtbl.reset t.fallback);
+          let workloads = ref 0
+          and plans = ref 0
+          and updates = ref 0
+          and skipped = ref 0 in
+          List.iter
+            (fun line -> apply_record t line ~workloads ~plans ~updates ~skipped)
+            payloads;
+          Counter.inc
+            (Registry.counter t.obs ~help:"Full snapshot resyncs installed"
+               "serve.replication.resyncs");
+          Ok ())
+
+let promote t =
+  let was = locked t (fun () ->
+      let was = t.role in
+      t.role <- Leader;
+      was)
+  in
+  if was = Follower then
+    Counter.inc
+      (Registry.counter t.obs ~help:"Follower-to-leader promotions"
+         "serve.replication.promotions");
+  was = Follower
+
+let create ?obs ?(config = default_config) ?(role = Leader) ?replay_to () =
   let obs = match obs with Some r -> r | None -> Registry.create () in
   let journal, journal_replay =
     match config.journal with
@@ -531,15 +667,25 @@ let create ?obs ?(config = default_config) () =
       solver_run_count = 0;
       degraded_served = 0;
       replay = None;
+      role;
+      journal_hook = None;
     }
   in
   (match journal_replay with
   | None -> ()
   | Some r ->
       let workloads = ref 0 and plans = ref 0 and updates = ref 0 and skipped = ref 0 in
+      let records =
+        (* Point-in-time replay: stop after the first [replay_to]
+           recovered records (snapshot records come first, then WAL). *)
+        match replay_to with
+        | None -> r.Journal.records
+        | Some n ->
+            List.filteri (fun i _ -> i < n) r.Journal.records
+      in
       List.iter
         (fun line -> apply_record t line ~workloads ~plans ~updates ~skipped)
-        r.Journal.records;
+        records;
       t.replay <-
         Some
           {
@@ -549,6 +695,7 @@ let create ?obs ?(config = default_config) () =
             records_skipped = !skipped;
             wal_truncated_bytes = r.Journal.truncated_bytes;
             corrupt_records = r.Journal.corrupt_records;
+            dropped_frames = r.Journal.dropped_frames;
           });
   t
 
@@ -840,6 +987,7 @@ let handle_health t ~id =
     [
       ("status", Json.String status);
       ("service", Json.String "mcss-plan-server");
+      ("role", Json.String (role_to_string (role t)));
       ("version", Json.String (Build_info.to_string ()));
       ("pid", Json.Int (Unix.getpid ()));
       ("uptime_s", Json.Float (uptime_s t));
@@ -966,7 +1114,12 @@ let run_update t ~id ~deadline ~digest ~(params : Protocol.solve_params) ~w
                 Protocol.error_response ~id ~code:Protocol.Infeasible ~message:m ()))
 
 let handle_update t ~id ~deadline ~digest ~params ~deltas =
-  if draining t then
+  if role t = Follower then
+    (* A follower's state is a mirror of the leader's journal; a local
+       update would fork it. The router sends updates leader-only. *)
+    Protocol.error_response ~id ~code:Protocol.Not_leader
+      ~message:"this replica is a follower; send updates to the shard leader" ()
+  else if draining t then
     Protocol.error_response ~id ~code:Protocol.Draining
       ~message:"server is draining; no new updates" ()
   else
@@ -1102,6 +1255,7 @@ let handle_stats t ~id =
     ([
        ("uptime_s", Json.Float (uptime_s t));
        ("draining", Json.Bool (draining t));
+       ("role", Json.String (role_to_string (role t)));
        ("requests", Json.Int requests);
        ("workloads_resident", Json.Int workloads);
        ("solver_runs", Json.Int solver_run_count);
@@ -1139,6 +1293,8 @@ let handle_stats t ~id =
                 [
                   ("wal_records", Json.Int (Journal.wal_records j));
                   ("snapshots", Json.Int (Journal.snapshots_taken j));
+                  ("base_index", Json.Int (Journal.base_index j));
+                  ("last_index", Json.Int (Journal.last_index j));
                 ] );
           ])
     @
@@ -1155,6 +1311,7 @@ let handle_stats t ~id =
                 ("records_skipped", Json.Int r.records_skipped);
                 ("wal_truncated_bytes", Json.Int r.wal_truncated_bytes);
                 ("corrupt_records", Json.Int r.corrupt_records);
+                ("dropped_frames", Json.Int r.dropped_frames);
               ] );
         ])
 
@@ -1166,6 +1323,11 @@ let handle_metrics t ~id =
       ("content_type", Json.String "text/plain; version=0.0.4");
       ("body", Json.String body);
     ]
+
+let handle_promote t ~id =
+  let promoted = promote t in
+  Protocol.ok_response ~id
+    [ ("role", Json.String "leader"); ("promoted", Json.Bool promoted) ]
 
 let handle_shutdown t ~id =
   let served = locked t (fun () -> t.draining <- true; t.requests) in
@@ -1183,6 +1345,7 @@ let endpoint_name = function
   | Protocol.Chaos _ -> "chaos"
   | Protocol.Stats -> "stats"
   | Protocol.Metrics -> "metrics"
+  | Protocol.Promote -> "promote"
   | Protocol.Shutdown -> "shutdown"
 
 let handle t (env : Protocol.envelope) =
@@ -1208,6 +1371,7 @@ let handle t (env : Protocol.envelope) =
         handle_chaos t ~id ~deadline ~digest ~params ~seed ~epochs ~zones ~faults
     | Protocol.Stats -> handle_stats t ~id
     | Protocol.Metrics -> handle_metrics t ~id
+    | Protocol.Promote -> handle_promote t ~id
     | Protocol.Shutdown -> handle_shutdown t ~id
   in
   let reply =

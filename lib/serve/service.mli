@@ -52,14 +52,32 @@ val default_config : config
 
 type t
 
-val create : ?obs:Mcss_obs.Registry.t -> ?config:config -> unit -> t
+(** A service is either a [Leader] — journals its own ops and may feed
+    them to followers — or a [Follower], whose journal is a verbatim
+    mirror of its leader's record sequence: local ops are never
+    journaled, [update] is refused with [not_leader], and only
+    {!apply_replicated}/{!reset_to_snapshot} write its journal.
+    Followers still serve reads (a replicated plan is a cache hit with
+    the leader's exact [plan_digest]); {!promote} turns one into a
+    leader in place. *)
+type role = Leader | Follower
+
+val create :
+  ?obs:Mcss_obs.Registry.t ->
+  ?config:config ->
+  ?role:role ->
+  ?replay_to:int ->
+  unit ->
+  t
 (** [obs] (default a fresh enabled registry) receives the per-endpoint
     request counters and latency histograms, the cache/in-flight/breaker
     gauges, the journal counters, and the solver-run counter/duration
     histogram; it is what the [metrics] request renders. When
     [config.journal] is set, opens the journal and replays it (raising
     [Unix.Unix_error]/[Sys_error] if the directory cannot be created or
-    opened). *)
+    opened). [role] defaults to [Leader]. [replay_to] caps replay at the
+    first N recovered records (snapshot records first, then WAL) —
+    point-in-time recovery for [mcss journal --seek]. *)
 
 val close : t -> unit
 (** Close the journal (no-op without one). Idempotent. *)
@@ -94,10 +112,62 @@ type replay_stats = {
           not recovered; skipped, never fatal. *)
   wal_truncated_bytes : int;  (** Torn tail cut off the WAL. *)
   corrupt_records : int;  (** Framing/CRC failures hit during replay. *)
+  dropped_frames : int;
+      (** Best-effort count of whole frames lost to the cut tail (see
+          {!Journal.replay}). *)
 }
 
 val replay_stats : t -> replay_stats option
 (** What {!create} recovered from the journal; [None] without one. *)
+
+(** {2 Replication}
+
+    The leader side exposes its journal as an indexed record stream
+    ({!set_journal_hook} for the live tail, {!sync_state} for a full
+    snapshot); the follower side applies it ({!apply_replicated},
+    {!reset_to_snapshot}). {!Replication} wires the two over a socket. *)
+
+val role : t -> role
+val role_to_string : role -> string
+
+val promote : t -> bool
+(** Make this service a leader (idempotent); [true] when it actually was
+    a follower. The caller (the serve loop) is responsible for stopping
+    the follower's replication pull. *)
+
+type journal_event = Appended of { index : int; payload : string }
+
+val set_journal_hook : t -> (journal_event -> unit) option -> unit
+(** Observe leader-side journal appends, with each record's absolute
+    index. Called under the journal lock — the hook must be quick and
+    must not call back into journaling. *)
+
+val journal_last_index : t -> int option
+(** The journal's {!Journal.last_index}; [None] without a journal. *)
+
+val journal_read_from :
+  t -> index:int -> ((int * string) list, [ `Resync ]) result
+(** {!Journal.read_from} on the service's journal: the records strictly
+    after absolute index [index]. [Error `Resync] when that span is no
+    longer available (or there is no journal) — stream a {!sync_state}
+    snapshot instead. *)
+
+val sync_state : t -> int * string list
+(** A consistent [(last_index, full state)] pair for seeding a follower
+    that is too far behind for an incremental tail: replaying the
+    records on an empty service reproduces this service's answers.
+    Raises [Invalid_argument] without a journal. *)
+
+val apply_replicated : t -> index:int -> string -> (unit, string) result
+(** Apply one leader record on a follower — through the same replay path
+    a restart uses — and mirror it into the local journal. [index] must
+    be exactly [journal_last_index + 1]; [Error] (gap, rewind, or no
+    journal) means the caller must resync. Records that no longer replay
+    locally are mirrored anyway and counted, never fatal. *)
+
+val reset_to_snapshot : t -> base:int -> string list -> (unit, string) result
+(** Replace the journal and the in-memory state with a leader's
+    {!sync_state} snapshot taken at absolute index [base]. *)
 
 val obs : t -> Mcss_obs.Registry.t
 val cache_stats : t -> Plan_cache.stats

@@ -1,0 +1,147 @@
+#!/bin/sh
+# End-to-end failover smoke for the replicated planning cluster.
+#
+#   1. Boot a leader (`--journal --replicate-on`) and a follower
+#      (`--journal --follow`), load a workload, solve once, and wait
+#      for journal parity (the follower's stats report the same
+#      last_index as the leader's).
+#   2. kill -9 the leader, promote the follower, and assert the same
+#      solve is answered as a cache hit with a bit-identical
+#      plan_digest — replication, not re-solving.
+#   3. Put `mcss route` in front of the (dead leader, promoted
+#      follower) shard and assert the router fails over: the routed
+#      solve exits 0 with the same plan_digest while one member is
+#      down, and exits 3 with a parseable no_quorum error only once
+#      both members are down.
+#
+# Usage: failover_smoke.sh /path/to/mcss
+# Exits non-zero (with a one-line reason on stderr) on the first failure.
+set -eu
+
+MCSS="$1"
+TMP=$(mktemp -d "${TMPDIR:-/tmp}/mcss-failover-XXXXXX")
+LEADER_PID=""
+FOLLOWER_PID=""
+ROUTER_PID=""
+
+cleanup() {
+  [ -n "$LEADER_PID" ] && kill -9 "$LEADER_PID" 2>/dev/null
+  [ -n "$FOLLOWER_PID" ] && kill -9 "$FOLLOWER_PID" 2>/dev/null
+  [ -n "$ROUTER_PID" ] && kill -9 "$ROUTER_PID" 2>/dev/null
+  rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+  echo "failover_smoke: $*" >&2
+  exit 1
+}
+
+LSOCK="$TMP/leader.sock"
+FSOCK="$TMP/follower.sock"
+RSOCK="$TMP/route.sock"
+REP="$TMP/rep.sock"
+WL="$TMP/w.wl"
+
+await_healthy() { # await_healthy SOCK PID WHAT
+  i=0
+  until "$MCSS" query -c "unix:$1" health >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "$3 never became healthy"
+    kill -0 "$2" 2>/dev/null || fail "$3 died during startup"
+    sleep 0.1
+  done
+}
+
+json_field() { # json_field KEY <<< reply  (string values)
+  grep -o "\"$1\":\"[^\"]*\"" | head -n 1 | cut -d'"' -f4
+}
+
+json_int() { # json_int KEY <<< reply
+  grep -o "\"$1\":[0-9]*" | head -n 1 | cut -d: -f2
+}
+
+"$MCSS" generate --trace spotify --scale 0.0005 --seed 11 -o "$WL" >/dev/null
+
+# ----- phase 1: leader + follower, journal streaming -----
+"$MCSS" serve -l "unix:$LSOCK" --journal "$TMP/jl" \
+  --replicate-on "unix:$REP" --silent &
+LEADER_PID=$!
+await_healthy "$LSOCK" "$LEADER_PID" "leader"
+
+"$MCSS" serve -l "unix:$FSOCK" --journal "$TMP/jf" \
+  --follow "unix:$REP" --silent &
+FOLLOWER_PID=$!
+await_healthy "$FSOCK" "$FOLLOWER_PID" "follower"
+
+ROLE=$("$MCSS" query -c "unix:$FSOCK" health | json_field role)
+[ "$ROLE" = "follower" ] || fail "follower booted with role '$ROLE'"
+
+LOAD=$("$MCSS" query -c "unix:$LSOCK" load -w "$WL")
+DIGEST=$(echo "$LOAD" | json_field digest)
+[ -n "$DIGEST" ] || fail "load returned no digest: $LOAD"
+
+SOLVE1=$("$MCSS" query -c "unix:$LSOCK" solve --digest "$DIGEST" --tau 50) \
+  || fail "leader solve failed"
+echo "$SOLVE1" | grep -q '"cached":false' || fail "leader solve was not cold: $SOLVE1"
+PLAN1=$(echo "$SOLVE1" | json_field plan_digest)
+[ -n "$PLAN1" ] || fail "leader solve carried no plan_digest: $SOLVE1"
+
+TARGET=$("$MCSS" query -c "unix:$LSOCK" stats | json_int last_index)
+[ -n "$TARGET" ] && [ "$TARGET" -ge 2 ] \
+  || fail "leader journal index not advanced: $TARGET"
+i=0
+until [ "$("$MCSS" query -c "unix:$FSOCK" stats | json_int last_index)" = "$TARGET" ]; do
+  i=$((i + 1))
+  [ "$i" -gt 100 ] && fail "follower never reached journal parity ($TARGET)"
+  sleep 0.1
+done
+
+# ----- phase 2: kill -9 the leader, promote, same answer -----
+kill -9 "$LEADER_PID" 2>/dev/null || true
+wait "$LEADER_PID" 2>/dev/null || true
+LEADER_PID=""
+
+PROMOTE=$("$MCSS" query -c "unix:$FSOCK" promote) || fail "promote failed"
+echo "$PROMOTE" | grep -q '"promoted":true' || fail "not promoted: $PROMOTE"
+echo "$PROMOTE" | grep -q '"role":"leader"' || fail "role not leader: $PROMOTE"
+
+SOLVE2=$("$MCSS" query -c "unix:$FSOCK" solve --digest "$DIGEST" --tau 50) \
+  || fail "promoted-follower solve failed"
+echo "$SOLVE2" | grep -q '"cached":true' \
+  || fail "promoted follower re-ran the solver: $SOLVE2"
+PLAN2=$(echo "$SOLVE2" | json_field plan_digest)
+[ "$PLAN1" = "$PLAN2" ] \
+  || fail "plan digest changed across failover: $PLAN1 vs $PLAN2"
+
+# ----- phase 3: the router's failover and no_quorum contract -----
+"$MCSS" route -l "unix:$RSOCK" --shard "a=unix:$LSOCK,unix:$FSOCK" --silent &
+ROUTER_PID=$!
+await_healthy "$RSOCK" "$ROUTER_PID" "router"
+
+# One member down: the routed solve fails over, exits 0, same plan.
+SOLVE3=$("$MCSS" query -c "unix:$RSOCK" solve --digest "$DIGEST" --tau 50) \
+  || fail "routed solve should fail over to the live member"
+PLAN3=$(echo "$SOLVE3" | json_field plan_digest)
+[ "$PLAN1" = "$PLAN3" ] \
+  || fail "routed solve served a different plan: $PLAN3"
+
+# Both members down: parseable no_quorum, exit 3 — and only now.
+kill -9 "$FOLLOWER_PID" 2>/dev/null || true
+wait "$FOLLOWER_PID" 2>/dev/null || true
+FOLLOWER_PID=""
+set +e
+NQ=$("$MCSS" query -c "unix:$RSOCK" solve --digest "$DIGEST" --tau 50 2>/dev/null)
+RC=$?
+set -e
+[ "$RC" -eq 3 ] || fail "no_quorum should exit 3, got $RC: $NQ"
+echo "$NQ" | grep -q '"no_quorum"' || fail "reply not marked no_quorum: $NQ"
+
+# The router itself stays up and says so.
+"$MCSS" query -c "unix:$RSOCK" health >/dev/null \
+  || fail "router health failed after shard loss"
+
+"$MCSS" query -c "unix:$RSOCK" shutdown >/dev/null 2>&1 || true
+wait "$ROUTER_PID" 2>/dev/null || true
+ROUTER_PID=""
+echo "failover_smoke: OK"
