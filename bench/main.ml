@@ -56,6 +56,8 @@ type seeds = {
   micro : int;
   dynamic : int;
   engine : int;
+  fleet : int;
+  dataplane : int;
 }
 
 let default_trace_seed = 20130109
@@ -70,6 +72,8 @@ let derive_seeds trace_seed =
     micro = trace_seed + 4;
     dynamic = trace_seed + 5;
     engine = trace_seed + 6;
+    fleet = trace_seed + 7;
+    dataplane = trace_seed + 8;
   }
 
 let bc_events = Front.bc_events
@@ -803,9 +807,12 @@ let ablate_budget ~w ~scale =
 (* Broker-fleet latency: run the message-level engine over the MCSS
    allocation at increasing load and watch queueing delay — an observable
    the counting model cannot produce. *)
-let latency ~w ~scale =
+let latency ~seeds ~w ~scale =
   section_header "latency" "delivery latency through the broker fleet (message-level)";
   let module Fleet = Mcss_broker.Fleet in
+  let fleet_config =
+    { Fleet.default_config with Fleet.latency_seed = seeds.fleet }
+  in
   let model = Cost_model.ec2_2014 () in
   let table =
     Table.create
@@ -832,7 +839,7 @@ let latency ~w ~scale =
           ~workload:w ~tau:100. model
       in
       let fleet = Fleet.build p' r.Solver.allocation ~message_bytes:200 in
-      let report = Fleet.run fleet Fleet.default_config in
+      let report = Fleet.run fleet fleet_config in
       match report.Fleet.latency with
       | None -> ()
       | Some l ->
@@ -2217,13 +2224,274 @@ let engine_bench ~seeds ~spotify ~spotify_scale ~out_dir =
   close_out oc;
   Printf.printf "wrote %s\n" json_path
 
+(* Live dataplane: boot the plan as a real broker fleet on Unix sockets,
+   pump the deterministic schedule through it, and reconcile the
+   measured ledgers against the Simulator — then a churn run with a
+   mid-flight re-home, a chaos kill, and a recovery replan.
+   BENCH_dataplane.json: delivered-events/s, e2e latency percentiles,
+   drop window, reconciliation deviation. *)
+let dataplane_bench ~seeds ~spotify_scale ~out_dir =
+  section_header "dataplane"
+    "live broker fleet behind the plan, reconciled against the simulator";
+  let module Cluster = Mcss_dataplane.Cluster in
+  let module Pump = Mcss_dataplane.Pump in
+  let module Subscriber = Mcss_dataplane.Subscriber in
+  let module Reconcile = Mcss_dataplane.Reconcile in
+  let module Recovery = Mcss_dynamic.Recovery in
+  let module Reprovision = Mcss_dynamic.Reprovision in
+  let module Allocation = Mcss_core.Allocation in
+  (* A live fleet pushes every delivery copy through a socket, so the
+     trace is cut well below the solver benchmarks' scale. *)
+  let dp_scale = spotify_scale /. 100. in
+  let w = Front.generate ~seed:seeds.dataplane `Spotify ~scale:dp_scale in
+  let instance = Instance.c3_large in
+  let model = Cost_model.ec2_2014 ~instance () in
+  (* Trace cutting does not shrink the hottest topic linearly, so floor
+     the capacity at a few copies of it to keep the instance feasible. *)
+  let capacity_events =
+    let hottest = Array.fold_left Float.max 0. (Workload.event_rates w) in
+    Float.max (bc_events ~scale:dp_scale instance) (4. *. hottest)
+  in
+  let p = Problem.of_pricing ~capacity_events ~workload:w ~tau:100. model in
+  let r = Solver.solve p in
+  let a0 = r.Solver.allocation in
+  let message_bytes = 200 in
+  let dir =
+    let base = Filename.get_temp_dir_name () in
+    let rec go i =
+      let d = Filename.concat base (Printf.sprintf "mcss-bench-dp-%d" i) in
+      match Unix.mkdir d 0o700 with
+      | () -> d
+      | exception Unix.Unix_error (Unix.EEXIST, _, _) -> go (i + 1)
+    in
+    go 0
+  in
+  let rm_dir d =
+    Array.iter (fun f -> try Sys.remove (Filename.concat d f) with _ -> ())
+      (try Sys.readdir d with _ -> [||]);
+    try Unix.rmdir d with _ -> ()
+  in
+  let rec mkdir_p d =
+    if d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      mkdir_p (Filename.dirname d);
+      (try Sys.mkdir d 0o755 with Sys_error _ -> ())
+    end
+  in
+  mkdir_p out_dir;
+  let cluster = Cluster.boot ~dir ~message_bytes p a0 in
+  Fun.protect
+    ~finally:(fun () ->
+      Cluster.shutdown cluster;
+      rm_dir dir)
+    (fun () ->
+      let duration = 0.2 in
+      Printf.printf
+        "fleet: %d brokers, %d pairs, message %d B (spotify @ %g, tau=100)\n"
+        (List.length (Cluster.live cluster))
+        (Workload.num_pairs w) message_bytes dp_scale;
+      (* Steady run: full speed, exact reconciliation. *)
+      let steady_config =
+        {
+          Pump.default_config with
+          Pump.duration;
+          latency_seed = seeds.dataplane;
+          tolerance = Some 0.;
+        }
+      in
+      let steady = Pump.run ~config:steady_config cluster p a0 in
+      let steady_rc =
+        match steady.Pump.reconcile with
+        | Some rc -> rc
+        | None -> failwith "dataplane bench: reconciliation did not run"
+      in
+      let delivered = steady.Pump.totals.Mcss_report.Delivery.delivered in
+      let per_s = float_of_int delivered /. steady.Pump.wall_s in
+      let lat k =
+        match steady.Pump.latency with
+        | Some l -> k l *. 1e3
+        | None -> 0.
+      in
+      let module Fleet = Mcss_broker.Fleet in
+      let p50 = lat (fun l -> l.Fleet.p50)
+      and p95 = lat (fun l -> l.Fleet.p95)
+      and p99 = lat (fun l -> l.Fleet.p99) in
+      Printf.printf
+        "steady: %d events -> %d copies in %.2fs (%.0f deliveries/s); e2e \
+         p50 %.2f ms p95 %.2f ms p99 %.2f ms; reconcile %s (max deviation \
+         %.4f)\n"
+        steady.Pump.publisher.Mcss_dataplane.Publisher.events delivered
+        steady.Pump.wall_s per_s p50 p95 p99
+        (if steady_rc.Reconcile.pass then "PASS" else "FAIL")
+        steady_rc.Reconcile.max_deviation;
+      (* Churn run: paced traffic with a live re-home and a chaos kill in
+         the middle, then a recovery replan and a post-recovery check. *)
+      let vms = Allocation.vms a0 in
+      if Array.length vms < 2 then begin
+        Printf.printf
+          "(single-VM plan: churn run needs two brokers, skipping)\n";
+        let json_path = Filename.concat out_dir "BENCH_dataplane.json" in
+        let oc = open_out json_path in
+        Printf.fprintf oc
+          "{\n\
+          \  \"scenario\": \"dataplane_live\",\n\
+          \  \"version\": %S,\n\
+          \  \"trace_seed\": %d,\n\
+          \  \"trace\": \"spotify\",\n\
+          \  \"scale\": %g,\n\
+          \  \"message_bytes\": %d,\n\
+          \  \"steady\": { \"duration_horizons\": %g, \"events\": %d,\n\
+          \    \"copies_delivered\": %d, \"delivered_per_s\": %.0f,\n\
+          \    \"latency_ms\": { \"p50\": %.4f, \"p95\": %.4f, \"p99\": %.4f },\n\
+          \    \"dropped\": %d,\n\
+          \    \"reconcile\": { \"max_deviation\": %.6f, \"pass\": %b } },\n\
+          \  \"churn\": null\n\
+           }\n"
+          (Mcss_serve.Build_info.to_string ())
+          seeds.trace_seed dp_scale message_bytes duration
+          steady.Pump.publisher.Mcss_dataplane.Publisher.events delivered per_s
+          p50 p95 p99 steady.Pump.totals.Mcss_report.Delivery.dropped
+          steady_rc.Reconcile.max_deviation steady_rc.Reconcile.pass;
+        close_out oc;
+        Printf.printf "wrote %s\n" json_path
+      end
+      else begin
+        (* The re-home delta: every pair of VM 0's first topic moves to
+           VM 1 — same pair set, different homes. *)
+        let topic = List.hd (Allocation.topics_on vms.(0)) in
+        let a1 =
+          let b = Allocation.create ~capacity:(Allocation.capacity a0) in
+          let fresh = Array.map (fun _ -> Allocation.deploy b) vms in
+          Array.iteri
+            (fun i vm ->
+              Allocation.iter_vm_pairs vm (fun t s ->
+                  let dest = if t = topic then fresh.(1) else fresh.(i) in
+                  Allocation.place b dest ~topic:t
+                    ~ev:(Workload.event_rate w t) ~subscribers:[| s |] ~from:0
+                    ~count:1))
+            vms;
+          b
+        in
+        let churn_config =
+          {
+            Pump.default_config with
+            Pump.duration;
+            pace = 8.;
+            latency_seed = seeds.dataplane + 1;
+          }
+        in
+        let sim_predicted =
+          (Mcss_sim.Simulator.run p a0
+             { Mcss_sim.Simulator.default_config with duration })
+            .Mcss_sim.Simulator.totals
+            .Mcss_report.Delivery.delivered
+        in
+        let pump =
+          Domain.spawn (fun () -> Pump.run ~config:churn_config cluster p a0)
+        in
+        Unix.sleepf 0.3;
+        let rehome_stats = Cluster.apply_plan cluster a1 in
+        Unix.sleepf 0.5;
+        let victim =
+          match
+            List.find_opt
+              (fun (id, _) -> Cluster.pairs_on cluster id > 0)
+              (Cluster.live cluster)
+          with
+          | Some (id, _) -> id
+          | None -> failwith "dataplane bench: no broker with pairs"
+        in
+        ignore (Cluster.kill cluster victim);
+        let churn = Domain.join pump in
+        let unique_total = Array.fold_left ( + ) 0 churn.Pump.unique in
+        let undelivered = max 0 (sim_predicted - unique_total) in
+        let dropped = churn.Pump.totals.Mcss_report.Delivery.dropped in
+        Printf.printf
+          "churn: re-home moved +%d/-%d pairs mid-run; killed broker %d; \
+           drop window %d undelivered + %d dropped of %d predicted copies\n"
+          rehome_stats.Cluster.pairs_added rehome_stats.Cluster.pairs_removed
+          victim undelivered dropped sim_predicted;
+        (* Replan around the corpse and converge the fleet onto it. *)
+        let victim_plan_vm =
+          match
+            List.find_opt (fun (_, b) -> b = victim) (Cluster.assignment cluster)
+          with
+          | Some (pv, _) -> pv
+          | None -> victim
+        in
+        let plan =
+          { Reprovision.problem = p; selection = r.Solver.selection;
+            allocation = a1 }
+        in
+        let plan', rstats = Recovery.replan plan ~failed:[ victim_plan_vm ] in
+        let recover_stats =
+          Cluster.apply_plan cluster plan'.Reprovision.allocation
+        in
+        let post_config =
+          {
+            Pump.default_config with
+            Pump.duration;
+            latency_seed = seeds.dataplane + 2;
+            tolerance = Some 0.;
+          }
+        in
+        let post = Pump.run ~config:post_config cluster p plan'.Reprovision.allocation in
+        let post_rc =
+          match post.Pump.reconcile with
+          | Some rc -> rc
+          | None -> failwith "dataplane bench: reconciliation did not run"
+        in
+        Printf.printf
+          "recovery: %d pairs re-homed by replan, %d broker(s) spawned; \
+           post-recovery reconcile %s (max deviation %.4f)\n"
+          rstats.Recovery.pairs_rehomed recover_stats.Cluster.spawned
+          (if post_rc.Reconcile.pass then "PASS" else "FAIL")
+          post_rc.Reconcile.max_deviation;
+        let json_path = Filename.concat out_dir "BENCH_dataplane.json" in
+        let oc = open_out json_path in
+        Printf.fprintf oc
+          "{\n\
+          \  \"scenario\": \"dataplane_live\",\n\
+          \  \"version\": %S,\n\
+          \  \"trace_seed\": %d,\n\
+          \  \"trace\": \"spotify\",\n\
+          \  \"scale\": %g,\n\
+          \  \"message_bytes\": %d,\n\
+          \  \"fleet\": { \"brokers\": %d, \"pairs\": %d },\n\
+          \  \"steady\": { \"duration_horizons\": %g, \"events\": %d,\n\
+          \    \"copies_delivered\": %d, \"delivered_per_s\": %.0f,\n\
+          \    \"latency_ms\": { \"p50\": %.4f, \"p95\": %.4f, \"p99\": %.4f },\n\
+          \    \"dropped\": %d,\n\
+          \    \"reconcile\": { \"max_deviation\": %.6f, \"pass\": %b } },\n\
+          \  \"churn\": { \"duration_horizons\": %g, \"pace_s_per_horizon\": %g,\n\
+          \    \"rehome\": { \"pairs_added\": %d, \"pairs_removed\": %d },\n\
+          \    \"killed_broker\": %d,\n\
+          \    \"drop_window\": { \"undelivered_copies\": %d, \"dropped_copies\": %d,\n\
+          \      \"predicted_copies\": %d },\n\
+          \    \"recovery\": { \"pairs_rehomed\": %d, \"brokers_spawned\": %d },\n\
+          \    \"post_recovery_reconcile\": { \"max_deviation\": %.6f, \"pass\": %b } }\n\
+           }\n"
+          (Mcss_serve.Build_info.to_string ())
+          seeds.trace_seed dp_scale message_bytes
+          (Array.length vms) (Workload.num_pairs w) duration
+          steady.Pump.publisher.Mcss_dataplane.Publisher.events delivered per_s
+          p50 p95 p99 steady.Pump.totals.Mcss_report.Delivery.dropped
+          steady_rc.Reconcile.max_deviation steady_rc.Reconcile.pass duration
+          churn_config.Pump.pace rehome_stats.Cluster.pairs_added
+          rehome_stats.Cluster.pairs_removed victim undelivered dropped
+          sim_predicted rstats.Recovery.pairs_rehomed
+          recover_stats.Cluster.spawned post_rc.Reconcile.max_deviation
+          post_rc.Reconcile.pass;
+        close_out oc;
+        Printf.printf "wrote %s\n" json_path
+      end)
+
 let all_sections =
   [
     "fig1"; "fig2a"; "fig2b"; "fig3a"; "fig3b"; "fig4"; "fig5"; "fig6"; "fig7";
     "fig8-12"; "summary"; "ablate-stage1"; "ablate-stage2"; "ablate-dynamic";
     "ablate-failures"; "ablate-scaling"; "ablate-skew"; "ablate-budget"; "latency";
     "resilience"; "obs"; "serve"; "serve-faults"; "serve-cluster"; "engine";
-    "micro";
+    "dataplane"; "micro";
   ]
 
 let run_bench sections spotify_scale twitter_scale trace_seed out_dir =
@@ -2295,7 +2563,7 @@ let run_bench sections spotify_scale twitter_scale trace_seed out_dir =
   if enabled "ablate-scaling" then ablate_scaling ~seeds ();
   if enabled "ablate-skew" then ablate_skew ~seeds ~scale:spotify_scale;
   if enabled "ablate-budget" then ablate_budget ~w:(Lazy.force spotify) ~scale:spotify_scale;
-  if enabled "latency" then latency ~w:(Lazy.force spotify) ~scale:spotify_scale;
+  if enabled "latency" then latency ~seeds ~w:(Lazy.force spotify) ~scale:spotify_scale;
   if enabled "resilience" then
     resilience ~seeds ~w:(Lazy.force spotify) ~scale:spotify_scale ~out_dir;
   if enabled "obs" then
@@ -2309,6 +2577,7 @@ let run_bench sections spotify_scale twitter_scale trace_seed out_dir =
     serve_cluster_bench ~seeds ~spotify:(Lazy.force spotify) ~spotify_scale ~out_dir;
   if enabled "engine" then
     engine_bench ~seeds ~spotify:(Lazy.force spotify) ~spotify_scale ~out_dir;
+  if enabled "dataplane" then dataplane_bench ~seeds ~spotify_scale ~out_dir;
   if enabled "micro" then micro ~seeds ();
   Printf.printf "\ndone. figure data series in %s/\n" out_dir
 

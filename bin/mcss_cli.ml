@@ -42,6 +42,11 @@ module Build_info = Mcss_serve.Build_info
 module Front = Mcss_front.Front
 module Engine = Mcss_engine.Engine
 module Delta_io = Mcss_engine.Delta_io
+module Dp_cluster = Mcss_dataplane.Cluster
+module Dp_pump = Mcss_dataplane.Pump
+module Dp_control = Mcss_dataplane.Control
+module Dp_ledger = Mcss_dataplane.Ledger
+module Dp_reconcile = Mcss_dataplane.Reconcile
 
 open Cmdliner
 
@@ -1401,6 +1406,212 @@ let journal_cmd =
 
 (* ----- query ----- *)
 
+(* ----- dataplane / pump ----- *)
+
+let plan_arg =
+  Arg.(required & opt (some string) None & info [ "plan" ] ~docv:"FILE"
+         ~doc:"Solved plan (mcss-plan format, from $(b,mcss solve --save-plan)).")
+
+let dir_arg =
+  Arg.(value & opt string "dataplane" & info [ "dir" ] ~docv:"DIR"
+         ~doc:"Fleet directory: per-broker Unix sockets and the \
+               $(b,fleet.json) manifest live here.")
+
+let message_bytes_arg =
+  Arg.(value & opt int 200 & info [ "message-bytes" ] ~docv:"N"
+         ~doc:"Bytes per publication; each broker's service capacity is \
+               BC x $(docv) bytes per horizon, as in the in-memory fleet.")
+
+let dataplane_cmd =
+  let run () file trace scale seed plan dir message_bytes tau instance_name
+      bc_events =
+    let ( let* ) r f = match r with Ok x -> f x | Error e -> `Error (false, e) in
+    let w = require_workload file trace scale seed in
+    let* instance = resolve_instance instance_name in
+    let _, p = problem_of ~w ~tau ~instance ~scale ~bc_events in
+    let allocation, _ = require_plan ~workload:w plan in
+    (try Unix.mkdir dir 0o755
+     with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let cluster = Dp_cluster.boot ~dir ~message_bytes p allocation in
+    let manifest = Filename.concat dir "fleet.json" in
+    Dp_cluster.save_manifest cluster manifest;
+    let live = Dp_cluster.live cluster in
+    Printf.printf "dataplane: %d brokers up, manifest %s\n" (List.length live)
+      manifest;
+    List.iter
+      (fun (vm, addr) ->
+        Printf.printf "  broker %d: %s (%d pairs)\n" vm
+          (Serve_server.address_to_string addr)
+          (Dp_cluster.pairs_on cluster vm))
+      live;
+    Printf.printf "serving; stop with 'mcss pump --shutdown' or \
+                   'mcss query shutdown -c <socket>' per broker\n%!";
+    Dp_cluster.join cluster;
+    print_endline "dataplane: all brokers stopped";
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "dataplane"
+       ~doc:"Boot a live broker fleet (one socket per planned VM) from a \
+             solved plan and serve until shut down")
+    Term.(
+      ret
+        (const run $ setup_logs_term $ workload_file $ trace_arg $ scale_arg
+        $ seed_arg $ plan_arg $ dir_arg $ message_bytes_arg $ tau_arg
+        $ instance_arg $ bc_events_arg))
+
+let pump_cmd =
+  let duration_arg =
+    Arg.(value & opt float 1.0 & info [ "duration" ] ~docv:"F"
+           ~doc:"Horizons of load to pump (deterministic schedule, the same \
+                 generator the simulator counts with).")
+  in
+  let pace_arg =
+    Arg.(value & opt float 0. & info [ "pace" ] ~docv:"S"
+           ~doc:"Wall seconds per horizon; 0 pumps as fast as acks allow.")
+  in
+  let batch_arg =
+    Arg.(value & opt int 64 & info [ "batch" ] ~docv:"N"
+           ~doc:"Events per publish batch (acked synchronously).")
+  in
+  let tolerance_arg =
+    Arg.(value & opt float 0. & info [ "tolerance" ] ~docv:"F"
+           ~doc:"Reconciliation tolerance (max relative deviation against the \
+                 simulator's predictions). Exit status 4 when exceeded.")
+  in
+  let no_reconcile_arg =
+    Arg.(value & flag & info [ "no-reconcile" ]
+           ~doc:"Skip the simulator comparison (e.g. while brokers are being \
+                 re-homed or killed by another process).")
+  in
+  let latency_seed_arg =
+    Arg.(value & opt int 1 & info [ "latency-seed" ] ~docv:"N"
+           ~doc:"Seed for the end-to-end latency reservoir's eviction draws.")
+  in
+  let report_arg =
+    Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE"
+           ~doc:"Write the run report as JSON.")
+  in
+  let shutdown_arg =
+    Arg.(value & flag & info [ "shutdown" ]
+           ~doc:"Gracefully shut the fleet down after the run (drain, flush, \
+                 exit).")
+  in
+  let run () file trace scale seed plan dir duration pace batch tolerance
+      no_reconcile latency_seed report_file shutdown tau instance_name bc_events
+      =
+    let ( let* ) r f = match r with Ok x -> f x | Error e -> `Error (false, e) in
+    let w = require_workload file trace scale seed in
+    let* instance = resolve_instance instance_name in
+    let _, p = problem_of ~w ~tau ~instance ~scale ~bc_events in
+    let allocation, _ = require_plan ~workload:w plan in
+    let manifest = Filename.concat dir "fleet.json" in
+    let cluster =
+      try Dp_cluster.attach ~manifest allocation
+      with Failure m | Sys_error m -> die "%s" m
+    in
+    let config =
+      {
+        Dp_pump.default_config with
+        Dp_pump.duration;
+        pace;
+        batch;
+        latency_seed;
+        tolerance = (if no_reconcile then None else Some tolerance);
+      }
+    in
+    let r = try Dp_pump.run ~config cluster p allocation with Failure m -> die "%s" m in
+    let totals = r.Dp_pump.totals in
+    Printf.printf
+      "pump: %d events -> %d copies sent, %d received (%d duplicates), %d \
+       send failures, %d unrouted, %.2fs%s\n"
+      r.Dp_pump.publisher.Mcss_dataplane.Publisher.events
+      r.Dp_pump.publisher.Mcss_dataplane.Publisher.copies_sent
+      r.Dp_pump.copies_received r.Dp_pump.duplicates
+      r.Dp_pump.publisher.Mcss_dataplane.Publisher.send_failures
+      r.Dp_pump.publisher.Mcss_dataplane.Publisher.unrouted r.Dp_pump.wall_s
+      (if r.Dp_pump.quiesced then "" else " (quiesce timeout)");
+    Format.printf "ledger:   %a@." Mcss_report.Delivery.pp totals;
+    (match r.Dp_pump.latency with
+    | None -> ()
+    | Some l ->
+        Printf.printf
+          "latency:  p50 %.3f ms  p95 %.3f ms  p99 %.3f ms  max %.3f ms (%d \
+           samples)\n"
+          (l.Mcss_broker.Fleet.p50 *. 1e3)
+          (l.Mcss_broker.Fleet.p95 *. 1e3)
+          (l.Mcss_broker.Fleet.p99 *. 1e3)
+          (l.Mcss_broker.Fleet.max *. 1e3)
+          l.Mcss_broker.Fleet.samples);
+    (match r.Dp_pump.reconcile with
+    | None -> ()
+    | Some rec_ -> Format.printf "%a@." Dp_reconcile.pp rec_);
+    (match report_file with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            let field (k, v) = Printf.sprintf "\"%s\": %d" k v in
+            let latency_json =
+              match r.Dp_pump.latency with
+              | None -> "null"
+              | Some l ->
+                  Printf.sprintf
+                    "{ \"p50_ms\": %.4f, \"p95_ms\": %.4f, \"p99_ms\": %.4f, \
+                     \"max_ms\": %.4f, \"samples\": %d }"
+                    (l.Mcss_broker.Fleet.p50 *. 1e3)
+                    (l.Mcss_broker.Fleet.p95 *. 1e3)
+                    (l.Mcss_broker.Fleet.p99 *. 1e3)
+                    (l.Mcss_broker.Fleet.max *. 1e3)
+                    l.Mcss_broker.Fleet.samples
+            in
+            let reconcile_json =
+              match r.Dp_pump.reconcile with
+              | None -> "null"
+              | Some rc ->
+                  Printf.sprintf
+                    "{ \"pass\": %b, \"max_deviation\": %.6f, \"tolerance\": \
+                     %.6f, \"subscriber_mismatches\": %d }"
+                    rc.Dp_reconcile.pass rc.Dp_reconcile.max_deviation
+                    rc.Dp_reconcile.tolerance
+                    (List.length rc.Dp_reconcile.subscriber_mismatches)
+            in
+            Printf.fprintf oc
+              "{ %s,\n  \"duplicates\": %d,\n  \"send_failures\": %d,\n  \
+               \"unrouted\": %d,\n  \"quiesced\": %b,\n  \"wall_s\": %.4f,\n  \
+               \"latency\": %s,\n  \"reconcile\": %s }\n"
+              (String.concat ", " (List.map field (Mcss_report.Delivery.fields totals)))
+              r.Dp_pump.duplicates
+              r.Dp_pump.publisher.Mcss_dataplane.Publisher.send_failures
+              r.Dp_pump.publisher.Mcss_dataplane.Publisher.unrouted
+              r.Dp_pump.quiesced r.Dp_pump.wall_s latency_json reconcile_json);
+        Printf.printf "report written to %s\n" path);
+    if shutdown then begin
+      List.iter
+        (fun (_, addr) -> ignore (Dp_control.shutdown addr))
+        (Dp_cluster.live cluster);
+      print_endline "pump: fleet shutdown requested"
+    end;
+    match r.Dp_pump.reconcile with
+    | Some rc when not rc.Dp_reconcile.pass ->
+        prerr_endline "mcss pump: reconciliation deviation above tolerance";
+        exit 4
+    | _ -> `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "pump"
+       ~doc:"Pump trace-derived load through a running $(b,mcss dataplane) \
+             fleet, collect the delivery ledgers, and reconcile them against \
+             the simulator")
+    Term.(
+      ret
+        (const run $ setup_logs_term $ workload_file $ trace_arg $ scale_arg
+        $ seed_arg $ plan_arg $ dir_arg $ duration_arg $ pace_arg $ batch_arg
+        $ tolerance_arg $ no_reconcile_arg $ latency_seed_arg $ report_arg
+        $ shutdown_arg $ tau_arg $ instance_arg $ bc_events_arg))
+
 let query_cmd =
   let connect_arg =
     Arg.(value & opt string "unix:mcss.sock" & info [ "c"; "connect" ] ~docv:"ADDR"
@@ -1411,8 +1622,20 @@ let query_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"VERB"
            ~doc:"One of $(b,health), $(b,load), $(b,solve), $(b,update), \
                  $(b,whatif), $(b,chaos), $(b,stats), $(b,metrics), \
-                 $(b,promote), $(b,shutdown), or $(b,raw) (send the next \
-                 positional argument verbatim).")
+                 $(b,promote), $(b,shutdown), the dataplane control verbs \
+                 $(b,drain), $(b,rehome), $(b,ledger) (sent to a broker \
+                 socket from $(b,mcss dataplane)), or $(b,raw) (send the \
+                 next positional argument verbatim).")
+  in
+  let add_pair_arg =
+    Arg.(value & opt_all (pair ~sep:':' int int) [] & info [ "add" ] ~docv:"T:S"
+           ~doc:"(topic, subscriber) pair for $(b,rehome) to add \
+                 (repeatable; set semantics, replay-safe).")
+  in
+  let remove_pair_arg =
+    Arg.(value & opt_all (pair ~sep:':' int int) [] & info [ "remove" ] ~docv:"T:S"
+           ~doc:"(topic, subscriber) pair for $(b,rehome) to remove \
+                 (repeatable).")
   in
   let deltas_arg =
     Arg.(value & opt (some string) None & info [ "deltas" ] ~docv:"FILE"
@@ -1474,7 +1697,7 @@ let query_cmd =
   in
   let run () connect verb raw_json wfile digest deltas_file taus instance_name
       bc_events config_name deadline faults campaign_seed epochs zones retries
-      retry_base timeout =
+      retry_base timeout add_pairs remove_pairs =
     let ( let* ) r f = match r with Ok x -> f x | Error e -> `Error (false, e) in
     let ( let& ) r f = match r with Ok x -> f x | Error _ as e -> e in
     let* address = Serve_server.address_of_string connect in
@@ -1499,6 +1722,15 @@ let query_cmd =
       | "metrics" -> Ok (`Envelope Serve_protocol.Metrics)
       | "shutdown" -> Ok (`Envelope Serve_protocol.Shutdown)
       | "promote" -> Ok (`Envelope Serve_protocol.Promote)
+      | "drain" -> Ok (`Envelope Serve_protocol.Drain)
+      | "ledger" -> Ok (`Envelope Serve_protocol.Ledger)
+      | "rehome" ->
+          if add_pairs = [] && remove_pairs = [] then
+            Error "rehome needs --add T:S and/or --remove T:S"
+          else
+            Ok
+              (`Envelope
+                (Serve_protocol.Rehome { add = add_pairs; remove = remove_pairs }))
       | "load" -> (
           match wfile with
           | None -> Error "load needs -w FILE (sent inline, content-addressed)"
@@ -1626,7 +1858,7 @@ let query_cmd =
         $ workload_file $ digest_arg $ deltas_arg $ taus_arg $ instance_arg
         $ bc_events_arg $ config_name_arg $ deadline_arg $ faults_arg
         $ campaign_seed_arg $ epochs_arg $ zones_arg $ retries_arg
-        $ retry_base_arg $ timeout_arg))
+        $ retry_base_arg $ timeout_arg $ add_pair_arg $ remove_pair_arg))
 
 (* ----- version ----- *)
 
@@ -1647,7 +1879,8 @@ let main_cmd =
     [
       generate_cmd; solve_cmd; lower_bound_cmd; analyze_cmd; simulate_cmd; update_cmd;
       budget_cmd; convert_cmd; export_lp_cmd; verify_cmd; chaos_cmd; profile_cmd;
-      serve_cmd; route_cmd; journal_cmd; query_cmd; version_cmd;
+      serve_cmd; route_cmd; journal_cmd; query_cmd; dataplane_cmd; pump_cmd;
+      version_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

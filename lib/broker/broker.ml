@@ -65,6 +65,23 @@ let subscribe b ~topic ~subscriber =
   Vec.push subs subscriber;
   b.num_pairs <- b.num_pairs + 1
 
+let subscribed b ~topic ~subscriber =
+  match Hashtbl.find_opt b.table topic with
+  | None -> false
+  | Some subs -> Vec.exists (fun v -> v = subscriber) subs
+
+let unsubscribe b ~topic ~subscriber =
+  match Hashtbl.find_opt b.table topic with
+  | None -> false
+  | Some subs -> (
+      match Vec.find_index (fun v -> v = subscriber) subs with
+      | None -> false
+      | Some i ->
+          Vec.swap_remove subs i;
+          if Vec.is_empty subs then Hashtbl.remove b.table topic;
+          b.num_pairs <- b.num_pairs - 1;
+          true)
+
 let hosts b topic = Hashtbl.mem b.table topic
 let num_pairs b = b.num_pairs
 

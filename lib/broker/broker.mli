@@ -37,6 +37,15 @@ val subscribe : t -> topic:Mcss_workload.Workload.topic ->
 (** Register a pair. Raises [Invalid_argument] if the pair is already
     registered on this broker. *)
 
+val subscribed : t -> topic:Mcss_workload.Workload.topic ->
+  subscriber:Mcss_workload.Workload.subscriber -> bool
+
+val unsubscribe : t -> topic:Mcss_workload.Workload.topic ->
+  subscriber:Mcss_workload.Workload.subscriber -> bool
+(** Drop a pair (the live dataplane re-homes pairs on running brokers).
+    Returns [false] when the pair was not registered. Order within the
+    topic's subscriber list is not preserved. *)
+
 val hosts : t -> Mcss_workload.Workload.topic -> bool
 val num_pairs : t -> int
 

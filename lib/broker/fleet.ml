@@ -18,14 +18,21 @@ type t = {
 
 type arrivals = Deterministic | Poisson of int
 
-type config = { duration : float; arrivals : arrivals; latency_reservoir : int }
+type config = {
+  duration : float;
+  arrivals : arrivals;
+  latency_reservoir : int;
+  latency_seed : int;
+}
 
-let default_config = { duration = 1.0; arrivals = Deterministic; latency_reservoir = 10_000 }
+let default_config =
+  { duration = 1.0; arrivals = Deterministic; latency_reservoir = 10_000; latency_seed = 1 }
 
 type latency_summary = {
   samples : int;
   mean : float;
   p50 : float;
+  p95 : float;
   p99 : float;
   max : float;
 }
@@ -38,6 +45,7 @@ type report = {
   latency : latency_summary option;
   max_utilization : float;
   broker_stats : (int * Broker.stats) list;
+  totals : Mcss_report.Delivery.totals;
 }
 
 let build (p : Problem.t) a ~message_bytes =
@@ -77,21 +85,20 @@ let phase_of_topic t =
   in
   float_of_int h *. 0x1p-53
 
-let schedule fleet config =
-  let w = fleet.problem.Problem.workload in
+let schedule_events w ~arrivals ~duration =
   let times : float Mcss_core.Vec.t = Mcss_core.Vec.create () in
   let topics : int Mcss_core.Vec.t = Mcss_core.Vec.create () in
   let emit time topic =
     Mcss_core.Vec.push times time;
     Mcss_core.Vec.push topics topic
   in
-  (match config.arrivals with
+  (match arrivals with
   | Deterministic ->
       for t = 0 to Workload.num_topics w - 1 do
         let ev = Workload.event_rate w t in
-        let n = int_of_float (Float.round (ev *. config.duration)) in
+        let n = int_of_float (Float.round (ev *. duration)) in
         if n > 0 then begin
-          let interval = config.duration /. float_of_int n in
+          let interval = duration /. float_of_int n in
           let phase = phase_of_topic t *. interval in
           for k = 0 to n - 1 do
             emit (phase +. (float_of_int k *. interval)) t
@@ -103,7 +110,7 @@ let schedule fleet config =
       for t = 0 to Workload.num_topics w - 1 do
         let ev = Workload.event_rate w t in
         let time = ref (Dist.exponential rng ~mean:(1. /. ev)) in
-        while !time < config.duration do
+        while !time < duration do
           emit !time t;
           time := !time +. Dist.exponential rng ~mean:(1. /. ev)
         done
@@ -115,43 +122,54 @@ let schedule fleet config =
   Array.sort (fun a b -> compare (times.(a), topics.(a)) (times.(b), topics.(b))) order;
   Array.map (fun i -> (times.(i), topics.(i))) order
 
+let schedule fleet config =
+  schedule_events fleet.problem.Problem.workload ~arrivals:config.arrivals
+    ~duration:config.duration
+
 (* Bounded reservoir over delivery latencies so quantiles stay exact for
-   small runs and statistically sound for big ones. *)
-type reservoir = {
-  mutable seen : int;
-  store : float array;
-  rng : Rng.t;
-  mutable sum : float;
-  mutable max_value : float;
-}
+   small runs and statistically sound for big ones. The eviction draws
+   come from the caller's seeded [Mcss_prng] source, so histograms are
+   bit-reproducible under a fixed [--trace-seed]. *)
+module Reservoir = struct
+  type t = {
+    mutable seen : int;
+    store : float array;
+    rng : Rng.t;
+    mutable sum : float;
+    mutable max_value : float;
+  }
 
-let reservoir_create size =
-  { seen = 0; store = Array.make (max 1 size) 0.; rng = Rng.create 1; sum = 0.; max_value = 0. }
+  let create ~rng size =
+    { seen = 0; store = Array.make (max 1 size) 0.; rng; sum = 0.; max_value = 0. }
 
-let reservoir_add r x =
-  r.sum <- r.sum +. x;
-  if x > r.max_value then r.max_value <- x;
-  let cap = Array.length r.store in
-  if r.seen < cap then r.store.(r.seen) <- x
-  else begin
-    let j = Rng.int r.rng (r.seen + 1) in
-    if j < cap then r.store.(j) <- x
-  end;
-  r.seen <- r.seen + 1
+  let add r x =
+    r.sum <- r.sum +. x;
+    if x > r.max_value then r.max_value <- x;
+    let cap = Array.length r.store in
+    if r.seen < cap then r.store.(r.seen) <- x
+    else begin
+      let j = Rng.int r.rng (r.seen + 1) in
+      if j < cap then r.store.(j) <- x
+    end;
+    r.seen <- r.seen + 1
 
-let reservoir_summary r =
-  if r.seen = 0 then None
-  else begin
-    let kept = Array.sub r.store 0 (min r.seen (Array.length r.store)) in
-    Some
-      {
-        samples = r.seen;
-        mean = r.sum /. float_of_int r.seen;
-        p50 = Stats.quantile kept 0.5;
-        p99 = Stats.quantile kept 0.99;
-        max = r.max_value;
-      }
-  end
+  let kept r = Array.sub r.store 0 (min r.seen (Array.length r.store))
+
+  let summary r =
+    if r.seen = 0 then None
+    else begin
+      let kept = kept r in
+      Some
+        {
+          samples = r.seen;
+          mean = r.sum /. float_of_int r.seen;
+          p50 = Stats.quantile kept 0.5;
+          p95 = Stats.quantile kept 0.95;
+          p99 = Stats.quantile kept 0.99;
+          max = r.max_value;
+        }
+    end
+end
 
 let run ?(obs = Registry.noop) fleet config =
   if not (config.duration > 0.) then invalid_arg "Fleet.run: duration must be positive";
@@ -159,7 +177,9 @@ let run ?(obs = Registry.noop) fleet config =
   let w = fleet.problem.Problem.workload in
   let events = Span.with_ obs ~name:"schedule" (fun () -> schedule fleet config) in
   let received = Array.make (Workload.num_subscribers w) 0 in
-  let reservoir = reservoir_create config.latency_reservoir in
+  let reservoir =
+    Reservoir.create ~rng:(Rng.create config.latency_seed) config.latency_reservoir
+  in
   let routed = ref 0 in
   let deliveries = ref 0 in
   Span.with_ obs ~name:"deliver" (fun () ->
@@ -176,7 +196,7 @@ let run ?(obs = Registry.noop) fleet config =
                 (fun d ->
                   incr deliveries;
                   received.(d.Broker.subscriber) <- received.(d.Broker.subscriber) + 1;
-                  reservoir_add reservoir (d.Broker.depart_time -. time))
+                  Reservoir.add reservoir (d.Broker.depart_time -. time))
                 delivered)
             fleet.routing.(topic))
         events);
@@ -191,9 +211,16 @@ let run ?(obs = Registry.noop) fleet config =
       routed = !routed;
       deliveries = !deliveries;
       received;
-      latency = reservoir_summary reservoir;
+      latency = Reservoir.summary reservoir;
       max_utilization;
       broker_stats = Array.to_list (Array.map (fun b -> (Broker.id b, Broker.stats b)) fleet.brokers);
+      totals =
+        {
+          Mcss_report.Delivery.published = Array.length events;
+          handoffs = !routed;
+          delivered = !deliveries;
+          dropped = 0;
+        };
     }
   in
   if Registry.enabled obs then begin
@@ -229,7 +256,6 @@ let run ?(obs = Registry.noop) fleet config =
            so the histogram's quantiles agree with the report's. *)
         Array.iter
           (fun x -> Mcss_obs.Metric.Histogram.observe h x)
-          (Array.sub reservoir.store 0
-             (min reservoir.seen (Array.length reservoir.store))))
+          (Reservoir.kept reservoir))
   end;
   report

@@ -1,0 +1,94 @@
+module Simulator = Mcss_sim.Simulator
+module Delivery = Mcss_report.Delivery
+
+type vm_row = {
+  plan_vm : int;
+  broker : int;
+  measured : int;
+  predicted : int;
+  deviation : float;
+}
+
+type t = {
+  duration : float;
+  tolerance : float;
+  subscribers : int;
+  subscriber_mismatches : (int * int * int) list;
+  vm_rows : vm_row list;
+  max_deviation : float;
+  measured : Delivery.totals;
+  predicted : Delivery.totals;
+  pass : bool;
+}
+
+let deviation ~measured ~predicted =
+  float_of_int (abs (measured - predicted)) /. float_of_int (max 1 predicted)
+
+let run p a ~duration ~tolerance ~measured_unique ~ledgers ~assignment =
+  let sim_config =
+    {
+      Simulator.default_config with
+      Simulator.duration;
+      arrivals = Simulator.Deterministic;
+    }
+  in
+  let sim = Simulator.run p a sim_config in
+  let subscribers = Array.length sim.Simulator.delivered in
+  let mismatches = ref [] in
+  let max_dev = ref 0. in
+  for v = subscribers - 1 downto 0 do
+    let predicted = sim.Simulator.delivered.(v) in
+    let measured =
+      if v < Array.length measured_unique then measured_unique.(v) else 0
+    in
+    if measured <> predicted then begin
+      mismatches := (v, measured, predicted) :: !mismatches;
+      max_dev := Float.max !max_dev (deviation ~measured ~predicted)
+    end
+  done;
+  let vm_rows =
+    List.map
+      (fun (plan_vm, broker) ->
+        let predicted =
+          if plan_vm < Array.length sim.Simulator.vm_ingress then
+            sim.Simulator.vm_ingress.(plan_vm)
+          else 0
+        in
+        let measured =
+          match List.find_opt (fun l -> l.Ledger.vm = broker) ledgers with
+          | Some l -> l.Ledger.totals.Delivery.handoffs
+          | None -> 0
+        in
+        let deviation = deviation ~measured ~predicted in
+        max_dev := Float.max !max_dev deviation;
+        { plan_vm; broker; measured; predicted; deviation })
+      (List.sort compare assignment)
+  in
+  {
+    duration;
+    tolerance;
+    subscribers;
+    subscriber_mismatches = !mismatches;
+    vm_rows;
+    max_deviation = !max_dev;
+    measured = Ledger.sum_totals ledgers;
+    predicted = sim.Simulator.totals;
+    pass = !max_dev <= tolerance;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "reconcile: %s (max deviation %.4f, tolerance %.4f)@\n\
+     measured:  %a@\n\
+     predicted: %a@\n\
+     %d/%d subscribers off"
+    (if t.pass then "PASS" else "FAIL")
+    t.max_deviation t.tolerance Delivery.pp t.measured Delivery.pp t.predicted
+    (List.length t.subscriber_mismatches)
+    t.subscribers;
+  List.iter
+    (fun r ->
+      if r.deviation > t.tolerance then
+        Format.fprintf fmt "@\nvm %d (broker %d): handoffs %d vs predicted %d"
+          r.plan_vm r.broker r.measured r.predicted)
+    t.vm_rows

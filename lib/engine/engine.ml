@@ -108,6 +108,8 @@ let rem_v t v =
 
 let churned_pairs t = t.churned_pairs
 
+let iter_homes t f = Hashtbl.iter (fun (topic, v) id -> f ~topic ~subscriber:v ~vm:id) t.homes
+
 (* The CBP insertion rule shared by reprovisioning, recovery, and delta
    application: pending pairs grouped per topic, most-free VM that can
    take a pair, fresh VMs on overflow. Returns how many VMs it deployed. *)

@@ -124,4 +124,11 @@ val churned_pairs : t -> int
 (** Pairs added + removed since the last cold solve — the drift
     counter. *)
 
+val iter_homes : t -> (topic:int -> subscriber:int -> vm:int -> unit) -> unit
+(** Iterate the current (topic, subscriber) → hosting-VM map, in no
+    particular order. This is the live re-home hook: a dataplane diffing
+    two snapshots of it (before/after {!apply} or {!fail}) gets exactly
+    the pair moves it must replay onto running brokers. A pair hosted on
+    several VMs reports one home (the engine places each pair once). *)
+
 val default_drift_threshold : float

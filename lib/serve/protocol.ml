@@ -26,6 +26,9 @@ type request =
   | Metrics
   | Promote
   | Shutdown
+  | Drain
+  | Rehome of { add : (int * int) list; remove : (int * int) list }
+  | Ledger
 
 type envelope = {
   id : Json.t option;
@@ -103,6 +106,37 @@ let decode j =
     | "metrics" -> Ok Metrics
     | "promote" -> Ok Promote
     | "shutdown" -> Ok Shutdown
+    | "drain" -> Ok Drain
+    | "ledger" -> Ok Ledger
+    | "rehome" ->
+        let pairs_of key =
+          match Json.member key j with
+          | None -> Ok []
+          | Some v -> (
+              match Json.to_list_opt v with
+              | None ->
+                  Error (Printf.sprintf "field %S must be an array of [topic, subscriber] pairs" key)
+              | Some xs ->
+                  let rec conv acc = function
+                    | [] -> Ok (List.rev acc)
+                    | Json.List [ t; s ] :: rest -> (
+                        match (Json.to_int_opt t, Json.to_int_opt s) with
+                        | Some t, Some s when t >= 0 && s >= 0 -> conv ((t, s) :: acc) rest
+                        | _ ->
+                            Error
+                              (Printf.sprintf
+                                 "field %S must contain nonnegative [topic, subscriber] pairs" key))
+                    | _ ->
+                        Error
+                          (Printf.sprintf "field %S must contain [topic, subscriber] pairs" key)
+                  in
+                  conv [] xs)
+        in
+        let* add = pairs_of "add" in
+        let* remove = pairs_of "remove" in
+        if add = [] && remove = [] then
+          Error "rehome needs a non-empty \"add\" or \"remove\""
+        else Ok (Rehome { add; remove })
     | "load" -> (
         match (Json.member "workload" j, Json.member "path" j) with
         | Some w, None -> (
@@ -189,6 +223,13 @@ let encode { id; deadline_ms; request } =
     | Metrics -> [ ("req", Json.String "metrics") ]
     | Promote -> [ ("req", Json.String "promote") ]
     | Shutdown -> [ ("req", Json.String "shutdown") ]
+    | Drain -> [ ("req", Json.String "drain") ]
+    | Ledger -> [ ("req", Json.String "ledger") ]
+    | Rehome { add; remove } ->
+        let pairs ps =
+          Json.List (List.map (fun (t, s) -> Json.List [ Json.Int t; Json.Int s ]) ps)
+        in
+        [ ("req", Json.String "rehome"); ("add", pairs add); ("remove", pairs remove) ]
     | Load (`Inline text) ->
         [ ("req", Json.String "load"); ("workload", Json.String text) ]
     | Load (`Path path) -> [ ("req", Json.String "load"); ("path", Json.String path) ]
@@ -290,10 +331,16 @@ let response_degraded j =
    update twice. The result is deterministic either way, but duplicated
    history is not "as if sent once" — {!Client.call} refuses to
    reconnect-and-replay it and surfaces the failure to the caller
-   instead. *)
+   instead.
+
+   The dataplane verbs are all replay-safe: [ledger] is a read,
+   [drain] re-sets a flag like [shutdown], and [rehome] has set
+   semantics — adding a pair a broker already hosts or removing one it
+   does not is reported in the reply but leaves the table exactly as a
+   single application would. *)
 let idempotent = function
   | Health | Load _ | Solve _ | Whatif _ | Chaos _ | Stats | Metrics | Promote
-  | Shutdown ->
+  | Shutdown | Drain | Rehome _ | Ledger ->
       true
   | Update _ -> false
 

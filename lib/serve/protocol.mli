@@ -24,7 +24,20 @@
     {"req":"metrics"}
     {"req":"promote"}
     {"req":"shutdown"}
+    {"req":"drain"}                                    (dataplane broker)
+    {"req":"rehome","add":[[T,S],...],"remove":[[T,S],...]}   (broker)
+    {"req":"ledger"}                                   (dataplane broker)
     v}
+
+    The last three are {e dataplane control verbs}: they share this
+    envelope and reply shape but are answered by the per-VM broker
+    processes of {!Mcss_dataplane} (a planning server replies
+    [bad_request] and points at the broker socket). [drain] stops a
+    broker's publisher intake so in-flight fan-out can quiesce; [rehome]
+    adds/removes (topic, subscriber) pairs on the live subscription
+    table — set semantics, so replays are safe; [ledger] reads the
+    broker's delivery ledger (see {!Mcss_dataplane.Ledger}). All three
+    are idempotent, so {!Client.call} may reconnect-and-replay them.
 
     Responses are [{"ok":true,...}] or
     [{"ok":false,"error":CODE,"message":TEXT}].
@@ -75,6 +88,15 @@ type request =
           replication stream and starts accepting [update]s. A no-op on
           a server that is already leading. *)
   | Shutdown
+  | Drain
+      (** Dataplane: stop accepting publications; in-flight fan-out
+          drains. Answered by broker processes, not planning servers. *)
+  | Rehome of { add : (int * int) list; remove : (int * int) list }
+      (** Dataplane: mutate a live broker's (topic, subscriber) table.
+          Set semantics — already-present adds / already-absent removes
+          are counted in the reply, not errors — so replay is safe. *)
+  | Ledger
+      (** Dataplane: read the broker's delivery ledger snapshot. *)
 
 type envelope = {
   id : Json.t option;
@@ -136,4 +158,6 @@ val idempotent : request -> bool
 (** Whether replaying the request on a fresh connection is safe after a
     transport failure mid-exchange. True for every verb except [Update],
     which appends to the server's write-ahead log; retry layers gate
-    reconnect-and-replay on it. *)
+    reconnect-and-replay on it. The dataplane verbs ([Drain], [Rehome],
+    [Ledger]) are all true: reads, flag sets, and set-semantics table
+    mutations replay cleanly. *)

@@ -319,6 +319,12 @@ let handle t (env : Protocol.envelope) =
   | Protocol.Promote ->
       Protocol.error_response ~id ~code:Protocol.Bad_request
         ~message:"promote must be sent to a member, not the router" ()
+  | Protocol.Drain | Protocol.Rehome _ | Protocol.Ledger ->
+      Protocol.error_response ~id ~code:Protocol.Bad_request
+        ~message:
+          "dataplane control verbs go to a broker socket (mcss dataplane), \
+           not the planning router"
+        ()
   | Protocol.Load source -> handle_load t ~id env source
   | Protocol.Solve { digest; _ }
   | Protocol.Whatif { digest; _ }

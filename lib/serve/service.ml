@@ -1347,6 +1347,9 @@ let endpoint_name = function
   | Protocol.Metrics -> "metrics"
   | Protocol.Promote -> "promote"
   | Protocol.Shutdown -> "shutdown"
+  | Protocol.Drain -> "drain"
+  | Protocol.Rehome _ -> "rehome"
+  | Protocol.Ledger -> "ledger"
 
 let handle t (env : Protocol.envelope) =
   let id = env.Protocol.id in
@@ -1373,6 +1376,14 @@ let handle t (env : Protocol.envelope) =
     | Protocol.Metrics -> handle_metrics t ~id
     | Protocol.Promote -> handle_promote t ~id
     | Protocol.Shutdown -> handle_shutdown t ~id
+    | Protocol.Drain | Protocol.Rehome _ | Protocol.Ledger ->
+        Protocol.error_response ~id ~code:Protocol.Bad_request
+          ~message:
+            (Printf.sprintf
+               "%S is a dataplane control verb: send it to a broker socket \
+                (mcss dataplane), not a planning server"
+               endpoint)
+          ()
   in
   let reply =
     match dispatch () with

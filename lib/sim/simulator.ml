@@ -37,6 +37,7 @@ type result = {
   delivered : int array;
   lost : int array;
   vm_bucket_load : float array array;
+  totals : Mcss_report.Delivery.totals;
   config : config;
 }
 
@@ -261,6 +262,14 @@ let run ?(obs = Registry.noop) (p : Problem.t) a config =
           delivered.(v) <- delivered.(v) + pubs.(t) - dropped;
           lost.(v) <- lost.(v) + dropped)
         pair_hosts);
+  let totals =
+    {
+      Mcss_report.Delivery.published = !events_published;
+      handoffs = Array.fold_left ( + ) 0 vm_ingress;
+      delivered = Array.fold_left ( + ) 0 delivered;
+      dropped = Array.fold_left ( + ) 0 lost;
+    }
+  in
   let r =
     {
       events_published = !events_published;
@@ -269,6 +278,7 @@ let run ?(obs = Registry.noop) (p : Problem.t) a config =
       delivered;
       lost;
       vm_bucket_load;
+      totals;
       config;
     }
   in

@@ -65,6 +65,11 @@ type result = {
   vm_bucket_load : float array array;
       (** [vm_bucket_load.(b).(k)]: events (in + out) moved by VM [b]
           during bucket [k]. *)
+  totals : Mcss_report.Delivery.totals;
+      (** The shared accounting schema: [published] events,
+          [handoffs = Σ vm_ingress], [delivered = Σ delivered],
+          [dropped = Σ lost] — what dataplane reconciliation compares
+          against a live broker ledger. *)
   config : config;
 }
 
