@@ -44,6 +44,10 @@ let timed f =
   let x = f () in
   (x, Clock.seconds_since t0)
 
+(* Peak RSS and GC major-heap pressure, sampled when a section writes
+   its BENCH_*.json — speed without the memory bill is half a result. *)
+let runtime_json () = Mcss_obs.Runtime_stats.(to_json_object (sample ()))
+
 (* Every seeded generator in the harness derives from one --trace-seed,
    so a whole bench run (and both BENCH_*.json files) is reproducible
    from a single number. Offsets keep the streams distinct. *)
@@ -58,6 +62,7 @@ type seeds = {
   engine : int;
   fleet : int;
   dataplane : int;
+  elastic : int;
 }
 
 let default_trace_seed = 20130109
@@ -74,6 +79,7 @@ let derive_seeds trace_seed =
     engine = trace_seed + 6;
     fleet = trace_seed + 7;
     dataplane = trace_seed + 8;
+    elastic = trace_seed + 9;
   }
 
 let bc_events = Front.bc_events
@@ -971,6 +977,7 @@ let resilience ~seeds ~w ~scale ~out_dir =
   Printf.fprintf oc
     "{\n\
     \  \"scenario\": \"resilience\",\n\
+    \  \"runtime\": %s,\n\
     \  \"trace_scale\": %g,\n\
     \  \"trace_seed\": %d,\n\
     \  \"tau\": 100,\n\
@@ -985,7 +992,7 @@ let resilience ~seeds ~w ~scale ~out_dir =
     \    \"overhead_vs_base_pct\": %g, \"overhead_vs_lb_pct\": %g\n\
     \  }\n\
      }\n"
-    scale seeds.trace_seed zones campaign.Failure_model.seed
+    (runtime_json ()) scale seeds.trace_seed zones campaign.Failure_model.seed
     (String.concat ", "
        (List.map
           (fun f -> Printf.sprintf "%S" (Failure_model.fault_to_string f))
@@ -1097,13 +1104,14 @@ let obs_overhead ~seeds ~spotify ~twitter ~spotify_scale ~twitter_scale ~out_dir
   Printf.fprintf oc
     "{\n\
     \  \"scenario\": \"obs_overhead\",\n\
+    \  \"runtime\": %s,\n\
     \  \"trace_seed\": %d,\n\
     \  \"tau\": 100,\n\
     \  \"reps\": %d,\n\
     \  \"pipeline\": \"solve+simulate\",\n\
     \  \"traces\": [\n%s\n  ]\n\
      }\n"
-    seeds.trace_seed reps
+    (runtime_json ()) seeds.trace_seed reps
     (String.concat ",\n"
        (List.map
           (fun (name, scale, d, e, pct, metrics, spans) ->
@@ -1283,6 +1291,7 @@ let serve_bench ~seeds ~spotify ~spotify_scale ~out_dir =
   Printf.fprintf oc
     "{\n\
     \  \"scenario\": \"serve_throughput\",\n\
+    \  \"runtime\": %s,\n\
     \  \"version\": %S,\n\
     \  \"trace_seed\": %d,\n\
     \  \"trace\": \"spotify\",\n\
@@ -1297,6 +1306,7 @@ let serve_bench ~seeds ~spotify ~spotify_scale ~out_dir =
     \    \"misses\": %d, \"entries\": %d },\n\
     \  \"solver_runs\": %d\n\
      }\n"
+    (runtime_json ())
     (Mcss_serve.Build_info.to_string ())
     seeds.trace_seed spotify_scale num_clients total_requests errors wall_s
     requests_per_s
@@ -1585,6 +1595,7 @@ let serve_faults_bench ~seeds ~spotify ~spotify_scale ~out_dir =
   Printf.fprintf oc
     "{\n\
     \  \"scenario\": \"serve_faults\",\n\
+    \  \"runtime\": %s,\n\
     \  \"version\": %S,\n\
     \  \"trace_seed\": %d,\n\
     \  \"trace\": \"spotify\",\n\
@@ -1599,6 +1610,7 @@ let serve_faults_bench ~seeds ~spotify ~spotify_scale ~out_dir =
     \    \"opens\": %d, \"closes\": %d, \"rejections\": %d,\n\
     \    \"final_state\": %S }\n\
      }\n"
+    (runtime_json ())
     (Mcss_serve.Build_info.to_string ())
     seeds.trace_seed spotify_scale cold_solve_s (replay_s *. 1e3)
     (reanswer_s *. 1e3) plans_recovered recovered_hits
@@ -2042,6 +2054,7 @@ let serve_cluster_bench ~seeds ~spotify ~spotify_scale ~out_dir =
   Printf.fprintf oc
     "{\n\
     \  \"scenario\": \"serve_cluster\",\n\
+    \  \"runtime\": %s,\n\
     \  \"version\": %S,\n\
     \  \"trace_seed\": %d,\n\
     \  \"trace\": \"spotify\",\n\
@@ -2059,6 +2072,7 @@ let serve_cluster_bench ~seeds ~spotify ~spotify_scale ~out_dir =
     \  \"replication\": { \"fault_every\": %d, \"faulty_link_connections\": %d,\n\
     \    \"injected_resets\": %d, \"resync_records\": %d, \"resync_ms\": %.3f }\n\
      }\n"
+    (runtime_json ())
     (Mcss_serve.Build_info.to_string ())
     seeds.trace_seed spotify_scale (List.length shard_names)
     (List.length digests) Router.default_config.Router.vnodes num_clients
@@ -2197,6 +2211,7 @@ let engine_bench ~seeds ~spotify ~spotify_scale ~out_dir =
   Printf.fprintf oc
     "{\n\
     \  \"scenario\": \"engine_incremental\",\n\
+    \  \"runtime\": %s,\n\
     \  \"version\": %S,\n\
     \  \"trace_seed\": %d,\n\
     \  \"trace\": \"spotify\",\n\
@@ -2215,6 +2230,7 @@ let engine_bench ~seeds ~spotify ~spotify_scale ~out_dir =
     \    \"gap_vs_cold_pct\": %.4f, \"worst_sampled_gap_pct\": %.4f,\n\
     \    \"lower_bound_usd\": %.2f, \"gap_vs_lower_bound_pct\": %.4f }\n\
      }\n"
+    (runtime_json ())
     (Mcss_serve.Build_info.to_string ())
     seeds.trace_seed spotify_scale !deltas_total !batches create_s
     (apply_p50 *. 1e3) (apply_p95 *. 1e3) (cold_p50 *. 1e3) (cold_p95 *. 1e3)
@@ -2334,6 +2350,7 @@ let dataplane_bench ~seeds ~spotify_scale ~out_dir =
         Printf.fprintf oc
           "{\n\
           \  \"scenario\": \"dataplane_live\",\n\
+          \  \"runtime\": %s,\n\
           \  \"version\": %S,\n\
           \  \"trace_seed\": %d,\n\
           \  \"trace\": \"spotify\",\n\
@@ -2346,6 +2363,7 @@ let dataplane_bench ~seeds ~spotify_scale ~out_dir =
           \    \"reconcile\": { \"max_deviation\": %.6f, \"pass\": %b } },\n\
           \  \"churn\": null\n\
            }\n"
+          (runtime_json ())
           (Mcss_serve.Build_info.to_string ())
           seeds.trace_seed dp_scale message_bytes duration
           steady.Pump.publisher.Mcss_dataplane.Publisher.events delivered per_s
@@ -2451,6 +2469,7 @@ let dataplane_bench ~seeds ~spotify_scale ~out_dir =
         Printf.fprintf oc
           "{\n\
           \  \"scenario\": \"dataplane_live\",\n\
+          \  \"runtime\": %s,\n\
           \  \"version\": %S,\n\
           \  \"trace_seed\": %d,\n\
           \  \"trace\": \"spotify\",\n\
@@ -2470,6 +2489,7 @@ let dataplane_bench ~seeds ~spotify_scale ~out_dir =
           \    \"recovery\": { \"pairs_rehomed\": %d, \"brokers_spawned\": %d },\n\
           \    \"post_recovery_reconcile\": { \"max_deviation\": %.6f, \"pass\": %b } }\n\
            }\n"
+          (runtime_json ())
           (Mcss_serve.Build_info.to_string ())
           seeds.trace_seed dp_scale message_bytes
           (Array.length vms) (Workload.num_pairs w) duration
@@ -2485,13 +2505,153 @@ let dataplane_bench ~seeds ~spotify_scale ~out_dir =
         Printf.printf "wrote %s\n" json_path
       end)
 
+(* Elastic capacity planning: a seeded diurnal day over the Spotify
+   trace, replayed through the week simulator under the static
+   (peak-envelope) baseline, reactive hysteresis, and finite-horizon
+   lookahead — every intermediate plan verifier-clean, costs under
+   reservation pricing. BENCH_elastic.json: per-policy week cost,
+   savings vs static, oracle gap, scaling actions, replans, p95 slice
+   apply latency. *)
+let elastic_bench ~seeds ~spotify ~spotify_scale ~out_dir =
+  section_header "elastic"
+    "autoscaling policies vs the static peak plan (Spotify, diurnal day)";
+  let module Rate_curve = Mcss_elastic.Rate_curve in
+  let module Scenario = Mcss_elastic.Scenario in
+  let module Week_sim = Mcss_elastic.Week_sim in
+  let instance = Instance.c3_large in
+  let model = Cost_model.ec2_2014 ~instance () in
+  let capacity_events = bc_events ~scale:spotify_scale instance in
+  let scenario =
+    {
+      Scenario.slices = 24;
+      slice_hours = 1.;
+      seed = seeds.elastic;
+      coverage = 1.;
+      curve =
+        [
+          Rate_curve.Diurnal
+            { amplitude = 0.4; period_hours = 24.; phase_hours = 0. };
+        ];
+    }
+  in
+  let result, elapsed =
+    timed (fun () ->
+        Week_sim.run ~capacity_events ~workload:spotify ~tau:100. ~model
+          scenario)
+  in
+  let runs = result.Week_sim.static :: result.Week_sim.policies in
+  let static_usd = result.Week_sim.static.Week_sim.total_usd in
+  let table =
+    Table.create
+      [
+        ("policy", Table.Left);
+        ("week cost", Table.Right);
+        ("vs static", Table.Right);
+        ("actions", Table.Right);
+        ("replans", Table.Right);
+        ("apply p95 ms", Table.Right);
+        ("verifier", Table.Left);
+      ]
+  in
+  List.iter
+    (fun (r : Week_sim.policy_run) ->
+      Table.add_row table
+        [
+          r.Week_sim.policy;
+          Table.cell_usd r.Week_sim.total_usd;
+          (if r.Week_sim.policy = "static" then "-"
+           else
+             Table.cell_pct
+               (Table.pct_change ~baseline:static_usd r.Week_sim.total_usd));
+          string_of_int r.Week_sim.scaling_actions;
+          string_of_int r.Week_sim.reprovisions;
+          Table.cell_float ~decimals:3 (r.Week_sim.apply_p95_seconds *. 1e3);
+          (if r.Week_sim.clean then "CLEAN" else "VIOLATIONS");
+        ])
+    runs;
+  Table.print table;
+  let find name =
+    List.find (fun (r : Week_sim.policy_run) -> r.Week_sim.policy = name) runs
+  in
+  let hysteresis = find "hysteresis" and lookahead = find "lookahead" in
+  let all_clean = List.for_all (fun (r : Week_sim.policy_run) -> r.Week_sim.clean) runs in
+  let beats (r : Week_sim.policy_run) = r.Week_sim.total_usd < static_usd in
+  Printf.printf
+    "oracle (knows the whole curve): %s, %s vs static; %d slices in %.1f s\n"
+    (Table.cell_usd result.Week_sim.oracle_usd)
+    (Table.cell_pct
+       (Table.pct_change ~baseline:static_usd result.Week_sim.oracle_usd))
+    scenario.Scenario.slices elapsed;
+  if not (beats hysteresis && beats lookahead) then
+    Printf.printf
+      "WARNING: an adaptive policy failed to beat the static plan\n";
+  if not all_clean then
+    Printf.printf "WARNING: an intermediate plan failed verification\n";
+  let rec mkdir_p d =
+    if d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      mkdir_p (Filename.dirname d);
+      (try Sys.mkdir d 0o755 with Sys_error _ -> ())
+    end
+  in
+  mkdir_p out_dir;
+  Week_sim.write_ledger (Filename.concat out_dir "elastic_ledger.json") result;
+  let json_path = Filename.concat out_dir "BENCH_elastic.json" in
+  let oc = open_out json_path in
+  let policy_json (r : Week_sim.policy_run) =
+    Printf.sprintf
+      "{ \"week_usd\": %.6f, \"vm_usd\": %.6f, \"bandwidth_usd\": %.6f,\n\
+      \    \"scaling_usd\": %.6f, \"savings_vs_static_pct\": %.4f,\n\
+      \    \"scaling_actions\": %d, \"reprovisions\": %d,\n\
+      \    \"apply_p95_s\": %.6f, \"clean\": %b }"
+      r.Week_sim.total_usd r.Week_sim.vm_usd r.Week_sim.bandwidth_usd
+      r.Week_sim.scaling_usd
+      (Table.pct_change ~baseline:static_usd r.Week_sim.total_usd)
+      r.Week_sim.scaling_actions r.Week_sim.reprovisions
+      r.Week_sim.apply_p95_seconds r.Week_sim.clean
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"scenario\": \"elastic\",\n\
+    \  \"runtime\": %s,\n\
+    \  \"version\": %S,\n\
+    \  \"trace_seed\": %d,\n\
+    \  \"trace\": \"spotify\",\n\
+    \  \"scale\": %g,\n\
+    \  \"tau\": 100,\n\
+    \  \"curve\": \"diurnal amplitude 0.4 period 24h\",\n\
+    \  \"slices\": %d,\n\
+    \  \"slice_hours\": %g,\n\
+    \  \"scenario_seed\": %d,\n\
+    \  \"static_fleet\": %d,\n\
+    \  \"static\": %s,\n\
+    \  \"hysteresis\": %s,\n\
+    \  \"lookahead\": %s,\n\
+    \  \"oracle\": { \"week_usd\": %.6f, \"savings_vs_static_pct\": %.4f },\n\
+    \  \"adaptive_beats_static\": %b,\n\
+    \  \"all_plans_clean\": %b,\n\
+    \  \"run_s\": %.3f\n\
+     }\n"
+    (runtime_json ())
+    (Mcss_serve.Build_info.to_string ())
+    seeds.trace_seed spotify_scale scenario.Scenario.slices
+    scenario.Scenario.slice_hours scenario.Scenario.seed
+    result.Week_sim.static_fleet
+    (policy_json result.Week_sim.static)
+    (policy_json hysteresis) (policy_json lookahead)
+    result.Week_sim.oracle_usd
+    (Table.pct_change ~baseline:static_usd result.Week_sim.oracle_usd)
+    (beats hysteresis && beats lookahead)
+    all_clean elapsed;
+  close_out oc;
+  Printf.printf "wrote %s\n" json_path
+
 let all_sections =
   [
     "fig1"; "fig2a"; "fig2b"; "fig3a"; "fig3b"; "fig4"; "fig5"; "fig6"; "fig7";
     "fig8-12"; "summary"; "ablate-stage1"; "ablate-stage2"; "ablate-dynamic";
     "ablate-failures"; "ablate-scaling"; "ablate-skew"; "ablate-budget"; "latency";
     "resilience"; "obs"; "serve"; "serve-faults"; "serve-cluster"; "engine";
-    "dataplane"; "micro";
+    "dataplane"; "elastic"; "micro";
   ]
 
 let run_bench sections spotify_scale twitter_scale trace_seed out_dir =
@@ -2578,6 +2738,8 @@ let run_bench sections spotify_scale twitter_scale trace_seed out_dir =
   if enabled "engine" then
     engine_bench ~seeds ~spotify:(Lazy.force spotify) ~spotify_scale ~out_dir;
   if enabled "dataplane" then dataplane_bench ~seeds ~spotify_scale ~out_dir;
+  if enabled "elastic" then
+    elastic_bench ~seeds ~spotify:(Lazy.force spotify) ~spotify_scale ~out_dir;
   if enabled "micro" then micro ~seeds ();
   Printf.printf "\ndone. figure data series in %s/\n" out_dir
 

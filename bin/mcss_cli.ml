@@ -41,6 +41,10 @@ module Serve_router = Mcss_serve.Router
 module Build_info = Mcss_serve.Build_info
 module Front = Mcss_front.Front
 module Engine = Mcss_engine.Engine
+module Reservation = Mcss_pricing.Reservation
+module Scenario = Mcss_elastic.Scenario
+module Autoscaler = Mcss_elastic.Autoscaler
+module Week_sim = Mcss_elastic.Week_sim
 module Delta_io = Mcss_engine.Delta_io
 module Dp_cluster = Mcss_dataplane.Cluster
 module Dp_pump = Mcss_dataplane.Pump
@@ -808,12 +812,43 @@ let chaos_cmd =
     Arg.(value & opt int 1 & info [ "hysteresis" ] ~docv:"N"
            ~doc:"Consecutive dead epochs before a VM is declared failed.")
   in
+  let backoff_base_arg =
+    Arg.(value & opt int Orchestrator.default_policy.Orchestrator.base_backoff
+         & info [ "backoff-base" ] ~docv:"N"
+             ~doc:"Epochs of cooldown after the first failed repair (the \
+                   exponential backoff doubles from here).")
+  in
+  let backoff_max_arg =
+    Arg.(value & opt int Orchestrator.default_policy.Orchestrator.max_backoff
+         & info [ "backoff-max" ] ~docv:"N"
+             ~doc:"Cap on the exponential repair cooldown, in epochs.")
+  in
+  let backoff_jitter_arg =
+    Arg.(value & opt int Orchestrator.default_policy.Orchestrator.jitter
+         & info [ "backoff-jitter" ] ~docv:"N"
+             ~doc:"Max extra cooldown epochs drawn from the seeded RNG; 0 \
+                   makes repair timing fully deterministic.")
+  in
   let run () file trace scale seed tau instance_name bc_events faults campaign_seed
       epochs epoch_duration zones k no_recovery max_new_vms penalty hysteresis
-      metrics_out =
+      backoff_base backoff_max backoff_jitter metrics_out =
     let ( let* ) r f = match r with Ok x -> f x | Error e -> `Error (false, e) in
     let* () = if k >= 1 then Ok () else Error "--replicas must be >= 1" in
     let* () = if zones >= 1 then Ok () else Error "--zones must be >= 1" in
+    let* () =
+      if backoff_base >= 1 then Ok () else Error "--backoff-base must be >= 1"
+    in
+    let* () =
+      if backoff_max >= backoff_base then Ok ()
+      else Error "--backoff-max must be >= --backoff-base"
+    in
+    let* () =
+      if backoff_jitter >= 0 then Ok ()
+      else Error "--backoff-jitter must be >= 0"
+    in
+    let* () =
+      if hysteresis >= 1 then Ok () else Error "--hysteresis must be >= 1"
+    in
     let w = require_workload file trace scale seed in
     let* instance = resolve_instance instance_name in
     let obs = obs_of metrics_out in
@@ -824,6 +859,9 @@ let chaos_cmd =
         Orchestrator.epochs;
         epoch_duration;
         hysteresis;
+        base_backoff = backoff_base;
+        max_backoff = backoff_max;
+        jitter = backoff_jitter;
         seed = campaign_seed;
         recovery = not no_recovery;
         max_new_vms = Option.value ~default:max_int max_new_vms;
@@ -890,7 +928,173 @@ let chaos_cmd =
         (const run $ setup_logs_term $ workload_file $ trace_arg $ scale_arg $ seed_arg
         $ tau_arg $ instance_arg $ bc_events_arg $ faults_arg $ campaign_seed_arg
         $ epochs_arg $ epoch_duration_arg $ zones_arg $ k_arg $ no_recovery_arg
-        $ max_new_vms_arg $ penalty_arg $ hysteresis_arg $ metrics_out_arg))
+        $ max_new_vms_arg $ penalty_arg $ hysteresis_arg $ backoff_base_arg
+        $ backoff_max_arg $ backoff_jitter_arg $ metrics_out_arg))
+
+(* ----- elastic ----- *)
+
+let require_scenario path =
+  match Scenario.load path with
+  | s -> s
+  | exception Sys_error msg -> die "%s" msg
+  | exception Scenario.Parse_error { line; message } ->
+      die "%s:%d: %s" path line message
+  | exception Invalid_argument msg -> die "%s: %s" path msg
+
+let elastic_cmd =
+  let scenario_arg =
+    Arg.(required & opt (some string) None & info [ "scenario" ] ~docv:"FILE"
+           ~doc:"Scenario file (mcss-scenario format): time slices and the \
+                 rate curve to replay over the workload.")
+  in
+  let policy_arg =
+    Arg.(value & opt (enum [ ("all", `All); ("hysteresis", `Hysteresis);
+                             ("lookahead", `Lookahead) ]) `All
+         & info [ "policy" ] ~docv:"NAME"
+             ~doc:"Adaptive policy to run besides the static baseline: \
+                   $(b,hysteresis), $(b,lookahead), or $(b,all).")
+  in
+  let deployment_arg =
+    Arg.(value & opt (enum [ ("zonal", Reservation.Zonal);
+                             ("regional", Reservation.Regional) ])
+           Reservation.Zonal
+         & info [ "deployment" ] ~docv:"KIND"
+             ~doc:"Reservation deployment: $(b,zonal) or $(b,regional) \
+                   (regional multiplies both tiers by the regional premium).")
+  in
+  let scaling_usd_arg =
+    Arg.(value & opt (some float) None & info [ "scaling-usd" ] ~docv:"USD"
+           ~doc:"Flat charge per scaling action (reservation change or \
+                 consolidation pass). Default \\$0.10.")
+  in
+  let lookahead_arg =
+    Arg.(value & opt int Autoscaler.default_lookahead.Autoscaler.horizon
+         & info [ "lookahead" ] ~docv:"N"
+             ~doc:"Forecast window of the lookahead policy, in slices.")
+  in
+  let down_cooldown_arg =
+    Arg.(value & opt int Autoscaler.default_hysteresis.Autoscaler.down_cooldown
+         & info [ "down-cooldown" ] ~docv:"N"
+             ~doc:"Slices the fleet must sit below the commitment before the \
+                   hysteresis policy lowers it.")
+  in
+  let consolidate_below_arg =
+    Arg.(value
+         & opt float Autoscaler.default_hysteresis.Autoscaler.consolidate_below
+         & info [ "consolidate-below" ] ~docv:"F"
+             ~doc:"Utilization threshold that triggers a consolidation pass.")
+  in
+  let ledger_arg =
+    Arg.(value & opt (some string) None & info [ "ledger" ] ~docv:"FILE"
+           ~doc:"Write the full per-slice cost ledger as JSON.")
+  in
+  let run () file trace scale seed tau instance_name bc_events scenario_path
+      policy deployment scaling_usd lookahead down_cooldown consolidate_below
+      ledger =
+    let ( let* ) r f = match r with Ok x -> f x | Error e -> `Error (false, e) in
+    let scenario = require_scenario scenario_path in
+    let w = require_workload file trace scale seed in
+    let* instance = resolve_instance instance_name in
+    let model, p = problem_of ~w ~tau ~instance ~scale ~bc_events in
+    let pricing =
+      let d = Reservation.default ~instance ~deployment () in
+      match scaling_usd with
+      | None -> d
+      | Some usd -> { d with Reservation.scaling_usd_per_action = usd }
+    in
+    let slice_hours = scenario.Scenario.slice_hours in
+    let hyst_config =
+      {
+        Autoscaler.default_hysteresis with
+        Autoscaler.down_cooldown;
+        consolidate_below;
+      }
+    in
+    let look_config =
+      {
+        Autoscaler.default_lookahead with
+        Autoscaler.horizon = lookahead;
+        consolidate_below;
+      }
+    in
+    let policies =
+      let hyst () = Autoscaler.hysteresis ~config:hyst_config () in
+      let look () =
+        Autoscaler.lookahead ~config:look_config ~pricing ~slice_hours ()
+      in
+      match policy with
+      | `All -> [ hyst (); look () ]
+      | `Hysteresis -> [ hyst () ]
+      | `Lookahead -> [ look () ]
+    in
+    match
+      Week_sim.run ~pricing ~capacity_events:p.Problem.capacity ~policies
+        ~workload:w ~tau ~model scenario
+    with
+    | exception Problem.Infeasible m -> `Error (false, "infeasible: " ^ m)
+    | exception Invalid_argument m -> `Error (false, m)
+    | result ->
+        Printf.printf
+          "scenario: %d slice(s) x %gh, seed %d, coverage %g; static fleet %d \
+           VM(s)\n"
+          scenario.Scenario.slices slice_hours scenario.Scenario.seed
+          scenario.Scenario.coverage result.Week_sim.static_fleet;
+        let runs = result.Week_sim.static :: result.Week_sim.policies in
+        let table =
+          Table.create
+            [
+              ("policy", Table.Left); ("week cost", Table.Right);
+              ("vm", Table.Right); ("bandwidth", Table.Right);
+              ("scaling", Table.Right); ("actions", Table.Right);
+              ("replans", Table.Right); ("vs static", Table.Right);
+              ("verifier", Table.Left);
+            ]
+        in
+        let static_usd = result.Week_sim.static.Week_sim.total_usd in
+        List.iter
+          (fun (r : Week_sim.policy_run) ->
+            Table.add_row table
+              [
+                r.Week_sim.policy;
+                Table.cell_usd r.Week_sim.total_usd;
+                Table.cell_usd r.Week_sim.vm_usd;
+                Table.cell_usd r.Week_sim.bandwidth_usd;
+                Table.cell_usd r.Week_sim.scaling_usd;
+                string_of_int r.Week_sim.scaling_actions;
+                string_of_int r.Week_sim.reprovisions;
+                (if r.Week_sim.policy = "static" then "-"
+                 else
+                   Table.cell_pct
+                     (Table.pct_change ~baseline:static_usd
+                        r.Week_sim.total_usd));
+                (if r.Week_sim.clean then "CLEAN" else "VIOLATIONS");
+              ])
+          runs;
+        Table.print table;
+        Printf.printf "oracle (knows the whole curve): %s, %s vs static\n"
+          (Table.cell_usd result.Week_sim.oracle_usd)
+          (Table.cell_pct
+             (Table.pct_change ~baseline:static_usd result.Week_sim.oracle_usd));
+        (match ledger with
+        | None -> ()
+        | Some path ->
+            Week_sim.write_ledger path result;
+            Printf.printf "ledger written to %s\n" path);
+        if List.for_all (fun (r : Week_sim.policy_run) -> r.Week_sim.clean) runs
+        then `Ok ()
+        else `Error (false, "a policy produced a plan that failed verification")
+  in
+  Cmd.v
+    (Cmd.info "elastic"
+       ~doc:"Replay a time-varying scenario through the capacity planner: \
+             static envelope plan vs autoscaling policies under reservation \
+             pricing")
+    Term.(
+      ret
+        (const run $ setup_logs_term $ workload_file $ trace_arg $ scale_arg
+        $ seed_arg $ tau_arg $ instance_arg $ bc_events_arg $ scenario_arg
+        $ policy_arg $ deployment_arg $ scaling_usd_arg $ lookahead_arg
+        $ down_cooldown_arg $ consolidate_below_arg $ ledger_arg))
 
 (* ----- profile ----- *)
 
@@ -1036,6 +1240,30 @@ let serve_cmd =
   let quiet_arg =
     Arg.(value & flag & info [ "silent" ] ~doc:"No lifecycle logging.")
   in
+  let chaos_hysteresis_arg =
+    Arg.(value & opt int Orchestrator.default_policy.Orchestrator.hysteresis
+         & info [ "chaos-hysteresis" ] ~docv:"N"
+             ~doc:"For $(b,chaos) requests: consecutive dead epochs before a \
+                   VM is declared failed.")
+  in
+  let chaos_backoff_base_arg =
+    Arg.(value & opt int Orchestrator.default_policy.Orchestrator.base_backoff
+         & info [ "chaos-backoff-base" ] ~docv:"N"
+             ~doc:"For $(b,chaos) requests: epochs of cooldown after the \
+                   first failed repair.")
+  in
+  let chaos_backoff_max_arg =
+    Arg.(value & opt int Orchestrator.default_policy.Orchestrator.max_backoff
+         & info [ "chaos-backoff-max" ] ~docv:"N"
+             ~doc:"For $(b,chaos) requests: cap on the exponential repair \
+                   cooldown, in epochs.")
+  in
+  let chaos_backoff_jitter_arg =
+    Arg.(value & opt int Orchestrator.default_policy.Orchestrator.jitter
+         & info [ "chaos-backoff-jitter" ] ~docv:"N"
+             ~doc:"For $(b,chaos) requests: max extra cooldown epochs drawn \
+                   from the seeded RNG.")
+  in
   let replicate_on_arg =
     Arg.(value & opt (some string) None & info [ "replicate-on" ] ~docv:"ADDR"
            ~doc:"Also stream the journal to followers on $(docv) (needs \
@@ -1053,9 +1281,27 @@ let serve_cmd =
   in
   let run () listen cache_size max_in_flight workers max_request_bytes
       default_deadline preloads journal snapshot_every no_fsync breaker_failures
-      breaker_cooldown queue_depth start_degraded replicate_on follow quiet =
+      breaker_cooldown queue_depth start_degraded chaos_hysteresis
+      chaos_backoff_base chaos_backoff_max chaos_backoff_jitter replicate_on
+      follow quiet =
     let ( let* ) r f = match r with Ok x -> f x | Error e -> `Error (false, e) in
     let* address = Serve_server.address_of_string listen in
+    let* () =
+      if chaos_hysteresis >= 1 then Ok ()
+      else Error "--chaos-hysteresis must be >= 1"
+    in
+    let* () =
+      if chaos_backoff_base >= 1 then Ok ()
+      else Error "--chaos-backoff-base must be >= 1"
+    in
+    let* () =
+      if chaos_backoff_max >= chaos_backoff_base then Ok ()
+      else Error "--chaos-backoff-max must be >= --chaos-backoff-base"
+    in
+    let* () =
+      if chaos_backoff_jitter >= 0 then Ok ()
+      else Error "--chaos-backoff-jitter must be >= 0"
+    in
     let* () = if cache_size >= 1 then Ok () else Error "--cache-size must be >= 1" in
     let* () =
       if max_in_flight >= 1 then Ok () else Error "--max-in-flight must be >= 1"
@@ -1109,6 +1355,14 @@ let serve_cmd =
           {
             Serve_breaker.failure_threshold = breaker_failures;
             cooldown_ms = breaker_cooldown;
+          };
+        chaos_policy =
+          {
+            Orchestrator.default_policy with
+            Orchestrator.hysteresis = chaos_hysteresis;
+            base_backoff = chaos_backoff_base;
+            max_backoff = chaos_backoff_max;
+            jitter = chaos_backoff_jitter;
           };
       }
     in
@@ -1220,7 +1474,8 @@ let serve_cmd =
         $ workers_arg $ max_request_bytes_arg $ default_deadline_arg $ preload_arg
         $ journal_arg $ snapshot_every_arg $ no_fsync_arg $ breaker_failures_arg
         $ breaker_cooldown_arg $ queue_depth_arg $ start_degraded_arg
-        $ replicate_on_arg $ follow_arg $ quiet_arg))
+        $ chaos_hysteresis_arg $ chaos_backoff_base_arg $ chaos_backoff_max_arg
+        $ chaos_backoff_jitter_arg $ replicate_on_arg $ follow_arg $ quiet_arg))
 
 (* ----- route ----- *)
 
@@ -1423,13 +1678,30 @@ let message_bytes_arg =
                BC x $(docv) bytes per horizon, as in the in-memory fleet.")
 
 let dataplane_cmd =
+  let replay_scenario_arg =
+    Arg.(value & opt (some string) None & info [ "replay-scenario" ] ~docv:"FILE"
+           ~doc:"Replay an elastic scenario over the live fleet: at each slice \
+                 boundary the slice's rate deltas go through the incremental \
+                 engine and the running brokers are re-homed onto the evolved \
+                 plan, then the fleet shuts down. Without this flag the fleet \
+                 serves until shut down externally.")
+  in
+  let slice_pace_arg =
+    Arg.(value & opt float 0. & info [ "slice-pace" ] ~docv:"S"
+           ~doc:"Wall seconds to hold each scenario slice before moving on \
+                 (0 replays as fast as the re-homes complete).")
+  in
   let run () file trace scale seed plan dir message_bytes tau instance_name
-      bc_events =
+      bc_events replay_scenario slice_pace =
     let ( let* ) r f = match r with Ok x -> f x | Error e -> `Error (false, e) in
+    let* () =
+      if slice_pace >= 0. then Ok () else Error "--slice-pace must be >= 0"
+    in
     let w = require_workload file trace scale seed in
     let* instance = resolve_instance instance_name in
     let _, p = problem_of ~w ~tau ~instance ~scale ~bc_events in
-    let allocation, _ = require_plan ~workload:w plan in
+    let allocation, selection = require_plan ~workload:w plan in
+    let scenario = Option.map require_scenario replay_scenario in
     (try Unix.mkdir dir 0o755
      with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
     let cluster = Dp_cluster.boot ~dir ~message_bytes p allocation in
@@ -1444,21 +1716,67 @@ let dataplane_cmd =
           (Serve_server.address_to_string addr)
           (Dp_cluster.pairs_on cluster vm))
       live;
-    Printf.printf "serving; stop with 'mcss pump --shutdown' or \
-                   'mcss query shutdown -c <socket>' per broker\n%!";
-    Dp_cluster.join cluster;
-    print_endline "dataplane: all brokers stopped";
-    `Ok ()
+    match scenario with
+    | None ->
+        Printf.printf "serving; stop with 'mcss pump --shutdown' or \
+                       'mcss query shutdown -c <socket>' per broker\n%!";
+        Dp_cluster.join cluster;
+        print_endline "dataplane: all brokers stopped";
+        `Ok ()
+    | Some scenario -> (
+        (* Scenario replay: the engine evolves the plan slice by slice
+           and the live fleet is reconciled onto each evolved plan —
+           the dataplane twin of [mcss elastic]'s simulated week. *)
+        let eng =
+          Engine.of_plan { Engine.problem = p; selection; allocation }
+        in
+        let batches = Scenario.compile scenario w in
+        let replay () =
+          Array.iteri
+            (fun k batch ->
+              let stats = Engine.apply eng batch in
+              let plan = Engine.plan eng in
+              let report =
+                Verifier.verify plan.Engine.problem plan.Engine.selection
+                  plan.Engine.allocation
+              in
+              let apply = Dp_cluster.apply_plan cluster plan.Engine.allocation in
+              Printf.printf
+                "slice %d: x%.3f rates, %d VM(s), re-home +%d/-%d pair(s), \
+                 %d broker(s) spawned%s, verifier %s\n%!"
+                k
+                (Scenario.multiplier scenario ~slice:k)
+                (Engine.num_vms eng) apply.Dp_cluster.pairs_added
+                apply.Dp_cluster.pairs_removed apply.Dp_cluster.spawned
+                (if stats.Engine.resolved then " (drift re-solve)" else "")
+                (if Verifier.is_valid report then "CLEAN" else "VIOLATIONS");
+              List.iter
+                (fun e -> Printf.printf "  broker error: %s\n" e)
+                apply.Dp_cluster.errors;
+              if slice_pace > 0. then Unix.sleepf slice_pace)
+            batches;
+          Dp_cluster.shutdown cluster;
+          print_endline "dataplane: scenario replayed, all brokers stopped"
+        in
+        match replay () with
+        | () -> `Ok ()
+        | exception Problem.Infeasible m ->
+            Dp_cluster.shutdown cluster;
+            `Error (false, "infeasible: " ^ m)
+        | exception Invalid_argument m ->
+            Dp_cluster.shutdown cluster;
+            `Error (false, m))
   in
   Cmd.v
     (Cmd.info "dataplane"
        ~doc:"Boot a live broker fleet (one socket per planned VM) from a \
-             solved plan and serve until shut down")
+             solved plan and serve until shut down, or replay an elastic \
+             scenario over it")
     Term.(
       ret
         (const run $ setup_logs_term $ workload_file $ trace_arg $ scale_arg
         $ seed_arg $ plan_arg $ dir_arg $ message_bytes_arg $ tau_arg
-        $ instance_arg $ bc_events_arg))
+        $ instance_arg $ bc_events_arg $ replay_scenario_arg $ slice_pace_arg))
 
 let pump_cmd =
   let duration_arg =
@@ -1878,9 +2196,9 @@ let main_cmd =
     (Cmd.info "mcss" ~version:Mcss_serve.Build_info.version ~doc)
     [
       generate_cmd; solve_cmd; lower_bound_cmd; analyze_cmd; simulate_cmd; update_cmd;
-      budget_cmd; convert_cmd; export_lp_cmd; verify_cmd; chaos_cmd; profile_cmd;
-      serve_cmd; route_cmd; journal_cmd; query_cmd; dataplane_cmd; pump_cmd;
-      version_cmd;
+      budget_cmd; convert_cmd; export_lp_cmd; verify_cmd; chaos_cmd; elastic_cmd;
+      profile_cmd; serve_cmd; route_cmd; journal_cmd; query_cmd; dataplane_cmd;
+      pump_cmd; version_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,157 @@
+module Reservation = Mcss_pricing.Reservation
+
+type observation = {
+  slice : int;
+  fleet : int;
+  min_fleet : int;
+  utilization : float;
+  forecast : int array;
+}
+
+type decision = { reserved : int; consolidate : bool }
+type t = { name : string; horizon : int; decide : observation -> decision }
+
+let static ~fleet =
+  if fleet < 1 then invalid_arg "Autoscaler.static: fleet must be >= 1";
+  {
+    name = "static";
+    horizon = 0;
+    decide = (fun _ -> { reserved = fleet; consolidate = false });
+  }
+
+(* Shared scale-down trigger: there is slack worth draining, the fleet
+   is loose enough, and we have not consolidated too recently. [min_int]
+   means "never fired" — it must not enter the subtraction, which would
+   wrap. *)
+let slack_trigger ~below ~cooldown ~last obs =
+  let fire =
+    obs.fleet > obs.min_fleet
+    && obs.utilization < below
+    && (!last = min_int || obs.slice - !last >= cooldown)
+  in
+  if fire then last := obs.slice;
+  fire
+
+type hysteresis_config = {
+  down_cooldown : int;
+  consolidate_below : float;
+  consolidate_cooldown : int;
+}
+
+let default_hysteresis =
+  { down_cooldown = 2; consolidate_below = 0.9; consolidate_cooldown = 2 }
+
+let validate_thresholds ~context ~below ~cooldowns =
+  if not (below > 0. && below <= 1.) then
+    invalid_arg
+      (Printf.sprintf "%s: consolidate-below %g outside (0, 1]" context below);
+  List.iter
+    (fun (what, c) ->
+      if c < 0 then
+        invalid_arg (Printf.sprintf "%s: %s cooldown %d is negative" context what c))
+    cooldowns
+
+let hysteresis ?(config = default_hysteresis) () =
+  validate_thresholds ~context:"Autoscaler.hysteresis"
+    ~below:config.consolidate_below
+    ~cooldowns:
+      [ ("down", config.down_cooldown); ("consolidate", config.consolidate_cooldown) ];
+  let reserved = ref (-1) in
+  let low_streak = ref 0 in
+  let last_consolidate = ref min_int in
+  let decide obs =
+    (if !reserved < 0 then reserved := obs.fleet
+     else if obs.fleet >= !reserved then begin
+       (* Overflow is billed at the on-demand rate, so commit to what
+          the rates already forced into existence right away. *)
+       reserved := obs.fleet;
+       low_streak := 0
+     end
+     else begin
+       incr low_streak;
+       if !low_streak >= config.down_cooldown then begin
+         reserved := obs.fleet;
+         low_streak := 0
+       end
+     end);
+    let consolidate =
+      slack_trigger ~below:config.consolidate_below
+        ~cooldown:config.consolidate_cooldown ~last:last_consolidate obs
+    in
+    { reserved = !reserved; consolidate }
+  in
+  { name = "hysteresis"; horizon = 0; decide }
+
+type lookahead_config = {
+  horizon : int;
+  consolidate_below : float;
+  consolidate_cooldown : int;
+}
+
+let default_lookahead =
+  { horizon = 6; consolidate_below = 0.9; consolidate_cooldown = 2 }
+
+let lookahead ?(config = default_lookahead) ~pricing ~slice_hours () =
+  if config.horizon < 1 then
+    invalid_arg "Autoscaler.lookahead: horizon must be >= 1";
+  validate_thresholds ~context:"Autoscaler.lookahead"
+    ~below:config.consolidate_below
+    ~cooldowns:[ ("consolidate", config.consolidate_cooldown) ];
+  Reservation.validate pricing;
+  let current = ref (-1) in
+  let last_consolidate = ref min_int in
+  let change_cost = pricing.Reservation.scaling_usd_per_action in
+  let slice_cost r d =
+    Reservation.slice_vm_cost pricing ~reserved:r ~used:d ~hours:slice_hours
+  in
+  let decide obs =
+    let demands =
+      Array.append [| obs.fleet |]
+        (Array.sub obs.forecast 0
+           (min config.horizon (Array.length obs.forecast)))
+    in
+    let n = Array.length demands in
+    let ladder = max (Array.fold_left max 0 demands) (max !current 0) + 1 in
+    (* Value iteration over the commitment ladder, backwards from the
+       end of the forecast window: [v.(r)] holds V_{j+1} r, the best
+       achievable cost of slices j+1 .. n-1 entering them committed to
+       r VMs. Beyond the window the future is worth 0 to everyone. *)
+    let v = Array.make ladder 0. in
+    let v' = Array.make ladder infinity in
+    for j = n - 1 downto 1 do
+      Array.fill v' 0 ladder infinity;
+      for r = 0 to ladder - 1 do
+        for r_next = 0 to ladder - 1 do
+          let c =
+            (if r_next <> r then change_cost else 0.)
+            +. slice_cost r_next demands.(j)
+            +. v.(r_next)
+          in
+          if c < v'.(r) then v'.(r) <- c
+        done
+      done;
+      Array.blit v' 0 v 0 ladder
+    done;
+    (* Today's commitment: the ladder rung minimizing change cost (the
+       very first commitment of the run is free — static pays none
+       either) + today's slice cost + the optimal future from there. *)
+    let best = ref 0 and best_cost = ref infinity in
+    for r_next = 0 to ladder - 1 do
+      let c =
+        (if !current >= 0 && r_next <> !current then change_cost else 0.)
+        +. slice_cost r_next demands.(0)
+        +. v.(r_next)
+      in
+      if c < !best_cost then begin
+        best_cost := c;
+        best := r_next
+      end
+    done;
+    current := !best;
+    let consolidate =
+      slack_trigger ~below:config.consolidate_below
+        ~cooldown:config.consolidate_cooldown ~last:last_consolidate obs
+    in
+    { reserved = !best; consolidate }
+  in
+  { name = "lookahead"; horizon = config.horizon; decide }

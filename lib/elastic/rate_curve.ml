@@ -1,0 +1,160 @@
+module Rng = Mcss_prng.Rng
+module Time_window = Mcss_sim.Time_window
+
+type component =
+  | Diurnal of { amplitude : float; period_hours : float; phase_hours : float }
+  | Weekly of { weekend_factor : float }
+  | Spikes of { count : int; magnitude : float; width_hours : float }
+  | Growth of { per_hour : float }
+
+type t = component list
+
+let pi = 4.0 *. atan 1.0
+
+let validate_component = function
+  | Diurnal { amplitude; period_hours; phase_hours = _ } ->
+      if not (amplitude >= 0. && amplitude < 1.) then
+        invalid_arg
+          (Printf.sprintf "Rate_curve: diurnal amplitude %g outside [0, 1)"
+             amplitude);
+      Time_window.validate_positive ~context:"Rate_curve: diurnal"
+        ~what:"period" period_hours
+  | Weekly { weekend_factor } ->
+      Time_window.validate_positive ~context:"Rate_curve: weekly"
+        ~what:"weekend factor" weekend_factor
+  | Spikes { count; magnitude; width_hours } ->
+      if count < 0 then
+        invalid_arg
+          (Printf.sprintf "Rate_curve: spike count %d is negative" count);
+      Time_window.validate_positive ~context:"Rate_curve: spikes"
+        ~what:"magnitude" magnitude;
+      Time_window.validate_positive ~context:"Rate_curve: spikes"
+        ~what:"width" width_hours
+  | Growth { per_hour = _ } ->
+      (* Any slope parses; positivity over the horizon is checked by
+         [realize], which knows the horizon. *)
+      ()
+
+let validate curve = List.iter validate_component curve
+
+type spike = { from_hours : float; until_hours : float; magnitude : float }
+
+type realized = {
+  components : t;
+  spike_windows : spike list;
+  horizon_hours : float;
+}
+
+let components r = r.components
+let spikes r = r.spike_windows
+
+let component_value ~spike_windows ~hours = function
+  | Diurnal { amplitude; period_hours; phase_hours } ->
+      1. +. (amplitude *. sin (2. *. pi *. (hours +. phase_hours) /. period_hours))
+  | Weekly { weekend_factor } ->
+      let day = int_of_float (floor (hours /. 24.)) mod 7 in
+      if day = 5 || day = 6 then weekend_factor else 1.
+  | Spikes _ ->
+      (* Overlapping spikes take the max magnitude rather than
+         compounding, so two coincident windows cannot blow past the
+         declared burst height. *)
+      List.fold_left
+        (fun acc s ->
+          if hours >= s.from_hours && hours < s.until_hours then
+            Float.max acc s.magnitude
+          else acc)
+        1. spike_windows
+  | Growth { per_hour } -> 1. +. (per_hour *. hours)
+
+let value r ~hours =
+  List.fold_left
+    (fun acc c -> acc *. component_value ~spike_windows:r.spike_windows ~hours c)
+    1. r.components
+
+let realize curve ~seed ~horizon_hours =
+  validate curve;
+  Time_window.validate_positive ~context:"Rate_curve.realize"
+    ~what:"horizon" horizon_hours;
+  let rng = Rng.create seed in
+  let spike_windows =
+    List.concat_map
+      (function
+        | Spikes { count; magnitude; width_hours } ->
+            List.init count (fun _ ->
+                let from_hours = Rng.float rng horizon_hours in
+                {
+                  from_hours;
+                  until_hours = from_hours +. width_hours;
+                  magnitude;
+                })
+        | _ -> [])
+      curve
+  in
+  List.iter
+    (fun s ->
+      Time_window.validate_window
+        ~context:(Printf.sprintf "Rate_curve: spike at %gh" s.from_hours)
+        ~from_time:s.from_hours ~until_time:s.until_hours ())
+    spike_windows;
+  let r = { components = curve; spike_windows; horizon_hours } in
+  (* The curve must stay strictly positive everywhere a slice boundary
+     can land. Diurnal/weekly/spike components are positive by
+     construction; only a negative growth slope can cross zero, and it
+     does so monotonically, so checking the horizon end suffices —
+     but sample hourly anyway to keep the check composition-proof. *)
+  let h = ref 0. in
+  while !h <= horizon_hours do
+    if not (value r ~hours:!h > 0.) then
+      invalid_arg
+        (Printf.sprintf
+           "Rate_curve: curve multiplier %g at %gh is not positive"
+           (value r ~hours:!h) !h);
+    h := !h +. 1.
+  done;
+  r
+
+let component_to_string = function
+  | Diurnal { amplitude; period_hours; phase_hours } ->
+      Printf.sprintf "diurnal amplitude %.17g period %.17g phase %.17g"
+        amplitude period_hours phase_hours
+  | Weekly { weekend_factor } ->
+      Printf.sprintf "weekly weekend %.17g" weekend_factor
+  | Spikes { count; magnitude; width_hours } ->
+      Printf.sprintf "spikes count %d magnitude %.17g width %.17g" count
+        magnitude width_hours
+  | Growth { per_hour } -> Printf.sprintf "growth per-hour %.17g" per_hour
+
+let component_of_string line =
+  let float_tok what s =
+    match float_of_string_opt s with
+    | Some f -> f
+    | None ->
+        invalid_arg (Printf.sprintf "Rate_curve: bad %s value %S" what s)
+  in
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "diurnal"; "amplitude"; a; "period"; p; "phase"; ph ] ->
+      Some
+        (Diurnal
+           {
+             amplitude = float_tok "amplitude" a;
+             period_hours = float_tok "period" p;
+             phase_hours = float_tok "phase" ph;
+           })
+  | [ "weekly"; "weekend"; f ] ->
+      Some (Weekly { weekend_factor = float_tok "weekend" f })
+  | [ "spikes"; "count"; c; "magnitude"; m; "width"; w ] ->
+      let count =
+        match int_of_string_opt c with
+        | Some n -> n
+        | None -> invalid_arg (Printf.sprintf "Rate_curve: bad count value %S" c)
+      in
+      Some
+        (Spikes
+           {
+             count;
+             magnitude = float_tok "magnitude" m;
+             width_hours = float_tok "width" w;
+           })
+  | [ "growth"; "per-hour"; g ] ->
+      Some (Growth { per_hour = float_tok "per-hour" g })
+  | _ -> None

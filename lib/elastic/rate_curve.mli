@@ -1,0 +1,65 @@
+(** Deterministic, seeded time-varying rate curves.
+
+    A curve is a product of multiplicative components evaluated at an
+    hour offset [h] from the start of the scenario:
+
+    - {b diurnal}: [1 + amplitude * sin (2π (h + phase) / period)] — the
+      day/night swing every pub/sub trace shows. [amplitude] must be in
+      [0, 1) so the multiplier stays strictly positive.
+    - {b weekly}: [weekend_factor] on days 5 and 6 of each 7 × 24 h
+      week (day 0 is the scenario start), [1] otherwise.
+    - {b spikes}: [count] bursty windows of [width_hours] each at
+      [magnitude] (> 0), placed uniformly at random over the horizon by
+      a {!Mcss_prng.Rng} stream — deterministic given the seed.
+      Overlapping spikes do not compound; the maximum magnitude wins.
+    - {b growth}: linear trend [1 + per_hour * h]; validated to stay
+      strictly positive over the realized horizon.
+
+    Components are specified seed-free ({!component}); {!realize} pins
+    the random spike placement against a [seed] and [horizon_hours],
+    after which {!value} is a pure function of the hour. *)
+
+type component =
+  | Diurnal of { amplitude : float; period_hours : float; phase_hours : float }
+  | Weekly of { weekend_factor : float }
+  | Spikes of { count : int; magnitude : float; width_hours : float }
+  | Growth of { per_hour : float }
+
+type t = component list
+(** Multiplied together; the empty list is the constant curve [1]. *)
+
+val validate : t -> unit
+(** Raises [Invalid_argument] when any component parameter is out of
+    range (amplitude outside [0, 1), non-positive period / factor /
+    magnitude / width, negative spike count). Growth slopes are only
+    fully checkable against a horizon and are re-validated by
+    {!realize}. *)
+
+type spike = { from_hours : float; until_hours : float; magnitude : float }
+
+type realized
+(** A curve with its spike windows pinned down. *)
+
+val realize : t -> seed:int -> horizon_hours:float -> realized
+(** Draws every spike window from a fresh [Rng.create seed] stream and
+    checks the curve stays strictly positive over
+    [[0, horizon_hours]]. Raises [Invalid_argument] if it does not
+    (e.g. a growth slope that crosses zero before the horizon ends). *)
+
+val value : realized -> hours:float -> float
+(** The multiplier at hour [hours]; strictly positive within the
+    realized horizon. *)
+
+val spikes : realized -> spike list
+(** The pinned spike windows, in draw order. *)
+
+val components : realized -> t
+
+val component_to_string : component -> string
+(** One scenario-file line, e.g.
+    ["diurnal amplitude 0.4 period 24 phase 0"]. Floats print with
+    ["%.17g"] so parsing round-trips exactly. *)
+
+val component_of_string : string -> component option
+(** Inverse of {!component_to_string}; [None] when the line is not a
+    curve component. *)

@@ -1,0 +1,197 @@
+module Rng = Mcss_prng.Rng
+module Workload = Mcss_workload.Workload
+module Delta = Mcss_engine.Delta
+module Time_window = Mcss_sim.Time_window
+
+type t = {
+  slices : int;
+  slice_hours : float;
+  seed : int;
+  coverage : float;
+  curve : Rate_curve.t;
+}
+
+let horizon_hours s = float_of_int s.slices *. s.slice_hours
+
+let validate s =
+  if s.slices < 1 then
+    invalid_arg (Printf.sprintf "Scenario: %d slices, need at least 1" s.slices);
+  Time_window.validate_positive ~context:"Scenario" ~what:"slice-hours"
+    s.slice_hours;
+  if not (s.coverage > 0. && s.coverage <= 1.) then
+    invalid_arg
+      (Printf.sprintf "Scenario: coverage %g outside (0, 1]" s.coverage);
+  (* Realizing checks the curve parameters and that the multiplier
+     stays strictly positive over the whole horizon. *)
+  ignore (Rate_curve.realize s.curve ~seed:s.seed ~horizon_hours:(horizon_hours s))
+
+let realized s =
+  Rate_curve.realize s.curve ~seed:s.seed ~horizon_hours:(horizon_hours s)
+
+let multiplier s ~slice =
+  if slice < 0 || slice >= s.slices then
+    invalid_arg
+      (Printf.sprintf "Scenario.multiplier: slice %d out of range (%d slices)"
+         slice s.slices);
+  Rate_curve.value (realized s) ~hours:(float_of_int slice *. s.slice_hours)
+
+let multipliers s =
+  let r = realized s in
+  Array.init s.slices (fun k ->
+      Rate_curve.value r ~hours:(float_of_int k *. s.slice_hours))
+
+(* The coverage draw uses a split of the scenario seed so adding spike
+   components to the curve cannot shift which topics are affected. *)
+let affected s ~num_topics =
+  let marked = Array.make num_topics false in
+  if s.coverage >= 1. then Array.fill marked 0 num_topics true
+  else begin
+    let k =
+      min num_topics
+        (int_of_float (ceil (s.coverage *. float_of_int num_topics)))
+    in
+    let rng = Rng.create (s.seed lxor 0x5ce9a810) in
+    Array.iter
+      (fun t -> marked.(t) <- true)
+      (Rng.sample_without_replacement rng k num_topics)
+  end;
+  marked
+
+let target_rates s w ~slice =
+  let m = multiplier s ~slice in
+  let base = Workload.event_rates w in
+  let marked = affected s ~num_topics:(Array.length base) in
+  Array.mapi (fun t r -> if marked.(t) then r *. m else r) base
+
+let envelope_rates s w =
+  let ms = multipliers s in
+  let peak = Array.fold_left Float.max ms.(0) ms in
+  let base = Workload.event_rates w in
+  let marked = affected s ~num_topics:(Array.length base) in
+  Array.mapi (fun t r -> if marked.(t) then r *. peak else r) base
+
+let reworkload w rates =
+  let interests =
+    Array.init (Workload.num_subscribers w) (fun v -> Workload.interests w v)
+  in
+  Workload.unsafe_create ?followers:(Workload.cached_followers w)
+    ~event_rates:rates ~interests ()
+
+let workload_at s w ~slice = reworkload w (target_rates s w ~slice)
+let envelope_workload s w = reworkload w (envelope_rates s w)
+
+let compile s w =
+  validate s;
+  let base = Workload.event_rates w in
+  let marked = affected s ~num_topics:(Array.length base) in
+  let ms = multipliers s in
+  let prev = ref 1.0 in
+  Array.map
+    (fun m ->
+      let batch =
+        if m = !prev then []
+        else begin
+          let deltas = ref [] in
+          for t = Array.length base - 1 downto 0 do
+            if marked.(t) then
+              deltas :=
+                Delta.Rate_change { topic = t; rate = base.(t) *. m } :: !deltas
+          done;
+          !deltas
+        end
+      in
+      prev := m;
+      batch)
+    ms
+
+(* --- codec ------------------------------------------------------- *)
+
+exception Parse_error of { line : int; message : string }
+
+let magic = "mcss-scenario 1"
+
+let to_string s =
+  let b = Buffer.create 256 in
+  Buffer.add_string b magic;
+  Buffer.add_char b '\n';
+  Buffer.add_string b (Printf.sprintf "slices %d\n" s.slices);
+  Buffer.add_string b (Printf.sprintf "slice-hours %.17g\n" s.slice_hours);
+  Buffer.add_string b (Printf.sprintf "seed %d\n" s.seed);
+  Buffer.add_string b (Printf.sprintf "coverage %.17g\n" s.coverage);
+  List.iter
+    (fun c ->
+      Buffer.add_string b (Rate_curve.component_to_string c);
+      Buffer.add_char b '\n')
+    s.curve;
+  Buffer.contents b
+
+let of_string text =
+  let fail line message = raise (Parse_error { line; message }) in
+  let lines = String.split_on_char '\n' text in
+  let slices = ref None
+  and slice_hours = ref None
+  and seed = ref None
+  and coverage = ref None
+  and curve = ref []
+  and seen_magic = ref false in
+  List.iteri
+    (fun i raw ->
+      let lineno = i + 1 in
+      let line = String.trim raw in
+      if line = "" || line.[0] = '#' then ()
+      else if not !seen_magic then
+        if line = magic then seen_magic := true
+        else fail lineno (Printf.sprintf "expected %S header" magic)
+      else
+        let int_field name tok =
+          match int_of_string_opt tok with
+          | Some n -> n
+          | None -> fail lineno (Printf.sprintf "bad %s value %S" name tok)
+        in
+        let float_field name tok =
+          match float_of_string_opt tok with
+          | Some f -> f
+          | None -> fail lineno (Printf.sprintf "bad %s value %S" name tok)
+        in
+        match String.split_on_char ' ' line with
+        | [ "slices"; v ] -> slices := Some (int_field "slices" v)
+        | [ "slice-hours"; v ] ->
+            slice_hours := Some (float_field "slice-hours" v)
+        | [ "seed"; v ] -> seed := Some (int_field "seed" v)
+        | [ "coverage"; v ] -> coverage := Some (float_field "coverage" v)
+        | _ -> (
+            match
+              try Rate_curve.component_of_string line
+              with Invalid_argument m -> fail lineno m
+            with
+            | Some c -> curve := c :: !curve
+            | None -> fail lineno (Printf.sprintf "unrecognised line %S" line)))
+    lines;
+  if not !seen_magic then fail 1 (Printf.sprintf "expected %S header" magic);
+  let require name = function
+    | Some v -> v
+    | None -> fail 1 (Printf.sprintf "missing %s line" name)
+  in
+  let s =
+    {
+      slices = require "slices" !slices;
+      slice_hours = require "slice-hours" !slice_hours;
+      seed = require "seed" !seed;
+      coverage = Option.value ~default:1.0 !coverage;
+      curve = List.rev !curve;
+    }
+  in
+  validate s;
+  s
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+let save path s =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string s))

@@ -1,0 +1,90 @@
+(** Scenario files: a seeded, time-sliced rate curve layered on a base
+    workload, compiled to engine delta batches.
+
+    A scenario divides a planning horizon into [slices] slices of
+    [slice_hours] each. Slice [k] covers hours
+    [[k * slice_hours, (k+1) * slice_hours)] and its rates are the base
+    workload's rates scaled by the curve multiplier at the slice start.
+    [coverage] is the fraction of topics that follow the curve (chosen
+    deterministically from [seed]); the rest keep their base rate, so a
+    scenario can model one hot community inside a steady trace.
+
+    {2 File format ("mcss-scenario 1")}
+
+    Line-oriented UTF-8, ['#'] comments and blank lines ignored:
+
+    {v
+    mcss-scenario 1
+    slices 24
+    slice-hours 1
+    seed 7
+    coverage 1
+    diurnal amplitude 0.4 period 24 phase 0
+    weekly weekend 0.65
+    spikes count 2 magnitude 2 width 3
+    growth per-hour 0.001
+    v}
+
+    Header keys may appear in any order before the curve lines; every
+    curve line adds one {!Rate_curve.component} (multiplied together).
+    Floats are printed with ["%.17g"] so {!to_string} / {!of_string}
+    round-trips exactly. *)
+
+type t = {
+  slices : int;  (** Number of time slices, [>= 1]. *)
+  slice_hours : float;  (** Duration of one slice, [> 0]. *)
+  seed : int;  (** Drives spike placement and coverage choice. *)
+  coverage : float;  (** Fraction of topics on the curve, in (0, 1]. *)
+  curve : Rate_curve.t;
+}
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on out-of-range fields or curve
+    parameters, including a curve that goes non-positive within the
+    horizon. *)
+
+val horizon_hours : t -> float
+(** [slices * slice_hours]. *)
+
+exception Parse_error of { line : int; message : string }
+
+val of_string : string -> t
+(** Raises {!Parse_error} on malformed input and [Invalid_argument]
+    (via {!validate}) on well-formed but out-of-range scenarios. *)
+
+val to_string : t -> string
+val load : string -> t
+val save : string -> t -> unit
+
+val multiplier : t -> slice:int -> float
+(** The curve multiplier at the start of [slice]; requires
+    [0 <= slice < slices]. Deterministic in [seed]. *)
+
+val affected : t -> num_topics:int -> bool array
+(** Which topics follow the curve: a seeded, order-independent choice
+    of [ceil (coverage * num_topics)] topics. [coverage = 1] marks
+    every topic. *)
+
+val target_rates : t -> Mcss_workload.Workload.t -> slice:int -> float array
+(** Per-topic absolute rates in effect during [slice]: base rate times
+    {!multiplier} for affected topics, base rate otherwise. *)
+
+val envelope_rates : t -> Mcss_workload.Workload.t -> float array
+(** Per-topic maximum rate across all slices (affected topics at the
+    peak multiplier, others at base) — the peak workload a static plan
+    must be provisioned for. *)
+
+val workload_at : t -> Mcss_workload.Workload.t -> slice:int -> Mcss_workload.Workload.t
+(** The base workload re-rated to {!target_rates} directly (same
+    topics, subscribers, and interests). *)
+
+val envelope_workload : t -> Mcss_workload.Workload.t -> Mcss_workload.Workload.t
+
+val compile : t -> Mcss_workload.Workload.t -> Mcss_engine.Delta.t list array
+(** [compile s w] is one delta batch per slice: batch [k] carries a
+    [Rate_change] for exactly the topics whose rate differs between
+    slice [k] and slice [k-1] (slice [-1] being the base workload).
+    Folding the batches in order through {!Mcss_engine.Delta.apply} (or
+    a live engine) therefore lands on the same workload as
+    [workload_at ~slice:(slices - 1)]. Batches for slices where the
+    multiplier repeats exactly are empty. *)

@@ -1,0 +1,25 @@
+(** Process-level resource figures sampled at reporting time, so every
+    benchmark record says not just how fast a run was but what it cost
+    the machine to get there.
+
+    Peak RSS comes from [/proc/self/status]'s [VmHWM] line (Linux); on
+    platforms without procfs it is reported as [0] rather than guessed.
+    Allocation pressure comes from [Gc.stat] — [major_words] is
+    cumulative over the process, so per-phase attribution needs two
+    samples. *)
+
+type t = {
+  peak_rss_bytes : int;  (** [VmHWM], in bytes; [0] when unavailable. *)
+  gc_major_words : float;
+      (** Words promoted to or allocated in the major heap since
+          process start. *)
+  gc_major_collections : int;
+  gc_heap_words : int;  (** Current major heap size, in words. *)
+}
+
+val sample : unit -> t
+
+val to_json_object : t -> string
+(** A JSON object literal (no trailing newline), e.g.
+    [{ "peak_rss_bytes": 123, ... }] — spliced into the BENCH_*.json
+    writers as the ["runtime"] field. *)

@@ -1,0 +1,66 @@
+type deployment = Zonal | Regional
+
+type t = {
+  instance : Instance.t;
+  reserved_discount : float;
+  on_demand_premium : float;
+  deployment : deployment;
+  regional_premium : float;
+  scaling_usd_per_action : float;
+}
+
+let default ?(instance = Instance.c3_large) ?(deployment = Zonal) () =
+  {
+    instance;
+    reserved_discount = Billing.discount Billing.Reserved_1yr;
+    on_demand_premium = 1.0;
+    deployment;
+    regional_premium = 2.5;
+    scaling_usd_per_action = 0.10;
+  }
+
+let validate r =
+  if not (r.reserved_discount > 0. && r.reserved_discount <= 1.) then
+    invalid_arg "Reservation: reserved discount must be in (0, 1]";
+  if not (r.on_demand_premium >= 1.) then
+    invalid_arg "Reservation: on-demand premium must be >= 1";
+  if not (r.regional_premium >= 1.) then
+    invalid_arg "Reservation: regional premium must be >= 1";
+  if not (r.scaling_usd_per_action >= 0.) then
+    invalid_arg "Reservation: scaling cost must be >= 0"
+
+let deployment_multiplier r =
+  match r.deployment with Zonal -> 1.0 | Regional -> r.regional_premium
+
+let reserved_hourly r =
+  r.instance.Instance.hourly_usd *. r.reserved_discount *. deployment_multiplier r
+
+let on_demand_hourly r =
+  r.instance.Instance.hourly_usd *. r.on_demand_premium *. deployment_multiplier r
+
+let slice_vm_cost r ~reserved ~used ~hours =
+  if reserved < 0 then invalid_arg "Reservation.slice_vm_cost: reserved < 0";
+  if used < 0 then invalid_arg "Reservation.slice_vm_cost: used < 0";
+  if not (hours >= 0.) then invalid_arg "Reservation.slice_vm_cost: hours < 0";
+  let overflow = max 0 (used - reserved) in
+  (float_of_int reserved *. reserved_hourly r
+  +. float_of_int overflow *. on_demand_hourly r)
+  *. hours
+
+let scaling_cost r ~actions =
+  if actions < 0 then invalid_arg "Reservation.scaling_cost: actions < 0";
+  float_of_int actions *. r.scaling_usd_per_action
+
+let deployment_to_string = function Zonal -> "zonal" | Regional -> "regional"
+
+let deployment_of_string = function
+  | "zonal" -> Some Zonal
+  | "regional" -> Some Regional
+  | _ -> None
+
+let pp ppf r =
+  Format.fprintf ppf
+    "%s %s: reserved $%.4f/h, on-demand $%.4f/h, $%.2f per scaling action"
+    r.instance.Instance.name
+    (deployment_to_string r.deployment)
+    (reserved_hourly r) (on_demand_hourly r) r.scaling_usd_per_action

@@ -1,0 +1,59 @@
+(** Reservation-vs-on-demand capacity pricing, à la Pub/Sub Lite: the
+    elastic planner commits to [reserved] VMs of pre-provisioned
+    capacity at a discounted hourly rate and pays the full (or a
+    premium) On-Demand rate only for the overflow VMs a traffic peak
+    forces on top. A plan's cost then depends on the {e commitment
+    schedule} over time, not just the instant allocation — exactly the
+    trade the paper's static per-horizon [C1] cannot express.
+
+    Zonal vs regional: a zonal deployment prices capacity in one
+    failure zone; a regional one replicates brokers across zones and
+    multiplies the hourly rate by [regional_premium] (the managed
+    services price regional Lite reservations at a steep multiple of
+    zonal). Bandwidth pricing is unchanged and stays in
+    {!Cost_model}. *)
+
+type deployment = Zonal | Regional
+
+type t = {
+  instance : Instance.t;  (** The VM type capacity is provisioned in. *)
+  reserved_discount : float;
+      (** Multiplier on the On-Demand hourly rate for reserved
+          capacity, in (0, 1] — default
+          [Billing.discount Reserved_1yr] = 0.62. *)
+  on_demand_premium : float;
+      (** Multiplier on the On-Demand hourly rate for overflow VMs,
+          [>= 1] (elastic capacity is never cheaper than committed). *)
+  deployment : deployment;
+  regional_premium : float;
+      (** Hourly multiplier applied to {e both} tiers when
+          [deployment = Regional]; [>= 1]. *)
+  scaling_usd_per_action : float;
+      (** Flat charge per scaling action (a reservation change or a
+          fleet consolidation pass) — the operational cost of moving
+          pairs and reconnecting subscribers, [>= 0]. *)
+}
+
+val default : ?instance:Instance.t -> ?deployment:deployment -> unit -> t
+(** c3.large, zonal, 1-yr reserved discount (0.62), premium 1.0,
+    regional premium 2.5, $0.10 per scaling action. *)
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on out-of-range fields (documented above). *)
+
+val deployment_multiplier : t -> float
+val reserved_hourly : t -> float
+val on_demand_hourly : t -> float
+
+val slice_vm_cost : t -> reserved:int -> used:int -> hours:float -> float
+(** VM cost of one time slice: [reserved] committed VMs billed at the
+    reserved rate whether used or not, plus [max 0 (used - reserved)]
+    overflow VMs at the on-demand rate. Raises [Invalid_argument] on
+    negative inputs. *)
+
+val scaling_cost : t -> actions:int -> float
+
+val deployment_to_string : deployment -> string
+val deployment_of_string : string -> deployment option
+
+val pp : Format.formatter -> t -> unit

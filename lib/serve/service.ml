@@ -24,6 +24,7 @@ type config = {
   default_deadline_ms : float option;
   journal : Journal.config option;
   breaker : Breaker.config;
+  chaos_policy : Orchestrator.policy;
 }
 
 let default_config =
@@ -33,6 +34,7 @@ let default_config =
     default_deadline_ms = None;
     journal = None;
     breaker = Breaker.default_config;
+    chaos_policy = Orchestrator.default_policy;
   }
 
 (* A cached plan: the full solver result (so chaos drills can replay the
@@ -1202,7 +1204,7 @@ let handle_chaos t ~id ~deadline ~digest ~params ~seed ~epochs ~zones ~faults =
               | Ok (_model, p) -> (
                   let policy =
                     {
-                      Orchestrator.default_policy with
+                      t.config.chaos_policy with
                       Orchestrator.epochs;
                       seed;
                     }

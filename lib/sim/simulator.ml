@@ -53,7 +53,8 @@ let phase_of_topic t =
 
 let run ?(obs = Registry.noop) (p : Problem.t) a config =
   Span.with_ obs ~name:"simulate" @@ fun () ->
-  if not (config.duration > 0.) then invalid_arg "Simulator.run: duration must be positive";
+  Time_window.validate_positive ~context:"Simulator.run" ~what:"duration"
+    config.duration;
   if config.buckets < 1 then invalid_arg "Simulator.run: buckets must be >= 1";
   (match config.arrivals with
   | Diurnal { amplitude; _ } when amplitude < 0. || amplitude >= 1. ->
@@ -63,20 +64,12 @@ let run ?(obs = Registry.noop) (p : Problem.t) a config =
   let num_vms = Allocation.num_vms a in
   List.iter
     (fun o ->
-      if o.vm < 0 || o.vm >= num_vms then
-        invalid_arg
-          (Printf.sprintf "Simulator.run: outage vm %d out of range (fleet has %d VMs)"
-             o.vm num_vms);
-      if not (o.from_time <= o.until_time) then
-        invalid_arg
-          (Printf.sprintf
-             "Simulator.run: outage on vm %d has inverted window (%g > %g)" o.vm
-             o.from_time o.until_time);
-      if not (o.severity > 0. && o.severity <= 1.) then
-        invalid_arg
-          (Printf.sprintf
-             "Simulator.run: outage on vm %d has severity %g outside (0, 1]" o.vm
-             o.severity))
+      Time_window.validate_id ~context:"Simulator.run: outage vm"
+        ~what:(Printf.sprintf "fleet has %d VMs" num_vms)
+        ~id:o.vm ~limit:num_vms;
+      Time_window.validate_window ~severity:o.severity
+        ~context:(Printf.sprintf "Simulator.run: outage on vm %d" o.vm)
+        ~from_time:o.from_time ~until_time:o.until_time ())
     config.outages;
   (* hosting.(t): the VMs carrying pairs of topic t, with pair counts. *)
   let hosting = Array.make (Workload.num_topics w) [] in

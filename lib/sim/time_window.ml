@@ -1,0 +1,24 @@
+(* One validator for every [from, until) time window the code base
+   injects into a run — simulator outages and elastic scenario slices
+   both come through here, so their error messages cannot drift. *)
+
+let validate_window ?severity ~context ~from_time ~until_time () =
+  if not (from_time <= until_time) then
+    invalid_arg
+      (Printf.sprintf "%s has inverted window (%g > %g)" context from_time
+         until_time);
+  match severity with
+  | None -> ()
+  | Some s ->
+      if not (s > 0. && s <= 1.) then
+        invalid_arg
+          (Printf.sprintf "%s has severity %g outside (0, 1]" context s)
+
+let validate_id ~context ~what ~id ~limit =
+  if id < 0 || id >= limit then
+    invalid_arg
+      (Printf.sprintf "%s %d out of range (%s)" context id what)
+
+let validate_positive ~context ~what x =
+  if not (x > 0.) then
+    invalid_arg (Printf.sprintf "%s: %s must be positive" context what)

@@ -1,0 +1,29 @@
+(** Shared validation for [from, until)] time windows, in horizons.
+
+    Both the simulator's outage windows and the elastic planner's
+    scenario slice/spike windows are half-open intervals on the same
+    normalised time axis; this module is the single place their
+    up-front checks (and error strings) live, so [mcss simulate
+    --outage] and scenario files reject bad windows with the same
+    vocabulary. *)
+
+val validate_window :
+  ?severity:float ->
+  context:string ->
+  from_time:float ->
+  until_time:float ->
+  unit ->
+  unit
+(** Raises [Invalid_argument "<context> has inverted window (%g > %g)"]
+    when [from_time > until_time], and — when [severity] is given —
+    ["<context> has severity %g outside (0, 1]"] unless it is in
+    (0, 1]. [until_time = infinity] is a valid open-ended window. *)
+
+val validate_id : context:string -> what:string -> id:int -> limit:int -> unit
+(** Raises [Invalid_argument "<context> <id> out of range (<what>)"]
+    unless [0 <= id < limit]. [what] describes the valid range, e.g.
+    ["fleet has 12 VMs"]. *)
+
+val validate_positive : context:string -> what:string -> float -> unit
+(** Raises [Invalid_argument "<context>: <what> must be positive"]
+    unless the value is strictly positive. *)

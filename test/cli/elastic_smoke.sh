@@ -1,0 +1,66 @@
+#!/bin/sh
+# End-to-end smoke for the elastic capacity planner.
+#
+#   1. Write a 24-slice diurnal scenario file.
+#   2. Run `mcss elastic` on a small Spotify trace under the hysteresis
+#      policy: it must exit 0 (every intermediate plan verifier-clean)
+#      and write a parseable JSON ledger.
+#   3. Assert the hysteresis week cost is no worse than the static
+#      peak-envelope plan's.
+#
+# Usage: elastic_smoke.sh /path/to/mcss
+# Exits non-zero (with a one-line reason on stderr) on the first failure.
+set -eu
+
+MCSS="$1"
+TMP=$(mktemp -d "${TMPDIR:-/tmp}/mcss-elastic-XXXXXX")
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+fail() {
+  echo "elastic_smoke: $*" >&2
+  exit 1
+}
+
+SCEN="$TMP/diurnal.scenario"
+LEDGER="$TMP/ledger.json"
+
+cat > "$SCEN" <<'EOF'
+mcss-scenario 1
+slices 24
+slice-hours 1
+seed 7
+coverage 1
+diurnal amplitude 0.4 period 24 phase 0
+EOF
+
+"$MCSS" elastic --trace spotify --scale 0.001 --seed 11 --tau 100 \
+  --scenario "$SCEN" --policy hysteresis --ledger "$LEDGER" \
+  > "$TMP/elastic.log" \
+  || fail "mcss elastic exited non-zero: $(cat "$TMP/elastic.log")"
+
+grep -q "verifier" "$TMP/elastic.log" \
+  || fail "no verifier column in the summary: $(cat "$TMP/elastic.log")"
+grep -q "VIOLATIONS" "$TMP/elastic.log" \
+  && fail "an intermediate plan failed verification: $(cat "$TMP/elastic.log")"
+
+[ -f "$LEDGER" ] || fail "ledger file was not written"
+
+# The ledger must parse, carry the schema tag, and price the adaptive
+# policy at or below the static baseline.
+python3 - "$LEDGER" <<'EOF' || fail "ledger check failed"
+import json, sys
+
+with open(sys.argv[1]) as f:
+    ledger = json.load(f)
+
+assert ledger["schema"] == "mcss-elastic-ledger-1", ledger.get("schema")
+policies = {p["policy"]: p for p in ledger["policies"]}
+assert "static" in policies and "hysteresis" in policies, sorted(policies)
+static = policies["static"]["total_usd"]
+hysteresis = policies["hysteresis"]["total_usd"]
+assert all(p["clean"] for p in policies.values()), "unclean policy run"
+assert hysteresis <= static, f"hysteresis {hysteresis} > static {static}"
+print(f"elastic_smoke: hysteresis ${hysteresis:.2f} <= static ${static:.2f}")
+EOF
+
+echo "elastic_smoke: OK"
