@@ -63,6 +63,7 @@ type seeds = {
   fleet : int;
   dataplane : int;
   elastic : int;
+  partition : int;
 }
 
 let default_trace_seed = 20130109
@@ -80,6 +81,7 @@ let derive_seeds trace_seed =
     fleet = trace_seed + 7;
     dataplane = trace_seed + 8;
     elastic = trace_seed + 9;
+    partition = trace_seed + 10;
   }
 
 let bc_events = Front.bc_events
@@ -2645,13 +2647,74 @@ let elastic_bench ~seeds ~spotify ~spotify_scale ~out_dir =
   close_out oc;
   Printf.printf "wrote %s\n" json_path
 
+(* Partition nemesis against the live replicated cluster: epochs,
+   quorum acks, and automatic fenced failover under a seeded schedule
+   of partitions and a stale-leader revival. The invariant booleans in
+   BENCH_partition.json are hard gates: the section exits 1 when any of
+   them is false, so a CI run cannot silently ship a failover
+   regression. *)
+let partition_bench ~seeds ~out_dir =
+  let module Nemesis = Mcss_serve.Nemesis in
+  Printf.printf "\n=== Partition nemesis: fenced failover under partitions ===\n%!";
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Nemesis.run
+      {
+        Nemesis.default_config with
+        Nemesis.seed = seeds.partition;
+        log = (fun s -> Printf.printf "  %s\n%!" s);
+      }
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Printf.printf
+    "updates: %d sent, %d acked, %d refused; %d auto promotions, %d fenced \
+     demotions, %d divergent tails cut\n"
+    r.Nemesis.r_updates_sent r.Nemesis.r_updates_acked r.Nemesis.r_updates_unacked
+    r.Nemesis.r_auto_promotions r.Nemesis.r_fenced_demotions
+    r.Nemesis.r_divergent_tails;
+  Printf.printf "recovery after leader loss: p50 %.0f ms, p95 %.0f ms\n"
+    r.Nemesis.r_recovery_p50_ms r.Nemesis.r_recovery_p95_ms;
+  Printf.printf
+    "invariants: single_writer=%b no_acked_lost=%b journals_converged=%b \
+     plans_converged=%b verify_clean=%b\n"
+    r.Nemesis.r_single_writer_per_epoch r.Nemesis.r_no_acked_update_lost
+    r.Nemesis.r_journals_converged r.Nemesis.r_plan_digests_converged
+    r.Nemesis.r_journals_verify_clean;
+  let rec mkdir_p d =
+    if d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      mkdir_p (Filename.dirname d);
+      (try Sys.mkdir d 0o755 with Sys_error _ -> ())
+    end
+  in
+  mkdir_p out_dir;
+  let json_path = Filename.concat out_dir "BENCH_partition.json" in
+  let oc = open_out json_path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"scenario\": \"partition\",\n\
+    \  \"runtime\": %s,\n\
+    \  \"version\": %S,\n\
+    \  \"run_s\": %.3f,\n\
+    \  \"report\": %s\n\
+     }\n"
+    (runtime_json ())
+    (Mcss_serve.Build_info.to_string ())
+    elapsed
+    (Mcss_serve.Json.to_string (Nemesis.report_to_json r));
+  close_out oc;
+  Printf.printf "wrote %s\n" json_path;
+  if not (Nemesis.passed r) then begin
+    Printf.printf "FAILED: a failover invariant did not hold\n";
+    exit 1
+  end
+
 let all_sections =
   [
     "fig1"; "fig2a"; "fig2b"; "fig3a"; "fig3b"; "fig4"; "fig5"; "fig6"; "fig7";
     "fig8-12"; "summary"; "ablate-stage1"; "ablate-stage2"; "ablate-dynamic";
     "ablate-failures"; "ablate-scaling"; "ablate-skew"; "ablate-budget"; "latency";
     "resilience"; "obs"; "serve"; "serve-faults"; "serve-cluster"; "engine";
-    "dataplane"; "elastic"; "micro";
+    "dataplane"; "elastic"; "partition"; "micro";
   ]
 
 let run_bench sections spotify_scale twitter_scale trace_seed out_dir =
@@ -2740,6 +2803,7 @@ let run_bench sections spotify_scale twitter_scale trace_seed out_dir =
   if enabled "dataplane" then dataplane_bench ~seeds ~spotify_scale ~out_dir;
   if enabled "elastic" then
     elastic_bench ~seeds ~spotify:(Lazy.force spotify) ~spotify_scale ~out_dir;
+  if enabled "partition" then partition_bench ~seeds ~out_dir;
   if enabled "micro" then micro ~seeds ();
   Printf.printf "\ndone. figure data series in %s/\n" out_dir
 

@@ -38,6 +38,7 @@ module Serve_breaker = Mcss_serve.Breaker
 module Serve_retry = Mcss_serve.Retry
 module Serve_replication = Mcss_serve.Replication
 module Serve_router = Mcss_serve.Router
+module Serve_nemesis = Mcss_serve.Nemesis
 module Build_info = Mcss_serve.Build_info
 module Front = Mcss_front.Front
 module Engine = Mcss_engine.Engine
@@ -1279,11 +1280,31 @@ let serve_cmd =
                  reads; a $(b,promote) query turns this replica into a leader \
                  in place.")
   in
+  let name_arg =
+    Arg.(value & opt string Serve_service.default_config.Serve_service.name
+         & info [ "name" ] ~docv:"NAME"
+           ~doc:"Node name stamped into journaled records as their origin \
+                 (the nemesis invariant checker groups writes by origin to \
+                 prove no two leaders accepted writes in the same epoch).")
+  in
+  let quorum_acks_arg =
+    Arg.(value & opt int 1 & info [ "quorum-acks" ] ~docv:"N"
+           ~doc:"Replicas (counting this leader) that must have fsynced a \
+                 non-idempotent record ($(b,update), first-time $(b,load)) \
+                 before it is acknowledged; needs $(b,--replicate-on) when \
+                 above 1. Idempotent solves never wait — replication stays \
+                 asynchronous for them.")
+  in
+  let quorum_timeout_arg =
+    Arg.(value & opt float 2000. & info [ "quorum-timeout-ms" ] ~docv:"MS"
+           ~doc:"How long a write waits for its quorum before it is refused \
+                 with $(b,no_quorum) (the record stays journaled locally).")
+  in
   let run () listen cache_size max_in_flight workers max_request_bytes
       default_deadline preloads journal snapshot_every no_fsync breaker_failures
       breaker_cooldown queue_depth start_degraded chaos_hysteresis
       chaos_backoff_base chaos_backoff_max chaos_backoff_jitter replicate_on
-      follow quiet =
+      follow name quorum_acks quorum_timeout quiet =
     let ( let* ) r f = match r with Ok x -> f x | Error e -> `Error (false, e) in
     let* address = Serve_server.address_of_string listen in
     let* () =
@@ -1331,6 +1352,17 @@ let serve_cmd =
         Error "--replicate-on and --follow need --journal DIR"
       else Ok ()
     in
+    let* () =
+      if quorum_acks < 1 then Error "--quorum-acks must be >= 1"
+      else if quorum_acks > 1 && replicate_on = None then
+        Error "--quorum-acks above 1 needs --replicate-on (the acks come from \
+               followers of the replication stream)"
+      else Ok ()
+    in
+    let* () =
+      if quorum_timeout > 0. then Ok ()
+      else Error "--quorum-timeout-ms must be positive"
+    in
     let* replicate_address =
       match replicate_on with
       | None -> Ok None
@@ -1344,6 +1376,9 @@ let serve_cmd =
     let config =
       {
         Serve_service.cache_capacity = cache_size;
+        name;
+        quorum_acks;
+        quorum_timeout_ms = quorum_timeout;
         max_in_flight;
         default_deadline_ms = default_deadline;
         journal =
@@ -1428,7 +1463,19 @@ let serve_cmd =
             log
               (Printf.sprintf "mcss serve: replicating journal on %s"
                  (Serve_server.address_to_string rep));
-            Serve_replication.start_leader ~service rep)
+            let hub = Serve_replication.start_leader ~service rep in
+            if quorum_acks > 1 then begin
+              log
+                (Printf.sprintf
+                   "mcss serve: writes wait for %d-of-cluster acks (%.0f ms)"
+                   quorum_acks quorum_timeout);
+              Serve_service.set_commit_gate service
+                (Some
+                   (fun ~index ->
+                     Serve_replication.commit_gate hub ~quorum:quorum_acks
+                       ~timeout_ms:quorum_timeout ~index))
+            end;
+            hub)
           replicate_address
       in
       let stopped = Atomic.make false in
@@ -1475,7 +1522,8 @@ let serve_cmd =
         $ journal_arg $ snapshot_every_arg $ no_fsync_arg $ breaker_failures_arg
         $ breaker_cooldown_arg $ queue_depth_arg $ start_degraded_arg
         $ chaos_hysteresis_arg $ chaos_backoff_base_arg $ chaos_backoff_max_arg
-        $ chaos_backoff_jitter_arg $ replicate_on_arg $ follow_arg $ quiet_arg))
+        $ chaos_backoff_jitter_arg $ replicate_on_arg $ follow_arg $ name_arg
+        $ quorum_acks_arg $ quorum_timeout_arg $ quiet_arg))
 
 (* ----- route ----- *)
 
@@ -1505,13 +1553,31 @@ let route_cmd =
   let quiet_arg =
     Arg.(value & flag & info [ "silent" ] ~doc:"No lifecycle logging.")
   in
-  let run () listen shards vnodes health_period quiet =
+  let auto_promote_arg =
+    Arg.(value & flag & info [ "auto-promote" ]
+           ~doc:"Drive fenced failover from the health probes: when a shard's \
+                 leader is dead past $(b,--promote-after) probes, promote the \
+                 most caught-up live follower at a fencing epoch above \
+                 anything the shard has reported; a revived stale leader is \
+                 demoted on sight. Without this flag the member order is \
+                 static and promotion is manual, as before.")
+  in
+  let promote_after_arg =
+    Arg.(value & opt int Serve_router.default_config.Serve_router.promote_after
+         & info [ "promote-after" ] ~docv:"N"
+           ~doc:"Consecutive failed probes before a leader is declared dead \
+                 (needs $(b,--auto-promote)).")
+  in
+  let run () listen shards vnodes health_period auto_promote promote_after quiet =
     let ( let* ) r f = match r with Ok x -> f x | Error e -> `Error (false, e) in
     let* address = Serve_server.address_of_string listen in
     let* () = if vnodes >= 1 then Ok () else Error "--vnodes must be >= 1" in
     let* () =
       if health_period > 0. then Ok ()
       else Error "--health-period-s must be positive"
+    in
+    let* () =
+      if promote_after >= 1 then Ok () else Error "--promote-after must be >= 1"
     in
     let parse_spec spec =
       match String.index_opt spec '=' with
@@ -1552,6 +1618,8 @@ let route_cmd =
         Serve_router.default_config with
         Serve_router.vnodes;
         health_period_s = health_period;
+        auto_promote;
+        promote_after;
         log;
       }
     in
@@ -1585,7 +1653,7 @@ let route_cmd =
     Term.(
       ret
         (const run $ setup_logs_term $ listen_arg $ shard_arg $ vnodes_arg
-        $ health_period_arg $ quiet_arg))
+        $ health_period_arg $ auto_promote_arg $ promote_after_arg $ quiet_arg))
 
 (* ----- journal ----- *)
 
@@ -1600,8 +1668,57 @@ let journal_cmd =
                  records (snapshot records first, then the WAL) instead of \
                  all of them.")
   in
-  let run () dir seek =
+  let verify_arg =
+    Arg.(value & flag & info [ "verify" ]
+           ~doc:"Read-only integrity scan: check every CRC frame in the \
+                 snapshot and WAL, report record counts, the epoch span, and \
+                 dropped frames, and exit 1 on any corruption. Unlike a \
+                 replay, the journal on disk is untouched — a torn tail is \
+                 reported, never truncated.")
+  in
+  let run_verify dir =
+    (* A journal dir is created on demand by a server, but a *scan* of
+       a path that does not exist is a typo, not a clean journal. *)
+    if not (Sys.file_exists dir && Sys.is_directory dir) then
+      `Error (false, Printf.sprintf "cannot verify journal: %s is not a directory" dir)
+    else
+    match Serve_journal.verify ~dir with
+    | exception Unix.Unix_error (e, _, detail) ->
+        `Error
+          (false,
+           Printf.sprintf "cannot verify journal: %s%s" (Unix.error_message e)
+             (if detail = "" then "" else " (" ^ detail ^ ")"))
+    | exception Sys_error m -> `Error (false, "cannot verify journal: " ^ m)
+    | r ->
+        let open Serve_journal in
+        Printf.printf "journal %s: verify (read-only)\n" dir;
+        Printf.printf "  snapshot records: %d (base index %d)\n"
+          r.v_snapshot_records r.v_base_index;
+        Printf.printf "  wal records: %d (last index %d)\n" r.v_wal_records
+          (r.v_base_index + r.v_wal_records);
+        Printf.printf "  epoch span: %d..%d (persisted %d)\n" r.v_min_epoch
+          r.v_max_epoch r.v_persisted_epoch;
+        Printf.printf "  dropped_frames: %d\n" r.v_dropped_frames;
+        let corrupt =
+          r.v_corrupt_records > 0 || r.v_trailing_bytes > 0
+          || r.v_epoch_regressions > 0
+        in
+        if corrupt then begin
+          Printf.printf
+            "CORRUPT: %d corrupt records, %d trailing bytes, %d epoch \
+             regressions\n"
+            r.v_corrupt_records r.v_trailing_bytes r.v_epoch_regressions;
+          exit 1
+        end
+        else begin
+          Printf.printf "clean\n";
+          `Ok ()
+        end
+  in
+  let run () dir seek verify =
     let ( let* ) r f = match r with Ok x -> f x | Error e -> `Error (false, e) in
+    if verify then run_verify dir
+    else
     let* () =
       match seek with
       | Some n when n < 0 -> Error "--seek must be >= 0"
@@ -1656,8 +1773,108 @@ let journal_cmd =
   Cmd.v
     (Cmd.info "journal"
        ~doc:"Inspect a planning-service journal: replay it (optionally only a \
-             prefix, with $(b,--seek)) and print what was recovered")
-    Term.(ret (const run $ setup_logs_term $ dir_arg $ seek_arg))
+             prefix, with $(b,--seek)) and print what was recovered, or scan \
+             it read-only with $(b,--verify)")
+    Term.(ret (const run $ setup_logs_term $ dir_arg $ seek_arg $ verify_arg))
+
+(* ----- nemesis ----- *)
+
+let nemesis_cmd =
+  let seed_arg =
+    Arg.(value & opt int Serve_nemesis.default_config.Serve_nemesis.seed
+           & info [ "seed" ] ~docv:"N"
+               ~doc:"Nemesis seed: drives victim choice and the phase order. \
+                     The whole run is deterministic given the seed.")
+  in
+  let partitions_arg =
+    Arg.(value & opt int Serve_nemesis.default_config.Serve_nemesis.partitions
+           & info [ "partitions" ] ~docv:"N"
+               ~doc:"Fault phases to inject (>= 3: the first three always \
+                     cover leader isolation, an asymmetric link, and a \
+                     follower pause).")
+  in
+  let updates_arg =
+    Arg.(value
+           & opt int Serve_nemesis.default_config.Serve_nemesis.updates_per_phase
+           & info [ "updates-per-phase" ] ~docv:"N"
+               ~doc:"Updates the workload generator pushes during and after \
+                     each phase.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE"
+           ~doc:"Write the full report (counters, recovery percentiles, \
+                 invariant booleans) as JSON to $(docv) — the \
+                 $(b,BENCH_partition.json) shape.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "silent" ]
+           ~doc:"No phase-by-phase narration on stderr.")
+  in
+  let run () seed partitions updates out quiet =
+    if partitions < 3 then `Error (true, "--partitions must be >= 3")
+    else if updates < 1 then `Error (true, "--updates-per-phase must be >= 1")
+    else begin
+      let log = if quiet then ignore else fun s -> Printf.eprintf "%s\n%!" s in
+      match
+        Serve_nemesis.run
+          {
+            Serve_nemesis.default_config with
+            Serve_nemesis.seed;
+            partitions;
+            updates_per_phase = updates;
+            log;
+          }
+      with
+      | exception Serve_nemesis.Nemesis_timeout what ->
+          `Error (false, "nemesis wedged: " ^ what)
+      | r ->
+          (match out with
+          | Some path ->
+              let oc = open_out path in
+              output_string oc
+                (Serve_json.to_string (Serve_nemesis.report_to_json r));
+              output_char oc '\n';
+              close_out oc
+          | None -> ());
+          Printf.printf
+            "nemesis seed %d: %d partitions, %d/%d updates acked, %d \
+             promotions, %d fenced demotions, recovery p50 %.0f ms p95 %.0f \
+             ms\n"
+            r.Serve_nemesis.r_seed r.Serve_nemesis.r_partitions
+            r.Serve_nemesis.r_updates_acked r.Serve_nemesis.r_updates_sent
+            r.Serve_nemesis.r_auto_promotions r.Serve_nemesis.r_fenced_demotions
+            r.Serve_nemesis.r_recovery_p50_ms r.Serve_nemesis.r_recovery_p95_ms;
+          Printf.printf
+            "invariants: single_writer=%b no_acked_lost=%b \
+             journals_converged=%b plans_converged=%b verify_clean=%b\n"
+            r.Serve_nemesis.r_single_writer_per_epoch
+            r.Serve_nemesis.r_no_acked_update_lost
+            r.Serve_nemesis.r_journals_converged
+            r.Serve_nemesis.r_plan_digests_converged
+            r.Serve_nemesis.r_journals_verify_clean;
+          if Serve_nemesis.passed r then begin
+            Printf.printf "PASSED\n";
+            `Ok ()
+          end
+          else begin
+            Printf.printf "FAILED\n";
+            exit 1
+          end
+    end
+  in
+  Cmd.v
+    (Cmd.info "nemesis"
+       ~doc:"Partition-nemesis the replicated planning cluster: build a live \
+             3-replica cluster behind fault-injecting proxies, run a seeded \
+             schedule of partitions, heals, and a stale-leader revival while \
+             pushing quorum-acked updates, then check the failover \
+             invariants (single writer per epoch, no acknowledged update \
+             lost, journal and plan convergence). Exits 1 when any invariant \
+             fails.")
+    Term.(
+      ret
+        (const run $ setup_logs_term $ seed_arg $ partitions_arg $ updates_arg
+        $ out_arg $ quiet_arg))
 
 (* ----- query ----- *)
 
@@ -2013,9 +2230,17 @@ let query_cmd =
            ~doc:"Per-attempt timeout: socket receive timeout and, unless \
                  --deadline-ms is given, the request's deadline.")
   in
+  let epoch_arg =
+    Arg.(value & opt (some int) None & info [ "epoch" ] ~docv:"E"
+           ~doc:"Fencing epoch for $(b,promote)/$(b,demote). A promote \
+                 without it bumps the member's own epoch by one; a demote \
+                 requires it and is refused unless it is strictly above the \
+                 member's epoch (fenced — a stray demote cannot depose a \
+                 current leader).")
+  in
   let run () connect verb raw_json wfile digest deltas_file taus instance_name
       bc_events config_name deadline faults campaign_seed epochs zones retries
-      retry_base timeout add_pairs remove_pairs =
+      retry_base timeout add_pairs remove_pairs epoch =
     let ( let* ) r f = match r with Ok x -> f x | Error e -> `Error (false, e) in
     let ( let& ) r f = match r with Ok x -> f x | Error _ as e -> e in
     let* address = Serve_server.address_of_string connect in
@@ -2039,7 +2264,14 @@ let query_cmd =
       | "stats" -> Ok (`Envelope Serve_protocol.Stats)
       | "metrics" -> Ok (`Envelope Serve_protocol.Metrics)
       | "shutdown" -> Ok (`Envelope Serve_protocol.Shutdown)
-      | "promote" -> Ok (`Envelope Serve_protocol.Promote)
+      | "promote" -> Ok (`Envelope (Serve_protocol.Promote { epoch }))
+      | "demote" -> (
+          match epoch with
+          | Some e -> Ok (`Envelope (Serve_protocol.Demote { epoch = e }))
+          | None ->
+              Error
+                "demote needs --epoch E (strictly above the member's epoch: \
+                 demotion is fenced)")
       | "drain" -> Ok (`Envelope Serve_protocol.Drain)
       | "ledger" -> Ok (`Envelope Serve_protocol.Ledger)
       | "rehome" ->
@@ -2176,7 +2408,8 @@ let query_cmd =
         $ workload_file $ digest_arg $ deltas_arg $ taus_arg $ instance_arg
         $ bc_events_arg $ config_name_arg $ deadline_arg $ faults_arg
         $ campaign_seed_arg $ epochs_arg $ zones_arg $ retries_arg
-        $ retry_base_arg $ timeout_arg $ add_pair_arg $ remove_pair_arg))
+        $ retry_base_arg $ timeout_arg $ add_pair_arg $ remove_pair_arg
+        $ epoch_arg))
 
 (* ----- version ----- *)
 
@@ -2197,7 +2430,8 @@ let main_cmd =
     [
       generate_cmd; solve_cmd; lower_bound_cmd; analyze_cmd; simulate_cmd; update_cmd;
       budget_cmd; convert_cmd; export_lp_cmd; verify_cmd; chaos_cmd; elastic_cmd;
-      profile_cmd; serve_cmd; route_cmd; journal_cmd; query_cmd; dataplane_cmd;
+      profile_cmd; serve_cmd; route_cmd; journal_cmd; nemesis_cmd; query_cmd;
+      dataplane_cmd;
       pump_cmd; version_cmd;
     ]
 

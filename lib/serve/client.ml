@@ -73,6 +73,11 @@ let request t json =
     | exception Sys_error m ->
         close t;
         Error m
+    | exception Sys_blocked_io ->
+        (* SO_RCVTIMEO expired under the channel: the peer is up but
+           silent (a blackholed link, not a dead process). *)
+        close t;
+        Error "receive timed out"
 
 let request_envelope t env = request t (Protocol.encode env)
 
@@ -124,7 +129,19 @@ let call ?obs ?sleep ?(rng = Mcss_prng.Rng.create 0)
       in
       match attempt_result with
       | Ok reply -> (
-          match transient_reply reply with
-          | Some m when replayable -> Retry.Retry m
-          | _ -> Retry.Done reply)
+          match Protocol.response_error reply with
+          (* A [not_leader] refusal proves the member did nothing, so a
+             retry is safe even for non-idempotent verbs — and each
+             attempt re-resolves [route], so a failover-aware caller gets
+             steered to the new leader instead of surfacing the refusal
+             as a hard error. The last attempt returns the reply itself:
+             the structured error (and its exit-code mapping) must
+             survive when the shard genuinely has no leader. *)
+          | Some (Some Protocol.Not_leader, m)
+            when attempt < policy.Retry.max_attempts ->
+              Retry.Retry ("not_leader: " ^ m)
+          | _ -> (
+              match transient_reply reply with
+              | Some m when replayable -> Retry.Retry m
+              | _ -> Retry.Done reply))
       | Error m -> if replayable then Retry.Retry m else Retry.Give_up m)

@@ -47,4 +47,11 @@ val call :
     decides attempt 1's address; the positional address is only the
     default when [route] is absent). The router uses it to redirect a
     retry at a shard's follower after the leader dies mid-reply instead
-    of hammering the dead address. *)
+    of hammering the dead address.
+
+    A [not_leader] reply is retried (re-resolving [route]) even for
+    non-idempotent verbs: the refusal proves the member did nothing, so
+    replaying it elsewhere cannot double-apply. The last attempt's
+    [not_leader] reply is returned as the final answer rather than
+    flattened into a transport error, so its exit-code mapping
+    survives. *)

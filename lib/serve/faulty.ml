@@ -5,6 +5,7 @@ type fault =
   | Garbage of string
   | Tear_after of int
   | Reset_after of int
+  | Blackhole
 
 type script = { to_server : fault list; to_client : fault list }
 
@@ -18,6 +19,7 @@ type mode = {
   chunk : int option;
   inter_delay_ms : float;
   cutoff : (int * [ `Fin | `Rst ]) option;
+  blackhole : bool;
 }
 
 let mode_of_faults faults =
@@ -29,8 +31,16 @@ let mode_of_faults faults =
           { m with chunk = Some (max 1 chunk); inter_delay_ms = delay_ms }
       | Garbage g -> { m with garbage = m.garbage ^ g }
       | Tear_after n -> { m with cutoff = Some (max 0 n, `Fin) }
-      | Reset_after n -> { m with cutoff = Some (max 0 n, `Rst) })
-    { delay_ms = 0.; garbage = ""; chunk = None; inter_delay_ms = 0.; cutoff = None }
+      | Reset_after n -> { m with cutoff = Some (max 0 n, `Rst) }
+      | Blackhole -> { m with blackhole = true })
+    {
+      delay_ms = 0.;
+      garbage = "";
+      chunk = None;
+      inter_delay_ms = 0.;
+      cutoff = None;
+      blackhole = false;
+    }
     faults
 
 (* One proxied connection: the two fds and an idempotent teardown the
@@ -40,16 +50,35 @@ type conn = {
   server_fd : Unix.file_descr;
   conn_lock : Mutex.t;
   mutable open_ : bool;
+  (* Pump domains still using the fds; the last one out closes them. *)
+  mutable pumps_left : int;
+  mutable closed : bool;
 }
 
-(* [`Rst] aborts the client side: SO_LINGER 0 turns the close into a
-   real RST, which is what a crashed or power-cycled peer looks like on
-   the wire. *)
+(* Call with [conn_lock] held. *)
+let close_both conn =
+  if not conn.closed then begin
+    conn.closed <- true;
+    List.iter
+      (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+      [ conn.client_fd; conn.server_fd ]
+  end
+
+(* [`Rst] aborts the client side: SO_LINGER 0 turns the eventual close
+   into a real RST, which is what a crashed or power-cycled peer looks
+   like on the wire.
+
+   Teardown only *shuts down* the sockets — that wakes both pump
+   domains out of blocked reads/writes — and leaves the actual close
+   to the last pump to exit ([release]). Closing here would free the
+   fd numbers for reuse while the sibling pump may still be blocked on
+   them, and a recycled number lets a stale pump (with an old
+   connection's fault mode) ferry bytes around a newer connection's
+   faults. *)
 let teardown conn ~how =
   Mutex.lock conn.conn_lock;
   let first = conn.open_ in
   conn.open_ <- false;
-  Mutex.unlock conn.conn_lock;
   if first then begin
     (match how with
     | `Rst -> (
@@ -58,10 +87,17 @@ let teardown conn ~how =
     | `Fin -> ());
     List.iter
       (fun fd ->
-        (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
-        try Unix.close fd with Unix.Unix_error _ -> ())
-      [ conn.client_fd; conn.server_fd ]
-  end
+        try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      [ conn.client_fd; conn.server_fd ];
+    if conn.pumps_left = 0 then close_both conn
+  end;
+  Mutex.unlock conn.conn_lock
+
+let release conn =
+  Mutex.lock conn.conn_lock;
+  conn.pumps_left <- conn.pumps_left - 1;
+  if conn.pumps_left = 0 && not conn.open_ then close_both conn;
+  Mutex.unlock conn.conn_lock
 
 let rec eintr f = try f () with Unix.Unix_error (Unix.EINTR, _, _) -> eintr f
 
@@ -78,24 +114,31 @@ let sleep_ms ms = if ms > 0. then Unix.sleepf (ms /. 1000.)
 (* Forward src → dst through [mode] until EOF, a cutoff, or the
    connection is torn down by the other pump. *)
 let pump conn ~src ~dst mode =
+  Fun.protect ~finally:(fun () -> release conn) @@ fun () ->
   let buf = Bytes.create 4096 in
   let forwarded = ref 0 in
   let send b off len =
-    let step = match mode.chunk with Some c -> c | None -> len in
-    let rec chunks off len =
-      if len > 0 then begin
-        let n = min step len in
-        write_all dst b off n;
-        if len - n > 0 then sleep_ms mode.inter_delay_ms;
-        chunks (off + n) (len - n)
-      end
-    in
-    chunks off len;
+    (* A blackholed direction keeps reading (the sender sees an open,
+       accepting connection) but forwards nothing — the partition a
+       dropped-packets firewall rule produces, as opposed to the RST a
+       dead process produces. *)
+    if not mode.blackhole then begin
+      let step = match mode.chunk with Some c -> c | None -> len in
+      let rec chunks off len =
+        if len > 0 then begin
+          let n = min step len in
+          write_all dst b off n;
+          if len - n > 0 then sleep_ms mode.inter_delay_ms;
+          chunks (off + n) (len - n)
+        end
+      in
+      chunks off len
+    end;
     forwarded := !forwarded + len
   in
   match
     sleep_ms mode.delay_ms;
-    if mode.garbage <> "" then begin
+    if mode.garbage <> "" && not mode.blackhole then begin
       let g = Bytes.of_string mode.garbage in
       write_all dst g 0 (Bytes.length g)
     end;
@@ -119,7 +162,7 @@ let pump conn ~src ~dst mode =
 type t = {
   listener : Unix.file_descr;
   listen_port : int;
-  plan : conn:int -> script;
+  mutable plan : conn:int -> script;
   lock : Mutex.t;
   mutable closing : bool;
   mutable accepted : int;
@@ -159,11 +202,23 @@ let handle_accept t upstream client_fd =
       (try Unix.close client_fd with Unix.Unix_error _ -> ())
   | server_fd ->
       let conn =
-        { client_fd; server_fd; conn_lock = Mutex.create (); open_ = true }
+        {
+          client_fd;
+          server_fd;
+          conn_lock = Mutex.create ();
+          open_ = true;
+          pumps_left = 2;
+          closed = false;
+        }
       in
       let script =
-        let i = locked t (fun () -> let i = t.accepted in t.accepted <- i + 1; i) in
-        t.plan ~conn:i
+        let i, plan =
+          locked t (fun () ->
+              let i = t.accepted in
+              t.accepted <- i + 1;
+              (i, t.plan))
+        in
+        plan ~conn:i
       in
       let up =
         Domain.spawn (fun () ->
@@ -228,6 +283,16 @@ let start ?(plan = fun ~conn:_ -> clean) ~upstream () =
 let address t = Server.Tcp ("127.0.0.1", t.listen_port)
 let port t = t.listen_port
 let connections t = locked t (fun () -> t.accepted)
+
+let set_plan t plan = locked t (fun () -> t.plan <- plan)
+
+(* Tear down every live proxied connection but keep accepting: the next
+   dial goes through the (possibly new) plan. [set_plan] + [sever] is
+   how the nemesis flips a healthy link into a partition and back —
+   existing connections die, reconnects see the new behaviour. *)
+let sever t =
+  let conns = locked t (fun () -> let c = t.conns in t.conns <- []; c) in
+  List.iter (fun c -> teardown c ~how:`Fin) conns
 
 let stop t =
   let first = locked t (fun () -> let f = not t.closing in t.closing <- true; f) in

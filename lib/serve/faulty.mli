@@ -26,6 +26,13 @@ type fault =
   | Reset_after of int
       (** Forward the first [n] bytes, then abort the client side with
           [SO_LINGER 0] — the peer sees a real RST ([ECONNRESET]). *)
+  | Blackhole
+      (** Accept and read this direction, forward nothing, never signal:
+          the sender sees an open connection that swallows bytes — the
+          shape of a dropped-packets partition, as opposed to the RST of
+          a dead process. Applied to both directions of a script it
+          makes the link a full network partition; to one, an
+          asymmetric link. *)
 
 type script = {
   to_server : fault list;  (** Applied to client → server bytes. *)
@@ -51,6 +58,17 @@ val port : t -> int
 
 val connections : t -> int
 (** Connections accepted so far. *)
+
+val set_plan : t -> (conn:int -> script) -> unit
+(** Replace the fault plan for connections accepted {e from now on};
+    live connections keep their script (use {!sever} to force them
+    through the new plan). The nemesis flips links between healthy and
+    partitioned this way mid-run. *)
+
+val sever : t -> unit
+(** Tear down every live proxied connection (clean FIN both sides) but
+    keep the listener accepting — reconnects go through the current
+    plan. *)
 
 val stop : t -> unit
 (** Close the listener and every live connection, join the pumps.

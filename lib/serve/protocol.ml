@@ -24,7 +24,8 @@ type request =
     }
   | Stats
   | Metrics
-  | Promote
+  | Promote of { epoch : int option }
+  | Demote of { epoch : int }
   | Shutdown
   | Drain
   | Rehome of { add : (int * int) list; remove : (int * int) list }
@@ -104,7 +105,22 @@ let decode j =
     | "health" -> Ok Health
     | "stats" -> Ok Stats
     | "metrics" -> Ok Metrics
-    | "promote" -> Ok Promote
+    | "promote" -> (
+        match Json.member "epoch" j with
+        | None -> Ok (Promote { epoch = None })
+        | Some v -> (
+            match Json.to_int_opt v with
+            | Some e when e > 0 -> Ok (Promote { epoch = Some e })
+            | Some _ -> Error "field \"epoch\" must be positive"
+            | None -> Error "field \"epoch\" must be an integer"))
+    | "demote" -> (
+        match Json.member "epoch" j with
+        | None -> Error "field \"epoch\" is required"
+        | Some v -> (
+            match Json.to_int_opt v with
+            | Some e when e > 0 -> Ok (Demote { epoch = e })
+            | Some _ -> Error "field \"epoch\" must be positive"
+            | None -> Error "field \"epoch\" must be an integer"))
     | "shutdown" -> Ok Shutdown
     | "drain" -> Ok Drain
     | "ledger" -> Ok Ledger
@@ -221,7 +237,11 @@ let encode { id; deadline_ms; request } =
     | Health -> [ ("req", Json.String "health") ]
     | Stats -> [ ("req", Json.String "stats") ]
     | Metrics -> [ ("req", Json.String "metrics") ]
-    | Promote -> [ ("req", Json.String "promote") ]
+    | Promote { epoch = None } -> [ ("req", Json.String "promote") ]
+    | Promote { epoch = Some e } ->
+        [ ("req", Json.String "promote"); ("epoch", Json.Int e) ]
+    | Demote { epoch } ->
+        [ ("req", Json.String "demote"); ("epoch", Json.Int epoch) ]
     | Shutdown -> [ ("req", Json.String "shutdown") ]
     | Drain -> [ ("req", Json.String "drain") ]
     | Ledger -> [ ("req", Json.String "ledger") ]
@@ -339,8 +359,8 @@ let response_degraded j =
    does not is reported in the reply but leaves the table exactly as a
    single application would. *)
 let idempotent = function
-  | Health | Load _ | Solve _ | Whatif _ | Chaos _ | Stats | Metrics | Promote
-  | Shutdown | Drain | Rehome _ | Ledger ->
+  | Health | Load _ | Solve _ | Whatif _ | Chaos _ | Stats | Metrics
+  | Promote _ | Demote _ | Shutdown | Drain | Rehome _ | Ledger ->
       true
   | Update _ -> false
 

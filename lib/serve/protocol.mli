@@ -22,7 +22,8 @@
      "faults":["crash:0@0.6",...]?,...solve params...}
     {"req":"stats"}
     {"req":"metrics"}
-    {"req":"promote"}
+    {"req":"promote","epoch":E?}
+    {"req":"demote","epoch":E}
     {"req":"shutdown"}
     {"req":"drain"}                                    (dataplane broker)
     {"req":"rehome","add":[[T,S],...],"remove":[[T,S],...]}   (broker)
@@ -83,10 +84,21 @@ type request =
     }
   | Stats
   | Metrics
-  | Promote
+  | Promote of { epoch : int option }
       (** Ask a follower to become leader: it stops pulling the
-          replication stream and starts accepting [update]s. A no-op on
-          a server that is already leading. *)
+          replication stream, bumps its fencing epoch, and starts
+          accepting [update]s. With [epoch = Some e] the new leader
+          adopts [max (own + 1) e] — the router passes the highest epoch
+          it has observed cluster-wide plus one, so a promotion always
+          fences every earlier leader. A no-op on a server that is
+          already leading (its epoch still rises to cover [e]). *)
+  | Demote of { epoch : int }
+      (** Fence a (possibly stale) leader: step down to follower iff
+          [epoch] is strictly greater than the server's own epoch, and
+          adopt it. Refused (as [bad_request]) when [epoch] is not
+          ahead — a genuinely newer leader can never be demoted by a
+          laggard's view of the world. A no-op beyond epoch adoption on
+          a server already following. *)
   | Shutdown
   | Drain
       (** Dataplane: stop accepting publications; in-flight fan-out
@@ -156,7 +168,8 @@ val response_error : Json.t -> (error_code option * string) option
 
 val idempotent : request -> bool
 (** Whether replaying the request on a fresh connection is safe after a
-    transport failure mid-exchange. True for every verb except [Update],
+    transport failure mid-exchange ([Promote]/[Demote] are fenced by
+    epoch, so a replay is absorbed). True for every verb except [Update],
     which appends to the server's write-ahead log; retry layers gate
     reconnect-and-replay on it. The dataplane verbs ([Drain], [Rehome],
     [Ledger]) are all true: reads, flag sets, and set-semantics table

@@ -12,8 +12,26 @@
     promoted follower therefore answers an already-solved [solve] as a
     cache hit with the leader's bit-identical [plan_digest].
 
-    {b Fault behaviour.} The stream has no acknowledgements and no
-    repair: a torn frame, CRC mismatch, RST, or gap simply drops the
+    {b Epoch fencing.} Every frame carries the fencing epoch it was
+    written under and both handshake directions carry the peers' epochs.
+    A leader dialed by a follower with a higher epoch has been fenced by
+    a promotion it never heard about: it demotes itself on the spot and
+    refuses the stream. A follower offered a stream by a lower-epoch
+    leader refuses to mirror it ([stale_leaders] counter). A follower
+    whose last record's epoch does not match the leader's record at the
+    same index wrote its tail under a fenced leader; the handshake
+    forces a full reset, which truncates the divergent un-acked tail
+    (counted in [serve.replication.truncated_records]).
+
+    {b Acks and quorum.} After applying each record the follower writes
+    an [{"ack":INDEX}] line back on the same socket. The leader keeps a
+    per-connection high-water mark and {!commit_gate} turns the marks
+    into the barrier {!Service}'s non-idempotent verbs wait on when
+    [quorum_acks > 1]; idempotent traffic never waits, so replication
+    stays asynchronous for it.
+
+    {b Fault behaviour.} Beyond acks the stream has no repair protocol:
+    a torn frame, CRC mismatch, RST, or gap simply drops the
     connection. Follower state is only ever advanced by whole verified
     frames, so every fault degenerates to "reconnect and resync from my
     last index" — follower corruption is structurally impossible, which
@@ -35,8 +53,16 @@ val start_leader :
     Raises [Unix.Unix_error] when the address cannot be bound. *)
 
 val stop_leader : leader -> unit
-(** Unhook the journal, close the listener and every follower stream,
-    and join all domains. Idempotent. *)
+(** Unhook the journal (and the commit gate), close the listener and
+    every follower stream, and join all domains. Idempotent. *)
+
+val commit_gate :
+  leader -> quorum:int -> timeout_ms:float -> index:int -> (unit, string) result
+(** Block until [quorum - 1] follower connections have acked the record
+    at absolute [index] (the leader's own fsync is the remaining vote);
+    [Error] on timeout or when the hub is closing. Wire it into
+    {!Service.set_commit_gate} with the configured quorum:
+    [Service.set_commit_gate svc (Some (fun ~index -> commit_gate hub ~quorum ~timeout_ms ~index))]. *)
 
 (** {1 Follower side} *)
 

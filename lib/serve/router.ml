@@ -11,6 +11,8 @@ type config = {
   vnodes : int;
   health_period_s : float;
   policy : Retry.policy;
+  auto_promote : bool;
+  promote_after : int;
   log : string -> unit;
 }
 
@@ -25,8 +27,24 @@ let default_config =
         cap_ms = 500.;
         attempt_timeout_ms = Some 5000.;
       };
+    auto_promote = false;
+    promote_after = 2;
     log = ignore;
   }
+
+(* Last known state of a member, written by the probe loop. [role],
+   [epoch], and [last_index] survive a down-marking: the failover logic
+   needs the dead leader's last known epoch to pick a fencing epoch that
+   outranks it. *)
+type probe = {
+  up : bool;
+  role : string;  (* "leader" | "follower" | "" before the first reply *)
+  epoch : int;
+  last_index : int;
+  fails : int;  (* consecutive failed probes *)
+}
+
+let fresh_probe = { up = true; role = ""; epoch = 0; last_index = 0; fails = 0 }
 
 type t = {
   config : config;
@@ -34,8 +52,10 @@ type t = {
   ring : Ring.t;
   shards : (string, shard) Hashtbl.t;
   rng : Rng.t;
-  lock : Mutex.t;  (** Guards [health], [rng], and the mutable flags. *)
-  health : (string, bool) Hashtbl.t;  (* "shard/member" -> last probe ok *)
+  lock : Mutex.t;
+      (** Guards [health], [rng], the mutable flags, and [shards]
+          (member order is rewritten by automatic promotion). *)
+  health : (string, probe) Hashtbl.t;  (* "shard/member" -> last probe *)
   mutable draining : bool;
   mutable forwarded : int;
   mutable health_domain : unit Domain.t option;
@@ -61,7 +81,10 @@ let create ?obs ?(config = default_config) ?(seed = 0) shards =
   List.iter (fun s -> Hashtbl.replace tbl s.shard_name s) shards;
   let health = Hashtbl.create 16 in
   List.iter
-    (fun s -> List.iter (fun m -> Hashtbl.replace health (member_key s m) true) s.members)
+    (fun s ->
+      List.iter
+        (fun m -> Hashtbl.replace health (member_key s m) fresh_probe)
+        s.members)
     shards;
   {
     config;
@@ -79,12 +102,29 @@ let create ?obs ?(config = default_config) ?(seed = 0) shards =
 let draining t = locked t (fun () -> t.draining)
 let obs t = t.obs
 
-let set_health t shard m up =
-  locked t (fun () -> Hashtbl.replace t.health (member_key shard m) up)
+let shard_get t name = locked t (fun () -> Hashtbl.find t.shards name)
 
-let healthy t shard m =
+let shards_snapshot t =
+  locked t (fun () -> Hashtbl.fold (fun _ s acc -> s :: acc) t.shards [])
+
+let probe_of t shard m =
   locked t (fun () ->
-      Option.value ~default:true (Hashtbl.find_opt t.health (member_key shard m)))
+      Option.value ~default:fresh_probe
+        (Hashtbl.find_opt t.health (member_key shard m)))
+
+let set_probe t shard m f =
+  locked t (fun () ->
+      let key = member_key shard m in
+      let old =
+        Option.value ~default:fresh_probe (Hashtbl.find_opt t.health key)
+      in
+      Hashtbl.replace t.health key (f old))
+
+let set_health t shard m up =
+  set_probe t shard m (fun p ->
+      { p with up; fails = (if up then 0 else p.fails + 1) })
+
+let healthy t shard m = (probe_of t shard m).up
 
 (* ----- health checking ----- *)
 
@@ -96,26 +136,170 @@ let probe_policy =
     attempt_timeout_ms = Some 1000.;
   }
 
+let json_str j key = Json.member key j |> Fun.flip Option.bind Json.to_string_opt
+let json_int j key = Json.member key j |> Fun.flip Option.bind Json.to_int_opt
+
 let probe_member t shard m =
   let env =
     { Protocol.id = None; deadline_ms = None; request = Protocol.Health }
   in
   let rng = locked t (fun () -> Rng.create (Rng.int t.rng 0x3FFFFFFF)) in
   let outcome = Client.call ~rng ~policy:probe_policy m.address env in
-  let up = match outcome.Retry.result with Ok _ -> true | Error _ -> false in
-  set_health t shard m up;
-  up
+  (match outcome.Retry.result with
+  | Ok reply ->
+      set_probe t shard m (fun p ->
+          {
+            up = true;
+            fails = 0;
+            role = Option.value ~default:p.role (json_str reply "role");
+            epoch = Option.value ~default:p.epoch (json_int reply "epoch");
+            last_index =
+              Option.value ~default:p.last_index (json_int reply "last_index");
+          })
+  | Error _ -> set_health t shard m false);
+  (probe_of t shard m).up
 
-let probe_all t =
-  Hashtbl.iter
-    (fun _ shard -> List.iter (fun m -> ignore (probe_member t shard m)) shard.members)
-    t.shards
+let probe_shard t shard = List.iter (fun m -> ignore (probe_member t shard m)) shard.members
+let probe_all t = List.iter (fun s -> probe_shard t s) (shards_snapshot t)
+
+let count t name help = Counter.inc (Registry.counter t.obs ~help name)
+
+(* ----- automatic fenced failover ----- *)
+
+(* Move [name] to the head of the shard's member list, so [update]s
+   (leader-only) land on the member we just promoted or discovered. *)
+let set_member_order t shard_name name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.shards shard_name with
+      | None -> ()
+      | Some s -> (
+          match List.partition (fun m -> m.name = name) s.members with
+          | [ m ], rest ->
+              Hashtbl.replace t.shards shard_name { s with members = m :: rest }
+          | _ -> ()))
+
+(* One request to one member, no retries (promotion/demotion must not be
+   replayed blindly against whoever answers). *)
+let send_to t m request =
+  let env = { Protocol.id = None; deadline_ms = None; request } in
+  let rng = locked t (fun () -> Rng.create (Rng.int t.rng 0x3FFFFFFF)) in
+  let outcome = Client.call ~rng ~policy:probe_policy m.address env in
+  match outcome.Retry.result with
+  | Ok reply when Protocol.response_ok reply -> Ok reply
+  | Ok reply -> (
+      match Protocol.response_error reply with
+      | Some (_, m) -> Error m
+      | None -> Error "refused")
+  | Error m -> Error m
+
+let cmp_caught_up (e1, i1) (e2, i2) = compare (e1, i1) (e2, i2)
+
+(* Drive one shard toward a single, fenced leader. Called from the
+   health loop (and synchronously from [forward_update] after a leader
+   failure) when [auto_promote] is on; probes must be fresh.
+
+   Two jobs: (a) the configured leader is dead past the threshold and a
+   follower is up — promote the most caught-up follower (highest
+   (epoch, last_index)) at an epoch above everything the cluster has
+   reported, so the dead leader is fenced if it ever comes back; (b) two
+   live members both claim to lead (a revived stale leader) — keep the
+   higher (epoch, last_index) one and send the other a fenced demote. *)
+let failover_shard t shard_name =
+  let shard = shard_get t shard_name in
+  let probed = List.map (fun m -> (m, probe_of t shard m)) shard.members in
+  let max_epoch =
+    List.fold_left (fun acc (_, p) -> max acc p.epoch) 0 probed
+  in
+  (* (b) fence duplicate leaders first so (a) never sees two. *)
+  let leaders =
+    List.filter (fun (_, p) -> p.up && p.role = "leader") probed
+  in
+  (match leaders with
+  | _ :: _ :: _ ->
+      let wm, wp =
+        List.fold_left
+          (fun ((_, bp) as best) ((_, p) as cand) ->
+            if cmp_caught_up (p.epoch, p.last_index) (bp.epoch, bp.last_index) > 0
+            then cand
+            else best)
+          (List.hd leaders) (List.tl leaders)
+      in
+      List.iter
+        (fun (m, p) ->
+          if m.name <> wm.name then begin
+            let fence =
+              if p.epoch < wp.epoch then wp.epoch else wp.epoch + 1
+            in
+            t.config.log
+              (Printf.sprintf "shard %s: fencing stale leader %s at epoch %d"
+                 shard_name m.name fence);
+            count t "serve.router.fenced_demotions"
+              "Stale duplicate leaders demoted by the router";
+            match send_to t m (Protocol.Demote { epoch = fence }) with
+            | Ok _ -> set_probe t shard m (fun p -> { p with role = "follower"; epoch = fence })
+            | Error _ -> ()
+          end)
+        leaders;
+      set_member_order t shard_name wm.name
+  | [ (m, _) ] ->
+      (* A single live leader is authoritative, wherever it is in the
+         configured order (e.g. promoted while the router was away). *)
+      set_member_order t shard_name m.name
+  | [] -> ());
+  (* (a) promote when the head of the (possibly just reordered) order is
+     down past the threshold. *)
+  let shard = shard_get t shard_name in
+  match shard.members with
+  | [] -> ()
+  | leader :: followers -> (
+      let lp = probe_of t shard leader in
+      let candidates =
+        List.filter_map
+          (fun m ->
+            let p = probe_of t shard m in
+            if p.up && p.role <> "leader" then Some (m, p) else None)
+          followers
+      in
+      if (not lp.up) && lp.fails >= t.config.promote_after && candidates <> []
+      then begin
+        let best, _ =
+          List.fold_left
+            (fun ((_, bp) as best) ((_, p) as cand) ->
+              if
+                cmp_caught_up (p.epoch, p.last_index) (bp.epoch, bp.last_index)
+                > 0
+              then cand
+              else best)
+            (List.hd candidates) (List.tl candidates)
+        in
+        let fence = max_epoch + 1 in
+        t.config.log
+          (Printf.sprintf
+             "shard %s: leader %s down (%d probes); promoting %s at epoch %d"
+             shard_name leader.name lp.fails best.name fence);
+        match send_to t best (Protocol.Promote { epoch = Some fence }) with
+        | Ok _ ->
+            count t "serve.router.auto_promotions"
+              "Followers promoted automatically after a dead leader";
+            set_probe t shard best (fun p ->
+                { p with role = "leader"; epoch = fence });
+            set_member_order t shard_name best.name
+        | Error m ->
+            t.config.log
+              (Printf.sprintf "shard %s: promotion of %s failed: %s" shard_name
+                 best.name m)
+      end)
+
+let failover_all t =
+  if t.config.auto_promote then
+    List.iter (fun s -> failover_shard t s.shard_name) (shards_snapshot t)
 
 let health_loop t () =
   let rec loop () =
     if draining t then ()
     else begin
       probe_all t;
+      failover_all t;
       (* Sleep in small ticks so drain is prompt. *)
       let rec nap left =
         if left > 0. && not (draining t) then begin
@@ -143,8 +327,6 @@ let join_health_checks t =
   | None -> ()
 
 (* ----- forwarding ----- *)
-
-let count t name help = Counter.inc (Registry.counter t.obs ~help name)
 
 let no_quorum t ~id shard =
   count t "serve.router.no_quorum" "Requests shed because a whole shard was down";
@@ -185,46 +367,83 @@ let forward_idempotent t ~id shard env =
       List.iter (fun m -> set_health t shard m false) shard.members;
       no_quorum t ~id shard
 
-(* [update] mutates the journal, so it goes to the leader (the first
-   member) only — blind replay against a follower would be refused with
-   [not_leader] anyway, and replay against a second leader could fork
-   history. One attempt, no failover. *)
-let forward_update t ~id shard env =
-  let leader = List.hd shard.members in
-  let policy = { t.config.policy with Retry.max_attempts = 1 } in
-  let rng = locked t (fun () -> Rng.create (Rng.int t.rng 0x3FFFFFFF)) in
-  let outcome = Client.call ~obs:t.obs ~rng ~policy leader.address env in
-  match outcome.Retry.result with
-  | Ok reply ->
-      locked t (fun () -> t.forwarded <- t.forwarded + 1);
-      reply
-  | Error m ->
-      set_health t shard leader false;
-      let followers = List.tl shard.members in
-      let any_follower_up =
-        List.exists (fun f -> probe_member t shard f) followers
-      in
-      if any_follower_up then
-        (* The shard still has a live (unpromoted) member: the caller
-           must promote it before updates can continue. *)
-        Protocol.error_response ~id ~code:Protocol.Not_leader
-          ~message:
-            (Printf.sprintf
-               "shard %s: leader unreachable (%s); promote a follower to \
-                resume updates"
-               shard.shard_name m)
-          ()
-      else no_quorum t ~id shard
+(* [update] mutates the journal, so it goes to the leader (the current
+   head of the member order) only — blind replay against a follower
+   would be refused with [not_leader] anyway, and replay against a
+   second leader could fork history. The member order is re-resolved on
+   every attempt: a [not_leader] refusal or a dead leader means the
+   order just changed (or is about to — with [auto_promote] the failover
+   step is driven synchronously), and the refusal itself proves the
+   server did nothing, so retrying the verb is safe. *)
+let forward_update t ~id shard_name env =
+  let rec attempt n =
+    let shard = shard_get t shard_name in
+    let leader = List.hd shard.members in
+    let policy = { t.config.policy with Retry.max_attempts = 1 } in
+    let rng = locked t (fun () -> Rng.create (Rng.int t.rng 0x3FFFFFFF)) in
+    let outcome = Client.call ~obs:t.obs ~rng ~policy leader.address env in
+    match outcome.Retry.result with
+    | Ok reply -> (
+        match Protocol.response_error reply with
+        | Some (Some Protocol.Not_leader, _) when n > 0 ->
+            (* The member order is stale: re-probe, let the failover
+               logic find (or make) the real leader, and retry. *)
+            count t "serve.router.not_leader_reroutes"
+              "Updates rerouted after a not_leader refusal";
+            probe_shard t shard;
+            if t.config.auto_promote then failover_shard t shard_name;
+            attempt (n - 1)
+        | _ ->
+            locked t (fun () -> t.forwarded <- t.forwarded + 1);
+            reply)
+    | Error m ->
+        set_health t shard leader false;
+        if t.config.auto_promote then begin
+          (* Detection normally needs [promote_after] consecutive probe
+             failures; a live update hitting a dead leader is evidence
+             enough to re-probe immediately and, if the leader is still
+             dead, count this failure toward the threshold. *)
+          probe_shard t shard;
+          failover_shard t shard_name;
+          let shard' = shard_get t shard_name in
+          if n > 0 && (List.hd shard'.members).name <> leader.name then
+            attempt (n - 1)
+          else if n > 0 then begin
+            Unix.sleepf (t.config.health_period_s /. 2.);
+            probe_shard t shard;
+            failover_shard t shard_name;
+            attempt (n - 1)
+          end
+          else no_quorum t ~id shard
+        end
+        else
+          let followers = List.tl shard.members in
+          let any_follower_up =
+            List.exists (fun f -> probe_member t shard f) followers
+          in
+          if any_follower_up then
+            (* The shard still has a live (unpromoted) member: the caller
+               must promote it before updates can continue. *)
+            Protocol.error_response ~id ~code:Protocol.Not_leader
+              ~message:
+                (Printf.sprintf
+                   "shard %s: leader unreachable (%s); promote a follower to \
+                    resume updates"
+                   shard.shard_name m)
+              ()
+          else no_quorum t ~id shard
+  in
+  attempt 4
 
-let shard_of_digest t digest =
-  Hashtbl.find t.shards (Ring.owner t.ring digest)
+let shard_of_digest t digest = shard_get t (Ring.owner t.ring digest)
 
 (* ----- request handling ----- *)
 
 let handle_health t ~id =
   let members_total, members_up =
     locked t (fun () ->
-        Hashtbl.fold (fun _ up (total, ups) -> (total + 1, if up then ups + 1 else ups))
+        Hashtbl.fold
+          (fun _ p (total, ups) -> (total + 1, if p.up then ups + 1 else ups))
           t.health (0, 0))
   in
   Protocol.ok_response ~id
@@ -240,8 +459,8 @@ let handle_health t ~id =
 
 let handle_stats t ~id =
   let shard_objs =
-    Hashtbl.fold
-      (fun _ shard acc ->
+    List.fold_left
+      (fun acc shard ->
         Json.Obj
           [
             ("shard", Json.String shard.shard_name);
@@ -249,23 +468,28 @@ let handle_stats t ~id =
               Json.List
                 (List.mapi
                    (fun i m ->
+                     let p = probe_of t shard m in
                      Json.Obj
                        [
                          ("name", Json.String m.name);
                          ("address", Json.String (Server.address_to_string m.address));
                          ("role_hint", Json.String (if i = 0 then "leader" else "follower"));
-                         ("up", Json.Bool (healthy t shard m));
+                         ("role_seen", Json.String p.role);
+                         ("epoch", Json.Int p.epoch);
+                         ("last_index", Json.Int p.last_index);
+                         ("up", Json.Bool p.up);
                        ])
                    shard.members) );
           ]
         :: acc)
-      t.shards []
+      [] (shards_snapshot t)
   in
   let forwarded = locked t (fun () -> t.forwarded) in
   Protocol.ok_response ~id
     [
       ("service", Json.String "mcss-plan-router");
       ("draining", Json.Bool (draining t));
+      ("auto_promote", Json.Bool t.config.auto_promote);
       ("forwarded", Json.Int forwarded);
       ("ring_points", Json.Int (Ring.points t.ring));
       ("shards", Json.List shard_objs);
@@ -316,9 +540,9 @@ let handle t (env : Protocol.envelope) =
   | Protocol.Stats -> handle_stats t ~id
   | Protocol.Metrics -> handle_metrics t ~id
   | Protocol.Shutdown -> handle_shutdown t ~id
-  | Protocol.Promote ->
+  | Protocol.Promote _ | Protocol.Demote _ ->
       Protocol.error_response ~id ~code:Protocol.Bad_request
-        ~message:"promote must be sent to a member, not the router" ()
+        ~message:"promote/demote must be sent to a member, not the router" ()
   | Protocol.Drain | Protocol.Rehome _ | Protocol.Ledger ->
       Protocol.error_response ~id ~code:Protocol.Bad_request
         ~message:
@@ -331,7 +555,7 @@ let handle t (env : Protocol.envelope) =
   | Protocol.Chaos { digest; _ } ->
       forward_idempotent t ~id (shard_of_digest t digest) env
   | Protocol.Update { digest; _ } ->
-      forward_update t ~id (shard_of_digest t digest) env
+      forward_update t ~id (shard_of_digest t digest).shard_name env
 
 let handle_line t line =
   match Json.parse line with

@@ -25,6 +25,9 @@ type config = {
   journal : Journal.config option;
   breaker : Breaker.config;
   chaos_policy : Orchestrator.policy;
+  name : string;
+  quorum_acks : int;
+  quorum_timeout_ms : float;
 }
 
 let default_config =
@@ -35,6 +38,9 @@ let default_config =
     journal = None;
     breaker = Breaker.default_config;
     chaos_policy = Orchestrator.default_policy;
+    name = "node";
+    quorum_acks = 1;
+    quorum_timeout_ms = 2000.;
   }
 
 (* A cached plan: the full solver result (so chaos drills can replay the
@@ -69,7 +75,7 @@ type replay_stats = {
    {!apply_replicated} writes it. *)
 type role = Leader | Follower
 
-type journal_event = Appended of { index : int; payload : string }
+type journal_event = Appended of { index : int; epoch : int; payload : string }
 
 (* Leader outcome shared with single-flight followers. A late solve
    ([M_late]) is a timeout for the leader but the plan was cached, so
@@ -110,10 +116,17 @@ type t = {
   mutable degraded_served : int;
   mutable replay : replay_stats option;
   mutable role : role;
+  mutable volatile_epoch : int;
+      (** Fencing epoch when the service has no journal to persist it
+          in; shadowed by the journal's epoch otherwise. *)
   mutable journal_hook : (journal_event -> unit) option;
       (** Called under [journal_lock] right after a leader-side append,
-          with the record's absolute index. The replication hub hangs
-          its fan-out here; it must not block. *)
+          with the record's absolute index and frame epoch. The
+          replication hub hangs its fan-out here; it must not block. *)
+  mutable commit_gate : (index:int -> (unit, string) result) option;
+      (** Blocks until the record at [index] is fsynced on a quorum (the
+          replication hub installs this). Consulted outside
+          [journal_lock], only when [quorum_acks > 1]. *)
 }
 
 let locked t f =
@@ -129,6 +142,18 @@ let replay_stats t = locked t (fun () -> t.replay)
 let role t = locked t (fun () -> t.role)
 let role_to_string = function Leader -> "leader" | Follower -> "follower"
 let set_journal_hook t hook = locked t (fun () -> t.journal_hook <- hook)
+let set_commit_gate t gate = locked t (fun () -> t.commit_gate <- gate)
+
+let epoch t =
+  match t.journal with
+  | Some j -> Journal.epoch j
+  | None -> locked t (fun () -> t.volatile_epoch)
+
+(* Raise (never lower) this node's fencing epoch. *)
+let adopt_epoch t e =
+  match t.journal with
+  | Some j -> Journal.set_epoch j e
+  | None -> locked t (fun () -> if e > t.volatile_epoch then t.volatile_epoch <- e)
 
 (* ----- content digests ----- *)
 
@@ -208,21 +233,27 @@ let f17_get j key =
   | Some v -> Json.to_float_opt v
   | None -> None
 
-let load_op digest w =
+(* Every op records which node accepted it. Replay ignores the field;
+   replication preserves it verbatim, so after a partition heals the
+   nemesis can group journaled writes by (frame epoch, origin) and
+   assert no epoch ever saw two writers. *)
+let load_op ~origin digest w =
   Json.to_string
     (Json.Obj
        [
          ("op", Json.String "load");
+         ("origin", Json.String origin);
          ("digest", Json.String digest);
          ("wio", Json.String (Wio.to_string w));
        ])
 
-let plan_op (e : entry) =
+let plan_op ~origin (e : entry) =
   let p = e.params in
   Json.to_string
     (Json.Obj
        ([
           ("op", Json.String "plan");
+          ("origin", Json.String origin);
           ("digest", Json.String e.digest);
           ("tau", f17 p.Protocol.tau);
           ("instance", Json.String p.Protocol.instance);
@@ -247,11 +278,13 @@ let plan_op (e : entry) =
    end-to-end check that recovery reproduced the live run bit for bit.
    Snapshots fold the evolved workload and plan into ordinary load/plan
    records, so update ops only ever live in the WAL tail. *)
-let update_op ~digest ~(params : Protocol.solve_params) ~deltas ~new_digest =
+let update_op ~origin ~digest ~(params : Protocol.solve_params) ~deltas
+    ~new_digest =
   Json.to_string
     (Json.Obj
        ([
           ("op", Json.String "update");
+          ("origin", Json.String origin);
           ("digest", Json.String digest);
           ("tau", f17 params.Protocol.tau);
           ("instance", Json.String params.Protocol.instance);
@@ -482,6 +515,7 @@ let apply_record t line ~workloads ~plans ~updates ~skipped =
    degraded replies) go before the cache so they cannot evict live
    entries on replay. *)
 let full_state t =
+  let origin = t.config.name in
   let cached = List.map snd (Plan_cache.to_list t.cache) in
   let loads, fallback_only =
     locked t (fun () ->
@@ -489,23 +523,24 @@ let full_state t =
         List.iter
           (fun e -> Hashtbl.replace seen (cache_key e.digest e.params) ())
           cached;
-        ( Hashtbl.fold (fun d w acc -> load_op d w :: acc) t.workloads [],
+        ( Hashtbl.fold (fun d w acc -> load_op ~origin d w :: acc) t.workloads [],
           Hashtbl.fold
             (fun _ e acc ->
               if Hashtbl.mem seen (cache_key e.digest e.params) then acc
               else e :: acc)
             t.fallback [] ))
   in
-  loads @ List.map plan_op (fallback_only @ cached)
+  loads @ List.map (plan_op ~origin) (fallback_only @ cached)
 
 (* Append one op; when the WAL has grown past the configured threshold,
    fold it into a fresh snapshot while still holding [journal_lock] so
-   concurrent appends cannot interleave with the truncation. On a
-   follower this is a no-op: its journal mirrors the leader's record
-   sequence and only {!apply_replicated} may write it. *)
+   concurrent appends cannot interleave with the truncation. Returns the
+   record's absolute index so callers can gate the reply on a quorum
+   ack. On a follower this is a no-op: its journal mirrors the leader's
+   record sequence and only {!apply_replicated} may write it. *)
 let journal_append t op =
   match t.journal with
-  | None -> ()
+  | None -> None
   | Some j when role t = Leader ->
       Mutex.lock t.journal_lock;
       Fun.protect
@@ -513,11 +548,32 @@ let journal_append t op =
         (fun () ->
           Journal.append j op;
           let index = Journal.last_index j in
+          let epoch = Journal.last_epoch j in
           (match locked t (fun () -> t.journal_hook) with
           | None -> ()
-          | Some hook -> hook (Appended { index; payload = op }));
-          if Journal.snapshot_due j then Journal.snapshot j (full_state t))
-  | Some _ -> ()
+          | Some hook -> hook (Appended { index; epoch; payload = op }));
+          if Journal.snapshot_due j then Journal.snapshot j (full_state t);
+          Some index)
+  | Some _ -> None
+
+(* Wait (outside every lock) for [index] to be fsynced by a quorum. With
+   no gate installed or [quorum_acks <= 1] replication stays async. *)
+let await_commit t = function
+  | None -> Ok ()
+  | Some index -> (
+      if t.config.quorum_acks <= 1 then Ok ()
+      else
+        match locked t (fun () -> t.commit_gate) with
+        | None -> Ok ()
+        | Some gate -> (
+            match gate ~index with
+            | Ok () -> Ok ()
+            | Error m ->
+                Counter.inc
+                  (Registry.counter t.obs
+                     ~help:"Writes refused for lack of a replication quorum"
+                     "serve.replication.no_quorum");
+                Error m))
 
 let register_workload t w =
   let digest = digest_of_workload w in
@@ -528,10 +584,13 @@ let register_workload t w =
         fresh)
   in
   (* Re-loading known content is a no-op on disk too. *)
-  if fresh then journal_append t (load_op digest w);
-  digest
+  let index =
+    if fresh then journal_append t (load_op ~origin:t.config.name digest w)
+    else None
+  in
+  (digest, index)
 
-let load_workload = register_workload
+let load_workload t w = fst (register_workload t w)
 
 (* ----- replication support ----- *)
 
@@ -556,7 +615,13 @@ let sync_state t =
       Mutex.lock t.journal_lock;
       Fun.protect
         ~finally:(fun () -> Mutex.unlock t.journal_lock)
-        (fun () -> (Journal.last_index j, full_state t))
+        (fun () -> (Journal.last_index j, Journal.epoch j, full_state t))
+
+let journal_epoch_at t ~index =
+  match t.journal with None -> None | Some j -> Journal.epoch_at j ~index
+
+let journal_last_epoch t =
+  match t.journal with None -> None | Some j -> Some (Journal.last_epoch j)
 
 (* Apply one record of the leader's stream on a follower: run it through
    the same replay path a restart uses, then mirror it into the local
@@ -566,9 +631,15 @@ let sync_state t =
    journal and the caller must resync. Records that no longer replay
    (orphaned plans, malformed ops) are still mirrored: the journal
    tracks the leader's history, not local applicability. *)
-let apply_replicated t ~index payload =
+let apply_replicated t ~index ~epoch payload =
   match t.journal with
   | None -> Error "service has no journal to replicate into"
+  | Some j when role t = Leader ->
+      (* A leader mirroring someone else's stream is exactly the
+         split-brain this PR exists to prevent; the follow loop stops on
+         promotion, so hitting this means a race it must lose. *)
+      ignore j;
+      Error "refusing replicated record: this node is a leader"
   | Some j ->
       Mutex.lock t.journal_lock;
       Fun.protect
@@ -586,7 +657,7 @@ let apply_replicated t ~index payload =
             and updates = ref 0
             and skipped = ref 0 in
             apply_record t payload ~workloads ~plans ~updates ~skipped;
-            Journal.append j payload;
+            Journal.append ~epoch j payload;
             Counter.inc
               (Registry.counter t.obs ~help:"Leader records applied via replication"
                  "serve.replication.applied");
@@ -603,15 +674,28 @@ let apply_replicated t ~index payload =
    snapshot. After the call [journal_last_index t = Some base] and the
    service answers exactly as a fresh process that replayed the
    leader's journal would. *)
-let reset_to_snapshot t ~base payloads =
+let reset_to_snapshot t ~base ~epoch payloads =
   match t.journal with
   | None -> Error "service has no journal to replicate into"
+  | Some j when role t = Leader ->
+      ignore j;
+      Error "refusing snapshot reset: this node is a leader"
   | Some j ->
       Mutex.lock t.journal_lock;
       Fun.protect
         ~finally:(fun () -> Mutex.unlock t.journal_lock)
         (fun () ->
-          Journal.install_snapshot j ~base payloads;
+          (* Any local records past the incoming base are a divergent
+             un-acked tail (written under a now-fenced epoch); the
+             install discards them — count what was thrown away. *)
+          let divergent = Journal.last_index j - base in
+          if divergent > 0 then
+            Counter.add
+              (Registry.counter t.obs
+                 ~help:"Divergent un-acked records truncated on resync"
+                 "serve.replication.truncated_records")
+              divergent;
+          Journal.install_snapshot j ~base ~epoch payloads;
           Plan_cache.clear t.cache;
           locked t (fun () ->
               Hashtbl.reset t.workloads;
@@ -628,17 +712,54 @@ let reset_to_snapshot t ~base payloads =
                "serve.replication.resyncs");
           Ok ())
 
-let promote t =
+(* Promotion always lands on an epoch strictly above everything this
+   node has seen; the router passes the cluster-wide maximum plus one so
+   it also fences every leader the router knows about. An already-
+   leading node does not re-bump (a replayed promote must not burn
+   epochs) but still adopts [epoch] when it is ahead. *)
+let promote ?epoch t =
+  let requested = Option.value ~default:0 epoch in
   let was = locked t (fun () ->
       let was = t.role in
       t.role <- Leader;
       was)
   in
+  (match t.journal with
+  | Some j ->
+      if was = Follower then
+        Journal.set_epoch j (max (Journal.epoch j + 1) requested)
+      else Journal.set_epoch j requested
+  | None ->
+      locked t (fun () ->
+          t.volatile_epoch <-
+            (if was = Follower then max (t.volatile_epoch + 1) requested
+             else max t.volatile_epoch requested)));
   if was = Follower then
     Counter.inc
       (Registry.counter t.obs ~help:"Follower-to-leader promotions"
          "serve.replication.promotions");
   was = Follower
+
+(* Fenced step-down: only an epoch strictly ahead of ours may demote us.
+   Returns whether the node was leading. *)
+let demote t ~epoch:e =
+  if e <= epoch t then
+    Error
+      (Printf.sprintf "demote fenced: epoch %d is not ahead of local epoch %d" e
+         (epoch t))
+  else begin
+    adopt_epoch t e;
+    let was = locked t (fun () ->
+        let was = t.role in
+        t.role <- Follower;
+        was)
+    in
+    if was = Leader then
+      Counter.inc
+        (Registry.counter t.obs ~help:"Leader-to-follower fenced demotions"
+           "serve.replication.demotions");
+    Ok (was = Leader)
+  end
 
 let create ?obs ?(config = default_config) ?(role = Leader) ?replay_to () =
   let obs = match obs with Some r -> r | None -> Registry.create () in
@@ -670,7 +791,9 @@ let create ?obs ?(config = default_config) ?(role = Leader) ?replay_to () =
       degraded_served = 0;
       replay = None;
       role;
+      volatile_epoch = 0;
       journal_hook = None;
+      commit_gate = None;
     }
   in
   (match journal_replay with
@@ -686,7 +809,8 @@ let create ?obs ?(config = default_config) ?(role = Leader) ?replay_to () =
             List.filteri (fun i _ -> i < n) r.Journal.records
       in
       List.iter
-        (fun line -> apply_record t line ~workloads ~plans ~updates ~skipped)
+        (fun (_epoch, line) ->
+          apply_record t line ~workloads ~plans ~updates ~skipped)
         records;
       t.replay <-
         Some
@@ -827,7 +951,9 @@ let refresh_gauges t =
 let publish t ~key (e : entry) =
   Plan_cache.add t.cache key e;
   locked t (fun () -> Hashtbl.replace t.fallback e.digest e);
-  journal_append t (plan_op e)
+  (* Solves are idempotent (deterministic + content-addressed), so their
+     plan records replicate asynchronously even under quorum acks. *)
+  ignore (journal_append t (plan_op ~origin:t.config.name e))
 
 (* The cache-miss path, run by exactly one single-flight leader per key.
    The admission gate is taken before the breaker is consulted: a
@@ -990,6 +1116,8 @@ let handle_health t ~id =
       ("status", Json.String status);
       ("service", Json.String "mcss-plan-server");
       ("role", Json.String (role_to_string (role t)));
+      ("epoch", Json.Int (epoch t));
+      ("last_index", Json.Int (Option.value ~default:0 (journal_last_index t)));
       ("version", Json.String (Build_info.to_string ()));
       ("pid", Json.Int (Unix.getpid ()));
       ("uptime_s", Json.Float (uptime_s t));
@@ -1014,16 +1142,23 @@ let handle_load t ~id source =
     in
     match parse_result with
     | Error m -> Protocol.error_response ~id ~code:Protocol.Bad_request ~message:m ()
-    | Ok w ->
-        let digest = register_workload t w in
-        Protocol.ok_response ~id
-          [
-            ("digest", Json.String digest);
-            ("topics", Json.Int (Workload.num_topics w));
-            ("subscribers", Json.Int (Workload.num_subscribers w));
-            ("pairs", Json.Int (Workload.num_pairs w));
-            ("total_event_rate", Json.Float (Workload.total_event_rate w));
-          ]
+    | Ok w -> (
+        let digest, index = register_workload t w in
+        match await_commit t index with
+        | Error m ->
+            Protocol.error_response ~id ~code:Protocol.No_quorum
+              ~message:
+                ("workload journaled locally but not quorum-replicated: " ^ m)
+              ()
+        | Ok () ->
+            Protocol.ok_response ~id
+              [
+                ("digest", Json.String digest);
+                ("topics", Json.Int (Workload.num_topics w));
+                ("subscribers", Json.Int (Workload.num_subscribers w));
+                ("pairs", Json.Int (Workload.num_pairs w));
+                ("total_event_rate", Json.Float (Workload.total_event_rate w));
+              ])
 
 let with_workload t ~id digest f =
   match find_workload t digest with
@@ -1084,17 +1219,32 @@ let run_update t ~id ~deadline ~digest ~(params : Protocol.solve_params) ~w
         | Ok (model, eng) -> (
             let t0 = Clock.now_ns () in
             match Engine.apply eng ds with
-            | stats ->
+            | stats -> (
                 let apply_s = Clock.seconds_since t0 in
                 let w' = (Engine.problem eng).Problem.workload in
-                let new_digest = register_workload t w' in
+                let new_digest, _load_index = register_workload t w' in
                 let e' =
                   entry_of_engine ~model ~params ~solve_seconds:apply_s eng
                 in
                 Plan_cache.add t.cache (cache_key new_digest params) e';
                 locked t (fun () -> Hashtbl.replace t.fallback new_digest e');
-                journal_append t (update_op ~digest ~params ~deltas ~new_digest);
+                let index =
+                  journal_append t
+                    (update_op ~origin:t.config.name ~digest ~params ~deltas
+                       ~new_digest)
+                in
                 record_update t ~seconds:apply_s ~resolved:stats.Engine.resolved;
+                (* Acks are cumulative by index, so waiting on the update
+                   record also covers the load record just before it. *)
+                match await_commit t index with
+                | Error m ->
+                    Protocol.error_response ~id ~code:Protocol.No_quorum
+                      ~message:
+                        ("update applied and journaled locally but not \
+                          quorum-replicated; it may be truncated if this \
+                          leader is fenced: " ^ m)
+                      ()
+                | Ok () ->
                 Protocol.ok_response ~id
                   (plan_fields new_digest params e'.plan ~cached:false
                   @ [
@@ -1109,7 +1259,7 @@ let run_update t ~id ~deadline ~digest ~(params : Protocol.solve_params) ~w
                       ("pairs_evicted", Json.Int stats.Engine.pairs_evicted);
                       ("vms_added", Json.Int stats.Engine.vms_added);
                       ("vms_removed", Json.Int stats.Engine.vms_removed);
-                    ])
+                    ]))
             | exception Invalid_argument m ->
                 Protocol.error_response ~id ~code:Protocol.Bad_request ~message:m ()
             | exception Problem.Infeasible m ->
@@ -1297,6 +1447,8 @@ let handle_stats t ~id =
                   ("snapshots", Json.Int (Journal.snapshots_taken j));
                   ("base_index", Json.Int (Journal.base_index j));
                   ("last_index", Json.Int (Journal.last_index j));
+                  ("epoch", Json.Int (Journal.epoch j));
+                  ("last_epoch", Json.Int (Journal.last_epoch j));
                 ] );
           ])
     @
@@ -1326,10 +1478,25 @@ let handle_metrics t ~id =
       ("body", Json.String body);
     ]
 
-let handle_promote t ~id =
-  let promoted = promote t in
+let handle_promote t ~id ~epoch:e =
+  let promoted = promote ?epoch:e t in
   Protocol.ok_response ~id
-    [ ("role", Json.String "leader"); ("promoted", Json.Bool promoted) ]
+    [
+      ("role", Json.String "leader");
+      ("promoted", Json.Bool promoted);
+      ("epoch", Json.Int (epoch t));
+    ]
+
+let handle_demote t ~id ~epoch:e =
+  match demote t ~epoch:e with
+  | Error m -> Protocol.error_response ~id ~code:Protocol.Bad_request ~message:m ()
+  | Ok demoted ->
+      Protocol.ok_response ~id
+        [
+          ("role", Json.String "follower");
+          ("demoted", Json.Bool demoted);
+          ("epoch", Json.Int (epoch t));
+        ]
 
 let handle_shutdown t ~id =
   let served = locked t (fun () -> t.draining <- true; t.requests) in
@@ -1347,7 +1514,8 @@ let endpoint_name = function
   | Protocol.Chaos _ -> "chaos"
   | Protocol.Stats -> "stats"
   | Protocol.Metrics -> "metrics"
-  | Protocol.Promote -> "promote"
+  | Protocol.Promote _ -> "promote"
+  | Protocol.Demote _ -> "demote"
   | Protocol.Shutdown -> "shutdown"
   | Protocol.Drain -> "drain"
   | Protocol.Rehome _ -> "rehome"
@@ -1376,7 +1544,8 @@ let handle t (env : Protocol.envelope) =
         handle_chaos t ~id ~deadline ~digest ~params ~seed ~epochs ~zones ~faults
     | Protocol.Stats -> handle_stats t ~id
     | Protocol.Metrics -> handle_metrics t ~id
-    | Protocol.Promote -> handle_promote t ~id
+    | Protocol.Promote { epoch } -> handle_promote t ~id ~epoch
+    | Protocol.Demote { epoch } -> handle_demote t ~id ~epoch
     | Protocol.Shutdown -> handle_shutdown t ~id
     | Protocol.Drain | Protocol.Rehome _ | Protocol.Ledger ->
         Protocol.error_response ~id ~code:Protocol.Bad_request

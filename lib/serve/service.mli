@@ -52,6 +52,19 @@ type config = {
           jitter) come from here; the request's own [epochs] and [seed]
           always override those two fields. Default
           {!Mcss_resilience.Orchestrator.default_policy}. *)
+  name : string;
+      (** This node's name, stamped as ["origin"] into every journal op
+          it accepts as leader (default ["node"]). Replication preserves
+          the field, so post-mortem invariant checks can attribute every
+          record in any journal to the leader that wrote it. *)
+  quorum_acks : int;
+      (** Replicas (including this leader) that must have fsynced a
+          non-idempotent record ([update], first-time [load]) before its
+          reply goes out. [1] (default) keeps replication fully async;
+          with more, the reply waits on the {!set_commit_gate} gate and
+          becomes [no_quorum] on timeout. Idempotent verbs never wait. *)
+  quorum_timeout_ms : float;
+      (** How long a write may wait for its quorum (default 2000). *)
 }
 
 val default_config : config
@@ -136,44 +149,79 @@ val replay_stats : t -> replay_stats option
 val role : t -> role
 val role_to_string : role -> string
 
-val promote : t -> bool
-(** Make this service a leader (idempotent); [true] when it actually was
-    a follower. The caller (the serve loop) is responsible for stopping
-    the follower's replication pull. *)
+val epoch : t -> int
+(** This node's fencing epoch: the journal's {!Journal.epoch}, or a
+    volatile in-memory term when running without one. *)
 
-type journal_event = Appended of { index : int; payload : string }
+val promote : ?epoch:int -> t -> bool
+(** Make this service a leader (idempotent); [true] when it actually was
+    a follower. A follower-to-leader transition always bumps the fencing
+    epoch to [max (own + 1) epoch] — pass the highest epoch observed
+    cluster-wide so the promotion fences every earlier leader; an
+    already-leading node adopts [epoch] when ahead but does not re-bump.
+    The caller (the serve loop) is responsible for stopping the
+    follower's replication pull. *)
+
+val demote : t -> epoch:int -> (bool, string) result
+(** Fenced step-down: become a follower and adopt [epoch], but only when
+    [epoch] is strictly ahead of this node's own — [Error] otherwise, so
+    a laggard's stale view can never demote a genuinely newer leader.
+    [Ok true] when the node was actually leading. The caller restarts
+    the replication pull. *)
+
+type journal_event = Appended of { index : int; epoch : int; payload : string }
 
 val set_journal_hook : t -> (journal_event -> unit) option -> unit
 (** Observe leader-side journal appends, with each record's absolute
-    index. Called under the journal lock — the hook must be quick and
-    must not call back into journaling. *)
+    index and frame epoch. Called under the journal lock — the hook must
+    be quick and must not call back into journaling. *)
+
+val set_commit_gate : t -> (index:int -> (unit, string) result) option -> unit
+(** Install the quorum gate replies to non-idempotent verbs wait on when
+    [config.quorum_acks > 1] (the replication hub provides it: block
+    until enough followers acked [index], [Error] on timeout). Called
+    outside all service locks. *)
 
 val journal_last_index : t -> int option
 (** The journal's {!Journal.last_index}; [None] without a journal. *)
 
-val journal_read_from :
-  t -> index:int -> ((int * string) list, [ `Resync ]) result
-(** {!Journal.read_from} on the service's journal: the records strictly
-    after absolute index [index]. [Error `Resync] when that span is no
-    longer available (or there is no journal) — stream a {!sync_state}
-    snapshot instead. *)
+val journal_last_epoch : t -> int option
+(** The journal's {!Journal.last_epoch}; [None] without a journal. *)
 
-val sync_state : t -> int * string list
-(** A consistent [(last_index, full state)] pair for seeding a follower
-    that is too far behind for an incremental tail: replaying the
-    records on an empty service reproduces this service's answers.
+val journal_epoch_at : t -> index:int -> int option
+(** {!Journal.epoch_at}: the epoch of the WAL record at [index], [None]
+    when not in the WAL (or no journal). *)
+
+val journal_read_from :
+  t -> index:int -> ((int * int * string) list, [ `Resync ]) result
+(** {!Journal.read_from} on the service's journal: the
+    [(index, epoch, payload)] records strictly after absolute index
+    [index]. [Error `Resync] when that span is no longer available (or
+    there is no journal) — stream a {!sync_state} snapshot instead. *)
+
+val sync_state : t -> int * int * string list
+(** A consistent [(last_index, epoch, full state)] triple for seeding a
+    follower that is too far behind for an incremental tail: replaying
+    the records on an empty service reproduces this service's answers.
     Raises [Invalid_argument] without a journal. *)
 
-val apply_replicated : t -> index:int -> string -> (unit, string) result
+val apply_replicated :
+  t -> index:int -> epoch:int -> string -> (unit, string) result
 (** Apply one leader record on a follower — through the same replay path
-    a restart uses — and mirror it into the local journal. [index] must
-    be exactly [journal_last_index + 1]; [Error] (gap, rewind, or no
-    journal) means the caller must resync. Records that no longer replay
-    locally are mirrored anyway and counted, never fatal. *)
+    a restart uses — and mirror it into the local journal at the
+    leader's frame [epoch]. [index] must be exactly
+    [journal_last_index + 1]; [Error] (gap, rewind, no journal, or this
+    node is itself a leader — the split-brain guard) means the caller
+    must stop or resync. Records that no longer replay locally are
+    mirrored anyway and counted, never fatal. *)
 
-val reset_to_snapshot : t -> base:int -> string list -> (unit, string) result
+val reset_to_snapshot :
+  t -> base:int -> epoch:int -> string list -> (unit, string) result
 (** Replace the journal and the in-memory state with a leader's
-    {!sync_state} snapshot taken at absolute index [base]. *)
+    {!sync_state} snapshot taken at absolute index [base] under [epoch].
+    Any local records past [base] are a divergent un-acked tail and are
+    truncated (counted in [serve.replication.truncated_records]).
+    Refused on a leader. *)
 
 val obs : t -> Mcss_obs.Registry.t
 val cache_stats : t -> Plan_cache.stats

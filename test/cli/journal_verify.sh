@@ -1,0 +1,82 @@
+#!/bin/sh
+# Golden test for `mcss journal --verify`, the read-only integrity
+# scan.
+#
+#   1. Boot a journaled server, load a seeded workload, shut down
+#      cleanly — a one-record WAL whose contents are fully determined
+#      by the seed (a solved plan's record embeds solver timings, so no
+#      solve happens here).
+#   2. `--verify` the clean journal: stable report, exit 0, and the WAL
+#      is byte-identical afterwards (read-only means read-only).
+#   3. Flip one payload byte in the first frame and `--verify` again:
+#      the CRC failure is reported, the exit code is 1, and the corrupt
+#      WAL is *still* untouched — unlike a replay, verify never
+#      truncates.
+#
+# Stdout is diffed against journal_verify.expected, so everything
+# printed here must be deterministic (no absolute paths, no timings).
+#
+# Usage: journal_verify.sh /path/to/mcss
+set -eu
+
+MCSS="$1"
+# The verify runs below cd into the scratch dir (so the golden output
+# carries a relative journal path), which would break a relative binary
+# path like dune's %{bin:mcss}.
+case "$MCSS" in /*) ;; *) MCSS="$(pwd)/$MCSS" ;; esac
+TMP=$(mktemp -d "${TMPDIR:-/tmp}/mcss-jverify-XXXXXX")
+SERVER_PID=""
+
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null
+  rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+  echo "journal_verify: $*" >&2
+  exit 1
+}
+
+SOCK="$TMP/mcss.sock"
+JOURNAL="$TMP/journal"
+WL="$TMP/w.wl"
+
+"$MCSS" generate --trace spotify --scale 0.0005 --seed 11 -o "$WL" >/dev/null
+
+"$MCSS" serve -l "unix:$SOCK" --journal "$JOURNAL" --silent &
+SERVER_PID=$!
+i=0
+until "$MCSS" query -c "unix:$SOCK" health >/dev/null 2>&1; do
+  i=$((i + 1))
+  [ "$i" -gt 100 ] && fail "server never became healthy"
+  kill -0 "$SERVER_PID" 2>/dev/null || fail "server died during startup"
+  sleep 0.1
+done
+
+DIGEST=$("$MCSS" query -c "unix:$SOCK" load -w "$WL" \
+  | grep -o '"digest":"[^"]*"' | head -n 1 | cut -d'"' -f4)
+[ -n "$DIGEST" ] || fail "load returned no digest"
+"$MCSS" query -c "unix:$SOCK" shutdown >/dev/null 2>&1 || true
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+# ----- clean journal: exit 0, WAL untouched -----
+cp "$JOURNAL/wal.mcssj" "$TMP/wal.before"
+echo "--- clean journal ---"
+(cd "$TMP" && "$MCSS" journal --dir journal --verify) \
+  || fail "clean verify did not exit 0"
+cmp -s "$JOURNAL/wal.mcssj" "$TMP/wal.before" \
+  || fail "verify modified a clean WAL"
+
+# ----- one flipped payload byte: exit 1, WAL still untouched -----
+dd if=/dev/zero of="$JOURNAL/wal.mcssj" bs=1 seek=20 count=1 conv=notrunc \
+  2>/dev/null
+cp "$JOURNAL/wal.mcssj" "$TMP/wal.corrupt"
+echo "--- corrupt journal ---"
+rc=0
+(cd "$TMP" && "$MCSS" journal --dir journal --verify) || rc=$?
+echo "exit=$rc"
+[ "$rc" -eq 1 ] || fail "corrupt verify exited $rc, wanted 1"
+cmp -s "$JOURNAL/wal.mcssj" "$TMP/wal.corrupt" \
+  || fail "verify rewrote the corrupt WAL (must never truncate)"

@@ -124,7 +124,7 @@ let test_journal_indices () =
       check_int "base survives restart" 3 (Journal.base_index j2);
       check_int "last survives restart" 4 (Journal.last_index j2);
       check_bool "snapshot then WAL on replay" true
-        (replay.Journal.records = [ "S1"; "S2"; "d" ]);
+        (replay.Journal.records = [ (0, "S1"); (0, "S2"); (0, "d") ]);
       Journal.close j2)
 
 let test_journal_read_from () =
@@ -135,8 +135,10 @@ let test_journal_read_from () =
       Journal.append j "b";
       Journal.append j "c";
       check_bool "full tail from 0" true
-        (Journal.read_from j ~index:0 = Ok [ (1, "a"); (2, "b"); (3, "c") ]);
-      check_bool "mid tail" true (Journal.read_from j ~index:2 = Ok [ (3, "c") ]);
+        (Journal.read_from j ~index:0
+        = Ok [ (1, 0, "a"); (2, 0, "b"); (3, 0, "c") ]);
+      check_bool "mid tail" true
+        (Journal.read_from j ~index:2 = Ok [ (3, 0, "c") ]);
       check_bool "caught up" true (Journal.read_from j ~index:3 = Ok []);
       check_bool "future index needs resync" true
         (Journal.read_from j ~index:4 = Error `Resync);
@@ -147,13 +149,16 @@ let test_journal_read_from () =
         (Journal.read_from j ~index:3 = Ok []);
       Journal.append j "d";
       check_bool "post-fold append indexed absolutely" true
-        (Journal.read_from j ~index:3 = Ok [ (4, "d") ]);
+        (Journal.read_from j ~index:3 = Ok [ (4, 0, "d") ]);
       let seen = ref [] in
-      (match Journal.iter_from j ~index:3 (fun ~index p -> seen := (index, p) :: !seen) with
+      (match
+         Journal.iter_from j ~index:3 (fun ~index ~epoch:_ p ->
+             seen := (index, p) :: !seen)
+       with
       | Ok n -> check_int "iter_from reports count" 1 n
       | Error `Resync -> Alcotest.fail "iter_from should serve the tail");
       check_bool "iter_from visits the tail" true (!seen = [ (4, "d") ]);
-      (match Journal.install_snapshot j ~base:(-1) [] with
+      (match Journal.install_snapshot j ~base:(-1) ~epoch:0 [] with
       | () -> Alcotest.fail "negative base must be rejected"
       | exception Invalid_argument _ -> ());
       Journal.close j)
@@ -166,16 +171,18 @@ let test_journal_install_snapshot () =
       Journal.append j "local-2";
       (* A follower resync: whatever was here is replaced wholesale by
          the leader's state, positioned at the leader's index. *)
-      Journal.install_snapshot j ~base:7 [ "s1"; "s2"; "s3" ];
+      Journal.install_snapshot j ~base:7 ~epoch:3 [ "s1"; "s2"; "s3" ];
       check_int "base adopted from the leader" 7 (Journal.base_index j);
       check_int "WAL emptied" 0 (Journal.wal_records j);
       check_int "last = base after install" 7 (Journal.last_index j);
+      check_int "epoch adopted from the leader" 3 (Journal.epoch j);
       Journal.append j "tail-8";
       check_int "appends continue at the adopted index" 8 (Journal.last_index j);
       Journal.close j;
       let j2, replay = Journal.open_ config in
       check_bool "installed state replays before the tail" true
-        (replay.Journal.records = [ "s1"; "s2"; "s3"; "tail-8" ]);
+        (replay.Journal.records
+        = [ (3, "s1"); (3, "s2"); (3, "s3"); (3, "tail-8") ]);
       check_int "adopted base survives restart" 7 (Journal.base_index j2);
       Journal.close j2)
 
@@ -194,23 +201,23 @@ let test_dropped_frames_forensics () =
       Journal.append j "third";
       Journal.close j;
       let wal = Filename.concat dir "wal.mcssj" in
-      (* Flip a payload byte of "second" (frame 1 is 8+5 bytes, so its
-         payload starts at byte 21): recovery stops there, and the
+      (* Flip a payload byte of "second" (frame 1 is 16+5 bytes, so its
+         payload starts at byte 37): recovery stops there, and the
          forensic tail walk counts both whole frames beyond the cut. *)
       let fd = Unix.openfile wal [ Unix.O_WRONLY ] 0o644 in
-      ignore (Unix.lseek fd 21 Unix.SEEK_SET);
+      ignore (Unix.lseek fd 37 Unix.SEEK_SET);
       ignore (Unix.write fd (Bytes.of_string "X") 0 1);
       Unix.close fd;
       let j2, replay = Journal.open_ config in
       check_bool "only the clean prefix recovered" true
-        (replay.Journal.records = [ "first" ]);
+        (replay.Journal.records = [ (0, "first") ]);
       check_int "one corrupt record" 1 replay.Journal.corrupt_records;
       check_int "two frames reported dropped" 2 replay.Journal.dropped_frames;
       Journal.close j2;
       (* A torn tail (header promising more than was written) counts as
          one apparent frame — and the count surfaces in the service's
          replay stats. *)
-      let torn = Bytes.create 8 in
+      let torn = Bytes.create Journal.header_bytes in
       Bytes.set_int32_le torn 0 100l;
       Bytes.set_int32_le torn 4 0l;
       append_raw wal (Bytes.to_string torn ^ "partial");
@@ -219,7 +226,8 @@ let test_dropped_frames_forensics () =
       | None -> Alcotest.fail "journaled service must report replay stats"
       | Some r ->
           check_int "torn tail is one dropped frame" 1 r.Service.dropped_frames;
-          check_int "torn bytes reported" 15 r.Service.wal_truncated_bytes);
+          check_int "torn bytes reported" (Journal.header_bytes + 7)
+            r.Service.wal_truncated_bytes);
       Service.close svc)
 
 (* ----- service: replication primitives ----- *)
@@ -250,12 +258,12 @@ let test_apply_replicated_gap_detection () =
       let svc =
         Service.create ~config:(journaled_config dir) ~role:Service.Follower ()
       in
-      (match Service.apply_replicated svc ~index:1 "not-a-real-op" with
+      (match Service.apply_replicated svc ~index:1 ~epoch:0 "not-a-real-op" with
       | Ok () -> ()
       | Error m -> Alcotest.failf "dense successor must apply: %s" m);
       check_bool "record mirrored even when inapplicable" true
         (Service.journal_last_index svc = Some 1);
-      (match Service.apply_replicated svc ~index:3 "skipping-two" with
+      (match Service.apply_replicated svc ~index:3 ~epoch:0 "skipping-two" with
       | Ok () -> Alcotest.fail "a gap must be refused"
       | Error m ->
           check_bool "gap named in the error" true
@@ -303,9 +311,9 @@ let prop_wal_prefix (seed, kraw) =
               in
               let k = kraw mod (List.length records + 1) in
               List.iteri
-                (fun i (idx, p) ->
+                (fun i (idx, epoch, p) ->
                   if i < k then
-                    match Service.apply_replicated follower ~index:idx p with
+                    match Service.apply_replicated follower ~index:idx ~epoch p with
                     | Ok () -> ()
                     | Error m -> Alcotest.failf "apply record %d: %s" idx m)
                 records;
@@ -742,6 +750,181 @@ let test_client_route_reresolves_target () =
           check_int "the dead-end address saw only the first attempt" 1
             (Faulty.connections proxy)))
 
+(* ----- client + router: not_leader re-resolution (regression) ----- *)
+
+let valid_update_env digest =
+  {
+    Protocol.id = None;
+    deadline_ms = None;
+    request =
+      Protocol.Update
+        {
+          digest;
+          params = Protocol.default_params;
+          deltas = "mcss-deltas 1\nrate 0 42.0\n";
+        };
+  }
+
+let test_client_not_leader_retry_reresolves () =
+  (* Attempt 1 lands on a follower, which refuses the update with
+     [not_leader]. The refusal proves nothing was applied, so the
+     client replays the non-idempotent verb against the re-resolved
+     leader instead of surfacing the error. *)
+  let leader = Service.create () in
+  let digest = Service.load_workload leader (test_workload ()) in
+  ignore (ok_reply "leader solve" (Service.handle_line leader (solve_line digest 100)));
+  let follower = Service.create ~role:Service.Follower () in
+  with_server leader (fun leader_addr ->
+      with_server follower (fun follower_addr ->
+          let route ~attempt =
+            if attempt = 1 then follower_addr else leader_addr
+          in
+          let o =
+            Client.call ~policy:fast_policy ~rng:(Rng.create 6) ~route
+              follower_addr (valid_update_env digest)
+          in
+          (match o.Retry.result with
+          | Ok reply ->
+              let r = ok_reply "update after not_leader reroute" reply in
+              check_bool "the evolved digest came back" true
+                (String.length (str_field r "digest") > 0)
+          | Error m -> Alcotest.failf "rerouted update failed: %s" m);
+          check_int "exactly one not_leader retry" 2 o.Retry.attempts;
+          (* On the last attempt the refusal is the final answer (exit
+             codes depend on the structured reply surviving). *)
+          let o2 =
+            Client.call
+              ~policy:{ fast_policy with Retry.max_attempts = 1 }
+              ~rng:(Rng.create 7)
+              follower_addr (valid_update_env digest)
+          in
+          match o2.Retry.result with
+          | Ok reply ->
+              expect_code "refusal survives as the reply" Protocol.Not_leader
+                reply
+          | Error m -> Alcotest.failf "wanted a not_leader reply, got: %s" m))
+
+let test_router_reresolves_leader_on_not_leader () =
+  (* The router's member order says the follower leads (as after an
+     un-observed manual promotion). A forwarded update draws
+     [not_leader]; with auto_promote the router re-probes, discovers the
+     real leader, reorders, and the retry succeeds — the client never
+     sees the refusal. *)
+  let leader = Service.create () in
+  let digest = Service.load_workload leader (test_workload ()) in
+  ignore (ok_reply "leader solve" (Service.handle_line leader (solve_line digest 100)));
+  let follower = Service.create ~role:Service.Follower () in
+  with_server leader (fun leader_addr ->
+      with_server follower (fun follower_addr ->
+          let r =
+            Router.create
+              ~config:{ router_config with Router.auto_promote = true }
+              [
+                { Router.shard_name = "s0";
+                  members =
+                    [ member "f" follower_addr; member "l" leader_addr ] };
+              ]
+          in
+          let reply = Router.handle r (valid_update_env digest) in
+          ignore (ok_reply "update rerouted to the real leader" reply);
+          let reroutes =
+            Mcss_obs.Metric.Counter.value
+              (Mcss_obs.Registry.counter (Router.obs r)
+                 "serve.router.not_leader_reroutes")
+          in
+          check_bool "the reroute was counted" true (reroutes >= 1);
+          (* The discovered order sticks: the next update forwards
+             straight to the leader, no refusal. *)
+          let before =
+            Mcss_obs.Metric.Counter.value
+              (Mcss_obs.Registry.counter (Router.obs r)
+                 "serve.router.not_leader_reroutes")
+          in
+          ignore (ok_reply "second update" (Router.handle r (valid_update_env digest)));
+          let after =
+            Mcss_obs.Metric.Counter.value
+              (Mcss_obs.Registry.counter (Router.obs r)
+                 "serve.router.not_leader_reroutes")
+          in
+          check_int "no further reroutes needed" before after))
+
+(* ----- qcheck: fencing epochs ----- *)
+
+(* Two journals that were briefly the same lineage — a leader and a
+   follower that mirrored a prefix, then was promoted with a fenced
+   epoch while the old leader kept appending — must satisfy, whatever
+   the interleaving: epochs never decrease within either journal (also
+   across a close/reopen), and any (index, epoch) slot present in both
+   carries the identical payload. The divergent slots are exactly the
+   ones the fencing epoch distinguishes, which is what lets the
+   replication handshake find and truncate them. *)
+let prop_epoch_fencing (n1raw, kraw, n2raw) =
+  let n1 = 1 + (n1raw mod 8) and n2 = 1 + (n2raw mod 8) in
+  with_dir (fun dl ->
+      with_dir (fun df ->
+          let open_j dir =
+            fst
+              (Journal.open_
+                 { (Journal.default_config ~dir) with Journal.fsync = false })
+          in
+          let jl = open_j dl in
+          for i = 1 to n1 do
+            Journal.append jl (Printf.sprintf "a-%d" i)
+          done;
+          let jf = open_j df in
+          let records =
+            match Journal.read_from jl ~index:0 with
+            | Ok l -> l
+            | Error `Resync -> []
+          in
+          let k = kraw mod (n1 + 1) in
+          List.iteri
+            (fun i (_, e, p) -> if i < k then Journal.append ~epoch:e jf p)
+            records;
+          (* Fenced promotion: the new leader's epoch moves past
+             anything the old one could have written... *)
+          Journal.set_epoch jf (Journal.epoch jl);
+          ignore (Journal.bump_epoch jf);
+          for i = 1 to n2 do
+            Journal.append jf (Printf.sprintf "b-%d" i)
+          done;
+          (* ...while the fenced leader keeps writing its stale epoch
+             (a divergent un-acked tail). *)
+          Journal.append jl "stale-tail";
+          let all j =
+            match Journal.read_from j ~index:0 with
+            | Ok l -> l
+            | Error `Resync -> []
+          in
+          let non_decreasing recs =
+            let rec go prev = function
+              | [] -> true
+              | (_, e, _) :: rest -> e >= prev && go e rest
+            in
+            go 0 recs
+          in
+          let lrec = all jl and frec = all jf in
+          let el = Journal.epoch jl and ef = Journal.epoch jf in
+          Journal.close jl;
+          Journal.close jf;
+          (* Epochs survive a reopen (sidecar + frame scan agree). *)
+          let jl2 = open_j dl and jf2 = open_j df in
+          let persisted = Journal.epoch jl2 = el && Journal.epoch jf2 = ef in
+          Journal.close jl2;
+          Journal.close jf2;
+          persisted
+          && ef > el
+          && non_decreasing lrec
+          && non_decreasing frec
+          && List.for_all
+               (fun (i, e, p) ->
+                 match
+                   List.find_opt (fun (i2, e2, _) -> i2 = i && e2 = e) frec
+                 with
+                 | Some (_, _, p2) -> p2 = p
+                 | None -> true)
+               lrec))
+
 let suite =
   [
     Alcotest.test_case "journal: absolute indices survive folds and restarts"
@@ -775,4 +958,12 @@ let suite =
       test_router_routes_by_digest;
     Alcotest.test_case "client: ?route re-resolves the retry target" `Quick
       test_client_route_reresolves_target;
+    Alcotest.test_case "client: not_leader refusal is replayed at the leader"
+      `Quick test_client_not_leader_retry_reresolves;
+    Alcotest.test_case "router: update re-resolves the leader on not_leader"
+      `Quick test_router_reresolves_leader_on_not_leader;
+    Helpers.qtest ~count:40
+      "journal: epochs never regress; (epoch, index) unique cluster-wide"
+      QCheck.(triple (int_bound 1000) (int_bound 64) (int_bound 1000))
+      prop_epoch_fencing;
   ]

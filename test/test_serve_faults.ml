@@ -98,7 +98,7 @@ let test_journal_roundtrip () =
       | exception Sys_error _ -> ());
       let j2, replay = Journal.open_ config in
       check_bool "records replayed in order" true
-        (replay.Journal.records = [ "one"; "two"; String.make 1000 'x' ]);
+        (replay.Journal.records = [ (0, "one"); (0, "two"); (0, String.make 1000 'x') ]);
       check_int "no torn tail" 0 replay.Journal.truncated_bytes;
       check_int "no corruption" 0 replay.Journal.corrupt_records;
       Journal.close j2)
@@ -120,14 +120,15 @@ let test_journal_torn_tail () =
       let good_size = (Unix.stat wal).Unix.st_size in
       (* A crash mid-append: a whole header promising 100 bytes but only
          a few payload bytes made it to disk. *)
-      let torn = Bytes.create 8 in
+      let torn = Bytes.create Journal.header_bytes in
       Bytes.set_int32_le torn 0 100l;
       Bytes.set_int32_le torn 4 0l;
       append_raw wal (Bytes.to_string torn ^ "only-this");
       let j2, replay = Journal.open_ config in
       check_bool "good records recovered" true
-        (replay.Journal.records = [ "alpha"; "beta" ]);
-      check_int "torn bytes reported" 17 replay.Journal.truncated_bytes;
+        (replay.Journal.records = [ (0, "alpha"); (0, "beta") ]);
+      check_int "torn bytes reported" (Journal.header_bytes + 9)
+        replay.Journal.truncated_bytes;
       check_int "a torn tail is not corruption" 0 replay.Journal.corrupt_records;
       check_int "WAL physically truncated" good_size (Unix.stat wal).Unix.st_size;
       (* And the journal keeps working from the cut. *)
@@ -135,7 +136,7 @@ let test_journal_torn_tail () =
       Journal.close j2;
       let j3, replay = Journal.open_ config in
       check_bool "append after truncation replays" true
-        (replay.Journal.records = [ "alpha"; "beta"; "gamma" ]);
+        (replay.Journal.records = [ (0, "alpha"); (0, "beta"); (0, "gamma") ]);
       Journal.close j3)
 
 let test_journal_corrupt_record () =
@@ -146,15 +147,15 @@ let test_journal_corrupt_record () =
       Journal.append j "second";
       Journal.close j;
       let wal = Filename.concat dir "wal.mcssj" in
-      (* Flip a payload byte of the second record (offset: 8 + 5 for the
-         first frame, + 8 header = byte 21 is 's' of "second"). *)
+      (* Flip a payload byte of the second record (offset: 16 + 5 for the
+         first frame, + 16 header = byte 37 is 's' of "second"). *)
       let fd = Unix.openfile wal [ Unix.O_WRONLY ] 0o644 in
-      ignore (Unix.lseek fd 21 Unix.SEEK_SET);
+      ignore (Unix.lseek fd 37 Unix.SEEK_SET);
       ignore (Unix.write fd (Bytes.of_string "X") 0 1);
       Unix.close fd;
       let j2, replay = Journal.open_ config in
       check_bool "scan stops before the bad CRC" true
-        (replay.Journal.records = [ "first" ]);
+        (replay.Journal.records = [ (0, "first") ]);
       check_int "corruption counted" 1 replay.Journal.corrupt_records;
       check_bool "corrupt tail cut" true (replay.Journal.truncated_bytes > 0);
       Journal.close j2)
@@ -175,7 +176,7 @@ let test_journal_snapshot () =
       Journal.close j;
       let j2, replay = Journal.open_ config in
       check_bool "snapshot then WAL" true
-        (replay.Journal.records = [ "full"; "state"; "d" ]);
+        (replay.Journal.records = [ (0, "full"); (0, "state"); (0, "d") ]);
       check_int "snapshot records" 2 replay.Journal.snapshot_records;
       check_int "wal records" 1 replay.Journal.wal_records;
       Journal.close j2)
@@ -696,6 +697,53 @@ let test_torn_frame_then_recovery () =
       (* The server is still fully alive. *)
       ignore (ok_reply "service healthy" (Service.handle_line svc {|{"req":"health"}|})))
 
+let test_blackhole_times_out_then_recovers () =
+  (* Connection 0's reply direction is blackholed: the socket stays
+     open, bytes vanish, nothing ever comes back — the shape of a
+     dropped-packets partition, not a dead process. The client's
+     receive timeout must fire (not hang, not crash on the channel's
+     [Sys_blocked_io]) and the retry through a clean connection
+     succeeds. *)
+  let plan ~conn =
+    if conn = 0 then
+      { Faulty.clean with Faulty.to_client = [ Faulty.Blackhole ] }
+    else Faulty.clean
+  in
+  with_faulty_server plan (fun proxy _svc ->
+      let policy = { fast_policy with Retry.attempt_timeout_ms = Some 300. } in
+      let o =
+        Client.call ~policy ~rng:(Rng.create 15) (Faulty.address proxy)
+          health_env
+      in
+      (match o.Retry.result with
+      | Ok reply -> ignore (ok_reply "health through blackhole" reply)
+      | Error m -> Alcotest.failf "call failed: %s" m);
+      check_int "timed out once, then clean" 2 o.Retry.attempts;
+      (* Flip the link to a full partition and sever live connections:
+         the next call sees only swallowed bytes and must come back a
+         timeout error, not a hang. *)
+      Faulty.set_plan proxy (fun ~conn:_ ->
+          { Faulty.to_server = [ Faulty.Blackhole ];
+            to_client = [ Faulty.Blackhole ] });
+      Faulty.sever proxy;
+      let o2 =
+        Client.call ~policy:{ policy with Retry.max_attempts = 2 }
+          ~rng:(Rng.create 16) (Faulty.address proxy) health_env
+      in
+      (match o2.Retry.result with
+      | Ok reply -> Alcotest.failf "partitioned call succeeded: %s" (Json.to_string reply)
+      | Error _ -> ());
+      (* Heal: new connections forward cleanly again. *)
+      Faulty.set_plan proxy (fun ~conn:_ -> Faulty.clean);
+      Faulty.sever proxy;
+      let o3 =
+        Client.call ~policy ~rng:(Rng.create 17) (Faulty.address proxy)
+          health_env
+      in
+      match o3.Retry.result with
+      | Ok reply -> ignore (ok_reply "health after heal" reply)
+      | Error m -> Alcotest.failf "healed call failed: %s" m)
+
 let test_non_idempotent_requests_not_replayed () =
   (* Force the idempotence gate with a request the codec cannot prove
      safe: every current verb is idempotent, so instead check the gate
@@ -827,6 +875,8 @@ let suite =
       test_partial_writes_and_trickle_are_harmless;
     Alcotest.test_case "faulty: torn frame then recovery" `Quick
       test_torn_frame_then_recovery;
+    Alcotest.test_case "faulty: blackhole partition times out, heals" `Quick
+      test_blackhole_times_out_then_recovers;
     Alcotest.test_case "idempotence gate" `Quick
       test_non_idempotent_requests_not_replayed;
     Alcotest.test_case "signal storm: EINTR absorbed" `Quick
