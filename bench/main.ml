@@ -2708,26 +2708,135 @@ let partition_bench ~seeds ~out_dir =
     exit 1
   end
 
+(* Full-scale solves: the flat-array core and domain-parallel Stage-1
+   across trace scales and domain counts, up to the published Spotify
+   dimensions (scale 1.0: ~1.1 M topics, ~4.9 M subscribers). Traces
+   arrive through the streaming generator, solves run at each domain
+   count, and the per-scale digest equality is a hard gate: any domain
+   count producing a different plan than --domains 1 exits 1.
+   BENCH_scale.json: per-(scale, domains) wall time, pairs/sec, plan
+   digest, per-phase GC words, and the process-wide peak RSS. *)
+let scale_bench ~seeds ~domains:domain_counts ~max_scale ~out_dir =
+  section_header "scale"
+    "full-scale solves (flat core, domain-parallel Stage-1, Spotify, tau=100)";
+  let scales =
+    List.filter (fun s -> s <= max_scale +. 1e-12) [ 0.02; 0.1; 0.5; 1.0 ]
+  in
+  let domain_counts = if domain_counts = [] then [ 1; 2; 4 ] else domain_counts in
+  let instance = Instance.c3_large in
+  let tau = 100. in
+  let table =
+    Table.create
+      [
+        ("scale", Table.Right); ("domains", Table.Right); ("pairs", Table.Right);
+        ("gen s", Table.Right); ("solve s", Table.Right);
+        ("pairs/s", Table.Right); ("VMs", Table.Right); ("cost", Table.Right);
+        ("digest", Table.Left);
+      ]
+  in
+  let mismatches = ref 0 in
+  let rows =
+    List.concat_map
+      (fun scale ->
+        let w, gen_s =
+          timed (fun () -> Front.generate ~seed:seeds.spotify `Spotify ~scale)
+        in
+        let _model, p = Front.problem_of ~w ~tau ~instance ~scale ~bc_events:None in
+        let pairs = Workload.num_pairs w in
+        let reference = ref "" in
+        List.map
+          (fun domains ->
+            Mcss_obs.Gc_phase.reset ();
+            let r, solve_s = timed (fun () -> Solver.solve ~domains p) in
+            let gc_phases = Mcss_obs.Gc_phase.to_json_object () in
+            let digest =
+              Digest.to_hex
+                (Digest.string (Mcss_core.Plan_io.to_string r.Solver.allocation))
+            in
+            if !reference = "" then reference := digest;
+            let equal = String.equal digest !reference in
+            if not equal then incr mismatches;
+            let pairs_per_s = float_of_int pairs /. solve_s in
+            Table.add_row table
+              [
+                Printf.sprintf "%g" scale;
+                string_of_int domains;
+                string_of_int pairs;
+                Table.cell_float ~decimals:2 gen_s;
+                Table.cell_float ~decimals:2 solve_s;
+                Printf.sprintf "%.3e" pairs_per_s;
+                string_of_int r.Solver.num_vms;
+                Table.cell_usd r.Solver.cost;
+                (if equal then String.sub digest 0 12
+                 else String.sub digest 0 12 ^ " MISMATCH");
+              ];
+            Printf.sprintf
+              "    {\"scale\": %g, \"domains\": %d, \"pairs\": %d, \
+               \"gen_s\": %.3f, \"solve_s\": %.3f, \"pairs_per_s\": %.1f, \
+               \"vms\": %d, \"cost_usd\": %.2f, \"plan_digest\": %S, \
+               \"digest_matches_domains1\": %b, \"gc_phases\": %s}"
+              scale domains pairs gen_s solve_s pairs_per_s r.Solver.num_vms
+              r.Solver.cost digest equal gc_phases)
+          domain_counts)
+      scales
+  in
+  Table.print table;
+  let rec mkdir_p d =
+    if d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      mkdir_p (Filename.dirname d);
+      (try Sys.mkdir d 0o755 with Sys_error _ -> ())
+    end
+  in
+  mkdir_p out_dir;
+  let json_path = Filename.concat out_dir "BENCH_scale.json" in
+  let oc = open_out json_path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"scenario\": \"scale\",\n\
+    \  \"trace\": \"spotify\",\n\
+    \  \"tau\": %g,\n\
+    \  \"instance\": %S,\n\
+    \  \"trace_seed\": %d,\n\
+    \  \"runtime\": %s,\n\
+    \  \"digests_converged\": %b,\n\
+    \  \"runs\": [\n%s\n  ]\n\
+     }\n"
+    tau instance.Instance.name seeds.trace_seed (runtime_json ())
+    (!mismatches = 0)
+    (String.concat ",\n" rows);
+  close_out oc;
+  Printf.printf "wrote %s\n" json_path;
+  if !mismatches > 0 then begin
+    Printf.printf
+      "FAILED: %d run(s) diverged from the --domains 1 plan digest\n" !mismatches;
+    exit 1
+  end
+
 let all_sections =
   [
     "fig1"; "fig2a"; "fig2b"; "fig3a"; "fig3b"; "fig4"; "fig5"; "fig6"; "fig7";
     "fig8-12"; "summary"; "ablate-stage1"; "ablate-stage2"; "ablate-dynamic";
     "ablate-failures"; "ablate-scaling"; "ablate-skew"; "ablate-budget"; "latency";
     "resilience"; "obs"; "serve"; "serve-faults"; "serve-cluster"; "engine";
-    "dataplane"; "elastic"; "partition"; "micro";
+    "dataplane"; "elastic"; "partition"; "scale"; "micro";
   ]
 
-let run_bench sections spotify_scale twitter_scale trace_seed out_dir =
+let run_bench sections spotify_scale twitter_scale trace_seed domains max_scale
+    out_dir =
   let enabled s = sections = [] || List.mem s sections in
   let seeds = derive_seeds trace_seed in
   Printf.printf
     "MCSS experiment harness — Spotify scale %g, Twitter scale %g, trace seed %d\n"
     spotify_scale twitter_scale seeds.trace_seed;
+  (* [shared_workload] memoises on (trace, scale, seed) through lib/front,
+     so every section — and the scale sweep below when its grid touches
+     the same tuple — reuses one materialisation instead of regenerating
+     the trace per section. *)
   let spotify =
-    lazy (Front.generate ~seed:seeds.spotify `Spotify ~scale:spotify_scale)
+    lazy (Front.shared_workload ~seed:seeds.spotify `Spotify ~scale:spotify_scale)
   in
   let twitter =
-    lazy (Front.generate ~seed:seeds.twitter `Twitter ~scale:twitter_scale)
+    lazy (Front.shared_workload ~seed:seeds.twitter `Twitter ~scale:twitter_scale)
   in
   let matrices = Hashtbl.create 4 in
   let matrix_for trace_name w scale instance =
@@ -2804,6 +2913,7 @@ let run_bench sections spotify_scale twitter_scale trace_seed out_dir =
   if enabled "elastic" then
     elastic_bench ~seeds ~spotify:(Lazy.force spotify) ~spotify_scale ~out_dir;
   if enabled "partition" then partition_bench ~seeds ~out_dir;
+  if enabled "scale" then scale_bench ~seeds ~domains ~max_scale ~out_dir;
   if enabled "micro" then micro ~seeds ();
   Printf.printf "\ndone. figure data series in %s/\n" out_dir
 
@@ -2832,6 +2942,20 @@ let trace_seed_arg =
   in
   Arg.(value & opt int default_trace_seed & info [ "trace-seed" ] ~docv:"N" ~doc)
 
+let domains_arg =
+  let doc =
+    "Domain count for the $(b,scale) section (repeatable). Default: 1, 2, 4. \
+     Every count must reproduce the --domains 1 plan digest bit-for-bit."
+  in
+  Arg.(value & opt_all int [] & info [ "domains" ] ~docv:"N" ~doc)
+
+let max_scale_arg =
+  let doc =
+    "Largest Spotify scale the $(b,scale) section sweeps; 1.0 runs the \
+     published trace dimensions (~1.1M topics, ~4.9M subscribers)."
+  in
+  Arg.(value & opt float 0.1 & info [ "max-scale" ] ~docv:"F" ~doc)
+
 let out_dir_arg =
   let doc = "Directory for the figure data series (.dat files)." in
   Arg.(value & opt string "bench_out" & info [ "o"; "out-dir" ] ~docv:"DIR" ~doc)
@@ -2842,6 +2966,6 @@ let cmd =
     (Cmd.info "mcss-bench" ~doc)
     Term.(
       const run_bench $ sections_arg $ spotify_scale_arg $ twitter_scale_arg
-      $ trace_seed_arg $ out_dir_arg)
+      $ trace_seed_arg $ domains_arg $ max_scale_arg $ out_dir_arg)
 
 let () = exit (Cmd.eval cmd)

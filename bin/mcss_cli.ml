@@ -82,6 +82,13 @@ let seed_arg =
   let doc = "Generator seed." in
   Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N" ~doc)
 
+let domains_arg =
+  let doc =
+    "Worker domains for Stage-1 selection and group construction. \
+     Deterministic: any value yields a bit-identical plan."
+  in
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
+
 let tau_arg =
   let doc = "Satisfaction threshold: events per horizon per subscriber." in
   Arg.(value & opt float 100. & info [ "tau" ] ~docv:"F" ~doc)
@@ -126,6 +133,12 @@ let generate_workload trace scale seed = Front.generate ?seed trace ~scale
    backtrace and never silently different behaviour per subcommand. *)
 let die fmt = Printf.ksprintf (fun m -> prerr_endline ("mcss: " ^ m); exit 1) fmt
 
+let require_scale scale =
+  match Front.validate_scale scale with Ok s -> s | Error e -> die "%s" e
+
+let require_domains domains =
+  match Front.validate_domains domains with Ok d -> d | Error e -> die "%s" e
+
 let load_workload file trace scale seed =
   (match (file, trace) with
   | Some path, _ -> Logs.info (fun m -> m "loading workload from %s" path)
@@ -160,6 +173,7 @@ let generate_cmd =
     match trace with
     | None -> `Error (false, "--trace is required")
     | Some trace ->
+        let scale = require_scale scale in
         let w = generate_workload trace scale seed in
         Wio.save w out;
         Format.printf "wrote %s: %a@." out Workload.pp_summary w;
@@ -193,9 +207,11 @@ let solve_cmd =
     Arg.(value & flag & info [ "detail" ]
            ~doc:"Print fleet diagnostics (utilisation spread, topic fragmentation).")
   in
-  let run () file trace scale seed tau instance_name bc_events config_name ladder
-      no_verify save_plan detail metrics_out =
+  let run () file trace scale seed domains tau instance_name bc_events config_name
+      ladder no_verify save_plan detail metrics_out =
     let ( let* ) r f = match r with Ok x -> f x | Error e -> `Error (false, e) in
+    let scale = require_scale scale in
+    let domains = require_domains domains in
     let w = require_workload file trace scale seed in
     let* instance = resolve_instance instance_name in
     let obs = obs_of metrics_out in
@@ -223,7 +239,7 @@ let solve_cmd =
     in
     List.iter
       (fun (name, config) ->
-        let r = Solver.solve ~obs ~config p in
+        let r = Solver.solve ~obs ~config ~domains p in
         let valid =
           if no_verify then "-"
           else if
@@ -251,12 +267,12 @@ let solve_cmd =
     | None -> ()
     | Some path ->
         let _, config = List.nth configs (List.length configs - 1) in
-        let r = Solver.solve ~config p in
+        let r = Solver.solve ~config ~domains p in
         Mcss_core.Plan_io.save r.Solver.allocation path;
         Printf.printf "plan written to %s\n" path);
     if detail then begin
       let _, config = List.nth configs (List.length configs - 1) in
-      let r = Solver.solve ~config p in
+      let r = Solver.solve ~config ~domains p in
       Format.printf "@[<hov>%a@]@."
         Mcss_core.Solution_stats.pp
         (Mcss_core.Solution_stats.compute p r.Solver.allocation);
@@ -275,8 +291,8 @@ let solve_cmd =
     Term.(
       ret
         (const run $ setup_logs_term $ workload_file $ trace_arg $ scale_arg $ seed_arg
-        $ tau_arg $ instance_arg $ bc_events_arg $ config_arg $ ladder_arg
-        $ no_verify_arg $ save_plan_arg $ detail_arg $ metrics_out_arg))
+        $ domains_arg $ tau_arg $ instance_arg $ bc_events_arg $ config_arg
+        $ ladder_arg $ no_verify_arg $ save_plan_arg $ detail_arg $ metrics_out_arg))
 
 (* ----- lower-bound ----- *)
 
@@ -402,9 +418,11 @@ let simulate_cmd =
            ~doc:"Evolve the workload and plan through the incremental engine \
                  with this delta batch (mcss-deltas format) before simulating.")
   in
-  let run () file trace scale seed tau instance_name bc_events poisson duration plan
-      deltas outages metrics_out =
+  let run () file trace scale seed domains tau instance_name bc_events poisson
+      duration plan deltas outages metrics_out =
     let ( let* ) r f = match r with Ok x -> f x | Error e -> `Error (false, e) in
+    let scale = require_scale scale in
+    let domains = require_domains domains in
     let w = require_workload file trace scale seed in
     let* instance = resolve_instance instance_name in
     let obs = obs_of metrics_out in
@@ -419,7 +437,7 @@ let simulate_cmd =
             (if Verifier.is_valid report then "clean" else "VIOLATIONS");
           (s, a)
       | None ->
-          let r = Solver.solve ~obs p in
+          let r = Solver.solve ~obs ~domains p in
           Format.printf "solved: %a@." Solver.pp_result r;
           (r.Solver.selection, r.Solver.allocation)
     in
@@ -491,8 +509,8 @@ let simulate_cmd =
     Term.(
       ret
         (const run $ setup_logs_term $ workload_file $ trace_arg $ scale_arg $ seed_arg
-        $ tau_arg $ instance_arg $ bc_events_arg $ poisson_arg $ duration_arg
-        $ plan_arg $ deltas_arg $ outages_arg $ metrics_out_arg))
+        $ domains_arg $ tau_arg $ instance_arg $ bc_events_arg $ poisson_arg
+        $ duration_arg $ plan_arg $ deltas_arg $ outages_arg $ metrics_out_arg))
 
 (* ----- update ----- *)
 

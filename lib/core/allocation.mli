@@ -22,6 +22,20 @@ val num_vms : t -> int
 val vms : t -> vm array
 (** Snapshot of the fleet, in deployment order. *)
 
+val vm_at : t -> int -> vm
+(** The VM with the given deployment index (no bounds check until the
+    handle is used). *)
+
+val iter_vms : t -> (vm -> unit) -> unit
+(** Visit every VM in deployment order without materialising the
+    {!vms} array — the packing inner loops' iteration. *)
+
+val load_of : t -> int -> float
+(** [load (vm_at a id)] without building the handle. *)
+
+val free_of : t -> int -> float
+(** [free a (vm_at a id)] without building the handle. *)
+
 val deploy : t -> vm
 (** Add one empty VM and return it. *)
 

@@ -36,9 +36,8 @@ let cheaper_to_distribute (p : Problem.t) a ~ev ~count ~hosts =
   in
   (* Option 2: spread over existing VMs (most-free first), overflow to
      fresh VMs. Simulated on a snapshot of the free capacities. *)
-  let vms = Allocation.vms a in
   let slots =
-    Array.map (fun vm -> (Allocation.free a vm, hosts vm)) vms
+    Array.init cur_vms (fun id -> (Allocation.free_of a id, hosts (Allocation.vm_at a id)))
   in
   Array.sort (fun (fa, _) (fb, _) -> compare fb fa) slots;
   let remaining = ref count in
@@ -114,7 +113,7 @@ let flush_stage2 obs (p : Problem.t) a ~groups counts =
       (Allocation.vms a)
   end
 
-let run ?(obs = Registry.noop) (p : Problem.t) (s : Selection.t) opts =
+let run ?(obs = Registry.noop) ?(domains = 1) (p : Problem.t) (s : Selection.t) opts =
   let w = p.Problem.workload in
   let eps = Problem.epsilon p in
   let counts =
@@ -128,7 +127,7 @@ let run ?(obs = Registry.noop) (p : Problem.t) (s : Selection.t) opts =
   in
   let a = Allocation.create ~capacity:p.Problem.capacity in
   let groups =
-    Selection.pairs_by_topic p s
+    Selection.pairs_by_topic ~domains p s
     |> Array.map (fun (t, subs) -> (t, subs, Workload.event_rate w t))
   in
   let groups = order_groups opts groups in
@@ -159,32 +158,37 @@ let run ?(obs = Registry.noop) (p : Problem.t) (s : Selection.t) opts =
     let from = ref 0 in
     let progress = ref true in
     while !from < n && !progress do
-      let vms = Allocation.vms a in
+      (* Scan the fleet by id over the flat residual arrays — no per-pass
+         snapshot of the VM handles. Ties in [Most_free] keep the lowest
+         id, as the left-to-right fold always did. *)
+      let nv = Allocation.num_vms a in
+      let fits id =
+        Allocation.max_pairs_that_fit a (Allocation.vm_at a id) ~topic ~ev ~eps > 0
+      in
       let candidate =
         match opts.vm_choice with
         | First_fit ->
-            Array.find_opt
-              (fun vm -> Allocation.max_pairs_that_fit a vm ~topic ~ev ~eps > 0)
-              vms
+            let rec first id = if id >= nv then -1 else if fits id then id else first (id + 1) in
+            first 0
         | Most_free ->
-            Array.fold_left
-              (fun best vm ->
-                if Allocation.max_pairs_that_fit a vm ~topic ~ev ~eps = 0 then best
-                else
-                  match best with
-                  | Some b when Allocation.free a b >= Allocation.free a vm -> best
-                  | _ -> Some vm)
-              None vms
+            let best = ref (-1) in
+            for id = 0 to nv - 1 do
+              if fits id
+                 && (!best < 0 || Allocation.free_of a !best < Allocation.free_of a id)
+              then best := id
+            done;
+            !best
       in
-      match candidate with
-      | None -> progress := false
-      | Some vm ->
-          let k =
-            min (Allocation.max_pairs_that_fit a vm ~topic ~ev ~eps) (n - !from)
-          in
-          Allocation.place a vm ~topic ~ev ~subscribers:subs ~from:!from ~count:k;
-          counts.placements <- counts.placements + 1;
-          from := !from + k
+      if candidate < 0 then progress := false
+      else begin
+        let vm = Allocation.vm_at a candidate in
+        let k =
+          min (Allocation.max_pairs_that_fit a vm ~topic ~ev ~eps) (n - !from)
+        in
+        Allocation.place a vm ~topic ~ev ~subscribers:subs ~from:!from ~count:k;
+        counts.placements <- counts.placements + 1;
+        from := !from + k
+      end
     done;
     if !from < n then deploy_for ~topic ~ev ~subs ~from:!from
   in

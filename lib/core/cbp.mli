@@ -48,9 +48,19 @@ val with_most_free : options  (** Step (d). *)
 
 val with_cost_decision : options  (** Step (e) — the full CBP. *)
 
-val run : ?obs:Mcss_obs.Registry.t -> Problem.t -> Selection.t -> options -> Allocation.t
+val run :
+  ?obs:Mcss_obs.Registry.t ->
+  ?domains:int ->
+  Problem.t ->
+  Selection.t ->
+  options ->
+  Allocation.t
 (** Raises {!Problem.Infeasible} if some selected pair cannot fit even an
-    empty VM. [obs] (default {!Mcss_obs.Registry.noop}) receives the
+    empty VM. [domains] (default 1) parallelises the per-topic group
+    construction ({!Selection.pairs_by_topic}); the packing fold itself is
+    inherently sequential (every placement depends on the residuals the
+    previous ones left), so the resulting allocation is identical at any
+    domain count. [obs] (default {!Mcss_obs.Registry.noop}) receives the
     Stage-2 work counters ([stage2.groups], [stage2.vms_deployed],
     [stage2.placements], [stage2.whole_group_fits],
     [stage2.decision_distribute] / [stage2.decision_deploy],

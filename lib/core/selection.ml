@@ -117,73 +117,146 @@ let gsp_reference ?(obs = Registry.noop) (p : Problem.t) =
    Invariant: while any unselected topic has ev <= rem, all such topics tie
    for the best ratio and the lowest id wins; once none is left, the best
    candidate is the unselected topic with the smallest rate (necessarily
-   > rem), and picking it finishes the subscriber. We therefore keep the
-   unselected topics with ev <= rem in an id-ordered set, shrinking it from
-   the high-rate end as rem decreases. *)
-module Int_set = Set.Make (Int)
+   > rem), and picking it finishes the subscriber.
 
-let gsp_subscriber w ~tau ~eps ~counts v =
+   The whole per-subscriber state lives in one reusable flat scratch
+   (positions sorted by rate, a byte of state per position, cached rates):
+   the eligible "set" is the live positions of the prefix [0, hi) of the
+   rate order, and because [tv] is id-sorted its minimum element is just
+   the first live position — a forward-only cursor, since the set only
+   ever shrinks. No per-subscriber Hashtbl, Set nodes or closures. *)
+
+(* Position states. A position leaves [live] exactly once, so the min-live
+   and endgame cursors never need to back up. *)
+let st_live = '\000'
+let st_taken = '\001' (* selected into the result *)
+let st_shrunk = '\002' (* dropped from the eligible prefix; endgame may still pick it *)
+
+type gsp_scratch = {
+  mutable order : int array; (* positions of tv, sorted by (rate, id) *)
+  mutable state : Bytes.t;
+  mutable rates : float array; (* rates.(i) = ev of tv.(i) *)
+  picked : Arena.Ibuf.t;
+}
+
+let gsp_scratch () =
+  { order = [||]; state = Bytes.empty; rates = [||]; picked = Arena.Ibuf.create () }
+
+let ensure_scratch s k =
+  if Array.length s.order < k then begin
+    let cap = max k (2 * Array.length s.order) in
+    s.order <- Array.make cap 0;
+    s.state <- Bytes.make cap st_live;
+    s.rates <- Array.make cap 0.
+  end
+
+(* Sort the first [k] entries of [s.order] by (rate, position): the same
+   total order as sorting (ev i, i) tuples, without building tuples.
+   Insertion sort below a small cutoff, else sort a copy (both realise
+   the unique sorted sequence of a total order). *)
+let sort_order s k =
+  let cmp a b =
+    let c = Float.compare s.rates.(a) s.rates.(b) in
+    if c <> 0 then c else Int.compare a b
+  in
+  if k <= 32 then
+    for i = 1 to k - 1 do
+      let x = s.order.(i) in
+      let j = ref (i - 1) in
+      while !j >= 0 && cmp s.order.(!j) x > 0 do
+        s.order.(!j + 1) <- s.order.(!j);
+        decr j
+      done;
+      s.order.(!j + 1) <- x
+    done
+  else begin
+    let tmp = Array.sub s.order 0 k in
+    Array.sort cmp tmp;
+    Array.blit tmp 0 s.order 0 k
+  end
+
+let gsp_subscriber w ~tau ~eps ~counts ~scratch:s v =
   let tv = Workload.interests w v in
   let k = Array.length tv in
   let tau_v = Workload.tau_v w ~tau v in
   if tau_v <= eps then ([||], 0.)
   else begin
-    let ev i = Workload.event_rate w tv.(i) in
-    (* Positions sorted by (rate, id); [tv] is id-sorted so index order
-       breaks rate ties by id. *)
-    let by_rate = Array.init k (fun i -> i) in
-    Array.sort (fun a b -> compare (ev a, a) (ev b, b)) by_rate;
-    let selected = Array.make k false in
-    let picked = ref [] in
+    ensure_scratch s k;
+    Bytes.fill s.state 0 k st_live;
+    for i = 0 to k - 1 do
+      s.order.(i) <- i;
+      s.rates.(i) <- Workload.event_rate w tv.(i)
+    done;
+    sort_order s k;
+    Arena.Ibuf.clear s.picked;
     let sum = ref 0. in
     let rem () = tau_v -. !sum in
-    (* [hi] = number of leading entries of [by_rate] with ev <= rem; the
-       id set holds exactly the unselected ones among them. *)
-    let eligible = ref Int_set.empty in
+    (* [hi] = number of leading entries of the rate order with ev <= rem;
+       [elig] = live positions among them (= the eligible-set size). *)
     let hi = ref 0 in
-    while !hi < k && ev by_rate.(!hi) <= rem () do
-      eligible := Int_set.add tv.(by_rate.(!hi)) !eligible;
+    let elig = ref 0 in
+    while !hi < k && s.rates.(s.order.(!hi)) <= rem () do
       counts.set_ops <- counts.set_ops + 1;
-      incr hi
+      incr hi;
+      incr elig
+    done;
+    (* Positions whose rate already exceeds τ_v were never eligible: mark
+       them up front so [st_live] means exactly "in the eligible set"
+       (the endgame below may still pick shrunk positions). *)
+    for j = !hi to k - 1 do
+      Bytes.set s.state s.order.(j) st_shrunk
     done;
     let shrink () =
-      while !hi > 0 && ev by_rate.(!hi - 1) > rem () do
+      while !hi > 0 && s.rates.(s.order.(!hi - 1)) > rem () do
         decr hi;
-        eligible := Int_set.remove tv.(by_rate.(!hi)) !eligible;
+        let pos = s.order.(!hi) in
+        if Bytes.get s.state pos = st_live then begin
+          Bytes.set s.state pos st_shrunk;
+          decr elig
+        end;
         counts.set_ops <- counts.set_ops + 1
       done
     in
-    let pos_of_topic = Hashtbl.create k in
-    Array.iteri (fun i topic -> Hashtbl.add pos_of_topic topic i) tv;
     let select pos =
-      selected.(pos) <- true;
-      picked := tv.(pos) :: !picked;
-      sum := !sum +. ev pos
+      Bytes.set s.state pos st_taken;
+      Arena.Ibuf.push s.picked tv.(pos);
+      sum := !sum +. s.rates.(pos)
     in
+    (* Eligible positions form a shrinking subset, so the min-live cursor
+       only moves forward; likewise the endgame cursor over the rate
+       order skips already-taken entries. *)
+    let minpos = ref 0 in
     let endgame = ref 0 in
     while !sum < tau_v -. eps do
       counts.considered <- counts.considered + 1;
-      match Int_set.min_elt_opt !eligible with
-      | Some topic ->
-          let pos = Hashtbl.find pos_of_topic topic in
-          eligible := Int_set.remove topic !eligible;
-          counts.set_ops <- counts.set_ops + 1;
-          select pos;
-          shrink ()
-      | None ->
-          (* All unselected rates exceed rem: take the smallest, done. *)
-          while !endgame < k && selected.(by_rate.(!endgame)) do incr endgame done;
-          assert (!endgame < k);
-          select by_rate.(!endgame)
+      if !elig > 0 then begin
+        while Bytes.get s.state !minpos <> st_live do incr minpos done;
+        let pos = !minpos in
+        counts.set_ops <- counts.set_ops + 1;
+        decr elig;
+        select pos;
+        shrink ()
+      end
+      else begin
+        (* All unselected rates exceed rem: take the smallest, done. *)
+        while !endgame < k && Bytes.get s.state s.order.(!endgame) = st_taken do
+          incr endgame
+        done;
+        assert (!endgame < k);
+        select s.order.(!endgame)
+      end
     done;
-    (Array.of_list !picked, !sum)
+    (Arena.Ibuf.to_array s.picked, !sum)
   end
 
 let gsp ?(obs = Registry.noop) (p : Problem.t) =
   let w = p.Problem.workload in
   let eps = Problem.epsilon p in
   let counts = new_counts () in
-  let s = build ~workload:w (gsp_subscriber w ~tau:p.Problem.tau ~eps ~counts) in
+  let scratch = gsp_scratch () in
+  let s =
+    build ~workload:w (gsp_subscriber w ~tau:p.Problem.tau ~eps ~counts ~scratch)
+  in
   flush_stage1 obs s counts;
   s
 
@@ -209,8 +282,11 @@ let gsp_parallel ?(obs = Registry.noop) ?domains (p : Problem.t) =
     let worker d () =
       let lo = d * chunk in
       let hi = min n (lo + chunk) - 1 in
+      let scratch = gsp_scratch () in
       for v = lo to hi do
-        let topics, rate = gsp_subscriber w ~tau:p.Problem.tau ~eps ~counts:domain_counts.(d) v in
+        let topics, rate =
+          gsp_subscriber w ~tau:p.Problem.tau ~eps ~counts:domain_counts.(d) ~scratch v
+        in
         Array.sort compare topics;
         chosen.(v) <- topics;
         rates.(v) <- rate
@@ -259,13 +335,14 @@ let reselect ?(obs = Registry.noop) (p : Problem.t) ~previous ~dirty =
   let old_n = Array.length previous.chosen in
   let eps = Problem.epsilon p in
   let counts = new_counts () in
+  let scratch = gsp_scratch () in
   let chosen = Array.make n [||] in
   let selected_rate = Array.make n 0. in
   let num_pairs = ref 0 in
   let outgoing_rate = ref 0. in
   for v = 0 to n - 1 do
     if dirty.(v) then begin
-      let topics, rate = gsp_subscriber w ~tau:p.Problem.tau ~eps ~counts v in
+      let topics, rate = gsp_subscriber w ~tau:p.Problem.tau ~eps ~counts ~scratch v in
       Array.sort compare topics;
       chosen.(v) <- topics;
       selected_rate.(v) <- rate
@@ -403,22 +480,74 @@ let satisfies (p : Problem.t) s =
     s.selected_rate;
   !ok
 
-let pairs_by_topic (p : Problem.t) s =
+(* Counting sort of the selected pairs into per-topic subscriber rows.
+   With [domains] > 1 the subscriber range is split into ordered chunks:
+   each domain counts its chunk, the per-(topic, domain) counts are
+   prefix-summed into disjoint write cursors, and each domain fills its
+   own slice of every row — so the rows come out ascending-by-subscriber
+   exactly as the sequential pass produces them, at any domain count. *)
+let pairs_by_topic ?(domains = 1) (p : Problem.t) s =
   let w = p.Problem.workload in
-  let counts = Array.make (Workload.num_topics w) 0 in
-  Array.iter (Array.iter (fun t -> counts.(t) <- counts.(t) + 1)) s.chosen;
+  let nt = Workload.num_topics w in
+  let n = Array.length s.chosen in
+  let domains = max 1 (min domains n) in
+  let counts = Array.make nt 0 in
+  let subs =
+    if domains <= 1 then begin
+      Array.iter (Array.iter (fun t -> counts.(t) <- counts.(t) + 1)) s.chosen;
+      let subs = Array.map (fun c -> Array.make (max c 1) 0) counts in
+      let fill = Array.make nt 0 in
+      Array.iteri
+        (fun v tv ->
+          Array.iter
+            (fun t ->
+              subs.(t).(fill.(t)) <- v;
+              fill.(t) <- fill.(t) + 1)
+            tv)
+        s.chosen;
+      subs
+    end
+    else begin
+      let chunk = (n + domains - 1) / domains in
+      let counts_d = Array.init domains (fun _ -> Array.make nt 0) in
+      let each_chunk worker =
+        let spawned =
+          List.init (domains - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1)))
+        in
+        worker 0;
+        List.iter Domain.join spawned
+      in
+      each_chunk (fun d ->
+          let cd = counts_d.(d) in
+          for v = d * chunk to min n ((d + 1) * chunk) - 1 do
+            Array.iter (fun t -> cd.(t) <- cd.(t) + 1) s.chosen.(v)
+          done);
+      (* Per-row totals, and per-domain counts turned into write cursors:
+         domain d starts where domains < d end within each row. *)
+      for t = 0 to nt - 1 do
+        let base = ref 0 in
+        for d = 0 to domains - 1 do
+          let c = counts_d.(d).(t) in
+          counts_d.(d).(t) <- !base;
+          base := !base + c
+        done;
+        counts.(t) <- !base
+      done;
+      let subs = Array.map (fun c -> Array.make (max c 1) 0) counts in
+      each_chunk (fun d ->
+          let cur = counts_d.(d) in
+          for v = d * chunk to min n ((d + 1) * chunk) - 1 do
+            Array.iter
+              (fun t ->
+                subs.(t).(cur.(t)) <- v;
+                cur.(t) <- cur.(t) + 1)
+              s.chosen.(v)
+          done);
+      subs
+    end
+  in
   let nonempty = ref 0 in
   Array.iter (fun c -> if c > 0 then incr nonempty) counts;
-  let subs = Array.map (fun c -> Array.make (max c 1) 0) counts in
-  let fill = Array.make (Workload.num_topics w) 0 in
-  Array.iteri
-    (fun v tv ->
-      Array.iter
-        (fun t ->
-          subs.(t).(fill.(t)) <- v;
-          fill.(t) <- fill.(t) + 1)
-        tv)
-    s.chosen;
   let out = Array.make !nonempty (0, [||]) in
   let i = ref 0 in
   Array.iteri

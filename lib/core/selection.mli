@@ -85,10 +85,16 @@ val satisfies : Problem.t -> t -> bool
     Stage-1 postcondition [Σ_v f_v = |V|]. *)
 
 val pairs_by_topic :
-  Problem.t -> t -> (Mcss_workload.Workload.topic * Mcss_workload.Workload.subscriber array) array
+  ?domains:int ->
+  Problem.t ->
+  t ->
+  (Mcss_workload.Workload.topic * Mcss_workload.Workload.subscriber array) array
 (** The selection regrouped per topic (only topics with at least one
     selected pair), topic ids ascending, subscriber ids ascending. This is
-    the input view Stage-2's CustomBinPacking consumes. *)
+    the input view Stage-2's CustomBinPacking consumes. [domains] (default
+    1) parallelises the counting sort over subscriber chunks with a
+    deterministic per-chunk merge: the output is {e identical} at any
+    domain count. *)
 
 val iter_pairs :
   t -> (Mcss_workload.Workload.topic -> Mcss_workload.Workload.subscriber -> unit) -> unit

@@ -40,24 +40,30 @@ let timed f =
   let x = f () in
   (x, Mcss_obs.Clock.seconds_since start)
 
-let solve ?(obs = Registry.noop) ?(config = default) (p : Problem.t) =
+let solve ?(obs = Registry.noop) ?(config = default) ?(domains = 1) (p : Problem.t) =
   Span.with_ obs ~name:"solve" @@ fun () ->
   let selection, stage1_seconds =
     timed (fun () ->
         Span.with_ obs ~name:"stage1" (fun () ->
-            match config.stage1 with
-            | Gsp -> Selection.gsp ~obs p
-            | Gsp_parallel -> Selection.gsp_parallel ~obs p
-            | Gsp_reference -> Selection.gsp_reference ~obs p
-            | Rsp -> Selection.rsp ~obs p
-            | Global_greedy -> Global_greedy.select p))
+            Mcss_obs.Gc_phase.measure ~obs "stage1" (fun () ->
+                match config.stage1 with
+                | Gsp ->
+                    if domains > 1 then Selection.gsp_parallel ~obs ~domains p
+                    else Selection.gsp ~obs p
+                | Gsp_parallel ->
+                    if domains > 1 then Selection.gsp_parallel ~obs ~domains p
+                    else Selection.gsp_parallel ~obs p
+                | Gsp_reference -> Selection.gsp_reference ~obs p
+                | Rsp -> Selection.rsp ~obs p
+                | Global_greedy -> Global_greedy.select p)))
   in
   let allocation, stage2_seconds =
     timed (fun () ->
         Span.with_ obs ~name:"stage2" (fun () ->
-            match config.stage2 with
-            | Ffbp -> Ffbp.run ~obs p selection
-            | Cbp opts -> Cbp.run ~obs p selection opts))
+            Mcss_obs.Gc_phase.measure ~obs "stage2" (fun () ->
+                match config.stage2 with
+                | Ffbp -> Ffbp.run ~obs p selection
+                | Cbp opts -> Cbp.run ~obs ~domains p selection opts)))
   in
   let num_vms = Allocation.num_vms allocation in
   let bandwidth = Allocation.total_load allocation in

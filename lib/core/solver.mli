@@ -27,12 +27,18 @@ type result = {
   stage2_seconds : float;
 }
 
-val solve : ?obs:Mcss_obs.Registry.t -> ?config:config -> Problem.t -> result
+val solve :
+  ?obs:Mcss_obs.Registry.t -> ?config:config -> ?domains:int -> Problem.t -> result
 (** Run both stages ([config] defaults to {!default}: GSP + full CBP).
     Raises {!Problem.Infeasible} when the workload cannot fit the VM
-    capacity. [obs] (default {!Mcss_obs.Registry.noop}) records a
+    capacity. [domains] (default 1) fans Stage 1 (and CBP's group
+    construction) out over that many OCaml 5 domains; the result is
+    {e bit-identical} to the sequential solve at any domain count
+    (property-tested), so [--domains] is purely a wall-clock knob.
+    [obs] (default {!Mcss_obs.Registry.noop}) records a
     [solve] span with [stage1]/[stage2] children, the Stage-1/Stage-2
-    work counters of the chosen selector and packer, and the
+    work counters of the chosen selector and packer, per-stage GC
+    allocation phases ({!Mcss_obs.Gc_phase}), and the
     [solve.num_vms] / [solve.bandwidth_events] / [solve.cost_usd]
     result gauges. *)
 

@@ -1,4 +1,5 @@
 module Workload = Mcss_workload.Workload
+module Arena = Mcss_core.Arena
 module Problem = Mcss_core.Problem
 module Selection = Mcss_core.Selection
 module Allocation = Mcss_core.Allocation
@@ -27,24 +28,27 @@ type t = {
   mutable problem : Problem.t;
   mutable selection : Selection.t;
   mutable allocation : Allocation.t;
-  (* (topic, subscriber) -> hosting VM id; the incremental analogue of
-     [Allocation.find_pair_vm]'s fleet scan. Kept in sync by every
-     mutation below. *)
-  homes : (int * int, int) Hashtbl.t;
+  (* encode_pair (topic, subscriber) -> hosting VM id; the incremental
+     analogue of [Allocation.find_pair_vm]'s fleet scan, on a flat
+     open-addressing table (no tuple key allocated per lookup). Kept in
+     sync by every mutation below. *)
+  homes : Arena.Int_table.t;
   config : Solver.config;
+  domains : int;
   drift_threshold : float;
   mutable churned_pairs : int;
 }
 
 let default_drift_threshold = 0.5
 
+let home_key ~topic ~subscriber = Arena.encode_pair ~topic ~subscriber
+
 let rebuild_homes homes a =
-  Hashtbl.reset homes;
-  Array.iter
-    (fun vm ->
+  Arena.Int_table.reset homes;
+  Allocation.iter_vms a (fun vm ->
       let id = Allocation.vm_id vm in
-      Allocation.iter_vm_pairs vm (fun topic v -> Hashtbl.replace homes (topic, v) id))
-    (Allocation.vms a)
+      Allocation.iter_vm_pairs vm (fun topic v ->
+          Arena.Int_table.set homes (home_key ~topic ~subscriber:v) id))
 
 (* Rebuild an identical fleet so adopting an external plan never lets the
    engine mutate its caller's allocation. *)
@@ -62,14 +66,16 @@ let clone_allocation ~capacity w a =
     (Allocation.vms a);
   fresh
 
-let of_parts ~config ~drift_threshold ~clone (plan : plan) =
+let of_parts ~config ~drift_threshold ~domains ~clone (plan : plan) =
   let allocation =
     if clone then
       clone_allocation ~capacity:plan.problem.Problem.capacity
         plan.problem.Problem.workload plan.allocation
     else plan.allocation
   in
-  let homes = Hashtbl.create (2 * plan.selection.Selection.num_pairs + 16) in
+  let homes =
+    Arena.Int_table.create ~capacity:(2 * plan.selection.Selection.num_pairs + 16) ()
+  in
   rebuild_homes homes allocation;
   {
     problem = plan.problem;
@@ -77,16 +83,19 @@ let of_parts ~config ~drift_threshold ~clone (plan : plan) =
     allocation;
     homes;
     config;
+    domains;
     drift_threshold;
     churned_pairs = 0;
   }
 
-let of_plan ?(config = Solver.default) ?(drift_threshold = default_drift_threshold) plan =
-  of_parts ~config ~drift_threshold ~clone:true plan
+let of_plan ?(config = Solver.default) ?(drift_threshold = default_drift_threshold)
+    ?(domains = 1) plan =
+  of_parts ~config ~drift_threshold ~domains ~clone:true plan
 
-let create ?(config = Solver.default) ?(drift_threshold = default_drift_threshold) p =
-  let r = Solver.solve ~config p in
-  of_parts ~config ~drift_threshold ~clone:false
+let create ?(config = Solver.default) ?(drift_threshold = default_drift_threshold)
+    ?(domains = 1) p =
+  let r = Solver.solve ~config ~domains p in
+  of_parts ~config ~drift_threshold ~domains ~clone:false
     { problem = p; selection = r.Solver.selection; allocation = r.Solver.allocation }
 
 let plan t = { problem = t.problem; selection = t.selection; allocation = t.allocation }
@@ -98,17 +107,21 @@ let cost t =
     ~bandwidth:(Allocation.total_load t.allocation)
 
 let residual t id =
-  let vms = Allocation.vms t.allocation in
-  if id < 0 || id >= Array.length vms then
+  if id < 0 || id >= Allocation.num_vms t.allocation then
     invalid_arg (Printf.sprintf "Engine.residual: no VM %d" id);
-  Allocation.free t.allocation vms.(id)
+  Allocation.free_of t.allocation id
 
 let rem_v t v =
   Float.max 0. (Problem.tau_v t.problem v -. t.selection.Selection.selected_rate.(v))
 
 let churned_pairs t = t.churned_pairs
 
-let iter_homes t f = Hashtbl.iter (fun (topic, v) id -> f ~topic ~subscriber:v ~vm:id) t.homes
+let iter_homes t f =
+  Arena.Int_table.iter
+    (fun key id ->
+      let topic, v = Arena.decode_pair key in
+      f ~topic ~subscriber:v ~vm:id)
+    t.homes
 
 (* The CBP insertion rule shared by reprovisioning, recovery, and delta
    application: pending pairs grouped per topic, most-free VM that can
@@ -124,18 +137,17 @@ let place_pending (p : Problem.t) a homes pending =
       let n = Array.length subs in
       let from = ref 0 in
       while !from < n do
-        let best = ref None in
-        Array.iter
-          (fun vm ->
-            if Allocation.max_pairs_that_fit a vm ~topic ~ev ~eps > 0 then
-              match !best with
-              | Some b when Allocation.free a b >= Allocation.free a vm -> ()
-              | _ -> best := Some vm)
-          (Allocation.vms a);
+        (* Most-free VM that can take a pair, lowest id on ties — an id
+           scan over the flat residual arrays. *)
+        let best = ref (-1) in
+        for id = 0 to Allocation.num_vms a - 1 do
+          if Allocation.max_pairs_that_fit a (Allocation.vm_at a id) ~topic ~ev ~eps > 0
+             && (!best < 0 || Allocation.free_of a !best < Allocation.free_of a id)
+          then best := id
+        done;
         let vm =
-          match !best with
-          | Some vm -> vm
-          | None ->
+          if !best >= 0 then Allocation.vm_at a !best
+          else
               let vm = Allocation.deploy a in
               incr deployed;
               if Allocation.max_pairs_that_fit a vm ~topic ~ev ~eps = 0 then
@@ -150,7 +162,7 @@ let place_pending (p : Problem.t) a homes pending =
         Allocation.place a vm ~topic ~ev ~subscribers:subs ~from:!from ~count:k;
         let id = Allocation.vm_id vm in
         for i = !from to !from + k - 1 do
-          Hashtbl.replace homes (topic, subs.(i)) id
+          Arena.Int_table.set homes (home_key ~topic ~subscriber:subs.(i)) id
         done;
         from := !from + k
       done)
@@ -158,7 +170,7 @@ let place_pending (p : Problem.t) a homes pending =
   !deployed
 
 let resolve t (p' : Problem.t) ~dirty_subscribers ~old_pairs ~old_vms =
-  let r = Solver.solve ~config:t.config p' in
+  let r = Solver.solve ~config:t.config ~domains:t.domains p' in
   t.problem <- p';
   t.selection <- r.Solver.selection;
   t.allocation <- r.Solver.allocation;
@@ -238,16 +250,17 @@ let retarget t ?dirty (p' : Problem.t) =
     (* Drop deselected pairs first, under the old rate bookkeeping (a
        removed pair may reference a topic the new workload no longer
        has, and VM loads still carry the old rates at this point). *)
-    let vms = Allocation.vms a in
     List.iter
       (fun (topic, v) ->
-        match Hashtbl.find_opt t.homes (topic, v) with
-        | Some id ->
-            ignore
-              (Allocation.remove a vms.(id) ~topic
-                 ~ev:(Workload.event_rate old_w topic) ~subscriber:v);
-            Hashtbl.remove t.homes (topic, v)
-        | None -> () (* not placed: tolerated, as Reprovision always did *))
+        let key = home_key ~topic ~subscriber:v in
+        let id = Arena.Int_table.find t.homes key in
+        if id >= 0 then begin
+          ignore
+            (Allocation.remove a (Allocation.vm_at a id) ~topic
+               ~ev:(Workload.event_rate old_w topic) ~subscriber:v);
+          Arena.Int_table.remove t.homes key
+        end
+        (* not placed: tolerated, as Reprovision always did *))
       !removals;
     (* Re-price the fleet if any surviving topic's rate moved. *)
     let old_rates = Workload.event_rates old_w in
@@ -285,7 +298,7 @@ let retarget t ?dirty (p' : Problem.t) =
               | [] -> failwith "Engine: topic listed but empty"
               | v :: _ ->
                   ignore (Allocation.remove a vm ~topic ~ev ~subscriber:v);
-                  Hashtbl.remove t.homes (topic, v);
+                  Arena.Int_table.remove t.homes (home_key ~topic ~subscriber:v);
                   pend topic v;
                   incr pairs_evicted)
         done)
@@ -296,7 +309,9 @@ let retarget t ?dirty (p' : Problem.t) =
     then begin
       let compacted, mapping = Allocation.compact a in
       t.allocation <- compacted;
-      Hashtbl.filter_map_inplace (fun _ id -> Some mapping.(id)) t.homes
+      (* Every surviving home points at a VM with pairs, so its mapping
+         entry is a valid new id. *)
+      Arena.Int_table.map_values_inplace (fun id -> mapping.(id)) t.homes
     end;
     let after = Allocation.num_vms t.allocation in
     {
@@ -339,6 +354,7 @@ let compute_dirty t deltas w' =
   dirty
 
 let apply t deltas =
+  Mcss_obs.Gc_phase.measure "engine.apply" @@ fun () ->
   let w = t.problem.Problem.workload in
   (* [compute_dirty] needs the old workload's followers anyway; forcing
      them before the delta lets [Delta.apply] evolve the cache into the

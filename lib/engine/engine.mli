@@ -64,16 +64,27 @@ type recovery_stats = { vms_lost : int; pairs_rehomed : int; vms_added : int }
 type t
 
 val create :
-  ?config:Mcss_core.Solver.config -> ?drift_threshold:float -> Mcss_core.Problem.t -> t
+  ?config:Mcss_core.Solver.config ->
+  ?drift_threshold:float ->
+  ?domains:int ->
+  Mcss_core.Problem.t ->
+  t
 (** Cold GSP+CBP solve ([config] defaults to {!Mcss_core.Solver.default},
     also used for drift re-solves). [drift_threshold] (default [0.5])
     is the churned-pairs fraction that triggers a full re-solve;
     [infinity] disables drift re-solves (what the [Reprovision] wrapper
-    uses to keep its never-resolves contract). Raises
+    uses to keep its never-resolves contract). [domains] (default 1) is
+    passed to every {!Mcss_core.Solver.solve} the engine runs — cold and
+    drift-triggered alike — and never changes the plans produced (the
+    parallel solve is bit-identical). Raises
     {!Mcss_core.Problem.Infeasible} like the solver. *)
 
 val of_plan :
-  ?config:Mcss_core.Solver.config -> ?drift_threshold:float -> plan -> t
+  ?config:Mcss_core.Solver.config ->
+  ?drift_threshold:float ->
+  ?domains:int ->
+  plan ->
+  t
 (** Adopt an existing plan (e.g. reloaded through
     {!Mcss_core.Plan_io}). The allocation is cloned, so the engine never
     mutates the caller's plan. *)

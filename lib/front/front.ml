@@ -11,20 +11,49 @@ let bc_events ~scale (instance : Instance.t) =
 
 type trace = [ `Spotify | `Twitter ]
 
-let generate ?seed trace ~scale =
+let validate_scale scale =
+  if Float.is_nan scale || scale <= 0. || scale > 1. then
+    Error (Printf.sprintf "--scale must be in (0, 1], got %g" scale)
+  else Ok scale
+
+let validate_domains domains =
+  if domains < 1 then
+    Error (Printf.sprintf "--domains must be >= 1, got %d" domains)
+  else Ok domains
+
+let source ?seed trace ~scale =
   match trace with
   | `Spotify ->
       let p = Mcss_traces.Spotify.scaled scale in
       let p =
         match seed with Some s -> { p with Mcss_traces.Spotify.seed = s } | None -> p
       in
-      Mcss_traces.Spotify.generate p
+      Mcss_traces.Stream.Spotify p
   | `Twitter ->
       let p = Mcss_traces.Twitter.scaled scale in
       let p =
         match seed with Some s -> { p with Mcss_traces.Twitter.seed = s } | None -> p
       in
-      Mcss_traces.Twitter.generate p
+      Mcss_traces.Stream.Twitter p
+
+let generate ?seed trace ~scale =
+  Mcss_traces.Stream.workload (source ?seed trace ~scale)
+
+(* Bench sections previously regenerated the same trace once per
+   section; memoising on the full parameter tuple makes the trace a
+   shared input instead. *)
+let shared_cache :
+    (trace * float * int option, Mcss_workload.Workload.t) Hashtbl.t =
+  Hashtbl.create 4
+
+let shared_workload ?seed trace ~scale =
+  let key = (trace, scale, seed) in
+  match Hashtbl.find_opt shared_cache key with
+  | Some w -> w
+  | None ->
+      let w = generate ?seed trace ~scale in
+      Hashtbl.replace shared_cache key w;
+      w
 
 let load_workload ~file ~trace ~scale ~seed =
   match (file, trace) with

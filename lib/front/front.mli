@@ -18,10 +18,28 @@ val bc_events : scale:float -> Mcss_pricing.Instance.t -> float
 
 type trace = [ `Spotify | `Twitter ]
 
+val validate_scale : float -> (float, string) result
+(** Accept scales in (0, 1]; [Error] is a one-line reason suitable for
+    stderr. *)
+
+val validate_domains : int -> (int, string) result
+(** Accept domain counts >= 1; [Error] is a one-line reason suitable
+    for stderr. *)
+
+val source : ?seed:int -> trace -> scale:float -> Mcss_traces.Stream.source
+(** The streaming-generator source for a synthetic trace at [scale]
+    relative to the published full-size trace, overriding the family's
+    default seed when [seed] is given. *)
+
 val generate : ?seed:int -> trace -> scale:float -> Mcss_workload.Workload.t
-(** Generate a synthetic trace at [scale] relative to the published
-    full-size trace, overriding the family's default seed when [seed]
-    is given. *)
+(** Generate a synthetic trace at [scale] via {!Mcss_traces.Stream}
+    (bit-identical to the materialised generators, without a second
+    copy of the edge list). *)
+
+val shared_workload :
+  ?seed:int -> trace -> scale:float -> Mcss_workload.Workload.t
+(** {!generate}, memoised on [(trace, scale, seed)] for the lifetime of
+    the process, so bench sections that share a trace build it once. *)
 
 val load_workload :
   file:string option ->

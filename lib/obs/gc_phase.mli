@@ -1,0 +1,35 @@
+(** Per-phase GC allocation accounting.
+
+    [measure] brackets a phase with [Gc.counters] samples and attributes
+    the words the {e calling domain} allocated in between to a named
+    phase in a process-wide table (allocations made by domains spawned
+    inside the phase are not charged — OCaml GC counters are
+    per-domain, and that under-count is exactly the interesting number:
+    what the orchestrating domain itself still allocates).
+
+    The table is cumulative over the process, like [Gc.stat]; the
+    benchmark writers splice it into every BENCH_*.json [runtime] block
+    via {!Runtime_stats.to_json_object}, and [measure] also bumps
+    [gc.<phase>.minor_words] / [gc.<phase>.major_words] counters on the
+    given registry so the numbers surface in [--metrics-out] dumps. *)
+
+type totals = {
+  mutable minor_words : float;
+  mutable major_words : float;
+  mutable samples : int;  (** Number of [measure] calls for the phase. *)
+}
+
+val measure : ?obs:Registry.t -> string -> (unit -> 'a) -> 'a
+(** Run the thunk, charging its allocations to the phase. Exceptions
+    propagate; the partial phase is still recorded. Thread-safe. *)
+
+val totals : unit -> (string * totals) list
+(** Snapshot of every phase recorded so far, sorted by phase name. *)
+
+val reset : unit -> unit
+(** Forget all phases (tests). *)
+
+val to_json_object : unit -> string
+(** The table as a JSON object literal, phases in sorted order:
+    [{ "stage1": { "minor_words": ..., "major_words": ...,
+    "samples": ... }, ... }]. *)

@@ -46,5 +46,6 @@ let sample () =
 let to_json_object t =
   Printf.sprintf
     "{ \"peak_rss_bytes\": %d, \"gc_major_words\": %.0f, \
-     \"gc_major_collections\": %d, \"gc_heap_words\": %d }"
+     \"gc_major_collections\": %d, \"gc_heap_words\": %d, \"gc_phases\": %s }"
     t.peak_rss_bytes t.gc_major_words t.gc_major_collections t.gc_heap_words
+    (Gc_phase.to_json_object ())

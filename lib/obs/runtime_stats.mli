@@ -22,4 +22,6 @@ val sample : unit -> t
 val to_json_object : t -> string
 (** A JSON object literal (no trailing newline), e.g.
     [{ "peak_rss_bytes": 123, ... }] — spliced into the BENCH_*.json
-    writers as the ["runtime"] field. *)
+    writers as the ["runtime"] field. Also embeds the process-wide
+    per-phase allocation table ({!Gc_phase}) as a ["gc_phases"] field,
+    read at formatting time. *)

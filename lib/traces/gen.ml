@@ -18,7 +18,9 @@ let popularity rng ~num_topics ~exponent =
 
 let rank_of_topic p t = p.rank_of_topic.(t)
 
-let sample_distinct_interests rng p ~count =
+module Stamp_set = Mcss_core.Arena.Stamp_set
+
+let sample_distinct_interests ?scratch rng p ~count =
   let n = Array.length p.topic_of_rank in
   let count = min count n in
   if count = 0 then [||]
@@ -27,17 +29,34 @@ let sample_distinct_interests rng p ~count =
        (popularity hardly matters when most topics are taken anyway). *)
     Rng.sample_without_replacement rng count n
   else begin
-    let seen = Hashtbl.create (2 * count) in
     let out = Array.make count 0 in
     let filled = ref 0 in
-    while !filled < count do
-      let t = p.topic_of_rank.(Dist.Zipf.sample p.zipf rng - 1) in
-      if not (Hashtbl.mem seen t) then begin
-        Hashtbl.add seen t ();
-        out.(!filled) <- t;
-        incr filled
-      end
-    done;
+    (* Both dedup paths implement exact set membership, so they make
+       identical accept/reject decisions and consume the rng
+       identically — the streamed and materialised generators stay
+       bit-equal. *)
+    (match scratch with
+    | Some set ->
+        Stamp_set.ensure set n;
+        Stamp_set.clear set;
+        while !filled < count do
+          let t = p.topic_of_rank.(Dist.Zipf.sample p.zipf rng - 1) in
+          if not (Stamp_set.mem set t) then begin
+            Stamp_set.add set t;
+            out.(!filled) <- t;
+            incr filled
+          end
+        done
+    | None ->
+        let seen = Hashtbl.create (2 * count) in
+        while !filled < count do
+          let t = p.topic_of_rank.(Dist.Zipf.sample p.zipf rng - 1) in
+          if not (Hashtbl.mem seen t) then begin
+            Hashtbl.add seen t ();
+            out.(!filled) <- t;
+            incr filled
+          end
+        done);
     out
   end
 

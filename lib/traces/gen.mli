@@ -11,10 +11,18 @@ val popularity : Mcss_prng.Rng.t -> num_topics:int -> exponent:float -> populari
 val rank_of_topic : popularity -> int -> int
 (** Popularity rank of a topic id, 1 = most popular. *)
 
-val sample_distinct_interests : Mcss_prng.Rng.t -> popularity -> count:int -> int array
+val sample_distinct_interests :
+  ?scratch:Mcss_core.Arena.Stamp_set.t ->
+  Mcss_prng.Rng.t ->
+  popularity ->
+  count:int ->
+  int array
 (** Draw [count] distinct topic ids, popular topics proportionally more
     often (rejection on duplicates; [count] is clamped to the number of
-    topics). The result is unsorted. *)
+    topics). The result is unsorted. [scratch] replaces the per-call
+    dedup [Hashtbl] with a reusable stamp set (the streaming generators
+    pass one per stream); it never changes the draws — both paths make
+    identical accept/reject decisions. *)
 
 val round_rate : float -> float
 (** Round a raw positive rate to an integral event count, at least 1 —

@@ -42,9 +42,12 @@ let interest_count rng params =
     base + int_of_float (Dist.pareto rng ~scale:5. ~alpha:1.5)
   else base
 
-let generate params =
+let check_dims params =
   if params.num_topics < 1 || params.num_subscribers < 0 then
-    invalid_arg "Spotify.generate: bad dimensions";
+    invalid_arg "Spotify.generate: bad dimensions"
+
+let generate params =
+  check_dims params;
   let rng = Rng.create params.seed in
   let pop =
     Gen.popularity rng ~num_topics:params.num_topics

@@ -40,4 +40,15 @@ val default : params
     subscribers, ≈240 k pairs). *)
 
 val generate : params -> Mcss_workload.Workload.t
-(** Deterministic for a fixed [params] (including [seed]). *)
+(** Deterministic for a fixed [params] (including [seed]). This is the
+    materialise-everything reference path; {!Stream} builds the same
+    workload (bit-for-bit, property-tested) without the second copy of
+    the edge list. *)
+
+(**/**)
+
+(* Internals shared with the streaming generator ({!Stream}); the draw
+   sequence per subscriber must match [generate] exactly. *)
+
+val interest_count : Mcss_prng.Rng.t -> params -> int
+val check_dims : params -> unit

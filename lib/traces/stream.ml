@@ -1,0 +1,116 @@
+module Rng = Mcss_prng.Rng
+module Dist = Mcss_prng.Dist
+module Workload = Mcss_workload.Workload
+module Stamp_set = Mcss_core.Arena.Stamp_set
+
+type source =
+  | Spotify of Spotify.params
+  | Twitter of Twitter.params
+
+let source_num_topics = function
+  | Spotify p -> p.Spotify.num_topics
+  | Twitter p -> p.Twitter.num_topics
+
+let source_num_subscribers = function
+  | Spotify p -> p.Spotify.num_subscribers
+  | Twitter p -> p.Twitter.num_subscribers
+
+let default_chunk = 65_536
+
+(* Drive [gen_one] over subscribers [0 .. n-1] in chunks. [Array.init]
+   evaluates indices 0, 1, ... in order (guaranteed by the stdlib), so
+   the rng draw sequence is identical to the materialised generators'
+   single [Array.init n gen_one]. *)
+let chunked ~num_subscribers ~chunk ~gen_one ~init ~f =
+  if chunk < 1 then invalid_arg "Stream: chunk must be >= 1";
+  let acc = ref init in
+  let v = ref 0 in
+  while !v < num_subscribers do
+    let len = min chunk (num_subscribers - !v) in
+    let first = !v in
+    let rows = Array.init len (fun i -> gen_one (first + i)) in
+    acc := f !acc ~first rows;
+    v := first + len
+  done;
+  !acc
+
+let fold_spotify p ~chunk ~init ~f =
+  Spotify.check_dims p;
+  let rng = Rng.create p.Spotify.seed in
+  let pop =
+    Gen.popularity rng ~num_topics:p.Spotify.num_topics
+      ~exponent:p.Spotify.popularity_exponent
+  in
+  let event_rates =
+    Array.init p.Spotify.num_topics (fun _ ->
+        Gen.round_rate
+          (Dist.log_normal rng ~mu:p.Spotify.rate_mu ~sigma:p.Spotify.rate_sigma))
+  in
+  let scratch = Stamp_set.create 0 in
+  let gen_one _ =
+    let k = Spotify.interest_count rng p in
+    Gen.sample_distinct_interests rng pop ~count:k ~scratch
+  in
+  let acc =
+    chunked ~num_subscribers:p.Spotify.num_subscribers ~chunk ~gen_one ~init ~f
+  in
+  (acc, event_rates)
+
+let fold_twitter p ~chunk ~init ~f =
+  Twitter.check_dims p;
+  let rng = Rng.create p.Twitter.seed in
+  let pop =
+    Gen.popularity rng ~num_topics:p.Twitter.num_topics
+      ~exponent:p.Twitter.popularity_exponent
+  in
+  (* Pass 1: the follow graph, counting followers as rows stream by
+     instead of from a finished edge list. *)
+  let followers = Array.make p.Twitter.num_topics 0 in
+  let scratch = Stamp_set.create 0 in
+  let gen_one _ =
+    let k = Twitter.followings_count rng p in
+    let tv = Gen.sample_distinct_interests rng pop ~count:k ~scratch in
+    Array.iter (fun t -> followers.(t) <- followers.(t) + 1) tv;
+    tv
+  in
+  let acc =
+    chunked ~num_subscribers:p.Twitter.num_subscribers ~chunk ~gen_one ~init ~f
+  in
+  (* Pass 2: rates conditioned on realised audience size, as in
+     [Twitter.generate]. *)
+  let knee =
+    Float.max 10.
+      (p.Twitter.celebrity_knee_fraction
+      *. float_of_int p.Twitter.num_subscribers)
+  in
+  let raw =
+    Array.init p.Twitter.num_topics (fun t ->
+        let individual =
+          Dist.log_normal rng ~mu:0. ~sigma:p.Twitter.rate_sigma
+        in
+        let base =
+          individual *. Twitter.follower_multiplier p ~knee followers.(t)
+        in
+        if Rng.bernoulli rng p.Twitter.bot_fraction then
+          base *. p.Twitter.bot_boost
+        else base)
+  in
+  let mean_raw =
+    Array.fold_left ( +. ) 0. raw /. float_of_int p.Twitter.num_topics
+  in
+  let scale = p.Twitter.target_mean_rate /. mean_raw in
+  let event_rates = Array.map (fun x -> Gen.round_rate (x *. scale)) raw in
+  (acc, event_rates)
+
+let fold_chunks ?(chunk = default_chunk) src ~init ~f =
+  match src with
+  | Spotify p -> fold_spotify p ~chunk ~init ~f
+  | Twitter p -> fold_twitter p ~chunk ~init ~f
+
+let workload ?chunk src =
+  let b = Workload.Builder.create ~capacity:(max 1 (source_num_subscribers src)) () in
+  let (), event_rates =
+    fold_chunks ?chunk src ~init:() ~f:(fun () ~first:_ rows ->
+        Array.iter (Workload.Builder.add b) rows)
+  in
+  Workload.Builder.finish b ~event_rates

@@ -1,0 +1,48 @@
+(** Streaming trace generation.
+
+    {!Spotify.generate} and {!Twitter.generate} materialise the full
+    interest edge list and then hand it to [Workload.create], which
+    copies it again — at full Spotify scale (~13.5 M pairs) that is two
+    complete edge lists plus a [Hashtbl] per subscriber for interest
+    dedup. This module produces the {e bit-identical} workload (same
+    seed ⟹ same [Workload_io] digest; property-tested) by generating
+    subscribers in fixed-size chunks and feeding each chunk straight
+    into a {!Mcss_workload.Workload.Builder}, so only one copy of the
+    edge list ever exists and dedup scratch is a reused
+    {!Mcss_core.Arena.Stamp_set}.
+
+    Bit-identity holds because the chunked folds consume the shared
+    [Rng] stream in exactly the order the materialised generators do;
+    the internals they share ([interest_count], [followings_count],
+    [follower_multiplier]) are exposed for that purpose only. *)
+
+type source =
+  | Spotify of Spotify.params
+  | Twitter of Twitter.params
+
+val source_num_topics : source -> int
+val source_num_subscribers : source -> int
+
+val fold_chunks :
+  ?chunk:int ->
+  source ->
+  init:'a ->
+  f:('a -> first:int -> Mcss_workload.Workload.topic array array -> 'a) ->
+  'a * float array
+(** [fold_chunks src ~init ~f] generates subscribers [0 .. n-1] in
+    chunks of [chunk] (default 65536) and folds [f acc ~first rows]
+    over them, where [rows.(i)] is the interest list of subscriber
+    [first + i] in generation order (not sorted; may contain no
+    duplicates). Ownership of each row passes to [f] — the array is
+    never touched again by the generator. Returns the final
+    accumulator and the per-topic event rates.
+
+    For [Twitter] sources the rates depend on the realised follower
+    counts, so they are computed after the fold completes — exactly as
+    {!Twitter.generate}'s two-pass structure does. *)
+
+val workload : ?chunk:int -> source -> Mcss_workload.Workload.t
+(** [workload src] is bit-identical to [Spotify.generate p] /
+    [Twitter.generate p] for the corresponding source, built through
+    {!Mcss_workload.Workload.Builder} without materialising a second
+    copy of the edge list. *)

@@ -69,9 +69,12 @@ let follower_multiplier params ~knee followers =
   else (knee ** params.rate_follower_exponent) *. params.celebrity_dip
        *. ((f /. knee) ** 0.3)
 
-let generate params =
+let check_dims params =
   if params.num_topics < 1 || params.num_subscribers < 0 then
-    invalid_arg "Twitter.generate: bad dimensions";
+    invalid_arg "Twitter.generate: bad dimensions"
+
+let generate params =
+  check_dims params;
   let rng = Rng.create params.seed in
   let pop =
     Gen.popularity rng ~num_topics:params.num_topics

@@ -58,4 +58,16 @@ val default : params
     the benchmark default. *)
 
 val generate : params -> Mcss_workload.Workload.t
-(** Deterministic for a fixed [params]. *)
+(** Deterministic for a fixed [params]. This is the
+    materialise-everything reference path; {!Stream} builds the same
+    workload (bit-for-bit, property-tested) while counting followers
+    on the fly instead of from a finished edge list. *)
+
+(**/**)
+
+(* Internals shared with the streaming generator ({!Stream}); the draw
+   sequence must match [generate] exactly. *)
+
+val followings_count : Mcss_prng.Rng.t -> params -> int
+val follower_multiplier : params -> knee:float -> int -> float
+val check_dims : params -> unit

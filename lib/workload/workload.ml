@@ -53,6 +53,39 @@ let unsafe_create ?followers ~event_rates ~interests () =
   w.followers <- followers;
   w
 
+(* Incremental construction for streaming trace generation: subscribers
+   arrive one at a time and the builder takes ownership of each interest
+   array, so the workload is assembled without a second copy of the edge
+   list ([create] copies every row; at full trace scale that copy is the
+   peak-memory term). [finish] validates exactly like [create]. *)
+module Builder = struct
+  type workload = t
+  type t = { mutable interests : topic array array; mutable len : int }
+
+  let create ?(capacity = 1024) () = { interests = Array.make (max capacity 1) [||]; len = 0 }
+
+  let add b tv =
+    Array.sort compare tv;
+    if b.len = Array.length b.interests then begin
+      let fresh = Array.make (2 * Array.length b.interests) [||] in
+      Array.blit b.interests 0 fresh 0 b.len;
+      b.interests <- fresh
+    end;
+    b.interests.(b.len) <- tv;
+    b.len <- b.len + 1
+
+  let num_subscribers b = b.len
+
+  let finish b ~event_rates : workload =
+    let interests =
+      if Array.length b.interests = b.len then b.interests
+      else Array.sub b.interests 0 b.len
+    in
+    let event_rates = Array.copy event_rates in
+    validate ~event_rates ~interests;
+    build ~event_rates ~interests
+end
+
 let cached_followers w = w.followers
 
 let num_topics w = Array.length w.event_rates

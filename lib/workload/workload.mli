@@ -42,6 +42,34 @@ val unsafe_create :
     the incremental engine's delta application, where re-deriving the
     whole workload per small batch would dominate the apply cost. *)
 
+(** Incremental construction for streaming trace generation: add one
+    subscriber at a time, then {!Builder.finish}. Equivalent to
+    accumulating all interest arrays and calling {!create}, minus the
+    full second copy of the edge list that [create] makes — the builder
+    takes ownership of each row (sorting it in place), so peak memory is
+    one edge list, not two. *)
+module Builder : sig
+  type workload := t
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** [capacity] is the expected number of subscribers (the builder
+      grows past it by doubling). *)
+
+  val add : t -> topic array -> unit
+  (** Append the next subscriber's interests. Takes ownership of the
+      array: it is sorted in place and must not be mutated by the
+      caller afterwards. Validation happens in {!finish}. *)
+
+  val num_subscribers : t -> int
+
+  val finish : t -> event_rates:float array -> workload
+  (** Validate and seal, exactly like {!create} (same
+      [Invalid_argument] conditions); [event_rates] is copied. The
+      builder must not be reused afterwards (the finished workload
+      shares its rows). *)
+end
+
 val cached_followers : t -> subscriber array array option
 (** The followers index if it has been computed (or seeded) already,
     without forcing it. Lets {!unsafe_create} callers evolve the cache

@@ -1,0 +1,35 @@
+#!/bin/sh
+# Scale smoke: a Spotify cold solve at --domains 2 must produce a
+# byte-identical plan file to --domains 1 (the domain-parallel Stage-1
+# is deterministic), and the plan must pass the full verifier +
+# simulated-replay audit. CI runs this at --scale 0.1; the runtest
+# rule uses a smaller scale to stay inside the tier-1 budget.
+#
+# usage: scale_smoke.sh path/to/mcss [scale]
+set -eu
+
+MCSS=${1:?usage: scale_smoke.sh path/to/mcss [scale]}
+SCALE=${2:-0.1}
+DIR=$(mktemp -d "${TMPDIR:-/tmp}/mcss-scale-smoke.XXXXXX")
+trap 'rm -rf "$DIR"' EXIT INT TERM
+
+echo "cold solve at scale $SCALE, domains 1"
+"$MCSS" solve --trace spotify --scale "$SCALE" --seed 11 --tau 100 \
+  --no-verify --save-plan "$DIR/d1.plan" > "$DIR/d1.out"
+
+echo "cold solve at scale $SCALE, domains 2"
+"$MCSS" solve --trace spotify --scale "$SCALE" --seed 11 --tau 100 --domains 2 \
+  --no-verify --save-plan "$DIR/d2.plan" > "$DIR/d2.out"
+
+if ! cmp -s "$DIR/d1.plan" "$DIR/d2.plan"; then
+  echo "FAIL: --domains 2 plan differs from --domains 1" >&2
+  exit 1
+fi
+echo "plans byte-identical across domain counts"
+
+echo "verifier + replay audit of the parallel plan"
+"$MCSS" verify --trace spotify --scale "$SCALE" --seed 11 --tau 100 \
+  --plan "$DIR/d2.plan" > "$DIR/verify.out"
+grep -q "verifier: CLEAN" "$DIR/verify.out"
+
+echo "scale smoke passed"

@@ -161,6 +161,15 @@ let prop_optimal_no_worse_than_gsp =
           let gsp = Selection.gsp p in
           opt.Selection.outgoing_rate <= gsp.Selection.outgoing_rate +. 1e-6)
 
+let prop_pairs_by_topic_domains_identical =
+  Helpers.qtest ~count:80 "pairs_by_topic is identical at 1, 2, 4 and 7 domains"
+    Helpers.problem_arbitrary (fun p ->
+      let s = Selection.gsp p in
+      let seq = Selection.pairs_by_topic p s in
+      List.for_all
+        (fun domains -> Selection.pairs_by_topic ~domains p s = seq)
+        [ 1; 2; 4; 7 ])
+
 let prop_pairs_by_topic_is_partition =
   Helpers.qtest "pairs_by_topic loses and invents nothing" Helpers.problem_arbitrary
     (fun p ->
@@ -199,4 +208,5 @@ let suite =
     prop_chosen_are_interests;
     prop_optimal_no_worse_than_gsp;
     prop_pairs_by_topic_is_partition;
+    prop_pairs_by_topic_domains_identical;
   ]

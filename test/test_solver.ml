@@ -82,6 +82,24 @@ let test_full_pipeline_beats_naive_on_seeded_instances () =
       then Alcotest.failf "seed %d: GSP selected more bandwidth than RSP" seed)
     [ 1; 2; 3; 42; 1337 ]
 
+(* The tentpole determinism contract: the whole pipeline — domain-parallel
+   Stage-1 plus parallel group construction feeding CBP — must emit a
+   plan whose serialised form is bit-identical to the sequential solve
+   at any domain count. *)
+let prop_solve_domains_bit_identical =
+  Helpers.qtest ~count:60 "solve plan is bit-identical at 1, 2 and 4 domains"
+    Helpers.problem_arbitrary (fun p ->
+      match Solver.solve p with
+      | exception Problem.Infeasible _ -> true
+      | seq ->
+          let reference = Mcss_core.Plan_io.to_string seq.Solver.allocation in
+          List.for_all
+            (fun domains ->
+              let r = Solver.solve ~domains p in
+              String.equal reference
+                (Mcss_core.Plan_io.to_string r.Solver.allocation))
+            [ 1; 2; 4 ])
+
 let suite =
   [
     Alcotest.test_case "ladder shape" `Quick test_ladder_shape;
@@ -93,4 +111,5 @@ let suite =
     Alcotest.test_case "infeasible propagates" `Quick test_infeasible_propagates;
     Alcotest.test_case "beats naive on seeded instances" `Quick
       test_full_pipeline_beats_naive_on_seeded_instances;
+    prop_solve_domains_bit_identical;
   ]

@@ -157,6 +157,53 @@ let test_round_rate () =
   Helpers.check_float "floors at 1" 1. (Gen.round_rate 0.2);
   Helpers.check_float "rounds" 3. (Gen.round_rate 2.6)
 
+(* ----- streaming generation parity ----- *)
+
+module Stream = Mcss_traces.Stream
+module Wio = Mcss_workload.Wio
+
+let same_workload a b = String.equal (Wio.to_string a) (Wio.to_string b)
+
+let test_stream_spotify_matches_generate () =
+  Helpers.check_bool "bit-identical workload" true
+    (same_workload (Spotify.generate small_spotify)
+       (Stream.workload (Stream.Spotify small_spotify)))
+
+let test_stream_twitter_matches_generate () =
+  Helpers.check_bool "bit-identical workload" true
+    (same_workload (Twitter.generate small_twitter)
+       (Stream.workload (Stream.Twitter small_twitter)))
+
+let test_stream_chunk_size_irrelevant () =
+  let reference = Stream.workload (Stream.Spotify small_spotify) in
+  List.iter
+    (fun chunk ->
+      Helpers.check_bool
+        (Printf.sprintf "chunk %d matches default" chunk)
+        true
+        (same_workload reference
+           (Stream.workload ~chunk (Stream.Spotify small_spotify))))
+    [ 1; 7; 1024 ]
+
+let seed_scale_arbitrary =
+  QCheck.make
+    QCheck.Gen.(pair (int_bound 100_000) (int_range 1 8))
+    ~print:(fun (seed, steps) -> Printf.sprintf "seed=%d, steps=%d" seed steps)
+
+(* The satellite's contract: at equal seed and scale, the chunked
+   streaming generator reproduces the materialised workload digest for
+   both trace families (an odd chunk size exercises partial chunks). *)
+let prop_stream_parity =
+  Helpers.qtest ~count:15 "streamed = materialised at any seed and scale"
+    seed_scale_arbitrary (fun (seed, steps) ->
+      let scale = float_of_int steps *. 0.0004 in
+      let sp = { (Spotify.scaled scale) with Spotify.seed = seed } in
+      let tw = { (Twitter.scaled (scale /. 4.)) with Twitter.seed = seed } in
+      same_workload (Spotify.generate sp)
+        (Stream.workload ~chunk:997 (Stream.Spotify sp))
+      && same_workload (Twitter.generate tw)
+           (Stream.workload ~chunk:997 (Stream.Twitter tw)))
+
 let suite =
   [
     Alcotest.test_case "spotify dimensions" `Quick test_spotify_dimensions;
@@ -176,4 +223,11 @@ let suite =
     Alcotest.test_case "popular topics get followers" `Quick
       test_popular_topics_get_more_followers;
     Alcotest.test_case "round_rate" `Quick test_round_rate;
+    Alcotest.test_case "stream spotify = generate" `Quick
+      test_stream_spotify_matches_generate;
+    Alcotest.test_case "stream twitter = generate" `Quick
+      test_stream_twitter_matches_generate;
+    Alcotest.test_case "stream chunk size irrelevant" `Quick
+      test_stream_chunk_size_irrelevant;
+    prop_stream_parity;
   ]
